@@ -1,0 +1,11 @@
+//! The Ticket application (FusionTicket, §5.1.2, §5.2.4): tickets for
+//! events must not be oversold — a numeric invariant enforced by
+//! compensation (cancel + reimburse) in IPA, and violated under Causal.
+
+pub mod runtime;
+pub mod spec;
+pub mod workload;
+
+pub use runtime::TicketApp;
+pub use spec::ticket_spec;
+pub use workload::TicketWorkload;

@@ -1,0 +1,46 @@
+//! Ticket specification: the oversell constraint.
+
+use ipa_spec::{AppSpec, AppSpecBuilder};
+
+/// `#sold(*, e) <= Capacity` — an aggregation constraint that the IPA
+/// analysis routes to a compensation (Table 1: "Aggreg. const. → Comp.").
+pub fn ticket_spec() -> AppSpec {
+    AppSpecBuilder::new("ticket")
+        .sort("User")
+        .sort("Event")
+        .predicate_bool("sold", &["User", "Event"])
+        .predicate_bool("event", &["Event"])
+        .constant("Capacity", 20)
+        .invariant_str("forall(Event: e) :- #sold(*, e) <= Capacity")
+        .invariant_str("forall(User: u, Event: e) :- sold(u, e) => event(e)")
+        .operation("create_event", &[("e", "Event")], |op| op.set_true("event", &["e"]))
+        .operation("buy_ticket", &[("u", "User"), ("e", "Event")], |op| {
+            op.set_true("sold", &["u", "e"])
+        })
+        .operation("refund", &[("u", "User"), ("e", "Event")], |op| {
+            op.set_false("sold", &["u", "e"])
+        })
+        .build()
+        .expect("ticket spec is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipa_core::{numeric_conflicts, Analyzer, BoundKind, CompAction};
+
+    #[test]
+    fn oversell_is_a_numeric_conflict_with_compensation() {
+        let spec = ticket_spec();
+        let ncs = numeric_conflicts(&spec);
+        let cap = ncs.iter().find(|c| c.is_count).expect("capacity conflict");
+        assert_eq!(cap.bound, BoundKind::Upper);
+        assert_eq!(cap.risky_ops.len(), 1);
+        assert_eq!(cap.risky_ops[0].0.as_str(), "buy_ticket");
+
+        let report = Analyzer::for_spec(&spec).analyze(&spec).unwrap();
+        assert!(!report.compensations.is_empty());
+        let comp = &report.compensations[0];
+        assert!(matches!(comp.action(), CompAction::RemoveExcess { .. }));
+    }
+}

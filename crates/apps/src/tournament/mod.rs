@@ -1,0 +1,9 @@
+//! The Tournament application — the paper's running example (Fig. 1).
+
+pub mod runtime;
+pub mod spec;
+pub mod workload;
+
+pub use runtime::{Tournament, CAPACITY};
+pub use spec::tournament_spec;
+pub use workload::TournamentWorkload;

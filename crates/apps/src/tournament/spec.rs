@@ -1,0 +1,91 @@
+//! The Tournament specification: a faithful transcription of the paper's
+//! Figure 1 (annotated Java interface) into `ipa-spec`.
+
+use ipa_spec::{AppSpec, AppSpecBuilder, ConvergencePolicy};
+
+/// Build the Figure 1 specification.
+///
+/// Convergence rules follow the paper's chosen resolutions (§3.3, Fig. 3):
+/// entity sets (`player`, `tournament`) are add-wins so restoring effects
+/// win over concurrent removals; `enrolled` is add-wins (the Fig. 2b
+/// "enroll prevails" choice); `active` is rem-wins so `finish_tourn`'s
+/// clearing of `active` prevails over a concurrent `begin_tourn`.
+pub fn tournament_spec() -> AppSpec {
+    AppSpecBuilder::new("tournament")
+        .sort("Player")
+        .sort("Tournament")
+        .predicate_bool("player", &["Player"])
+        .predicate_bool("tournament", &["Tournament"])
+        .predicate_bool("enrolled", &["Player", "Tournament"])
+        .predicate_bool("active", &["Tournament"])
+        .predicate_bool("finished", &["Tournament"])
+        .predicate_bool("inMatch", &["Player", "Player", "Tournament"])
+        .constant("Capacity", 16)
+        .rule("player", ConvergencePolicy::AddWins)
+        .rule("tournament", ConvergencePolicy::AddWins)
+        .rule("enrolled", ConvergencePolicy::AddWins)
+        .rule("inMatch", ConvergencePolicy::AddWins)
+        .rule("active", ConvergencePolicy::RemWins)
+        .rule("finished", ConvergencePolicy::AddWins)
+        // @Inv lines 1–9 of Figure 1.
+        .invariant_str(
+            "forall(Player: p, Tournament: t) :- enrolled(p, t) => player(p) and tournament(t)",
+        )
+        .invariant_str(
+            "forall(Player: p, q, Tournament: t) :- inMatch(p, q, t) => enrolled(p, t) and enrolled(q, t) and (active(t) or finished(t))",
+        )
+        .invariant_str("forall(Tournament: t) :- #enrolled(*, t) <= Capacity")
+        .invariant_str("forall(Tournament: t) :- active(t) => tournament(t)")
+        .invariant_str("forall(Tournament: t) :- finished(t) => tournament(t)")
+        .invariant_str("forall(Tournament: t) :- not(active(t) and finished(t))")
+        // Operations (Fig. 1 lines 12–35).
+        .operation("add_player", &[("p", "Player")], |op| op.set_true("player", &["p"]))
+        .operation("add_tourn", &[("t", "Tournament")], |op| {
+            op.set_true("tournament", &["t"])
+        })
+        .operation("rem_tourn", &[("t", "Tournament")], |op| {
+            op.set_false("tournament", &["t"])
+        })
+        .operation("enroll", &[("p", "Player"), ("t", "Tournament")], |op| {
+            op.set_true("enrolled", &["p", "t"])
+        })
+        .operation("disenroll", &[("p", "Player"), ("t", "Tournament")], |op| {
+            op.set_false("enrolled", &["p", "t"])
+        })
+        .operation("begin_tourn", &[("t", "Tournament")], |op| op.set_true("active", &["t"]))
+        .operation("finish_tourn", &[("t", "Tournament")], |op| {
+            op.set_true("finished", &["t"]).set_false("active", &["t"])
+        })
+        .operation(
+            "do_match",
+            &[("p", "Player"), ("q", "Player"), ("t", "Tournament")],
+            |op| op.set_true("inMatch", &["p", "q", "t"]),
+        )
+        .build()
+        .expect("the Figure 1 specification is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipa_core::classify::{classify, InvariantClass};
+
+    #[test]
+    fn spec_matches_figure_1() {
+        let spec = tournament_spec();
+        assert_eq!(spec.operations.len(), 8);
+        assert_eq!(spec.invariants.len(), 6);
+        assert!(spec.validate().is_ok());
+        assert!(spec.operation("rem_player").is_none(), "Fig. 1 excerpt has no rem_player");
+    }
+
+    #[test]
+    fn invariant_classes_cover_table_1_rows() {
+        let spec = tournament_spec();
+        let classes: Vec<InvariantClass> =
+            spec.invariants.iter().map(classify).collect();
+        assert!(classes.contains(&InvariantClass::ReferentialIntegrity));
+        assert!(classes.contains(&InvariantClass::Disjunction));
+        assert!(classes.contains(&InvariantClass::AggregationConstraint));
+    }
+}

@@ -1,0 +1,323 @@
+//! The Fig. 4/5 Tournament workload: 35 % writes, closed-loop clients,
+//! entity locality that keeps Indigo reservations mostly resident.
+
+use crate::common::{pick_local, Mode};
+use crate::tournament::runtime::{OpCost, Tournament};
+use ipa_coord::{IndigoCoordinator, Mode as ResMode, StrongCoordinator};
+use ipa_sim::{ClientInfo, OpOutcome, SimCtx, Workload};
+use rand::Rng;
+
+/// Workload parameters.
+#[derive(Clone, Debug)]
+pub struct TournamentConfig {
+    pub num_players: usize,
+    pub num_tournaments: usize,
+    /// Fraction of write operations (paper: 0.35).
+    pub write_fraction: f64,
+    /// Probability that a client works on a home-region tournament.
+    pub locality: f64,
+}
+
+impl Default for TournamentConfig {
+    fn default() -> Self {
+        TournamentConfig {
+            num_players: 60,
+            num_tournaments: 12,
+            write_fraction: 0.35,
+            locality: 0.9,
+        }
+    }
+}
+
+/// The simulator workload for one consistency mode.
+pub struct TournamentWorkload {
+    pub app: Tournament,
+    cfg: TournamentConfig,
+    players: Vec<String>,
+    tournaments: Vec<String>,
+    coord: IndigoCoordinator,
+    strong: StrongCoordinator,
+    next_id: u64,
+}
+
+impl TournamentWorkload {
+    pub fn new(mode: Mode, cfg: TournamentConfig) -> Self {
+        let players = (0..cfg.num_players).map(|i| format!("p{i}")).collect();
+        let tournaments = (0..cfg.num_tournaments).map(|i| format!("t{i}")).collect();
+        TournamentWorkload {
+            app: Tournament::new(mode),
+            cfg,
+            players,
+            tournaments,
+            coord: IndigoCoordinator::new(),
+            strong: StrongCoordinator::new(0),
+            next_id: 0,
+        }
+    }
+
+    pub fn with_defaults(mode: Mode) -> Self {
+        Self::new(mode, TournamentConfig::default())
+    }
+
+    fn mode(&self) -> Mode {
+        self.app.mode
+    }
+
+    /// Run the read-side compensations to a fixpoint after a simulation:
+    /// every replica performs a `status` read of every tournament (reads
+    /// repair observed capacity violations, §3.4/§4.2.2), replicating the
+    /// compensations in between. No-op except under IPA.
+    pub fn final_repair(&self, sim: &mut ipa_sim::Simulation) {
+        let app = self.app;
+        for _round in 0..2 {
+            for region in 0..sim.regions() as u16 {
+                let replica = sim.replica_mut(region);
+                let mut tx = replica.begin();
+                for t in &self.tournaments {
+                    app.status(&mut tx, t).expect("status sweep");
+                }
+                tx.commit();
+            }
+            sim.sync_all();
+        }
+    }
+
+    /// Acquire the Indigo reservations an operation needs; `None` when a
+    /// holder is unreachable.
+    fn indigo_cost(
+        &mut self,
+        ctx: &mut SimCtx<'_>,
+        region: u16,
+        label: &'static str,
+        t: &str,
+    ) -> Option<f64> {
+        let (res, mode) = match label {
+            // Structural ops need the exclusive tournament reservation.
+            "Remove" => (format!("tourn:{t}"), ResMode::Exclusive),
+            // Everything else shares it (the paper protects every pair).
+            _ => (format!("tourn:{t}"), ResMode::Shared),
+        };
+        self.coord.table.acquire(ctx, &res, region, mode)
+    }
+}
+
+impl Workload for TournamentWorkload {
+    fn setup(&mut self, ctx: &mut SimCtx<'_>) {
+        let app = self.app;
+        let players = self.players.clone();
+        let tournaments = self.tournaments.clone();
+        ctx.commit(0, |tx| {
+            app.ensure_schema(tx)?;
+            for p in &players {
+                app.add_player(tx, p)?;
+            }
+            for t in &tournaments {
+                app.add_tourn(tx, t)?;
+                app.begin_tourn(tx, t)?;
+            }
+            Ok(())
+        })
+        .expect("seed data");
+        // Indigo: tournament reservations start at their home region.
+        let regions = ctx.regions() as u16;
+        for (i, t) in self.tournaments.iter().enumerate() {
+            self.coord.table.grant(
+                format!("tourn:{t}"),
+                (i % regions as usize) as u16,
+                ResMode::Shared,
+            );
+        }
+    }
+
+    fn op(&mut self, ctx: &mut SimCtx<'_>, client: ClientInfo) -> OpOutcome {
+        let regions = ctx.regions();
+        let region = client.region;
+        let is_write = ctx.rng().gen::<f64>() < self.cfg.write_fraction;
+        let ti = pick_local(
+            ctx.rng(),
+            self.tournaments.len(),
+            regions,
+            region,
+            self.cfg.locality,
+        );
+        let t = self.tournaments[ti].clone();
+        let pi = ctx.rng().gen_range(0..self.players.len());
+        let p = self.players[pi].clone();
+
+        // Operation mix (writes sum to 1.0 within the write fraction).
+        let label: &'static str = if !is_write {
+            "Status"
+        } else {
+            let x = ctx.rng().gen::<f64>();
+            match x {
+                x if x < 0.28 => "Enroll",
+                x if x < 0.46 => "Disenroll",
+                x if x < 0.70 => "DoMatch",
+                x if x < 0.82 => "Begin",
+                x if x < 0.94 => "Finish",
+                _ => "Remove",
+            }
+        };
+
+        // Coordination cost first (Indigo / Strong pay before executing).
+        let mut extra_wan = 0.0;
+        let exec_region: u16 = match self.mode() {
+            Mode::Indigo if label != "Status" => {
+                match self.indigo_cost(ctx, region, label, &t) {
+                    Some(c) => {
+                        extra_wan += c;
+                        region
+                    }
+                    None => return OpOutcome::unavailable(label),
+                }
+            }
+            Mode::Strong if label != "Status" => {
+                match self.strong.forward_cost(ctx, region) {
+                    Some(c) => {
+                        extra_wan += c;
+                        self.strong.primary()
+                    }
+                    None => return OpOutcome::unavailable(label),
+                }
+            }
+            _ => region,
+        };
+
+        let app = self.app;
+        self.next_id += 1;
+        let q = self.players[(pi + 1) % self.players.len()].clone();
+        let (cost, _info) = ctx
+            .commit(exec_region, |tx| match label {
+                "Status" => app.status(tx, &t),
+                "Enroll" => app.enroll(tx, &p, &t),
+                "Disenroll" => app.disenroll(tx, &p, &t),
+                "DoMatch" => {
+                    // The transaction code establishes the operation's
+                    // preconditions locally (§2.2): both players enrolled
+                    // and the tournament running.
+                    let mut total = OpCost { objects: 0, updates: 0 };
+                    if !app.is_active(tx, &t)? {
+                        let c = app.begin_tourn(tx, &t)?;
+                        total.objects += c.objects;
+                        total.updates += c.updates;
+                    }
+                    for player in [&p, &q] {
+                        if !tx.contains(
+                            crate::tournament::runtime::ENROLLED,
+                            &ipa_crdt::Val::pair(player.as_str(), t.as_str()),
+                        )? {
+                            let c = app.enroll(tx, player, &t)?;
+                            total.objects += c.objects;
+                            total.updates += c.updates;
+                        }
+                    }
+                    let c = app.do_match(tx, &p, &q, &t)?;
+                    Ok(OpCost {
+                        objects: (total.objects + c.objects).min(6),
+                        updates: total.updates + c.updates,
+                    })
+                }
+                "Begin" => app.begin_tourn(tx, &t),
+                "Finish" => app.finish_tourn(tx, &t),
+                "Remove" => app.rem_tourn(tx, &t),
+                _ => unreachable!("unknown label {label}"),
+            })
+            .expect("tournament op");
+        let cost: OpCost = cost;
+
+        // Removed tournaments come back quickly so the workload keeps its
+        // entity population (matches the paper's steady-state runs).
+        if label == "Remove" {
+            let app = self.app;
+            let t2 = t.clone();
+            ctx.commit(exec_region, |tx| app.add_tourn(tx, &t2).map(|_| ()))
+                .expect("re-add tournament");
+        }
+
+        OpOutcome {
+            label,
+            objects: cost.objects,
+            updates: cost.updates,
+            extra_wan_ms: extra_wan,
+            ok: true,
+            violations: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipa_sim::{paper_topology, SimConfig, Simulation};
+
+    fn run(mode: Mode, seed: u64) -> Simulation {
+        let cfg = SimConfig {
+            clients_per_region: 3,
+            warmup_s: 0.5,
+            duration_s: 3.0,
+            seed,
+            ..Default::default()
+        };
+        let mut sim = Simulation::new(paper_topology(), cfg);
+        let mut w = TournamentWorkload::with_defaults(mode);
+        sim.run(&mut w);
+        sim.quiesce();
+        sim
+    }
+
+    #[test]
+    fn causal_is_fast_but_violates() {
+        let sim = run(Mode::Causal, 11);
+        let mean = sim.metrics.overall().unwrap().mean_ms;
+        assert!(mean < 25.0, "causal ops are local: {mean}ms");
+        let v: u64 =
+            (0..3).map(|r| crate::violations::tournament_violations(sim.replica(r))).sum();
+        assert!(v > 0, "contended causal run must violate invariants");
+    }
+
+    #[test]
+    fn ipa_is_nearly_as_fast_and_never_violates() {
+        let cfg = SimConfig {
+            clients_per_region: 3,
+            warmup_s: 0.5,
+            duration_s: 3.0,
+            seed: 11,
+            ..Default::default()
+        };
+        let mut sim = Simulation::new(paper_topology(), cfg);
+        let mut w = TournamentWorkload::with_defaults(Mode::Ipa);
+        sim.run(&mut w);
+        sim.quiesce();
+        // Capacity is compensated on read (§3.4): a final status sweep
+        // settles any residual overshoot before checking.
+        w.final_repair(&mut sim);
+        let mean = sim.metrics.overall().unwrap().mean_ms;
+        assert!(mean < 30.0, "IPA ops stay local: {mean}ms");
+        for r in 0..3 {
+            assert_eq!(
+                crate::violations::tournament_violations(sim.replica(r)),
+                0,
+                "replica {r} must satisfy all invariants"
+            );
+        }
+    }
+
+    #[test]
+    fn strong_pays_wan_latency() {
+        let causal = run(Mode::Causal, 13).metrics.overall().unwrap().mean_ms;
+        let strong = run(Mode::Strong, 13).metrics.overall().unwrap().mean_ms;
+        assert!(
+            strong > causal + 10.0,
+            "strong must be clearly slower: causal={causal} strong={strong}"
+        );
+    }
+
+    #[test]
+    fn indigo_sits_between_ipa_and_strong() {
+        let ipa = run(Mode::Ipa, 17).metrics.overall().unwrap().mean_ms;
+        let indigo = run(Mode::Indigo, 17).metrics.overall().unwrap().mean_ms;
+        let strong = run(Mode::Strong, 17).metrics.overall().unwrap().mean_ms;
+        assert!(indigo >= ipa * 0.8, "indigo ≥ ipa-ish: {indigo} vs {ipa}");
+        assert!(indigo < strong, "indigo < strong: {indigo} vs {strong}");
+    }
+}

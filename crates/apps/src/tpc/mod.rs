@@ -1,0 +1,11 @@
+//! TPC-W / TPC-C subset (§5.1.2): product catalogue management
+//! (referential integrity) plus stock levels (numeric invariant with
+//! compensation restock, "as in the specification of the benchmark").
+
+pub mod runtime;
+pub mod spec;
+pub mod workload;
+
+pub use runtime::TpcApp;
+pub use spec::tpc_spec;
+pub use workload::TpcWorkload;

@@ -1,0 +1,219 @@
+//! TPC runtime: catalogue, orders and per-product stock counters.
+
+use crate::common::Mode;
+use ipa_crdt::{ObjectKind, Val};
+use ipa_store::{Key, StoreError, Transaction};
+
+pub const PRODUCTS: &str = "tpc/products";
+pub const ORDERS: &str = "tpc/orders";
+
+pub fn stock_key(product: &str) -> String {
+    format!("tpc/stock/{product}")
+}
+
+/// Per-op cost.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OpCost {
+    pub objects: usize,
+    pub updates: usize,
+}
+
+/// The TPC application.
+#[derive(Clone, Copy, Debug)]
+pub struct TpcApp {
+    pub mode: Mode,
+    /// Units added by a (compensation) restock.
+    pub restock_units: i64,
+}
+
+impl TpcApp {
+    pub fn new(mode: Mode) -> TpcApp {
+        TpcApp { mode, restock_units: 10 }
+    }
+
+    pub fn ensure_schema(&self, tx: &mut Transaction<'_>) -> Result<(), StoreError> {
+        tx.ensure(PRODUCTS, ObjectKind::AWMap)?;
+        tx.ensure(ORDERS, ObjectKind::AWSet)?;
+        Ok(())
+    }
+
+    pub fn add_product(
+        &self,
+        tx: &mut Transaction<'_>,
+        p: &str,
+        initial_stock: i64,
+    ) -> Result<OpCost, StoreError> {
+        self.ensure_schema(tx)?;
+        tx.map_put(PRODUCTS, Val::str(p), Val::str(format!("sku:{p}")))?;
+        tx.ensure(stock_key(p), ObjectKind::PNCounter)?;
+        tx.counter_add(stock_key(p), initial_stock)?;
+        Ok(OpCost { objects: 2, updates: 2 })
+    }
+
+    pub fn rem_product(&self, tx: &mut Transaction<'_>, p: &str) -> Result<OpCost, StoreError> {
+        self.ensure_schema(tx)?;
+        tx.map_remove(PRODUCTS, &Val::str(p))?;
+        Ok(OpCost { objects: 1, updates: 1 })
+    }
+
+    /// Purchase one unit: records the order and decrements stock. The
+    /// local precondition rejects when the locally observed stock is
+    /// empty; concurrent purchases elsewhere can still drive it negative.
+    pub fn purchase(
+        &self,
+        tx: &mut Transaction<'_>,
+        order: &str,
+        p: &str,
+    ) -> Result<Option<OpCost>, StoreError> {
+        self.ensure_schema(tx)?;
+        tx.ensure(stock_key(p), ObjectKind::PNCounter)?;
+        if tx.counter_value(stock_key(p))? <= 0 {
+            return Ok(None);
+        }
+        tx.aw_add(ORDERS, Val::pair(order, p))?;
+        tx.counter_add(stock_key(p), -1)?;
+        if self.mode == Mode::Ipa {
+            // The analysis-added restore: a purchase keeps its product
+            // alive against a concurrent rem_product (add-wins touch).
+            tx.map_touch(PRODUCTS, Val::str(p))?;
+            return Ok(Some(OpCost { objects: 3, updates: 3 }));
+        }
+        Ok(Some(OpCost { objects: 2, updates: 2 }))
+    }
+
+    pub fn restock(&self, tx: &mut Transaction<'_>, p: &str) -> Result<OpCost, StoreError> {
+        tx.ensure(stock_key(p), ObjectKind::PNCounter)?;
+        tx.counter_add(stock_key(p), self.restock_units)?;
+        Ok(OpCost { objects: 1, updates: 1 })
+    }
+
+    /// Product view. Under IPA a negative observed stock triggers the
+    /// compensation: replenish back to a non-negative level (the
+    /// TPC-specified behaviour, §5.1.2), committed with this read.
+    pub fn view(
+        &self,
+        tx: &mut Transaction<'_>,
+        p: &str,
+    ) -> Result<(i64, bool, OpCost), StoreError> {
+        self.ensure_schema(tx)?;
+        tx.ensure(stock_key(p), ObjectKind::PNCounter)?;
+        let stock = tx.counter_value(stock_key(p))?;
+        let negative = stock < 0;
+        if negative && self.mode == Mode::Ipa {
+            tx.counter_add(stock_key(p), -stock + self.restock_units)?;
+            return Ok((
+                self.restock_units,
+                true,
+                OpCost { objects: 2, updates: 1 },
+            ));
+        }
+        Ok((stock, negative, OpCost { objects: 2, updates: 0 }))
+    }
+
+    /// Current stock of a product at a replica (test helper).
+    pub fn stock_at(replica: &ipa_store::Replica, p: &str) -> i64 {
+        replica
+            .object(&Key::new(stock_key(p)))
+            .and_then(|o| o.as_pncounter().map(|c| c.value()))
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipa_crdt::ReplicaId;
+    use ipa_store::Cluster;
+
+    fn commit<T>(
+        cluster: &mut Cluster,
+        r: u16,
+        f: impl FnOnce(&mut Transaction<'_>) -> Result<T, StoreError>,
+    ) -> T {
+        let replica = cluster.replica_mut(ReplicaId(r));
+        let mut tx = replica.begin();
+        let out = f(&mut tx).expect("op");
+        tx.commit();
+        out
+    }
+
+    #[test]
+    fn concurrent_purchases_drive_stock_negative_under_causal() {
+        let app = TpcApp::new(Mode::Causal);
+        let mut cluster = Cluster::new(2);
+        commit(&mut cluster, 0, |tx| app.add_product(tx, "book", 1));
+        cluster.sync();
+        // Both replicas see stock 1 and purchase concurrently.
+        assert!(commit(&mut cluster, 0, |tx| app.purchase(tx, "o1", "book")).is_some());
+        assert!(commit(&mut cluster, 1, |tx| app.purchase(tx, "o2", "book")).is_some());
+        cluster.sync();
+        assert_eq!(TpcApp::stock_at(cluster.replica(ReplicaId(0)), "book"), -1);
+        assert_eq!(
+            crate::violations::tpc_violations(
+                cluster.replica(ReplicaId(0)),
+                &["book".to_owned()]
+            ),
+            1
+        );
+    }
+
+    #[test]
+    fn ipa_view_compensates_negative_stock() {
+        let app = TpcApp::new(Mode::Ipa);
+        let mut cluster = Cluster::new(2);
+        commit(&mut cluster, 0, |tx| app.add_product(tx, "book", 1));
+        cluster.sync();
+        assert!(commit(&mut cluster, 0, |tx| app.purchase(tx, "o1", "book")).is_some());
+        assert!(commit(&mut cluster, 1, |tx| app.purchase(tx, "o2", "book")).is_some());
+        cluster.sync();
+        let (stock, was_negative, _) =
+            commit(&mut cluster, 0, |tx| app.view(tx, "book"));
+        assert!(was_negative);
+        assert_eq!(stock, app.restock_units, "replenished to the restock level");
+        cluster.sync();
+        for r in 0..2 {
+            assert!(
+                TpcApp::stock_at(cluster.replica(ReplicaId(r)), "book") >= 0,
+                "replica {r}"
+            );
+        }
+    }
+
+    #[test]
+    fn ipa_purchase_restores_product_against_concurrent_removal() {
+        let app = TpcApp::new(Mode::Ipa);
+        let mut cluster = Cluster::new(2);
+        commit(&mut cluster, 0, |tx| app.add_product(tx, "book", 10));
+        cluster.sync();
+        commit(&mut cluster, 0, |tx| app.rem_product(tx, "book"));
+        assert!(commit(&mut cluster, 1, |tx| app.purchase(tx, "o1", "book")).is_some());
+        cluster.sync();
+        for r in 0..2 {
+            let rep = cluster.replica(ReplicaId(r));
+            assert_eq!(crate::violations::tpc_violations(rep, &["book".to_owned()]), 0);
+            let products = rep.object(&PRODUCTS.into()).unwrap();
+            assert_eq!(
+                products.set_contains(&Val::str("book")),
+                Some(true),
+                "replica {r}: the touch restored the product"
+            );
+        }
+    }
+
+    #[test]
+    fn causal_purchase_vs_removal_orphans_the_order() {
+        let app = TpcApp::new(Mode::Causal);
+        let mut cluster = Cluster::new(2);
+        commit(&mut cluster, 0, |tx| app.add_product(tx, "book", 10));
+        cluster.sync();
+        commit(&mut cluster, 0, |tx| app.rem_product(tx, "book"));
+        assert!(commit(&mut cluster, 1, |tx| app.purchase(tx, "o1", "book")).is_some());
+        cluster.sync();
+        assert!(
+            crate::violations::tpc_violations(
+                cluster.replica(ReplicaId(0)),
+                &["book".to_owned()]
+            ) > 0
+        );
+    }
+}

@@ -1,0 +1,69 @@
+//! TPC-W/TPC-C specification: the invariants the paper adds when
+//! extending the benchmarks with product-management operations.
+
+use ipa_spec::{AppSpec, AppSpecBuilder, ConvergencePolicy};
+
+pub fn tpc_spec() -> AppSpec {
+    AppSpecBuilder::new("tpc")
+        .sort("Product")
+        .sort("Order")
+        .predicate_bool("product", &["Product"])
+        .predicate_bool("ordered", &["Order", "Product"])
+        .predicate_num("stock", &["Product"])
+        .rule("product", ConvergencePolicy::AddWins)
+        .rule("ordered", ConvergencePolicy::AddWins)
+        // Referential integrity introduced by the product-management ops.
+        .invariant_str(
+            "forall(Order: o, Product: p) :- ordered(o, p) => product(p)",
+        )
+        // The classic stock invariant.
+        .invariant_str("forall(Product: p) :- stock(p) >= 0")
+        .operation("add_product", &[("p", "Product")], |op| {
+            op.set_true("product", &["p"])
+        })
+        .operation("rem_product", &[("p", "Product")], |op| {
+            op.set_false("product", &["p"])
+        })
+        .operation("purchase", &[("o", "Order"), ("p", "Product")], |op| {
+            op.set_true("ordered", &["o", "p"]).dec("stock", &["p"], 1)
+        })
+        .operation("restock", &[("p", "Product")], |op| op.inc("stock", &["p"], 10))
+        .build()
+        .expect("tpc spec is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipa_core::{Analyzer, BoundKind, CompAction};
+
+    #[test]
+    fn analysis_repairs_referential_integrity_and_compensates_stock() {
+        let spec = tpc_spec();
+        let report = Analyzer::for_spec(&spec).analyze(&spec).unwrap();
+        assert!(report.converged);
+        // purchase ∥ rem_product is repaired by a restoring effect.
+        let purchase = report.patched.operation("purchase").unwrap();
+        let restored = purchase
+            .added_effects
+            .iter()
+            .any(|e| e.atom.pred.as_str() == "product");
+        let rem = report.patched.operation("rem_product").unwrap();
+        let cleared = rem
+            .added_effects
+            .iter()
+            .any(|e| e.atom.pred.as_str() == "ordered" && e.atom.has_wildcard());
+        assert!(
+            restored || cleared,
+            "one of the two paper resolutions must be applied: {report}"
+        );
+        // Stock is a numeric lower bound → compensation (replenish).
+        let stock_comp = report
+            .compensations
+            .iter()
+            .find(|c| c.pred.as_str() == "stock")
+            .expect("stock compensation");
+        assert_eq!(stock_comp.bound, BoundKind::Lower);
+        assert!(matches!(stock_comp.action(), CompAction::Replenish { .. }));
+    }
+}

@@ -1,0 +1,10 @@
+//! The Twitter clone (§5.1.2, §5.2.3): timelines materialized at tweet
+//! time, with add-wins and rem-wins repair strategies compared in Fig. 6.
+
+pub mod runtime;
+pub mod spec;
+pub mod workload;
+
+pub use runtime::{Strategy, Twitter};
+pub use spec::twitter_spec;
+pub use workload::TwitterWorkload;

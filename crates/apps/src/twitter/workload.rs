@@ -1,0 +1,199 @@
+//! The Fig. 6 Twitter workload: per-operation latency under the three
+//! strategies.
+
+use crate::twitter::runtime::{Strategy, Twitter};
+use ipa_sim::{ClientInfo, OpOutcome, SimCtx, Workload};
+use rand::Rng;
+
+/// Workload parameters.
+#[derive(Clone, Debug)]
+pub struct TwitterConfig {
+    pub num_users: usize,
+    /// Follow edges seeded per user.
+    pub follows_per_user: usize,
+    /// Recent-tweet pool size for retweet/delete targets.
+    pub recent_pool: usize,
+}
+
+impl Default for TwitterConfig {
+    fn default() -> Self {
+        TwitterConfig { num_users: 30, follows_per_user: 5, recent_pool: 64 }
+    }
+}
+
+/// Simulator workload for one strategy.
+pub struct TwitterWorkload {
+    pub app: Twitter,
+    cfg: TwitterConfig,
+    users: Vec<String>,
+    recent: Vec<String>,
+    next_id: u64,
+}
+
+impl TwitterWorkload {
+    pub fn new(strategy: Strategy, cfg: TwitterConfig) -> Self {
+        let users = (0..cfg.num_users).map(|i| format!("u{i}")).collect();
+        TwitterWorkload {
+            app: Twitter::new(strategy),
+            cfg,
+            users,
+            recent: Vec::new(),
+            next_id: 0,
+        }
+    }
+
+    pub fn with_defaults(strategy: Strategy) -> Self {
+        Self::new(strategy, TwitterConfig::default())
+    }
+
+    fn fresh_tweet_id(&mut self) -> String {
+        self.next_id += 1;
+        let id = format!("tw{}", self.next_id);
+        if self.recent.len() >= self.cfg.recent_pool {
+            self.recent.remove(0);
+        }
+        self.recent.push(id.clone());
+        id
+    }
+}
+
+impl Workload for TwitterWorkload {
+    fn setup(&mut self, ctx: &mut SimCtx<'_>) {
+        let app = self.app;
+        let users = self.users.clone();
+        let fpu = self.cfg.follows_per_user;
+        ctx.commit(0, |tx| {
+            app.ensure_schema(tx)?;
+            for u in &users {
+                app.add_user(tx, u)?;
+            }
+            for (i, u) in users.iter().enumerate() {
+                for k in 1..=fpu {
+                    let followee = &users[(i + k) % users.len()];
+                    app.follow(tx, u, followee)?;
+                }
+            }
+            Ok(())
+        })
+        .expect("seed twitter");
+    }
+
+    fn op(&mut self, ctx: &mut SimCtx<'_>, client: ClientInfo) -> OpOutcome {
+        let region = client.region;
+        let u = self.users[ctx.rng().gen_range(0..self.users.len())].clone();
+        let v = self.users[ctx.rng().gen_range(0..self.users.len())].clone();
+        let x = ctx.rng().gen::<f64>();
+        let app = self.app;
+
+        // Mix: timeline-read heavy, like the application it models.
+        let (label, target): (&'static str, Option<String>) = match x {
+            x if x < 0.50 => ("Timeline", None),
+            x if x < 0.70 => ("Tweet", Some(self.fresh_tweet_id())),
+            x if x < 0.80 => {
+                let t = self
+                    .recent
+                    .get(ctx.rng().gen_range(0..self.recent.len().max(1)).min(self.recent.len().saturating_sub(1)))
+                    .cloned();
+                match t {
+                    Some(t) => ("Retweet", Some(t)),
+                    None => ("Timeline", None),
+                }
+            }
+            x if x < 0.85 => {
+                let t = self.recent.pop();
+                match t {
+                    Some(t) => ("Del. Tweet", Some(t)),
+                    None => ("Timeline", None),
+                }
+            }
+            x if x < 0.91 => ("Follow", None),
+            x if x < 0.95 => ("Unfollow", None),
+            x if x < 0.975 => ("Add user", Some(format!("newu{}", self.next_id))),
+            _ => ("Rem user", None),
+        };
+
+        let (cost, _info) = ctx
+            .commit(region, |tx| match label {
+                "Timeline" => app.timeline(tx, &u).map(|(_, c)| c),
+                "Tweet" => app.tweet(tx, &u, target.as_deref().expect("id")),
+                "Retweet" => app.retweet(tx, &u, target.as_deref().expect("id")),
+                "Del. Tweet" => app.del_tweet(tx, target.as_deref().expect("id")),
+                "Follow" => app.follow(tx, &u, &v),
+                "Unfollow" => app.unfollow(tx, &u, &v),
+                "Add user" => app.add_user(tx, target.as_deref().expect("id")),
+                "Rem user" => app.rem_user(tx, &v),
+                _ => unreachable!(),
+            })
+            .expect("twitter op");
+        // Removed users come back so the population stays constant.
+        if label == "Rem user" {
+            let v2 = v.clone();
+            ctx.commit(region, |tx| app.add_user(tx, &v2).map(|_| ()))
+                .expect("re-add user");
+        }
+
+        OpOutcome {
+            label,
+            objects: cost.objects,
+            updates: cost.updates,
+            extra_wan_ms: 0.0,
+            ok: true,
+            violations: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipa_sim::{paper_topology, SimConfig, Simulation};
+
+    fn run(strategy: Strategy, seed: u64) -> Simulation {
+        let cfg = SimConfig {
+            clients_per_region: 2,
+            warmup_s: 0.5,
+            duration_s: 3.0,
+            seed,
+            ..Default::default()
+        };
+        let mut sim = Simulation::new(paper_topology(), cfg);
+        let mut w = TwitterWorkload::with_defaults(strategy);
+        sim.run(&mut w);
+        sim.quiesce();
+        sim
+    }
+
+    #[test]
+    fn all_strategies_run_and_stay_local() {
+        for s in [Strategy::Causal, Strategy::AddWins, Strategy::RemWins] {
+            let sim = run(s, 23);
+            assert!(sim.metrics.completed > 100, "{s}: {}", sim.metrics.completed);
+            let mean = sim.metrics.overall().unwrap().mean_ms;
+            assert!(mean < 30.0, "{s}: all ops are local, mean={mean}");
+        }
+    }
+
+    #[test]
+    fn add_wins_write_ops_cost_more_than_causal() {
+        let causal = run(Strategy::Causal, 31);
+        let aw = run(Strategy::AddWins, 31);
+        let c_tweet = causal.metrics.summary("Tweet").unwrap().mean_ms;
+        let a_tweet = aw.metrics.summary("Tweet").unwrap().mean_ms;
+        assert!(
+            a_tweet > c_tweet,
+            "add-wins tweet pays the restore cost: {a_tweet} vs {c_tweet}"
+        );
+    }
+
+    #[test]
+    fn rem_wins_reads_cost_more_than_causal() {
+        let causal = run(Strategy::Causal, 37);
+        let rw = run(Strategy::RemWins, 37);
+        let c_tl = causal.metrics.summary("Timeline").unwrap().mean_ms;
+        let r_tl = rw.metrics.summary("Timeline").unwrap().mean_ms;
+        assert!(
+            r_tl > c_tl,
+            "rem-wins timeline pays the compensation check: {r_tl} vs {c_tl}"
+        );
+    }
+}

@@ -1,0 +1,206 @@
+//! Invariant-violation scanners: evaluate each application's invariants
+//! against a replica's materialized state and count the broken instances.
+//!
+//! These are the "Inv. violations count" of the paper's Figure 7 and the
+//! ground truth for the integration tests (Causal violates, IPA does not).
+
+use crate::tournament::runtime as tourn;
+use ipa_crdt::Val;
+use ipa_store::{Key, Replica};
+use std::collections::{BTreeMap, BTreeSet};
+
+fn set_members(replica: &Replica, key: &str) -> Vec<Val> {
+    let Some(obj) = replica.object(&Key::new(key)) else { return Vec::new() };
+    match obj {
+        ipa_crdt::Object::AWSet(s) => s.elements().cloned().collect(),
+        ipa_crdt::Object::RWSet(s) => s.elements().cloned().collect(),
+        ipa_crdt::Object::CompSet(s) => {
+            // Raw view: includes excess not yet compensated.
+            let mut out: Vec<Val> = Vec::new();
+            for e in sorted_compset_elements(s) {
+                out.push(e);
+            }
+            out
+        }
+        ipa_crdt::Object::AWMap(m) => m.keys().cloned().collect(),
+        _ => Vec::new(),
+    }
+}
+
+fn sorted_compset_elements(s: &ipa_crdt::CompensationSet<Val>) -> Vec<Val> {
+    // CompensationSet only exposes contains/read; reconstruct raw
+    // membership through its AWSet view helpers.
+    let mut out = Vec::new();
+    let mut probe = s.clone();
+    let read = probe.read();
+    out.extend(read.elements);
+    out.extend(read.cancelled);
+    out
+}
+
+fn contains(replica: &Replica, key: &str, v: &Val) -> bool {
+    replica
+        .object(&Key::new(key))
+        .and_then(|o| o.set_contains(v))
+        .unwrap_or(false)
+}
+
+/// Count violated invariant instances of the Tournament app (Fig. 1).
+pub fn tournament_violations(replica: &Replica) -> u64 {
+    let mut violations = 0u64;
+
+    // enrolled(p, t) => player(p) and tournament(t)
+    let enrolled = set_members(replica, tourn::ENROLLED);
+    for e in &enrolled {
+        let (Some(p), Some(t)) = (e.fst(), e.snd()) else { continue };
+        if !contains(replica, tourn::PLAYERS, p) || !contains(replica, tourn::TOURNS, t) {
+            violations += 1;
+        }
+    }
+
+    // inMatch(p, q, t) => enrolled(p,t) and enrolled(q,t) and (active or finished)
+    for m in set_members(replica, tourn::MATCHES) {
+        let Val::Triple(p, q, t) = &m else { continue };
+        let ep = Val::Pair(p.clone(), t.clone());
+        let eq = Val::Pair(q.clone(), t.clone());
+        let phase_ok = contains(replica, tourn::ACTIVE, t)
+            || contains(replica, tourn::FINISHED, t);
+        if !contains(replica, tourn::ENROLLED, &ep)
+            || !contains(replica, tourn::ENROLLED, &eq)
+            || !phase_ok
+        {
+            violations += 1;
+        }
+    }
+
+    // #enrolled(*, t) <= Capacity
+    let mut per_tourn: BTreeMap<Val, usize> = BTreeMap::new();
+    for e in &enrolled {
+        if let Some(t) = e.snd() {
+            *per_tourn.entry(t.clone()).or_insert(0) += 1;
+        }
+    }
+    violations += per_tourn.values().filter(|&&n| n > tourn::CAPACITY).count() as u64;
+
+    // active(t) => tournament(t); finished(t) => tournament(t);
+    // not(active(t) and finished(t))
+    let active: BTreeSet<Val> = set_members(replica, tourn::ACTIVE).into_iter().collect();
+    let finished: BTreeSet<Val> =
+        set_members(replica, tourn::FINISHED).into_iter().collect();
+    for t in &active {
+        if !contains(replica, tourn::TOURNS, t) {
+            violations += 1;
+        }
+        if finished.contains(t) {
+            violations += 1;
+        }
+    }
+    for t in &finished {
+        if !contains(replica, tourn::TOURNS, t) {
+            violations += 1;
+        }
+    }
+    violations
+}
+
+/// Count oversold events in the Ticket app: raw set size beyond capacity
+/// (under Causal the set is a plain AWSet keyed per event).
+pub fn ticket_violations(replica: &Replica, events: &[String], capacity: usize) -> u64 {
+    let mut v = 0;
+    for e in events {
+        let key = format!("ticket/sold/{e}");
+        let n = set_members(replica, &key).len();
+        if n > capacity {
+            v += 1;
+        }
+    }
+    v
+}
+
+/// Count Twitter referential-integrity violations: timeline entries whose
+/// tweet no longer exists, and follow edges with missing users.
+pub fn twitter_violations(replica: &Replica) -> u64 {
+    let mut v = 0;
+    let entries = set_members(replica, crate::twitter::runtime::ENTRIES);
+    for e in &entries {
+        if let Val::Triple(_, tweet, _) = e {
+            if !contains(replica, crate::twitter::runtime::TWEETS, tweet) {
+                v += 1;
+            }
+        }
+    }
+    for f in set_members(replica, crate::twitter::runtime::FOLLOWS) {
+        let (Some(a), Some(b)) = (f.fst(), f.snd()) else { continue };
+        if !contains(replica, crate::twitter::runtime::USERS, a)
+            || !contains(replica, crate::twitter::runtime::USERS, b)
+        {
+            v += 1;
+        }
+    }
+    v
+}
+
+/// Count TPC violations: negative stock values and orders referencing
+/// missing products.
+pub fn tpc_violations(replica: &Replica, items: &[String]) -> u64 {
+    let mut v = 0;
+    for i in items {
+        let key = Key::new(format!("tpc/stock/{i}"));
+        if let Some(obj) = replica.object(&key) {
+            if let Some(c) = obj.as_pncounter() {
+                if c.value() < 0 {
+                    v += 1;
+                }
+            }
+        }
+    }
+    for o in set_members(replica, crate::tpc::runtime::ORDERS) {
+        if let Some(p) = o.snd() {
+            if !contains(replica, crate::tpc::runtime::PRODUCTS, p) {
+                v += 1;
+            }
+        }
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipa_crdt::{ObjectKind, ReplicaId};
+
+    #[test]
+    fn empty_replica_has_no_violations() {
+        let r = Replica::new(ReplicaId(0));
+        assert_eq!(tournament_violations(&r), 0);
+        assert_eq!(twitter_violations(&r), 0);
+        assert_eq!(tpc_violations(&r, &["i1".into()]), 0);
+    }
+
+    #[test]
+    fn orphan_enrollment_is_counted() {
+        let mut r = Replica::new(ReplicaId(0));
+        let mut tx = r.begin();
+        tx.ensure(tourn::ENROLLED, ObjectKind::AWSet).unwrap();
+        tx.aw_add(tourn::ENROLLED, Val::pair("p1", "ghost")).unwrap();
+        tx.commit();
+        assert_eq!(tournament_violations(&r), 1);
+    }
+
+    #[test]
+    fn capacity_violation_is_counted() {
+        let mut r = Replica::new(ReplicaId(0));
+        let mut tx = r.begin();
+        tx.ensure(tourn::ENROLLED, ObjectKind::AWSet).unwrap();
+        tx.ensure(tourn::PLAYERS, ObjectKind::AWMap).unwrap();
+        tx.ensure(tourn::TOURNS, ObjectKind::AWMap).unwrap();
+        tx.map_put(tourn::TOURNS, Val::str("t"), Val::str("m")).unwrap();
+        for i in 0..=tourn::CAPACITY {
+            let p = format!("p{i}");
+            tx.map_put(tourn::PLAYERS, Val::str(&p), Val::str("x")).unwrap();
+            tx.aw_add(tourn::ENROLLED, Val::pair(p, "t")).unwrap();
+        }
+        tx.commit();
+        assert_eq!(tournament_violations(&r), 1, "one over-capacity tournament");
+    }
+}

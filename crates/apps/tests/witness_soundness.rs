@@ -1,0 +1,79 @@
+//! Soundness cross-validation: every conflict witness the SAT-based
+//! detector returns must check out under the *reference* semantics — the
+//! pre-state satisfies the invariant and both preconditions, and the
+//! merged state violates it (evaluated directly with
+//! `ipa_spec::Interpretation`, no solver involved).
+
+use ipa_apps::ticket::ticket_spec;
+use ipa_apps::tournament::tournament_spec;
+use ipa_apps::tpc::tpc_spec;
+use ipa_apps::twitter::twitter_spec;
+use ipa_core::{check_pair, AnalysisConfig};
+use ipa_spec::AppSpec;
+
+fn validate_all_pairs(spec: &AppSpec) -> (usize, usize) {
+    let cfg = AnalysisConfig::tuned_for(spec);
+    let mut conflicts = 0;
+    let mut checked = 0;
+    for i in 0..spec.operations.len() {
+        for j in i..spec.operations.len() {
+            let op1 = &spec.operations[i];
+            let op2 = &spec.operations[j];
+            checked += 1;
+            let Some(w) = check_pair(spec, &cfg, op1, op2).expect("analysis") else {
+                continue;
+            };
+            conflicts += 1;
+            // Reference check 1: the pre-state is I-valid.
+            for inv in &spec.invariants {
+                assert!(
+                    w.pre.eval(inv).unwrap_or(true),
+                    "{}: witness pre-state violates `{inv}` for {}",
+                    spec.name,
+                    w.label()
+                );
+            }
+            // Reference check 2: the merged state is I-invalid.
+            let violated = spec
+                .invariants
+                .iter()
+                .any(|inv| !w.merged.eval(inv).unwrap_or(true));
+            assert!(
+                violated,
+                "{}: witness merged state does not violate any invariant for {}",
+                spec.name,
+                w.label()
+            );
+            // Reference check 3: the reported violated clauses are real.
+            for v in &w.violated {
+                assert!(
+                    !w.merged.eval(v).unwrap_or(true),
+                    "{}: clause `{v}` reported violated but holds",
+                    spec.name
+                );
+            }
+        }
+    }
+    (checked, conflicts)
+}
+
+#[test]
+fn tournament_witnesses_are_sound() {
+    let (checked, conflicts) = validate_all_pairs(&tournament_spec());
+    assert_eq!(checked, 36, "8 ops → 36 unordered pairs incl. self-pairs");
+    assert!(conflicts >= 3, "the paper's conflicts must be found: {conflicts}");
+}
+
+#[test]
+fn twitter_witnesses_are_sound() {
+    let (_, conflicts) = validate_all_pairs(&twitter_spec(false));
+    assert!(conflicts >= 1, "retweet/del_tweet must conflict");
+    let (_, conflicts_rw) = validate_all_pairs(&twitter_spec(true));
+    assert!(conflicts_rw >= 1);
+}
+
+#[test]
+fn ticket_and_tpc_witnesses_are_sound() {
+    validate_all_pairs(&ticket_spec());
+    validate_all_pairs(&tpc_spec());
+}

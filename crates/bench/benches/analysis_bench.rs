@@ -1,0 +1,46 @@
+//! Criterion benchmarks for the IPA analysis end-to-end — §5.1.3: "this
+//! automatic step of the algorithm was fast enough to not hinder
+//! interactivity".
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ipa_apps::ticket::ticket_spec;
+use ipa_apps::tournament::tournament_spec;
+use ipa_apps::tpc::tpc_spec;
+use ipa_apps::twitter::twitter_spec;
+use ipa_core::{check_pair, AnalysisConfig, Analyzer};
+
+fn bench_conflict_detection(c: &mut Criterion) {
+    let spec = tournament_spec();
+    let cfg = AnalysisConfig::tuned_for(&spec);
+    let enroll = spec.operation("enroll").unwrap().clone();
+    let rem = spec.operation("rem_tourn").unwrap().clone();
+    c.bench_function("analysis/is_conflicting_enroll_rem_tourn", |b| {
+        b.iter(|| black_box(check_pair(&spec, &cfg, &enroll, &rem).unwrap().is_some()))
+    });
+}
+
+fn bench_full_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("analysis/full");
+    group.sample_size(10);
+    for (name, spec) in [
+        ("tournament", tournament_spec()),
+        ("twitter", twitter_spec(false)),
+        ("ticket", ticket_spec()),
+        ("tpc", tpc_spec()),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let report = Analyzer::for_spec(&spec).analyze(&spec).unwrap();
+                black_box(report.applied.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_conflict_detection, bench_full_pipeline
+}
+criterion_main!(benches);

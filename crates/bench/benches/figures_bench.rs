@@ -1,0 +1,69 @@
+//! Criterion wrappers around compact versions of the figure harnesses,
+//! so `cargo bench` exercises every experiment end to end.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ipa_apps::twitter::runtime::Strategy;
+use ipa_apps::Mode;
+use ipa_bench::figures;
+use ipa_bench::runner::{run_ticket, run_tournament, run_twitter, Budget};
+
+fn bench_tournament_modes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures/fig4_tournament");
+    group.sample_size(10);
+    for mode in Mode::all() {
+        group.bench_function(format!("{mode}"), |b| {
+            b.iter(|| {
+                let (sim, _) = run_tournament(mode, 2, 1, Budget::QUICK);
+                black_box(sim.metrics.completed)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_twitter_strategies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures/fig6_twitter");
+    group.sample_size(10);
+    for s in [Strategy::Causal, Strategy::AddWins, Strategy::RemWins] {
+        group.bench_function(format!("{s}"), |b| {
+            b.iter(|| {
+                let sim = run_twitter(s, 2, 1, Budget::QUICK);
+                black_box(sim.metrics.completed)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_ticket_contention(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures/fig7_ticket");
+    group.sample_size(10);
+    for mode in [Mode::Causal, Mode::Ipa] {
+        group.bench_function(format!("{mode}"), |b| {
+            b.iter(|| {
+                let (sim, _) = run_ticket(mode, 4, 1, Budget::QUICK);
+                black_box((sim.metrics.completed, sim.metrics.violations))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_micro_and_contention(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures/fig8_fig9");
+    group.sample_size(10);
+    group.bench_function("fig8_micro_quick", |b| {
+        b.iter(|| black_box(figures::fig8::run(true)))
+    });
+    group.bench_function("fig9_contention_quick", |b| {
+        b.iter(|| black_box(figures::fig9::run(true)))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_tournament_modes, bench_twitter_strategies, bench_ticket_contention, bench_micro_and_contention
+}
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! Criterion benchmarks for the replicated store: local commit path,
+//! remote batch application, and stability GC.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ipa_crdt::{ObjectKind, ReplicaId, Val};
+use ipa_store::Replica;
+
+fn bench_commit_path(c: &mut Criterion) {
+    c.bench_function("store/commit_100_updates", |b| {
+        b.iter(|| {
+            let mut r = Replica::new(ReplicaId(0));
+            for i in 0..100u64 {
+                let mut tx = r.begin();
+                tx.ensure("set", ObjectKind::AWSet).unwrap();
+                tx.aw_add("set", Val::int(i as i64)).unwrap();
+                tx.commit();
+            }
+            black_box(r.stats.commits)
+        })
+    });
+}
+
+fn bench_replication(c: &mut Criterion) {
+    c.bench_function("store/receive_100_batches", |b| {
+        // Pre-build batches at an origin replica.
+        let mut origin = Replica::new(ReplicaId(0));
+        let mut batches = Vec::new();
+        for i in 0..100u64 {
+            let mut tx = origin.begin();
+            tx.ensure("set", ObjectKind::AWSet).unwrap();
+            tx.aw_add("set", Val::int(i as i64)).unwrap();
+            tx.commit();
+            batches.extend(origin.take_outbox());
+        }
+        b.iter(|| {
+            let mut dest = Replica::new(ReplicaId(1));
+            for batch in &batches {
+                dest.receive(batch.clone());
+            }
+            black_box(dest.stats.batches_applied)
+        })
+    });
+}
+
+fn bench_gc(c: &mut Criterion) {
+    c.bench_function("store/gc_after_churn", |b| {
+        // Two replicas with churned rem-wins state, fully exchanged.
+        let build = || {
+            let mut a = Replica::new(ReplicaId(0));
+            let mut peer = Replica::new(ReplicaId(1));
+            for i in 0..200u64 {
+                let mut tx = a.begin();
+                tx.ensure("rw", ObjectKind::RWSet).unwrap();
+                if i % 2 == 0 {
+                    tx.rw_add("rw", Val::int(i as i64 % 50)).unwrap();
+                } else {
+                    tx.rw_remove("rw", Val::int(i as i64 % 50)).unwrap();
+                }
+                tx.commit();
+            }
+            for batch in a.take_outbox() {
+                peer.receive(batch);
+            }
+            let mut tx = peer.begin();
+            tx.ensure("ack", ObjectKind::PNCounter).unwrap();
+            tx.counter_add("ack", 1).unwrap();
+            tx.commit();
+            for batch in peer.take_outbox() {
+                a.receive(batch);
+            }
+            a
+        };
+        let replicas = [ReplicaId(0), ReplicaId(1)];
+        b.iter(|| {
+            let mut a = build();
+            a.run_gc(&replicas);
+            black_box(a.stats.gc_runs)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_commit_path, bench_replication, bench_gc
+}
+criterion_main!(benches);

@@ -1,0 +1,10 @@
+//! Regenerate Figure 4 (Tournament throughput/latency). `--quick` shrinks the sweep.
+fn main() {
+    let quick = ipa_bench::quick_flag();
+    let points = ipa_bench::figures::fig4::run(quick);
+    ipa_bench::figures::fig4::print(&points);
+    println!();
+    for line in ipa_bench::figures::fig4::shape_report(&points) {
+        println!("shape: {line}");
+    }
+}

@@ -1,0 +1,5 @@
+//! Regenerate Figure 5 (per-operation latency, Tournament).
+fn main() {
+    let t = ipa_bench::figures::fig5::run(ipa_bench::quick_flag());
+    ipa_bench::figures::fig5::print(&t);
+}

@@ -1,0 +1,5 @@
+//! Regenerate Figure 6 (per-operation latency, Twitter strategies).
+fn main() {
+    let t = ipa_bench::figures::fig6::run(ipa_bench::quick_flag());
+    ipa_bench::figures::fig6::print(&t);
+}

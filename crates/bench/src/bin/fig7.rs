@@ -1,0 +1,5 @@
+//! Regenerate Figure 7 (Ticket throughput/latency + violations).
+fn main() {
+    let points = ipa_bench::figures::fig7::run(ipa_bench::quick_flag());
+    ipa_bench::figures::fig7::print(&points);
+}

@@ -1,0 +1,5 @@
+//! Regenerate Figure 8 (micro speed-ups, IPA vs Strong).
+fn main() {
+    let (top, bottom) = ipa_bench::figures::fig8::run(ipa_bench::quick_flag());
+    ipa_bench::figures::fig8::print(&top, &bottom);
+}

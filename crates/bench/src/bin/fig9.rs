@@ -1,0 +1,5 @@
+//! Regenerate Figure 9 (reservation contention, IPA vs Indigo).
+fn main() {
+    let points = ipa_bench::figures::fig9::run(ipa_bench::quick_flag());
+    ipa_bench::figures::fig9::print(&points);
+}

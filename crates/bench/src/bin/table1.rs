@@ -1,0 +1,5 @@
+//! Regenerate Table 1 (invariant class coverage).
+fn main() {
+    let rows = ipa_bench::figures::table1::run();
+    ipa_bench::figures::table1::print(&rows);
+}

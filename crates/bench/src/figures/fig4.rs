@@ -1,0 +1,103 @@
+//! **Figure 4** — Peak throughput vs. latency for the Tournament
+//! application under the four configurations (Strong, Indigo, IPA,
+//! Causal). "To test the scalability of the system, we increase the
+//! number of clients contacting each server ... until peak throughput is
+//! achieved" (§5.2.2).
+
+use crate::runner::{run_tournament, Budget, RunSummary};
+use ipa_apps::Mode;
+
+/// One point of the latency/throughput curve.
+#[derive(Clone, Debug)]
+pub struct Point {
+    pub mode: Mode,
+    pub clients_per_region: usize,
+    pub throughput: f64,
+    pub mean_ms: f64,
+    pub p95_ms: f64,
+}
+
+/// Sweep client counts for every mode.
+pub fn run(quick: bool) -> Vec<Point> {
+    let budget = Budget::pick(quick);
+    let clients: &[usize] =
+        if quick { &[1, 4] } else { &[1, 2, 4, 8, 16, 32, 48] };
+    let mut out = Vec::new();
+    for mode in Mode::all() {
+        for &c in clients {
+            let (sim, _) = run_tournament(mode, c, 4242 + c as u64, budget);
+            let s = RunSummary::from_sim(&sim);
+            out.push(Point {
+                mode,
+                clients_per_region: c,
+                throughput: s.throughput,
+                mean_ms: s.mean_ms,
+                p95_ms: s.p95_ms,
+            });
+        }
+    }
+    out
+}
+
+pub fn print(points: &[Point]) {
+    println!("Figure 4: Peak throughput for Tournament (latency vs throughput).");
+    println!(
+        "{:<8} {:>8} {:>12} {:>12} {:>12}",
+        "Config", "Clients", "TP [TP/s]", "mean [ms]", "p95 [ms]"
+    );
+    let mut last_mode = None;
+    for p in points {
+        if last_mode != Some(p.mode) {
+            println!("{}", crate::runner::rule(56));
+            last_mode = Some(p.mode);
+        }
+        println!(
+            "{:<8} {:>8} {:>12.1} {:>12.2} {:>12.2}",
+            p.mode.to_string(),
+            p.clients_per_region,
+            p.throughput,
+            p.mean_ms,
+            p.p95_ms
+        );
+    }
+}
+
+/// The qualitative shape assertions the paper makes (used by tests and
+/// the experiment log).
+pub fn shape_report(points: &[Point]) -> Vec<String> {
+    let best = |mode: Mode| -> (f64, f64) {
+        points
+            .iter()
+            .filter(|p| p.mode == mode)
+            .map(|p| (p.throughput, p.mean_ms))
+            .fold((0.0f64, 0.0f64), |(bt, bm), (t, m)| if t > bt { (t, m) } else { (bt, bm) })
+    };
+    let low_load_mean = |mode: Mode| -> f64 {
+        points
+            .iter()
+            .filter(|p| p.mode == mode)
+            .map(|p| (p.clients_per_region, p.mean_ms))
+            .min_by_key(|(c, _)| *c)
+            .map(|(_, m)| m)
+            .unwrap_or(0.0)
+    };
+    let mut out = Vec::new();
+    let (causal_tp, _) = best(Mode::Causal);
+    let (ipa_tp, _) = best(Mode::Ipa);
+    let (strong_tp, _) = best(Mode::Strong);
+    out.push(format!(
+        "peak throughput: Causal {causal_tp:.0} ≥ IPA {ipa_tp:.0} > Strong {strong_tp:.0} TP/s"
+    ));
+    out.push(format!(
+        "low-load latency: Causal {:.1}ms ≤ IPA {:.1}ms ≪ Strong {:.1}ms",
+        low_load_mean(Mode::Causal),
+        low_load_mean(Mode::Ipa),
+        low_load_mean(Mode::Strong)
+    ));
+    out.push(format!(
+        "Indigo low-load latency {:.1}ms sits near IPA {:.1}ms",
+        low_load_mean(Mode::Indigo),
+        low_load_mean(Mode::Ipa)
+    ));
+    out
+}

@@ -1,0 +1,55 @@
+//! **Figure 5** — Latency of individual operations in Tournament for
+//! Indigo / IPA / Causal at a fixed moderate load (§5.2.2): Indigo shows
+//! higher means and much larger standard deviation (occasional
+//! reservation exchanges); IPA is only slightly above Causal (extra
+//! update effects).
+
+use crate::runner::{run_tournament, Budget};
+use ipa_apps::Mode;
+use std::collections::BTreeMap;
+
+pub const OPS: [&str; 7] =
+    ["Begin", "Finish", "Remove", "DoMatch", "Enroll", "Disenroll", "Status"];
+
+/// mean/σ per (operation, mode).
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    pub cells: BTreeMap<(String, Mode), (f64, f64)>,
+}
+
+pub fn run(quick: bool) -> Table {
+    let budget = Budget::pick(quick);
+    let mut cells = BTreeMap::new();
+    for mode in [Mode::Indigo, Mode::Ipa, Mode::Causal] {
+        let (sim, _) = run_tournament(mode, 4, 99, budget);
+        for op in OPS {
+            if let Some(s) = sim.metrics.summary(op) {
+                cells.insert((op.to_owned(), mode), (s.mean_ms, s.std_ms));
+            }
+        }
+    }
+    Table { cells }
+}
+
+pub fn print(t: &Table) {
+    println!("Figure 5: Latency of individual operations in Tournament (mean ± σ, ms).");
+    println!(
+        "{:<10} {:>18} {:>18} {:>18}",
+        "Operation", "Indigo", "IPA", "Causal"
+    );
+    for op in OPS {
+        let cell = |mode: Mode| -> String {
+            t.cells
+                .get(&(op.to_owned(), mode))
+                .map(|(m, s)| format!("{m:8.2} ± {s:5.2}"))
+                .unwrap_or_else(|| "—".into())
+        };
+        println!(
+            "{:<10} {:>18} {:>18} {:>18}",
+            op,
+            cell(Mode::Indigo),
+            cell(Mode::Ipa),
+            cell(Mode::Causal)
+        );
+    }
+}

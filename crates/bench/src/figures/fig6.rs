@@ -1,0 +1,62 @@
+//! **Figure 6** — Latency of individual Twitter operations under
+//! Causal / Add-Wins / Rem-Wins (§5.2.3): the add-wins strategy pays for
+//! restoring users/tweets on write operations; the rem-wins strategy
+//! trades slightly more expensive timeline *reads* (compensation check)
+//! for cheap writes.
+
+use crate::runner::{run_twitter, Budget};
+use ipa_apps::twitter::runtime::Strategy;
+use std::collections::BTreeMap;
+
+pub const OPS: [&str; 8] = [
+    "Tweet",
+    "Retweet",
+    "Del. Tweet",
+    "Follow",
+    "Unfollow",
+    "Add user",
+    "Rem user",
+    "Timeline",
+];
+
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    pub cells: BTreeMap<(String, Strategy), (f64, f64)>,
+}
+
+pub fn run(quick: bool) -> Table {
+    let budget = Budget::pick(quick);
+    let mut cells = BTreeMap::new();
+    for strategy in [Strategy::Causal, Strategy::AddWins, Strategy::RemWins] {
+        let sim = run_twitter(strategy, 4, 4711, budget);
+        for op in OPS {
+            if let Some(s) = sim.metrics.summary(op) {
+                cells.insert((op.to_owned(), strategy), (s.mean_ms, s.std_ms));
+            }
+        }
+    }
+    Table { cells }
+}
+
+pub fn print(t: &Table) {
+    println!("Figure 6: Latency of individual operations in Twitter (mean ± σ, ms).");
+    println!(
+        "{:<11} {:>18} {:>18} {:>18}",
+        "Operation", "Causal", "Add-Wins", "Rem-Wins"
+    );
+    for op in OPS {
+        let cell = |s: Strategy| -> String {
+            t.cells
+                .get(&(op.to_owned(), s))
+                .map(|(m, sd)| format!("{m:8.2} ± {sd:5.2}"))
+                .unwrap_or_else(|| "—".into())
+        };
+        println!(
+            "{:<11} {:>18} {:>18} {:>18}",
+            op,
+            cell(Strategy::Causal),
+            cell(Strategy::AddWins),
+            cell(Strategy::RemWins)
+        );
+    }
+}

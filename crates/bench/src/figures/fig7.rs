@@ -1,0 +1,67 @@
+//! **Figure 7** — Peak throughput for the Ticket benchmark (§5.2.4):
+//! latency vs. throughput for Causal and IPA, with the number of
+//! invariant violations observed under Causal (the red dots). "As
+//! contention rises, the divergence window grows larger, increasing the
+//! chance for invariant violation."
+
+use crate::runner::{run_ticket, Budget, RunSummary};
+use ipa_apps::ticket::workload::final_oversell_count;
+use ipa_apps::Mode;
+
+#[derive(Clone, Debug)]
+pub struct Point {
+    pub mode: Mode,
+    pub clients_per_region: usize,
+    pub throughput: f64,
+    pub mean_ms: f64,
+    /// Violations observed during the run (Causal) — the red dots.
+    pub violations: u64,
+    /// Raw oversold pools at the end of the run (ground truth).
+    pub oversold_final: u64,
+}
+
+pub fn run(quick: bool) -> Vec<Point> {
+    let budget = Budget::pick(quick);
+    let clients: &[usize] = if quick { &[2, 8] } else { &[1, 2, 4, 8, 16, 32, 48] };
+    let mut out = Vec::new();
+    for mode in [Mode::Causal, Mode::Ipa] {
+        for &c in clients {
+            let (sim, w) = run_ticket(mode, c, 777 + c as u64, budget);
+            let s = RunSummary::from_sim(&sim);
+            out.push(Point {
+                mode,
+                clients_per_region: c,
+                throughput: s.throughput,
+                mean_ms: s.mean_ms,
+                violations: s.violations,
+                oversold_final: final_oversell_count(&sim, &w),
+            });
+        }
+    }
+    out
+}
+
+pub fn print(points: &[Point]) {
+    println!("Figure 7: Peak throughput for Ticket benchmark.");
+    println!("(violations are observed under Causal only; IPA compensates on read)");
+    println!(
+        "{:<8} {:>8} {:>12} {:>12} {:>12} {:>14}",
+        "Config", "Clients", "TP [TP/s]", "mean [ms]", "violations", "oversold@end"
+    );
+    let mut last_mode = None;
+    for p in points {
+        if last_mode != Some(p.mode) {
+            println!("{}", crate::runner::rule(70));
+            last_mode = Some(p.mode);
+        }
+        println!(
+            "{:<8} {:>8} {:>12.1} {:>12.2} {:>12} {:>14}",
+            p.mode.to_string(),
+            p.clients_per_region,
+            p.throughput,
+            p.mean_ms,
+            p.violations,
+            p.oversold_final
+        );
+    }
+}

@@ -1,0 +1,113 @@
+//! **Figure 9** — Latency of operations under varying reservation
+//! contention (§5.2.5): "IPA performance is equivalent to Indigo with no
+//! contention for reservations, and the latency of Indigo rises steadily
+//! as contention increases." The `N/A` column is IPA (no reservations at
+//! all).
+
+use ipa_apps::Mode;
+use ipa_coord::{Mode as ResMode, ReservationTable};
+use ipa_crdt::ObjectKind;
+use ipa_sim::{two_region_topology, ClientInfo, OpOutcome, SimConfig, SimCtx, Simulation, Workload};
+use rand::Rng;
+
+#[derive(Clone, Debug)]
+pub struct Point {
+    /// None = IPA (no reservations); Some(pct) = Indigo at that contention.
+    pub contention_pct: Option<u32>,
+    pub mean_ms: f64,
+    pub p95_ms: f64,
+    pub exchanges: u64,
+}
+
+/// Workload: every op performs one update. Under Indigo, `contention`
+/// percent of the operations need one global exclusive reservation that
+/// ping-pongs between the two regions; the rest use a reservation that
+/// stays local.
+struct Contended {
+    mode: Mode,
+    contention: f64,
+    table: ReservationTable,
+    seq: u64,
+}
+
+impl Workload for Contended {
+    fn setup(&mut self, _ctx: &mut SimCtx<'_>) {
+        self.table.grant("hot", 0, ResMode::Exclusive);
+        self.table.grant("local:0", 0, ResMode::Exclusive);
+        self.table.grant("local:1", 1, ResMode::Exclusive);
+    }
+
+    fn op(&mut self, ctx: &mut SimCtx<'_>, client: ClientInfo) -> OpOutcome {
+        let mut extra = 0.0;
+        if self.mode == Mode::Indigo {
+            let contended = ctx.rng().gen::<f64>() < self.contention;
+            let res = if contended {
+                "hot".to_owned()
+            } else {
+                format!("local:{}", client.region)
+            };
+            match self.table.acquire(ctx, &res, client.region, ResMode::Exclusive) {
+                Some(c) => extra = c,
+                None => return OpOutcome::unavailable("op"),
+            }
+        }
+        self.seq += 1;
+        ctx.commit(client.region, |tx| {
+            tx.ensure("counter", ObjectKind::PNCounter)?;
+            tx.counter_add("counter", 1)
+        })
+        .expect("commit");
+        OpOutcome { label: "op", objects: 1, updates: 1, extra_wan_ms: extra, ok: true, violations: 0 }
+    }
+}
+
+pub fn run(quick: bool) -> Vec<Point> {
+    let pcts: &[u32] = if quick { &[0, 20] } else { &[0, 2, 5, 10, 20, 50] };
+    let mut out = Vec::new();
+    let measure = |mode: Mode, pct: u32| -> (f64, f64, u64) {
+        let cfg = SimConfig {
+            clients_per_region: 2,
+            think_time_ms: 10.0,
+            warmup_s: if quick { 0.2 } else { 0.5 },
+            duration_s: if quick { 1.5 } else { 6.0 },
+            seed: 31337 + u64::from(pct),
+            ..Default::default()
+        };
+        let mut sim = Simulation::new(two_region_topology(), cfg);
+        let mut w = Contended {
+            mode,
+            contention: f64::from(pct) / 100.0,
+            table: ReservationTable::new(),
+            seq: 0,
+        };
+        sim.run(&mut w);
+        let s = sim.metrics.overall().expect("ops ran");
+        (s.mean_ms, s.p95_ms, w.table.exchanges)
+    };
+    // N/A: IPA without reservations.
+    let (mean, p95, _) = measure(Mode::Ipa, 0);
+    out.push(Point { contention_pct: None, mean_ms: mean, p95_ms: p95, exchanges: 0 });
+    for &pct in pcts {
+        let (mean, p95, exchanges) = measure(Mode::Indigo, pct);
+        out.push(Point { contention_pct: Some(pct), mean_ms: mean, p95_ms: p95, exchanges });
+    }
+    out
+}
+
+pub fn print(points: &[Point]) {
+    println!("Figure 9: Latency under reservation contention (IPA vs Indigo).");
+    println!(
+        "{:>12} {:>10} {:>10} {:>10}",
+        "contention", "mean [ms]", "p95 [ms]", "exchanges"
+    );
+    for p in points {
+        let label = match p.contention_pct {
+            None => "N/A (IPA)".to_owned(),
+            Some(pct) => format!("{pct}%"),
+        };
+        println!(
+            "{:>12} {:>10.2} {:>10.2} {:>10}",
+            label, p.mean_ms, p.p95_ms, p.exchanges
+        );
+    }
+}

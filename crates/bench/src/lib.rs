@@ -1,0 +1,21 @@
+//! # ipa-bench — the benchmark harness regenerating the paper's evaluation
+//!
+//! One module per table/figure of §5; each exposes a `run(params)`
+//! function returning structured rows (so integration tests can
+//! smoke-check them with tiny parameters) and a `print` helper producing
+//! the paper-style output. The `src/bin/` wrappers are thin CLI shims:
+//!
+//! ```text
+//! cargo run -p ipa-bench --release --bin table1
+//! cargo run -p ipa-bench --release --bin fig4 [-- --quick]
+//! cargo run -p ipa-bench --release --bin fig5 ...
+//! cargo run -p ipa-bench --release --bin all          # everything
+//! ```
+//!
+//! All runs are seeded and deterministic; latencies are simulated
+//! milliseconds over the paper's 3-region topology (§5.2.1).
+
+pub mod figures;
+pub mod runner;
+
+pub use runner::{quick_flag, RunSummary};

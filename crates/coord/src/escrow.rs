@@ -1,0 +1,193 @@
+//! Escrow reservations (Indigo's numeric reservations; O'Neil's escrow
+//! method [35], Balegas et al. SRDS'15 [11]).
+//!
+//! Rights to decrement a bounded quantity (stock, remaining tickets) are
+//! partitioned among replicas. A replica consumes local rights for free;
+//! when it runs out it fetches rights from the richest peer, paying a
+//! round trip. When no rights remain anywhere the operation correctly
+//! fails (the bound is truly exhausted).
+
+use ipa_sim::{Region, SimCtx};
+use std::collections::{BTreeMap, HashMap};
+
+/// Outcome of an escrow acquisition.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum EscrowOutcome {
+    /// Rights consumed locally.
+    Local,
+    /// Rights fetched from a peer at this WAN cost (ms).
+    Fetched(f64),
+    /// The global bound is exhausted — the operation must fail
+    /// *correctly* (this is Indigo preserving the invariant).
+    Exhausted,
+    /// Rights exist but their holders are unreachable.
+    Unavailable,
+}
+
+/// Per-resource escrow rights bookkeeping.
+#[derive(Clone, Debug, Default)]
+pub struct EscrowTable {
+    rights: HashMap<String, BTreeMap<Region, i64>>,
+    pub fetches: u64,
+}
+
+impl EscrowTable {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Seed a resource with initial rights at a replica.
+    pub fn grant(&mut self, res: impl Into<String>, region: Region, units: i64) {
+        *self.rights.entry(res.into()).or_default().entry(region).or_insert(0) += units;
+    }
+
+    /// Split `units` evenly across `regions`.
+    pub fn grant_evenly(&mut self, res: impl Into<String>, regions: u16, units: i64) {
+        let res = res.into();
+        let per = units / i64::from(regions);
+        let mut rem = units - per * i64::from(regions);
+        for r in 0..regions {
+            let extra = if rem > 0 { 1 } else { 0 };
+            rem -= extra;
+            self.grant(res.clone(), r, per + extra);
+        }
+    }
+
+    pub fn local_rights(&self, res: &str, region: Region) -> i64 {
+        self.rights.get(res).and_then(|m| m.get(&region)).copied().unwrap_or(0)
+    }
+
+    pub fn total_rights(&self, res: &str) -> i64 {
+        self.rights.get(res).map(|m| m.values().sum()).unwrap_or(0)
+    }
+
+    /// Consume `n` rights at `region`, fetching from the richest
+    /// reachable peer when short. Fetches move half the donor's rights
+    /// (amortizing future requests, as Indigo does).
+    pub fn acquire(
+        &mut self,
+        ctx: &mut SimCtx<'_>,
+        res: &str,
+        region: Region,
+        n: i64,
+    ) -> EscrowOutcome {
+        let Some(map) = self.rights.get_mut(res) else { return EscrowOutcome::Exhausted };
+        let local = map.get(&region).copied().unwrap_or(0);
+        if local >= n {
+            *map.entry(region).or_insert(0) -= n;
+            return EscrowOutcome::Local;
+        }
+        let total: i64 = map.values().sum();
+        if total < n {
+            return EscrowOutcome::Exhausted;
+        }
+        // Fetch from the richest reachable donor.
+        let donor = map
+            .iter()
+            .filter(|(&r, &units)| r != region && units > 0 && ctx.link_up(region, r))
+            .max_by_key(|(_, &units)| units)
+            .map(|(&r, &units)| (r, units));
+        let Some((donor, donor_units)) = donor else {
+            return EscrowOutcome::Unavailable;
+        };
+        let needed = n - local;
+        let moved = (donor_units / 2).max(needed).min(donor_units);
+        *map.entry(donor).or_insert(0) -= moved;
+        *map.entry(region).or_insert(0) += moved;
+        self.fetches += 1;
+        let cost = ctx.rtt(region, donor);
+        // Retry locally (recursion depth ≤ peers).
+        match self.acquire(ctx, res, region, n) {
+            EscrowOutcome::Local => EscrowOutcome::Fetched(cost),
+            EscrowOutcome::Fetched(more) => EscrowOutcome::Fetched(cost + more),
+            other => other,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipa_sim::{two_region_topology, ClientInfo, OpOutcome, SimConfig, Simulation, Workload};
+
+    struct Driver<F: FnMut(&mut SimCtx<'_>)> {
+        f: F,
+        ran: bool,
+    }
+
+    impl<F: FnMut(&mut SimCtx<'_>)> Workload for Driver<F> {
+        fn op(&mut self, ctx: &mut SimCtx<'_>, _c: ClientInfo) -> OpOutcome {
+            if !self.ran {
+                (self.f)(ctx);
+                self.ran = true;
+            }
+            OpOutcome::ok("drive", 1, 1)
+        }
+    }
+
+    fn drive(f: impl FnMut(&mut SimCtx<'_>)) {
+        let cfg = SimConfig { warmup_s: 0.0, duration_s: 0.2, ..Default::default() };
+        let mut sim = Simulation::new(two_region_topology(), cfg);
+        let mut d = Driver { f, ran: false };
+        sim.run(&mut d);
+        assert!(d.ran);
+    }
+
+    #[test]
+    fn local_rights_are_free() {
+        drive(|ctx| {
+            let mut e = EscrowTable::new();
+            e.grant("stock:i1", 0, 10);
+            assert_eq!(e.acquire(ctx, "stock:i1", 0, 3), EscrowOutcome::Local);
+            assert_eq!(e.local_rights("stock:i1", 0), 7);
+        });
+    }
+
+    #[test]
+    fn fetch_when_short_pays_rtt() {
+        drive(|ctx| {
+            let mut e = EscrowTable::new();
+            e.grant("s", 0, 10);
+            match e.acquire(ctx, "s", 1, 2) {
+                EscrowOutcome::Fetched(cost) => assert!((72.0..=88.0).contains(&cost), "{cost}"),
+                other => panic!("expected fetch, got {other:?}"),
+            }
+            assert_eq!(e.fetches, 1);
+            assert_eq!(e.total_rights("s"), 8);
+        });
+    }
+
+    #[test]
+    fn exhausted_bound_fails_correctly() {
+        drive(|ctx| {
+            let mut e = EscrowTable::new();
+            e.grant("s", 0, 1);
+            assert_eq!(e.acquire(ctx, "s", 0, 1), EscrowOutcome::Local);
+            assert_eq!(e.acquire(ctx, "s", 0, 1), EscrowOutcome::Exhausted);
+            assert_eq!(e.acquire(ctx, "s", 1, 1), EscrowOutcome::Exhausted);
+        });
+    }
+
+    #[test]
+    fn partition_blocks_fetch() {
+        drive(|ctx| {
+            let mut e = EscrowTable::new();
+            e.grant("s", 0, 10);
+            ctx.set_link(0, 1, false);
+            assert_eq!(e.acquire(ctx, "s", 1, 1), EscrowOutcome::Unavailable);
+            ctx.set_link(0, 1, true);
+            assert!(matches!(e.acquire(ctx, "s", 1, 1), EscrowOutcome::Fetched(_)));
+        });
+    }
+
+    #[test]
+    fn even_grants_split_units() {
+        let mut e = EscrowTable::new();
+        e.grant_evenly("s", 3, 10);
+        let total: i64 = (0..3).map(|r| e.local_rights("s", r)).sum();
+        assert_eq!(total, 10);
+        assert_eq!(e.local_rights("s", 0), 4);
+        assert_eq!(e.local_rights("s", 1), 3);
+        assert_eq!(e.local_rights("s", 2), 3);
+    }
+}

@@ -1,0 +1,30 @@
+//! # ipa-coord — coordination baselines for the IPA evaluation
+//!
+//! The two comparison systems of §5.2.1, rebuilt on the simulator:
+//!
+//! * **Strong consistency** ([`StrongCoordinator`]): every update is
+//!   forwarded to a single primary replica (US-EAST in the paper) and
+//!   serialized there. Remote clients pay a WAN round trip per update;
+//!   a partition between a client's region and the primary makes updates
+//!   unavailable.
+//! * **Indigo-style reservations** ([`IndigoCoordinator`]): conflicting
+//!   operations must hold a *reservation* before executing. Reservations
+//!   live at replicas and are exchanged pairwise and asynchronously
+//!   (§5.2.5): an operation whose reservation is resident executes at
+//!   local latency; otherwise it pays a round trip to the current holder.
+//!   Shared/exclusive modes model Indigo's multi-level locks and
+//!   [`EscrowTable`] models its escrow (numeric) reservations.
+//!
+//! Both coordinators are *workload-layer* components: the application
+//! calls them to learn the extra WAN delay (or unavailability) an
+//! operation incurs, then executes its transaction through `ipa-sim`.
+
+pub mod escrow;
+pub mod plan;
+pub mod reservation;
+pub mod strong;
+
+pub use escrow::EscrowTable;
+pub use plan::{coordination_plan, PlanEntry, ReservationPlan};
+pub use reservation::{IndigoCoordinator, Mode, ReservationTable};
+pub use strong::StrongCoordinator;

@@ -1,0 +1,80 @@
+//! Strong consistency via primary forwarding (§5.2.1: "all update
+//! operations are forwarded to a single server to enforce serialization.
+//! We use the US-EAST replica").
+
+use ipa_sim::{Region, SimCtx};
+
+/// Primary-forwarding coordinator.
+#[derive(Clone, Copy, Debug)]
+pub struct StrongCoordinator {
+    primary: Region,
+}
+
+impl StrongCoordinator {
+    pub fn new(primary: Region) -> Self {
+        StrongCoordinator { primary }
+    }
+
+    pub fn primary(&self) -> Region {
+        self.primary
+    }
+
+    /// The WAN delay an update from `from` pays to reach the primary and
+    /// return. `None` when the link is partitioned (update unavailable —
+    /// the price of strong consistency).
+    pub fn forward_cost(&self, ctx: &mut SimCtx<'_>, from: Region) -> Option<f64> {
+        if from == self.primary {
+            return Some(0.0);
+        }
+        if !ctx.link_up(from, self.primary) {
+            return None;
+        }
+        Some(ctx.rtt(from, self.primary))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipa_sim::{paper_topology, ClientInfo, OpOutcome, SimConfig, Simulation, Workload};
+
+    struct Probe {
+        coord: StrongCoordinator,
+        costs: Vec<(Region, f64)>,
+        partition_checked: bool,
+    }
+
+    impl Workload for Probe {
+        fn op(&mut self, ctx: &mut SimCtx<'_>, client: ClientInfo) -> OpOutcome {
+            if let Some(c) = self.coord.forward_cost(ctx, client.region) {
+                self.costs.push((client.region, c));
+            }
+            if !self.partition_checked && client.region == 1 {
+                ctx.set_link(1, 0, false);
+                assert!(self.coord.forward_cost(ctx, 1).is_none(), "partitioned => unavailable");
+                ctx.set_link(1, 0, true);
+                self.partition_checked = true;
+            }
+            OpOutcome::ok("probe", 1, 1)
+        }
+    }
+
+    #[test]
+    fn forwarding_costs_match_topology() {
+        let cfg = SimConfig { warmup_s: 0.1, duration_s: 0.5, ..Default::default() };
+        let mut sim = Simulation::new(paper_topology(), cfg);
+        let mut probe = Probe {
+            coord: StrongCoordinator::new(0),
+            costs: Vec::new(),
+            partition_checked: false,
+        };
+        sim.run(&mut probe);
+        assert!(probe.partition_checked);
+        for (region, cost) in &probe.costs {
+            match region {
+                0 => assert_eq!(*cost, 0.0, "primary pays nothing"),
+                _ => assert!((72.0..=88.0).contains(cost), "80ms RTT ±10%: {cost}"),
+            }
+        }
+    }
+}

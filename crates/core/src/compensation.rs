@@ -1,0 +1,160 @@
+//! Compensation generation (§3.4, §4.2.2).
+//!
+//! For numeric/aggregation invariants the analysis emits *compensations*:
+//! extra effects executed in a separate operation, applied only when a
+//! violation is actually observed. The generated actions are commutative,
+//! idempotent and monotonic, so replicas that independently detect the same
+//! violation converge (§3.4). At runtime the `ipa-crdt` `CompensationSet`
+//! enacts them on read.
+
+use crate::numeric::{BoundKind, NumericConflict};
+use ipa_spec::{Formula, Symbol};
+use std::fmt;
+
+/// The repair action a compensation performs once the constraint is
+/// observed violated.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CompAction {
+    /// Deterministically remove elements from the counted collection until
+    /// the bound holds (e.g. disenroll the latest players over capacity,
+    /// cancel oversold tickets and reimburse). Deterministic choice makes
+    /// the action commutative and idempotent across replicas (§4.2.2).
+    RemoveExcess { pred: Symbol },
+    /// Raise the numeric value back to the bound (e.g. replenish stock, as
+    /// in TPC-C/W's specified behaviour).
+    Replenish { pred: Symbol },
+    /// Cancel the surplus operations that pushed the value past the bound
+    /// (e.g. cancel purchases and reimburse — the FusionTicket policy).
+    CancelExcess { pred: Symbol },
+}
+
+impl fmt::Display for CompAction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompAction::RemoveExcess { pred } => {
+                write!(f, "remove excess elements of {pred} (deterministic order)")
+            }
+            CompAction::Replenish { pred } => write!(f, "replenish {pred} up to the bound"),
+            CompAction::CancelExcess { pred } => {
+                write!(f, "cancel surplus updates of {pred} and compensate the client")
+            }
+        }
+    }
+}
+
+/// A compensation: which constraint to watch, which operations may trigger
+/// it, and the candidate actions the programmer can choose from.
+#[derive(Clone, Debug)]
+pub struct Compensation {
+    pub clause: Formula,
+    pub clause_idx: usize,
+    pub pred: Symbol,
+    pub bound: BoundKind,
+    pub is_count: bool,
+    /// Operations after which the constraint must be (lazily) re-checked.
+    pub trigger_ops: Vec<Symbol>,
+    /// Candidate actions, most conventional first.
+    pub actions: Vec<CompAction>,
+}
+
+impl Compensation {
+    /// The default (first) action.
+    pub fn action(&self) -> &CompAction {
+        &self.actions[0]
+    }
+}
+
+impl fmt::Display for Compensation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "when `{}` is violated (after ",
+            self.clause
+        )?;
+        for (i, op) in self.trigger_ops.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{op}")?;
+        }
+        write!(f, "): {}", self.action())
+    }
+}
+
+/// Derive a compensation from a detected numeric conflict.
+pub fn compensation_for(nc: &NumericConflict) -> Compensation {
+    let actions = match (nc.is_count, nc.bound) {
+        // Oversized collection: drop deterministic excess (Ticket,
+        // Tournament capacity).
+        (true, BoundKind::Upper) => vec![
+            CompAction::RemoveExcess { pred: nc.pred.clone() },
+            CompAction::CancelExcess { pred: nc.pred.clone() },
+        ],
+        // Undersized collection: nothing can be conjured; cancel the
+        // removals that broke the floor.
+        (true, BoundKind::Lower) => vec![CompAction::CancelExcess { pred: nc.pred.clone() }],
+        // Numeric value below floor: replenish (TPC-C/W restock) or cancel
+        // surplus purchases (FusionTicket reimburse).
+        (false, BoundKind::Lower) => vec![
+            CompAction::Replenish { pred: nc.pred.clone() },
+            CompAction::CancelExcess { pred: nc.pred.clone() },
+        ],
+        // Numeric value above ceiling: cancel the surplus increments.
+        (false, BoundKind::Upper) => vec![CompAction::CancelExcess { pred: nc.pred.clone() }],
+        // Exact constraints: cancel any concurrent surplus.
+        (_, BoundKind::Exact) => vec![CompAction::CancelExcess { pred: nc.pred.clone() }],
+    };
+    Compensation {
+        clause: nc.clause.clone(),
+        clause_idx: nc.clause_idx,
+        pred: nc.pred.clone(),
+        bound: nc.bound,
+        is_count: nc.is_count,
+        trigger_ops: nc.risky_ops.iter().map(|(n, _)| n.clone()).collect(),
+        actions,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::numeric::numeric_conflicts;
+    use ipa_spec::AppSpecBuilder;
+
+    #[test]
+    fn ticket_compensation_cancels_or_removes() {
+        let spec = AppSpecBuilder::new("ticket")
+            .sort("Event")
+            .sort("User")
+            .predicate_bool("sold", &["User", "Event"])
+            .constant("Capacity", 10)
+            .invariant_str("forall(Event: e) :- #sold(*, e) <= Capacity")
+            .operation("buy", &[("u", "User"), ("e", "Event")], |op| {
+                op.set_true("sold", &["u", "e"])
+            })
+            .build()
+            .unwrap();
+        let ncs = numeric_conflicts(&spec);
+        assert_eq!(ncs.len(), 1);
+        let comp = compensation_for(&ncs[0]);
+        assert!(matches!(comp.action(), CompAction::RemoveExcess { .. }));
+        assert_eq!(comp.trigger_ops, vec![Symbol::new("buy")]);
+        let txt = comp.to_string();
+        assert!(txt.contains("remove excess"), "{txt}");
+    }
+
+    #[test]
+    fn stock_compensation_replenishes() {
+        let spec = AppSpecBuilder::new("tpc")
+            .sort("Item")
+            .predicate_num("stock", &["Item"])
+            .invariant_str("forall(Item: i) :- stock(i) >= 0")
+            .operation("purchase", &[("i", "Item")], |op| op.dec("stock", &["i"], 1))
+            .build()
+            .unwrap();
+        let ncs = numeric_conflicts(&spec);
+        let comp = compensation_for(&ncs[0]);
+        assert!(matches!(comp.action(), CompAction::Replenish { .. }));
+        assert_eq!(comp.actions.len(), 2, "cancel is offered as an alternative");
+    }
+}

@@ -1,0 +1,307 @@
+//! Symbolic direction analysis for numeric and aggregation invariants
+//! (§3.4, Table 1).
+//!
+//! Bounded counting constraints (`#enrolled(*,t) <= Capacity`) cannot be
+//! repaired by adding effects with reasonable semantics — "the repair would
+//! be to disenroll a player whenever a player enrolls" — and the small
+//! scope of the SAT check cannot witness overflows of large bounds anyway.
+//! This module detects, per numeric invariant clause, every pair of
+//! operations that concurrently push the constrained measure toward its
+//! bound; the pipeline turns each such conflict into a *compensation*
+//! instead of an effect repair.
+
+use ipa_spec::{
+    AppSpec, CmpOp, EffectKind, Formula, NumExpr, Operation, PredicateKind, Symbol,
+};
+use std::fmt;
+
+/// Which side of the comparison the measure is bounded on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BoundKind {
+    /// `measure <= k` (or `<`): concurrent increases are dangerous.
+    Upper,
+    /// `measure >= k` (or `>`): concurrent decreases are dangerous.
+    Lower,
+    /// `measure == k`: any concurrent writers are dangerous.
+    Exact,
+}
+
+impl fmt::Display for BoundKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BoundKind::Upper => write!(f, "upper bound"),
+            BoundKind::Lower => write!(f, "lower bound"),
+            BoundKind::Exact => write!(f, "exact value"),
+        }
+    }
+}
+
+/// A numeric invariant clause that concurrent operations can violate.
+#[derive(Clone, Debug)]
+pub struct NumericConflict {
+    /// Index of the clause in `spec.invariants`.
+    pub clause_idx: usize,
+    pub clause: Formula,
+    /// The constrained predicate.
+    pub pred: Symbol,
+    /// True when the measure is a count of a boolean predicate
+    /// (aggregation constraint); false for a numeric predicate's value.
+    pub is_count: bool,
+    pub bound: BoundKind,
+    /// Operations that move the measure toward the bound, with their net
+    /// per-execution direction (+1 increases, −1 decreases; magnitude is
+    /// the static effect count/delta).
+    pub risky_ops: Vec<(Symbol, i64)>,
+}
+
+impl NumericConflict {
+    /// All unordered pairs of risky operations (including self-pairs:
+    /// `buy ∥ buy` is the canonical oversell race).
+    pub fn pairs(&self) -> Vec<(Symbol, Symbol)> {
+        let mut out = Vec::new();
+        for i in 0..self.risky_ops.len() {
+            for j in i..self.risky_ops.len() {
+                out.push((self.risky_ops[i].0.clone(), self.risky_ops[j].0.clone()));
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for NumericConflict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} on {} ({}) threatened by ",
+            self.bound,
+            self.pred,
+            if self.is_count { "count" } else { "value" }
+        )?;
+        for (i, (op, d)) in self.risky_ops.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{op}({:+})", d)?;
+        }
+        Ok(())
+    }
+}
+
+/// The normalized shape of a numeric clause body: a single count/value
+/// term with unit coefficient compared against a constant.
+struct NumericShape {
+    pred: Symbol,
+    is_count: bool,
+    bound: BoundKind,
+}
+
+/// Extract the numeric shape of a clause, if it is (under a `forall`
+/// prefix) a single comparison in the supported fragment.
+fn numeric_shape(clause: &Formula) -> Option<NumericShape> {
+    let body = match clause {
+        Formula::Forall(_, b) => b.as_ref(),
+        other => other,
+    };
+    let Formula::Cmp(l, op, r) = body else { return None };
+    // Collect (sign, atom, is_count) terms from both sides of `l - r`.
+    let mut terms: Vec<(i64, Symbol, bool)> = Vec::new();
+    collect_terms(l, 1, &mut terms)?;
+    collect_terms(r, -1, &mut terms)?;
+    if terms.len() != 1 {
+        return None;
+    }
+    let (sign, pred, is_count) = terms.pop().expect("len checked");
+    let effective = if sign >= 0 { *op } else { op.flip() };
+    let bound = match effective {
+        CmpOp::Le | CmpOp::Lt => BoundKind::Upper,
+        CmpOp::Ge | CmpOp::Gt => BoundKind::Lower,
+        CmpOp::Eq => BoundKind::Exact,
+        CmpOp::Ne => return None, // disequality is not a bound
+    };
+    Some(NumericShape { pred, is_count, bound })
+}
+
+fn collect_terms(e: &NumExpr, sign: i64, out: &mut Vec<(i64, Symbol, bool)>) -> Option<()> {
+    match e {
+        NumExpr::Const(_) | NumExpr::Named(_) => Some(()),
+        NumExpr::Count(a) => {
+            out.push((sign, a.pred.clone(), true));
+            Some(())
+        }
+        NumExpr::Value(a) => {
+            out.push((sign, a.pred.clone(), false));
+            Some(())
+        }
+        NumExpr::Add(l, r) => {
+            collect_terms(l, sign, out)?;
+            collect_terms(r, sign, out)
+        }
+        NumExpr::Sub(l, r) => {
+            collect_terms(l, sign, out)?;
+            collect_terms(r, -sign, out)
+        }
+    }
+}
+
+/// The net direction an operation pushes the measure of `pred`.
+fn op_direction(op: &Operation, pred: &Symbol, is_count: bool) -> i64 {
+    let mut dir = 0i64;
+    for e in op.all_effects() {
+        if e.atom.pred != *pred {
+            continue;
+        }
+        dir += match (is_count, e.kind) {
+            (true, EffectKind::SetTrue) => 1,
+            (true, EffectKind::SetFalse) => -1,
+            (false, EffectKind::Inc(k)) => k,
+            (false, EffectKind::Dec(k)) => -k,
+            _ => 0,
+        };
+    }
+    dir
+}
+
+/// Find every numeric invariant clause threatened by concurrent
+/// executions, together with the operations that threaten it.
+pub fn numeric_conflicts(spec: &AppSpec) -> Vec<NumericConflict> {
+    let mut out = Vec::new();
+    for (idx, clause) in spec.invariants.iter().enumerate() {
+        let Some(shape) = numeric_shape(clause) else { continue };
+        // Sanity: count shapes need a boolean predicate, value shapes a
+        // numeric one.
+        match spec.predicate(&shape.pred).map(|d| d.kind) {
+            Some(PredicateKind::Bool) if shape.is_count => {}
+            Some(PredicateKind::Numeric) if !shape.is_count => {}
+            _ => continue,
+        }
+        let risky: Vec<(Symbol, i64)> = spec
+            .operations
+            .iter()
+            .filter_map(|op| {
+                let d = op_direction(op, &shape.pred, shape.is_count);
+                let dangerous = match shape.bound {
+                    BoundKind::Upper => d > 0,
+                    BoundKind::Lower => d < 0,
+                    BoundKind::Exact => d != 0,
+                };
+                dangerous.then(|| (op.name.clone(), d))
+            })
+            .collect();
+        if !risky.is_empty() {
+            out.push(NumericConflict {
+                clause_idx: idx,
+                clause: clause.clone(),
+                pred: shape.pred,
+                is_count: shape.is_count,
+                bound: shape.bound,
+                risky_ops: risky,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipa_spec::AppSpecBuilder;
+
+    fn ticket_spec() -> AppSpec {
+        AppSpecBuilder::new("ticket")
+            .sort("Event")
+            .sort("User")
+            .predicate_bool("sold", &["User", "Event"])
+            .predicate_num("remaining", &["Event"])
+            .constant("Capacity", 100)
+            .invariant_str("forall(Event: e) :- #sold(*, e) <= Capacity")
+            .invariant_str("forall(Event: e) :- remaining(e) >= 0")
+            .operation("buy_ticket", &[("u", "User"), ("e", "Event")], |op| {
+                op.set_true("sold", &["u", "e"]).dec("remaining", &["e"], 1)
+            })
+            .operation("refund", &[("u", "User"), ("e", "Event")], |op| {
+                op.set_false("sold", &["u", "e"]).inc("remaining", &["e"], 1)
+            })
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn capacity_and_stock_conflicts_detected() {
+        let spec = ticket_spec();
+        let ncs = numeric_conflicts(&spec);
+        assert_eq!(ncs.len(), 2);
+
+        let cap = ncs.iter().find(|c| c.is_count).expect("count conflict");
+        assert_eq!(cap.bound, BoundKind::Upper);
+        assert_eq!(cap.pred.as_str(), "sold");
+        assert_eq!(cap.risky_ops.len(), 1);
+        assert_eq!(cap.risky_ops[0].0.as_str(), "buy_ticket");
+        // buy ∥ buy is a risky self-pair.
+        assert_eq!(cap.pairs(), vec![(Symbol::new("buy_ticket"), Symbol::new("buy_ticket"))]);
+
+        let stock = ncs.iter().find(|c| !c.is_count).expect("value conflict");
+        assert_eq!(stock.bound, BoundKind::Lower);
+        assert_eq!(stock.pred.as_str(), "remaining");
+        assert_eq!(stock.risky_ops[0].0.as_str(), "buy_ticket");
+        assert_eq!(stock.risky_ops[0].1, -1);
+    }
+
+    #[test]
+    fn refund_is_not_risky_for_upper_bound() {
+        let spec = ticket_spec();
+        let ncs = numeric_conflicts(&spec);
+        for nc in &ncs {
+            assert!(
+                !nc.risky_ops.iter().any(|(n, _)| n.as_str() == "refund"),
+                "refund moves away from both bounds"
+            );
+        }
+    }
+
+    #[test]
+    fn boolean_only_specs_have_no_numeric_conflicts() {
+        let spec = AppSpecBuilder::new("bool")
+            .sort("X")
+            .predicate_bool("p", &["X"])
+            .invariant_str("forall(X: x) :- p(x) or not(p(x))")
+            .operation("set", &[("x", "X")], |op| op.set_true("p", &["x"]))
+            .build()
+            .unwrap();
+        assert!(numeric_conflicts(&spec).is_empty());
+    }
+
+    #[test]
+    fn reversed_bound_direction() {
+        // Capacity <= #active(*): a LOWER bound on the count.
+        let spec = AppSpecBuilder::new("quorum")
+            .sort("Node")
+            .predicate_bool("active", &["Node"])
+            .constant("Quorum", 3)
+            .invariant_str("Quorum <= #active(*)")
+            .operation("leave", &[("n", "Node")], |op| op.set_false("active", &["n"]))
+            .operation("join", &[("n", "Node")], |op| op.set_true("active", &["n"]))
+            .build()
+            .unwrap();
+        let ncs = numeric_conflicts(&spec);
+        assert_eq!(ncs.len(), 1);
+        assert_eq!(ncs[0].bound, BoundKind::Lower);
+        assert_eq!(ncs[0].risky_ops.len(), 1);
+        assert_eq!(ncs[0].risky_ops[0].0.as_str(), "leave");
+    }
+
+    #[test]
+    fn exact_bounds_flag_all_writers() {
+        let spec = AppSpecBuilder::new("exact")
+            .sort("X")
+            .predicate_num("v", &["X"])
+            .invariant_str("forall(X: x) :- v(x) == 0")
+            .operation("up", &[("x", "X")], |op| op.inc("v", &["x"], 1))
+            .operation("down", &[("x", "X")], |op| op.dec("v", &["x"], 1))
+            .build()
+            .unwrap();
+        let ncs = numeric_conflicts(&spec);
+        assert_eq!(ncs.len(), 1);
+        assert_eq!(ncs[0].bound, BoundKind::Exact);
+        assert_eq!(ncs[0].risky_ops.len(), 2);
+    }
+}

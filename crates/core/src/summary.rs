@@ -1,0 +1,273 @@
+//! Effect summaries: the ground footprint of an operation execution, and
+//! the convergence-rule merge of two concurrent footprints (§2.1, §3.2).
+
+use ipa_solver::{GroundError, Grounder};
+use ipa_spec::{ConvergencePolicy, ConvergenceRules, EffectKind, GroundAtom, GroundEffect};
+use std::collections::BTreeMap;
+
+/// The net effect of executing an operation with concrete arguments:
+/// boolean assignments (wildcards expanded over the universe) and numeric
+/// deltas.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct EffectSummary {
+    pub assigns: BTreeMap<GroundAtom, bool>,
+    pub deltas: BTreeMap<GroundAtom, i64>,
+}
+
+impl EffectSummary {
+    /// Summarize ground effects, expanding wildcard patterns over the
+    /// grounder's universe (this is the *symbolic* expansion used by the
+    /// analysis: a wildcard effect touches every distinguished element).
+    pub fn from_effects(
+        effects: &[GroundEffect],
+        grounder: &Grounder<'_>,
+    ) -> Result<Self, GroundError> {
+        let mut s = EffectSummary::default();
+        for e in effects {
+            let targets = grounder.expand_count_pattern(&e.atom)?;
+            for t in targets {
+                match e.kind {
+                    EffectKind::SetTrue => {
+                        s.assigns.insert(t, true);
+                    }
+                    EffectKind::SetFalse => {
+                        s.assigns.insert(t, false);
+                    }
+                    EffectKind::Inc(k) => *s.deltas.entry(t).or_insert(0) += k,
+                    EffectKind::Dec(k) => *s.deltas.entry(t).or_insert(0) -= k,
+                }
+            }
+        }
+        Ok(s)
+    }
+
+    /// Atoms on which the two summaries write opposing boolean values —
+    /// the trigger for consulting convergence rules (Alg. 1, line 8).
+    pub fn contested_atoms(&self, other: &EffectSummary) -> Vec<GroundAtom> {
+        self.assigns
+            .iter()
+            .filter_map(|(a, &v)| match other.assigns.get(a) {
+                Some(&w) if w != v => Some(a.clone()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Merge two concurrent summaries under the given convergence rules.
+    ///
+    /// Returns one merged summary per possible outcome: a single summary
+    /// when every contested atom's predicate has a deterministic policy
+    /// (add-wins / rem-wins), and `2^n` alternatives when `n` contested
+    /// atoms resolve by last-writer-wins (either value may survive
+    /// depending on timestamps).
+    pub fn merge(&self, other: &EffectSummary, rules: &ConvergenceRules) -> Vec<EffectSummary> {
+        let mut base = EffectSummary::default();
+        let mut lww_contested: Vec<GroundAtom> = Vec::new();
+
+        let mut atoms: Vec<&GroundAtom> = self.assigns.keys().collect();
+        atoms.extend(other.assigns.keys());
+        atoms.sort();
+        atoms.dedup();
+        for a in atoms {
+            let v = match (self.assigns.get(a), other.assigns.get(a)) {
+                (Some(&x), Some(&y)) if x != y => match rules.policy(&a.pred).winner() {
+                    Some(w) => Some(w),
+                    None => {
+                        lww_contested.push(a.clone());
+                        None
+                    }
+                },
+                (Some(&x), _) => Some(x),
+                (_, Some(&y)) => Some(y),
+                (None, None) => unreachable!("atom came from one of the maps"),
+            };
+            if let Some(v) = v {
+                base.assigns.insert(a.clone(), v);
+            }
+        }
+
+        // Numeric deltas commute: sum them.
+        for (a, &d) in self.deltas.iter().chain(other.deltas.iter()) {
+            *base.deltas.entry(a.clone()).or_insert(0) += d;
+        }
+        // (chain visits self then other; the fold above double-counts
+        // nothing because each map's entries are distinct iterations)
+
+        if lww_contested.is_empty() {
+            return vec![base];
+        }
+        assert!(
+            lww_contested.len() <= 6,
+            "too many LWW-contested atoms ({}) for enumeration",
+            lww_contested.len()
+        );
+        let mut out = Vec::with_capacity(1 << lww_contested.len());
+        for bits in 0u32..(1 << lww_contested.len()) {
+            let mut alt = base.clone();
+            for (i, a) in lww_contested.iter().enumerate() {
+                alt.assigns.insert(a.clone(), bits >> i & 1 == 1);
+            }
+            out.push(alt);
+        }
+        out
+    }
+
+    /// True when the summary writes nothing.
+    pub fn is_empty(&self) -> bool {
+        self.assigns.is_empty() && self.deltas.is_empty()
+    }
+}
+
+/// Convenience: the policy-resolved value for one contested predicate.
+pub fn contest_winner(policy: ConvergencePolicy) -> Option<bool> {
+    policy.winner()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipa_spec::{Constant, PredicateDecl, Sort, Symbol};
+    use ipa_solver::Universe;
+    use std::collections::BTreeMap as Map;
+
+    fn tourn(n: &str) -> Constant {
+        Constant::new(n, Sort::new("Tournament"))
+    }
+    fn player(n: &str) -> Constant {
+        Constant::new(n, Sort::new("Player"))
+    }
+
+    fn setup() -> (Universe, Map<Symbol, PredicateDecl>, Map<Symbol, i64>) {
+        let u: Universe =
+            [player("P1"), player("P2"), tourn("T1")].into_iter().collect();
+        let mut d = Map::new();
+        for decl in [
+            PredicateDecl::boolean("tournament", vec![Sort::new("Tournament")]),
+            PredicateDecl::boolean(
+                "enrolled",
+                vec![Sort::new("Player"), Sort::new("Tournament")],
+            ),
+            PredicateDecl::numeric("stock", vec![Sort::new("Tournament")]),
+        ] {
+            d.insert(decl.name.clone(), decl);
+        }
+        (u, d, Map::new())
+    }
+
+    #[test]
+    fn wildcard_effects_expand_over_universe() {
+        let (u, d, n) = setup();
+        let g = Grounder::new(&u, &d, &n);
+        let eff = GroundEffect {
+            atom: ipa_spec::Atom::new(
+                "enrolled",
+                vec![ipa_spec::Term::Wildcard, ipa_spec::Term::Const(tourn("T1"))],
+            ),
+            kind: EffectKind::SetFalse,
+        };
+        let s = EffectSummary::from_effects(&[eff], &g).unwrap();
+        assert_eq!(s.assigns.len(), 2); // P1 and P2
+        assert!(s.assigns.values().all(|&v| !v));
+    }
+
+    #[test]
+    fn merge_add_wins_resolves_contest() {
+        let (u, d, n) = setup();
+        let g = Grounder::new(&u, &d, &n);
+        let t_atom = ipa_spec::Atom::new("tournament", vec![ipa_spec::Term::Const(tourn("T1"))]);
+        let s1 = EffectSummary::from_effects(
+            &[GroundEffect { atom: t_atom.clone(), kind: EffectKind::SetTrue }],
+            &g,
+        )
+        .unwrap();
+        let s2 = EffectSummary::from_effects(
+            &[GroundEffect { atom: t_atom.clone(), kind: EffectKind::SetFalse }],
+            &g,
+        )
+        .unwrap();
+        let rules = ConvergenceRules::new().with("tournament", ConvergencePolicy::AddWins);
+        let merged = s1.merge(&s2, &rules);
+        assert_eq!(merged.len(), 1);
+        let ga = GroundAtom::new("tournament", vec![tourn("T1")]);
+        assert_eq!(merged[0].assigns.get(&ga), Some(&true));
+
+        let rules = ConvergenceRules::new().with("tournament", ConvergencePolicy::RemWins);
+        let merged = s1.merge(&s2, &rules);
+        assert_eq!(merged[0].assigns.get(&ga), Some(&false));
+    }
+
+    #[test]
+    fn merge_lww_enumerates_alternatives() {
+        let (u, d, n) = setup();
+        let g = Grounder::new(&u, &d, &n);
+        let t_atom = ipa_spec::Atom::new("tournament", vec![ipa_spec::Term::Const(tourn("T1"))]);
+        let s1 = EffectSummary::from_effects(
+            &[GroundEffect { atom: t_atom.clone(), kind: EffectKind::SetTrue }],
+            &g,
+        )
+        .unwrap();
+        let s2 = EffectSummary::from_effects(
+            &[GroundEffect { atom: t_atom, kind: EffectKind::SetFalse }],
+            &g,
+        )
+        .unwrap();
+        let rules =
+            ConvergenceRules::new().with("tournament", ConvergencePolicy::LastWriterWins);
+        let merged = s1.merge(&s2, &rules);
+        assert_eq!(merged.len(), 2);
+        let ga = GroundAtom::new("tournament", vec![tourn("T1")]);
+        let values: Vec<bool> =
+            merged.iter().map(|m| *m.assigns.get(&ga).unwrap()).collect();
+        assert!(values.contains(&true) && values.contains(&false));
+    }
+
+    #[test]
+    fn numeric_deltas_sum() {
+        let (u, d, n) = setup();
+        let g = Grounder::new(&u, &d, &n);
+        let stock = ipa_spec::Atom::new("stock", vec![ipa_spec::Term::Const(tourn("T1"))]);
+        let s1 = EffectSummary::from_effects(
+            &[GroundEffect { atom: stock.clone(), kind: EffectKind::Dec(1) }],
+            &g,
+        )
+        .unwrap();
+        let s2 = EffectSummary::from_effects(
+            &[GroundEffect { atom: stock, kind: EffectKind::Dec(2) }],
+            &g,
+        )
+        .unwrap();
+        let merged = s1.merge(&s2, &ConvergenceRules::new());
+        let ga = GroundAtom::new("stock", vec![tourn("T1")]);
+        assert_eq!(merged[0].deltas.get(&ga), Some(&-3));
+    }
+
+    #[test]
+    fn contested_atoms_detection() {
+        let ga = GroundAtom::new("tournament", vec![tourn("T1")]);
+        let mut s1 = EffectSummary::default();
+        s1.assigns.insert(ga.clone(), true);
+        let mut s2 = EffectSummary::default();
+        s2.assigns.insert(ga.clone(), false);
+        assert_eq!(s1.contested_atoms(&s2), vec![ga.clone()]);
+        assert_eq!(s2.contested_atoms(&s1), vec![ga]);
+        assert!(s1.contested_atoms(&s1).is_empty());
+    }
+
+    #[test]
+    fn sequential_effects_within_op_last_write_wins() {
+        let (u, d, n) = setup();
+        let g = Grounder::new(&u, &d, &n);
+        let t_atom = ipa_spec::Atom::new("tournament", vec![ipa_spec::Term::Const(tourn("T1"))]);
+        // Within a single operation, later effects overwrite earlier ones.
+        let s = EffectSummary::from_effects(
+            &[
+                GroundEffect { atom: t_atom.clone(), kind: EffectKind::SetFalse },
+                GroundEffect { atom: t_atom, kind: EffectKind::SetTrue },
+            ],
+            &g,
+        )
+        .unwrap();
+        let ga = GroundAtom::new("tournament", vec![tourn("T1")]);
+        assert_eq!(s.assigns.get(&ga), Some(&true));
+    }
+}

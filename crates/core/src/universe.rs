@@ -1,0 +1,117 @@
+//! Small-scope universe construction and operation-parameter
+//! instantiation (the "test cases" the paper generates with Z3).
+
+use ipa_spec::{AppSpec, Constant, Operation, Sort};
+use ipa_solver::Universe;
+
+/// Build the analysis universe: `per_sort` distinguished elements for every
+/// sort of the specification. Two elements per sort suffice to exercise
+/// both the aliased (`t1 == t2`) and distinct (`t1 != t2`) cases of any
+/// pair of same-sorted parameters; a third element witnesses "some other
+/// element" for wildcard effects.
+pub fn build_universe(spec: &AppSpec, per_sort: usize) -> Universe {
+    let mut u = Universe::new();
+    for sort in &spec.sorts {
+        for i in 1..=per_sort {
+            u.add(element(sort, i));
+        }
+    }
+    u
+}
+
+/// The `i`-th distinguished element of a sort (1-based).
+pub fn element(sort: &Sort, i: usize) -> Constant {
+    Constant::new(format!("{}#{}", sort.name(), i), sort.clone())
+}
+
+/// Enumerate all instantiations of the two operations' parameters over the
+/// universe: the cartesian product of per-parameter element choices. This
+/// covers every aliasing pattern between same-sorted parameters of the two
+/// operations (e.g. `enroll(p, t)` racing `rem_tourn(t')` with `t == t'`
+/// and with `t != t'`).
+pub fn instantiations(
+    op1: &Operation,
+    op2: &Operation,
+    universe: &Universe,
+) -> Vec<(Vec<Constant>, Vec<Constant>)> {
+    let all_params: Vec<&Sort> =
+        op1.params.iter().map(|p| &p.sort).chain(op2.params.iter().map(|p| &p.sort)).collect();
+    let mut combos: Vec<Vec<Constant>> = vec![Vec::new()];
+    for sort in &all_params {
+        let elems = universe.elements(sort);
+        let mut next = Vec::with_capacity(combos.len() * elems.len().max(1));
+        for prefix in &combos {
+            for e in elems {
+                let mut p = prefix.clone();
+                p.push(e.clone());
+                next.push(p);
+            }
+        }
+        combos = next;
+    }
+    let n1 = op1.params.len();
+    combos
+        .into_iter()
+        .map(|mut v| {
+            let rest = v.split_off(n1);
+            (v, rest)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipa_spec::{AppSpecBuilder, Var};
+
+    fn spec() -> AppSpec {
+        AppSpecBuilder::new("t")
+            .sort("Player")
+            .sort("Tournament")
+            .predicate_bool("enrolled", &["Player", "Tournament"])
+            .predicate_bool("tournament", &["Tournament"])
+            .operation("enroll", &[("p", "Player"), ("t", "Tournament")], |op| {
+                op.set_true("enrolled", &["p", "t"])
+            })
+            .operation("rem_tourn", &[("t", "Tournament")], |op| {
+                op.set_false("tournament", &["t"])
+            })
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn universe_has_per_sort_elements() {
+        let u = build_universe(&spec(), 2);
+        assert_eq!(u.size(&Sort::new("Player")), 2);
+        assert_eq!(u.size(&Sort::new("Tournament")), 2);
+        assert_eq!(u.total_size(), 4);
+    }
+
+    #[test]
+    fn instantiations_cover_aliasing() {
+        let s = spec();
+        let u = build_universe(&s, 2);
+        let enroll = s.operation("enroll").unwrap();
+        let rem = s.operation("rem_tourn").unwrap();
+        let inst = instantiations(enroll, rem, &u);
+        // 2 (p) × 2 (t of enroll) × 2 (t of rem) = 8
+        assert_eq!(inst.len(), 8);
+        // Both the aliased (same tournament) and distinct cases exist.
+        let aliased = inst.iter().filter(|(a1, a2)| a1[1] == a2[0]).count();
+        let distinct = inst.iter().filter(|(a1, a2)| a1[1] != a2[0]).count();
+        assert_eq!(aliased, 4);
+        assert_eq!(distinct, 4);
+    }
+
+    #[test]
+    fn zero_param_operations() {
+        let op = Operation::new("noop", vec![], vec![]);
+        let s = spec();
+        let u = build_universe(&s, 2);
+        let inst = instantiations(&op, &op, &u);
+        assert_eq!(inst.len(), 1);
+        assert!(inst[0].0.is_empty());
+        let _ = Var::new("x", Sort::new("Player"));
+    }
+}

@@ -1,0 +1,177 @@
+//! Escrow-based bounded counter (Balegas et al., SRDS'15 — the paper's
+//! reference [11] for maintaining numeric invariants under weak
+//! consistency).
+//!
+//! The counter maintains `value() >= floor` without coordination by
+//! splitting the "decrement rights" among replicas: a replica may only
+//! prepare a decrement backed by rights it locally owns. Increments create
+//! rights at their origin; rights can be transferred asynchronously
+//! (this is also the substrate of Indigo's escrow reservations, §5.2.1).
+
+use crate::tag::ReplicaId;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Operation-based bounded counter.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BCounter {
+    floor: i64,
+    /// Rights created by increments at each replica.
+    incs: BTreeMap<ReplicaId, u64>,
+    /// Rights consumed by decrements at each replica.
+    decs: BTreeMap<ReplicaId, u64>,
+    /// Rights moved between replicas: `(from, to) -> amount`.
+    transfers: BTreeMap<(ReplicaId, ReplicaId), u64>,
+}
+
+/// Effect operations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BCounterOp {
+    Inc { origin: ReplicaId, n: u64 },
+    Dec { origin: ReplicaId, n: u64 },
+    Transfer { from: ReplicaId, to: ReplicaId, n: u64 },
+}
+
+impl BCounter {
+    /// A counter constrained to `value() >= floor`, with `initial - floor`
+    /// rights granted to `owner`.
+    pub fn new(floor: i64, initial: i64, owner: ReplicaId) -> Self {
+        assert!(initial >= floor, "initial value below the floor");
+        let mut incs = BTreeMap::new();
+        if initial > floor {
+            incs.insert(owner, (initial - floor) as u64);
+        }
+        BCounter { floor, incs, decs: BTreeMap::new(), transfers: BTreeMap::new() }
+    }
+
+    pub fn floor(&self) -> i64 {
+        self.floor
+    }
+
+    pub fn value(&self) -> i64 {
+        let p: u64 = self.incs.values().sum();
+        let n: u64 = self.decs.values().sum();
+        self.floor + p as i64 - n as i64
+    }
+
+    /// Decrement rights locally available to a replica.
+    pub fn local_rights(&self, r: ReplicaId) -> i64 {
+        let created = self.incs.get(&r).copied().unwrap_or(0) as i64;
+        let used = self.decs.get(&r).copied().unwrap_or(0) as i64;
+        let inflow: i64 =
+            self.transfers.iter().filter(|((_, to), _)| *to == r).map(|(_, &n)| n as i64).sum();
+        let outflow: i64 =
+            self.transfers.iter().filter(|((from, _), _)| *from == r).map(|(_, &n)| n as i64).sum();
+        created - used + inflow - outflow
+    }
+
+    pub fn prepare_inc(&self, origin: ReplicaId, n: u64) -> BCounterOp {
+        BCounterOp::Inc { origin, n }
+    }
+
+    /// Prepare a decrement; fails when the replica lacks rights — the
+    /// caller must then transfer rights or reject the operation (this is
+    /// the escrow guarantee).
+    pub fn prepare_dec(&self, origin: ReplicaId, n: u64) -> Option<BCounterOp> {
+        (self.local_rights(origin) >= n as i64).then_some(BCounterOp::Dec { origin, n })
+    }
+
+    /// Prepare a rights transfer; fails when `from` lacks rights.
+    pub fn prepare_transfer(&self, from: ReplicaId, to: ReplicaId, n: u64) -> Option<BCounterOp> {
+        (self.local_rights(from) >= n as i64).then_some(BCounterOp::Transfer { from, to, n })
+    }
+
+    pub fn apply(&mut self, op: &BCounterOp) {
+        match *op {
+            BCounterOp::Inc { origin, n } => *self.incs.entry(origin).or_insert(0) += n,
+            BCounterOp::Dec { origin, n } => *self.decs.entry(origin).or_insert(0) += n,
+            BCounterOp::Transfer { from, to, n } => {
+                *self.transfers.entry((from, to)).or_insert(0) += n;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(i: u16) -> ReplicaId {
+        ReplicaId(i)
+    }
+
+    #[test]
+    fn initial_rights_at_owner() {
+        let c = BCounter::new(0, 10, r(0));
+        assert_eq!(c.value(), 10);
+        assert_eq!(c.local_rights(r(0)), 10);
+        assert_eq!(c.local_rights(r(1)), 0);
+    }
+
+    #[test]
+    fn decrement_requires_rights() {
+        let mut c = BCounter::new(0, 2, r(0));
+        let d1 = c.prepare_dec(r(0), 2).expect("rights available");
+        c.apply(&d1);
+        assert_eq!(c.value(), 0);
+        assert!(c.prepare_dec(r(0), 1).is_none(), "no rights left");
+        // Replica 1 never had rights.
+        assert!(c.prepare_dec(r(1), 1).is_none());
+    }
+
+    #[test]
+    fn transfer_moves_rights() {
+        let mut c = BCounter::new(0, 5, r(0));
+        let t = c.prepare_transfer(r(0), r(1), 3).unwrap();
+        c.apply(&t);
+        assert_eq!(c.local_rights(r(0)), 2);
+        assert_eq!(c.local_rights(r(1)), 3);
+        let d = c.prepare_dec(r(1), 3).unwrap();
+        c.apply(&d);
+        assert_eq!(c.value(), 2);
+        assert!(c.prepare_transfer(r(0), r(1), 3).is_none(), "only 2 left");
+    }
+
+    #[test]
+    fn floor_is_never_violated_by_respecting_prepare() {
+        // Two replicas race decrements; each only prepared what its local
+        // rights allowed, so the global floor holds in any interleaving.
+        let base = BCounter::new(0, 4, r(0));
+        let mut a = base.clone();
+        let mut b = base.clone();
+        // Split rights: 2 for each replica.
+        let t = a.prepare_transfer(r(0), r(1), 2).unwrap();
+        a.apply(&t);
+        b.apply(&t);
+        let da = a.prepare_dec(r(0), 2).unwrap();
+        let db = b.prepare_dec(r(1), 2).unwrap();
+        a.apply(&da);
+        a.apply(&db);
+        b.apply(&db);
+        b.apply(&da);
+        assert_eq!(a, b);
+        assert_eq!(a.value(), 0);
+        assert!(a.value() >= a.floor());
+    }
+
+    #[test]
+    fn nonzero_floor() {
+        let mut c = BCounter::new(10, 12, r(0));
+        assert_eq!(c.value(), 12);
+        assert!(c.prepare_dec(r(0), 3).is_none(), "would cross the floor");
+        let d = c.prepare_dec(r(0), 2).unwrap();
+        c.apply(&d);
+        assert_eq!(c.value(), 10);
+    }
+
+    #[test]
+    fn increments_create_rights() {
+        let mut c = BCounter::new(0, 0, r(0));
+        assert!(c.prepare_dec(r(1), 1).is_none());
+        c.apply(&c.prepare_inc(r(1), 4));
+        assert_eq!(c.local_rights(r(1)), 4);
+        let d = c.prepare_dec(r(1), 4).unwrap();
+        c.apply(&d);
+        assert_eq!(c.value(), 0);
+    }
+}

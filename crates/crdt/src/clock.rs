@@ -1,0 +1,205 @@
+//! Vector clocks: the causality metadata for remove-wins semantics,
+//! multi-value registers, causal delivery and stability tracking.
+
+use crate::tag::ReplicaId;
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A vector clock: per-replica event counters. Missing entries are zero.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VClock {
+    entries: BTreeMap<ReplicaId, u64>,
+}
+
+impl VClock {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn get(&self, r: ReplicaId) -> u64 {
+        self.entries.get(&r).copied().unwrap_or(0)
+    }
+
+    pub fn set(&mut self, r: ReplicaId, v: u64) {
+        if v == 0 {
+            self.entries.remove(&r);
+        } else {
+            self.entries.insert(r, v);
+        }
+    }
+
+    /// Advance this replica's component by one and return the new value.
+    pub fn tick(&mut self, r: ReplicaId) -> u64 {
+        let v = self.entries.entry(r).or_insert(0);
+        *v += 1;
+        *v
+    }
+
+    /// Pointwise maximum (least upper bound).
+    pub fn merge(&mut self, other: &VClock) {
+        for (&r, &v) in &other.entries {
+            let e = self.entries.entry(r).or_insert(0);
+            if v > *e {
+                *e = v;
+            }
+        }
+    }
+
+    /// Pointwise minimum (greatest lower bound) — the stability frontier
+    /// operation. Replicas absent from either clock floor to zero, so the
+    /// caller must enumerate the full replica set for a meaningful result.
+    pub fn meet(&self, other: &VClock, replicas: &[ReplicaId]) -> VClock {
+        let mut out = VClock::new();
+        for &r in replicas {
+            out.set(r, self.get(r).min(other.get(r)));
+        }
+        out
+    }
+
+    /// `self ≤ other` pointwise.
+    pub fn le(&self, other: &VClock) -> bool {
+        self.entries.iter().all(|(&r, &v)| v <= other.get(r))
+    }
+
+    /// Strict domination: `self ≤ other` and `self ≠ other`.
+    pub fn lt(&self, other: &VClock) -> bool {
+        self.le(other) && self != other
+    }
+
+    /// Are the clocks incomparable (concurrent events)?
+    pub fn concurrent(&self, other: &VClock) -> bool {
+        !self.le(other) && !other.le(self)
+    }
+
+    /// Partial-order comparison: `None` when concurrent.
+    pub fn partial_cmp_causal(&self, other: &VClock) -> Option<Ordering> {
+        match (self.le(other), other.le(self)) {
+            (true, true) => Some(Ordering::Equal),
+            (true, false) => Some(Ordering::Less),
+            (false, true) => Some(Ordering::Greater),
+            (false, false) => None,
+        }
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = (ReplicaId, u64)> + '_ {
+        self.entries.iter().map(|(&r, &v)| (r, v))
+    }
+
+    /// Sum of all components (a cheap logical "size" used for LWW ties).
+    pub fn total(&self) -> u64 {
+        self.entries.values().sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+impl fmt::Display for VClock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "⟨")?;
+        for (i, (r, v)) in self.entries.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{r}:{v}")?;
+        }
+        write!(f, "⟩")
+    }
+}
+
+impl FromIterator<(ReplicaId, u64)> for VClock {
+    fn from_iter<T: IntoIterator<Item = (ReplicaId, u64)>>(iter: T) -> Self {
+        let mut c = VClock::new();
+        for (r, v) in iter {
+            c.set(r, v);
+        }
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(i: u16) -> ReplicaId {
+        ReplicaId(i)
+    }
+
+    #[test]
+    fn tick_and_get() {
+        let mut c = VClock::new();
+        assert_eq!(c.get(r(0)), 0);
+        assert_eq!(c.tick(r(0)), 1);
+        assert_eq!(c.tick(r(0)), 2);
+        assert_eq!(c.get(r(0)), 2);
+    }
+
+    #[test]
+    fn merge_is_pointwise_max() {
+        let a: VClock = [(r(0), 3), (r(1), 1)].into_iter().collect();
+        let b: VClock = [(r(0), 1), (r(2), 5)].into_iter().collect();
+        let mut m = a.clone();
+        m.merge(&b);
+        assert_eq!(m.get(r(0)), 3);
+        assert_eq!(m.get(r(1)), 1);
+        assert_eq!(m.get(r(2)), 5);
+    }
+
+    #[test]
+    fn ordering_relations() {
+        let a: VClock = [(r(0), 1)].into_iter().collect();
+        let b: VClock = [(r(0), 2)].into_iter().collect();
+        let c: VClock = [(r(1), 1)].into_iter().collect();
+        assert!(a.lt(&b));
+        assert!(a.le(&b));
+        assert!(!b.le(&a));
+        assert!(a.concurrent(&c));
+        assert_eq!(a.partial_cmp_causal(&b), Some(Ordering::Less));
+        assert_eq!(b.partial_cmp_causal(&a), Some(Ordering::Greater));
+        assert_eq!(a.partial_cmp_causal(&a), Some(Ordering::Equal));
+        assert_eq!(a.partial_cmp_causal(&c), None);
+    }
+
+    #[test]
+    fn meet_floors_missing_entries() {
+        let a: VClock = [(r(0), 3), (r(1), 2)].into_iter().collect();
+        let b: VClock = [(r(0), 1)].into_iter().collect();
+        let m = a.meet(&b, &[r(0), r(1)]);
+        assert_eq!(m.get(r(0)), 1);
+        assert_eq!(m.get(r(1)), 0);
+    }
+
+    #[test]
+    fn zero_entries_are_normalized_out() {
+        let mut c = VClock::new();
+        c.set(r(0), 5);
+        c.set(r(0), 0);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn lattice_laws_hold() {
+        // merge is idempotent, commutative, associative on samples.
+        let a: VClock = [(r(0), 1), (r(1), 4)].into_iter().collect();
+        let b: VClock = [(r(0), 3)].into_iter().collect();
+        let c: VClock = [(r(2), 2)].into_iter().collect();
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        let mut aa = a.clone();
+        aa.merge(&a);
+        assert_eq!(aa, a);
+        let mut ab_c = ab.clone();
+        ab_c.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut a_bc = a.clone();
+        a_bc.merge(&bc);
+        assert_eq!(ab_c, a_bc);
+    }
+}

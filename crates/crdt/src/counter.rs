@@ -1,0 +1,74 @@
+//! PN-counter (op-based): increments and decrements commute trivially.
+
+use crate::tag::ReplicaId;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Operation-based PN-counter. Per-replica totals are kept so the value
+/// can be audited per origin (and so tests can assert convergence
+/// structurally, not just on the sum).
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PNCounter {
+    pos: BTreeMap<ReplicaId, u64>,
+    neg: BTreeMap<ReplicaId, u64>,
+}
+
+/// Effect operation: a signed delta from an origin replica.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PNCounterOp {
+    pub origin: ReplicaId,
+    pub delta: i64,
+}
+
+impl PNCounter {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn value(&self) -> i64 {
+        let p: u64 = self.pos.values().sum();
+        let n: u64 = self.neg.values().sum();
+        p as i64 - n as i64
+    }
+
+    pub fn prepare(&self, origin: ReplicaId, delta: i64) -> PNCounterOp {
+        PNCounterOp { origin, delta }
+    }
+
+    pub fn apply(&mut self, op: &PNCounterOp) {
+        if op.delta >= 0 {
+            *self.pos.entry(op.origin).or_insert(0) += op.delta as u64;
+        } else {
+            *self.neg.entry(op.origin).or_insert(0) += (-op.delta) as u64;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn commutative_sums() {
+        let ops = [
+            PNCounterOp { origin: ReplicaId(0), delta: 5 },
+            PNCounterOp { origin: ReplicaId(1), delta: -2 },
+            PNCounterOp { origin: ReplicaId(0), delta: -1 },
+        ];
+        let mut a = PNCounter::new();
+        let mut b = PNCounter::new();
+        for op in &ops {
+            a.apply(op);
+        }
+        for op in ops.iter().rev() {
+            b.apply(op);
+        }
+        assert_eq!(a, b);
+        assert_eq!(a.value(), 2);
+    }
+
+    #[test]
+    fn zero_initial_value() {
+        assert_eq!(PNCounter::new().value(), 0);
+    }
+}

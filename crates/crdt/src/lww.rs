@@ -1,0 +1,93 @@
+//! Last-writer-wins register.
+
+use crate::tag::Tag;
+use serde::{Deserialize, Serialize};
+
+/// LWW register: the write with the highest `(timestamp, tag)` wins;
+/// the tag breaks timestamp ties deterministically.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LWWRegister<V: Clone> {
+    slot: Option<(u64, Tag, V)>,
+}
+
+/// Effect operation: a timestamped write.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LWWOp<V> {
+    pub ts: u64,
+    pub tag: Tag,
+    pub value: V,
+}
+
+impl<V: Clone> LWWRegister<V> {
+    pub fn new() -> Self {
+        LWWRegister { slot: None }
+    }
+
+    pub fn get(&self) -> Option<&V> {
+        self.slot.as_ref().map(|(_, _, v)| v)
+    }
+
+    /// The winning write's timestamp, if any.
+    pub fn timestamp(&self) -> Option<(u64, Tag)> {
+        self.slot.as_ref().map(|(ts, tag, _)| (*ts, *tag))
+    }
+
+    pub fn prepare_write(&self, ts: u64, tag: Tag, value: V) -> LWWOp<V> {
+        LWWOp { ts, tag, value }
+    }
+
+    pub fn apply(&mut self, op: &LWWOp<V>) {
+        let newer = match &self.slot {
+            None => true,
+            Some((ts, tag, _)) => (op.ts, op.tag) > (*ts, *tag),
+        };
+        if newer {
+            self.slot = Some((op.ts, op.tag, op.value.clone()));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tag::ReplicaId;
+
+    fn tag(r: u16, s: u64) -> Tag {
+        Tag::new(ReplicaId(r), s)
+    }
+
+    #[test]
+    fn later_timestamp_wins_any_order() {
+        let w1 = LWWOp { ts: 1, tag: tag(0, 1), value: "a" };
+        let w2 = LWWOp { ts: 2, tag: tag(1, 1), value: "b" };
+        let mut x = LWWRegister::new();
+        x.apply(&w1);
+        x.apply(&w2);
+        let mut y = LWWRegister::new();
+        y.apply(&w2);
+        y.apply(&w1);
+        assert_eq!(x.get(), Some(&"b"));
+        assert_eq!(x, y);
+    }
+
+    #[test]
+    fn tag_breaks_timestamp_ties() {
+        let w1 = LWWOp { ts: 5, tag: tag(0, 1), value: "a" };
+        let w2 = LWWOp { ts: 5, tag: tag(1, 1), value: "b" };
+        let mut x = LWWRegister::new();
+        x.apply(&w1);
+        x.apply(&w2);
+        let mut y = LWWRegister::new();
+        y.apply(&w2);
+        y.apply(&w1);
+        assert_eq!(x, y);
+        assert_eq!(x.get(), Some(&"b"), "higher tag wins ties");
+    }
+
+    #[test]
+    fn empty_register_reads_none() {
+        let r: LWWRegister<u32> = LWWRegister::new();
+        assert_eq!(r.get(), None);
+        assert_eq!(r.timestamp(), None);
+    }
+}

@@ -1,0 +1,115 @@
+//! Multi-value register: concurrent writes are all kept (the causally
+//! maximal antichain), letting the application resolve.
+
+use crate::clock::VClock;
+use serde::{Deserialize, Serialize};
+
+/// MV register state: the set of causally-maximal writes.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MVRegister<V: Clone + PartialEq> {
+    versions: Vec<(VClock, V)>,
+}
+
+/// Effect operation: a write stamped with the origin's clock (including
+/// the write itself).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MVRegOp<V> {
+    pub clock: VClock,
+    pub value: V,
+}
+
+impl<V: Clone + PartialEq> MVRegister<V> {
+    pub fn new() -> Self {
+        MVRegister { versions: Vec::new() }
+    }
+
+    /// Current concurrent values (one when there is no conflict).
+    pub fn values(&self) -> impl Iterator<Item = &V> {
+        self.versions.iter().map(|(_, v)| v)
+    }
+
+    pub fn len(&self) -> usize {
+        self.versions.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.versions.is_empty()
+    }
+
+    pub fn prepare_write(&self, clock: VClock, value: V) -> MVRegOp<V> {
+        MVRegOp { clock, value }
+    }
+
+    pub fn apply(&mut self, op: &MVRegOp<V>) {
+        // Drop versions dominated by the new write; ignore the write if it
+        // is dominated by an existing version (stale redelivery).
+        if self.versions.iter().any(|(c, _)| op.clock.le(c)) {
+            return;
+        }
+        self.versions.retain(|(c, _)| !c.le(&op.clock));
+        self.versions.push((op.clock.clone(), op.value.clone()));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tag::ReplicaId;
+
+    fn clock(entries: &[(u16, u64)]) -> VClock {
+        entries.iter().map(|&(r, v)| (ReplicaId(r), v)).collect()
+    }
+
+    #[test]
+    fn sequential_writes_overwrite() {
+        let mut r = MVRegister::new();
+        r.apply(&MVRegOp { clock: clock(&[(0, 1)]), value: 1 });
+        r.apply(&MVRegOp { clock: clock(&[(0, 2)]), value: 2 });
+        assert_eq!(r.values().copied().collect::<Vec<_>>(), vec![2]);
+    }
+
+    #[test]
+    fn concurrent_writes_coexist() {
+        let mut r = MVRegister::new();
+        r.apply(&MVRegOp { clock: clock(&[(0, 1)]), value: 1 });
+        r.apply(&MVRegOp { clock: clock(&[(1, 1)]), value: 2 });
+        let mut vs: Vec<i32> = r.values().copied().collect();
+        vs.sort_unstable();
+        assert_eq!(vs, vec![1, 2]);
+        // A write dominating both collapses the conflict.
+        r.apply(&MVRegOp { clock: clock(&[(0, 1), (1, 1), (2, 1)]), value: 3 });
+        assert_eq!(r.values().copied().collect::<Vec<_>>(), vec![3]);
+    }
+
+    #[test]
+    fn stale_write_is_ignored() {
+        let mut r = MVRegister::new();
+        r.apply(&MVRegOp { clock: clock(&[(0, 2)]), value: 2 });
+        r.apply(&MVRegOp { clock: clock(&[(0, 1)]), value: 1 });
+        assert_eq!(r.values().copied().collect::<Vec<_>>(), vec![2]);
+    }
+
+    #[test]
+    fn order_independence() {
+        let ops = [
+            MVRegOp { clock: clock(&[(0, 1)]), value: 1 },
+            MVRegOp { clock: clock(&[(1, 1)]), value: 2 },
+            MVRegOp { clock: clock(&[(0, 1), (1, 1)]), value: 3 },
+        ];
+        let mut a = MVRegister::new();
+        let mut b = MVRegister::new();
+        for op in &ops {
+            a.apply(op);
+        }
+        for op in ops.iter().rev() {
+            b.apply(op);
+        }
+        // Note: reverse order violates causal delivery for op 3, but MV
+        // register apply is designed to be resilient to that too.
+        let mut va: Vec<i32> = a.values().copied().collect();
+        let mut vb: Vec<i32> = b.values().copied().collect();
+        va.sort_unstable();
+        vb.sort_unstable();
+        assert_eq!(va, vb);
+    }
+}

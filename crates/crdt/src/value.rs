@@ -1,0 +1,198 @@
+//! Dynamic element values and wildcard patterns.
+//!
+//! The store holds heterogeneous CRDT objects whose elements are [`Val`]s:
+//! a small dynamic value language (strings, integers, tuples). Applications
+//! encode their entities into `Val` — e.g. an enrollment is
+//! `Val::pair("alice", "weekly-open")`. [`ValPattern`] is the wildcard
+//! language of §4.2.1: a remove can be scoped by a pattern
+//! (`("*", "weekly-open")`) and applies to every matching element.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A dynamic value: the element type used by store-resident CRDTs.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Val {
+    Str(String),
+    Int(i64),
+    Pair(Box<Val>, Box<Val>),
+    Triple(Box<Val>, Box<Val>, Box<Val>),
+}
+
+impl Val {
+    pub fn str(s: impl Into<String>) -> Val {
+        Val::Str(s.into())
+    }
+
+    pub fn int(i: i64) -> Val {
+        Val::Int(i)
+    }
+
+    pub fn pair(a: impl Into<Val>, b: impl Into<Val>) -> Val {
+        Val::Pair(Box::new(a.into()), Box::new(b.into()))
+    }
+
+    pub fn triple(a: impl Into<Val>, b: impl Into<Val>, c: impl Into<Val>) -> Val {
+        Val::Triple(Box::new(a.into()), Box::new(b.into()), Box::new(c.into()))
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Val::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Val::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// First component of a pair/triple.
+    pub fn fst(&self) -> Option<&Val> {
+        match self {
+            Val::Pair(a, _) | Val::Triple(a, _, _) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Second component of a pair/triple.
+    pub fn snd(&self) -> Option<&Val> {
+        match self {
+            Val::Pair(_, b) | Val::Triple(_, b, _) => Some(b),
+            _ => None,
+        }
+    }
+}
+
+impl From<&str> for Val {
+    fn from(s: &str) -> Val {
+        Val::Str(s.to_owned())
+    }
+}
+
+impl From<String> for Val {
+    fn from(s: String) -> Val {
+        Val::Str(s)
+    }
+}
+
+impl From<i64> for Val {
+    fn from(i: i64) -> Val {
+        Val::Int(i)
+    }
+}
+
+impl fmt::Display for Val {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Val::Str(s) => write!(f, "{s}"),
+            Val::Int(i) => write!(f, "{i}"),
+            Val::Pair(a, b) => write!(f, "({a}, {b})"),
+            Val::Triple(a, b, c) => write!(f, "({a}, {b}, {c})"),
+        }
+    }
+}
+
+impl fmt::Debug for Val {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+/// A wildcard pattern over [`Val`]s (§4.2.1): `Any` matches everything,
+/// `Exact` matches one value, tuple patterns match componentwise.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum ValPattern {
+    Any,
+    Exact(Val),
+    Pair(Box<ValPattern>, Box<ValPattern>),
+    Triple(Box<ValPattern>, Box<ValPattern>, Box<ValPattern>),
+}
+
+impl ValPattern {
+    pub fn exact(v: impl Into<Val>) -> ValPattern {
+        ValPattern::Exact(v.into())
+    }
+
+    pub fn pair(a: ValPattern, b: ValPattern) -> ValPattern {
+        ValPattern::Pair(Box::new(a), Box::new(b))
+    }
+
+    pub fn triple(a: ValPattern, b: ValPattern, c: ValPattern) -> ValPattern {
+        ValPattern::Triple(Box::new(a), Box::new(b), Box::new(c))
+    }
+
+    /// Does the pattern match a value?
+    pub fn matches(&self, v: &Val) -> bool {
+        match (self, v) {
+            (ValPattern::Any, _) => true,
+            (ValPattern::Exact(p), v) => p == v,
+            (ValPattern::Pair(pa, pb), Val::Pair(a, b)) => pa.matches(a) && pb.matches(b),
+            (ValPattern::Triple(pa, pb, pc), Val::Triple(a, b, c)) => {
+                pa.matches(a) && pb.matches(b) && pc.matches(c)
+            }
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for ValPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValPattern::Any => write!(f, "*"),
+            ValPattern::Exact(v) => write!(f, "{v}"),
+            ValPattern::Pair(a, b) => write!(f, "({a}, {b})"),
+            ValPattern::Triple(a, b, c) => write!(f, "({a}, {b}, {c})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_accessors() {
+        let v = Val::pair("alice", "t1");
+        assert_eq!(v.fst().unwrap().as_str(), Some("alice"));
+        assert_eq!(v.snd().unwrap().as_str(), Some("t1"));
+        assert_eq!(v.to_string(), "(alice, t1)");
+        assert_eq!(Val::int(3).as_int(), Some(3));
+        assert_eq!(Val::str("x").as_int(), None);
+    }
+
+    #[test]
+    fn wildcard_matching() {
+        let enrolled = Val::pair("alice", "t1");
+        // enrolled(*, t1)
+        let pat = ValPattern::pair(ValPattern::Any, ValPattern::exact("t1"));
+        assert!(pat.matches(&enrolled));
+        assert!(!pat.matches(&Val::pair("alice", "t2")));
+        assert!(!pat.matches(&Val::str("alice")));
+        assert!(ValPattern::Any.matches(&enrolled));
+        assert!(ValPattern::exact(enrolled.clone()).matches(&enrolled));
+    }
+
+    #[test]
+    fn triple_patterns() {
+        let m = Val::triple("p", "q", "t");
+        let pat = ValPattern::triple(
+            ValPattern::Any,
+            ValPattern::Any,
+            ValPattern::exact("t"),
+        );
+        assert!(pat.matches(&m));
+        assert!(!pat.matches(&Val::triple("p", "q", "u")));
+    }
+
+    #[test]
+    fn values_are_ordered_deterministically() {
+        let mut vs = vec![Val::str("b"), Val::str("a"), Val::int(3)];
+        vs.sort();
+        // Ord is derive-based: variant order then content.
+        assert_eq!(vs[0], Val::str("a"));
+    }
+}

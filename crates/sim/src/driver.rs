@@ -1,0 +1,543 @@
+//! The simulation driver: event loop, clients, and the workload
+//! interface.
+
+use crate::latency::{LatencyModel, Region};
+use crate::metrics::Metrics;
+use crate::server::{ServerQueue, ServiceCosts};
+use crate::time::SimTime;
+use ipa_crdt::ReplicaId;
+use ipa_store::{CommitInfo, Replica, StoreError, Transaction, UpdateBatch};
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Simulation parameters.
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    pub clients_per_region: usize,
+    /// Mean client think time between operations (exponential-ish via
+    /// uniform jitter).
+    pub think_time_ms: f64,
+    /// Client ↔ local server round trip (same availability zone).
+    pub client_rtt_ms: f64,
+    /// Warm-up before measurements start (simulated seconds).
+    pub warmup_s: f64,
+    /// Measured duration after warm-up (simulated seconds).
+    pub duration_s: f64,
+    pub seed: u64,
+    pub costs: ServiceCosts,
+    /// Stability GC period (None disables).
+    pub gc_interval_s: Option<f64>,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            clients_per_region: 4,
+            think_time_ms: 10.0,
+            client_rtt_ms: 1.0,
+            warmup_s: 2.0,
+            duration_s: 10.0,
+            seed: 42,
+            costs: ServiceCosts::default(),
+            gc_interval_s: Some(1.0),
+        }
+    }
+}
+
+/// A closed-loop client bound to its home region.
+#[derive(Clone, Copy, Debug)]
+pub struct ClientInfo {
+    pub id: usize,
+    pub region: Region,
+}
+
+/// What one executed operation looked like (drives timing & metrics).
+#[derive(Clone, Debug)]
+pub struct OpOutcome {
+    pub label: &'static str,
+    /// Distinct objects touched (service-cost model input).
+    pub objects: usize,
+    /// Total updates executed.
+    pub updates: usize,
+    /// Extra WAN delay the operation had to pay before completing
+    /// (e.g. forwarding to the primary, fetching a reservation).
+    pub extra_wan_ms: f64,
+    /// False when the operation could not execute (e.g. partitioned
+    /// coordination) — counted as a failure and retried after a backoff.
+    pub ok: bool,
+    /// Invariant violations the workload observed while executing.
+    pub violations: u64,
+}
+
+impl OpOutcome {
+    pub fn ok(label: &'static str, objects: usize, updates: usize) -> OpOutcome {
+        OpOutcome { label, objects, updates, extra_wan_ms: 0.0, ok: true, violations: 0 }
+    }
+
+    pub fn with_wan(mut self, ms: f64) -> OpOutcome {
+        self.extra_wan_ms += ms;
+        self
+    }
+
+    pub fn unavailable(label: &'static str) -> OpOutcome {
+        OpOutcome { label, objects: 0, updates: 0, extra_wan_ms: 0.0, ok: false, violations: 0 }
+    }
+}
+
+/// The application under simulation.
+pub trait Workload {
+    /// Execute one client operation: run transactions through
+    /// [`SimCtx::commit`], pay coordination delays via
+    /// [`OpOutcome::with_wan`], and report what happened.
+    fn op(&mut self, ctx: &mut SimCtx<'_>, client: ClientInfo) -> OpOutcome;
+
+    /// One-time setup before clients start (seed data).
+    fn setup(&mut self, _ctx: &mut SimCtx<'_>) {}
+}
+
+/// The workload's view of the simulation during one operation.
+pub struct SimCtx<'a> {
+    now: SimTime,
+    latency: &'a mut LatencyModel,
+    replicas: &'a mut [Replica],
+    rng: &'a mut StdRng,
+    /// Replication staged by commits in this op: (dest, arrival, batch).
+    staged: Vec<(Region, SimTime, UpdateBatch)>,
+}
+
+impl<'a> SimCtx<'a> {
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    pub fn regions(&self) -> usize {
+        self.replicas.len()
+    }
+
+    pub fn rng(&mut self) -> &mut StdRng {
+        self.rng
+    }
+
+    pub fn replica(&mut self, region: Region) -> &mut Replica {
+        &mut self.replicas[region as usize]
+    }
+
+    /// Sampled round trip between regions.
+    pub fn rtt(&mut self, a: Region, b: Region) -> f64 {
+        self.latency.rtt(a, b, self.rng)
+    }
+
+    pub fn base_rtt(&self, a: Region, b: Region) -> f64 {
+        self.latency.base_rtt(a, b)
+    }
+
+    pub fn link_up(&self, a: Region, b: Region) -> bool {
+        self.latency.link_up(a, b)
+    }
+
+    pub fn set_link(&mut self, a: Region, b: Region, up: bool) {
+        self.latency.set_link(a, b, up);
+    }
+
+    /// Run a transaction on a region's replica and stage its batch for
+    /// asynchronous replication with per-link latency. Returns the
+    /// closure's value alongside the commit info.
+    pub fn commit<T>(
+        &mut self,
+        region: Region,
+        f: impl FnOnce(&mut Transaction<'_>) -> Result<T, StoreError>,
+    ) -> Result<(T, CommitInfo), StoreError> {
+        let (value, info) = {
+            let replica = &mut self.replicas[region as usize];
+            let mut tx = replica.begin();
+            let value = f(&mut tx)?;
+            (value, tx.commit())
+        };
+        // Stage replication of everything committed at this replica.
+        let batches = self.replicas[region as usize].take_outbox();
+        let n = self.replicas.len() as u16;
+        for batch in batches {
+            for dest in 0..n {
+                if dest == region {
+                    continue;
+                }
+                if !self.latency.link_up(region, dest) {
+                    // Partitioned: deliver when the link heals — modeled
+                    // as a long delay re-checked by the driver.
+                    let delay = SimTime::from_secs(3600.0);
+                    self.staged.push((dest, self.now + delay, batch.clone()));
+                    continue;
+                }
+                let ow = self.latency.one_way(region, dest, self.rng);
+                self.staged.push((dest, self.now + SimTime::from_ms(ow), batch.clone()));
+            }
+        }
+        Ok((value, info))
+    }
+}
+
+#[derive(Clone, Debug)]
+enum Event {
+    ClientReady(usize),
+    BatchArrive { dest: Region, batch: Box<UpdateBatch> },
+    Gc,
+}
+
+#[derive(Clone, Debug)]
+struct Scheduled {
+    at: SimTime,
+    seq: u64,
+    ev: Event,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// The discrete-event simulation: regional replicas + servers + clients.
+pub struct Simulation {
+    cfg: SimConfig,
+    latency: LatencyModel,
+    replicas: Vec<Replica>,
+    servers: Vec<ServerQueue>,
+    clients: Vec<ClientInfo>,
+    queue: BinaryHeap<Reverse<Scheduled>>,
+    seq: u64,
+    now: SimTime,
+    rng: StdRng,
+    pub metrics: Metrics,
+}
+
+impl Simulation {
+    pub fn new(latency: LatencyModel, cfg: SimConfig) -> Simulation {
+        let regions = latency.regions() as u16;
+        let replicas = (0..regions).map(|r| Replica::new(ReplicaId(r))).collect();
+        let servers = (0..regions).map(|_| ServerQueue::new()).collect();
+        let mut clients = Vec::with_capacity(cfg.clients_per_region * regions as usize);
+        for region in 0..regions {
+            for _ in 0..cfg.clients_per_region {
+                clients.push(ClientInfo { id: clients.len(), region });
+            }
+        }
+        let rng = StdRng::seed_from_u64(cfg.seed);
+        let mut metrics = Metrics::new();
+        metrics.set_window(cfg.warmup_s, cfg.warmup_s + cfg.duration_s);
+        Simulation {
+            cfg,
+            latency,
+            replicas,
+            servers,
+            clients,
+            queue: BinaryHeap::new(),
+            seq: 0,
+            now: SimTime::ZERO,
+            rng,
+            metrics,
+        }
+    }
+
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    pub fn replica(&self, region: Region) -> &Replica {
+        &self.replicas[region as usize]
+    }
+
+    /// Direct mutable access for post-run maintenance (e.g. running the
+    /// applications' read-side compensations to a fixpoint).
+    pub fn replica_mut(&mut self, region: Region) -> &mut Replica {
+        &mut self.replicas[region as usize]
+    }
+
+    pub fn regions(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// Drain every outbox and deliver all batches instantly (post-run
+    /// helper; ignores link latency like [`Simulation::quiesce`]).
+    pub fn sync_all(&mut self) {
+        loop {
+            let mut moved = false;
+            for i in 0..self.replicas.len() {
+                let batches = self.replicas[i].take_outbox();
+                for batch in batches {
+                    for d in 0..self.replicas.len() {
+                        if d != i {
+                            self.replicas[d].receive(batch.clone());
+                            moved = true;
+                        }
+                    }
+                }
+            }
+            if !moved {
+                break;
+            }
+        }
+    }
+
+    pub fn num_clients(&self) -> usize {
+        self.clients.len()
+    }
+
+    fn schedule(&mut self, at: SimTime, ev: Event) {
+        self.seq += 1;
+        self.queue.push(Reverse(Scheduled { at, seq: self.seq, ev }));
+    }
+
+    fn flush_staged(&mut self, staged: Vec<(Region, SimTime, UpdateBatch)>) {
+        for (dest, at, batch) in staged {
+            self.schedule(at, Event::BatchArrive { dest, batch: Box::new(batch) });
+        }
+    }
+
+    /// Run the workload to completion of the configured window.
+    pub fn run(&mut self, workload: &mut dyn Workload) {
+        // Setup phase (outside measurements, at t=0).
+        {
+            let mut ctx = SimCtx {
+                now: self.now,
+                latency: &mut self.latency,
+                replicas: &mut self.replicas,
+                rng: &mut self.rng,
+                staged: Vec::new(),
+            };
+            workload.setup(&mut ctx);
+            let staged = std::mem::take(&mut ctx.staged);
+            self.flush_staged(staged);
+        }
+
+        // Stagger client starts to avoid a synchronized burst.
+        for c in 0..self.clients.len() {
+            let at = SimTime::from_ms(0.1 * c as f64 + 1.0);
+            self.schedule(at, Event::ClientReady(c));
+        }
+        if let Some(gc) = self.cfg.gc_interval_s {
+            self.schedule(SimTime::from_secs(gc), Event::Gc);
+        }
+
+        let warmup_end = SimTime::from_secs(self.cfg.warmup_s);
+        let end = SimTime::from_secs(self.cfg.warmup_s + self.cfg.duration_s);
+
+        while let Some(Reverse(next)) = self.queue.pop() {
+            if next.at > end {
+                // Keep the event for `quiesce` (dropping an in-flight
+                // replication batch here would strand its causal
+                // successors forever).
+                self.queue.push(Reverse(next));
+                break;
+            }
+            self.now = next.at;
+            match next.ev {
+                Event::BatchArrive { dest, batch } => {
+                    self.replicas[dest as usize].receive(*batch);
+                }
+                Event::Gc => {
+                    let ids: Vec<ReplicaId> = self.replicas.iter().map(Replica::id).collect();
+                    for r in &mut self.replicas {
+                        r.run_gc(&ids);
+                    }
+                    if let Some(gc) = self.cfg.gc_interval_s {
+                        let at = self.now + SimTime::from_secs(gc);
+                        self.schedule(at, Event::Gc);
+                    }
+                }
+                Event::ClientReady(c) => {
+                    let client = self.clients[c];
+                    let outcome = {
+                        let mut ctx = SimCtx {
+                            now: self.now,
+                            latency: &mut self.latency,
+                            replicas: &mut self.replicas,
+                            rng: &mut self.rng,
+                            staged: Vec::new(),
+                        };
+                        let outcome = workload.op(&mut ctx, client);
+                        let staged = std::mem::take(&mut ctx.staged);
+                        self.flush_staged(staged);
+                        outcome
+                    };
+                    let region = client.region as usize;
+                    let completion = if outcome.ok {
+                        let to_server = self.cfg.client_rtt_ms / 2.0;
+                        let service = self
+                            .cfg
+                            .costs
+                            .service_ms(outcome.objects.max(1), outcome.updates.max(1));
+                        let served = self.servers[region]
+                            .serve(self.now + SimTime::from_ms(to_server), service);
+                        served
+                            + SimTime::from_ms(outcome.extra_wan_ms)
+                            + SimTime::from_ms(self.cfg.client_rtt_ms / 2.0)
+                    } else {
+                        // Failed (unavailable): back off one think time.
+                        self.now + SimTime::from_ms(self.cfg.think_time_ms)
+                    };
+                    if self.now >= warmup_end {
+                        if outcome.ok {
+                            self.metrics
+                                .record(outcome.label, completion.ms_since(self.now));
+                        } else {
+                            self.metrics.record_failure();
+                        }
+                        self.metrics.record_violations(outcome.violations);
+                    }
+                    let think = self.think_time();
+                    self.schedule(completion + think, Event::ClientReady(c));
+                }
+            }
+        }
+        self.now = end;
+    }
+
+    fn think_time(&mut self) -> SimTime {
+        let base = self.cfg.think_time_ms;
+        if base <= 0.0 {
+            return SimTime::ZERO;
+        }
+        // Uniform jitter in [0.5, 1.5] × base keeps clients desynchronized.
+        let f = self.rng.gen_range(0.5..1.5);
+        SimTime::from_ms(base * f)
+    }
+
+    /// Let in-flight replication drain after the run (delivers every
+    /// pending batch immediately, ignoring link latency).
+    pub fn quiesce(&mut self) {
+        let mut remaining: Vec<Scheduled> =
+            self.queue.drain().map(|Reverse(s)| s).collect();
+        remaining.sort();
+        for s in remaining {
+            if let Event::BatchArrive { dest, batch } = s.ev {
+                self.replicas[dest as usize].receive(*batch);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::paper_topology;
+    use ipa_crdt::{ObjectKind, Val};
+
+    /// A workload that inserts unique elements into one add-wins set.
+    struct Inserter {
+        n: u64,
+    }
+
+    impl Workload for Inserter {
+        fn op(&mut self, ctx: &mut SimCtx<'_>, client: ClientInfo) -> OpOutcome {
+            self.n += 1;
+            let v = Val::str(format!("e{}", self.n));
+            ctx.commit(client.region, |tx| {
+                tx.ensure("set", ObjectKind::AWSet)?;
+                tx.aw_add("set", v)
+            })
+            .expect("commit");
+            OpOutcome::ok("insert", 1, 1)
+        }
+    }
+
+    fn small_cfg(seed: u64) -> SimConfig {
+        SimConfig {
+            clients_per_region: 2,
+            warmup_s: 0.5,
+            duration_s: 2.0,
+            seed,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn simulation_runs_and_replicates() {
+        let mut sim = Simulation::new(paper_topology(), small_cfg(1));
+        let mut w = Inserter { n: 0 };
+        sim.run(&mut w);
+        sim.quiesce();
+        assert!(sim.metrics.completed > 50, "completed: {}", sim.metrics.completed);
+        // All replicas converged on the same set.
+        let sizes: Vec<usize> = (0..3u16)
+            .map(|r| sim.replica(r).object(&"set".into()).unwrap().as_awset().unwrap().len())
+            .collect();
+        assert_eq!(sizes[0], sizes[1]);
+        assert_eq!(sizes[1], sizes[2]);
+        assert_eq!(sizes[0] as u64, w.n);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let run = |seed| {
+            let mut sim = Simulation::new(paper_topology(), small_cfg(seed));
+            let mut w = Inserter { n: 0 };
+            sim.run(&mut w);
+            (sim.metrics.completed, sim.metrics.overall().unwrap().mean_ms)
+        };
+        let a = run(7);
+        let b = run(7);
+        let c = run(8);
+        assert_eq!(a, b, "same seed, same run");
+        assert_ne!(a, c, "different seed, different run");
+    }
+
+    #[test]
+    fn latency_reflects_local_service_only_for_weak_ops() {
+        let mut sim = Simulation::new(paper_topology(), small_cfg(3));
+        let mut w = Inserter { n: 0 };
+        sim.run(&mut w);
+        let s = sim.metrics.overall().unwrap();
+        // Local ops: a few ms (client RTT + service), no WAN round trips.
+        assert!(s.mean_ms < 20.0, "mean {}", s.mean_ms);
+    }
+
+    #[test]
+    fn saturation_raises_latency() {
+        let lat = |clients: usize| {
+            let cfg = SimConfig {
+                clients_per_region: clients,
+                think_time_ms: 1.0,
+                warmup_s: 0.5,
+                duration_s: 2.0,
+                seed: 5,
+                ..Default::default()
+            };
+            let mut sim = Simulation::new(paper_topology(), cfg);
+            let mut w = Inserter { n: 0 };
+            sim.run(&mut w);
+            (sim.metrics.throughput(), sim.metrics.overall().unwrap().mean_ms)
+        };
+        let (tp_low, ms_low) = lat(1);
+        let (tp_high, ms_high) = lat(64);
+        assert!(tp_high > tp_low, "throughput grows with clients");
+        assert!(ms_high > ms_low * 3.0, "queueing delay appears under saturation: {ms_low} vs {ms_high}");
+    }
+
+    #[test]
+    fn unavailable_ops_are_counted_as_failures() {
+        struct AlwaysFail;
+        impl Workload for AlwaysFail {
+            fn op(&mut self, _ctx: &mut SimCtx<'_>, _c: ClientInfo) -> OpOutcome {
+                OpOutcome::unavailable("nope")
+            }
+        }
+        let mut sim = Simulation::new(paper_topology(), small_cfg(1));
+        sim.run(&mut AlwaysFail);
+        assert_eq!(sim.metrics.completed, 0);
+        assert!(sim.metrics.failed > 0);
+    }
+}

@@ -1,0 +1,33 @@
+//! # ipa-sim — deterministic discrete-event geo-replication simulator
+//!
+//! The EC2-testbed substitute for the paper's evaluation (§5.2.1): three
+//! data centers (US-EAST, US-WEST, EU-WEST) with the paper's measured
+//! round-trip times (80 ms / 80 ms / 160 ms), closed-loop clients
+//! co-located with their regional replica, FIFO service queues that
+//! saturate under load (producing the latency/throughput knees of
+//! Figures 4 and 7), and asynchronous replication of `ipa-store` update
+//! batches with per-link latency and jitter.
+//!
+//! Everything is driven by a seeded RNG and a virtual clock: runs are
+//! reproducible bit-for-bit, and "latency" numbers are in simulated
+//! milliseconds — directly comparable to the paper's figures.
+//!
+//! The simulator is a framework: applications implement [`Workload`] and
+//! use [`SimCtx`] to run transactions against regional replicas, pay WAN
+//! delays for whatever coordination their consistency mode requires, and
+//! count invariant violations. `ipa-coord` builds the Strong and Indigo
+//! baselines on top; `ipa-apps` provides the paper's four applications.
+
+pub mod driver;
+pub mod latency;
+pub mod metrics;
+pub mod scenario;
+pub mod server;
+pub mod time;
+
+pub use driver::{ClientInfo, OpOutcome, SimConfig, SimCtx, Simulation, Workload};
+pub use latency::{LatencyModel, Region};
+pub use metrics::{LatencySummary, Metrics};
+pub use scenario::{paper_topology, two_region_topology};
+pub use server::ServerQueue;
+pub use time::SimTime;

@@ -1,0 +1,157 @@
+//! Latency and throughput accounting.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Aggregated statistics for one operation label.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LatencySummary {
+    pub count: usize,
+    pub mean_ms: f64,
+    pub p50_ms: f64,
+    pub p95_ms: f64,
+    pub p99_ms: f64,
+    pub std_ms: f64,
+}
+
+/// Collects per-operation latencies (simulated ms) inside a measurement
+/// window, plus success/failure counts.
+#[derive(Clone, Debug, Default)]
+pub struct Metrics {
+    samples: BTreeMap<String, Vec<f64>>,
+    pub completed: u64,
+    pub failed: u64,
+    /// Invariant violations observed by the workload (Fig. 7 red dots).
+    pub violations: u64,
+    window_start_s: f64,
+    window_end_s: f64,
+}
+
+impl Metrics {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Define the measurement window (seconds of simulated time);
+    /// `record` calls outside it are ignored by throughput computation
+    /// (callers should simply not record during warm-up).
+    pub fn set_window(&mut self, start_s: f64, end_s: f64) {
+        self.window_start_s = start_s;
+        self.window_end_s = end_s;
+    }
+
+    pub fn window_secs(&self) -> f64 {
+        (self.window_end_s - self.window_start_s).max(f64::EPSILON)
+    }
+
+    pub fn record(&mut self, label: &str, latency_ms: f64) {
+        self.samples.entry(label.to_owned()).or_default().push(latency_ms);
+        self.completed += 1;
+    }
+
+    pub fn record_failure(&mut self) {
+        self.failed += 1;
+    }
+
+    pub fn record_violations(&mut self, n: u64) {
+        self.violations += n;
+    }
+
+    /// Throughput over the window (transactions per simulated second).
+    pub fn throughput(&self) -> f64 {
+        self.completed as f64 / self.window_secs()
+    }
+
+    pub fn labels(&self) -> impl Iterator<Item = &str> {
+        self.samples.keys().map(String::as_str)
+    }
+
+    /// Summary for one label.
+    pub fn summary(&self, label: &str) -> Option<LatencySummary> {
+        let xs = self.samples.get(label)?;
+        summarize(xs)
+    }
+
+    /// Summary across all labels.
+    pub fn overall(&self) -> Option<LatencySummary> {
+        let mut all: Vec<f64> = self.samples.values().flatten().copied().collect();
+        if all.is_empty() {
+            return None;
+        }
+        all.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        summarize(&all)
+    }
+}
+
+fn summarize(xs: &[f64]) -> Option<LatencySummary> {
+    if xs.is_empty() {
+        return None;
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    let n = sorted.len();
+    let mean = sorted.iter().sum::<f64>() / n as f64;
+    let var = sorted.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+    let pct = |p: f64| sorted[(((n - 1) as f64) * p).floor() as usize];
+    Some(LatencySummary {
+        count: n,
+        mean_ms: mean,
+        p50_ms: pct(0.50),
+        p95_ms: pct(0.95),
+        p99_ms: pct(0.99),
+        std_ms: var.sqrt(),
+    })
+}
+
+impl fmt::Display for LatencySummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={:>6}  mean={:>8.2}ms  p50={:>8.2}ms  p95={:>8.2}ms  p99={:>8.2}ms  σ={:>7.2}ms",
+            self.count, self.mean_ms, self.p50_ms, self.p95_ms, self.p99_ms, self.std_ms
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summaries_and_percentiles() {
+        let mut m = Metrics::new();
+        m.set_window(0.0, 10.0);
+        for i in 1..=100 {
+            m.record("op", i as f64);
+        }
+        let s = m.summary("op").unwrap();
+        assert_eq!(s.count, 100);
+        assert!((s.mean_ms - 50.5).abs() < 1e-9);
+        assert_eq!(s.p50_ms, 50.0);
+        assert_eq!(s.p95_ms, 95.0);
+        assert_eq!(s.p99_ms, 99.0);
+        assert!(s.std_ms > 28.0 && s.std_ms < 30.0);
+        assert_eq!(m.throughput(), 10.0);
+    }
+
+    #[test]
+    fn overall_merges_labels() {
+        let mut m = Metrics::new();
+        m.set_window(0.0, 1.0);
+        m.record("a", 10.0);
+        m.record("b", 20.0);
+        let o = m.overall().unwrap();
+        assert_eq!(o.count, 2);
+        assert_eq!(o.mean_ms, 15.0);
+        assert!(m.summary("missing").is_none());
+    }
+
+    #[test]
+    fn failures_and_violations_counted() {
+        let mut m = Metrics::new();
+        m.record_failure();
+        m.record_violations(3);
+        assert_eq!(m.failed, 1);
+        assert_eq!(m.violations, 3);
+    }
+}

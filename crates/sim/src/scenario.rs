@@ -1,0 +1,50 @@
+//! Pre-built topologies matching the paper's deployment (§5.2.1).
+
+use crate::latency::LatencyModel;
+
+/// Region indices for the paper's three-data-center deployment.
+pub const US_EAST: u16 = 0;
+pub const US_WEST: u16 = 1;
+pub const EU_WEST: u16 = 2;
+
+/// The paper's EC2 topology: "mean latency around 80 milliseconds between
+/// US-EAST and US-WEST and US-EAST and EU-WEST, and 160 between EU-WEST
+/// and US-WEST", with a 1 ms intra-region RTT and ±10 % jitter.
+pub fn paper_topology() -> LatencyModel {
+    LatencyModel::new(
+        vec![
+            vec![1.0, 80.0, 80.0],
+            vec![80.0, 1.0, 160.0],
+            vec![80.0, 160.0, 1.0],
+        ],
+        0.10,
+    )
+}
+
+/// A two-region topology for microbenchmarks and reservation-contention
+/// experiments (one 80 ms WAN link).
+pub fn two_region_topology() -> LatencyModel {
+    LatencyModel::new(vec![vec![1.0, 80.0], vec![80.0, 1.0]], 0.10)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_topology_matches_measurements() {
+        let t = paper_topology();
+        assert_eq!(t.regions(), 3);
+        assert_eq!(t.base_rtt(US_EAST, US_WEST), 80.0);
+        assert_eq!(t.base_rtt(US_EAST, EU_WEST), 80.0);
+        assert_eq!(t.base_rtt(US_WEST, EU_WEST), 160.0);
+        assert_eq!(t.base_rtt(US_EAST, US_EAST), 1.0);
+    }
+
+    #[test]
+    fn two_region_topology_shape() {
+        let t = two_region_topology();
+        assert_eq!(t.regions(), 2);
+        assert_eq!(t.base_rtt(0, 1), 80.0);
+    }
+}

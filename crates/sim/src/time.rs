@@ -1,0 +1,94 @@
+//! Virtual time: microsecond-resolution simulated clock values.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in simulated time (microseconds since simulation start).
+/// Integer microseconds keep the event queue totally ordered and the
+/// simulation deterministic.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Debug)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    pub const ZERO: SimTime = SimTime(0);
+
+    pub fn from_ms(ms: f64) -> SimTime {
+        SimTime((ms.max(0.0) * 1000.0).round() as u64)
+    }
+
+    pub fn from_secs(s: f64) -> SimTime {
+        Self::from_ms(s * 1000.0)
+    }
+
+    pub fn as_ms(self) -> f64 {
+        self.0 as f64 / 1000.0
+    }
+
+    pub fn as_secs(self) -> f64 {
+        self.as_ms() / 1000.0
+    }
+
+    pub fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Saturating difference in milliseconds.
+    pub fn ms_since(self, earlier: SimTime) -> f64 {
+        (self.0.saturating_sub(earlier.0)) as f64 / 1000.0
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimTime {
+    fn add_assign(&mut self, rhs: SimTime) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}ms", self.as_ms())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_roundtrip() {
+        let t = SimTime::from_ms(80.5);
+        assert_eq!(t.as_micros(), 80_500);
+        assert!((t.as_ms() - 80.5).abs() < 1e-9);
+        assert!((SimTime::from_secs(2.0).as_secs() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn arithmetic_and_ordering() {
+        let a = SimTime::from_ms(10.0);
+        let b = SimTime::from_ms(15.0);
+        assert!(a < b);
+        assert_eq!((a + b).as_ms(), 25.0);
+        assert_eq!((b - a).as_ms(), 5.0);
+        assert_eq!((a - b).0, 0, "saturating subtraction");
+        assert_eq!(b.ms_since(a), 5.0);
+    }
+
+    #[test]
+    fn negative_ms_clamps_to_zero() {
+        assert_eq!(SimTime::from_ms(-3.0), SimTime::ZERO);
+    }
+}

@@ -1,0 +1,171 @@
+//! CNF formulas: clause collections with variable accounting.
+
+use crate::lit::{Lit, SatVar};
+use std::fmt;
+
+/// A disjunction of literals.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Clause {
+    pub lits: Vec<Lit>,
+}
+
+impl Clause {
+    pub fn new(lits: Vec<Lit>) -> Self {
+        Clause { lits }
+    }
+
+    pub fn len(&self) -> usize {
+        self.lits.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.lits.is_empty()
+    }
+
+    /// Remove duplicate literals; detect tautologies (`x ∨ ¬x`).
+    /// Returns `None` if the clause is a tautology.
+    pub fn normalized(mut self) -> Option<Clause> {
+        self.lits.sort_unstable();
+        self.lits.dedup();
+        for w in self.lits.windows(2) {
+            if w[0].var() == w[1].var() {
+                return None; // x and ~x both present
+            }
+        }
+        Some(self)
+    }
+}
+
+impl fmt::Display for Clause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, l) in self.lits.iter().enumerate() {
+            if i > 0 {
+                write!(f, " | ")?;
+            }
+            write!(f, "{l}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// A CNF formula under construction.
+#[derive(Clone, Debug, Default)]
+pub struct Cnf {
+    num_vars: u32,
+    pub clauses: Vec<Clause>,
+    /// Set when a trivially-false (empty) clause was added.
+    trivially_unsat: bool,
+}
+
+impl Cnf {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocate a fresh variable.
+    pub fn fresh_var(&mut self) -> SatVar {
+        let v = SatVar(self.num_vars);
+        self.num_vars += 1;
+        v
+    }
+
+    pub fn num_vars(&self) -> u32 {
+        self.num_vars
+    }
+
+    /// Ensure variable ids up to `v` exist (used when clauses are built from
+    /// externally numbered variables).
+    pub fn ensure_var(&mut self, v: SatVar) {
+        if v.0 >= self.num_vars {
+            self.num_vars = v.0 + 1;
+        }
+    }
+
+    /// Add a clause; tautologies are dropped, duplicates within the clause
+    /// removed. Adding the empty clause marks the formula unsatisfiable.
+    pub fn add_clause(&mut self, lits: impl IntoIterator<Item = Lit>) {
+        let clause = Clause::new(lits.into_iter().collect());
+        for l in &clause.lits {
+            self.ensure_var(l.var());
+        }
+        match clause.normalized() {
+            None => {} // tautology
+            Some(c) if c.is_empty() => {
+                self.trivially_unsat = true;
+                self.clauses.push(c);
+            }
+            Some(c) => self.clauses.push(c),
+        }
+    }
+
+    pub fn is_trivially_unsat(&self) -> bool {
+        self.trivially_unsat
+    }
+
+    /// Evaluate under a full assignment (for testing).
+    pub fn eval(&self, assignment: &[bool]) -> bool {
+        self.clauses.iter().all(|c| {
+            c.lits.iter().any(|l| l.apply(assignment[l.var().index()]))
+        })
+    }
+}
+
+impl fmt::Display for Cnf {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, c) in self.clauses.iter().enumerate() {
+            if i > 0 {
+                write!(f, " & ")?;
+            }
+            write!(f, "{c}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tautologies_are_dropped() {
+        let mut cnf = Cnf::new();
+        let v = cnf.fresh_var();
+        cnf.add_clause([v.positive(), v.negative()]);
+        assert!(cnf.clauses.is_empty());
+    }
+
+    #[test]
+    fn duplicate_literals_are_merged() {
+        let mut cnf = Cnf::new();
+        let v = cnf.fresh_var();
+        cnf.add_clause([v.positive(), v.positive()]);
+        assert_eq!(cnf.clauses[0].len(), 1);
+    }
+
+    #[test]
+    fn empty_clause_marks_unsat() {
+        let mut cnf = Cnf::new();
+        cnf.add_clause([]);
+        assert!(cnf.is_trivially_unsat());
+    }
+
+    #[test]
+    fn ensure_var_grows_the_space() {
+        let mut cnf = Cnf::new();
+        cnf.add_clause([SatVar(9).positive()]);
+        assert_eq!(cnf.num_vars(), 10);
+    }
+
+    #[test]
+    fn eval_full_assignment() {
+        let mut cnf = Cnf::new();
+        let a = cnf.fresh_var();
+        let b = cnf.fresh_var();
+        cnf.add_clause([a.positive(), b.positive()]);
+        cnf.add_clause([a.negative()]);
+        assert!(cnf.eval(&[false, true]));
+        assert!(!cnf.eval(&[true, true]));
+        assert!(!cnf.eval(&[false, false]));
+    }
+}

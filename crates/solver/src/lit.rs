@@ -1,0 +1,122 @@
+//! Boolean variables and literals.
+
+use std::fmt;
+
+/// A SAT variable, numbered from 0.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct SatVar(pub u32);
+
+impl SatVar {
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The positive literal of this variable.
+    pub fn positive(self) -> Lit {
+        Lit::new(self, true)
+    }
+
+    /// The negative literal of this variable.
+    pub fn negative(self) -> Lit {
+        Lit::new(self, false)
+    }
+}
+
+/// A literal: a variable with a polarity. Encoded as `var << 1 | neg` so a
+/// literal doubles as an index into watch lists.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Lit(u32);
+
+impl Lit {
+    pub fn new(var: SatVar, positive: bool) -> Lit {
+        Lit(var.0 << 1 | u32::from(!positive))
+    }
+
+    pub fn var(self) -> SatVar {
+        SatVar(self.0 >> 1)
+    }
+
+    pub fn is_positive(self) -> bool {
+        self.0 & 1 == 0
+    }
+
+    /// The complementary literal.
+    #[must_use]
+    pub fn negated(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+
+    /// Dense code usable as a watch-list index.
+    pub fn code(self) -> usize {
+        self.0 as usize
+    }
+
+    pub fn from_code(code: usize) -> Lit {
+        Lit(code as u32)
+    }
+
+    /// The truth value this literal takes under an assignment of its
+    /// variable.
+    pub fn apply(self, var_value: bool) -> bool {
+        var_value == self.is_positive()
+    }
+}
+
+impl std::ops::Not for Lit {
+    type Output = Lit;
+    fn not(self) -> Lit {
+        self.negated()
+    }
+}
+
+impl fmt::Debug for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_positive() {
+            write!(f, "x{}", self.var().0)
+        } else {
+            write!(f, "~x{}", self.var().0)
+        }
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_encoding_roundtrip() {
+        let v = SatVar(5);
+        let pos = v.positive();
+        let neg = v.negative();
+        assert_eq!(pos.var(), v);
+        assert_eq!(neg.var(), v);
+        assert!(pos.is_positive());
+        assert!(!neg.is_positive());
+        assert_eq!(pos.negated(), neg);
+        assert_eq!(!neg, pos);
+        assert_eq!(Lit::from_code(pos.code()), pos);
+    }
+
+    #[test]
+    fn apply_polarity() {
+        let v = SatVar(0);
+        assert!(v.positive().apply(true));
+        assert!(!v.positive().apply(false));
+        assert!(v.negative().apply(false));
+        assert!(!v.negative().apply(true));
+    }
+
+    #[test]
+    fn codes_are_dense() {
+        assert_eq!(SatVar(0).positive().code(), 0);
+        assert_eq!(SatVar(0).negative().code(), 1);
+        assert_eq!(SatVar(1).positive().code(), 2);
+        assert_eq!(SatVar(1).negative().code(), 3);
+    }
+}

@@ -1,0 +1,271 @@
+//! High-level satisfiability queries: the interface `ipa-core` uses in
+//! place of Z3.
+
+use crate::ground::{GroundError, GroundFormula, Grounder, Universe};
+use crate::sat::Solver;
+use crate::tseitin::Encoder;
+use ipa_spec::{Formula, GroundAtom, Interpretation, PredicateDecl, Symbol};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Errors from problem construction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SolverError {
+    Ground(GroundError),
+}
+
+impl fmt::Display for SolverError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolverError::Ground(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for SolverError {}
+
+impl From<GroundError> for SolverError {
+    fn from(e: GroundError) -> Self {
+        SolverError::Ground(e)
+    }
+}
+
+/// A satisfying assignment decoded back to ground atoms.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Model {
+    pub bools: BTreeMap<GroundAtom, bool>,
+    pub nums: BTreeMap<GroundAtom, i64>,
+}
+
+impl Model {
+    /// Convert to an [`Interpretation`] over the given universe (so
+    /// counter-example states can be evaluated and pretty-printed).
+    pub fn to_interpretation(
+        &self,
+        universe: &Universe,
+        named: &BTreeMap<Symbol, i64>,
+    ) -> Interpretation {
+        let mut m = Interpretation::new();
+        for c in universe.iter() {
+            m.add_element(c.clone());
+        }
+        for (a, &v) in &self.bools {
+            m.set_bool(a.clone(), v);
+        }
+        for (a, &v) in &self.nums {
+            m.set_num(a.clone(), v);
+        }
+        for (n, &v) in named {
+            m.set_named(n.clone(), v);
+        }
+        m
+    }
+}
+
+/// The result of a satisfiability query.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Outcome {
+    Sat(Model),
+    Unsat,
+}
+
+impl Outcome {
+    pub fn is_sat(&self) -> bool {
+        matches!(self, Outcome::Sat(_))
+    }
+
+    pub fn model(&self) -> Option<&Model> {
+        match self {
+            Outcome::Sat(m) => Some(m),
+            Outcome::Unsat => None,
+        }
+    }
+}
+
+/// A satisfiability problem: a universe, predicate declarations, named
+/// constants, and a conjunction of asserted formulas.
+///
+/// ```
+/// use ipa_solver::{Problem, Universe};
+/// use ipa_spec::{parser::parse_formula, Constant, PredicateDecl, Sort, Symbol};
+/// use std::collections::BTreeMap;
+///
+/// let universe: Universe =
+///     [Constant::new("P1", Sort::new("Player"))].into_iter().collect();
+/// let mut decls = BTreeMap::new();
+/// let d = PredicateDecl::boolean("player", vec![Sort::new("Player")]);
+/// decls.insert(d.name.clone(), d);
+/// let named = BTreeMap::new();
+///
+/// let mut p = Problem::new(universe, decls, named, 8);
+/// p.assert(&parse_formula("forall(Player: p) :- player(p)").unwrap()).unwrap();
+/// p.assert(&parse_formula("exists(Player: p) :- not(player(p))").unwrap()).unwrap();
+/// assert!(!p.solve().is_sat());
+/// ```
+pub struct Problem {
+    universe: Universe,
+    decls: BTreeMap<Symbol, PredicateDecl>,
+    named: BTreeMap<Symbol, i64>,
+    encoder: Encoder,
+    ground_err: Option<SolverError>,
+}
+
+impl Problem {
+    pub fn new(
+        universe: Universe,
+        decls: BTreeMap<Symbol, PredicateDecl>,
+        named: BTreeMap<Symbol, i64>,
+        numeric_bound: i64,
+    ) -> Self {
+        Problem { universe, decls, named, encoder: Encoder::new(numeric_bound), ground_err: None }
+    }
+
+    pub fn universe(&self) -> &Universe {
+        &self.universe
+    }
+
+    /// Ground and assert a first-order formula.
+    pub fn assert(&mut self, f: &Formula) -> Result<(), SolverError> {
+        let g = {
+            let grounder = Grounder::new(&self.universe, &self.decls, &self.named);
+            grounder.ground(f)?
+        };
+        self.encoder.assert(&g);
+        Ok(())
+    }
+
+    /// Assert an already ground formula.
+    pub fn assert_ground(&mut self, g: &GroundFormula) {
+        self.encoder.assert(g);
+    }
+
+    /// Ground a formula without asserting it (for post-state construction).
+    pub fn ground(&self, f: &Formula) -> Result<GroundFormula, SolverError> {
+        let grounder = Grounder::new(&self.universe, &self.decls, &self.named);
+        Ok(grounder.ground(f)?)
+    }
+
+    /// Access the grounder for auxiliary expansions (count patterns etc.).
+    pub fn grounder(&self) -> Grounder<'_> {
+        Grounder::new(&self.universe, &self.decls, &self.named)
+    }
+
+    /// Decide satisfiability of the asserted conjunction.
+    pub fn solve(&mut self) -> Outcome {
+        if self.ground_err.is_some() {
+            return Outcome::Unsat;
+        }
+        let mut solver = Solver::new();
+        for clause in &self.encoder.cnf.clauses {
+            solver.add_clause(&clause.lits);
+        }
+        while (solver.num_vars() as u32) < self.encoder.cnf.num_vars() {
+            solver.new_var();
+        }
+        if solver.solve() {
+            let (bools, nums) = self.encoder.decode(&solver.model());
+            Outcome::Sat(Model { bools, nums })
+        } else {
+            Outcome::Unsat
+        }
+    }
+
+    /// Decode helper: turn a model into an interpretation over this
+    /// problem's universe and constants.
+    pub fn interpretation(&self, m: &Model) -> Interpretation {
+        m.to_interpretation(&self.universe, &self.named)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipa_spec::parser::parse_formula;
+    use ipa_spec::{Constant, Sort};
+
+    fn setup() -> Problem {
+        let universe: Universe = [
+            Constant::new("P1", Sort::new("Player")),
+            Constant::new("P2", Sort::new("Player")),
+            Constant::new("T1", Sort::new("Tournament")),
+        ]
+        .into_iter()
+        .collect();
+        let mut decls = BTreeMap::new();
+        for d in [
+            PredicateDecl::boolean("player", vec![Sort::new("Player")]),
+            PredicateDecl::boolean("tournament", vec![Sort::new("Tournament")]),
+            PredicateDecl::boolean(
+                "enrolled",
+                vec![Sort::new("Player"), Sort::new("Tournament")],
+            ),
+        ] {
+            decls.insert(d.name.clone(), d);
+        }
+        let mut named = BTreeMap::new();
+        named.insert(Symbol::new("Capacity"), 1i64);
+        Problem::new(universe, decls, named, 8)
+    }
+
+    #[test]
+    fn referential_integrity_violation_is_found() {
+        let mut p = setup();
+        let inv = parse_formula(
+            "forall(Player: p, Tournament: t) :- enrolled(p,t) => player(p) and tournament(t)",
+        )
+        .unwrap();
+        // Assert the NEGATION of the invariant: find a violating state.
+        p.assert(&Formula::not(inv)).unwrap();
+        let out = p.solve();
+        let model = out.model().expect("violating state exists");
+        // In the found state, someone is enrolled without player/tournament.
+        let violated = model.bools.iter().any(|(a, &v)| a.pred.as_str() == "enrolled" && v);
+        assert!(violated, "model: {model:?}");
+    }
+
+    #[test]
+    fn invariant_plus_negation_unsat() {
+        let mut p = setup();
+        let inv = parse_formula(
+            "forall(Player: p, Tournament: t) :- enrolled(p,t) => player(p) and tournament(t)",
+        )
+        .unwrap();
+        p.assert(&inv).unwrap();
+        p.assert(&Formula::not(inv.clone())).unwrap();
+        assert_eq!(p.solve(), Outcome::Unsat);
+    }
+
+    #[test]
+    fn capacity_constraint_with_named_constant() {
+        let mut p = setup();
+        // Capacity = 1; both players enrolled violates it.
+        let cap = parse_formula("forall(Tournament: t) :- #enrolled(*, t) <= Capacity").unwrap();
+        p.assert(&cap).unwrap();
+        p.assert(&parse_formula("exists(Player: p, Tournament: t) :- enrolled(p, t)").unwrap())
+            .unwrap();
+        let out = p.solve();
+        assert!(out.is_sat());
+        let m = out.model().unwrap();
+        let enrolled_count =
+            m.bools.iter().filter(|(a, &v)| a.pred.as_str() == "enrolled" && v).count();
+        assert_eq!(enrolled_count, 1);
+    }
+
+    #[test]
+    fn model_roundtrips_to_interpretation() {
+        let mut p = setup();
+        p.assert(&parse_formula("exists(Player: p) :- player(p)").unwrap()).unwrap();
+        let out = p.solve();
+        let m = out.model().unwrap().clone();
+        let interp = p.interpretation(&m);
+        let f = parse_formula("exists(Player: p) :- player(p)").unwrap();
+        assert!(interp.eval(&f).unwrap());
+    }
+
+    #[test]
+    fn ground_error_surfaces() {
+        let mut p = setup();
+        let f = parse_formula("forall(Tournament: t) :- #enrolled(*, t) <= Missing").unwrap();
+        assert!(p.assert(&f).is_err());
+    }
+}

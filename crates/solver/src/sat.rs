@@ -1,0 +1,575 @@
+//! A CDCL SAT solver: two-watched-literal propagation, first-UIP conflict
+//! analysis with clause learning, activity-driven decisions with phase
+//! saving, and geometric restarts.
+//!
+//! Instances produced by the IPA analysis are small (tens to a few thousand
+//! variables), so the implementation favours clarity over heroic
+//! optimization — but the algorithms are the real ones, and the solver is
+//! validated against brute-force enumeration by property tests.
+
+use crate::lit::{Lit, SatVar};
+
+const ACTIVITY_DECAY: f64 = 0.95;
+const ACTIVITY_RESCALE: f64 = 1e100;
+
+#[derive(Clone, Debug)]
+struct ClauseData {
+    lits: Vec<Lit>,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Watcher {
+    clause: u32,
+}
+
+/// The solver. Variables are created implicitly by the highest index used
+/// in added clauses (or explicitly via [`Solver::new_var`]).
+#[derive(Debug, Default)]
+pub struct Solver {
+    clauses: Vec<ClauseData>,
+    watches: Vec<Vec<Watcher>>, // indexed by lit code
+    values: Vec<i8>,            // 0 = unassigned, 1 = true, -1 = false
+    levels: Vec<u32>,
+    reasons: Vec<Option<u32>>,
+    activity: Vec<f64>,
+    phase: Vec<bool>,
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    qhead: usize,
+    activity_inc: f64,
+    unsat: bool,
+    /// Statistics: total conflicts, decisions, propagations.
+    pub stats: Stats,
+}
+
+/// Solver statistics (exposed for the benchmark harness).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Stats {
+    pub conflicts: u64,
+    pub decisions: u64,
+    pub propagations: u64,
+    pub restarts: u64,
+}
+
+impl Solver {
+    pub fn new() -> Self {
+        Solver { activity_inc: 1.0, ..Default::default() }
+    }
+
+    /// Number of variables known to the solver.
+    pub fn num_vars(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Allocate a fresh variable.
+    pub fn new_var(&mut self) -> SatVar {
+        let v = SatVar(self.values.len() as u32);
+        self.values.push(0);
+        self.levels.push(0);
+        self.reasons.push(None);
+        self.activity.push(0.0);
+        self.phase.push(false);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        v
+    }
+
+    fn ensure_var(&mut self, v: SatVar) {
+        while self.values.len() <= v.index() {
+            self.new_var();
+        }
+    }
+
+    fn value_of(&self, l: Lit) -> i8 {
+        let v = self.values[l.var().index()];
+        if l.is_positive() {
+            v
+        } else {
+            -v
+        }
+    }
+
+    fn decision_level(&self) -> u32 {
+        self.trail_lim.len() as u32
+    }
+
+    /// Add a clause. Must be called before `solve` (no incremental solving
+    /// under assumptions is needed by the analysis).
+    pub fn add_clause(&mut self, lits: &[Lit]) {
+        if self.unsat {
+            return;
+        }
+        // Normalize: dedup, drop tautologies, drop false lits fixed at
+        // level 0, and skip clauses satisfied at level 0.
+        let mut c: Vec<Lit> = Vec::with_capacity(lits.len());
+        for &l in lits {
+            self.ensure_var(l.var());
+            match self.value_of(l) {
+                1 => return,  // satisfied at level 0
+                -1 => continue, // already false at level 0: drop literal
+                _ => c.push(l),
+            }
+        }
+        c.sort_unstable();
+        c.dedup();
+        for w in c.windows(2) {
+            if w[0].var() == w[1].var() {
+                return; // tautology
+            }
+        }
+        match c.len() {
+            0 => self.unsat = true,
+            1 => {
+                if !self.enqueue(c[0], None) {
+                    self.unsat = true;
+                } else if self.propagate().is_some() {
+                    self.unsat = true;
+                }
+            }
+            _ => {
+                let idx = self.clauses.len() as u32;
+                self.watches[c[0].code()].push(Watcher { clause: idx });
+                self.watches[c[1].code()].push(Watcher { clause: idx });
+                self.clauses.push(ClauseData { lits: c });
+            }
+        }
+    }
+
+    /// Assign `l` true with an optional reason clause. Returns false on
+    /// conflict with an existing assignment.
+    fn enqueue(&mut self, l: Lit, reason: Option<u32>) -> bool {
+        match self.value_of(l) {
+            1 => true,
+            -1 => false,
+            _ => {
+                let v = l.var().index();
+                self.values[v] = if l.is_positive() { 1 } else { -1 };
+                self.levels[v] = self.decision_level();
+                self.reasons[v] = reason;
+                self.phase[v] = l.is_positive();
+                self.trail.push(l);
+                true
+            }
+        }
+    }
+
+    /// Unit propagation; returns the index of a conflicting clause if any.
+    fn propagate(&mut self) -> Option<u32> {
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            self.stats.propagations += 1;
+            // Clauses watching ¬p must be visited: ¬p just became false.
+            let false_lit = p.negated();
+            let mut watchers = std::mem::take(&mut self.watches[false_lit.code()]);
+            let mut i = 0;
+            while i < watchers.len() {
+                let ci = watchers[i].clause;
+                // Make lits[1] the false literal.
+                let (keep, propagate_lit, conflict) = {
+                    let clause = &mut self.clauses[ci as usize];
+                    if clause.lits[0] == false_lit {
+                        clause.lits.swap(0, 1);
+                    }
+                    debug_assert_eq!(clause.lits[1], false_lit);
+                    let first = clause.lits[0];
+                    if first != false_lit && {
+                        let v = self.values[first.var().index()];
+                        (if first.is_positive() { v } else { -v }) == 1
+                    } {
+                        // Clause already satisfied by the other watch.
+                        (true, None, false)
+                    } else {
+                        // Look for a new literal to watch.
+                        let mut found = None;
+                        for k in 2..clause.lits.len() {
+                            let l = clause.lits[k];
+                            let v = self.values[l.var().index()];
+                            let val = if l.is_positive() { v } else { -v };
+                            if val != -1 {
+                                found = Some(k);
+                                break;
+                            }
+                        }
+                        if let Some(k) = found {
+                            clause.lits.swap(1, k);
+                            let new_watch = clause.lits[1];
+                            self.watches[new_watch.code()].push(Watcher { clause: ci });
+                            (false, None, false)
+                        } else {
+                            // Unit or conflict on lits[0].
+                            let v = self.values[first.var().index()];
+                            let val = if first.is_positive() { v } else { -v };
+                            if val == -1 {
+                                (true, None, true)
+                            } else {
+                                (true, Some(first), false)
+                            }
+                        }
+                    }
+                };
+                if conflict {
+                    // Keep every remaining watcher (the current one still
+                    // watches `false_lit`) and abort propagation.
+                    self.watches[false_lit.code()] = watchers;
+                    self.qhead = self.trail.len();
+                    return Some(ci);
+                }
+                if let Some(l) = propagate_lit {
+                    let ok = self.enqueue(l, Some(ci));
+                    debug_assert!(ok, "enqueue of unit literal cannot conflict here");
+                }
+                if keep {
+                    i += 1;
+                } else {
+                    watchers.swap_remove(i);
+                }
+            }
+            // Merge retained watchers with any added during this round.
+            let added = std::mem::take(&mut self.watches[false_lit.code()]);
+            watchers.extend(added);
+            self.watches[false_lit.code()] = watchers;
+        }
+        None
+    }
+
+    fn bump_activity(&mut self, v: SatVar) {
+        let a = &mut self.activity[v.index()];
+        *a += self.activity_inc;
+        if *a > ACTIVITY_RESCALE {
+            for act in &mut self.activity {
+                *act /= ACTIVITY_RESCALE;
+            }
+            self.activity_inc /= ACTIVITY_RESCALE;
+        }
+    }
+
+    fn decay_activities(&mut self) {
+        self.activity_inc /= ACTIVITY_DECAY;
+    }
+
+    /// First-UIP conflict analysis. Returns the learnt clause (with the
+    /// asserting literal first) and the backjump level.
+    fn analyze(&mut self, conflict: u32) -> (Vec<Lit>, u32) {
+        let mut learnt: Vec<Lit> = vec![Lit::new(SatVar(0), true)]; // placeholder slot 0
+        let mut seen = vec![false; self.num_vars()];
+        let mut counter = 0u32; // literals at current level pending
+        let mut p: Option<Lit> = None;
+        let mut clause_idx = conflict;
+        let mut trail_pos = self.trail.len();
+        let current_level = self.decision_level();
+
+        let mut reason_lits: Vec<Lit> = Vec::new();
+        loop {
+            {
+                let clause = &self.clauses[clause_idx as usize];
+                let start = usize::from(p.is_some());
+                reason_lits.clear();
+                reason_lits.extend_from_slice(&clause.lits[start..]);
+            }
+            for i in 0..reason_lits.len() {
+                let q = reason_lits[i];
+                let vi = q.var().index();
+                if !seen[vi] && self.levels[vi] > 0 {
+                    seen[vi] = true;
+                    self.bump_activity(q.var());
+                    if self.levels[vi] == current_level {
+                        counter += 1;
+                    } else {
+                        learnt.push(q);
+                    }
+                }
+            }
+            // Find the next literal on the trail to resolve on.
+            loop {
+                trail_pos -= 1;
+                let l = self.trail[trail_pos];
+                if seen[l.var().index()] {
+                    p = Some(l);
+                    break;
+                }
+            }
+            let pv = p.expect("found above").var();
+            seen[pv.index()] = false;
+            counter -= 1;
+            if counter == 0 {
+                learnt[0] = p.expect("found above").negated();
+                break;
+            }
+            clause_idx = self.reasons[pv.index()].expect("non-decision literal has a reason");
+        }
+
+        // Backjump level: highest level among learnt[1..].
+        let mut bj = 0;
+        let mut max_i = 0;
+        for (i, l) in learnt.iter().enumerate().skip(1) {
+            let lvl = self.levels[l.var().index()];
+            if lvl > bj {
+                bj = lvl;
+                max_i = i;
+            }
+        }
+        if max_i > 0 {
+            learnt.swap(1, max_i); // watch a literal at the backjump level
+        }
+        (learnt, bj)
+    }
+
+    fn cancel_until(&mut self, level: u32) {
+        while self.decision_level() > level {
+            let lim = self.trail_lim.pop().expect("level > 0");
+            for &l in &self.trail[lim..] {
+                let vi = l.var().index();
+                self.values[vi] = 0;
+                self.reasons[vi] = None;
+            }
+            self.trail.truncate(lim);
+        }
+        self.qhead = self.trail.len();
+    }
+
+    fn pick_branch(&mut self) -> Option<Lit> {
+        let mut best: Option<(usize, f64)> = None;
+        for (i, &v) in self.values.iter().enumerate() {
+            if v == 0 {
+                let a = self.activity[i];
+                if best.map_or(true, |(_, ba)| a > ba) {
+                    best = Some((i, a));
+                }
+            }
+        }
+        best.map(|(i, _)| Lit::new(SatVar(i as u32), self.phase[i]))
+    }
+
+    /// Solve the formula. Returns `true` if satisfiable; the model is then
+    /// available via [`Solver::model`].
+    pub fn solve(&mut self) -> bool {
+        if self.unsat {
+            return false;
+        }
+        if self.propagate().is_some() {
+            self.unsat = true;
+            return false;
+        }
+        let mut conflicts_since_restart = 0u64;
+        let mut restart_limit = 100u64;
+        loop {
+            match self.propagate() {
+                Some(conflict) => {
+                    self.stats.conflicts += 1;
+                    conflicts_since_restart += 1;
+                    if self.decision_level() == 0 {
+                        self.unsat = true;
+                        return false;
+                    }
+                    let (learnt, bj) = self.analyze(conflict);
+                    self.cancel_until(bj);
+                    self.decay_activities();
+                    match learnt.len() {
+                        1 => {
+                            let ok = self.enqueue(learnt[0], None);
+                            if !ok {
+                                self.unsat = true;
+                                return false;
+                            }
+                        }
+                        _ => {
+                            let idx = self.clauses.len() as u32;
+                            self.watches[learnt[0].code()].push(Watcher { clause: idx });
+                            self.watches[learnt[1].code()].push(Watcher { clause: idx });
+                            let assert_lit = learnt[0];
+                            self.clauses.push(ClauseData { lits: learnt });
+                            let ok = self.enqueue(assert_lit, Some(idx));
+                            debug_assert!(ok, "asserting literal must be unassigned");
+                        }
+                    }
+                }
+                None => {
+                    if conflicts_since_restart >= restart_limit {
+                        conflicts_since_restart = 0;
+                        restart_limit = restart_limit * 3 / 2;
+                        self.stats.restarts += 1;
+                        self.cancel_until(0);
+                        continue;
+                    }
+                    match self.pick_branch() {
+                        None => return true, // full assignment, no conflict
+                        Some(l) => {
+                            self.stats.decisions += 1;
+                            self.trail_lim.push(self.trail.len());
+                            let ok = self.enqueue(l, None);
+                            debug_assert!(ok, "decision variable was unassigned");
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// The satisfying assignment after a successful [`Solver::solve`].
+    /// Unassigned variables (possible when a variable appears in no clause)
+    /// default to `false`.
+    pub fn model(&self) -> Vec<bool> {
+        self.values.iter().map(|&v| v == 1).collect()
+    }
+
+    /// The value assigned to a variable in the model.
+    pub fn model_value(&self, v: SatVar) -> bool {
+        self.values.get(v.index()).is_some_and(|&x| x == 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lits(spec: &[i32]) -> Vec<Lit> {
+        spec.iter()
+            .map(|&x| {
+                let v = SatVar((x.unsigned_abs() - 1) as u32);
+                Lit::new(v, x > 0)
+            })
+            .collect()
+    }
+
+    fn solver_with(clauses: &[&[i32]]) -> Solver {
+        let mut s = Solver::new();
+        for c in clauses {
+            s.add_clause(&lits(c));
+        }
+        s
+    }
+
+    #[test]
+    fn trivial_sat() {
+        let mut s = solver_with(&[&[1]]);
+        assert!(s.solve());
+        assert!(s.model_value(SatVar(0)));
+    }
+
+    #[test]
+    fn trivial_unsat() {
+        let mut s = solver_with(&[&[1], &[-1]]);
+        assert!(!s.solve());
+    }
+
+    #[test]
+    fn empty_formula_is_sat() {
+        let mut s = Solver::new();
+        assert!(s.solve());
+    }
+
+    #[test]
+    fn empty_clause_is_unsat() {
+        let mut s = Solver::new();
+        s.add_clause(&[]);
+        assert!(!s.solve());
+    }
+
+    #[test]
+    fn simple_implication_chain() {
+        // x1, x1->x2, x2->x3 ... => all true
+        let mut s = solver_with(&[&[1], &[-1, 2], &[-2, 3], &[-3, 4]]);
+        assert!(s.solve());
+        for i in 0..4 {
+            assert!(s.model_value(SatVar(i)));
+        }
+    }
+
+    #[test]
+    fn pigeonhole_3_into_2_is_unsat() {
+        // p_ij: pigeon i in hole j. vars: p11=1,p12=2,p21=3,p22=4,p31=5,p32=6
+        let mut s = solver_with(&[
+            &[1, 2],
+            &[3, 4],
+            &[5, 6],
+            // no two pigeons share a hole
+            &[-1, -3],
+            &[-1, -5],
+            &[-3, -5],
+            &[-2, -4],
+            &[-2, -6],
+            &[-4, -6],
+        ]);
+        assert!(!s.solve());
+        assert!(s.stats.conflicts > 0);
+    }
+
+    #[test]
+    fn model_satisfies_all_clauses() {
+        let clauses: Vec<Vec<i32>> = vec![
+            vec![1, 2, -3],
+            vec![-1, 3],
+            vec![-2, 3],
+            vec![1, -2],
+            vec![2, -1],
+        ];
+        let refs: Vec<&[i32]> = clauses.iter().map(|c| c.as_slice()).collect();
+        let mut s = solver_with(&refs);
+        assert!(s.solve());
+        let m = s.model();
+        for c in &clauses {
+            assert!(
+                c.iter().any(|&x| {
+                    let val = m[(x.unsigned_abs() - 1) as usize];
+                    if x > 0 {
+                        val
+                    } else {
+                        !val
+                    }
+                }),
+                "clause {c:?} not satisfied by model {m:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn duplicate_and_tautological_clauses() {
+        let mut s = solver_with(&[&[1, 1, 2], &[1, -1], &[2]]);
+        assert!(s.solve());
+        assert!(s.model_value(SatVar(1)));
+    }
+
+    #[test]
+    fn unsat_after_unit_conflict_at_level_zero() {
+        let mut s = solver_with(&[&[1], &[-1, 2], &[-2]]);
+        assert!(!s.solve());
+    }
+
+    #[test]
+    fn larger_random_instance_is_consistent() {
+        // A satisfiable structured instance: 3-colorability of a path graph.
+        // Node i has vars 3i+1..3i+3 (one per color).
+        let n = 20;
+        let mut cs: Vec<Vec<i32>> = Vec::new();
+        for i in 0..n {
+            let base = 3 * i as i32;
+            cs.push(vec![base + 1, base + 2, base + 3]);
+            // at most one color
+            cs.push(vec![-(base + 1), -(base + 2)]);
+            cs.push(vec![-(base + 1), -(base + 3)]);
+            cs.push(vec![-(base + 2), -(base + 3)]);
+        }
+        for i in 0..n - 1 {
+            let a = 3 * i as i32;
+            let b = 3 * (i + 1) as i32;
+            for c in 1..=3 {
+                cs.push(vec![-(a + c), -(b + c)]);
+            }
+        }
+        let refs: Vec<&[i32]> = cs.iter().map(|c| c.as_slice()).collect();
+        let mut s = solver_with(&refs);
+        assert!(s.solve());
+        let m = s.model();
+        for c in &cs {
+            assert!(c.iter().any(|&x| {
+                let val = m[(x.unsigned_abs() - 1) as usize];
+                if x > 0 {
+                    val
+                } else {
+                    !val
+                }
+            }));
+        }
+    }
+}

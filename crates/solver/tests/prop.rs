@@ -1,0 +1,136 @@
+//! Property tests: the CDCL solver and Tseitin encoder must agree with
+//! brute-force enumeration on random small instances.
+
+use ipa_solver::brute;
+use ipa_solver::cnf::Cnf;
+use ipa_solver::ground::GroundFormula;
+use ipa_solver::lit::{Lit, SatVar};
+use ipa_solver::sat::Solver;
+use ipa_solver::tseitin::Encoder;
+use ipa_spec::{CmpOp, Constant, GroundAtom, Sort};
+use proptest::prelude::*;
+
+/// Random CNF over `nvars` variables with up to `nclauses` clauses of up to
+/// 4 literals each.
+fn arb_cnf(nvars: u32, nclauses: usize) -> impl Strategy<Value = Vec<Vec<i32>>> {
+    let lit = (1..=nvars as i32).prop_flat_map(|v| prop_oneof![Just(v), Just(-v)]);
+    let clause = prop::collection::vec(lit, 1..=4);
+    prop::collection::vec(clause, 0..=nclauses)
+}
+
+fn build_cnf(clauses: &[Vec<i32>], nvars: u32) -> Cnf {
+    let mut cnf = Cnf::new();
+    for _ in 0..nvars {
+        cnf.fresh_var();
+    }
+    for c in clauses {
+        let lits: Vec<Lit> = c
+            .iter()
+            .map(|&x| Lit::new(SatVar((x.unsigned_abs() - 1) as u32), x > 0))
+            .collect();
+        cnf.add_clause(lits);
+    }
+    cnf
+}
+
+fn run_cdcl(cnf: &Cnf) -> Option<Vec<bool>> {
+    let mut s = Solver::new();
+    for c in &cnf.clauses {
+        s.add_clause(&c.lits);
+    }
+    while (s.num_vars() as u32) < cnf.num_vars() {
+        s.new_var();
+    }
+    if s.solve() {
+        Some(s.model())
+    } else {
+        None
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// CDCL and brute force agree on satisfiability, and CDCL models are
+    /// genuine models.
+    #[test]
+    fn cdcl_agrees_with_brute_force(clauses in arb_cnf(8, 24)) {
+        let cnf = build_cnf(&clauses, 8);
+        let brute = brute::cnf_satisfiable(&cnf);
+        let cdcl = run_cdcl(&cnf);
+        prop_assert_eq!(brute.is_some(), cdcl.is_some(),
+            "disagreement on {:?}", clauses);
+        if let Some(model) = cdcl {
+            prop_assert!(cnf.eval(&model), "CDCL returned a non-model for {:?}", clauses);
+        }
+    }
+}
+
+/// Random ground formulas with counting and numeric atoms.
+fn arb_ground_formula() -> impl Strategy<Value = GroundFormula> {
+    let atom = (0u8..5).prop_map(|i| {
+        GroundAtom::new("p", vec![Constant::new(format!("c{i}"), Sort::new("S"))])
+    });
+    let num_atom = (0u8..2).prop_map(|i| {
+        GroundAtom::new("v", vec![Constant::new(format!("n{i}"), Sort::new("S"))])
+    });
+    let cmp = prop_oneof![
+        Just(CmpOp::Le),
+        Just(CmpOp::Lt),
+        Just(CmpOp::Ge),
+        Just(CmpOp::Gt),
+        Just(CmpOp::Eq),
+        Just(CmpOp::Ne)
+    ];
+    let leaf = prop_oneof![
+        atom.clone().prop_map(GroundFormula::Atom),
+        (prop::collection::vec(atom, 1..4), -1i64..6, cmp.clone()).prop_map(
+            |(mut atoms, rhs, op)| {
+                atoms.sort();
+                atoms.dedup();
+                GroundFormula::CountCmp { atoms, offset: 0, op, rhs }
+            }
+        ),
+        (num_atom, -1i64..6, cmp).prop_map(|(atom, rhs, op)| GroundFormula::ValueCmp {
+            atom,
+            offset: 0,
+            op,
+            rhs
+        }),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(GroundFormula::not),
+            prop::collection::vec(inner.clone(), 1..4).prop_map(GroundFormula::and),
+            prop::collection::vec(inner, 1..4).prop_map(GroundFormula::or),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// The Tseitin encoding (incl. counting networks and order encoding)
+    /// is equisatisfiable with the reference semantics.
+    #[test]
+    fn encoder_agrees_with_formula_enumeration(f in arb_ground_formula()) {
+        const BOUND: i64 = 4;
+        let brute = brute::formula_satisfiable(&f, BOUND);
+        let mut enc = Encoder::new(BOUND);
+        enc.assert(&f);
+        let mut s = Solver::new();
+        for c in &enc.cnf.clauses {
+            s.add_clause(&c.lits);
+        }
+        while (s.num_vars() as u32) < enc.cnf.num_vars() {
+            s.new_var();
+        }
+        let sat = s.solve();
+        prop_assert_eq!(brute.is_some(), sat, "disagreement on {:?}", f);
+        if sat {
+            let (bools, nums) = enc.decode(&s.model());
+            prop_assert!(f.eval(&bools, &nums),
+                "decoded model does not satisfy formula {:?}: bools={:?} nums={:?}", f, bools, nums);
+        }
+    }
+}

@@ -1,0 +1,311 @@
+//! Application specifications: the complete input to the IPA analysis.
+
+use crate::convergence::ConvergenceRules;
+use crate::formula::{Formula, NumExpr};
+use crate::operation::Operation;
+use crate::predicate::{Atom, PredicateDecl, PredicateKind};
+use crate::sorts::{Sort, Term};
+use crate::symbol::Symbol;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// A complete application specification: the analogue of the annotated Java
+/// interface of the paper's Figure 1.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct AppSpec {
+    pub name: Symbol,
+    pub sorts: BTreeSet<Sort>,
+    pub predicates: BTreeMap<Symbol, PredicateDecl>,
+    pub invariants: Vec<Formula>,
+    pub operations: Vec<Operation>,
+    pub rules: ConvergenceRules,
+    /// Values for named numeric constants used in invariants
+    /// (e.g. `Capacity = 10`).
+    pub constants: BTreeMap<Symbol, i64>,
+}
+
+impl AppSpec {
+    /// The conjunction of all invariant clauses — the global invariant `I`.
+    pub fn invariant(&self) -> Formula {
+        Formula::and(self.invariants.iter().cloned())
+    }
+
+    pub fn operation(&self, name: &str) -> Option<&Operation> {
+        self.operations.iter().find(|o| o.name.as_str() == name)
+    }
+
+    pub fn predicate(&self, name: &Symbol) -> Option<&PredicateDecl> {
+        self.predicates.get(name)
+    }
+
+    /// Replace an operation (by name) with a modified version — Alg. 1
+    /// line 5 (`Ops.replace`).
+    pub fn replace_operation(&mut self, op: Operation) {
+        if let Some(slot) = self.operations.iter_mut().find(|o| o.name == op.name) {
+            *slot = op;
+        } else {
+            self.operations.push(op);
+        }
+    }
+
+    /// Validate well-formedness: every atom references a declared predicate
+    /// with correct arity and argument sorts; invariants are universal
+    /// clauses; numeric effects target numeric predicates; named constants
+    /// used in invariants are defined.
+    pub fn validate(&self) -> Result<(), SpecError> {
+        for inv in &self.invariants {
+            if !inv.is_universal_clause() {
+                return Err(SpecError::NonUniversalInvariant(inv.to_string()));
+            }
+            if !inv.free_vars().is_empty() {
+                return Err(SpecError::OpenInvariant(inv.to_string()));
+            }
+            let mut err = None;
+            inv.visit_atoms(&mut |a| {
+                if err.is_none() {
+                    err = self.check_atom(a).err();
+                }
+            });
+            if let Some(e) = err {
+                return Err(e);
+            }
+            self.check_named_constants(inv)?;
+        }
+        for op in &self.operations {
+            let mut names = BTreeSet::new();
+            for p in &op.params {
+                if !self.sorts.contains(&p.sort) {
+                    return Err(SpecError::UnknownSort(p.sort.to_string()));
+                }
+                if !names.insert(p.name.clone()) {
+                    return Err(SpecError::DuplicateParam(
+                        op.name.to_string(),
+                        p.name.to_string(),
+                    ));
+                }
+            }
+            for e in op.all_effects() {
+                self.check_atom(&e.atom)?;
+                let decl = self
+                    .predicates
+                    .get(&e.atom.pred)
+                    .expect("checked by check_atom");
+                match (decl.kind, e.kind.is_boolean()) {
+                    (PredicateKind::Bool, false) => {
+                        return Err(SpecError::KindMismatch(e.atom.pred.to_string()))
+                    }
+                    (PredicateKind::Numeric, true) => {
+                        return Err(SpecError::KindMismatch(e.atom.pred.to_string()))
+                    }
+                    _ => {}
+                }
+                // Effect variables must be operation parameters.
+                for v in e.atom.vars() {
+                    if !op.params.contains(v) {
+                        return Err(SpecError::UnboundEffectVar(
+                            op.name.to_string(),
+                            v.name.to_string(),
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn check_atom(&self, a: &Atom) -> Result<(), SpecError> {
+        let decl = self
+            .predicates
+            .get(&a.pred)
+            .ok_or_else(|| SpecError::UnknownPredicate(a.pred.to_string()))?;
+        if decl.arity() != a.args.len() {
+            return Err(SpecError::ArityMismatch {
+                pred: a.pred.to_string(),
+                expected: decl.arity(),
+                found: a.args.len(),
+            });
+        }
+        for (t, s) in a.args.iter().zip(&decl.params) {
+            match t {
+                Term::Wildcard => {}
+                Term::Var(v) if v.sort == *s => {}
+                Term::Const(c) if c.sort == *s => {}
+                _ => {
+                    return Err(SpecError::SortMismatch {
+                        pred: a.pred.to_string(),
+                        arg: t.to_string(),
+                        expected: s.to_string(),
+                    })
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn check_named_constants(&self, f: &Formula) -> Result<(), SpecError> {
+        fn walk_num(e: &NumExpr, ks: &BTreeMap<Symbol, i64>) -> Result<(), SpecError> {
+            match e {
+                NumExpr::Named(n) if !ks.contains_key(n) => {
+                    Err(SpecError::UnknownConstant(n.to_string()))
+                }
+                NumExpr::Add(l, r) | NumExpr::Sub(l, r) => {
+                    walk_num(l, ks)?;
+                    walk_num(r, ks)
+                }
+                _ => Ok(()),
+            }
+        }
+        fn walk(f: &Formula, ks: &BTreeMap<Symbol, i64>) -> Result<(), SpecError> {
+            match f {
+                Formula::Cmp(l, _, r) => {
+                    walk_num(l, ks)?;
+                    walk_num(r, ks)
+                }
+                Formula::Not(g) | Formula::Forall(_, g) | Formula::Exists(_, g) => walk(g, ks),
+                Formula::And(gs) | Formula::Or(gs) => gs.iter().try_for_each(|g| walk(g, ks)),
+                Formula::Implies(l, r) => {
+                    walk(l, ks)?;
+                    walk(r, ks)
+                }
+                _ => Ok(()),
+            }
+        }
+        walk(f, &self.constants)
+    }
+}
+
+impl fmt::Display for AppSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "application {} {{", self.name)?;
+        for inv in &self.invariants {
+            writeln!(f, "  @Inv  {inv}")?;
+        }
+        for op in &self.operations {
+            writeln!(f, "  {op}")?;
+        }
+        writeln!(f, "  rules {}", self.rules)?;
+        write!(f, "}}")
+    }
+}
+
+/// Validation errors for application specifications.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SpecError {
+    UnknownPredicate(String),
+    UnknownSort(String),
+    UnknownConstant(String),
+    ArityMismatch { pred: String, expected: usize, found: usize },
+    SortMismatch { pred: String, arg: String, expected: String },
+    KindMismatch(String),
+    NonUniversalInvariant(String),
+    OpenInvariant(String),
+    DuplicateParam(String, String),
+    UnboundEffectVar(String, String),
+    Parse(String),
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::UnknownPredicate(p) => write!(f, "unknown predicate {p}"),
+            SpecError::UnknownSort(s) => write!(f, "unknown sort {s}"),
+            SpecError::UnknownConstant(c) => write!(f, "unknown named constant {c}"),
+            SpecError::ArityMismatch { pred, expected, found } => {
+                write!(f, "predicate {pred} expects {expected} arguments, found {found}")
+            }
+            SpecError::SortMismatch { pred, arg, expected } => {
+                write!(f, "argument {arg} of {pred} should have sort {expected}")
+            }
+            SpecError::KindMismatch(p) => {
+                write!(f, "effect kind does not match predicate kind for {p}")
+            }
+            SpecError::NonUniversalInvariant(i) => {
+                write!(f, "invariant is not a universal clause: {i}")
+            }
+            SpecError::OpenInvariant(i) => write!(f, "invariant has free variables: {i}"),
+            SpecError::DuplicateParam(op, p) => {
+                write!(f, "operation {op} has duplicate parameter {p}")
+            }
+            SpecError::UnboundEffectVar(op, v) => {
+                write!(f, "effect of operation {op} uses variable {v} that is not a parameter")
+            }
+            SpecError::Parse(m) => write!(f, "parse error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::AppSpecBuilder;
+    use crate::effects::Effect;
+    use crate::sorts::Var;
+
+    fn tiny_spec() -> AppSpec {
+        AppSpecBuilder::new("tiny")
+            .sort("Player")
+            .predicate_bool("player", &["Player"])
+            .invariant_str("forall(Player: p) :- player(p) or not(player(p))")
+            .operation("add_player", &[("p", "Player")], |op| {
+                op.set_true("player", &["p"])
+            })
+            .build()
+            .expect("valid spec")
+    }
+
+    #[test]
+    fn build_and_validate_tiny() {
+        let spec = tiny_spec();
+        assert_eq!(spec.operations.len(), 1);
+        assert!(spec.validate().is_ok());
+        assert!(spec.operation("add_player").is_some());
+        assert!(spec.operation("nope").is_none());
+    }
+
+    #[test]
+    fn unknown_predicate_rejected() {
+        let mut spec = tiny_spec();
+        spec.invariants.push(Formula::atom("ghost", vec![]));
+        assert_eq!(spec.validate(), Err(SpecError::UnknownPredicate("ghost".into())));
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let mut spec = tiny_spec();
+        spec.invariants.push(Formula::atom("player", vec![]));
+        assert!(matches!(spec.validate(), Err(SpecError::ArityMismatch { .. })));
+    }
+
+    #[test]
+    fn unbound_effect_var_rejected() {
+        let mut spec = tiny_spec();
+        let ghost = Var::new("q", Sort::new("Player"));
+        spec.operations[0]
+            .effects
+            .push(Effect::set_true(Atom::new("player", vec![ghost.into()])));
+        assert!(matches!(spec.validate(), Err(SpecError::UnboundEffectVar(..))));
+    }
+
+    #[test]
+    fn replace_operation_swaps_by_name() {
+        let mut spec = tiny_spec();
+        let mut op = spec.operation("add_player").unwrap().clone();
+        op.added_effects.push(Effect::set_true(Atom::new(
+            "player",
+            vec![op.params[0].clone().into()],
+        )));
+        spec.replace_operation(op);
+        assert_eq!(spec.operations.len(), 1);
+        assert_eq!(spec.operation("add_player").unwrap().effect_count(), 2);
+    }
+
+    #[test]
+    fn invariant_conjunction() {
+        let spec = tiny_spec();
+        let inv = spec.invariant();
+        assert!(inv.is_universal_clause() || matches!(inv, Formula::Forall(..)));
+    }
+}

@@ -1,0 +1,256 @@
+//! Fluent programmatic construction of [`AppSpec`]s.
+//!
+//! ```
+//! use ipa_spec::{AppSpecBuilder, ConvergencePolicy};
+//!
+//! let spec = AppSpecBuilder::new("demo")
+//!     .sort("Player")
+//!     .sort("Tournament")
+//!     .predicate_bool("player", &["Player"])
+//!     .predicate_bool("tournament", &["Tournament"])
+//!     .predicate_bool("enrolled", &["Player", "Tournament"])
+//!     .rule("tournament", ConvergencePolicy::AddWins)
+//!     .invariant_str(
+//!         "forall(Player: p, Tournament: t) :- enrolled(p,t) => player(p) and tournament(t)",
+//!     )
+//!     .operation("enroll", &[("p", "Player"), ("t", "Tournament")], |op| {
+//!         op.set_true("enrolled", &["p", "t"])
+//!     })
+//!     .operation("rem_tourn", &[("t", "Tournament")], |op| {
+//!         op.set_false("tournament", &["t"])
+//!     })
+//!     .build()
+//!     .unwrap();
+//! assert_eq!(spec.operations.len(), 2);
+//! ```
+
+use crate::app::{AppSpec, SpecError};
+use crate::convergence::{ConvergencePolicy, ConvergenceRules};
+use crate::effects::Effect;
+use crate::formula::Formula;
+use crate::operation::Operation;
+use crate::parser;
+use crate::predicate::{Atom, PredicateDecl};
+use crate::sorts::{Sort, Term, Var};
+use crate::symbol::Symbol;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Builder for [`AppSpec`].
+#[derive(Debug, Default)]
+pub struct AppSpecBuilder {
+    name: Symbol,
+    sorts: BTreeSet<Sort>,
+    predicates: BTreeMap<Symbol, PredicateDecl>,
+    invariants: Vec<Formula>,
+    operations: Vec<Operation>,
+    rules: ConvergenceRules,
+    constants: BTreeMap<Symbol, i64>,
+    errors: Vec<SpecError>,
+}
+
+impl AppSpecBuilder {
+    pub fn new(name: impl Into<Symbol>) -> Self {
+        AppSpecBuilder { name: name.into(), ..Default::default() }
+    }
+
+    pub fn sort(mut self, name: &str) -> Self {
+        self.sorts.insert(Sort::new(name));
+        self
+    }
+
+    pub fn predicate_bool(mut self, name: &str, param_sorts: &[&str]) -> Self {
+        let decl =
+            PredicateDecl::boolean(name, param_sorts.iter().map(|s| Sort::new(*s)).collect());
+        self.predicates.insert(decl.name.clone(), decl);
+        self
+    }
+
+    pub fn predicate_num(mut self, name: &str, param_sorts: &[&str]) -> Self {
+        let decl =
+            PredicateDecl::numeric(name, param_sorts.iter().map(|s| Sort::new(*s)).collect());
+        self.predicates.insert(decl.name.clone(), decl);
+        self
+    }
+
+    pub fn constant(mut self, name: &str, value: i64) -> Self {
+        self.constants.insert(Symbol::new(name), value);
+        self
+    }
+
+    pub fn rule(mut self, pred: &str, policy: ConvergencePolicy) -> Self {
+        self.rules.set(pred, policy);
+        self
+    }
+
+    pub fn invariant(mut self, f: Formula) -> Self {
+        self.invariants.push(f);
+        self
+    }
+
+    /// Parse an invariant from the paper's annotation syntax.
+    pub fn invariant_str(mut self, s: &str) -> Self {
+        match parser::parse_formula(s) {
+            Ok(f) => self.invariants.push(f),
+            Err(e) => self.errors.push(e),
+        }
+        self
+    }
+
+    /// Define an operation; `params` are `(name, sort)` pairs and the
+    /// closure configures its effects.
+    pub fn operation(
+        mut self,
+        name: &str,
+        params: &[(&str, &str)],
+        f: impl FnOnce(OperationBuilder) -> OperationBuilder,
+    ) -> Self {
+        let vars: Vec<Var> =
+            params.iter().map(|(n, s)| Var::new(*n, Sort::new(*s))).collect();
+        let ob = f(OperationBuilder { params: vars.clone(), effects: Vec::new(), errors: vec![] });
+        self.errors.extend(ob.errors);
+        self.operations.push(Operation::new(name, vars, ob.effects));
+        self
+    }
+
+    /// Finish and validate.
+    pub fn build(self) -> Result<AppSpec, SpecError> {
+        if let Some(e) = self.errors.into_iter().next() {
+            return Err(e);
+        }
+        let spec = AppSpec {
+            name: self.name,
+            sorts: self.sorts,
+            predicates: self.predicates,
+            invariants: self.invariants,
+            operations: self.operations,
+            rules: self.rules,
+            constants: self.constants,
+        };
+        spec.validate()?;
+        Ok(spec)
+    }
+}
+
+/// Builds the effect list of one operation. Argument strings refer to the
+/// operation's parameters by name; `"*"` denotes the wildcard.
+#[derive(Debug)]
+pub struct OperationBuilder {
+    params: Vec<Var>,
+    effects: Vec<Effect>,
+    errors: Vec<SpecError>,
+}
+
+impl OperationBuilder {
+    fn resolve_args(&mut self, pred: &str, args: &[&str]) -> Option<Vec<Term>> {
+        let mut out = Vec::with_capacity(args.len());
+        for a in args {
+            if *a == "*" {
+                out.push(Term::Wildcard);
+            } else if let Some(v) = self.params.iter().find(|p| p.name.as_str() == *a) {
+                out.push(Term::Var(v.clone()));
+            } else {
+                self.errors.push(SpecError::Parse(format!(
+                    "effect on {pred}: argument `{a}` is not a parameter of the operation"
+                )));
+                return None;
+            }
+        }
+        Some(out)
+    }
+
+    pub fn set_true(mut self, pred: &str, args: &[&str]) -> Self {
+        if let Some(terms) = self.resolve_args(pred, args) {
+            self.effects.push(Effect::set_true(Atom::new(pred, terms)));
+        }
+        self
+    }
+
+    pub fn set_false(mut self, pred: &str, args: &[&str]) -> Self {
+        if let Some(terms) = self.resolve_args(pred, args) {
+            self.effects.push(Effect::set_false(Atom::new(pred, terms)));
+        }
+        self
+    }
+
+    pub fn inc(mut self, pred: &str, args: &[&str], k: i64) -> Self {
+        if let Some(terms) = self.resolve_args(pred, args) {
+            self.effects.push(Effect::inc(Atom::new(pred, terms), k));
+        }
+        self
+    }
+
+    pub fn dec(mut self, pred: &str, args: &[&str], k: i64) -> Self {
+        if let Some(terms) = self.resolve_args(pred, args) {
+            self.effects.push(Effect::dec(Atom::new(pred, terms), k));
+        }
+        self
+    }
+
+    /// Append a raw pre-built effect (escape hatch for constants etc.).
+    pub fn effect(mut self, e: Effect) -> Self {
+        self.effects.push(e);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::effects::EffectKind;
+
+    #[test]
+    fn builder_wires_everything() {
+        let spec = AppSpecBuilder::new("t")
+            .sort("Item")
+            .predicate_bool("item", &["Item"])
+            .predicate_num("stock", &["Item"])
+            .constant("Max", 10)
+            .rule("item", ConvergencePolicy::RemWins)
+            .invariant_str("forall(Item: i) :- stock(i) >= 0")
+            .operation("buy", &[("i", "Item")], |op| op.dec("stock", &["i"], 1))
+            .build()
+            .unwrap();
+        assert_eq!(spec.constants.get(&Symbol::new("Max")), Some(&10));
+        assert_eq!(
+            spec.rules.policy(&Symbol::new("item")),
+            ConvergencePolicy::RemWins
+        );
+        let buy = spec.operation("buy").unwrap();
+        assert_eq!(buy.effects[0].kind, EffectKind::Dec(1));
+    }
+
+    #[test]
+    fn unknown_param_in_effect_is_error() {
+        let res = AppSpecBuilder::new("t")
+            .sort("Item")
+            .predicate_bool("item", &["Item"])
+            .operation("bad", &[("i", "Item")], |op| op.set_true("item", &["j"]))
+            .build();
+        assert!(matches!(res, Err(SpecError::Parse(_))));
+    }
+
+    #[test]
+    fn bad_invariant_surfaces_parse_error() {
+        let res = AppSpecBuilder::new("t")
+            .sort("Item")
+            .predicate_bool("item", &["Item"])
+            .invariant_str("forall(Item: i :- item(i)")
+            .build();
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn wildcard_effect_via_builder() {
+        let spec = AppSpecBuilder::new("t")
+            .sort("Player")
+            .sort("Tournament")
+            .predicate_bool("enrolled", &["Player", "Tournament"])
+            .operation("rem_all", &[("t", "Tournament")], |op| {
+                op.set_false("enrolled", &["*", "t"])
+            })
+            .build()
+            .unwrap();
+        let op = spec.operation("rem_all").unwrap();
+        assert!(op.effects[0].atom.has_wildcard());
+    }
+}

@@ -1,0 +1,129 @@
+//! Per-predicate convergence rules (§2.1, §3.2).
+//!
+//! A convergence rule specifies the outcome of concurrently assigning
+//! opposing values to the same predicate instance: under *add-wins* the final
+//! value is `true`, under *rem-wins* it is `false`. The rules are supplied by
+//! the programmer and are "the basis for restoring operation preconditions"
+//! (§3.2): the repair step relies on them to know which added effect survives
+//! a concurrent opposing update.
+
+use crate::symbol::Symbol;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Conflict-resolution policy for a predicate.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum ConvergencePolicy {
+    /// Concurrent add (set-true) wins over concurrent remove (set-false).
+    AddWins,
+    /// Concurrent remove wins over concurrent add.
+    RemWins,
+    /// Deterministic last-writer-wins by timestamp; for the static analysis
+    /// this is treated as "either value may survive", i.e. both outcomes are
+    /// explored.
+    LastWriterWins,
+}
+
+impl ConvergencePolicy {
+    /// The boolean value that survives a concurrent true/false race, when
+    /// statically determined.
+    pub fn winner(self) -> Option<bool> {
+        match self {
+            ConvergencePolicy::AddWins => Some(true),
+            ConvergencePolicy::RemWins => Some(false),
+            ConvergencePolicy::LastWriterWins => None,
+        }
+    }
+}
+
+impl fmt::Display for ConvergencePolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ConvergencePolicy::AddWins => "add-wins",
+            ConvergencePolicy::RemWins => "rem-wins",
+            ConvergencePolicy::LastWriterWins => "lww",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The set of convergence rules for an application: one policy per
+/// predicate. Predicates without an explicit rule default to
+/// [`ConvergencePolicy::AddWins`], the common default for observed-remove
+/// sets in the systems the paper targets.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConvergenceRules {
+    rules: BTreeMap<Symbol, ConvergencePolicy>,
+}
+
+impl ConvergenceRules {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn with(mut self, pred: impl Into<Symbol>, policy: ConvergencePolicy) -> Self {
+        self.set(pred, policy);
+        self
+    }
+
+    pub fn set(&mut self, pred: impl Into<Symbol>, policy: ConvergencePolicy) {
+        self.rules.insert(pred.into(), policy);
+    }
+
+    /// The policy for a predicate (default: add-wins).
+    pub fn policy(&self, pred: &Symbol) -> ConvergencePolicy {
+        self.rules.get(pred).copied().unwrap_or(ConvergencePolicy::AddWins)
+    }
+
+    /// Whether an explicit rule was given for this predicate.
+    pub fn has_explicit(&self, pred: &Symbol) -> bool {
+        self.rules.contains_key(pred)
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = (&Symbol, &ConvergencePolicy)> {
+        self.rules.iter()
+    }
+}
+
+impl fmt::Display for ConvergenceRules {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, (p, r)) in self.rules.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{p}: {r}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_policy_is_add_wins() {
+        let rules = ConvergenceRules::new();
+        assert_eq!(rules.policy(&Symbol::new("anything")), ConvergencePolicy::AddWins);
+        assert!(!rules.has_explicit(&Symbol::new("anything")));
+    }
+
+    #[test]
+    fn explicit_rules_override() {
+        let rules = ConvergenceRules::new()
+            .with("enrolled", ConvergencePolicy::RemWins)
+            .with("tournament", ConvergencePolicy::AddWins);
+        assert_eq!(rules.policy(&Symbol::new("enrolled")), ConvergencePolicy::RemWins);
+        assert!(rules.has_explicit(&Symbol::new("enrolled")));
+        assert_eq!(rules.to_string(), "{enrolled: rem-wins, tournament: add-wins}");
+    }
+
+    #[test]
+    fn winners() {
+        assert_eq!(ConvergencePolicy::AddWins.winner(), Some(true));
+        assert_eq!(ConvergencePolicy::RemWins.winner(), Some(false));
+        assert_eq!(ConvergencePolicy::LastWriterWins.winner(), None);
+    }
+}

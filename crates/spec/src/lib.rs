@@ -1,0 +1,69 @@
+//! # ipa-spec — the IPA application specification language
+//!
+//! First-order specification language used by the IPA static analysis
+//! (Balegas et al., *IPA: Invariant-preserving Applications for
+//! Weakly-consistent Replicated Databases*, 2018, §3.1).
+//!
+//! A specification (an [`AppSpec`]) consists of:
+//!
+//! * **Sorts** — the entity types of the application (`Player`, `Tournament`, …).
+//! * **Predicates** — boolean or numeric relations over sorts
+//!   (`enrolled(Player, Tournament)`).
+//! * **Invariants** — universally quantified first-order [`Formula`]s over the
+//!   predicates, e.g. `forall(Player:p, Tournament:t) :- enrolled(p,t) =>
+//!   player(p) and tournament(t)`, including numeric/aggregation atoms such as
+//!   `#enrolled(*,t) <= Capacity`.
+//! * **Operations** — named procedures whose semantics is given by a set of
+//!   [`Effect`]s: assignments of predicate instances to true/false, or
+//!   increments/decrements of numeric predicates. Effect arguments may use the
+//!   wildcard `*` ("applies to every element"), as in `enrolled(*,t) = false`.
+//! * **Convergence rules** — per-predicate conflict-resolution policies
+//!   ([`ConvergencePolicy::AddWins`] / [`ConvergencePolicy::RemWins`] / …)
+//!   that determine the outcome of concurrent opposing assignments.
+//!
+//! Specifications can be constructed programmatically with [`builder::AppSpecBuilder`]
+//! or parsed from the paper's annotation syntax with [`parser`]:
+//!
+//! ```
+//! use ipa_spec::parser::parse_formula;
+//! let inv = parse_formula(
+//!     "forall(Player: p, Tournament: t) :- enrolled(p, t) => player(p) and tournament(t)"
+//! ).unwrap();
+//! assert!(inv.is_universal_clause());
+//! ```
+//!
+//! The companion crates consume this one: `ipa-solver` grounds formulas over
+//! finite universes and decides satisfiability; `ipa-core` runs the conflict
+//! detection / repair pipeline of the paper's Algorithm 1.
+
+pub mod app;
+pub mod builder;
+pub mod convergence;
+pub mod effects;
+pub mod formula;
+pub mod interp;
+pub mod operation;
+pub mod parser;
+pub mod predicate;
+pub mod sorts;
+pub mod symbol;
+
+pub use app::{AppSpec, SpecError};
+pub use builder::AppSpecBuilder;
+pub use convergence::{ConvergencePolicy, ConvergenceRules};
+pub use effects::{Effect, EffectKind, GroundEffect};
+pub use formula::{CmpOp, Formula, NumExpr, Substitution};
+pub use interp::{GroundAtom, Interpretation};
+pub use operation::Operation;
+pub use predicate::{Atom, PredicateDecl, PredicateKind};
+pub use sorts::{Constant, Sort, Term, Var};
+pub use symbol::Symbol;
+
+/// Convenience prelude re-exporting the most commonly used items.
+pub mod prelude {
+    pub use crate::{
+        AppSpec, AppSpecBuilder, Atom, CmpOp, Constant, ConvergencePolicy, ConvergenceRules,
+        Effect, EffectKind, Formula, GroundAtom, GroundEffect, Interpretation, NumExpr, Operation,
+        PredicateDecl, PredicateKind, Sort, SpecError, Symbol, Term, Var,
+    };
+}

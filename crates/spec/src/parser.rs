@@ -1,0 +1,675 @@
+//! Parser for the paper's annotation syntax (Figure 1).
+//!
+//! Grammar (informal):
+//!
+//! ```text
+//! formula    := 'forall' '(' varGroups ')' ':-' body | body
+//! varGroups  := Sort ':' ident (',' ident)* (',' varGroups)?
+//! body       := disj ('=>' body)?                    (implication, right-assoc)
+//! disj       := conj ('or' conj)*
+//! conj       := unary ('and' unary)*
+//! unary      := 'not' '(' body ')' | '(' body ')' | 'true' | 'false' | atomOrCmp
+//! atomOrCmp  := numExpr cmp numExpr | predAtom
+//! numExpr    := numTerm (('+'|'-') numTerm)*
+//! numTerm    := '#' predAtom | number | predAtom (numeric value) | ident (named const)
+//! predAtom   := ident '(' args? ')'
+//! args       := arg (',' arg)*  ;  arg := ident | '*'
+//! cmp        := '<=' | '<' | '>=' | '>' | '==' | '!='
+//! ```
+//!
+//! Identifiers appearing as atom arguments must be bound by the `forall`
+//! prefix (or be the wildcard `*`); bare identifiers in numeric positions
+//! that are not bound variables are treated as named constants (e.g.
+//! `Capacity`).
+
+use crate::app::SpecError;
+use crate::formula::{CmpOp, Formula, NumExpr};
+use crate::predicate::Atom;
+use crate::sorts::{Sort, Term, Var};
+use crate::symbol::Symbol;
+use std::collections::HashMap;
+
+/// Parse a formula in the paper's annotation syntax.
+pub fn parse_formula(input: &str) -> Result<Formula, SpecError> {
+    let tokens = lex(input)?;
+    let mut p = Parser { toks: &tokens, pos: 0, vars: HashMap::new() };
+    let f = p.parse_formula()?;
+    p.expect_eof()?;
+    Ok(f)
+}
+
+/// Parse an effect of the form `pred(args) := true|false`,
+/// `pred(args) += k`, or `pred(args) -= k`, resolving identifiers against
+/// the given operation parameters (wildcard `*` allowed).
+pub fn parse_effect(input: &str, params: &[Var]) -> Result<crate::effects::Effect, SpecError> {
+    use crate::effects::Effect;
+    let tokens = lex(input)?;
+    let mut vars = HashMap::new();
+    for v in params {
+        vars.insert(v.name.clone(), v.clone());
+    }
+    let mut p = Parser { toks: &tokens, pos: 0, vars };
+    let atom = p.parse_pred_atom()?;
+    let tok = p.next_tok()?.clone();
+    let eff = match tok {
+        Tok::Assign => {
+            let v = p.next_tok()?.clone();
+            match v {
+                Tok::True => Effect::set_true(atom),
+                Tok::False => Effect::set_false(atom),
+                other => return Err(err(format!("expected true/false after :=, got {other:?}"))),
+            }
+        }
+        Tok::PlusEq => {
+            let k = p.parse_number()?;
+            Effect::inc(atom, k)
+        }
+        Tok::MinusEq => {
+            let k = p.parse_number()?;
+            Effect::dec(atom, k)
+        }
+        other => return Err(err(format!("expected :=, += or -= after atom, got {other:?}"))),
+    };
+    p.expect_eof()?;
+    Ok(eff)
+}
+
+// ----------------------------------------------------------------------
+// Lexer
+// ----------------------------------------------------------------------
+
+#[derive(Clone, Debug, PartialEq)]
+enum Tok {
+    Ident(String),
+    Number(i64),
+    LParen,
+    RParen,
+    Comma,
+    Colon,
+    Turnstile, // :-
+    Implies,   // =>
+    Le,
+    Lt,
+    Ge,
+    Gt,
+    EqEq,
+    Ne,
+    Hash,
+    Star,
+    Plus,
+    Minus,
+    Assign, // :=
+    PlusEq,
+    MinusEq,
+    And,
+    Or,
+    Not,
+    Forall,
+    Exists,
+    True,
+    False,
+}
+
+fn err(msg: String) -> SpecError {
+    SpecError::Parse(msg)
+}
+
+fn lex(input: &str) -> Result<Vec<Tok>, SpecError> {
+    let mut toks = Vec::new();
+    let bytes = input.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '(' => {
+                toks.push(Tok::LParen);
+                i += 1;
+            }
+            ')' => {
+                toks.push(Tok::RParen);
+                i += 1;
+            }
+            ',' => {
+                toks.push(Tok::Comma);
+                i += 1;
+            }
+            '#' => {
+                toks.push(Tok::Hash);
+                i += 1;
+            }
+            '*' => {
+                toks.push(Tok::Star);
+                i += 1;
+            }
+            '+' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    toks.push(Tok::PlusEq);
+                    i += 2;
+                } else {
+                    toks.push(Tok::Plus);
+                    i += 1;
+                }
+            }
+            '-' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    toks.push(Tok::MinusEq);
+                    i += 2;
+                } else {
+                    toks.push(Tok::Minus);
+                    i += 1;
+                }
+            }
+            ':' => {
+                if bytes.get(i + 1) == Some(&b'-') {
+                    toks.push(Tok::Turnstile);
+                    i += 2;
+                } else if bytes.get(i + 1) == Some(&b'=') {
+                    toks.push(Tok::Assign);
+                    i += 2;
+                } else {
+                    toks.push(Tok::Colon);
+                    i += 1;
+                }
+            }
+            '=' => {
+                if bytes.get(i + 1) == Some(&b'>') {
+                    toks.push(Tok::Implies);
+                    i += 2;
+                } else if bytes.get(i + 1) == Some(&b'=') {
+                    toks.push(Tok::EqEq);
+                    i += 2;
+                } else {
+                    return Err(err("lone '=' (use '==' or '=>')".into()));
+                }
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    toks.push(Tok::Le);
+                    i += 2;
+                } else {
+                    toks.push(Tok::Lt);
+                    i += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    toks.push(Tok::Ge);
+                    i += 2;
+                } else {
+                    toks.push(Tok::Gt);
+                    i += 1;
+                }
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    toks.push(Tok::Ne);
+                    i += 2;
+                } else {
+                    return Err(err("lone '!' (use '!=' or 'not')".into()));
+                }
+            }
+            '0'..='9' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let n: i64 = input[start..i]
+                    .parse()
+                    .map_err(|_| err(format!("bad number {}", &input[start..i])))?;
+                toks.push(Tok::Number(n));
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                let word = &input[start..i];
+                toks.push(match word {
+                    "and" => Tok::And,
+                    "or" => Tok::Or,
+                    "not" => Tok::Not,
+                    "forall" => Tok::Forall,
+                    "exists" => Tok::Exists,
+                    "true" => Tok::True,
+                    "false" => Tok::False,
+                    w => Tok::Ident(w.to_string()),
+                });
+            }
+            other => return Err(err(format!("unexpected character '{other}'"))),
+        }
+    }
+    Ok(toks)
+}
+
+// ----------------------------------------------------------------------
+// Parser
+// ----------------------------------------------------------------------
+
+struct Parser<'a> {
+    toks: &'a [Tok],
+    pos: usize,
+    vars: HashMap<Symbol, Var>,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos)
+    }
+
+    fn next_tok(&mut self) -> Result<&Tok, SpecError> {
+        let t = self.toks.get(self.pos).ok_or_else(|| err("unexpected end of input".into()))?;
+        self.pos += 1;
+        Ok(t)
+    }
+
+    fn eat(&mut self, t: &Tok) -> bool {
+        if self.peek() == Some(t) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, t: Tok) -> Result<(), SpecError> {
+        let got = self.next_tok()?;
+        if *got == t {
+            Ok(())
+        } else {
+            Err(err(format!("expected {t:?}, got {got:?}")))
+        }
+    }
+
+    fn expect_eof(&self) -> Result<(), SpecError> {
+        if self.pos == self.toks.len() {
+            Ok(())
+        } else {
+            Err(err(format!("trailing tokens starting at {:?}", self.toks[self.pos])))
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<i64, SpecError> {
+        match self.next_tok()? {
+            Tok::Number(n) => Ok(*n),
+            other => Err(err(format!("expected number, got {other:?}"))),
+        }
+    }
+
+    fn parse_formula(&mut self) -> Result<Formula, SpecError> {
+        if self.eat(&Tok::Forall) {
+            let vars = self.parse_var_groups()?;
+            self.expect(Tok::Turnstile)?;
+            let body = self.parse_body()?;
+            Ok(Formula::forall(vars, body))
+        } else if self.eat(&Tok::Exists) {
+            let vars = self.parse_var_groups()?;
+            self.expect(Tok::Turnstile)?;
+            let body = self.parse_body()?;
+            Ok(Formula::exists(vars, body))
+        } else {
+            self.parse_body()
+        }
+    }
+
+    /// `( Sort : v1, v2, Sort2 : w, ... )` — vars after a `Sort:` prefix
+    /// belong to that sort until the next `ident ':'` group starts.
+    fn parse_var_groups(&mut self) -> Result<Vec<Var>, SpecError> {
+        self.expect(Tok::LParen)?;
+        let mut vars = Vec::new();
+        let mut current_sort: Option<Sort> = None;
+        loop {
+            match self.next_tok()?.clone() {
+                Tok::Ident(name) => {
+                    if self.peek() == Some(&Tok::Colon) {
+                        self.pos += 1; // consume ':'
+                        current_sort = Some(Sort::new(name));
+                        continue;
+                    }
+                    let sort = current_sort
+                        .clone()
+                        .ok_or_else(|| err(format!("variable {name} has no sort prefix")))?;
+                    let v = Var::new(name.as_str(), sort);
+                    self.vars.insert(v.name.clone(), v.clone());
+                    vars.push(v);
+                    if self.eat(&Tok::Comma) {
+                        continue;
+                    }
+                    self.expect(Tok::RParen)?;
+                    break;
+                }
+                other => return Err(err(format!("expected identifier in forall(...), got {other:?}"))),
+            }
+        }
+        if vars.is_empty() {
+            return Err(err("empty quantifier variable list".into()));
+        }
+        Ok(vars)
+    }
+
+    fn parse_body(&mut self) -> Result<Formula, SpecError> {
+        let lhs = self.parse_disj()?;
+        if self.eat(&Tok::Implies) {
+            let rhs = self.parse_body()?;
+            Ok(Formula::implies(lhs, rhs))
+        } else {
+            Ok(lhs)
+        }
+    }
+
+    fn parse_disj(&mut self) -> Result<Formula, SpecError> {
+        let mut parts = vec![self.parse_conj()?];
+        while self.eat(&Tok::Or) {
+            parts.push(self.parse_conj()?);
+        }
+        Ok(Formula::or(parts))
+    }
+
+    fn parse_conj(&mut self) -> Result<Formula, SpecError> {
+        let mut parts = vec![self.parse_unary()?];
+        while self.eat(&Tok::And) {
+            parts.push(self.parse_unary()?);
+        }
+        Ok(Formula::and(parts))
+    }
+
+    fn parse_unary(&mut self) -> Result<Formula, SpecError> {
+        match self.peek() {
+            Some(Tok::Not) => {
+                self.pos += 1;
+                // `not(...)` or `not <unary>`
+                let inner = if self.peek() == Some(&Tok::LParen) {
+                    self.pos += 1;
+                    let f = self.parse_body()?;
+                    self.expect(Tok::RParen)?;
+                    f
+                } else {
+                    self.parse_unary()?
+                };
+                Ok(Formula::not(inner))
+            }
+            Some(Tok::True) => {
+                self.pos += 1;
+                Ok(Formula::True)
+            }
+            Some(Tok::False) => {
+                self.pos += 1;
+                Ok(Formula::False)
+            }
+            Some(Tok::LParen) => {
+                self.pos += 1;
+                let f = self.parse_body()?;
+                self.expect(Tok::RParen)?;
+                Ok(f)
+            }
+            _ => self.parse_atom_or_cmp(),
+        }
+    }
+
+    fn at_num_start(&self) -> bool {
+        matches!(self.peek(), Some(Tok::Hash) | Some(Tok::Number(_)))
+    }
+
+    fn parse_atom_or_cmp(&mut self) -> Result<Formula, SpecError> {
+        if self.at_num_start() {
+            let lhs = self.parse_num_expr()?;
+            let op = self.parse_cmp_op()?;
+            let rhs = self.parse_num_expr()?;
+            return Ok(Formula::Cmp(lhs, op, rhs));
+        }
+        // ident: could be a boolean atom `p(...)` or a numeric value /
+        // named constant followed by a comparison.
+        let save = self.pos;
+        let atom_or_name = self.parse_value_or_atom()?;
+        match (atom_or_name, self.peek_cmp_op()) {
+            (ValueOrAtom::Atom(a), None) => Ok(Formula::Atom(a)),
+            (ValueOrAtom::Atom(a), Some(_)) => {
+                let op = self.parse_cmp_op()?;
+                let rhs = self.parse_num_expr()?;
+                Ok(Formula::Cmp(NumExpr::Value(a), op, rhs))
+            }
+            (ValueOrAtom::Name(_), Some(_)) => {
+                // e.g. `Capacity <= #enrolled(*,t)` — rare but symmetric.
+                self.pos = save;
+                let lhs = self.parse_num_expr()?;
+                let op = self.parse_cmp_op()?;
+                let rhs = self.parse_num_expr()?;
+                Ok(Formula::Cmp(lhs, op, rhs))
+            }
+            (ValueOrAtom::Name(n), None) => {
+                Err(err(format!("bare identifier {n} is not a formula")))
+            }
+        }
+    }
+
+    fn peek_cmp_op(&self) -> Option<CmpOp> {
+        match self.peek() {
+            Some(Tok::Le) => Some(CmpOp::Le),
+            Some(Tok::Lt) => Some(CmpOp::Lt),
+            Some(Tok::Ge) => Some(CmpOp::Ge),
+            Some(Tok::Gt) => Some(CmpOp::Gt),
+            Some(Tok::EqEq) => Some(CmpOp::Eq),
+            Some(Tok::Ne) => Some(CmpOp::Ne),
+            _ => None,
+        }
+    }
+
+    fn parse_cmp_op(&mut self) -> Result<CmpOp, SpecError> {
+        let op = self
+            .peek_cmp_op()
+            .ok_or_else(|| err(format!("expected comparison operator, got {:?}", self.peek())))?;
+        self.pos += 1;
+        Ok(op)
+    }
+
+    fn parse_num_expr(&mut self) -> Result<NumExpr, SpecError> {
+        let mut lhs = self.parse_num_term()?;
+        loop {
+            if self.eat(&Tok::Plus) {
+                let rhs = self.parse_num_term()?;
+                lhs = NumExpr::Add(Box::new(lhs), Box::new(rhs));
+            } else if self.eat(&Tok::Minus) {
+                let rhs = self.parse_num_term()?;
+                lhs = NumExpr::Sub(Box::new(lhs), Box::new(rhs));
+            } else {
+                break;
+            }
+        }
+        Ok(lhs)
+    }
+
+    fn parse_num_term(&mut self) -> Result<NumExpr, SpecError> {
+        match self.peek() {
+            Some(Tok::Hash) => {
+                self.pos += 1;
+                let atom = self.parse_pred_atom()?;
+                Ok(NumExpr::Count(atom))
+            }
+            Some(Tok::Number(n)) => {
+                let n = *n;
+                self.pos += 1;
+                Ok(NumExpr::Const(n))
+            }
+            Some(Tok::Ident(_)) => match self.parse_value_or_atom()? {
+                ValueOrAtom::Atom(a) => Ok(NumExpr::Value(a)),
+                ValueOrAtom::Name(n) => Ok(NumExpr::Named(n)),
+            },
+            other => Err(err(format!("expected numeric term, got {other:?}"))),
+        }
+    }
+
+    /// Parse `ident` or `ident(args)`; bare identifiers that are bound
+    /// variables are rejected in this position (a variable is not a number),
+    /// others become named constants.
+    fn parse_value_or_atom(&mut self) -> Result<ValueOrAtom, SpecError> {
+        let name = match self.next_tok()?.clone() {
+            Tok::Ident(n) => n,
+            other => return Err(err(format!("expected identifier, got {other:?}"))),
+        };
+        if self.peek() == Some(&Tok::LParen) {
+            let atom = self.parse_atom_args(name)?;
+            Ok(ValueOrAtom::Atom(atom))
+        } else {
+            Ok(ValueOrAtom::Name(Symbol::new(name)))
+        }
+    }
+
+    fn parse_pred_atom(&mut self) -> Result<Atom, SpecError> {
+        match self.next_tok()?.clone() {
+            Tok::Ident(name) => {
+                if self.peek() == Some(&Tok::LParen) {
+                    self.parse_atom_args(name)
+                } else {
+                    Err(err(format!("predicate {name} must be applied to arguments")))
+                }
+            }
+            other => Err(err(format!("expected predicate name, got {other:?}"))),
+        }
+    }
+
+    fn parse_atom_args(&mut self, pred: String) -> Result<Atom, SpecError> {
+        self.expect(Tok::LParen)?;
+        let mut args = Vec::new();
+        if self.eat(&Tok::RParen) {
+            return Ok(Atom::new(pred.as_str(), args));
+        }
+        loop {
+            match self.next_tok()?.clone() {
+                Tok::Star => args.push(Term::Wildcard),
+                Tok::Ident(n) => {
+                    let sym = Symbol::new(n.as_str());
+                    let v = self.vars.get(&sym).cloned().ok_or_else(|| {
+                        err(format!("argument `{n}` of {pred} is not a bound variable"))
+                    })?;
+                    args.push(Term::Var(v));
+                }
+                other => return Err(err(format!("bad atom argument {other:?}"))),
+            }
+            if self.eat(&Tok::Comma) {
+                continue;
+            }
+            self.expect(Tok::RParen)?;
+            break;
+        }
+        Ok(Atom::new(pred.as_str(), args))
+    }
+}
+
+enum ValueOrAtom {
+    Atom(Atom),
+    Name(Symbol),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::effects::EffectKind;
+
+    #[test]
+    fn parse_referential_integrity() {
+        let f = parse_formula(
+            "forall(Player: p, Tournament: t) :- enrolled(p, t) => player(p) and tournament(t)",
+        )
+        .unwrap();
+        assert_eq!(
+            f.to_string(),
+            "forall(Player: p, Tournament: t) :- (enrolled(p, t) => (player(p) and tournament(t)))"
+        );
+    }
+
+    #[test]
+    fn parse_shared_sort_groups() {
+        // "Player: p, q, Tournament: t" — p and q are both Players.
+        let f = parse_formula(
+            "forall(Player: p, q, Tournament: t) :- inMatch(p, q, t) => enrolled(p, t) and enrolled(q, t)",
+        )
+        .unwrap();
+        match &f {
+            Formula::Forall(vars, _) => {
+                assert_eq!(vars.len(), 3);
+                assert_eq!(vars[0].sort, Sort::new("Player"));
+                assert_eq!(vars[1].sort, Sort::new("Player"));
+                assert_eq!(vars[2].sort, Sort::new("Tournament"));
+            }
+            other => panic!("expected forall, got {other}"),
+        }
+    }
+
+    #[test]
+    fn parse_numeric_aggregation() {
+        let f = parse_formula("forall(Tournament: t) :- #enrolled(*, t) <= Capacity").unwrap();
+        assert!(f.has_numeric_atom());
+        assert_eq!(f.to_string(), "forall(Tournament: t) :- #enrolled(*, t) <= Capacity");
+    }
+
+    #[test]
+    fn parse_numeric_value_invariant() {
+        let f = parse_formula("forall(Item: i) :- stock(i) >= 0").unwrap();
+        assert_eq!(f.to_string(), "forall(Item: i) :- stock(i) >= 0");
+    }
+
+    #[test]
+    fn parse_disjunction_and_not() {
+        let f = parse_formula(
+            "forall(Tournament: t) :- not(active(t) and finished(t))",
+        )
+        .unwrap();
+        assert_eq!(f.to_string(), "forall(Tournament: t) :- not((active(t) and finished(t)))");
+        let g = parse_formula(
+            "forall(Player: p, q, Tournament: t) :- inMatch(p, q, t) => enrolled(p, t) and enrolled(q, t) and (active(t) or finished(t))",
+        )
+        .unwrap();
+        assert!(g.is_universal_clause());
+    }
+
+    #[test]
+    fn implication_is_right_associative() {
+        let f = parse_formula("forall(Tournament: t) :- active(t) => finished(t) => tournament(t)")
+            .unwrap();
+        let txt = f.to_string();
+        assert!(txt.contains("(active(t) => (finished(t) => tournament(t)))"), "{txt}");
+    }
+
+    #[test]
+    fn unbound_argument_is_error() {
+        let e = parse_formula("forall(Player: p) :- enrolled(p, t)").unwrap_err();
+        let msg = e.to_string();
+        assert!(msg.contains("not a bound variable"), "{msg}");
+    }
+
+    #[test]
+    fn trailing_tokens_rejected() {
+        assert!(parse_formula("forall(Player: p) :- player(p) garbage").is_err());
+    }
+
+    #[test]
+    fn parse_effect_forms() {
+        let p = Var::new("p", Sort::new("Player"));
+        let t = Var::new("t", Sort::new("Tournament"));
+        let params = vec![p, t];
+        let e = parse_effect("enrolled(p, t) := true", &params).unwrap();
+        assert_eq!(e.kind, EffectKind::SetTrue);
+        let e = parse_effect("enrolled(*, t) := false", &params).unwrap();
+        assert_eq!(e.kind, EffectKind::SetFalse);
+        assert!(e.atom.has_wildcard());
+        let e = parse_effect("score(p) += 3", &params).unwrap();
+        assert_eq!(e.kind, EffectKind::Inc(3));
+        let e = parse_effect("score(p) -= 1", &params).unwrap();
+        assert_eq!(e.kind, EffectKind::Dec(1));
+    }
+
+    #[test]
+    fn lexer_errors() {
+        assert!(parse_formula("p = q").is_err());
+        assert!(parse_formula("p ! q").is_err());
+        assert!(parse_formula("p @ q").is_err());
+    }
+
+    #[test]
+    fn zero_arity_atom() {
+        let f = parse_formula("open()").unwrap();
+        assert_eq!(f.to_string(), "open()");
+    }
+}

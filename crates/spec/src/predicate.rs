@@ -1,0 +1,173 @@
+//! Predicate declarations and (possibly open) predicate atoms.
+
+use crate::sorts::{Sort, Term, Var};
+use crate::symbol::Symbol;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Whether a predicate denotes a boolean relation or carries a numeric value.
+///
+/// Boolean predicates model set/relation membership (`player(p)`,
+/// `enrolled(p, t)`); numeric predicates model integer-valued state such as
+/// `stock(i)` in TPC-W. Aggregation constraints like `#enrolled(*, t) <= K`
+/// *count* the true instances of a boolean predicate and do not require a
+/// numeric declaration.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum PredicateKind {
+    Bool,
+    Numeric,
+}
+
+/// Declaration of a predicate: name, parameter sorts and kind.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct PredicateDecl {
+    pub name: Symbol,
+    pub params: Vec<Sort>,
+    pub kind: PredicateKind,
+}
+
+impl PredicateDecl {
+    pub fn boolean(name: impl Into<Symbol>, params: Vec<Sort>) -> Self {
+        PredicateDecl { name: name.into(), params, kind: PredicateKind::Bool }
+    }
+
+    pub fn numeric(name: impl Into<Symbol>, params: Vec<Sort>) -> Self {
+        PredicateDecl { name: name.into(), params, kind: PredicateKind::Numeric }
+    }
+
+    pub fn arity(&self) -> usize {
+        self.params.len()
+    }
+}
+
+impl fmt::Display for PredicateDecl {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.name)?;
+        for (i, s) in self.params.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{s}")?;
+        }
+        write!(f, ")")?;
+        if self.kind == PredicateKind::Numeric {
+            write!(f, " : int")?;
+        }
+        Ok(())
+    }
+}
+
+/// A (possibly open) predicate atom: a predicate applied to terms, e.g.
+/// `enrolled(p, t)` with variables, `enrolled(P1, T1)` fully ground, or
+/// `enrolled(*, t)` with a wildcard argument.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Atom {
+    pub pred: Symbol,
+    pub args: Vec<Term>,
+}
+
+impl Atom {
+    pub fn new(pred: impl Into<Symbol>, args: Vec<Term>) -> Self {
+        Atom { pred: pred.into(), args }
+    }
+
+    /// All variables occurring in the atom's arguments (with duplicates).
+    pub fn vars(&self) -> impl Iterator<Item = &Var> {
+        self.args.iter().filter_map(Term::as_var)
+    }
+
+    /// True iff the atom has no variables (constants and wildcards only).
+    pub fn is_ground(&self) -> bool {
+        self.args.iter().all(|t| !matches!(t, Term::Var(_)))
+    }
+
+    /// True iff any argument is the wildcard `*`.
+    pub fn has_wildcard(&self) -> bool {
+        self.args.iter().any(Term::is_wildcard)
+    }
+
+    /// Substitute variables according to `subst`, leaving unmapped variables
+    /// untouched.
+    pub fn substitute(&self, subst: &crate::formula::Substitution) -> Atom {
+        Atom {
+            pred: self.pred.clone(),
+            args: self
+                .args
+                .iter()
+                .map(|t| match t {
+                    Term::Var(v) => subst.get(v).cloned().unwrap_or_else(|| t.clone()),
+                    other => other.clone(),
+                })
+                .collect(),
+        }
+    }
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.pred)?;
+        for (i, t) in self.args.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl fmt::Debug for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::formula::Substitution;
+    use crate::sorts::Constant;
+
+    fn player() -> Sort {
+        Sort::new("Player")
+    }
+    fn tourn() -> Sort {
+        Sort::new("Tournament")
+    }
+
+    #[test]
+    fn decl_display() {
+        let d = PredicateDecl::boolean("enrolled", vec![player(), tourn()]);
+        assert_eq!(d.to_string(), "enrolled(Player, Tournament)");
+        assert_eq!(d.arity(), 2);
+        let n = PredicateDecl::numeric("stock", vec![Sort::new("Item")]);
+        assert_eq!(n.to_string(), "stock(Item) : int");
+    }
+
+    #[test]
+    fn atom_groundness_and_wildcards() {
+        let p = Var::new("p", player());
+        let open = Atom::new("enrolled", vec![p.clone().into(), Term::Wildcard]);
+        assert!(!open.is_ground());
+        assert!(open.has_wildcard());
+        assert_eq!(open.to_string(), "enrolled(p, *)");
+
+        let mut s = Substitution::new();
+        s.insert(p, Constant::new("P1", player()).into());
+        let closed = open.substitute(&s);
+        assert!(closed.is_ground());
+        assert_eq!(closed.to_string(), "enrolled(P1, *)");
+    }
+
+    #[test]
+    fn substitute_leaves_unmapped_vars() {
+        let p = Var::new("p", player());
+        let t = Var::new("t", tourn());
+        let a = Atom::new("enrolled", vec![p.into(), t.clone().into()]);
+        let s = Substitution::new();
+        let b = a.substitute(&s);
+        assert_eq!(a, b);
+        assert_eq!(b.vars().count(), 2);
+        assert!(b.vars().any(|v| *v == t));
+    }
+}

@@ -1,0 +1,94 @@
+//! Interned-style lightweight names used throughout the specification AST.
+
+use serde::{Deserialize, Serialize};
+use std::borrow::Borrow;
+use std::fmt;
+
+/// A name: predicate, sort, variable or constant identifier.
+///
+/// Symbols are cheap-to-clone owned strings. At static-analysis scale
+/// (dozens of operations, a handful of predicates) a full interner is
+/// unnecessary; keeping `Symbol` a plain newtype keeps serialization and
+/// hashing trivial.
+#[derive(Clone, Default, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Symbol(String);
+
+impl Symbol {
+    /// Create a new symbol from anything string-like.
+    pub fn new(s: impl Into<String>) -> Self {
+        Symbol(s.into())
+    }
+
+    /// View the symbol as a string slice.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "`{}`", self.0)
+    }
+}
+
+impl From<&str> for Symbol {
+    fn from(s: &str) -> Self {
+        Symbol(s.to_owned())
+    }
+}
+
+impl From<String> for Symbol {
+    fn from(s: String) -> Self {
+        Symbol(s)
+    }
+}
+
+impl Borrow<str> for Symbol {
+    fn borrow(&self) -> &str {
+        &self.0
+    }
+}
+
+impl AsRef<str> for Symbol {
+    fn as_ref(&self) -> &str {
+        &self.0
+    }
+}
+
+impl PartialEq<&str> for Symbol {
+    fn eq(&self, other: &&str) -> bool {
+        self.0 == *other
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn symbol_roundtrip_and_lookup() {
+        let s = Symbol::new("enrolled");
+        assert_eq!(s.as_str(), "enrolled");
+        assert_eq!(s, "enrolled");
+        let mut m: HashMap<Symbol, u32> = HashMap::new();
+        m.insert(s.clone(), 7);
+        // Borrow<str> lets us look up by &str without allocating.
+        assert_eq!(m.get("enrolled"), Some(&7));
+        assert_eq!(format!("{s}"), "enrolled");
+        assert_eq!(format!("{s:?}"), "`enrolled`");
+    }
+
+    #[test]
+    fn symbol_ordering_is_lexicographic() {
+        let a = Symbol::new("alpha");
+        let b = Symbol::new("beta");
+        assert!(a < b);
+    }
+}

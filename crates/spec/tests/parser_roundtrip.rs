@@ -1,0 +1,86 @@
+//! Property tests: pretty-printing a parsed formula and re-parsing it
+//! yields the same AST (for the printable universal-clause fragment).
+
+use ipa_spec::parser::parse_formula;
+use ipa_spec::{CmpOp, Formula, NumExpr, Sort, Term, Var};
+use proptest::prelude::*;
+
+fn var(name: &str, sort: &str) -> Var {
+    Var::new(name, Sort::new(sort))
+}
+
+/// Random quantifier-free bodies over a fixed vocabulary bound by
+/// `forall(Player: p, Tournament: t)`.
+fn arb_body() -> impl Strategy<Value = Formula> {
+    let p = var("p", "Player");
+    let t = var("t", "Tournament");
+    let atom = prop_oneof![
+        Just(Formula::atom("player", vec![p.clone().into()])),
+        Just(Formula::atom("tournament", vec![t.clone().into()])),
+        Just(Formula::atom("enrolled", vec![p.clone().into(), t.clone().into()])),
+        Just(Formula::cmp(
+            NumExpr::count("enrolled", vec![Term::Wildcard, t.clone().into()]),
+            CmpOp::Le,
+            NumExpr::Const(10),
+        )),
+        Just(Formula::cmp(
+            NumExpr::value("score", vec![p.clone().into()]),
+            CmpOp::Ge,
+            NumExpr::Const(0),
+        )),
+    ];
+    atom.prop_recursive(3, 16, 3, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(Formula::not),
+            prop::collection::vec(inner.clone(), 2..4).prop_map(Formula::And),
+            prop::collection::vec(inner.clone(), 2..4).prop_map(Formula::Or),
+            (inner.clone(), inner).prop_map(|(a, b)| Formula::implies(a, b)),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn display_then_parse_is_identity(body in arb_body()) {
+        let f = Formula::forall(
+            vec![var("p", "Player"), var("t", "Tournament")],
+            body,
+        );
+        let printed = f.to_string();
+        let reparsed = parse_formula(&printed)
+            .unwrap_or_else(|e| panic!("failed to re-parse `{printed}`: {e}"));
+        prop_assert_eq!(&reparsed, &f, "printed form: {}", printed);
+    }
+
+    #[test]
+    fn simplify_preserves_reparseability(body in arb_body()) {
+        let f = Formula::forall(
+            vec![var("p", "Player"), var("t", "Tournament")],
+            body,
+        ).simplify();
+        if matches!(f, Formula::True | Formula::False) {
+            return Ok(());
+        }
+        let printed = f.to_string();
+        let reparsed = parse_formula(&printed)
+            .unwrap_or_else(|e| panic!("failed to parse `{printed}`: {e}"));
+        prop_assert_eq!(reparsed.to_string(), printed);
+    }
+}
+
+#[test]
+fn paper_figure1_invariants_roundtrip() {
+    for s in [
+        "forall(Player: p, Tournament: t) :- (enrolled(p, t) => (player(p) and tournament(t)))",
+        "forall(Player: p, q, Tournament: t) :- (inMatch(p, q, t) => (enrolled(p, t) and enrolled(q, t) and (active(t) or finished(t))))",
+        "forall(Tournament: t) :- #enrolled(*, t) <= Capacity",
+        "forall(Tournament: t) :- (active(t) => tournament(t))",
+        "forall(Tournament: t) :- not((active(t) and finished(t)))",
+    ] {
+        let f = parse_formula(s).unwrap();
+        let again = parse_formula(&f.to_string()).unwrap();
+        assert_eq!(f, again, "{s}");
+    }
+}

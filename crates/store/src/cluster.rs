@@ -1,0 +1,201 @@
+//! An in-process cluster of replicas with manual replication pumping —
+//! the zero-latency harness used by tests and the application layer
+//! (the latency-accurate transport lives in `ipa-sim`).
+
+use crate::batch::UpdateBatch;
+use crate::replica::Replica;
+use ipa_crdt::ReplicaId;
+
+/// A set of replicas plus an in-memory transport.
+#[derive(Debug)]
+pub struct Cluster {
+    replicas: Vec<Replica>,
+    /// Batches picked up from outboxes but not yet delivered:
+    /// `(destination, batch)`.
+    in_flight: Vec<(ReplicaId, UpdateBatch)>,
+}
+
+impl Cluster {
+    /// `n` replicas with ids `0..n`.
+    pub fn new(n: u16) -> Cluster {
+        Cluster {
+            replicas: (0..n).map(|i| Replica::new(ReplicaId(i))).collect(),
+            in_flight: Vec::new(),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.replicas.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.replicas.is_empty()
+    }
+
+    pub fn replica_ids(&self) -> Vec<ReplicaId> {
+        self.replicas.iter().map(Replica::id).collect()
+    }
+
+    pub fn replica(&self, id: ReplicaId) -> &Replica {
+        &self.replicas[id.0 as usize]
+    }
+
+    pub fn replica_mut(&mut self, id: ReplicaId) -> &mut Replica {
+        &mut self.replicas[id.0 as usize]
+    }
+
+    /// Move committed batches from every outbox into the in-flight queue
+    /// (fan-out to all other replicas).
+    pub fn collect_outboxes(&mut self) {
+        let n = self.replicas.len() as u16;
+        let mut staged = Vec::new();
+        for r in &mut self.replicas {
+            for batch in r.take_outbox() {
+                for dest in 0..n {
+                    if ReplicaId(dest) != batch.origin {
+                        staged.push((ReplicaId(dest), batch.clone()));
+                    }
+                }
+            }
+        }
+        self.in_flight.extend(staged);
+    }
+
+    /// Deliver every in-flight batch (in queue order).
+    pub fn deliver_all(&mut self) {
+        let batches = std::mem::take(&mut self.in_flight);
+        for (dest, batch) in batches {
+            self.replicas[dest.0 as usize].receive(batch);
+        }
+    }
+
+    /// Pump replication until quiescent: collect outboxes and deliver,
+    /// repeating while anything moves.
+    pub fn sync(&mut self) {
+        loop {
+            self.collect_outboxes();
+            if self.in_flight.is_empty() {
+                break;
+            }
+            self.deliver_all();
+        }
+    }
+
+    /// Run stability GC on every replica.
+    pub fn run_gc(&mut self) {
+        let ids = self.replica_ids();
+        for r in &mut self.replicas {
+            r.run_gc(&ids);
+        }
+    }
+
+    /// Are all replica clocks equal (converged)?
+    pub fn converged(&self) -> bool {
+        let first = self.replicas[0].clock();
+        self.replicas.iter().all(|r| r.clock() == first) && self.in_flight.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipa_crdt::{ObjectKind, Val};
+
+    #[test]
+    fn three_replica_convergence() {
+        let mut cluster = Cluster::new(3);
+        for i in 0..3u16 {
+            let r = cluster.replica_mut(ReplicaId(i));
+            let mut tx = r.begin();
+            tx.ensure("set", ObjectKind::AWSet).unwrap();
+            tx.aw_add("set", Val::str(format!("from-{i}"))).unwrap();
+            tx.commit();
+        }
+        cluster.sync();
+        assert!(cluster.converged());
+        for i in 0..3u16 {
+            let obj = cluster.replica(ReplicaId(i)).object(&"set".into()).unwrap();
+            assert_eq!(obj.as_awset().unwrap().len(), 3);
+        }
+    }
+
+    #[test]
+    fn concurrent_add_remove_respects_object_policy() {
+        let mut cluster = Cluster::new(2);
+        // Seed: element present everywhere.
+        {
+            let r = cluster.replica_mut(ReplicaId(0));
+            let mut tx = r.begin();
+            tx.ensure("aw", ObjectKind::AWSet).unwrap();
+            tx.ensure("rw", ObjectKind::RWSet).unwrap();
+            tx.aw_add("aw", Val::str("x")).unwrap();
+            tx.rw_add("rw", Val::str("x")).unwrap();
+            tx.commit();
+        }
+        cluster.sync();
+        // Replica 0 removes; replica 1 concurrently re-adds.
+        {
+            let r = cluster.replica_mut(ReplicaId(0));
+            let mut tx = r.begin();
+            tx.aw_remove("aw", &Val::str("x")).unwrap();
+            tx.rw_remove("rw", Val::str("x")).unwrap();
+            tx.commit();
+        }
+        {
+            let r = cluster.replica_mut(ReplicaId(1));
+            let mut tx = r.begin();
+            tx.aw_add("aw", Val::str("x")).unwrap();
+            tx.rw_add("rw", Val::str("x")).unwrap();
+            tx.commit();
+        }
+        cluster.sync();
+        assert!(cluster.converged());
+        for i in 0..2u16 {
+            let rep = cluster.replica(ReplicaId(i));
+            assert_eq!(
+                rep.object(&"aw".into()).unwrap().set_contains(&Val::str("x")),
+                Some(true),
+                "add-wins keeps the element"
+            );
+            assert_eq!(
+                rep.object(&"rw".into()).unwrap().set_contains(&Val::str("x")),
+                Some(false),
+                "rem-wins drops the element"
+            );
+        }
+    }
+
+    #[test]
+    fn gc_after_convergence_shrinks_metadata() {
+        let mut cluster = Cluster::new(2);
+        {
+            let r = cluster.replica_mut(ReplicaId(0));
+            let mut tx = r.begin();
+            tx.ensure("rw", ObjectKind::RWSet).unwrap();
+            tx.rw_add("rw", Val::str("x")).unwrap();
+            tx.commit();
+            let mut tx = r.begin();
+            tx.rw_remove("rw", Val::str("x")).unwrap();
+            tx.commit();
+        }
+        cluster.sync();
+        // Everyone must have *sent something* for the frontier to move.
+        {
+            let r = cluster.replica_mut(ReplicaId(1));
+            let mut tx = r.begin();
+            tx.ensure("noop", ObjectKind::PNCounter).unwrap();
+            tx.counter_add("noop", 1).unwrap();
+            tx.commit();
+        }
+        cluster.sync();
+        cluster.run_gc();
+        let entries = cluster
+            .replica(ReplicaId(0))
+            .object(&"rw".into())
+            .unwrap()
+            .as_rwset()
+            .unwrap()
+            .entry_count();
+        assert_eq!(entries, 0);
+    }
+}

@@ -1,0 +1,56 @@
+//! Object keys.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A key naming one CRDT object in the store. Applications typically use
+/// structured names like `"tournament:players"` or `"timeline:alice"`.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Key(pub String);
+
+impl Key {
+    pub fn new(s: impl Into<String>) -> Key {
+        Key(s.into())
+    }
+
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for Key {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl fmt::Debug for Key {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Key({})", self.0)
+    }
+}
+
+impl From<&str> for Key {
+    fn from(s: &str) -> Key {
+        Key::new(s)
+    }
+}
+
+impl From<String> for Key {
+    fn from(s: String) -> Key {
+        Key(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_basics() {
+        let k: Key = "tournament:players".into();
+        assert_eq!(k.as_str(), "tournament:players");
+        assert_eq!(k.to_string(), "tournament:players");
+        assert_eq!(format!("{k:?}"), "Key(tournament:players)");
+    }
+}

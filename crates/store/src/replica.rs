@@ -1,0 +1,395 @@
+//! A single data-center replica: object storage, causal delivery,
+//! stability tracking and garbage collection.
+
+use crate::batch::UpdateBatch;
+use crate::errors::StoreError;
+use crate::key::Key;
+use crate::txn::Transaction;
+use ipa_crdt::{Object, ObjectKind, ReplicaId, Tag, VClock};
+use std::collections::{BTreeMap, HashMap};
+
+/// Counters exposed for tests and the benchmark harness.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ReplicaStats {
+    pub commits: u64,
+    pub batches_received: u64,
+    pub batches_applied: u64,
+    pub updates_applied: u64,
+    pub gc_runs: u64,
+}
+
+/// One replica of the geo-replicated store.
+#[derive(Debug)]
+pub struct Replica {
+    id: ReplicaId,
+    /// Applied-updates clock (own commits + delivered remote batches).
+    clock: VClock,
+    /// Lamport timestamp (drives LWW registers).
+    lamport: u64,
+    /// Monotonic unique-tag allocator.
+    next_tag: u64,
+    objects: HashMap<Key, Object>,
+    /// The declared kind of each key (shipped with updates so receivers
+    /// can instantiate missing objects deterministically).
+    kinds: HashMap<Key, ObjectKind>,
+    /// Remote batches waiting for causal predecessors.
+    pending: Vec<UpdateBatch>,
+    /// Committed local batches awaiting transport pickup.
+    outbox: Vec<UpdateBatch>,
+    /// Latest received clock per origin (incl. self) — the causal
+    /// stability inputs.
+    last_from: BTreeMap<ReplicaId, VClock>,
+    pub stats: ReplicaStats,
+}
+
+impl Replica {
+    pub fn new(id: ReplicaId) -> Replica {
+        Replica {
+            id,
+            clock: VClock::new(),
+            lamport: 0,
+            next_tag: 0,
+            objects: HashMap::new(),
+            kinds: HashMap::new(),
+            pending: Vec::new(),
+            outbox: Vec::new(),
+            last_from: BTreeMap::new(),
+            stats: ReplicaStats::default(),
+        }
+    }
+
+    pub fn id(&self) -> ReplicaId {
+        self.id
+    }
+
+    pub fn clock(&self) -> &VClock {
+        &self.clock
+    }
+
+    pub fn lamport(&self) -> u64 {
+        self.lamport
+    }
+
+    /// Read an object (committed state only; in-transaction reads go
+    /// through the transaction's overlay).
+    pub fn object(&self, key: &Key) -> Option<&Object> {
+        self.objects.get(key)
+    }
+
+    pub(crate) fn insert_object(&mut self, key: Key, kind: ObjectKind, obj: Object) {
+        self.kinds.insert(key.clone(), kind);
+        self.objects.insert(key, obj);
+    }
+
+    /// The declared kind of a key, if known.
+    pub fn kind_of(&self, key: &Key) -> Option<ObjectKind> {
+        self.kinds.get(key).copied()
+    }
+
+    pub fn object_count(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// Allocate a fresh unique tag.
+    pub(crate) fn alloc_tag(&mut self) -> Tag {
+        self.next_tag += 1;
+        Tag::new(self.id, self.next_tag)
+    }
+
+    /// Begin a highly-available transaction on this replica.
+    pub fn begin(&mut self) -> Transaction<'_> {
+        Transaction::new(self)
+    }
+
+    // ------------------------------------------------------------------
+    // Commit / replication
+    // ------------------------------------------------------------------
+
+    /// Called by [`Transaction::commit`]: install the batch locally and
+    /// stage it for replication.
+    pub(crate) fn commit_batch(&mut self, batch: UpdateBatch) {
+        debug_assert_eq!(batch.origin, self.id);
+        debug_assert!(batch.deliverable_at(&self.clock));
+        self.apply_batch(&batch);
+        self.lamport = self.lamport.max(batch.lamport);
+        self.last_from.insert(self.id, batch.clock.clone());
+        self.outbox.push(batch);
+        self.stats.commits += 1;
+    }
+
+    /// The next local commit's clock (current clock with own component
+    /// ticked).
+    pub(crate) fn next_commit_clock(&self) -> VClock {
+        let mut c = self.clock.clone();
+        c.tick(self.id);
+        c
+    }
+
+    /// Drain the batches committed here since the last call (transport
+    /// pickup).
+    pub fn take_outbox(&mut self) -> Vec<UpdateBatch> {
+        std::mem::take(&mut self.outbox)
+    }
+
+    /// Receive a remote batch: buffer it and apply everything that has
+    /// become deliverable. Returns the number of batches applied.
+    pub fn receive(&mut self, batch: UpdateBatch) -> usize {
+        self.stats.batches_received += 1;
+        if batch.origin == self.id || batch.clock.le(&self.clock) {
+            return 0; // own or already-seen batch
+        }
+        self.pending.push(batch);
+        self.drain_pending()
+    }
+
+    fn drain_pending(&mut self) -> usize {
+        let mut applied = 0;
+        loop {
+            let Some(idx) = self.pending.iter().position(|b| b.deliverable_at(&self.clock))
+            else {
+                break;
+            };
+            let batch = self.pending.swap_remove(idx);
+            self.apply_batch(&batch);
+            self.lamport = self.lamport.max(batch.lamport);
+            self.last_from
+                .entry(batch.origin)
+                .and_modify(|c| c.merge(&batch.clock))
+                .or_insert_with(|| batch.clock.clone());
+            applied += 1;
+        }
+        applied
+    }
+
+    fn apply_batch(&mut self, batch: &UpdateBatch) {
+        for (key, kind, op) in &batch.updates {
+            self.kinds.entry(key.clone()).or_insert(*kind);
+            let obj = self
+                .objects
+                .entry(key.clone())
+                .or_insert_with(|| Object::new(*kind, creation_owner()));
+            match obj.apply(op) {
+                Ok(()) => self.stats.updates_applied += 1,
+                Err(e) => {
+                    // Type mismatches indicate an application bug; a real
+                    // store would reject the write at the origin. Surface
+                    // loudly in debug builds, skip in release.
+                    debug_assert!(false, "object {key}: {e}");
+                }
+            }
+        }
+        self.clock.merge(&batch.clock);
+        self.stats.batches_applied += 1;
+    }
+
+    /// Number of buffered (not yet causally deliverable) batches.
+    pub fn pending_count(&self) -> usize {
+        self.pending.len()
+    }
+
+    // ------------------------------------------------------------------
+    // Stability & GC
+    // ------------------------------------------------------------------
+
+    /// The causal-stability frontier over the given replica set: the
+    /// pointwise meet of the latest clocks received from every replica.
+    /// Every future delivery dominates this frontier, so CRDT metadata at
+    /// or below it can be compacted.
+    pub fn stability_frontier(&self, replicas: &[ReplicaId]) -> VClock {
+        let mut frontier: Option<VClock> = None;
+        for r in replicas {
+            let c = self.last_from.get(r).cloned().unwrap_or_default();
+            frontier = Some(match frontier {
+                None => c,
+                Some(f) => f.meet(&c, replicas),
+            });
+        }
+        frontier.unwrap_or_default()
+    }
+
+    /// Compact every object's causal metadata under the stability
+    /// frontier.
+    pub fn run_gc(&mut self, replicas: &[ReplicaId]) {
+        let frontier = self.stability_frontier(replicas);
+        if frontier.is_empty() {
+            return;
+        }
+        for obj in self.objects.values_mut() {
+            obj.compact(&frontier);
+        }
+        self.stats.gc_runs += 1;
+    }
+
+    /// Ensure an object of the given kind exists (no-op if present).
+    /// Errors if the key exists with a different kind.
+    pub fn ensure_object(&mut self, key: &Key, kind: ObjectKind) -> Result<(), StoreError> {
+        match self.objects.get(key) {
+            Some(existing) => {
+                let fresh = Object::new(kind, creation_owner());
+                if std::mem::discriminant(existing) != std::mem::discriminant(&fresh) {
+                    return Err(StoreError::KindMismatch {
+                        key: key.clone(),
+                        existing: existing.type_name(),
+                    });
+                }
+                Ok(())
+            }
+            None => {
+                self.kinds.insert(key.clone(), kind);
+                self.objects.insert(key.clone(), Object::new(kind, creation_owner()));
+                Ok(())
+            }
+        }
+    }
+}
+
+/// Objects must be created identically at every replica, so initial
+/// escrow rights (bounded counters) conventionally belong to replica 0.
+pub(crate) fn creation_owner() -> ReplicaId {
+    ReplicaId(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipa_crdt::Val;
+
+    fn r(i: u16) -> ReplicaId {
+        ReplicaId(i)
+    }
+
+    #[test]
+    fn commit_and_replicate_one_batch() {
+        let mut a = Replica::new(r(0));
+        let mut b = Replica::new(r(1));
+        let mut tx = a.begin();
+        tx.ensure("set", ObjectKind::AWSet).unwrap();
+        tx.aw_add("set", Val::str("x")).unwrap();
+        tx.commit();
+        assert_eq!(a.stats.commits, 1);
+        assert!(a.object(&"set".into()).unwrap().set_contains(&Val::str("x")).unwrap());
+
+        for batch in a.take_outbox() {
+            assert_eq!(b.receive(batch), 1);
+        }
+        assert!(b.object(&"set".into()).unwrap().set_contains(&Val::str("x")).unwrap());
+        assert_eq!(a.clock(), b.clock());
+    }
+
+    #[test]
+    fn out_of_order_batches_are_buffered() {
+        let mut a = Replica::new(r(0));
+        let mut b = Replica::new(r(1));
+        // Two commits at A.
+        for v in ["x", "y"] {
+            let mut tx = a.begin();
+            tx.ensure("set", ObjectKind::AWSet).unwrap();
+            tx.aw_add("set", Val::str(v)).unwrap();
+            tx.commit();
+        }
+        let mut batches = a.take_outbox();
+        assert_eq!(batches.len(), 2);
+        let second = batches.pop().unwrap();
+        let first = batches.pop().unwrap();
+        // Deliver out of order: the second buffers, then both apply.
+        assert_eq!(b.receive(second), 0);
+        assert_eq!(b.pending_count(), 1);
+        assert_eq!(b.receive(first), 2);
+        assert_eq!(b.pending_count(), 0);
+        let obj = b.object(&"set".into()).unwrap();
+        assert!(obj.set_contains(&Val::str("x")).unwrap());
+        assert!(obj.set_contains(&Val::str("y")).unwrap());
+    }
+
+    #[test]
+    fn duplicate_batches_are_ignored() {
+        let mut a = Replica::new(r(0));
+        let mut b = Replica::new(r(1));
+        let mut tx = a.begin();
+        tx.ensure("c", ObjectKind::PNCounter).unwrap();
+        tx.counter_add("c", 5).unwrap();
+        tx.commit();
+        let batch = a.take_outbox().pop().unwrap();
+        assert_eq!(b.receive(batch.clone()), 1);
+        assert_eq!(b.receive(batch), 0, "duplicate must be dropped");
+        assert_eq!(b.object(&"c".into()).unwrap().as_pncounter().unwrap().value(), 5);
+    }
+
+    #[test]
+    fn causal_chain_across_three_replicas() {
+        // A writes, B reads A's write and writes, C must see them in order.
+        let mut a = Replica::new(r(0));
+        let mut b = Replica::new(r(1));
+        let mut c = Replica::new(r(2));
+
+        let mut tx = a.begin();
+        tx.ensure("reg", ObjectKind::LWW).unwrap();
+        tx.lww_write("reg", Val::int(1)).unwrap();
+        tx.commit();
+        let batch_a = a.take_outbox().pop().unwrap();
+        b.receive(batch_a.clone());
+
+        let mut tx = b.begin();
+        tx.ensure("reg", ObjectKind::LWW).unwrap();
+        tx.lww_write("reg", Val::int(2)).unwrap();
+        tx.commit();
+        let batch_b = b.take_outbox().pop().unwrap();
+
+        // C receives B's batch first: it depends causally on A's.
+        assert_eq!(c.receive(batch_b), 0);
+        assert_eq!(c.pending_count(), 1);
+        assert_eq!(c.receive(batch_a), 2);
+        assert_eq!(
+            c.object(&"reg".into()).unwrap().as_lww().unwrap().get(),
+            Some(&Val::int(2)),
+            "the causally later write wins"
+        );
+    }
+
+    #[test]
+    fn stability_frontier_and_gc() {
+        let replicas = [r(0), r(1)];
+        let mut a = Replica::new(r(0));
+        let mut b = Replica::new(r(1));
+        // A adds then removes an element from a rem-wins set.
+        let mut tx = a.begin();
+        tx.ensure("rw", ObjectKind::RWSet).unwrap();
+        tx.rw_add("rw", Val::str("x")).unwrap();
+        tx.commit();
+        let mut tx = a.begin();
+        tx.rw_remove("rw", Val::str("x")).unwrap();
+        tx.commit();
+        for batch in a.take_outbox() {
+            b.receive(batch);
+        }
+        // B acknowledges by committing (its batch clock covers A's ops).
+        let mut tx = b.begin();
+        tx.ensure("ack", ObjectKind::PNCounter).unwrap();
+        tx.counter_add("ack", 1).unwrap();
+        tx.commit();
+        for batch in b.take_outbox() {
+            a.receive(batch);
+        }
+        let frontier = a.stability_frontier(&replicas);
+        assert!(frontier.get(r(0)) >= 2, "A's two commits are stable: {frontier}");
+        let before = a
+            .object(&"rw".into())
+            .unwrap()
+            .as_rwset()
+            .unwrap()
+            .entry_count();
+        assert_eq!(before, 2);
+        a.run_gc(&replicas);
+        let after = a.object(&"rw".into()).unwrap().as_rwset().unwrap().entry_count();
+        assert_eq!(after, 0, "decided add/remove pair compacted away");
+        assert_eq!(a.stats.gc_runs, 1);
+    }
+
+    #[test]
+    fn ensure_object_kind_mismatch() {
+        let mut a = Replica::new(r(0));
+        a.ensure_object(&"k".into(), ObjectKind::AWSet).unwrap();
+        let err = a.ensure_object(&"k".into(), ObjectKind::PNCounter).unwrap_err();
+        assert!(matches!(err, StoreError::KindMismatch { .. }));
+    }
+}

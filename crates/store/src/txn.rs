@@ -1,0 +1,569 @@
+//! Highly-available transactions (§2.1, §4.1).
+//!
+//! A transaction executes entirely at its origin replica: it reads the
+//! replica's committed state through a copy-on-write overlay (giving
+//! read-your-writes), buffers update effects, and on commit installs them
+//! atomically and stages one [`UpdateBatch`] for asynchronous replication.
+//! Dropping the transaction without committing aborts it.
+
+use crate::batch::UpdateBatch;
+use crate::errors::StoreError;
+use crate::key::Key;
+use crate::replica::{creation_owner, Replica};
+use ipa_crdt::compset::CompensatedRead;
+use ipa_crdt::{Object, ObjectKind, ObjectOp, Val, ValPattern, VClock};
+use std::collections::HashMap;
+
+/// Result of a successful commit.
+#[derive(Clone, Debug)]
+pub struct CommitInfo {
+    /// The commit's clock (unchanged replica clock for read-only
+    /// transactions).
+    pub clock: VClock,
+    /// Number of update effects committed.
+    pub updates: usize,
+    /// Number of compensations co-committed by constrained reads.
+    pub compensations: usize,
+}
+
+/// An in-flight transaction on one replica.
+pub struct Transaction<'a> {
+    replica: &'a mut Replica,
+    /// Copy-on-write view of touched objects.
+    overlay: HashMap<Key, (ObjectKind, Object)>,
+    /// Buffered effects, in execution order.
+    updates: Vec<(Key, ObjectKind, ObjectOp)>,
+    /// The clock this commit will carry (replica clock + own tick).
+    commit_clock: VClock,
+    /// Lamport timestamp for LWW writes.
+    ts: u64,
+    compensations: usize,
+}
+
+impl<'a> Transaction<'a> {
+    pub(crate) fn new(replica: &'a mut Replica) -> Self {
+        let commit_clock = replica.next_commit_clock();
+        let ts = replica.lamport() + 1;
+        Transaction {
+            replica,
+            overlay: HashMap::new(),
+            updates: Vec::new(),
+            commit_clock,
+            ts,
+            compensations: 0,
+        }
+    }
+
+    /// Declare (and lazily create) an object of the given kind.
+    pub fn ensure(&mut self, key: impl Into<Key>, kind: ObjectKind) -> Result<(), StoreError> {
+        let key = key.into();
+        if self.overlay.contains_key(&key) {
+            return Ok(());
+        }
+        match self.replica.object(&key) {
+            Some(obj) => {
+                let declared = self.replica.kind_of(&key).unwrap_or(kind);
+                self.overlay.insert(key, (declared, obj.clone()));
+            }
+            None => {
+                self.overlay.insert(key, (kind, Object::new(kind, creation_owner())));
+            }
+        }
+        Ok(())
+    }
+
+    /// Fetch (copy-on-write) the object for a key, requiring it to exist
+    /// either in the overlay or the replica.
+    fn obj_mut(&mut self, key: &Key) -> Result<&mut (ObjectKind, Object), StoreError> {
+        if !self.overlay.contains_key(key) {
+            let obj = self
+                .replica
+                .object(key)
+                .cloned()
+                .ok_or_else(|| StoreError::NoSuchObject(key.clone()))?;
+            let kind = self
+                .replica
+                .kind_of(key)
+                .ok_or_else(|| StoreError::NoSuchObject(key.clone()))?;
+            self.overlay.insert(key.clone(), (kind, obj));
+        }
+        Ok(self.overlay.get_mut(key).expect("inserted above"))
+    }
+
+    fn obj_ref(&mut self, key: &Key) -> Result<&(ObjectKind, Object), StoreError> {
+        self.obj_mut(key).map(|x| &*x)
+    }
+
+    /// Record and locally apply an effect.
+    fn push(&mut self, key: Key, op: ObjectOp) -> Result<(), StoreError> {
+        let (kind, obj) = self.obj_mut(&key)?;
+        let kind = *kind;
+        obj.apply(&op).map_err(|e| StoreError::WrongType { key: key.clone(), expected: e.expected })?;
+        self.updates.push((key, kind, op));
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Add-wins set
+    // ------------------------------------------------------------------
+
+    pub fn aw_add(&mut self, key: impl Into<Key>, v: Val) -> Result<(), StoreError> {
+        let key = key.into();
+        let tag = self.replica.alloc_tag();
+        let (_, obj) = self.obj_ref(&key)?;
+        let set = obj.as_awset().ok_or_else(|| wrong(&key, "aw-set"))?;
+        let op = ObjectOp::AWSet(set.prepare_add(v, tag));
+        self.push(key, op)
+    }
+
+    pub fn aw_remove(&mut self, key: impl Into<Key>, v: &Val) -> Result<(), StoreError> {
+        let key = key.into();
+        let (_, obj) = self.obj_ref(&key)?;
+        let set = obj.as_awset().ok_or_else(|| wrong(&key, "aw-set"))?;
+        if let Some(op) = set.prepare_remove(v) {
+            let op = ObjectOp::AWSet(op);
+            self.push(key, op)?;
+        }
+        Ok(())
+    }
+
+    /// Wildcard remove (add-wins): removes observed matching elements.
+    pub fn aw_remove_matching(
+        &mut self,
+        key: impl Into<Key>,
+        pattern: &ValPattern,
+    ) -> Result<(), StoreError> {
+        let key = key.into();
+        let (_, obj) = self.obj_ref(&key)?;
+        let set = obj.as_awset().ok_or_else(|| wrong(&key, "aw-set"))?;
+        let op = ObjectOp::AWSet(set.prepare_remove_matching(|e| pattern.matches(e)));
+        self.push(key, op)
+    }
+
+    // ------------------------------------------------------------------
+    // Rem-wins set
+    // ------------------------------------------------------------------
+
+    pub fn rw_add(&mut self, key: impl Into<Key>, v: Val) -> Result<(), StoreError> {
+        let key = key.into();
+        let tag = self.replica.alloc_tag();
+        let clock = self.commit_clock.clone();
+        let (_, obj) = self.obj_ref(&key)?;
+        let set = obj.as_rwset().ok_or_else(|| wrong(&key, "rw-set"))?;
+        let op = ObjectOp::RWSet(set.prepare_add(v, tag, clock));
+        self.push(key, op)
+    }
+
+    pub fn rw_remove(&mut self, key: impl Into<Key>, v: Val) -> Result<(), StoreError> {
+        let key = key.into();
+        let tag = self.replica.alloc_tag();
+        let clock = self.commit_clock.clone();
+        let (_, obj) = self.obj_ref(&key)?;
+        let set = obj.as_rwset().ok_or_else(|| wrong(&key, "rw-set"))?;
+        let op = ObjectOp::RWSet(set.prepare_remove(v, tag, clock));
+        self.push(key, op)
+    }
+
+    /// Wildcard remove (rem-wins): defeats even concurrent matching adds
+    /// (§4.2.1 — the `enrolled(*, t) := false` effect).
+    pub fn rw_remove_matching(
+        &mut self,
+        key: impl Into<Key>,
+        pattern: ValPattern,
+    ) -> Result<(), StoreError> {
+        let key = key.into();
+        let tag = self.replica.alloc_tag();
+        let clock = self.commit_clock.clone();
+        let (_, obj) = self.obj_ref(&key)?;
+        let set = obj.as_rwset().ok_or_else(|| wrong(&key, "rw-set"))?;
+        let op = ObjectOp::RWSet(set.prepare_remove_matching(pattern, tag, clock));
+        self.push(key, op)
+    }
+
+    // ------------------------------------------------------------------
+    // Add-wins map (entities with payload; touch support)
+    // ------------------------------------------------------------------
+
+    pub fn map_put(&mut self, key: impl Into<Key>, k: Val, v: Val) -> Result<(), StoreError> {
+        let key = key.into();
+        let tag = self.replica.alloc_tag();
+        let clock = self.commit_clock.clone();
+        let ts = self.ts;
+        let (_, obj) = self.obj_ref(&key)?;
+        let map = obj.as_awmap().ok_or_else(|| wrong(&key, "aw-map"))?;
+        let op = ObjectOp::AWMap(map.prepare_put(k, tag, clock, ts, v));
+        self.push(key, op)
+    }
+
+    /// Touch: restore presence, preserve payload (§4.2.1).
+    pub fn map_touch(&mut self, key: impl Into<Key>, k: Val) -> Result<(), StoreError> {
+        let key = key.into();
+        let tag = self.replica.alloc_tag();
+        let clock = self.commit_clock.clone();
+        let (_, obj) = self.obj_ref(&key)?;
+        let map = obj.as_awmap().ok_or_else(|| wrong(&key, "aw-map"))?;
+        let op = ObjectOp::AWMap(map.prepare_touch(k, tag, clock));
+        self.push(key, op)
+    }
+
+    pub fn map_remove(&mut self, key: impl Into<Key>, k: &Val) -> Result<(), StoreError> {
+        let key = key.into();
+        let clock = self.commit_clock.clone();
+        let (_, obj) = self.obj_ref(&key)?;
+        let map = obj.as_awmap().ok_or_else(|| wrong(&key, "aw-map"))?;
+        if let Some(op) = map.prepare_remove(k, clock) {
+            let op = ObjectOp::AWMap(op);
+            self.push(key, op)?;
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Counters and registers
+    // ------------------------------------------------------------------
+
+    pub fn counter_add(&mut self, key: impl Into<Key>, delta: i64) -> Result<(), StoreError> {
+        let key = key.into();
+        let origin = self.replica.id();
+        let (_, obj) = self.obj_ref(&key)?;
+        let c = obj.as_pncounter().ok_or_else(|| wrong(&key, "pn-counter"))?;
+        let op = ObjectOp::PNCounter(c.prepare(origin, delta));
+        self.push(key, op)
+    }
+
+    pub fn bcounter_inc(&mut self, key: impl Into<Key>, n: u64) -> Result<(), StoreError> {
+        let key = key.into();
+        let origin = self.replica.id();
+        let (_, obj) = self.obj_ref(&key)?;
+        let c = obj.as_bcounter().ok_or_else(|| wrong(&key, "bounded-counter"))?;
+        let op = ObjectOp::BCounter(c.prepare_inc(origin, n));
+        self.push(key, op)
+    }
+
+    /// Escrow decrement: fails with [`StoreError::InsufficientRights`]
+    /// when the replica lacks local rights.
+    pub fn bcounter_dec(&mut self, key: impl Into<Key>, n: u64) -> Result<(), StoreError> {
+        let key = key.into();
+        let origin = self.replica.id();
+        let (_, obj) = self.obj_ref(&key)?;
+        let c = obj.as_bcounter().ok_or_else(|| wrong(&key, "bounded-counter"))?;
+        let op = c
+            .prepare_dec(origin, n)
+            .ok_or_else(|| StoreError::InsufficientRights { key: key.clone() })?;
+        let op = ObjectOp::BCounter(op);
+        self.push(key, op)
+    }
+
+    pub fn bcounter_transfer(
+        &mut self,
+        key: impl Into<Key>,
+        to: ipa_crdt::ReplicaId,
+        n: u64,
+    ) -> Result<(), StoreError> {
+        let key = key.into();
+        let origin = self.replica.id();
+        let (_, obj) = self.obj_ref(&key)?;
+        let c = obj.as_bcounter().ok_or_else(|| wrong(&key, "bounded-counter"))?;
+        let op = c
+            .prepare_transfer(origin, to, n)
+            .ok_or_else(|| StoreError::InsufficientRights { key: key.clone() })?;
+        let op = ObjectOp::BCounter(op);
+        self.push(key, op)
+    }
+
+    pub fn lww_write(&mut self, key: impl Into<Key>, v: Val) -> Result<(), StoreError> {
+        let key = key.into();
+        let tag = self.replica.alloc_tag();
+        let ts = self.ts;
+        let (_, obj) = self.obj_ref(&key)?;
+        let r = obj.as_lww().ok_or_else(|| wrong(&key, "lww-register"))?;
+        let op = ObjectOp::LWW(r.prepare_write(ts, tag, v));
+        self.push(key, op)
+    }
+
+    pub fn mv_write(&mut self, key: impl Into<Key>, v: Val) -> Result<(), StoreError> {
+        let key = key.into();
+        let clock = self.commit_clock.clone();
+        let (_, obj) = self.obj_ref(&key)?;
+        let r = obj.as_mv().ok_or_else(|| wrong(&key, "mv-register"))?;
+        let op = ObjectOp::MV(r.prepare_write(clock, v));
+        self.push(key, op)
+    }
+
+    // ------------------------------------------------------------------
+    // Compensation set (§4.2.2)
+    // ------------------------------------------------------------------
+
+    pub fn compset_add(&mut self, key: impl Into<Key>, v: Val) -> Result<(), StoreError> {
+        let key = key.into();
+        let tag = self.replica.alloc_tag();
+        let (_, obj) = self.obj_ref(&key)?;
+        let s = obj.as_compset().ok_or_else(|| wrong(&key, "compensation-set"))?;
+        let op = ObjectOp::CompSet(s.prepare_add(v, tag));
+        self.push(key, op)
+    }
+
+    /// Constrained read: any violation observed is compensated and the
+    /// compensation is committed alongside this transaction's effects.
+    pub fn compset_read(
+        &mut self,
+        key: impl Into<Key>,
+    ) -> Result<CompensatedRead<Val>, StoreError> {
+        let key = key.into();
+        let (kind, obj) = self.obj_mut(&key)?;
+        let kind = *kind;
+        let s = obj.as_compset_mut().ok_or_else(|| wrong(&key, "compensation-set"))?;
+        let read = s.read();
+        if let Some(comp) = &read.compensation {
+            s.apply(comp);
+            self.updates.push((key, kind, ObjectOp::CompSet(comp.clone())));
+            self.compensations += 1;
+        }
+        Ok(read)
+    }
+
+    // ------------------------------------------------------------------
+    // Reads
+    // ------------------------------------------------------------------
+
+    /// Membership across set-like objects (read-your-writes).
+    pub fn contains(&mut self, key: impl Into<Key>, v: &Val) -> Result<bool, StoreError> {
+        let key = key.into();
+        let (_, obj) = self.obj_ref(&key)?;
+        obj.set_contains(v).ok_or_else(|| wrong(&key, "set-like"))
+    }
+
+    /// Elements of a set-like object.
+    pub fn set_elements(&mut self, key: impl Into<Key>) -> Result<Vec<Val>, StoreError> {
+        let key = key.into();
+        let (_, obj) = self.obj_ref(&key)?;
+        match obj {
+            Object::AWSet(s) => Ok(s.elements().cloned().collect()),
+            Object::RWSet(s) => Ok(s.elements().cloned().collect()),
+            Object::CompSet(_) => {
+                let r = self.compset_read(key)?;
+                Ok(r.elements)
+            }
+            Object::AWMap(m) => Ok(m.keys().cloned().collect()),
+            _ => Err(wrong(&key, "set-like")),
+        }
+    }
+
+    pub fn counter_value(&mut self, key: impl Into<Key>) -> Result<i64, StoreError> {
+        let key = key.into();
+        let (_, obj) = self.obj_ref(&key)?;
+        match obj {
+            Object::PNCounter(c) => Ok(c.value()),
+            Object::BCounter(c) => Ok(c.value()),
+            _ => Err(wrong(&key, "counter")),
+        }
+    }
+
+    pub fn lww_get(&mut self, key: impl Into<Key>) -> Result<Option<Val>, StoreError> {
+        let key = key.into();
+        let (_, obj) = self.obj_ref(&key)?;
+        let r = obj.as_lww().ok_or_else(|| wrong(&key, "lww-register"))?;
+        Ok(r.get().cloned())
+    }
+
+    pub fn map_get(&mut self, key: impl Into<Key>, k: &Val) -> Result<Option<Val>, StoreError> {
+        let key = key.into();
+        let (_, obj) = self.obj_ref(&key)?;
+        let m = obj.as_awmap().ok_or_else(|| wrong(&key, "aw-map"))?;
+        Ok(m.get(k).cloned())
+    }
+
+    /// Number of buffered updates so far.
+    pub fn update_count(&self) -> usize {
+        self.updates.len()
+    }
+
+    // ------------------------------------------------------------------
+    // Commit
+    // ------------------------------------------------------------------
+
+    /// Commit: install the overlay and stage the batch. Read-only
+    /// transactions commit without consuming a sequence number.
+    pub fn commit(self) -> CommitInfo {
+        let Transaction { replica, overlay, updates, commit_clock, ts, compensations } = self;
+        if updates.is_empty() {
+            // Read-only: nothing replicates; created (ensured) objects
+            // still install locally so later transactions find them.
+            for (key, (kind, obj)) in overlay {
+                if replica.object(&key).is_none() {
+                    replica.insert_object(key, kind, obj);
+                }
+            }
+            return CommitInfo { clock: replica.clock().clone(), updates: 0, compensations };
+        }
+        let batch = UpdateBatch {
+            origin: replica.id(),
+            seq: commit_clock.get(replica.id()),
+            clock: commit_clock.clone(),
+            lamport: ts,
+            updates,
+        };
+        let n = batch.updates.len();
+        // Install ensured-but-unwritten objects (local only). Keys written
+        // by this transaction are NOT installed from the overlay: the batch
+        // application below re-creates them from their ops, and installing
+        // both would apply every effect twice.
+        let written: std::collections::HashSet<&Key> =
+            batch.updates.iter().map(|(k, _, _)| k).collect();
+        let unwritten: Vec<(Key, (ObjectKind, Object))> = overlay
+            .into_iter()
+            .filter(|(key, _)| !written.contains(key))
+            .collect();
+        for (key, (kind, obj)) in unwritten {
+            if replica.object(&key).is_none() {
+                replica.insert_object(key, kind, obj);
+            }
+        }
+        replica.commit_batch(batch);
+        CommitInfo { clock: commit_clock, updates: n, compensations }
+    }
+}
+
+fn wrong(key: &Key, expected: &'static str) -> StoreError {
+    StoreError::WrongType { key: key.clone(), expected }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipa_crdt::ReplicaId;
+
+    fn replica() -> Replica {
+        Replica::new(ReplicaId(0))
+    }
+
+    #[test]
+    fn read_your_writes_within_transaction() {
+        let mut r = replica();
+        let mut tx = r.begin();
+        tx.ensure("s", ObjectKind::AWSet).unwrap();
+        assert!(!tx.contains("s", &Val::str("x")).unwrap());
+        tx.aw_add("s", Val::str("x")).unwrap();
+        assert!(tx.contains("s", &Val::str("x")).unwrap(), "read-your-writes");
+        tx.commit();
+        assert!(r.object(&"s".into()).unwrap().set_contains(&Val::str("x")).unwrap());
+    }
+
+    #[test]
+    fn abort_discards_buffered_updates() {
+        let mut r = replica();
+        {
+            let mut tx = r.begin();
+            tx.ensure("s", ObjectKind::AWSet).unwrap();
+            tx.aw_add("s", Val::str("x")).unwrap();
+            // dropped without commit
+        }
+        assert!(r.object(&"s".into()).is_none(), "aborted txn leaves no trace");
+        assert!(r.take_outbox().is_empty());
+    }
+
+    #[test]
+    fn read_only_commit_consumes_no_seq() {
+        let mut r = replica();
+        let before = r.clock().clone();
+        let mut tx = r.begin();
+        tx.ensure("s", ObjectKind::AWSet).unwrap();
+        let _ = tx.contains("s", &Val::str("x")).unwrap();
+        let info = tx.commit();
+        assert_eq!(info.updates, 0);
+        assert_eq!(r.clock(), &before);
+        assert!(r.take_outbox().is_empty());
+        // The ensured object persists locally.
+        assert!(r.object(&"s".into()).is_some());
+    }
+
+    #[test]
+    fn transaction_batch_is_atomic() {
+        let mut a = replica();
+        let mut b = Replica::new(ReplicaId(1));
+        let mut tx = a.begin();
+        tx.ensure("x", ObjectKind::AWSet).unwrap();
+        tx.ensure("y", ObjectKind::PNCounter).unwrap();
+        tx.aw_add("x", Val::str("e")).unwrap();
+        tx.counter_add("y", 7).unwrap();
+        let info = tx.commit();
+        assert_eq!(info.updates, 2);
+        let batch = a.take_outbox().pop().unwrap();
+        assert_eq!(batch.updates.len(), 2);
+        b.receive(batch);
+        assert!(b.object(&"x".into()).unwrap().set_contains(&Val::str("e")).unwrap());
+        assert_eq!(b.object(&"y".into()).unwrap().as_pncounter().unwrap().value(), 7);
+    }
+
+    #[test]
+    fn wrong_type_errors() {
+        let mut r = replica();
+        let mut tx = r.begin();
+        tx.ensure("c", ObjectKind::PNCounter).unwrap();
+        assert!(matches!(
+            tx.aw_add("c", Val::str("x")),
+            Err(StoreError::WrongType { .. })
+        ));
+        assert!(matches!(
+            tx.counter_add("ghost", 1),
+            Err(StoreError::NoSuchObject(_))
+        ));
+    }
+
+    #[test]
+    fn escrow_dec_rejected_without_rights() {
+        let mut r = Replica::new(ReplicaId(1)); // rights live at replica 0
+        let mut tx = r.begin();
+        tx.ensure("b", ObjectKind::BCounter { floor: 0, initial: 5 }).unwrap();
+        assert!(matches!(
+            tx.bcounter_dec("b", 1),
+            Err(StoreError::InsufficientRights { .. })
+        ));
+    }
+
+    #[test]
+    fn compset_read_co_commits_compensation() {
+        let mut a = replica();
+        let mut b = Replica::new(ReplicaId(1));
+        // Oversell: capacity 1, two adds in separate transactions.
+        for user in ["u1", "u2"] {
+            let mut tx = a.begin();
+            tx.ensure("tickets", ObjectKind::CompSet { capacity: 1 }).unwrap();
+            tx.compset_add("tickets", Val::str(user)).unwrap();
+            tx.commit();
+        }
+        let mut tx = a.begin();
+        let read = tx.compset_read("tickets").unwrap();
+        assert_eq!(read.elements.len(), 1);
+        assert_eq!(read.cancelled, vec![Val::str("u2")]);
+        let info = tx.commit();
+        assert_eq!(info.compensations, 1);
+        assert_eq!(info.updates, 1, "the compensation is a real update");
+        // The compensation replicates like any effect.
+        for batch in a.take_outbox() {
+            b.receive(batch);
+        }
+        assert_eq!(b.object(&"tickets".into()).unwrap().as_compset().unwrap().raw_len(), 1);
+    }
+
+    #[test]
+    fn lamport_timestamps_order_lww_across_replicas() {
+        let mut a = replica();
+        let mut b = Replica::new(ReplicaId(1));
+        let mut tx = a.begin();
+        tx.ensure("reg", ObjectKind::LWW).unwrap();
+        tx.lww_write("reg", Val::int(1)).unwrap();
+        tx.commit();
+        for batch in a.take_outbox() {
+            b.receive(batch);
+        }
+        // B's next write must dominate A's (lamport advanced on receive).
+        let mut tx = b.begin();
+        tx.lww_write("reg", Val::int(2)).unwrap();
+        tx.commit();
+        for batch in b.take_outbox() {
+            a.receive(batch);
+        }
+        assert_eq!(a.object(&"reg".into()).unwrap().as_lww().unwrap().get(), Some(&Val::int(2)));
+    }
+}

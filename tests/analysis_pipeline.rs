@@ -1,0 +1,92 @@
+//! Integration: the full specification → analysis → patched-spec pipeline
+//! across all four applications.
+
+use ipa::analysis::{Analyzer, Support};
+use ipa::apps::ticket::ticket_spec;
+use ipa::apps::tournament::tournament_spec;
+use ipa::apps::tpc::tpc_spec;
+use ipa::apps::twitter::twitter_spec;
+use ipa::spec::AppSpec;
+
+fn analyze(spec: &AppSpec) -> ipa::analysis::AnalysisReport {
+    Analyzer::for_spec(spec).analyze(spec).expect("analysis succeeds")
+}
+
+#[test]
+fn every_app_spec_analyzes_to_a_fixpoint() {
+    for spec in [tournament_spec(), twitter_spec(false), twitter_spec(true), ticket_spec(), tpc_spec()]
+    {
+        let report = analyze(&spec);
+        assert!(report.converged, "{}: no fixpoint", spec.name);
+        // Patched spec stays valid and re-analysis is stable.
+        report.patched.validate().expect("patched spec validates");
+        let again = analyze(&report.patched);
+        assert!(again.applied.is_empty(), "{}: not idempotent", spec.name);
+    }
+}
+
+#[test]
+fn twitter_add_wins_repairs_restore_entities() {
+    let report = analyze(&twitter_spec(false));
+    // Under add-wins rules, some operation gains a restoring SetTrue
+    // (e.g. retweet restores the tweet, matching §5.2.3's strategy).
+    let restored = report.applied.iter().any(|a| {
+        a.resolution.added.iter().any(|e| {
+            matches!(e.kind, ipa::spec::EffectKind::SetTrue)
+        })
+    });
+    assert!(restored || report.applied.is_empty(), "{report}");
+}
+
+#[test]
+fn compensations_only_for_numeric_invariants() {
+    let t = analyze(&tournament_spec());
+    assert_eq!(t.compensations.len(), 1, "only the capacity constraint");
+    let tw = analyze(&twitter_spec(false));
+    assert!(tw.compensations.is_empty(), "twitter has no numeric invariants");
+    let tpc = analyze(&tpc_spec());
+    assert_eq!(tpc.compensations.len(), 1, "the stock invariant");
+}
+
+#[test]
+fn table1_support_matrix_is_consistent_with_analysis() {
+    // Every clause classified as IPA-supported (Yes) in Table 1 must end
+    // up either repaired or conflict-free; Comp-classified clauses must
+    // produce compensations.
+    use ipa::analysis::classify;
+    for spec in [tournament_spec(), ticket_spec(), tpc_spec()] {
+        let report = analyze(&spec);
+        for inv in &spec.invariants {
+            let class = classify(inv);
+            if class.ipa_support() == Support::Compensation {
+                assert!(
+                    report
+                        .compensations
+                        .iter()
+                        .any(|c| c.clause == *inv),
+                    "{}: clause `{inv}` should have a compensation",
+                    spec.name
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn flagged_pairs_get_coordination_plans() {
+    // §3 Step 3: the flagged `rem_tourn ∥ do_match` pair is mechanically
+    // convertible into a per-tournament exclusive reservation.
+    let report = analyze(&tournament_spec());
+    let plan = ipa::coord::coordination_plan(&report);
+    assert_eq!(plan.entries.len(), report.flagged.len());
+    for e in &plan.entries {
+        assert_eq!(
+            e.shared_sorts,
+            vec![ipa::spec::Sort::new("Tournament")],
+            "the pair contends per tournament: {e}"
+        );
+        let r1 = e.resource(&["t1"]);
+        let r2 = e.resource(&["t2"]);
+        assert_ne!(r1, r2, "different tournaments never contend");
+    }
+}

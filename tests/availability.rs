@@ -1,0 +1,126 @@
+//! Integration: availability under partition (§5.2.5's fault-tolerance
+//! claim) — "our approach is fault-tolerant as a client can execute
+//! operations as long as it can access a single server. In Indigo, if a
+//! server that holds the necessary reservation ... becomes unavailable,
+//! the operation cannot be executed."
+
+use ipa::coord::{Mode as ResMode, ReservationTable, StrongCoordinator};
+use ipa::crdt::ObjectKind;
+use ipa::sim::{two_region_topology, ClientInfo, OpOutcome, SimConfig, SimCtx, Simulation, Workload};
+
+/// A workload where region 1's ops need coordination according to mode,
+/// and the 0↔1 link dies mid-run.
+struct PartitionProbe {
+    mode: &'static str, // "ipa" | "indigo" | "strong"
+    table: ReservationTable,
+    strong: StrongCoordinator,
+    cut_done: bool,
+    ops_after_cut: u64,
+    failures_after_cut: u64,
+}
+
+impl Workload for PartitionProbe {
+    fn setup(&mut self, ctx: &mut SimCtx<'_>) {
+        self.table.grant("res", 0, ResMode::Exclusive);
+        let _ = ctx.regions();
+    }
+
+    fn op(&mut self, ctx: &mut SimCtx<'_>, client: ClientInfo) -> OpOutcome {
+        // Cut the link after the warm-up at the first post-warm-up op.
+        if !self.cut_done && ctx.now().as_secs() > 0.5 {
+            ctx.set_link(0, 1, false);
+            self.cut_done = true;
+        }
+        if client.region != 1 {
+            return OpOutcome::ok("local0", 1, 1);
+        }
+        let mut extra = 0.0;
+        let exec = match self.mode {
+            // Region 1 needs the reservation only for the post-cut ops,
+            // so the token is still resident at (unreachable) region 0
+            // when first requested — the §5.2.5 failure scenario.
+            "indigo" if !self.cut_done => 1,
+            "indigo" => match self.table.acquire(ctx, "res", 1, ResMode::Exclusive) {
+                Some(c) => {
+                    extra = c;
+                    1
+                }
+                None => {
+                    self.failures_after_cut += 1;
+                    return OpOutcome::unavailable("op1");
+                }
+            },
+            "strong" => match self.strong.forward_cost(ctx, 1) {
+                Some(c) => {
+                    extra = c;
+                    0
+                }
+                None => {
+                    if self.cut_done {
+                        self.failures_after_cut += 1;
+                    }
+                    return OpOutcome::unavailable("op1");
+                }
+            },
+            _ => 1, // IPA: purely local
+        };
+        ctx.commit(exec, |tx| {
+            tx.ensure("c", ObjectKind::PNCounter)?;
+            tx.counter_add("c", 1)
+        })
+        .expect("commit");
+        if self.cut_done {
+            self.ops_after_cut += 1;
+        }
+        OpOutcome { label: "op1", objects: 1, updates: 1, extra_wan_ms: extra, ok: true, violations: 0 }
+    }
+}
+
+fn run(mode: &'static str) -> PartitionProbe {
+    let cfg = SimConfig {
+        clients_per_region: 1,
+        warmup_s: 0.2,
+        duration_s: 3.0,
+        seed: 404,
+        ..Default::default()
+    };
+    let mut sim = Simulation::new(two_region_topology(), cfg);
+    let mut probe = PartitionProbe {
+        mode,
+        table: ReservationTable::new(),
+        strong: StrongCoordinator::new(0),
+        cut_done: false,
+        ops_after_cut: 0,
+        failures_after_cut: 0,
+    };
+    sim.run(&mut probe);
+    assert!(probe.cut_done, "the partition must have happened");
+    probe
+}
+
+#[test]
+fn ipa_stays_available_during_partition() {
+    let probe = run("ipa");
+    assert!(probe.ops_after_cut > 50, "IPA keeps executing: {}", probe.ops_after_cut);
+    assert_eq!(probe.failures_after_cut, 0);
+}
+
+#[test]
+fn indigo_remote_reservation_is_unavailable_during_partition() {
+    let probe = run("indigo");
+    assert!(
+        probe.failures_after_cut > 0,
+        "Indigo must fail when the reservation holder is unreachable"
+    );
+    assert_eq!(
+        probe.ops_after_cut, 0,
+        "the reservation never crosses the cut link"
+    );
+}
+
+#[test]
+fn strong_updates_are_unavailable_during_partition() {
+    let probe = run("strong");
+    assert!(probe.failures_after_cut > 0, "Strong must fail when the primary is unreachable");
+    assert_eq!(probe.ops_after_cut, 0);
+}

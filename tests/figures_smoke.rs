@@ -1,0 +1,92 @@
+//! Integration: every table/figure harness produces sane rows with quick
+//! parameters (the full sweeps run via `cargo run -p ipa-bench --release`).
+
+use ipa_bench::figures;
+
+#[test]
+fn table1_has_all_seven_rows() {
+    let rows = figures::table1::run();
+    assert_eq!(rows.len(), 7);
+    figures::table1::print(&rows);
+}
+
+#[test]
+fn fig4_shape_holds_in_quick_mode() {
+    let points = figures::fig4::run(true);
+    assert!(!points.is_empty());
+    figures::fig4::print(&points);
+    // Strong's low-load latency must clearly exceed Causal's.
+    let strong_low = points
+        .iter()
+        .find(|p| p.mode == ipa::apps::Mode::Strong)
+        .expect("strong point");
+    let causal_low = points
+        .iter()
+        .find(|p| p.mode == ipa::apps::Mode::Causal)
+        .expect("causal point");
+    assert!(strong_low.mean_ms > causal_low.mean_ms + 5.0);
+}
+
+#[test]
+fn fig5_reports_all_operations_for_all_modes() {
+    let t = figures::fig5::run(true);
+    figures::fig5::print(&t);
+    for op in figures::fig5::OPS {
+        for mode in [ipa::apps::Mode::Indigo, ipa::apps::Mode::Ipa, ipa::apps::Mode::Causal] {
+            assert!(
+                t.cells.contains_key(&(op.to_string(), mode)),
+                "missing cell {op}/{mode}"
+            );
+        }
+    }
+}
+
+#[test]
+fn fig6_rem_wins_timeline_pays_the_read_tax() {
+    let t = figures::fig6::run(true);
+    figures::fig6::print(&t);
+    use ipa::apps::twitter::runtime::Strategy;
+    let causal = t.cells.get(&("Timeline".into(), Strategy::Causal)).unwrap().0;
+    let rem = t.cells.get(&("Timeline".into(), Strategy::RemWins)).unwrap().0;
+    assert!(rem > causal, "rem-wins reads: {rem} vs {causal}");
+}
+
+#[test]
+fn fig7_violations_only_under_causal() {
+    let points = figures::fig7::run(true);
+    figures::fig7::print(&points);
+    let causal_viol: u64 = points
+        .iter()
+        .filter(|p| p.mode == ipa::apps::Mode::Causal)
+        .map(|p| p.violations)
+        .sum();
+    let ipa_viol: u64 = points
+        .iter()
+        .filter(|p| p.mode == ipa::apps::Mode::Ipa)
+        .map(|p| p.violations)
+        .sum();
+    assert!(causal_viol > 0, "contended causal runs oversell");
+    assert_eq!(ipa_viol, 0, "IPA reads are always consistent");
+}
+
+#[test]
+fn fig8_speedup_decays_with_updates() {
+    let (top, bottom) = figures::fig8::run(true);
+    figures::fig8::print(&top, &bottom);
+    assert!(top.first().unwrap().speedup > top.last().unwrap().speedup);
+    assert!(top.first().unwrap().speedup > 10.0, "~28x in the paper, >10x here");
+    assert!(bottom.first().unwrap().speedup > bottom.last().unwrap().speedup);
+}
+
+#[test]
+fn fig9_indigo_latency_rises_with_contention() {
+    let points = figures::fig9::run(true);
+    figures::fig9::print(&points);
+    let ipa = points.iter().find(|p| p.contention_pct.is_none()).unwrap();
+    let low = points.iter().find(|p| p.contention_pct == Some(0)).unwrap();
+    let high = points.iter().filter_map(|p| p.contention_pct.map(|c| (c, p.mean_ms)))
+        .max_by_key(|(c, _)| *c)
+        .unwrap();
+    assert!((low.mean_ms - ipa.mean_ms).abs() < 3.0, "0% contention ≈ IPA");
+    assert!(high.1 > low.mean_ms * 1.5, "latency rises with contention");
+}

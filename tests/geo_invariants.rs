@@ -1,0 +1,87 @@
+//! Integration: geo-simulated runs — Causal violates invariants under
+//! contention, IPA never does (the core claim of the paper).
+
+use ipa::apps::tournament::TournamentWorkload;
+use ipa::apps::tpc::TpcWorkload;
+use ipa::apps::violations::{tournament_violations, tpc_violations};
+use ipa::apps::Mode;
+use ipa::sim::{paper_topology, SimConfig, Simulation};
+
+fn sim_cfg(seed: u64) -> SimConfig {
+    SimConfig {
+        clients_per_region: 3,
+        warmup_s: 0.3,
+        duration_s: 2.5,
+        seed,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn tournament_causal_violates_ipa_preserves_across_seeds() {
+    let mut causal_violations = 0u64;
+    for seed in [5u64, 6, 7] {
+        // Causal.
+        let mut sim = Simulation::new(paper_topology(), sim_cfg(seed));
+        let mut w = TournamentWorkload::with_defaults(Mode::Causal);
+        sim.run(&mut w);
+        sim.quiesce();
+        causal_violations +=
+            (0..3).map(|r| tournament_violations(sim.replica(r))).sum::<u64>();
+
+        // IPA (same seed ⇒ same schedule shape).
+        let mut sim = Simulation::new(paper_topology(), sim_cfg(seed));
+        let mut w = TournamentWorkload::with_defaults(Mode::Ipa);
+        sim.run(&mut w);
+        sim.quiesce();
+        w.final_repair(&mut sim);
+        for r in 0..3 {
+            assert_eq!(
+                tournament_violations(sim.replica(r)),
+                0,
+                "seed {seed}, replica {r}: IPA must preserve invariants"
+            );
+        }
+    }
+    assert!(causal_violations > 0, "causal runs must exhibit the anomalies");
+}
+
+#[test]
+fn tpc_causal_violates_ipa_preserves() {
+    let mut causal_total = 0u64;
+    for seed in [11u64, 12] {
+        let mut sim = Simulation::new(paper_topology(), sim_cfg(seed));
+        let mut w = TpcWorkload::with_defaults(Mode::Causal);
+        sim.run(&mut w);
+        sim.quiesce();
+        causal_total += sim.metrics.violations
+            + (0..3).map(|r| tpc_violations(sim.replica(r), w.products())).sum::<u64>();
+
+        let mut sim = Simulation::new(paper_topology(), sim_cfg(seed));
+        let mut w = TpcWorkload::with_defaults(Mode::Ipa);
+        sim.run(&mut w);
+        sim.quiesce();
+        assert_eq!(sim.metrics.violations, 0, "IPA reads never observe violations");
+        for r in 0..3 {
+            // Referential integrity holds everywhere (stock residue is
+            // repaired lazily by reads, so only orders are checked here).
+            assert_eq!(tpc_violations(sim.replica(r), &[]), 0, "seed {seed} replica {r}");
+        }
+    }
+    assert!(causal_total > 0, "causal TPC must exhibit anomalies");
+}
+
+#[test]
+fn replicas_converge_in_every_mode() {
+    for mode in [Mode::Causal, Mode::Ipa, Mode::Indigo, Mode::Strong] {
+        let mut sim = Simulation::new(paper_topology(), sim_cfg(21));
+        let mut w = TournamentWorkload::with_defaults(mode);
+        sim.run(&mut w);
+        sim.quiesce();
+        let c0 = sim.replica(0).clock().clone();
+        for r in 1..3 {
+            assert_eq!(sim.replica(r).clock(), &c0, "{mode}: replica {r} diverged");
+            assert_eq!(sim.replica(r).pending_count(), 0);
+        }
+    }
+}
