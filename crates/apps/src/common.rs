@@ -38,20 +38,15 @@ impl fmt::Display for Mode {
 /// Pick an index in `0..n`, preferring `home`-affine entities with the
 /// given probability (models the access locality that keeps Indigo's
 /// reservations mostly resident).
-pub fn pick_local(
-    rng: &mut impl Rng,
-    n: usize,
-    regions: usize,
-    home: u16,
-    locality: f64,
-) -> usize {
+pub fn pick_local(rng: &mut impl Rng, n: usize, regions: usize, home: u16, locality: f64) -> usize {
     assert!(n > 0);
     if regions <= 1 || rng.gen::<f64>() >= locality {
         return rng.gen_range(0..n);
     }
     // Entities are striped across regions by index.
-    let local: Vec<usize> =
-        (0..n).filter(|i| (i % regions) as u16 == home % regions as u16).collect();
+    let local: Vec<usize> = (0..n)
+        .filter(|i| (i % regions) as u16 == home % regions as u16)
+        .collect();
     if local.is_empty() {
         rng.gen_range(0..n)
     } else {

@@ -47,7 +47,9 @@ impl TicketApp {
 
     fn pool_kind(&self) -> ObjectKind {
         match self.mode {
-            Mode::Ipa => ObjectKind::CompSet { capacity: self.capacity },
+            Mode::Ipa => ObjectKind::CompSet {
+                capacity: self.capacity,
+            },
             _ => ObjectKind::AWSet,
         }
     }
@@ -58,7 +60,10 @@ impl TicketApp {
         event: &str,
     ) -> Result<OpCost, StoreError> {
         tx.ensure(pool_key(event), self.pool_kind())?;
-        Ok(OpCost { objects: 1, updates: 0 })
+        Ok(OpCost {
+            objects: 1,
+            updates: 0,
+        })
     }
 
     /// Buy a ticket. The local precondition (pool not full *as observed
@@ -80,7 +85,10 @@ impl TicketApp {
             Mode::Ipa => tx.compset_add(key, Val::str(user))?,
             _ => tx.aw_add(key, Val::str(user))?,
         }
-        Ok(Some(OpCost { objects: 1, updates: 1 }))
+        Ok(Some(OpCost {
+            objects: 1,
+            updates: 1,
+        }))
     }
 
     /// View an event's sales. Under IPA this is the constrained read that
@@ -101,7 +109,10 @@ impl TicketApp {
                         .filter_map(|v| v.as_str().map(str::to_owned))
                         .collect(),
                     oversold,
-                    cost: OpCost { objects: 1, updates: usize::from(oversold) },
+                    cost: OpCost {
+                        objects: 1,
+                        updates: usize::from(oversold),
+                    },
                 })
             }
             _ => {
@@ -110,7 +121,10 @@ impl TicketApp {
                     sold,
                     cancelled: Vec::new(),
                     oversold: sold > self.capacity,
-                    cost: OpCost { objects: 1, updates: 0 },
+                    cost: OpCost {
+                        objects: 1,
+                        updates: 0,
+                    },
                 })
             }
         }

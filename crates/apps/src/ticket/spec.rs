@@ -13,7 +13,9 @@ pub fn ticket_spec() -> AppSpec {
         .constant("Capacity", 20)
         .invariant_str("forall(Event: e) :- #sold(*, e) <= Capacity")
         .invariant_str("forall(User: u, Event: e) :- sold(u, e) => event(e)")
-        .operation("create_event", &[("e", "Event")], |op| op.set_true("event", &["e"]))
+        .operation("create_event", &[("e", "Event")], |op| {
+            op.set_true("event", &["e"])
+        })
         .operation("buy_ticket", &[("u", "User"), ("e", "Event")], |op| {
             op.set_true("sold", &["u", "e"])
         })

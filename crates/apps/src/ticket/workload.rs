@@ -21,7 +21,11 @@ pub struct TicketConfig {
 
 impl Default for TicketConfig {
     fn default() -> Self {
-        TicketConfig { num_events: 4, capacity: 20, buy_fraction: 0.65 }
+        TicketConfig {
+            num_events: 4,
+            capacity: 20,
+            buy_fraction: 0.65,
+        }
     }
 }
 
@@ -79,8 +83,9 @@ impl TicketWorkload {
 impl Workload for TicketWorkload {
     fn setup(&mut self, ctx: &mut SimCtx<'_>) {
         let app = self.app;
-        let events: Vec<String> =
-            (0..self.cfg.num_events).map(|s| self.event_name(s)).collect();
+        let events: Vec<String> = (0..self.cfg.num_events)
+            .map(|s| self.event_name(s))
+            .collect();
         ctx.commit(0, |tx| {
             for e in &events {
                 app.create_event(tx, e)?;
@@ -91,7 +96,8 @@ impl Workload for TicketWorkload {
         if app.mode == Mode::Indigo {
             let regions = ctx.regions() as u16;
             for e in &events {
-                self.escrow.grant_evenly(e.clone(), regions, self.cfg.capacity as i64);
+                self.escrow
+                    .grant_evenly(e.clone(), regions, self.cfg.capacity as i64);
             }
         }
     }
@@ -118,11 +124,8 @@ impl Workload for TicketWorkload {
                         self.generations[slot] += 1;
                         let fresh = self.event_name(slot);
                         let regions = ctx.regions() as u16;
-                        self.escrow.grant_evenly(
-                            fresh.clone(),
-                            regions,
-                            self.cfg.capacity as i64,
-                        );
+                        self.escrow
+                            .grant_evenly(fresh.clone(), regions, self.cfg.capacity as i64);
                         ctx.commit(region, |tx| app.create_event(tx, &fresh).map(|_| ()))
                             .expect("roll event");
                         return OpOutcome::ok("Buy", 1, 1);
@@ -167,14 +170,12 @@ impl Workload for TicketWorkload {
             // Count each oversold event once (the Fig. 7 red dots). Under
             // IPA the read repairs the state in the same transaction, so
             // no violation is ever *observed* — only Causal exposes them.
-            let violations = if app.mode == Mode::Causal
-                && view.oversold
-                && self.counted.insert(event)
-            {
-                1
-            } else {
-                0
-            };
+            let violations =
+                if app.mode == Mode::Causal && view.oversold && self.counted.insert(event) {
+                    1
+                } else {
+                    0
+                };
             OpOutcome {
                 label: "View",
                 objects: view.cost.objects,
@@ -189,10 +190,7 @@ impl Workload for TicketWorkload {
 
 /// Post-run raw oversell scan across every generation ever opened
 /// (Causal's ground truth).
-pub fn final_oversell_count(
-    sim: &ipa_sim::Simulation,
-    workload: &TicketWorkload,
-) -> u64 {
+pub fn final_oversell_count(sim: &ipa_sim::Simulation, workload: &TicketWorkload) -> u64 {
     let events = workload.all_event_names();
     let mut total = 0;
     let r = sim.replica(0);
@@ -248,7 +246,10 @@ mod tests {
         let (sim, w) = run(Mode::Ipa, 6, 41);
         // Raw oversells may exist transiently, but after quiescing and a
         // final round of constrained reads every pool is within capacity.
-        assert_eq!(sim.metrics.violations, 0, "IPA reads never observe a violation");
+        assert_eq!(
+            sim.metrics.violations, 0,
+            "IPA reads never observe a violation"
+        );
         let _ = w;
     }
 

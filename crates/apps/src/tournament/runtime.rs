@@ -118,7 +118,10 @@ impl Tournament {
     pub fn add_player(&self, tx: &mut Transaction<'_>, p: &str) -> Result<OpCost, StoreError> {
         self.ensure_schema(tx)?;
         tx.map_put(PLAYERS, Val::str(p), Val::str(format!("profile:{p}")))?;
-        Ok(OpCost { objects: 1, updates: 1 })
+        Ok(OpCost {
+            objects: 1,
+            updates: 1,
+        })
     }
 
     pub fn rem_player(&self, tx: &mut Transaction<'_>, p: &str) -> Result<OpCost, StoreError> {
@@ -139,13 +142,19 @@ impl Tournament {
             ValPattern::triple(ValPattern::Any, ValPattern::exact(p), ValPattern::Any),
         )?;
         tx.map_remove(PLAYERS, &Val::str(p))?;
-        Ok(OpCost { objects: 3, updates: 4 })
+        Ok(OpCost {
+            objects: 3,
+            updates: 4,
+        })
     }
 
     pub fn add_tourn(&self, tx: &mut Transaction<'_>, t: &str) -> Result<OpCost, StoreError> {
         self.ensure_schema(tx)?;
         tx.map_put(TOURNS, Val::str(t), Val::str(format!("meta:{t}")))?;
-        Ok(OpCost { objects: 1, updates: 1 })
+        Ok(OpCost {
+            objects: 1,
+            updates: 1,
+        })
     }
 
     pub fn rem_tourn(&self, tx: &mut Transaction<'_>, t: &str) -> Result<OpCost, StoreError> {
@@ -167,7 +176,10 @@ impl Tournament {
         self.active_remove(tx, t)?;
         tx.aw_remove(FINISHED, &Val::str(t))?;
         tx.map_remove(TOURNS, &Val::str(t))?;
-        Ok(OpCost { objects: 5, updates: 5 })
+        Ok(OpCost {
+            objects: 5,
+            updates: 5,
+        })
     }
 
     pub fn enroll(&self, tx: &mut Transaction<'_>, p: &str, t: &str) -> Result<OpCost, StoreError> {
@@ -182,14 +194,23 @@ impl Tournament {
             .filter(|e| e.snd().and_then(Val::as_str) == Some(t))
             .count();
         if seats >= CAPACITY {
-            return Ok(OpCost { objects: 1, updates: 0 });
+            return Ok(OpCost {
+                objects: 1,
+                updates: 0,
+            });
         }
         tx.aw_add(ENROLLED, Val::pair(p, t))?;
         if self.mode == Mode::Ipa {
             self.ensure_enroll(tx, p, t)?;
-            return Ok(OpCost { objects: 3, updates: 3 });
+            return Ok(OpCost {
+                objects: 3,
+                updates: 3,
+            });
         }
-        Ok(OpCost { objects: 1, updates: 1 })
+        Ok(OpCost {
+            objects: 1,
+            updates: 1,
+        })
     }
 
     pub fn disenroll(
@@ -209,7 +230,10 @@ impl Tournament {
             tx,
             ValPattern::triple(ValPattern::Any, ValPattern::exact(p), ValPattern::exact(t)),
         )?;
-        Ok(OpCost { objects: 2, updates: 3 })
+        Ok(OpCost {
+            objects: 2,
+            updates: 3,
+        })
     }
 
     pub fn begin_tourn(&self, tx: &mut Transaction<'_>, t: &str) -> Result<OpCost, StoreError> {
@@ -223,9 +247,15 @@ impl Tournament {
         tx.aw_remove(FINISHED, &Val::str(t))?;
         if self.mode == Mode::Ipa {
             self.ensure_begin(tx, t)?;
-            return Ok(OpCost { objects: 3, updates: 3 });
+            return Ok(OpCost {
+                objects: 3,
+                updates: 3,
+            });
         }
-        Ok(OpCost { objects: 2, updates: 2 })
+        Ok(OpCost {
+            objects: 2,
+            updates: 2,
+        })
     }
 
     pub fn finish_tourn(&self, tx: &mut Transaction<'_>, t: &str) -> Result<OpCost, StoreError> {
@@ -236,9 +266,15 @@ impl Tournament {
         self.active_remove(tx, t)?;
         if self.mode == Mode::Ipa {
             self.ensure_begin(tx, t)?; // ensureEnd touches the tournament
-            return Ok(OpCost { objects: 3, updates: 3 });
+            return Ok(OpCost {
+                objects: 3,
+                updates: 3,
+            });
         }
-        Ok(OpCost { objects: 2, updates: 2 })
+        Ok(OpCost {
+            objects: 2,
+            updates: 2,
+        })
     }
 
     /// Precondition (checked by the caller's transaction code): both
@@ -261,9 +297,15 @@ impl Tournament {
             tx.aw_add(ENROLLED, Val::pair(q, t))?;
             self.ensure_enroll(tx, p, t)?;
             self.ensure_enroll(tx, q, t)?;
-            return Ok(OpCost { objects: 4, updates: 7 });
+            return Ok(OpCost {
+                objects: 4,
+                updates: 7,
+            });
         }
-        Ok(OpCost { objects: 1, updates: 1 })
+        Ok(OpCost {
+            objects: 1,
+            updates: 1,
+        })
     }
 
     /// Is the tournament currently active (as observed locally)?
@@ -317,9 +359,15 @@ impl Tournament {
                     )?;
                 }
             }
-            return Ok(OpCost { objects: 3, updates: n });
+            return Ok(OpCost {
+                objects: 3,
+                updates: n,
+            });
         }
-        Ok(OpCost { objects: 3, updates: 0 })
+        Ok(OpCost {
+            objects: 3,
+            updates: 0,
+        })
     }
 }
 
@@ -355,9 +403,7 @@ mod tests {
             commit(cluster, 0, |tx| app.enroll(tx, "alice", "open"));
             commit(cluster, 0, |tx| app.begin_tourn(tx, "open"));
             cluster.sync();
-            let v = crate::violations::tournament_violations(
-                cluster.replica(ReplicaId(1)),
-            );
+            let v = crate::violations::tournament_violations(cluster.replica(ReplicaId(1)));
             assert_eq!(v, 0);
         });
     }
@@ -372,10 +418,8 @@ mod tests {
             commit(cluster, 0, |tx| app.rem_tourn(tx, "t1"));
             commit(cluster, 1, |tx| app.enroll(tx, "p1", "t1"));
             cluster.sync();
-            let v0 =
-                crate::violations::tournament_violations(cluster.replica(ReplicaId(0)));
-            let v1 =
-                crate::violations::tournament_violations(cluster.replica(ReplicaId(1)));
+            let v0 = crate::violations::tournament_violations(cluster.replica(ReplicaId(0)));
+            let v1 = crate::violations::tournament_violations(cluster.replica(ReplicaId(1)));
             assert!(v0 > 0, "the Fig. 2a anomaly must appear under Causal");
             assert_eq!(v0, v1, "replicas converge (to an invalid state)");
         });
@@ -391,13 +435,13 @@ mod tests {
             commit(cluster, 1, |tx| app.enroll(tx, "p1", "t1"));
             cluster.sync();
             for r in 0..2 {
-                let v = crate::violations::tournament_violations(
-                    cluster.replica(ReplicaId(r)),
-                );
+                let v = crate::violations::tournament_violations(cluster.replica(ReplicaId(r)));
                 assert_eq!(v, 0, "replica {r}: IPA must preserve the invariant");
                 // The Fig. 2b outcome: the tournament was restored.
-                let tourns =
-                    cluster.replica(ReplicaId(r)).object(&TOURNS.into()).unwrap();
+                let tourns = cluster
+                    .replica(ReplicaId(r))
+                    .object(&TOURNS.into())
+                    .unwrap();
                 assert_eq!(tourns.set_contains(&Val::str("t1")), Some(true));
             }
         });
@@ -420,7 +464,11 @@ mod tests {
                 .unwrap()
                 .get(&Val::str("t1"))
                 .cloned();
-            assert_eq!(payload, Some(Val::str("meta:t1")), "touch restored the old payload");
+            assert_eq!(
+                payload,
+                Some(Val::str("meta:t1")),
+                "touch restored the old payload"
+            );
         });
     }
 
@@ -436,10 +484,14 @@ mod tests {
             cluster.sync();
             for r in 0..2 {
                 let rep = cluster.replica(ReplicaId(r));
-                let active =
-                    rep.object(&ACTIVE.into()).unwrap().set_contains(&Val::str("t1"));
-                let finished =
-                    rep.object(&FINISHED.into()).unwrap().set_contains(&Val::str("t1"));
+                let active = rep
+                    .object(&ACTIVE.into())
+                    .unwrap()
+                    .set_contains(&Val::str("t1"));
+                let finished = rep
+                    .object(&FINISHED.into())
+                    .unwrap()
+                    .set_contains(&Val::str("t1"));
                 assert_eq!(active, Some(false), "rem-wins: finish prevails");
                 assert_eq!(finished, Some(true));
                 assert_eq!(
@@ -460,9 +512,14 @@ mod tests {
             commit(cluster, 1, |tx| app.finish_tourn(tx, "t1"));
             cluster.sync();
             let rep = cluster.replica(ReplicaId(0));
-            let active = rep.object(&ACTIVE.into()).unwrap().set_contains(&Val::str("t1"));
-            let finished =
-                rep.object(&FINISHED.into()).unwrap().set_contains(&Val::str("t1"));
+            let active = rep
+                .object(&ACTIVE.into())
+                .unwrap()
+                .set_contains(&Val::str("t1"));
+            let finished = rep
+                .object(&FINISHED.into())
+                .unwrap()
+                .set_contains(&Val::str("t1"));
             // Add-wins keeps `active` despite the concurrent clear.
             assert_eq!(active, Some(true));
             assert_eq!(finished, Some(true));
@@ -474,11 +531,23 @@ mod tests {
     fn op_costs_reflect_ipa_overhead() {
         run(Mode::Ipa, |app, cluster| {
             let c = commit(cluster, 0, |tx| app.enroll(tx, "p", "t"));
-            assert_eq!(c, OpCost { objects: 3, updates: 3 });
+            assert_eq!(
+                c,
+                OpCost {
+                    objects: 3,
+                    updates: 3
+                }
+            );
         });
         run(Mode::Causal, |app, cluster| {
             let c = commit(cluster, 0, |tx| app.enroll(tx, "p", "t"));
-            assert_eq!(c, OpCost { objects: 1, updates: 1 });
+            assert_eq!(
+                c,
+                OpCost {
+                    objects: 1,
+                    updates: 1
+                }
+            );
         });
     }
 }

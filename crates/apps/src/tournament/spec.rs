@@ -76,14 +76,16 @@ mod tests {
         assert_eq!(spec.operations.len(), 8);
         assert_eq!(spec.invariants.len(), 6);
         assert!(spec.validate().is_ok());
-        assert!(spec.operation("rem_player").is_none(), "Fig. 1 excerpt has no rem_player");
+        assert!(
+            spec.operation("rem_player").is_none(),
+            "Fig. 1 excerpt has no rem_player"
+        );
     }
 
     #[test]
     fn invariant_classes_cover_table_1_rows() {
         let spec = tournament_spec();
-        let classes: Vec<InvariantClass> =
-            spec.invariants.iter().map(classify).collect();
+        let classes: Vec<InvariantClass> = spec.invariants.iter().map(classify).collect();
         assert!(classes.contains(&InvariantClass::ReferentialIntegrity));
         assert!(classes.contains(&InvariantClass::Disjunction));
         assert!(classes.contains(&InvariantClass::AggregationConstraint));

@@ -162,24 +162,20 @@ impl Workload for TournamentWorkload {
         // Coordination cost first (Indigo / Strong pay before executing).
         let mut extra_wan = 0.0;
         let exec_region: u16 = match self.mode() {
-            Mode::Indigo if label != "Status" => {
-                match self.indigo_cost(ctx, region, label, &t) {
-                    Some(c) => {
-                        extra_wan += c;
-                        region
-                    }
-                    None => return OpOutcome::unavailable(label),
+            Mode::Indigo if label != "Status" => match self.indigo_cost(ctx, region, label, &t) {
+                Some(c) => {
+                    extra_wan += c;
+                    region
                 }
-            }
-            Mode::Strong if label != "Status" => {
-                match self.strong.forward_cost(ctx, region) {
-                    Some(c) => {
-                        extra_wan += c;
-                        self.strong.primary()
-                    }
-                    None => return OpOutcome::unavailable(label),
+                None => return OpOutcome::unavailable(label),
+            },
+            Mode::Strong if label != "Status" => match self.strong.forward_cost(ctx, region) {
+                Some(c) => {
+                    extra_wan += c;
+                    self.strong.primary()
                 }
-            }
+                None => return OpOutcome::unavailable(label),
+            },
             _ => region,
         };
 
@@ -195,7 +191,10 @@ impl Workload for TournamentWorkload {
                     // The transaction code establishes the operation's
                     // preconditions locally (§2.2): both players enrolled
                     // and the tournament running.
-                    let mut total = OpCost { objects: 0, updates: 0 };
+                    let mut total = OpCost {
+                        objects: 0,
+                        updates: 0,
+                    };
                     if !app.is_active(tx, &t)? {
                         let c = app.begin_tourn(tx, &t)?;
                         total.objects += c.objects;
@@ -270,8 +269,9 @@ mod tests {
         let sim = run(Mode::Causal, 11);
         let mean = sim.metrics.overall().unwrap().mean_ms;
         assert!(mean < 25.0, "causal ops are local: {mean}ms");
-        let v: u64 =
-            (0..3).map(|r| crate::violations::tournament_violations(sim.replica(r))).sum();
+        let v: u64 = (0..3)
+            .map(|r| crate::violations::tournament_violations(sim.replica(r)))
+            .sum();
         assert!(v > 0, "contended causal run must violate invariants");
     }
 

@@ -1,7 +1,7 @@
 //! TPC runtime: catalogue, orders and per-product stock counters.
 
 use crate::common::Mode;
-use ipa_crdt::{ObjectKind, Val};
+use ipa_crdt::{ObjectKind, Val, ValPattern};
 use ipa_store::{Key, StoreError, Transaction};
 
 pub const PRODUCTS: &str = "tpc/products";
@@ -28,7 +28,10 @@ pub struct TpcApp {
 
 impl TpcApp {
     pub fn new(mode: Mode) -> TpcApp {
-        TpcApp { mode, restock_units: 10 }
+        TpcApp {
+            mode,
+            restock_units: 10,
+        }
     }
 
     pub fn ensure_schema(&self, tx: &mut Transaction<'_>) -> Result<(), StoreError> {
@@ -47,13 +50,29 @@ impl TpcApp {
         tx.map_put(PRODUCTS, Val::str(p), Val::str(format!("sku:{p}")))?;
         tx.ensure(stock_key(p), ObjectKind::PNCounter)?;
         tx.counter_add(stock_key(p), initial_stock)?;
-        Ok(OpCost { objects: 2, updates: 2 })
+        Ok(OpCost {
+            objects: 2,
+            updates: 2,
+        })
     }
 
     pub fn rem_product(&self, tx: &mut Transaction<'_>, p: &str) -> Result<OpCost, StoreError> {
         self.ensure_schema(tx)?;
+        // Local precondition restoration (mirrors the tournament's
+        // `rem_tourn`): delisting a product also clears the observed
+        // orders that reference it, so referential integrity holds in the
+        // origin state. Concurrent purchases elsewhere still win via
+        // add-wins (and, under IPA, their `touch` keeps the product
+        // alive), which preserves the Causal-mode orphan anomaly.
+        tx.aw_remove_matching(
+            ORDERS,
+            &ValPattern::pair(ValPattern::Any, ValPattern::exact(p)),
+        )?;
         tx.map_remove(PRODUCTS, &Val::str(p))?;
-        Ok(OpCost { objects: 1, updates: 1 })
+        Ok(OpCost {
+            objects: 2,
+            updates: 2,
+        })
     }
 
     /// Purchase one unit: records the order and decrements stock. The
@@ -76,15 +95,24 @@ impl TpcApp {
             // The analysis-added restore: a purchase keeps its product
             // alive against a concurrent rem_product (add-wins touch).
             tx.map_touch(PRODUCTS, Val::str(p))?;
-            return Ok(Some(OpCost { objects: 3, updates: 3 }));
+            return Ok(Some(OpCost {
+                objects: 3,
+                updates: 3,
+            }));
         }
-        Ok(Some(OpCost { objects: 2, updates: 2 }))
+        Ok(Some(OpCost {
+            objects: 2,
+            updates: 2,
+        }))
     }
 
     pub fn restock(&self, tx: &mut Transaction<'_>, p: &str) -> Result<OpCost, StoreError> {
         tx.ensure(stock_key(p), ObjectKind::PNCounter)?;
         tx.counter_add(stock_key(p), self.restock_units)?;
-        Ok(OpCost { objects: 1, updates: 1 })
+        Ok(OpCost {
+            objects: 1,
+            updates: 1,
+        })
     }
 
     /// Product view. Under IPA a negative observed stock triggers the
@@ -104,10 +132,20 @@ impl TpcApp {
             return Ok((
                 self.restock_units,
                 true,
-                OpCost { objects: 2, updates: 1 },
+                OpCost {
+                    objects: 2,
+                    updates: 1,
+                },
             ));
         }
-        Ok((stock, negative, OpCost { objects: 2, updates: 0 }))
+        Ok((
+            stock,
+            negative,
+            OpCost {
+                objects: 2,
+                updates: 0,
+            },
+        ))
     }
 
     /// Current stock of a product at a replica (test helper).
@@ -149,10 +187,7 @@ mod tests {
         cluster.sync();
         assert_eq!(TpcApp::stock_at(cluster.replica(ReplicaId(0)), "book"), -1);
         assert_eq!(
-            crate::violations::tpc_violations(
-                cluster.replica(ReplicaId(0)),
-                &["book".to_owned()]
-            ),
+            crate::violations::tpc_violations(cluster.replica(ReplicaId(0)), &["book".to_owned()]),
             1
         );
     }
@@ -166,8 +201,7 @@ mod tests {
         assert!(commit(&mut cluster, 0, |tx| app.purchase(tx, "o1", "book")).is_some());
         assert!(commit(&mut cluster, 1, |tx| app.purchase(tx, "o2", "book")).is_some());
         cluster.sync();
-        let (stock, was_negative, _) =
-            commit(&mut cluster, 0, |tx| app.view(tx, "book"));
+        let (stock, was_negative, _) = commit(&mut cluster, 0, |tx| app.view(tx, "book"));
         assert!(was_negative);
         assert_eq!(stock, app.restock_units, "replenished to the restock level");
         cluster.sync();
@@ -190,7 +224,10 @@ mod tests {
         cluster.sync();
         for r in 0..2 {
             let rep = cluster.replica(ReplicaId(r));
-            assert_eq!(crate::violations::tpc_violations(rep, &["book".to_owned()]), 0);
+            assert_eq!(
+                crate::violations::tpc_violations(rep, &["book".to_owned()]),
+                0
+            );
             let products = rep.object(&PRODUCTS.into()).unwrap();
             assert_eq!(
                 products.set_contains(&Val::str("book")),
@@ -210,10 +247,8 @@ mod tests {
         assert!(commit(&mut cluster, 1, |tx| app.purchase(tx, "o1", "book")).is_some());
         cluster.sync();
         assert!(
-            crate::violations::tpc_violations(
-                cluster.replica(ReplicaId(0)),
-                &["book".to_owned()]
-            ) > 0
+            crate::violations::tpc_violations(cluster.replica(ReplicaId(0)), &["book".to_owned()])
+                > 0
         );
     }
 }

@@ -13,9 +13,7 @@ pub fn tpc_spec() -> AppSpec {
         .rule("product", ConvergencePolicy::AddWins)
         .rule("ordered", ConvergencePolicy::AddWins)
         // Referential integrity introduced by the product-management ops.
-        .invariant_str(
-            "forall(Order: o, Product: p) :- ordered(o, p) => product(p)",
-        )
+        .invariant_str("forall(Order: o, Product: p) :- ordered(o, p) => product(p)")
         // The classic stock invariant.
         .invariant_str("forall(Product: p) :- stock(p) >= 0")
         .operation("add_product", &[("p", "Product")], |op| {
@@ -27,7 +25,9 @@ pub fn tpc_spec() -> AppSpec {
         .operation("purchase", &[("o", "Order"), ("p", "Product")], |op| {
             op.set_true("ordered", &["o", "p"]).dec("stock", &["p"], 1)
         })
-        .operation("restock", &[("p", "Product")], |op| op.inc("stock", &["p"], 10))
+        .operation("restock", &[("p", "Product")], |op| {
+            op.inc("stock", &["p"], 10)
+        })
         .build()
         .expect("tpc spec is well-formed")
 }

@@ -15,7 +15,10 @@ pub struct TpcConfig {
 
 impl Default for TpcConfig {
     fn default() -> Self {
-        TpcConfig { num_products: 20, initial_stock: 10 }
+        TpcConfig {
+            num_products: 20,
+            initial_stock: 10,
+        }
     }
 }
 
@@ -30,7 +33,12 @@ pub struct TpcWorkload {
 impl TpcWorkload {
     pub fn new(mode: Mode, cfg: TpcConfig) -> Self {
         let products = (0..cfg.num_products).map(|i| format!("sku{i}")).collect();
-        TpcWorkload { app: TpcApp::new(mode), cfg, products, next_order: 0 }
+        TpcWorkload {
+            app: TpcApp::new(mode),
+            cfg,
+            products,
+            next_order: 0,
+        }
     }
 
     pub fn with_defaults(mode: Mode) -> Self {
@@ -65,7 +73,11 @@ impl Workload for TpcWorkload {
         let (label, cost, violations): (&'static str, _, u64) = if x < 0.45 {
             let ((_, negative, cost), _info) =
                 ctx.commit(region, |tx| app.view(tx, &p)).expect("view");
-            ("View", cost, u64::from(negative && app.mode == Mode::Causal))
+            (
+                "View",
+                cost,
+                u64::from(negative && app.mode == Mode::Causal),
+            )
         } else if x < 0.85 {
             self.next_order += 1;
             let order = format!("o{}", self.next_order);
@@ -76,17 +88,21 @@ impl Workload for TpcWorkload {
                 Some(cost) => ("Purchase", cost, 0),
                 None => {
                     // Out of stock: restock (the admin path).
-                    let (cost, _info) =
-                        ctx.commit(region, |tx| app.restock(tx, &p)).expect("restock");
+                    let (cost, _info) = ctx
+                        .commit(region, |tx| app.restock(tx, &p))
+                        .expect("restock");
                     ("Restock", cost, 0)
                 }
             }
         } else if x < 0.93 {
-            let (cost, _info) = ctx.commit(region, |tx| app.restock(tx, &p)).expect("restock");
+            let (cost, _info) = ctx
+                .commit(region, |tx| app.restock(tx, &p))
+                .expect("restock");
             ("Restock", cost, 0)
         } else if x < 0.97 {
-            let (cost, _info) =
-                ctx.commit(region, |tx| app.rem_product(tx, &p)).expect("rem product");
+            let (cost, _info) = ctx
+                .commit(region, |tx| app.rem_product(tx, &p))
+                .expect("rem product");
             ("RemProduct", cost, 0)
         } else {
             let (cost, _info) = ctx

@@ -84,7 +84,10 @@ impl Twitter {
     pub fn add_user(&self, tx: &mut Transaction<'_>, u: &str) -> Result<OpCost, StoreError> {
         self.ensure_schema(tx)?;
         tx.map_put(USERS, Val::str(u), Val::str(format!("bio:{u}")))?;
-        Ok(OpCost { objects: 1, updates: 1 })
+        Ok(OpCost {
+            objects: 1,
+            updates: 1,
+        })
     }
 
     pub fn rem_user(&self, tx: &mut Transaction<'_>, u: &str) -> Result<OpCost, StoreError> {
@@ -106,9 +109,15 @@ impl Twitter {
                 ENTRIES,
                 ValPattern::triple(ValPattern::Any, ValPattern::Any, ValPattern::exact(u)),
             )?;
-            return Ok(OpCost { objects: 3, updates: 4 });
+            return Ok(OpCost {
+                objects: 3,
+                updates: 4,
+            });
         }
-        Ok(OpCost { objects: 2, updates: 3 })
+        Ok(OpCost {
+            objects: 2,
+            updates: 3,
+        })
     }
 
     /// Post a tweet: register it and write it to the author's and all
@@ -177,44 +186,43 @@ impl Twitter {
                 // retweets from the followers timelines").
                 tx.rw_remove_matching(
                     ENTRIES,
-                    ValPattern::triple(
-                        ValPattern::Any,
-                        ValPattern::exact(id),
-                        ValPattern::Any,
-                    ),
+                    ValPattern::triple(ValPattern::Any, ValPattern::exact(id), ValPattern::Any),
                 )?;
-                Ok(OpCost { objects: 2, updates: 2 })
+                Ok(OpCost {
+                    objects: 2,
+                    updates: 2,
+                })
             }
             _ => {
                 // Remove the observed entries only (concurrent retweets
                 // survive — under Causal they become dangling).
                 tx.aw_remove_matching(
                     ENTRIES,
-                    &ValPattern::triple(
-                        ValPattern::Any,
-                        ValPattern::exact(id),
-                        ValPattern::Any,
-                    ),
+                    &ValPattern::triple(ValPattern::Any, ValPattern::exact(id), ValPattern::Any),
                 )?;
-                Ok(OpCost { objects: 2, updates: 2 })
+                Ok(OpCost {
+                    objects: 2,
+                    updates: 2,
+                })
             }
         }
     }
 
-    pub fn follow(
-        &self,
-        tx: &mut Transaction<'_>,
-        a: &str,
-        b: &str,
-    ) -> Result<OpCost, StoreError> {
+    pub fn follow(&self, tx: &mut Transaction<'_>, a: &str, b: &str) -> Result<OpCost, StoreError> {
         self.ensure_schema(tx)?;
         tx.aw_add(FOLLOWS, Val::pair(a, b))?;
         if self.strategy == Strategy::AddWins {
             tx.map_touch(USERS, Val::str(a))?;
             tx.map_touch(USERS, Val::str(b))?;
-            return Ok(OpCost { objects: 2, updates: 3 });
+            return Ok(OpCost {
+                objects: 2,
+                updates: 3,
+            });
         }
-        Ok(OpCost { objects: 1, updates: 1 })
+        Ok(OpCost {
+            objects: 1,
+            updates: 1,
+        })
     }
 
     pub fn unfollow(
@@ -225,7 +233,10 @@ impl Twitter {
     ) -> Result<OpCost, StoreError> {
         self.ensure_schema(tx)?;
         tx.aw_remove(FOLLOWS, &Val::pair(a, b))?;
-        Ok(OpCost { objects: 1, updates: 1 })
+        Ok(OpCost {
+            objects: 1,
+            updates: 1,
+        })
     }
 
     /// Read a user's timeline. Under rem-wins, entries whose tweet was
@@ -242,7 +253,9 @@ impl Twitter {
         let mut ids: Vec<String> = Vec::new();
         let mut hidden = 0usize;
         for e in entries {
-            let Val::Triple(owner, id, _) = &e else { continue };
+            let Val::Triple(owner, id, _) = &e else {
+                continue;
+            };
             if owner.as_str() != Some(user) {
                 continue;
             }
@@ -257,9 +270,19 @@ impl Twitter {
             }
             ids.push(id);
         }
-        let objects = if self.strategy == Strategy::RemWins { 2 } else { 1 };
+        let objects = if self.strategy == Strategy::RemWins {
+            2
+        } else {
+            1
+        };
         let _ = hidden;
-        Ok((ids, OpCost { objects, updates: 0 }))
+        Ok((
+            ids,
+            OpCost {
+                objects,
+                updates: 0,
+            },
+        ))
     }
 
     fn followers_of(
@@ -383,7 +406,10 @@ mod tests {
         // `map_get == None` branch).
         commit(&mut cluster, 0, |tx| {
             tx.map_remove(TWEETS, &Val::str("tw1"))?;
-            Ok(OpCost { objects: 1, updates: 1 })
+            Ok(OpCost {
+                objects: 1,
+                updates: 1,
+            })
         });
         let (tl, cost) = commit(&mut cluster, 0, |tx| app.timeline(tx, "bob"));
         assert_eq!(tl, vec!["tw2"], "tw1 hidden by the read compensation");
@@ -406,9 +432,7 @@ mod tests {
             let entries = rep.object(&ENTRIES.into()).unwrap().as_rwset().unwrap();
             let alice_entries = entries
                 .elements()
-                .filter(|e| {
-                    matches!(e, Val::Triple(_, _, a) if a.as_str() == Some("alice"))
-                })
+                .filter(|e| matches!(e, Val::Triple(_, _, a) if a.as_str() == Some("alice")))
                 .count();
             assert_eq!(alice_entries, 0, "replica {r}: alice's history purged");
         }

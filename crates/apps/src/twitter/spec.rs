@@ -6,41 +6,59 @@ use ipa_spec::{AppSpec, AppSpecBuilder, ConvergencePolicy};
 /// Twitter's invariants: timeline entries reference live tweets, tweets
 /// have authors, follow edges connect live users.
 pub fn twitter_spec(strategy_rem_wins: bool) -> AppSpec {
-    let tweet_policy =
-        if strategy_rem_wins { ConvergencePolicy::RemWins } else { ConvergencePolicy::AddWins };
-    AppSpecBuilder::new(if strategy_rem_wins { "twitter-rw" } else { "twitter-aw" })
-        .sort("User")
-        .sort("Tweet")
-        .predicate_bool("user", &["User"])
-        .predicate_bool("tweet", &["Tweet"])
-        .predicate_bool("inTimeline", &["Tweet", "User"])
-        .predicate_bool("follows", &["User", "User"])
-        .rule("user", ConvergencePolicy::AddWins)
-        .rule("tweet", tweet_policy)
-        .rule(
-            "inTimeline",
-            if strategy_rem_wins { ConvergencePolicy::RemWins } else { ConvergencePolicy::AddWins },
-        )
-        .rule("follows", ConvergencePolicy::AddWins)
-        .invariant_str("forall(Tweet: t, User: u) :- inTimeline(t, u) => tweet(t)")
-        .invariant_str("forall(User: a, b) :- follows(a, b) => user(a) and user(b)")
-        .operation("add_user", &[("u", "User")], |op| op.set_true("user", &["u"]))
-        .operation("rem_user", &[("u", "User")], |op| op.set_false("user", &["u"]))
-        .operation("post_tweet", &[("t", "Tweet"), ("u", "User")], |op| {
-            op.set_true("tweet", &["t"]).set_true("inTimeline", &["t", "u"])
-        })
-        .operation("retweet", &[("t", "Tweet"), ("u", "User")], |op| {
-            op.set_true("inTimeline", &["t", "u"])
-        })
-        .operation("del_tweet", &[("t", "Tweet")], |op| op.set_false("tweet", &["t"]))
-        .operation("follow", &[("a", "User"), ("b", "User")], |op| {
-            op.set_true("follows", &["a", "b"])
-        })
-        .operation("unfollow", &[("a", "User"), ("b", "User")], |op| {
-            op.set_false("follows", &["a", "b"])
-        })
-        .build()
-        .expect("twitter spec is well-formed")
+    let tweet_policy = if strategy_rem_wins {
+        ConvergencePolicy::RemWins
+    } else {
+        ConvergencePolicy::AddWins
+    };
+    AppSpecBuilder::new(if strategy_rem_wins {
+        "twitter-rw"
+    } else {
+        "twitter-aw"
+    })
+    .sort("User")
+    .sort("Tweet")
+    .predicate_bool("user", &["User"])
+    .predicate_bool("tweet", &["Tweet"])
+    .predicate_bool("inTimeline", &["Tweet", "User"])
+    .predicate_bool("follows", &["User", "User"])
+    .rule("user", ConvergencePolicy::AddWins)
+    .rule("tweet", tweet_policy)
+    .rule(
+        "inTimeline",
+        if strategy_rem_wins {
+            ConvergencePolicy::RemWins
+        } else {
+            ConvergencePolicy::AddWins
+        },
+    )
+    .rule("follows", ConvergencePolicy::AddWins)
+    .invariant_str("forall(Tweet: t, User: u) :- inTimeline(t, u) => tweet(t)")
+    .invariant_str("forall(User: a, b) :- follows(a, b) => user(a) and user(b)")
+    .operation("add_user", &[("u", "User")], |op| {
+        op.set_true("user", &["u"])
+    })
+    .operation("rem_user", &[("u", "User")], |op| {
+        op.set_false("user", &["u"])
+    })
+    .operation("post_tweet", &[("t", "Tweet"), ("u", "User")], |op| {
+        op.set_true("tweet", &["t"])
+            .set_true("inTimeline", &["t", "u"])
+    })
+    .operation("retweet", &[("t", "Tweet"), ("u", "User")], |op| {
+        op.set_true("inTimeline", &["t", "u"])
+    })
+    .operation("del_tweet", &[("t", "Tweet")], |op| {
+        op.set_false("tweet", &["t"])
+    })
+    .operation("follow", &[("a", "User"), ("b", "User")], |op| {
+        op.set_true("follows", &["a", "b"])
+    })
+    .operation("unfollow", &[("a", "User"), ("b", "User")], |op| {
+        op.set_false("follows", &["a", "b"])
+    })
+    .build()
+    .expect("twitter spec is well-formed")
 }
 
 #[cfg(test)]
@@ -55,7 +73,10 @@ mod tests {
         let retweet = spec.operation("retweet").unwrap();
         let del = spec.operation("del_tweet").unwrap();
         let w = check_pair(&spec, &cfg, retweet, del).unwrap();
-        assert!(w.is_some(), "the paper's retweet/delete race must be flagged");
+        assert!(
+            w.is_some(),
+            "the paper's retweet/delete race must be flagged"
+        );
     }
 
     #[test]

@@ -17,7 +17,11 @@ pub struct TwitterConfig {
 
 impl Default for TwitterConfig {
     fn default() -> Self {
-        TwitterConfig { num_users: 30, follows_per_user: 5, recent_pool: 64 }
+        TwitterConfig {
+            num_users: 30,
+            follows_per_user: 5,
+            recent_pool: 64,
+        }
     }
 }
 
@@ -92,7 +96,11 @@ impl Workload for TwitterWorkload {
             x if x < 0.80 => {
                 let t = self
                     .recent
-                    .get(ctx.rng().gen_range(0..self.recent.len().max(1)).min(self.recent.len().saturating_sub(1)))
+                    .get(
+                        ctx.rng()
+                            .gen_range(0..self.recent.len().max(1))
+                            .min(self.recent.len().saturating_sub(1)),
+                    )
                     .cloned();
                 match t {
                     Some(t) => ("Retweet", Some(t)),
@@ -167,7 +175,11 @@ mod tests {
     fn all_strategies_run_and_stay_local() {
         for s in [Strategy::Causal, Strategy::AddWins, Strategy::RemWins] {
             let sim = run(s, 23);
-            assert!(sim.metrics.completed > 100, "{s}: {}", sim.metrics.completed);
+            assert!(
+                sim.metrics.completed > 100,
+                "{s}: {}",
+                sim.metrics.completed
+            );
             let mean = sim.metrics.overall().unwrap().mean_ms;
             assert!(mean < 30.0, "{s}: all ops are local, mean={mean}");
         }

@@ -10,7 +10,9 @@ use ipa_store::{Key, Replica};
 use std::collections::{BTreeMap, BTreeSet};
 
 fn set_members(replica: &Replica, key: &str) -> Vec<Val> {
-    let Some(obj) = replica.object(&Key::new(key)) else { return Vec::new() };
+    let Some(obj) = replica.object(&Key::new(key)) else {
+        return Vec::new();
+    };
     match obj {
         ipa_crdt::Object::AWSet(s) => s.elements().cloned().collect(),
         ipa_crdt::Object::RWSet(s) => s.elements().cloned().collect(),
@@ -52,7 +54,9 @@ pub fn tournament_violations(replica: &Replica) -> u64 {
     // enrolled(p, t) => player(p) and tournament(t)
     let enrolled = set_members(replica, tourn::ENROLLED);
     for e in &enrolled {
-        let (Some(p), Some(t)) = (e.fst(), e.snd()) else { continue };
+        let (Some(p), Some(t)) = (e.fst(), e.snd()) else {
+            continue;
+        };
         if !contains(replica, tourn::PLAYERS, p) || !contains(replica, tourn::TOURNS, t) {
             violations += 1;
         }
@@ -63,8 +67,7 @@ pub fn tournament_violations(replica: &Replica) -> u64 {
         let Val::Triple(p, q, t) = &m else { continue };
         let ep = Val::Pair(p.clone(), t.clone());
         let eq = Val::Pair(q.clone(), t.clone());
-        let phase_ok = contains(replica, tourn::ACTIVE, t)
-            || contains(replica, tourn::FINISHED, t);
+        let phase_ok = contains(replica, tourn::ACTIVE, t) || contains(replica, tourn::FINISHED, t);
         if !contains(replica, tourn::ENROLLED, &ep)
             || !contains(replica, tourn::ENROLLED, &eq)
             || !phase_ok
@@ -85,8 +88,7 @@ pub fn tournament_violations(replica: &Replica) -> u64 {
     // active(t) => tournament(t); finished(t) => tournament(t);
     // not(active(t) and finished(t))
     let active: BTreeSet<Val> = set_members(replica, tourn::ACTIVE).into_iter().collect();
-    let finished: BTreeSet<Val> =
-        set_members(replica, tourn::FINISHED).into_iter().collect();
+    let finished: BTreeSet<Val> = set_members(replica, tourn::FINISHED).into_iter().collect();
     for t in &active {
         if !contains(replica, tourn::TOURNS, t) {
             violations += 1;
@@ -130,7 +132,9 @@ pub fn twitter_violations(replica: &Replica) -> u64 {
         }
     }
     for f in set_members(replica, crate::twitter::runtime::FOLLOWS) {
-        let (Some(a), Some(b)) = (f.fst(), f.snd()) else { continue };
+        let (Some(a), Some(b)) = (f.fst(), f.snd()) else {
+            continue;
+        };
         if !contains(replica, crate::twitter::runtime::USERS, a)
             || !contains(replica, crate::twitter::runtime::USERS, b)
         {
@@ -182,7 +186,8 @@ mod tests {
         let mut r = Replica::new(ReplicaId(0));
         let mut tx = r.begin();
         tx.ensure(tourn::ENROLLED, ObjectKind::AWSet).unwrap();
-        tx.aw_add(tourn::ENROLLED, Val::pair("p1", "ghost")).unwrap();
+        tx.aw_add(tourn::ENROLLED, Val::pair("p1", "ghost"))
+            .unwrap();
         tx.commit();
         assert_eq!(tournament_violations(&r), 1);
     }
@@ -194,10 +199,12 @@ mod tests {
         tx.ensure(tourn::ENROLLED, ObjectKind::AWSet).unwrap();
         tx.ensure(tourn::PLAYERS, ObjectKind::AWMap).unwrap();
         tx.ensure(tourn::TOURNS, ObjectKind::AWMap).unwrap();
-        tx.map_put(tourn::TOURNS, Val::str("t"), Val::str("m")).unwrap();
+        tx.map_put(tourn::TOURNS, Val::str("t"), Val::str("m"))
+            .unwrap();
         for i in 0..=tourn::CAPACITY {
             let p = format!("p{i}");
-            tx.map_put(tourn::PLAYERS, Val::str(&p), Val::str("x")).unwrap();
+            tx.map_put(tourn::PLAYERS, Val::str(&p), Val::str("x"))
+                .unwrap();
             tx.aw_add(tourn::ENROLLED, Val::pair(p, "t")).unwrap();
         }
         tx.commit();

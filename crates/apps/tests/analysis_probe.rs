@@ -14,18 +14,20 @@ fn full_tournament_analysis_reproduces_figure_3() {
     // Fig. 3 ensureEnroll: enroll restores the tournament (add-wins).
     let enroll = report.patched.operation("enroll").unwrap();
     assert!(
-        enroll.added_effects.iter().any(|e| {
-            e.atom.pred.as_str() == "tournament" && e.kind == EffectKind::SetTrue
-        }),
+        enroll
+            .added_effects
+            .iter()
+            .any(|e| { e.atom.pred.as_str() == "tournament" && e.kind == EffectKind::SetTrue }),
         "enroll must gain tournament(t) := true (Fig. 2b / ensureEnroll): {enroll}"
     );
 
     // Fig. 3 ensureEnd: finish_tourn restores the tournament.
     let finish = report.patched.operation("finish_tourn").unwrap();
     assert!(
-        finish.added_effects.iter().any(|e| {
-            e.atom.pred.as_str() == "tournament" && e.kind == EffectKind::SetTrue
-        }),
+        finish
+            .added_effects
+            .iter()
+            .any(|e| { e.atom.pred.as_str() == "tournament" && e.kind == EffectKind::SetTrue }),
         "finish_tourn must gain tournament(t) := true (ensureEnd): {finish}"
     );
 
@@ -44,7 +46,10 @@ fn full_tournament_analysis_reproduces_figure_3() {
     // The capacity constraint routes to a compensation (§3.4).
     assert_eq!(report.numeric.len(), 1);
     assert_eq!(report.compensations.len(), 1);
-    assert!(report.compensations[0].clause.to_string().contains("Capacity"));
+    assert!(report.compensations[0]
+        .clause
+        .to_string()
+        .contains("Capacity"));
 
     // With the paper's add-wins `inMatch` rule, `rem_tourn ∥ do_match`
     // has no semantics-preserving effect repair: the analysis flags it
@@ -60,7 +65,9 @@ fn full_tournament_analysis_reproduces_figure_3() {
     );
 
     // Re-analysis of the patched spec is stable (no new repairs).
-    let again = Analyzer::for_spec(&report.patched).analyze(&report.patched).unwrap();
+    let again = Analyzer::for_spec(&report.patched)
+        .analyze(&report.patched)
+        .unwrap();
     assert!(again.applied.is_empty());
     assert!(again.converged);
 }
@@ -77,7 +84,11 @@ fn policies_choose_different_prevailing_sides() {
     assert!(report_first.converged && report_second.converged);
     // Both policies produce invariant-preserving specs, possibly via
     // different prevailing operations.
-    for r in report_first.applied.iter().chain(report_second.applied.iter()) {
+    for r in report_first
+        .applied
+        .iter()
+        .chain(report_second.applied.iter())
+    {
         assert!(!r.resolution.added.is_empty());
     }
 }

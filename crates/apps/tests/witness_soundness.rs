@@ -61,7 +61,10 @@ fn validate_all_pairs(spec: &AppSpec) -> (usize, usize) {
 fn tournament_witnesses_are_sound() {
     let (checked, conflicts) = validate_all_pairs(&tournament_spec());
     assert_eq!(checked, 36, "8 ops → 36 unordered pairs incl. self-pairs");
-    assert!(conflicts >= 3, "the paper's conflicts must be found: {conflicts}");
+    assert!(
+        conflicts >= 3,
+        "the paper's conflicts must be found: {conflicts}"
+    );
 }
 
 #[test]

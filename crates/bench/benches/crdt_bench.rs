@@ -4,8 +4,7 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use ipa_crdt::{
-    AWSet, CompensationSet, PNCounter, PNCounterOp, ReplicaId, RWSet, Tag, VClock, Val,
-    ValPattern,
+    AWSet, CompensationSet, PNCounter, PNCounterOp, RWSet, ReplicaId, Tag, VClock, Val, ValPattern,
 };
 
 fn tag(i: u64) -> Tag {
@@ -30,15 +29,13 @@ fn bench_awset(c: &mut Criterion) {
     c.bench_function("awset/wildcard_remove_1k", |b| {
         let mut s: AWSet<Val> = AWSet::new();
         for i in 0..1000u64 {
-            let op =
-                s.prepare_add(Val::pair(format!("p{i}"), format!("t{}", i % 10)), tag(i));
+            let op = s.prepare_add(Val::pair(format!("p{i}"), format!("t{}", i % 10)), tag(i));
             s.apply(&op);
         }
         b.iter(|| {
             let mut copy = s.clone();
-            let rm = copy.prepare_remove_matching(|e: &Val| {
-                e.snd().and_then(Val::as_str) == Some("t3")
-            });
+            let rm =
+                copy.prepare_remove_matching(|e: &Val| e.snd().and_then(Val::as_str) == Some("t3"));
             copy.apply(&rm);
             black_box(copy.len())
         })
@@ -80,7 +77,10 @@ fn bench_rwset(c: &mut Criterion) {
 fn bench_counters(c: &mut Criterion) {
     c.bench_function("pncounter/apply_10k", |b| {
         let ops: Vec<PNCounterOp> = (0..10_000)
-            .map(|i| PNCounterOp { origin: ReplicaId((i % 3) as u16), delta: (i as i64 % 7) - 3 })
+            .map(|i| PNCounterOp {
+                origin: ReplicaId((i % 3) as u16),
+                delta: (i as i64 % 7) - 3,
+            })
             .collect();
         b.iter(|| {
             let mut cnt = PNCounter::new();

@@ -22,7 +22,10 @@ fn decls() -> BTreeMap<Symbol, PredicateDecl> {
     for d in [
         PredicateDecl::boolean("player", vec![Sort::new("Player")]),
         PredicateDecl::boolean("tournament", vec![Sort::new("Tournament")]),
-        PredicateDecl::boolean("enrolled", vec![Sort::new("Player"), Sort::new("Tournament")]),
+        PredicateDecl::boolean(
+            "enrolled",
+            vec![Sort::new("Player"), Sort::new("Tournament")],
+        ),
         PredicateDecl::boolean("active", vec![Sort::new("Tournament")]),
         PredicateDecl::boolean("finished", vec![Sort::new("Tournament")]),
     ] {
@@ -47,10 +50,9 @@ fn bench_sat_query(c: &mut Criterion) {
     let mut named = BTreeMap::new();
     named.insert(Symbol::new("Capacity"), 8i64);
     for per_sort in [2usize, 4] {
-        c.bench_function(&format!("solver/violation_query_scope{per_sort}"), |b| {
+        c.bench_function(format!("solver/violation_query_scope{per_sort}"), |b| {
             b.iter(|| {
-                let mut p =
-                    Problem::new(tournament_universe(per_sort), decls(), named.clone(), 12);
+                let mut p = Problem::new(tournament_universe(per_sort), decls(), named.clone(), 12);
                 let invs = invariants();
                 for inv in &invs {
                     p.assert(inv).unwrap();

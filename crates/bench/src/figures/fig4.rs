@@ -20,8 +20,11 @@ pub struct Point {
 /// Sweep client counts for every mode.
 pub fn run(quick: bool) -> Vec<Point> {
     let budget = Budget::pick(quick);
-    let clients: &[usize] =
-        if quick { &[1, 4] } else { &[1, 2, 4, 8, 16, 32, 48] };
+    let clients: &[usize] = if quick {
+        &[1, 4]
+    } else {
+        &[1, 2, 4, 8, 16, 32, 48]
+    };
     let mut out = Vec::new();
     for mode in Mode::all() {
         for &c in clients {
@@ -70,7 +73,10 @@ pub fn shape_report(points: &[Point]) -> Vec<String> {
             .iter()
             .filter(|p| p.mode == mode)
             .map(|p| (p.throughput, p.mean_ms))
-            .fold((0.0f64, 0.0f64), |(bt, bm), (t, m)| if t > bt { (t, m) } else { (bt, bm) })
+            .fold(
+                (0.0f64, 0.0f64),
+                |(bt, bm), (t, m)| if t > bt { (t, m) } else { (bt, bm) },
+            )
     };
     let low_load_mean = |mode: Mode| -> f64 {
         points

@@ -8,8 +8,15 @@ use crate::runner::{run_tournament, Budget};
 use ipa_apps::Mode;
 use std::collections::BTreeMap;
 
-pub const OPS: [&str; 7] =
-    ["Begin", "Finish", "Remove", "DoMatch", "Enroll", "Disenroll", "Status"];
+pub const OPS: [&str; 7] = [
+    "Begin",
+    "Finish",
+    "Remove",
+    "DoMatch",
+    "Enroll",
+    "Disenroll",
+    "Status",
+];
 
 /// mean/σ per (operation, mode).
 #[derive(Clone, Debug, Default)]

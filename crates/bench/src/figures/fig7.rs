@@ -22,7 +22,11 @@ pub struct Point {
 
 pub fn run(quick: bool) -> Vec<Point> {
     let budget = Budget::pick(quick);
-    let clients: &[usize] = if quick { &[2, 8] } else { &[1, 2, 4, 8, 16, 32, 48] };
+    let clients: &[usize] = if quick {
+        &[2, 8]
+    } else {
+        &[1, 2, 4, 8, 16, 32, 48]
+    };
     let mut out = Vec::new();
     for mode in [Mode::Causal, Mode::Ipa] {
         for &c in clients {

@@ -12,7 +12,9 @@
 use ipa_apps::Mode;
 use ipa_coord::StrongCoordinator;
 use ipa_crdt::{ObjectKind, Val};
-use ipa_sim::{two_region_topology, ClientInfo, OpOutcome, SimConfig, SimCtx, Simulation, Workload};
+use ipa_sim::{
+    two_region_topology, ClientInfo, OpOutcome, SimConfig, SimCtx, Simulation, Workload,
+};
 
 /// One sweep point.
 #[derive(Clone, Debug)]
@@ -65,7 +67,14 @@ impl Workload for Micro {
         .expect("micro commit");
         let _ = Val::int(0);
         extra += 0.0;
-        OpOutcome { label: "micro", objects, updates, extra_wan_ms: extra, ok: true, violations: 0 }
+        OpOutcome {
+            label: "micro",
+            objects,
+            updates,
+            extra_wan_ms: extra,
+            ok: true,
+            violations: 0,
+        }
     }
 }
 
@@ -79,22 +88,39 @@ fn measure(mode: Mode, objects: usize, updates: usize, quick: bool) -> f64 {
         ..Default::default()
     };
     let mut sim = Simulation::new(two_region_topology(), cfg);
-    let mut w = Micro { mode, objects, updates, strong: StrongCoordinator::new(0) };
+    let mut w = Micro {
+        mode,
+        objects,
+        updates,
+        strong: StrongCoordinator::new(0),
+    };
     sim.run(&mut w);
     sim.metrics.summary("micro").map_or(0.0, |s| s.mean_ms)
 }
 
 /// Both panels: (updates-per-single-object sweep, object-count sweep).
 pub fn run(quick: bool) -> (Vec<Point>, Vec<Point>) {
-    let ups: &[usize] =
-        if quick { &[1, 128] } else { &[1, 2, 64, 128, 512, 1024, 2048] };
-    let keys: &[usize] = if quick { &[1, 8] } else { &[1, 2, 4, 8, 16, 32, 64] };
+    let ups: &[usize] = if quick {
+        &[1, 128]
+    } else {
+        &[1, 2, 64, 128, 512, 1024, 2048]
+    };
+    let keys: &[usize] = if quick {
+        &[1, 8]
+    } else {
+        &[1, 2, 4, 8, 16, 32, 64]
+    };
     let top = ups
         .iter()
         .map(|&u| {
             let ipa = measure(Mode::Ipa, 1, u, quick);
             let strong = measure(Mode::Strong, 1, u, quick);
-            Point { x: u, ipa_ms: ipa, strong_ms: strong, speedup: strong / ipa.max(1e-9) }
+            Point {
+                x: u,
+                ipa_ms: ipa,
+                strong_ms: strong,
+                speedup: strong / ipa.max(1e-9),
+            }
         })
         .collect();
     let bottom = keys
@@ -102,7 +128,12 @@ pub fn run(quick: bool) -> (Vec<Point>, Vec<Point>) {
         .map(|&k| {
             let ipa = measure(Mode::Ipa, k, k, quick);
             let strong = measure(Mode::Strong, k, k, quick);
-            Point { x: k, ipa_ms: ipa, strong_ms: strong, speedup: strong / ipa.max(1e-9) }
+            Point {
+                x: k,
+                ipa_ms: ipa,
+                strong_ms: strong,
+                speedup: strong / ipa.max(1e-9),
+            }
         })
         .collect();
     (top, bottom)

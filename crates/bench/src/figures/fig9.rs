@@ -7,7 +7,9 @@
 use ipa_apps::Mode;
 use ipa_coord::{Mode as ResMode, ReservationTable};
 use ipa_crdt::ObjectKind;
-use ipa_sim::{two_region_topology, ClientInfo, OpOutcome, SimConfig, SimCtx, Simulation, Workload};
+use ipa_sim::{
+    two_region_topology, ClientInfo, OpOutcome, SimConfig, SimCtx, Simulation, Workload,
+};
 use rand::Rng;
 
 #[derive(Clone, Debug)]
@@ -46,7 +48,10 @@ impl Workload for Contended {
             } else {
                 format!("local:{}", client.region)
             };
-            match self.table.acquire(ctx, &res, client.region, ResMode::Exclusive) {
+            match self
+                .table
+                .acquire(ctx, &res, client.region, ResMode::Exclusive)
+            {
                 Some(c) => extra = c,
                 None => return OpOutcome::unavailable("op"),
             }
@@ -57,12 +62,23 @@ impl Workload for Contended {
             tx.counter_add("counter", 1)
         })
         .expect("commit");
-        OpOutcome { label: "op", objects: 1, updates: 1, extra_wan_ms: extra, ok: true, violations: 0 }
+        OpOutcome {
+            label: "op",
+            objects: 1,
+            updates: 1,
+            extra_wan_ms: extra,
+            ok: true,
+            violations: 0,
+        }
     }
 }
 
 pub fn run(quick: bool) -> Vec<Point> {
-    let pcts: &[u32] = if quick { &[0, 20] } else { &[0, 2, 5, 10, 20, 50] };
+    let pcts: &[u32] = if quick {
+        &[0, 20]
+    } else {
+        &[0, 2, 5, 10, 20, 50]
+    };
     let mut out = Vec::new();
     let measure = |mode: Mode, pct: u32| -> (f64, f64, u64) {
         let cfg = SimConfig {
@@ -86,10 +102,20 @@ pub fn run(quick: bool) -> Vec<Point> {
     };
     // N/A: IPA without reservations.
     let (mean, p95, _) = measure(Mode::Ipa, 0);
-    out.push(Point { contention_pct: None, mean_ms: mean, p95_ms: p95, exchanges: 0 });
+    out.push(Point {
+        contention_pct: None,
+        mean_ms: mean,
+        p95_ms: p95,
+        exchanges: 0,
+    });
     for &pct in pcts {
         let (mean, p95, exchanges) = measure(Mode::Indigo, pct);
-        out.push(Point { contention_pct: Some(pct), mean_ms: mean, p95_ms: p95, exchanges });
+        out.push(Point {
+            contention_pct: Some(pct),
+            mean_ms: mean,
+            p95_ms: p95,
+            exchanges,
+        });
     }
     out
 }

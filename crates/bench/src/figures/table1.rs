@@ -29,12 +29,15 @@ pub struct Row {
 
 /// Classify the four applications' specifications.
 pub fn run() -> Vec<Row> {
-    let specs: [AppSpec; 4] =
-        [tpc_spec(), tournament_spec(), ticket_spec(), twitter_spec(false)];
+    let specs: [AppSpec; 4] = [
+        tpc_spec(),
+        tournament_spec(),
+        ticket_spec(),
+        twitter_spec(false),
+    ];
     let mut present: Vec<BTreeSet<InvariantClass>> = Vec::with_capacity(4);
     for spec in &specs {
-        let mut classes: BTreeSet<InvariantClass> =
-            spec.invariants.iter().map(classify).collect();
+        let mut classes: BTreeSet<InvariantClass> = spec.invariants.iter().map(classify).collect();
         // Every app relies on pre-partitioned unique identifiers for its
         // entity keys (players, tweets, orders…), per §5.1.1.
         classes.insert(InvariantClass::UniqueId);
@@ -105,7 +108,10 @@ mod tests {
 
         let agg = find(InvariantClass::AggregationConstraint);
         assert_eq!(agg.ipa, Support::Compensation);
-        assert!(agg.apps[1] && agg.apps[2], "Tournament capacity, Ticket oversell");
+        assert!(
+            agg.apps[1] && agg.apps[2],
+            "Tournament capacity, Ticket oversell"
+        );
 
         let refint = find(InvariantClass::ReferentialIntegrity);
         assert_eq!(refint.i_confluent, Support::No);

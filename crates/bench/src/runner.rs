@@ -52,8 +52,14 @@ pub struct Budget {
 }
 
 impl Budget {
-    pub const FULL: Budget = Budget { warmup_s: 1.0, duration_s: 8.0 };
-    pub const QUICK: Budget = Budget { warmup_s: 0.3, duration_s: 1.5 };
+    pub const FULL: Budget = Budget {
+        warmup_s: 1.0,
+        duration_s: 8.0,
+    };
+    pub const QUICK: Budget = Budget {
+        warmup_s: 0.3,
+        duration_s: 1.5,
+    };
 
     pub fn pick(quick: bool) -> Budget {
         if quick {

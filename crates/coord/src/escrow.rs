@@ -38,7 +38,12 @@ impl EscrowTable {
 
     /// Seed a resource with initial rights at a replica.
     pub fn grant(&mut self, res: impl Into<String>, region: Region, units: i64) {
-        *self.rights.entry(res.into()).or_default().entry(region).or_insert(0) += units;
+        *self
+            .rights
+            .entry(res.into())
+            .or_default()
+            .entry(region)
+            .or_insert(0) += units;
     }
 
     /// Split `units` evenly across `regions`.
@@ -54,7 +59,11 @@ impl EscrowTable {
     }
 
     pub fn local_rights(&self, res: &str, region: Region) -> i64 {
-        self.rights.get(res).and_then(|m| m.get(&region)).copied().unwrap_or(0)
+        self.rights
+            .get(res)
+            .and_then(|m| m.get(&region))
+            .copied()
+            .unwrap_or(0)
     }
 
     pub fn total_rights(&self, res: &str) -> i64 {
@@ -71,7 +80,9 @@ impl EscrowTable {
         region: Region,
         n: i64,
     ) -> EscrowOutcome {
-        let Some(map) = self.rights.get_mut(res) else { return EscrowOutcome::Exhausted };
+        let Some(map) = self.rights.get_mut(res) else {
+            return EscrowOutcome::Exhausted;
+        };
         let local = map.get(&region).copied().unwrap_or(0);
         if local >= n {
             *map.entry(region).or_insert(0) -= n;
@@ -126,7 +137,11 @@ mod tests {
     }
 
     fn drive(f: impl FnMut(&mut SimCtx<'_>)) {
-        let cfg = SimConfig { warmup_s: 0.0, duration_s: 0.2, ..Default::default() };
+        let cfg = SimConfig {
+            warmup_s: 0.0,
+            duration_s: 0.2,
+            ..Default::default()
+        };
         let mut sim = Simulation::new(two_region_topology(), cfg);
         let mut d = Driver { f, ran: false };
         sim.run(&mut d);
@@ -176,7 +191,10 @@ mod tests {
             ctx.set_link(0, 1, false);
             assert_eq!(e.acquire(ctx, "s", 1, 1), EscrowOutcome::Unavailable);
             ctx.set_link(0, 1, true);
-            assert!(matches!(e.acquire(ctx, "s", 1, 1), EscrowOutcome::Fetched(_)));
+            assert!(matches!(
+                e.acquire(ctx, "s", 1, 1),
+                EscrowOutcome::Fetched(_)
+            ));
         });
     }
 

@@ -150,7 +150,9 @@ mod tests {
             .rule("active", ConvergencePolicy::AddWins)
             .rule("finished", ConvergencePolicy::AddWins)
             .invariant_str("forall(Tournament: t) :- not(active(t) and finished(t))")
-            .operation("begin", &[("t", "Tournament")], |op| op.set_true("active", &["t"]))
+            .operation("begin", &[("t", "Tournament")], |op| {
+                op.set_true("active", &["t"])
+            })
             .operation("finish", &[("t", "Tournament")], |op| {
                 op.set_true("finished", &["t"]).set_false("active", &["t"])
             })
@@ -172,7 +174,9 @@ mod tests {
         let e = &plan.entries[0];
         assert_eq!(e.shared_sorts, vec![ipa_spec::Sort::new("Tournament")]);
         assert_eq!(e.resource(&["t1"]), format!("{}:t1", e.resource_prefix));
-        assert!(e.guards(&ipa_spec::Symbol::new("begin")) || e.guards(&ipa_spec::Symbol::new("finish")));
+        assert!(
+            e.guards(&ipa_spec::Symbol::new("begin")) || e.guards(&ipa_spec::Symbol::new("finish"))
+        );
         let txt = plan.to_string();
         assert!(txt.contains("serializes"), "{txt}");
     }
@@ -186,7 +190,10 @@ mod tests {
             resource_prefix: "coord:a+b".into(),
         };
         assert_ne!(e.resource(&["t1"]), e.resource(&["t2"]));
-        let global = PlanEntry { shared_sorts: vec![], ..e.clone() };
+        let global = PlanEntry {
+            shared_sorts: vec![],
+            ..e.clone()
+        };
         assert_eq!(global.resource(&[]), "coord:a+b");
     }
 }

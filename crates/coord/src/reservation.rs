@@ -58,8 +58,13 @@ impl ReservationTable {
 
     /// Pre-grant a reservation to a replica (initial placement).
     pub fn grant(&mut self, res: impl Into<String>, region: Region, mode: Mode) {
-        self.reservations
-            .insert(res.into(), ResState { mode, holders: [region].into_iter().collect() });
+        self.reservations.insert(
+            res.into(),
+            ResState {
+                mode,
+                holders: [region].into_iter().collect(),
+            },
+        );
     }
 
     /// Acquire `res` at `region` in `mode`; returns the extra WAN delay in
@@ -71,19 +76,28 @@ impl ReservationTable {
         region: Region,
         mode: Mode,
     ) -> Option<f64> {
-        let state = self.reservations.entry(res.to_owned()).or_insert_with(|| ResState {
-            mode,
-            holders: [region].into_iter().collect(),
-        });
+        let state = self
+            .reservations
+            .entry(res.to_owned())
+            .or_insert_with(|| ResState {
+                mode,
+                holders: [region].into_iter().collect(),
+            });
         let compatible = state.mode == mode || state.holders.is_empty();
-        if compatible && state.holders.contains(&region) && (mode == Mode::Shared || state.holders.len() == 1)
+        if compatible
+            && state.holders.contains(&region)
+            && (mode == Mode::Shared || state.holders.len() == 1)
         {
             self.local_hits += 1;
             return Some(0.0);
         }
         // Need an exchange with the current holder(s).
-        let others: Vec<Region> =
-            state.holders.iter().copied().filter(|&h| h != region).collect();
+        let others: Vec<Region> = state
+            .holders
+            .iter()
+            .copied()
+            .filter(|&h| h != region)
+            .collect();
         if others.is_empty() {
             // We are the sole holder but in the wrong mode: flip locally.
             state.mode = mode;
@@ -94,8 +108,11 @@ impl ReservationTable {
         // holder we can copy from (shared) must be reachable.
         let cost = match mode {
             Mode::Shared => {
-                let reachable: Vec<Region> =
-                    others.iter().copied().filter(|&h| ctx.link_up(region, h)).collect();
+                let reachable: Vec<Region> = others
+                    .iter()
+                    .copied()
+                    .filter(|&h| ctx.link_up(region, h))
+                    .collect();
                 let &src = reachable.first()?;
                 let c = ctx.rtt(region, src);
                 if state.mode == Mode::Exclusive {
@@ -127,7 +144,10 @@ impl ReservationTable {
 
     /// Current holders (for tests / introspection).
     pub fn holders(&self, res: &str) -> Vec<Region> {
-        self.reservations.get(res).map(|s| s.holders.iter().copied().collect()).unwrap_or_default()
+        self.reservations
+            .get(res)
+            .map(|s| s.holders.iter().copied().collect())
+            .unwrap_or_default()
     }
 }
 
@@ -166,7 +186,11 @@ mod tests {
     }
 
     fn drive(f: impl FnMut(&mut SimCtx<'_>, Region)) {
-        let cfg = SimConfig { warmup_s: 0.0, duration_s: 0.2, ..Default::default() };
+        let cfg = SimConfig {
+            warmup_s: 0.0,
+            duration_s: 0.2,
+            ..Default::default()
+        };
         let mut sim = Simulation::new(two_region_topology(), cfg);
         let mut d = Driver { f, ran: false };
         sim.run(&mut d);

@@ -51,7 +51,10 @@ mod tests {
             }
             if !self.partition_checked && client.region == 1 {
                 ctx.set_link(1, 0, false);
-                assert!(self.coord.forward_cost(ctx, 1).is_none(), "partitioned => unavailable");
+                assert!(
+                    self.coord.forward_cost(ctx, 1).is_none(),
+                    "partitioned => unavailable"
+                );
                 ctx.set_link(1, 0, true);
                 self.partition_checked = true;
             }
@@ -61,7 +64,11 @@ mod tests {
 
     #[test]
     fn forwarding_costs_match_topology() {
-        let cfg = SimConfig { warmup_s: 0.1, duration_s: 0.5, ..Default::default() };
+        let cfg = SimConfig {
+            warmup_s: 0.1,
+            duration_s: 0.5,
+            ..Default::default()
+        };
         let mut sim = Simulation::new(paper_topology(), cfg);
         let mut probe = Probe {
             coord: StrongCoordinator::new(0),

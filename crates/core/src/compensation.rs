@@ -36,7 +36,10 @@ impl fmt::Display for CompAction {
             }
             CompAction::Replenish { pred } => write!(f, "replenish {pred} up to the bound"),
             CompAction::CancelExcess { pred } => {
-                write!(f, "cancel surplus updates of {pred} and compensate the client")
+                write!(
+                    f,
+                    "cancel surplus updates of {pred} and compensate the client"
+                )
             }
         }
     }
@@ -66,11 +69,7 @@ impl Compensation {
 
 impl fmt::Display for Compensation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "when `{}` is violated (after ",
-            self.clause
-        )?;
+        write!(f, "when `{}` is violated (after ", self.clause)?;
         for (i, op) in self.trigger_ops.iter().enumerate() {
             if i > 0 {
                 write!(f, ", ")?;
@@ -87,22 +86,36 @@ pub fn compensation_for(nc: &NumericConflict) -> Compensation {
         // Oversized collection: drop deterministic excess (Ticket,
         // Tournament capacity).
         (true, BoundKind::Upper) => vec![
-            CompAction::RemoveExcess { pred: nc.pred.clone() },
-            CompAction::CancelExcess { pred: nc.pred.clone() },
+            CompAction::RemoveExcess {
+                pred: nc.pred.clone(),
+            },
+            CompAction::CancelExcess {
+                pred: nc.pred.clone(),
+            },
         ],
         // Undersized collection: nothing can be conjured; cancel the
         // removals that broke the floor.
-        (true, BoundKind::Lower) => vec![CompAction::CancelExcess { pred: nc.pred.clone() }],
+        (true, BoundKind::Lower) => vec![CompAction::CancelExcess {
+            pred: nc.pred.clone(),
+        }],
         // Numeric value below floor: replenish (TPC-C/W restock) or cancel
         // surplus purchases (FusionTicket reimburse).
         (false, BoundKind::Lower) => vec![
-            CompAction::Replenish { pred: nc.pred.clone() },
-            CompAction::CancelExcess { pred: nc.pred.clone() },
+            CompAction::Replenish {
+                pred: nc.pred.clone(),
+            },
+            CompAction::CancelExcess {
+                pred: nc.pred.clone(),
+            },
         ],
         // Numeric value above ceiling: cancel the surplus increments.
-        (false, BoundKind::Upper) => vec![CompAction::CancelExcess { pred: nc.pred.clone() }],
+        (false, BoundKind::Upper) => vec![CompAction::CancelExcess {
+            pred: nc.pred.clone(),
+        }],
         // Exact constraints: cancel any concurrent surplus.
-        (_, BoundKind::Exact) => vec![CompAction::CancelExcess { pred: nc.pred.clone() }],
+        (_, BoundKind::Exact) => vec![CompAction::CancelExcess {
+            pred: nc.pred.clone(),
+        }],
     };
     Compensation {
         clause: nc.clause.clone(),
@@ -149,7 +162,9 @@ mod tests {
             .sort("Item")
             .predicate_num("stock", &["Item"])
             .invariant_str("forall(Item: i) :- stock(i) >= 0")
-            .operation("purchase", &[("i", "Item")], |op| op.dec("stock", &["i"], 1))
+            .operation("purchase", &[("i", "Item")], |op| {
+                op.dec("stock", &["i"], 1)
+            })
             .build()
             .unwrap();
         let ncs = numeric_conflicts(&spec);

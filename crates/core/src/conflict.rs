@@ -46,7 +46,10 @@ impl ConflictWitness {
 }
 
 fn join_args(args: &[Constant]) -> String {
-    args.iter().map(|c| c.name.to_string()).collect::<Vec<_>>().join(", ")
+    args.iter()
+        .map(|c| c.name.to_string())
+        .collect::<Vec<_>>()
+        .join(", ")
 }
 
 /// Decide whether `op1 ∥ op2` can violate the invariant, returning a
@@ -83,8 +86,12 @@ pub fn check_pair_in(
         .map_err(AnalysisError::from)?;
 
     for (args1, args2) in instantiations(op1, op2, universe) {
-        let Some(ge1) = op1.ground(&args1) else { continue };
-        let Some(ge2) = op2.ground(&args2) else { continue };
+        let Some(ge1) = op1.ground(&args1) else {
+            continue;
+        };
+        let Some(ge2) = op2.ground(&args2) else {
+            continue;
+        };
         let s1 = EffectSummary::from_effects(&ge1, &grounder).map_err(AnalysisError::from)?;
         let s2 = EffectSummary::from_effects(&ge2, &grounder).map_err(AnalysisError::from)?;
         if s1.is_empty() && s2.is_empty() {
@@ -94,8 +101,10 @@ pub fn check_pair_in(
         let wp2: Vec<GroundFormula> = ground_invs.iter().map(|g| apply_summary(g, &s2)).collect();
 
         for merged in s1.merge(&s2, &spec.rules) {
-            let post: Vec<GroundFormula> =
-                ground_invs.iter().map(|g| apply_summary(g, &merged)).collect();
+            let post: Vec<GroundFormula> = ground_invs
+                .iter()
+                .map(|g| apply_summary(g, &merged))
+                .collect();
 
             let mut problem = Problem::new(
                 universe.clone(),
@@ -241,7 +250,9 @@ mod tests {
         let cfg = AnalysisConfig::default();
         let enroll = spec.operation("enroll").unwrap();
         let rem = spec.operation("rem_tourn").unwrap();
-        let w = check_pair(&spec, &cfg, enroll, rem).unwrap().expect("must conflict");
+        let w = check_pair(&spec, &cfg, enroll, rem)
+            .unwrap()
+            .expect("must conflict");
         assert_eq!(w.op1.as_str(), "enroll");
         assert_eq!(w.op2.as_str(), "rem_tourn");
         assert_eq!(w.violated.len(), 1);
@@ -265,7 +276,8 @@ mod tests {
                 "forall(Player: p, Tournament: t) :- enrolled(p,t) => player(p) and tournament(t)",
             )
             .operation("enroll", &[("p", "Player"), ("t", "Tournament")], |op| {
-                op.set_true("enrolled", &["p", "t"]).set_true("tournament", &["t"])
+                op.set_true("enrolled", &["p", "t"])
+                    .set_true("tournament", &["t"])
             })
             .operation("rem_tourn", &[("t", "Tournament")], |op| {
                 op.set_false("tournament", &["t"])
@@ -297,7 +309,8 @@ mod tests {
                 op.set_true("enrolled", &["p", "t"])
             })
             .operation("rem_tourn", &[("t", "Tournament")], |op| {
-                op.set_false("tournament", &["t"]).set_false("enrolled", &["*", "t"])
+                op.set_false("tournament", &["t"])
+                    .set_false("enrolled", &["*", "t"])
             })
             .build()
             .unwrap();
@@ -325,7 +338,8 @@ mod tests {
                 op.set_true("enrolled", &["p", "t"])
             })
             .operation("rem_tourn", &[("t", "Tournament")], |op| {
-                op.set_false("tournament", &["t"]).set_false("enrolled", &["*", "t"])
+                op.set_false("tournament", &["t"])
+                    .set_false("enrolled", &["*", "t"])
             })
             .build()
             .unwrap();
@@ -353,7 +367,9 @@ mod tests {
             .rule("active", ConvergencePolicy::AddWins)
             .rule("finished", ConvergencePolicy::AddWins)
             .invariant_str("forall(Tournament: t) :- not(active(t) and finished(t))")
-            .operation("begin", &[("t", "Tournament")], |op| op.set_true("active", &["t"]))
+            .operation("begin", &[("t", "Tournament")], |op| {
+                op.set_true("active", &["t"])
+            })
             .operation("finish", &[("t", "Tournament")], |op| {
                 op.set_true("finished", &["t"]).set_false("active", &["t"])
             })
@@ -381,7 +397,9 @@ mod tests {
             .unwrap();
         let cfg = AnalysisConfig::default();
         let buy = spec.operation("buy").unwrap();
-        let w = check_pair(&spec, &cfg, buy, buy).unwrap().expect("buy ∥ buy conflicts");
+        let w = check_pair(&spec, &cfg, buy, buy)
+            .unwrap()
+            .expect("buy ∥ buy conflicts");
         // Witness: pre-stock 1, both decrements => -1.
         let inv = &spec.invariants[0];
         assert!(w.pre.eval(inv).unwrap());

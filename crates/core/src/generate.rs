@@ -44,7 +44,9 @@ pub fn involved_clauses<'a>(
         .iter()
         .filter(|inv| {
             let preds = inv.predicates();
-            preds.iter().any(|p| op1.writes_predicate(p) || op2.writes_predicate(p))
+            preds
+                .iter()
+                .any(|p| op1.writes_predicate(p) || op2.writes_predicate(p))
         })
         .collect()
 }
@@ -273,8 +275,9 @@ mod tests {
         });
         assert!(restore, "candidates: {cands:?}");
         // Own effects are excluded from the pool.
-        assert!(!cands.iter().any(|e| e.atom.pred.as_str() == "enrolled"
-            && !e.atom.has_wildcard()));
+        assert!(!cands
+            .iter()
+            .any(|e| e.atom.pred.as_str() == "enrolled" && !e.atom.has_wildcard()));
     }
 
     #[test]
@@ -287,7 +290,10 @@ mod tests {
         let sizes: Vec<usize> = pairs.iter().map(CandidatePair::added_count).collect();
         let mut sorted = sizes.clone();
         sorted.sort_unstable();
-        assert_eq!(sizes, sorted, "candidates must be ordered by added-effect count");
+        assert_eq!(
+            sizes, sorted,
+            "candidates must be ordered by added-effect count"
+        );
     }
 
     #[test]

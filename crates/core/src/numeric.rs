@@ -10,9 +10,7 @@
 //! bound; the pipeline turns each such conflict into a *compensation*
 //! instead of an effect repair.
 
-use ipa_spec::{
-    AppSpec, CmpOp, EffectKind, Formula, NumExpr, Operation, PredicateKind, Symbol,
-};
+use ipa_spec::{AppSpec, CmpOp, EffectKind, Formula, NumExpr, Operation, PredicateKind, Symbol};
 use std::fmt;
 
 /// Which side of the comparison the measure is bounded on.
@@ -102,7 +100,9 @@ fn numeric_shape(clause: &Formula) -> Option<NumericShape> {
         Formula::Forall(_, b) => b.as_ref(),
         other => other,
     };
-    let Formula::Cmp(l, op, r) = body else { return None };
+    let Formula::Cmp(l, op, r) = body else {
+        return None;
+    };
     // Collect (sign, atom, is_count) terms from both sides of `l - r`.
     let mut terms: Vec<(i64, Symbol, bool)> = Vec::new();
     collect_terms(l, 1, &mut terms)?;
@@ -118,7 +118,11 @@ fn numeric_shape(clause: &Formula) -> Option<NumericShape> {
         CmpOp::Eq => BoundKind::Exact,
         CmpOp::Ne => return None, // disequality is not a bound
     };
-    Some(NumericShape { pred, is_count, bound })
+    Some(NumericShape {
+        pred,
+        is_count,
+        bound,
+    })
 }
 
 fn collect_terms(e: &NumExpr, sign: i64, out: &mut Vec<(i64, Symbol, bool)>) -> Option<()> {
@@ -166,7 +170,9 @@ fn op_direction(op: &Operation, pred: &Symbol, is_count: bool) -> i64 {
 pub fn numeric_conflicts(spec: &AppSpec) -> Vec<NumericConflict> {
     let mut out = Vec::new();
     for (idx, clause) in spec.invariants.iter().enumerate() {
-        let Some(shape) = numeric_shape(clause) else { continue };
+        let Some(shape) = numeric_shape(clause) else {
+            continue;
+        };
         // Sanity: count shapes need a boolean predicate, value shapes a
         // numeric one.
         match spec.predicate(&shape.pred).map(|d| d.kind) {
@@ -219,7 +225,8 @@ mod tests {
                 op.set_true("sold", &["u", "e"]).dec("remaining", &["e"], 1)
             })
             .operation("refund", &[("u", "User"), ("e", "Event")], |op| {
-                op.set_false("sold", &["u", "e"]).inc("remaining", &["e"], 1)
+                op.set_false("sold", &["u", "e"])
+                    .inc("remaining", &["e"], 1)
             })
             .build()
             .unwrap()
@@ -237,7 +244,10 @@ mod tests {
         assert_eq!(cap.risky_ops.len(), 1);
         assert_eq!(cap.risky_ops[0].0.as_str(), "buy_ticket");
         // buy ∥ buy is a risky self-pair.
-        assert_eq!(cap.pairs(), vec![(Symbol::new("buy_ticket"), Symbol::new("buy_ticket"))]);
+        assert_eq!(
+            cap.pairs(),
+            vec![(Symbol::new("buy_ticket"), Symbol::new("buy_ticket"))]
+        );
 
         let stock = ncs.iter().find(|c| !c.is_count).expect("value conflict");
         assert_eq!(stock.bound, BoundKind::Lower);
@@ -278,7 +288,9 @@ mod tests {
             .predicate_bool("active", &["Node"])
             .constant("Quorum", 3)
             .invariant_str("Quorum <= #active(*)")
-            .operation("leave", &[("n", "Node")], |op| op.set_false("active", &["n"]))
+            .operation("leave", &[("n", "Node")], |op| {
+                op.set_false("active", &["n"])
+            })
             .operation("join", &[("n", "Node")], |op| op.set_true("active", &["n"]))
             .build()
             .unwrap();

@@ -48,7 +48,10 @@ impl AnalysisConfig {
             .chain(spec.invariants.iter().flat_map(max_literal))
             .max()
             .unwrap_or(0);
-        AnalysisConfig { numeric_bound: (max_const + 4).clamp(8, 64), ..Default::default() }
+        AnalysisConfig {
+            numeric_bound: (max_const + 4).clamp(8, 64),
+            ..Default::default()
+        }
     }
 }
 
@@ -140,7 +143,9 @@ impl Analyzer {
 
     /// Analyzer with the numeric bound tuned to the spec's constants.
     pub fn for_spec(spec: &AppSpec) -> Self {
-        Analyzer { config: AnalysisConfig::tuned_for(spec) }
+        Analyzer {
+            config: AnalysisConfig::tuned_for(spec),
+        }
     }
 
     /// Run the full IPA pipeline on a specification.
@@ -196,7 +201,10 @@ impl Analyzer {
                 Some(res) => {
                     patched.replace_operation(res.op1.clone());
                     patched.replace_operation(res.op2.clone());
-                    applied.push(AppliedResolution { witness, resolution: res });
+                    applied.push(AppliedResolution {
+                        witness,
+                        resolution: res,
+                    });
                 }
             }
         }
@@ -232,8 +240,12 @@ mod tests {
             .invariant_str(
                 "forall(Player: p, Tournament: t) :- enrolled(p,t) => player(p) and tournament(t)",
             )
-            .operation("add_player", &[("p", "Player")], |op| op.set_true("player", &["p"]))
-            .operation("rem_player", &[("p", "Player")], |op| op.set_false("player", &["p"]))
+            .operation("add_player", &[("p", "Player")], |op| {
+                op.set_true("player", &["p"])
+            })
+            .operation("rem_player", &[("p", "Player")], |op| {
+                op.set_false("player", &["p"])
+            })
             .operation("enroll", &[("p", "Player"), ("t", "Tournament")], |op| {
                 op.set_true("enrolled", &["p", "t"])
             })
@@ -254,9 +266,16 @@ mod tests {
     fn pipeline_reaches_invariant_preserving_fixpoint() {
         let spec = tournament_mini();
         let report = Analyzer::default().analyze(&spec).unwrap();
-        assert!(report.converged, "fixpoint not reached in {} iters", report.iterations);
+        assert!(
+            report.converged,
+            "fixpoint not reached in {} iters",
+            report.iterations
+        );
         assert!(report.flagged.is_empty(), "flagged: {:?}", report.flagged);
-        assert!(!report.applied.is_empty(), "the paper's conflicts must be repaired");
+        assert!(
+            !report.applied.is_empty(),
+            "the paper's conflicts must be repaired"
+        );
         assert!(report.is_invariant_preserving());
 
         // Re-analyzing the patched spec finds nothing to do.
@@ -308,13 +327,18 @@ mod tests {
             .rule("active", ConvergencePolicy::AddWins)
             .rule("finished", ConvergencePolicy::AddWins)
             .invariant_str("forall(Tournament: t) :- not(active(t) and finished(t))")
-            .operation("begin", &[("t", "Tournament")], |op| op.set_true("active", &["t"]))
+            .operation("begin", &[("t", "Tournament")], |op| {
+                op.set_true("active", &["t"])
+            })
             .operation("finish", &[("t", "Tournament")], |op| {
                 op.set_true("finished", &["t"]).set_false("active", &["t"])
             })
             .build()
             .unwrap();
-        let cfg = AnalysisConfig { max_added_effects: 1, ..Default::default() };
+        let cfg = AnalysisConfig {
+            max_added_effects: 1,
+            ..Default::default()
+        };
         let report = Analyzer::new(cfg).analyze(&spec).unwrap();
         // Either a repair exists (rem-wins style) or the pair is flagged —
         // with add-wins rules on both predicates there is no 1-effect fix.

@@ -59,9 +59,11 @@ pub enum ResolutionPolicy {
 }
 
 /// Pick one resolution according to policy. `None` when no resolutions.
-pub fn pick_resolution(mut sols: Vec<Resolution>, policy: ResolutionPolicy, op1: &Symbol)
-    -> Option<Resolution>
-{
+pub fn pick_resolution(
+    mut sols: Vec<Resolution>,
+    policy: ResolutionPolicy,
+    op1: &Symbol,
+) -> Option<Resolution> {
     if sols.is_empty() {
         return None;
     }
@@ -127,9 +129,8 @@ pub fn repair_conflicts(
 /// Does the candidate's added-effect set extend some known solution on the
 /// same operation?
 fn is_pair_subset(cand: &CandidatePair, sols: &[Resolution]) -> bool {
-    sols.iter().any(|s| {
-        s.added_to == cand.added_to && s.added.iter().all(|e| cand.added.contains(e))
-    })
+    sols.iter()
+        .any(|s| s.added_to == cand.added_to && s.added.iter().all(|e| cand.added.contains(e)))
 }
 
 #[cfg(test)]
@@ -172,9 +173,9 @@ mod tests {
         // Figure 2b: enroll += tournament(t) := true.
         let fig2b = sols.iter().any(|r| {
             r.added_to.as_str() == "enroll"
-                && r.added.iter().any(|e| {
-                    e.atom.pred.as_str() == "tournament" && e.kind == EffectKind::SetTrue
-                })
+                && r.added
+                    .iter()
+                    .any(|e| e.atom.pred.as_str() == "tournament" && e.kind == EffectKind::SetTrue)
         });
         // Figure 2c: rem_tourn += enrolled(*, t) := false (rem-wins rule).
         let fig2c = sols.iter().any(|r| {
@@ -191,7 +192,9 @@ mod tests {
         // All returned resolutions genuinely remove the conflict.
         for r in &sols {
             assert!(
-                crate::conflict::check_pair(&spec, &cfg, &r.op1, &r.op2).unwrap().is_none(),
+                crate::conflict::check_pair(&spec, &cfg, &r.op1, &r.op2)
+                    .unwrap()
+                    .is_none(),
                 "resolution {r} does not fix the pair"
             );
         }

@@ -11,9 +11,16 @@ use std::fmt::Write as _;
 pub fn render_state(m: &Interpretation) -> String {
     let mut by_pred: std::collections::BTreeMap<String, Vec<String>> = Default::default();
     for a in m.true_atoms() {
-        let args =
-            a.args.iter().map(|c| c.name.to_string()).collect::<Vec<_>>().join(",");
-        by_pred.entry(a.pred.to_string()).or_default().push(format!("({args})"));
+        let args = a
+            .args
+            .iter()
+            .map(|c| c.name.to_string())
+            .collect::<Vec<_>>()
+            .join(",");
+        by_pred
+            .entry(a.pred.to_string())
+            .or_default()
+            .push(format!("({args})"));
     }
     let mut out = String::new();
     for (p, insts) in by_pred {
@@ -65,7 +72,13 @@ impl fmt::Display for AnalysisReport {
             writeln!(f, "  no boolean conflicts (already I-confluent)")?;
         }
         for (i, a) in self.applied.iter().enumerate() {
-            writeln!(f, "  repair {}: {} — fixed {}", i + 1, a.resolution, a.witness.label())?;
+            writeln!(
+                f,
+                "  repair {}: {} — fixed {}",
+                i + 1,
+                a.resolution,
+                a.witness.label()
+            )?;
         }
         for flag in &self.flagged {
             writeln!(

@@ -126,8 +126,8 @@ pub fn contest_winner(policy: ConvergencePolicy) -> Option<bool> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ipa_spec::{Constant, PredicateDecl, Sort, Symbol};
     use ipa_solver::Universe;
+    use ipa_spec::{Constant, PredicateDecl, Sort, Symbol};
     use std::collections::BTreeMap as Map;
 
     fn tourn(n: &str) -> Constant {
@@ -138,8 +138,9 @@ mod tests {
     }
 
     fn setup() -> (Universe, Map<Symbol, PredicateDecl>, Map<Symbol, i64>) {
-        let u: Universe =
-            [player("P1"), player("P2"), tourn("T1")].into_iter().collect();
+        let u: Universe = [player("P1"), player("P2"), tourn("T1")]
+            .into_iter()
+            .collect();
         let mut d = Map::new();
         for decl in [
             PredicateDecl::boolean("tournament", vec![Sort::new("Tournament")]),
@@ -176,12 +177,18 @@ mod tests {
         let g = Grounder::new(&u, &d, &n);
         let t_atom = ipa_spec::Atom::new("tournament", vec![ipa_spec::Term::Const(tourn("T1"))]);
         let s1 = EffectSummary::from_effects(
-            &[GroundEffect { atom: t_atom.clone(), kind: EffectKind::SetTrue }],
+            &[GroundEffect {
+                atom: t_atom.clone(),
+                kind: EffectKind::SetTrue,
+            }],
             &g,
         )
         .unwrap();
         let s2 = EffectSummary::from_effects(
-            &[GroundEffect { atom: t_atom.clone(), kind: EffectKind::SetFalse }],
+            &[GroundEffect {
+                atom: t_atom.clone(),
+                kind: EffectKind::SetFalse,
+            }],
             &g,
         )
         .unwrap();
@@ -202,22 +209,29 @@ mod tests {
         let g = Grounder::new(&u, &d, &n);
         let t_atom = ipa_spec::Atom::new("tournament", vec![ipa_spec::Term::Const(tourn("T1"))]);
         let s1 = EffectSummary::from_effects(
-            &[GroundEffect { atom: t_atom.clone(), kind: EffectKind::SetTrue }],
+            &[GroundEffect {
+                atom: t_atom.clone(),
+                kind: EffectKind::SetTrue,
+            }],
             &g,
         )
         .unwrap();
         let s2 = EffectSummary::from_effects(
-            &[GroundEffect { atom: t_atom, kind: EffectKind::SetFalse }],
+            &[GroundEffect {
+                atom: t_atom,
+                kind: EffectKind::SetFalse,
+            }],
             &g,
         )
         .unwrap();
-        let rules =
-            ConvergenceRules::new().with("tournament", ConvergencePolicy::LastWriterWins);
+        let rules = ConvergenceRules::new().with("tournament", ConvergencePolicy::LastWriterWins);
         let merged = s1.merge(&s2, &rules);
         assert_eq!(merged.len(), 2);
         let ga = GroundAtom::new("tournament", vec![tourn("T1")]);
-        let values: Vec<bool> =
-            merged.iter().map(|m| *m.assigns.get(&ga).unwrap()).collect();
+        let values: Vec<bool> = merged
+            .iter()
+            .map(|m| *m.assigns.get(&ga).unwrap())
+            .collect();
         assert!(values.contains(&true) && values.contains(&false));
     }
 
@@ -227,12 +241,18 @@ mod tests {
         let g = Grounder::new(&u, &d, &n);
         let stock = ipa_spec::Atom::new("stock", vec![ipa_spec::Term::Const(tourn("T1"))]);
         let s1 = EffectSummary::from_effects(
-            &[GroundEffect { atom: stock.clone(), kind: EffectKind::Dec(1) }],
+            &[GroundEffect {
+                atom: stock.clone(),
+                kind: EffectKind::Dec(1),
+            }],
             &g,
         )
         .unwrap();
         let s2 = EffectSummary::from_effects(
-            &[GroundEffect { atom: stock, kind: EffectKind::Dec(2) }],
+            &[GroundEffect {
+                atom: stock,
+                kind: EffectKind::Dec(2),
+            }],
             &g,
         )
         .unwrap();
@@ -261,8 +281,14 @@ mod tests {
         // Within a single operation, later effects overwrite earlier ones.
         let s = EffectSummary::from_effects(
             &[
-                GroundEffect { atom: t_atom.clone(), kind: EffectKind::SetFalse },
-                GroundEffect { atom: t_atom, kind: EffectKind::SetTrue },
+                GroundEffect {
+                    atom: t_atom.clone(),
+                    kind: EffectKind::SetFalse,
+                },
+                GroundEffect {
+                    atom: t_atom,
+                    kind: EffectKind::SetTrue,
+                },
             ],
             &g,
         )

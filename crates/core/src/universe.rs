@@ -1,8 +1,8 @@
 //! Small-scope universe construction and operation-parameter
 //! instantiation (the "test cases" the paper generates with Z3).
 
-use ipa_spec::{AppSpec, Constant, Operation, Sort};
 use ipa_solver::Universe;
+use ipa_spec::{AppSpec, Constant, Operation, Sort};
 
 /// Build the analysis universe: `per_sort` distinguished elements for every
 /// sort of the specification. Two elements per sort suffice to exercise
@@ -34,8 +34,12 @@ pub fn instantiations(
     op2: &Operation,
     universe: &Universe,
 ) -> Vec<(Vec<Constant>, Vec<Constant>)> {
-    let all_params: Vec<&Sort> =
-        op1.params.iter().map(|p| &p.sort).chain(op2.params.iter().map(|p| &p.sort)).collect();
+    let all_params: Vec<&Sort> = op1
+        .params
+        .iter()
+        .map(|p| &p.sort)
+        .chain(op2.params.iter().map(|p| &p.sort))
+        .collect();
     let mut combos: Vec<Vec<Constant>> = vec![Vec::new()];
     for sort in &all_params {
         let elems = universe.elements(sort);

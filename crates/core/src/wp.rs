@@ -28,7 +28,12 @@ pub fn apply_summary(g: &GroundFormula, s: &EffectSummary) -> GroundFormula {
         GroundFormula::Or(gs) => {
             GroundFormula::or(gs.iter().map(|g| apply_summary(g, s)).collect())
         }
-        GroundFormula::CountCmp { atoms, offset, op, rhs } => {
+        GroundFormula::CountCmp {
+            atoms,
+            offset,
+            op,
+            rhs,
+        } => {
             // Atoms assigned by the summary contribute constants; the rest
             // stay symbolic.
             let mut fixed = 0i64;
@@ -47,9 +52,19 @@ pub fn apply_summary(g: &GroundFormula, s: &EffectSummary) -> GroundFormula {
                 rhs: *rhs,
             }
         }
-        GroundFormula::ValueCmp { atom, offset, op, rhs } => {
+        GroundFormula::ValueCmp {
+            atom,
+            offset,
+            op,
+            rhs,
+        } => {
             let delta = s.deltas.get(atom).copied().unwrap_or(0);
-            GroundFormula::ValueCmp { atom: atom.clone(), offset: offset + delta, op: *op, rhs: *rhs }
+            GroundFormula::ValueCmp {
+                atom: atom.clone(),
+                offset: offset + delta,
+                op: *op,
+                rhs: *rhs,
+            }
         }
     }
 }
@@ -70,10 +85,7 @@ mod tests {
         let b = GroundAtom::new("p", vec![c("2")]);
         let mut s = EffectSummary::default();
         s.assigns.insert(a.clone(), true);
-        let g = GroundFormula::and(vec![
-            GroundFormula::Atom(a),
-            GroundFormula::Atom(b.clone()),
-        ]);
+        let g = GroundFormula::and(vec![GroundFormula::Atom(a), GroundFormula::Atom(b.clone())]);
         let out = apply_summary(&g, &s);
         assert_eq!(
             out,
@@ -124,7 +136,12 @@ mod tests {
     #[test]
     fn value_atoms_shift_by_delta() {
         let v = GroundAtom::new("stock", vec![c("i")]);
-        let g = GroundFormula::ValueCmp { atom: v.clone(), offset: 0, op: CmpOp::Ge, rhs: 0 };
+        let g = GroundFormula::ValueCmp {
+            atom: v.clone(),
+            offset: 0,
+            op: CmpOp::Ge,
+            rhs: 0,
+        };
         let mut s = EffectSummary::default();
         s.deltas.insert(v.clone(), -2);
         match apply_summary(&g, &s) {
@@ -150,7 +167,12 @@ mod tests {
                 op: CmpOp::Le,
                 rhs: 1,
             },
-            GroundFormula::ValueCmp { atom: v.clone(), offset: 0, op: CmpOp::Ge, rhs: 1 },
+            GroundFormula::ValueCmp {
+                atom: v.clone(),
+                offset: 0,
+                op: CmpOp::Ge,
+                rhs: 1,
+            },
         ]);
         let mut s = EffectSummary::default();
         s.assigns.insert(a.clone(), true);

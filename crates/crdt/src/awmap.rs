@@ -24,7 +24,11 @@ struct Entry<V: Clone> {
 
 impl<V: Clone> Default for Entry<V> {
     fn default() -> Self {
-        Entry { tags: BTreeSet::new(), payload: LWWRegister::new(), last_clock: VClock::new() }
+        Entry {
+            tags: BTreeSet::new(),
+            payload: LWWRegister::new(),
+            last_clock: VClock::new(),
+        }
     }
 }
 
@@ -36,7 +40,9 @@ pub struct AWMap<K: Ord + Clone, V: Clone + PartialEq> {
 
 impl<K: Ord + Clone, V: Clone + PartialEq> Default for AWMap<K, V> {
     fn default() -> Self {
-        AWMap { entries: BTreeMap::new() }
+        AWMap {
+            entries: BTreeMap::new(),
+        }
     }
 }
 
@@ -44,9 +50,18 @@ impl<K: Ord + Clone, V: Clone + PartialEq> Default for AWMap<K, V> {
 #[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub enum AWMapOp<K, V> {
     /// Add/touch the key (presence) and optionally write the payload.
-    Put { key: K, tag: Tag, clock: VClock, write: Option<LWWOp<V>> },
+    Put {
+        key: K,
+        tag: Tag,
+        clock: VClock,
+        write: Option<LWWOp<V>>,
+    },
     /// Remove observed presence tags (payload is retained for touch).
-    Remove { key: K, observed: Vec<Tag>, clock: VClock },
+    Remove {
+        key: K,
+        observed: Vec<Tag>,
+        clock: VClock,
+    },
 }
 
 impl<K: Ord + Clone, V: Clone + PartialEq> AWMap<K, V> {
@@ -74,7 +89,10 @@ impl<K: Ord + Clone, V: Clone + PartialEq> AWMap<K, V> {
     }
 
     pub fn keys(&self) -> impl Iterator<Item = &K> {
-        self.entries.iter().filter(|(_, e)| !e.tags.is_empty()).map(|(k, _)| k)
+        self.entries
+            .iter()
+            .filter(|(_, e)| !e.tags.is_empty())
+            .map(|(k, _)| k)
     }
 
     pub fn len(&self) -> usize {
@@ -90,22 +108,25 @@ impl<K: Ord + Clone, V: Clone + PartialEq> AWMap<K, V> {
     // ------------------------------------------------------------------
 
     /// Prepare an insert/update: presence + payload write.
-    pub fn prepare_put(
-        &self,
-        key: K,
-        tag: Tag,
-        clock: VClock,
-        ts: u64,
-        value: V,
-    ) -> AWMapOp<K, V> {
-        AWMapOp::Put { key, tag, clock, write: Some(LWWOp { ts, tag, value }) }
+    pub fn prepare_put(&self, key: K, tag: Tag, clock: VClock, ts: u64, value: V) -> AWMapOp<K, V> {
+        AWMapOp::Put {
+            key,
+            tag,
+            clock,
+            write: Some(LWWOp { ts, tag, value }),
+        }
     }
 
     /// Prepare a `touch`: restore presence, keep whatever payload exists
     /// (paper §4.2.1 — used instead of an add when the analysis adds a
     /// restoring effect to an operation).
     pub fn prepare_touch(&self, key: K, tag: Tag, clock: VClock) -> AWMapOp<K, V> {
-        AWMapOp::Put { key, tag, clock, write: None }
+        AWMapOp::Put {
+            key,
+            tag,
+            clock,
+            write: None,
+        }
     }
 
     /// Prepare a remove of the observed presence tags.
@@ -127,7 +148,12 @@ impl<K: Ord + Clone, V: Clone + PartialEq> AWMap<K, V> {
 
     pub fn apply(&mut self, op: &AWMapOp<K, V>) {
         match op {
-            AWMapOp::Put { key, tag, clock, write } => {
+            AWMapOp::Put {
+                key,
+                tag,
+                clock,
+                write,
+            } => {
                 let e = self.entries.entry(key.clone()).or_default();
                 e.tags.insert(*tag);
                 e.last_clock.merge(clock);
@@ -135,7 +161,11 @@ impl<K: Ord + Clone, V: Clone + PartialEq> AWMap<K, V> {
                     e.payload.apply(w);
                 }
             }
-            AWMapOp::Remove { key, observed, clock } => {
+            AWMapOp::Remove {
+                key,
+                observed,
+                clock,
+            } => {
                 if let Some(e) = self.entries.get_mut(key) {
                     for t in observed {
                         e.tags.remove(t);
@@ -242,13 +272,21 @@ mod tests {
             key: "k",
             tag: tag(0, 1),
             clock: clock(&[(0, 1)]),
-            write: Some(crate::lww::LWWOp { ts: 1, tag: tag(0, 1), value: 10 }),
+            write: Some(crate::lww::LWWOp {
+                ts: 1,
+                tag: tag(0, 1),
+                value: 10,
+            }),
         };
         let w2 = AWMapOp::Put {
             key: "k",
             tag: tag(1, 1),
             clock: clock(&[(1, 1)]),
-            write: Some(crate::lww::LWWOp { ts: 2, tag: tag(1, 1), value: 20 }),
+            write: Some(crate::lww::LWWOp {
+                ts: 2,
+                tag: tag(1, 1),
+                value: 20,
+            }),
         };
         let mut a: AWMap<&'static str, i64> = AWMap::new();
         let mut b: AWMap<&'static str, i64> = AWMap::new();

@@ -31,7 +31,9 @@ pub enum AWSetOp<E> {
 
 impl<E: Ord + Clone> AWSet<E> {
     pub fn new() -> Self {
-        AWSet { live: BTreeMap::new() }
+        AWSet {
+            live: BTreeMap::new(),
+        }
     }
 
     pub fn contains(&self, e: &E) -> bool {
@@ -39,7 +41,10 @@ impl<E: Ord + Clone> AWSet<E> {
     }
 
     pub fn elements(&self) -> impl Iterator<Item = &E> {
-        self.live.iter().filter(|(_, t)| !t.is_empty()).map(|(e, _)| e)
+        self.live
+            .iter()
+            .filter(|(_, t)| !t.is_empty())
+            .map(|(e, _)| e)
     }
 
     pub fn len(&self) -> usize {
@@ -192,7 +197,10 @@ mod tests {
         b.apply(&add_new);
         b.apply(&rm);
         assert!(!a.contains(&e("p1", "t1")), "observed enrollment removed");
-        assert!(a.contains(&e("p2", "t1")), "concurrent enrollment survives (add-wins)");
+        assert!(
+            a.contains(&e("p2", "t1")),
+            "concurrent enrollment survives (add-wins)"
+        );
         assert_eq!(a, b);
     }
 

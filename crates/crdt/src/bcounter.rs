@@ -27,9 +27,19 @@ pub struct BCounter {
 /// Effect operations.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub enum BCounterOp {
-    Inc { origin: ReplicaId, n: u64 },
-    Dec { origin: ReplicaId, n: u64 },
-    Transfer { from: ReplicaId, to: ReplicaId, n: u64 },
+    Inc {
+        origin: ReplicaId,
+        n: u64,
+    },
+    Dec {
+        origin: ReplicaId,
+        n: u64,
+    },
+    Transfer {
+        from: ReplicaId,
+        to: ReplicaId,
+        n: u64,
+    },
 }
 
 impl BCounter {
@@ -41,7 +51,12 @@ impl BCounter {
         if initial > floor {
             incs.insert(owner, (initial - floor) as u64);
         }
-        BCounter { floor, incs, decs: BTreeMap::new(), transfers: BTreeMap::new() }
+        BCounter {
+            floor,
+            incs,
+            decs: BTreeMap::new(),
+            transfers: BTreeMap::new(),
+        }
     }
 
     pub fn floor(&self) -> i64 {
@@ -58,10 +73,18 @@ impl BCounter {
     pub fn local_rights(&self, r: ReplicaId) -> i64 {
         let created = self.incs.get(&r).copied().unwrap_or(0) as i64;
         let used = self.decs.get(&r).copied().unwrap_or(0) as i64;
-        let inflow: i64 =
-            self.transfers.iter().filter(|((_, to), _)| *to == r).map(|(_, &n)| n as i64).sum();
-        let outflow: i64 =
-            self.transfers.iter().filter(|((from, _), _)| *from == r).map(|(_, &n)| n as i64).sum();
+        let inflow: i64 = self
+            .transfers
+            .iter()
+            .filter(|((_, to), _)| *to == r)
+            .map(|(_, &n)| n as i64)
+            .sum();
+        let outflow: i64 = self
+            .transfers
+            .iter()
+            .filter(|((from, _), _)| *from == r)
+            .map(|(_, &n)| n as i64)
+            .sum();
         created - used + inflow - outflow
     }
 

@@ -48,7 +48,11 @@ pub struct CompensatedRead<E> {
 
 impl<E: Ord + Clone> CompensationSet<E> {
     pub fn new(capacity: usize) -> Self {
-        CompensationSet { set: AWSet::new(), capacity, violations_observed: 0 }
+        CompensationSet {
+            set: AWSet::new(),
+            capacity,
+            violations_observed: 0,
+        }
     }
 
     pub fn capacity(&self) -> usize {
@@ -92,8 +96,12 @@ impl<E: Ord + Clone> CompensationSet<E> {
             .set
             .elements()
             .map(|e| {
-                let max_tag =
-                    self.set.tags_of(e).max().copied().expect("live element has a tag");
+                let max_tag = self
+                    .set
+                    .tags_of(e)
+                    .max()
+                    .copied()
+                    .expect("live element has a tag");
                 (max_tag, e.clone())
             })
             .collect();
@@ -106,10 +114,16 @@ impl<E: Ord + Clone> CompensationSet<E> {
             };
         }
         self.violations_observed += 1;
-        let keep: Vec<E> =
-            ordered.iter().take(self.capacity).map(|(_, e)| e.clone()).collect();
-        let cancelled: Vec<E> =
-            ordered.iter().skip(self.capacity).map(|(_, e)| e.clone()).collect();
+        let keep: Vec<E> = ordered
+            .iter()
+            .take(self.capacity)
+            .map(|(_, e)| e.clone())
+            .collect();
+        let cancelled: Vec<E> = ordered
+            .iter()
+            .skip(self.capacity)
+            .map(|(_, e)| e.clone())
+            .collect();
         let victims = cancelled
             .iter()
             .map(|e| (e.clone(), self.set.tags_of(e).copied().collect()))

@@ -51,9 +51,18 @@ mod tests {
     #[test]
     fn commutative_sums() {
         let ops = [
-            PNCounterOp { origin: ReplicaId(0), delta: 5 },
-            PNCounterOp { origin: ReplicaId(1), delta: -2 },
-            PNCounterOp { origin: ReplicaId(0), delta: -1 },
+            PNCounterOp {
+                origin: ReplicaId(0),
+                delta: 5,
+            },
+            PNCounterOp {
+                origin: ReplicaId(1),
+                delta: -2,
+            },
+            PNCounterOp {
+                origin: ReplicaId(0),
+                delta: -1,
+            },
         ];
         let mut a = PNCounter::new();
         let mut b = PNCounter::new();

@@ -45,8 +45,8 @@ pub use bcounter::{BCounter, BCounterOp};
 pub use clock::VClock;
 pub use compset::{CompensationSet, CompensationSetOp};
 pub use counter::{PNCounter, PNCounterOp};
-pub use lww::{LWWRegister, LWWOp};
-pub use mvreg::{MVRegister, MVRegOp};
+pub use lww::{LWWOp, LWWRegister};
+pub use mvreg::{MVRegOp, MVRegister};
 pub use object::{Object, ObjectKind, ObjectOp};
 pub use rwset::{RWSet, RWSetOp};
 pub use tag::{ReplicaId, Tag};

@@ -58,8 +58,16 @@ mod tests {
 
     #[test]
     fn later_timestamp_wins_any_order() {
-        let w1 = LWWOp { ts: 1, tag: tag(0, 1), value: "a" };
-        let w2 = LWWOp { ts: 2, tag: tag(1, 1), value: "b" };
+        let w1 = LWWOp {
+            ts: 1,
+            tag: tag(0, 1),
+            value: "a",
+        };
+        let w2 = LWWOp {
+            ts: 2,
+            tag: tag(1, 1),
+            value: "b",
+        };
         let mut x = LWWRegister::new();
         x.apply(&w1);
         x.apply(&w2);
@@ -72,8 +80,16 @@ mod tests {
 
     #[test]
     fn tag_breaks_timestamp_ties() {
-        let w1 = LWWOp { ts: 5, tag: tag(0, 1), value: "a" };
-        let w2 = LWWOp { ts: 5, tag: tag(1, 1), value: "b" };
+        let w1 = LWWOp {
+            ts: 5,
+            tag: tag(0, 1),
+            value: "a",
+        };
+        let w2 = LWWOp {
+            ts: 5,
+            tag: tag(1, 1),
+            value: "b",
+        };
         let mut x = LWWRegister::new();
         x.apply(&w1);
         x.apply(&w2);

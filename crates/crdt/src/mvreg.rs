@@ -20,7 +20,9 @@ pub struct MVRegOp<V> {
 
 impl<V: Clone + PartialEq> MVRegister<V> {
     pub fn new() -> Self {
-        MVRegister { versions: Vec::new() }
+        MVRegister {
+            versions: Vec::new(),
+        }
     }
 
     /// Current concurrent values (one when there is no conflict).
@@ -63,38 +65,68 @@ mod tests {
     #[test]
     fn sequential_writes_overwrite() {
         let mut r = MVRegister::new();
-        r.apply(&MVRegOp { clock: clock(&[(0, 1)]), value: 1 });
-        r.apply(&MVRegOp { clock: clock(&[(0, 2)]), value: 2 });
+        r.apply(&MVRegOp {
+            clock: clock(&[(0, 1)]),
+            value: 1,
+        });
+        r.apply(&MVRegOp {
+            clock: clock(&[(0, 2)]),
+            value: 2,
+        });
         assert_eq!(r.values().copied().collect::<Vec<_>>(), vec![2]);
     }
 
     #[test]
     fn concurrent_writes_coexist() {
         let mut r = MVRegister::new();
-        r.apply(&MVRegOp { clock: clock(&[(0, 1)]), value: 1 });
-        r.apply(&MVRegOp { clock: clock(&[(1, 1)]), value: 2 });
+        r.apply(&MVRegOp {
+            clock: clock(&[(0, 1)]),
+            value: 1,
+        });
+        r.apply(&MVRegOp {
+            clock: clock(&[(1, 1)]),
+            value: 2,
+        });
         let mut vs: Vec<i32> = r.values().copied().collect();
         vs.sort_unstable();
         assert_eq!(vs, vec![1, 2]);
         // A write dominating both collapses the conflict.
-        r.apply(&MVRegOp { clock: clock(&[(0, 1), (1, 1), (2, 1)]), value: 3 });
+        r.apply(&MVRegOp {
+            clock: clock(&[(0, 1), (1, 1), (2, 1)]),
+            value: 3,
+        });
         assert_eq!(r.values().copied().collect::<Vec<_>>(), vec![3]);
     }
 
     #[test]
     fn stale_write_is_ignored() {
         let mut r = MVRegister::new();
-        r.apply(&MVRegOp { clock: clock(&[(0, 2)]), value: 2 });
-        r.apply(&MVRegOp { clock: clock(&[(0, 1)]), value: 1 });
+        r.apply(&MVRegOp {
+            clock: clock(&[(0, 2)]),
+            value: 2,
+        });
+        r.apply(&MVRegOp {
+            clock: clock(&[(0, 1)]),
+            value: 1,
+        });
         assert_eq!(r.values().copied().collect::<Vec<_>>(), vec![2]);
     }
 
     #[test]
     fn order_independence() {
         let ops = [
-            MVRegOp { clock: clock(&[(0, 1)]), value: 1 },
-            MVRegOp { clock: clock(&[(1, 1)]), value: 2 },
-            MVRegOp { clock: clock(&[(0, 1), (1, 1)]), value: 3 },
+            MVRegOp {
+                clock: clock(&[(0, 1)]),
+                value: 1,
+            },
+            MVRegOp {
+                clock: clock(&[(1, 1)]),
+                value: 2,
+            },
+            MVRegOp {
+                clock: clock(&[(0, 1), (1, 1)]),
+                value: 3,
+            },
         ];
         let mut a = MVRegister::new();
         let mut b = MVRegister::new();

@@ -65,7 +65,11 @@ pub struct TypeMismatch {
 
 impl fmt::Display for TypeMismatch {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "type mismatch: object is {}, effect is {}", self.expected, self.got)
+        write!(
+            f,
+            "type mismatch: object is {}, effect is {}",
+            self.expected, self.got
+        )
     }
 }
 
@@ -264,7 +268,10 @@ mod tests {
             ObjectKind::RWSet,
             ObjectKind::AWMap,
             ObjectKind::PNCounter,
-            ObjectKind::BCounter { floor: 0, initial: 5 },
+            ObjectKind::BCounter {
+                floor: 0,
+                initial: 5,
+            },
             ObjectKind::LWW,
             ObjectKind::MV,
             ObjectKind::CompSet { capacity: 3 },
@@ -278,10 +285,16 @@ mod tests {
     #[test]
     fn apply_dispatch_and_mismatch() {
         let mut o = Object::new(ObjectKind::AWSet, ReplicaId(0));
-        let add = ObjectOp::AWSet(AWSetOp::Add { elem: Val::str("x"), tag: tag(0, 1) });
+        let add = ObjectOp::AWSet(AWSetOp::Add {
+            elem: Val::str("x"),
+            tag: tag(0, 1),
+        });
         o.apply(&add).unwrap();
         assert_eq!(o.set_contains(&Val::str("x")), Some(true));
-        let bad = ObjectOp::PNCounter(PNCounterOp { origin: ReplicaId(0), delta: 1 });
+        let bad = ObjectOp::PNCounter(PNCounterOp {
+            origin: ReplicaId(0),
+            delta: 1,
+        });
         let err = o.apply(&bad).unwrap_err();
         assert_eq!(err.expected, "aw-set");
         assert_eq!(err.got, "pn-counter");
@@ -309,11 +322,21 @@ mod tests {
 
     #[test]
     fn bcounter_object_respects_rights() {
-        let mut o = Object::new(ObjectKind::BCounter { floor: 0, initial: 1 }, ReplicaId(0));
+        let mut o = Object::new(
+            ObjectKind::BCounter {
+                floor: 0,
+                initial: 1,
+            },
+            ReplicaId(0),
+        );
         let c = o.as_bcounter().unwrap();
         let dec = c.prepare_dec(ReplicaId(0), 1).unwrap();
         o.apply(&ObjectOp::BCounter(dec)).unwrap();
         assert_eq!(o.as_bcounter().unwrap().value(), 0);
-        assert!(o.as_bcounter().unwrap().prepare_dec(ReplicaId(0), 1).is_none());
+        assert!(o
+            .as_bcounter()
+            .unwrap()
+            .prepare_dec(ReplicaId(0), 1)
+            .is_none());
     }
 }

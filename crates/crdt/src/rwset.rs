@@ -51,7 +51,11 @@ pub struct RWSet<E: Ord + Clone, P = NoPattern> {
 
 impl<E: Ord + Clone, P> Default for RWSet<E, P> {
     fn default() -> Self {
-        RWSet { adds: BTreeMap::new(), removes: BTreeMap::new(), wild_removes: Vec::new() }
+        RWSet {
+            adds: BTreeMap::new(),
+            removes: BTreeMap::new(),
+            wild_removes: Vec::new(),
+        }
     }
 }
 
@@ -73,7 +77,9 @@ impl<E: Ord + Clone, P: Pattern<E>> RWSet<E, P> {
     /// Is an element present? Present iff some add dominates all its
     /// removes (element-specific and matching wildcards).
     pub fn contains(&self, e: &E) -> bool {
-        let Some(adds) = self.adds.get(e) else { return false };
+        let Some(adds) = self.adds.get(e) else {
+            return false;
+        };
         adds.iter().any(|(_, ac)| self.add_visible(e, ac))
     }
 
@@ -115,7 +121,11 @@ impl<E: Ord + Clone, P: Pattern<E>> RWSet<E, P> {
     }
 
     pub fn prepare_remove_matching(&self, pattern: P, tag: Tag, clock: VClock) -> RWSetOp<E, P> {
-        RWSetOp::RemoveMatching { pattern, tag, clock }
+        RWSetOp::RemoveMatching {
+            pattern,
+            tag,
+            clock,
+        }
     }
 
     // ------------------------------------------------------------------
@@ -125,13 +135,24 @@ impl<E: Ord + Clone, P: Pattern<E>> RWSet<E, P> {
     pub fn apply(&mut self, op: &RWSetOp<E, P>) {
         match op {
             RWSetOp::Add { elem, tag, clock } => {
-                self.adds.entry(elem.clone()).or_default().push((*tag, clock.clone()));
+                self.adds
+                    .entry(elem.clone())
+                    .or_default()
+                    .push((*tag, clock.clone()));
             }
             RWSetOp::Remove { elem, tag, clock } => {
-                self.removes.entry(elem.clone()).or_default().push((*tag, clock.clone()));
+                self.removes
+                    .entry(elem.clone())
+                    .or_default()
+                    .push((*tag, clock.clone()));
             }
-            RWSetOp::RemoveMatching { pattern, tag, clock } => {
-                self.wild_removes.push((pattern.clone(), *tag, clock.clone()));
+            RWSetOp::RemoveMatching {
+                pattern,
+                tag,
+                clock,
+            } => {
+                self.wild_removes
+                    .push((pattern.clone(), *tag, clock.clone()));
             }
         }
     }
@@ -260,11 +281,7 @@ mod tests {
         assert!(!a.contains(&Val::pair("p2", "t1")), "wildcard remove wins");
         assert_eq!(a, b);
         // Later (causally after) adds are unaffected.
-        let late = a.prepare_add(
-            Val::pair("p3", "t1"),
-            tag(1, 2),
-            clock(&[(0, 1), (1, 2)]),
-        );
+        let late = a.prepare_add(Val::pair("p3", "t1"), tag(1, 2), clock(&[(0, 1), (1, 2)]));
         a.apply(&late);
         assert!(a.contains(&Val::pair("p3", "t1")));
     }

@@ -19,9 +19,7 @@ impl fmt::Display for ReplicaId {
 /// sequence number (a "dot"). Tags order first by replica then by
 /// sequence, giving every update a deterministic total order that the
 /// compensation machinery uses for its deterministic element choice.
-#[derive(
-    Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Serialize, Deserialize)]
 pub struct Tag {
     pub replica: ReplicaId,
     pub seq: u64,

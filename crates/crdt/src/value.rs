@@ -179,18 +179,14 @@ mod tests {
     #[test]
     fn triple_patterns() {
         let m = Val::triple("p", "q", "t");
-        let pat = ValPattern::triple(
-            ValPattern::Any,
-            ValPattern::Any,
-            ValPattern::exact("t"),
-        );
+        let pat = ValPattern::triple(ValPattern::Any, ValPattern::Any, ValPattern::exact("t"));
         assert!(pat.matches(&m));
         assert!(!pat.matches(&Val::triple("p", "q", "u")));
     }
 
     #[test]
     fn values_are_ordered_deterministically() {
-        let mut vs = vec![Val::str("b"), Val::str("a"), Val::int(3)];
+        let mut vs = [Val::str("b"), Val::str("a"), Val::int(3)];
         vs.sort();
         // Ord is derive-based: variant order then content.
         assert_eq!(vs[0], Val::str("a"));

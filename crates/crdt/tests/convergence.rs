@@ -9,8 +9,8 @@
 //! operations).
 
 use ipa_crdt::{
-    AWMap, AWSet, MVRegister, MVRegOp, Object, ObjectKind, ObjectOp, PNCounter, PNCounterOp,
-    ReplicaId, RWSet, Tag, VClock, Val, ValPattern,
+    AWMap, AWSet, MVRegOp, MVRegister, Object, ObjectKind, ObjectOp, PNCounter, PNCounterOp, RWSet,
+    ReplicaId, Tag, VClock, Val, ValPattern,
 };
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -49,8 +49,9 @@ struct LogEntry {
 /// log in issue order (a valid causal order).
 fn run_script(kind: ObjectKind, script: &[(u8, Cmd)]) -> Vec<LogEntry> {
     let nreplicas = 3u16;
-    let mut states: Vec<Object> =
-        (0..nreplicas).map(|r| Object::new(kind, ReplicaId(r))).collect();
+    let mut states: Vec<Object> = (0..nreplicas)
+        .map(|r| Object::new(kind, ReplicaId(r)))
+        .collect();
     let mut clocks: Vec<VClock> = (0..nreplicas).map(|_| VClock::new()).collect();
     let mut log: Vec<LogEntry> = Vec::new();
 
@@ -72,9 +73,9 @@ fn run_script(kind: ObjectKind, script: &[(u8, Cmd)]) -> Vec<LogEntry> {
         let clock = clocks[r].clone();
         let elem = |x: u8| Val::pair(format!("p{x}"), format!("t{}", x % 3));
         let op = match (kind, cmd) {
-            (ObjectKind::AWSet, Cmd::Add(x)) | (ObjectKind::AWSet, Cmd::Touch(x)) => {
-                Some(ObjectOp::AWSet(states[r].as_awset().unwrap().prepare_add(elem(*x), tag)))
-            }
+            (ObjectKind::AWSet, Cmd::Add(x)) | (ObjectKind::AWSet, Cmd::Touch(x)) => Some(
+                ObjectOp::AWSet(states[r].as_awset().unwrap().prepare_add(elem(*x), tag)),
+            ),
             (ObjectKind::AWSet, Cmd::Remove(x)) => states[r]
                 .as_awset()
                 .unwrap()
@@ -96,28 +97,28 @@ fn run_script(kind: ObjectKind, script: &[(u8, Cmd)]) -> Vec<LogEntry> {
                     clock.clone(),
                 )))
             }
-            (ObjectKind::RWSet, Cmd::Remove(x)) => {
-                Some(ObjectOp::RWSet(states[r].as_rwset().unwrap().prepare_remove(
-                    elem(*x),
+            (ObjectKind::RWSet, Cmd::Remove(x)) => Some(ObjectOp::RWSet(
+                states[r]
+                    .as_rwset()
+                    .unwrap()
+                    .prepare_remove(elem(*x), tag, clock.clone()),
+            )),
+            (ObjectKind::RWSet, Cmd::RemoveWild(x)) => Some(ObjectOp::RWSet(
+                states[r].as_rwset().unwrap().prepare_remove_matching(
+                    ValPattern::pair(ValPattern::Any, ValPattern::exact(format!("t{}", x % 3))),
                     tag,
                     clock.clone(),
-                )))
-            }
-            (ObjectKind::RWSet, Cmd::RemoveWild(x)) => {
-                Some(ObjectOp::RWSet(states[r].as_rwset().unwrap().prepare_remove_matching(
-                    ValPattern::pair(
-                        ValPattern::Any,
-                        ValPattern::exact(format!("t{}", x % 3)),
-                    ),
-                    tag,
-                    clock.clone(),
-                )))
-            }
+                ),
+            )),
             _ => None,
         };
         if let Some(op) = op {
             states[r].apply(&op).unwrap();
-            log.push(LogEntry { op, clock, origin: ReplicaId(r as u16) });
+            log.push(LogEntry {
+                op,
+                clock,
+                origin: ReplicaId(r as u16),
+            });
         } else {
             // Command prepared nothing (e.g. removing an absent element):
             // undo the clock tick to keep clocks dense.
@@ -149,7 +150,10 @@ fn causal_shuffle(log: &[LogEntry], seed: u64) -> Vec<LogEntry> {
                 })
             })
             .collect();
-        assert!(!ready.is_empty(), "causal delivery deadlock — log is corrupt");
+        assert!(
+            !ready.is_empty(),
+            "causal delivery deadlock — log is corrupt"
+        );
         ready.shuffle(&mut rng);
         let pick = ready[0];
         let e = remaining.swap_remove(pick);
@@ -263,8 +267,15 @@ fn awmap_touch_preserves_payload_through_reorderings() {
         for op in order {
             m.apply(op);
         }
-        assert!(m.contains(&Val::str("k")), "touch wins over concurrent remove");
-        assert_eq!(m.get(&Val::str("k")), Some(&Val::int(42)), "payload preserved");
+        assert!(
+            m.contains(&Val::str("k")),
+            "touch wins over concurrent remove"
+        );
+        assert_eq!(
+            m.get(&Val::str("k")),
+            Some(&Val::int(42)),
+            "payload preserved"
+        );
     }
 }
 

@@ -74,7 +74,14 @@ pub struct OpOutcome {
 
 impl OpOutcome {
     pub fn ok(label: &'static str, objects: usize, updates: usize) -> OpOutcome {
-        OpOutcome { label, objects, updates, extra_wan_ms: 0.0, ok: true, violations: 0 }
+        OpOutcome {
+            label,
+            objects,
+            updates,
+            extra_wan_ms: 0.0,
+            ok: true,
+            violations: 0,
+        }
     }
 
     pub fn with_wan(mut self, ms: f64) -> OpOutcome {
@@ -83,7 +90,14 @@ impl OpOutcome {
     }
 
     pub fn unavailable(label: &'static str) -> OpOutcome {
-        OpOutcome { label, objects: 0, updates: 0, extra_wan_ms: 0.0, ok: false, violations: 0 }
+        OpOutcome {
+            label,
+            objects: 0,
+            updates: 0,
+            extra_wan_ms: 0.0,
+            ok: false,
+            violations: 0,
+        }
     }
 }
 
@@ -172,7 +186,8 @@ impl<'a> SimCtx<'a> {
                     continue;
                 }
                 let ow = self.latency.one_way(region, dest, self.rng);
-                self.staged.push((dest, self.now + SimTime::from_ms(ow), batch.clone()));
+                self.staged
+                    .push((dest, self.now + SimTime::from_ms(ow), batch.clone()));
             }
         }
         Ok((value, info))
@@ -182,7 +197,10 @@ impl<'a> SimCtx<'a> {
 #[derive(Clone, Debug)]
 enum Event {
     ClientReady(usize),
-    BatchArrive { dest: Region, batch: Box<UpdateBatch> },
+    BatchArrive {
+        dest: Region,
+        batch: Box<UpdateBatch>,
+    },
     Gc,
 }
 
@@ -232,7 +250,10 @@ impl Simulation {
         let mut clients = Vec::with_capacity(cfg.clients_per_region * regions as usize);
         for region in 0..regions {
             for _ in 0..cfg.clients_per_region {
-                clients.push(ClientInfo { id: clients.len(), region });
+                clients.push(ClientInfo {
+                    id: clients.len(),
+                    region,
+                });
             }
         }
         let rng = StdRng::seed_from_u64(cfg.seed);
@@ -298,12 +319,22 @@ impl Simulation {
 
     fn schedule(&mut self, at: SimTime, ev: Event) {
         self.seq += 1;
-        self.queue.push(Reverse(Scheduled { at, seq: self.seq, ev }));
+        self.queue.push(Reverse(Scheduled {
+            at,
+            seq: self.seq,
+            ev,
+        }));
     }
 
     fn flush_staged(&mut self, staged: Vec<(Region, SimTime, UpdateBatch)>) {
         for (dest, at, batch) in staged {
-            self.schedule(at, Event::BatchArrive { dest, batch: Box::new(batch) });
+            self.schedule(
+                at,
+                Event::BatchArrive {
+                    dest,
+                    batch: Box::new(batch),
+                },
+            );
         }
     }
 
@@ -419,8 +450,7 @@ impl Simulation {
     /// Let in-flight replication drain after the run (delivers every
     /// pending batch immediately, ignoring link latency).
     pub fn quiesce(&mut self) {
-        let mut remaining: Vec<Scheduled> =
-            self.queue.drain().map(|Reverse(s)| s).collect();
+        let mut remaining: Vec<Scheduled> = self.queue.drain().map(|Reverse(s)| s).collect();
         remaining.sort();
         for s in remaining {
             if let Event::BatchArrive { dest, batch } = s.ev {
@@ -470,10 +500,21 @@ mod tests {
         let mut w = Inserter { n: 0 };
         sim.run(&mut w);
         sim.quiesce();
-        assert!(sim.metrics.completed > 50, "completed: {}", sim.metrics.completed);
+        assert!(
+            sim.metrics.completed > 50,
+            "completed: {}",
+            sim.metrics.completed
+        );
         // All replicas converged on the same set.
         let sizes: Vec<usize> = (0..3u16)
-            .map(|r| sim.replica(r).object(&"set".into()).unwrap().as_awset().unwrap().len())
+            .map(|r| {
+                sim.replica(r)
+                    .object(&"set".into())
+                    .unwrap()
+                    .as_awset()
+                    .unwrap()
+                    .len()
+            })
             .collect();
         assert_eq!(sizes[0], sizes[1]);
         assert_eq!(sizes[1], sizes[2]);
@@ -486,7 +527,10 @@ mod tests {
             let mut sim = Simulation::new(paper_topology(), small_cfg(seed));
             let mut w = Inserter { n: 0 };
             sim.run(&mut w);
-            (sim.metrics.completed, sim.metrics.overall().unwrap().mean_ms)
+            (
+                sim.metrics.completed,
+                sim.metrics.overall().unwrap().mean_ms,
+            )
         };
         let a = run(7);
         let b = run(7);
@@ -519,12 +563,18 @@ mod tests {
             let mut sim = Simulation::new(paper_topology(), cfg);
             let mut w = Inserter { n: 0 };
             sim.run(&mut w);
-            (sim.metrics.throughput(), sim.metrics.overall().unwrap().mean_ms)
+            (
+                sim.metrics.throughput(),
+                sim.metrics.overall().unwrap().mean_ms,
+            )
         };
         let (tp_low, ms_low) = lat(1);
         let (tp_high, ms_high) = lat(64);
         assert!(tp_high > tp_low, "throughput grows with clients");
-        assert!(ms_high > ms_low * 3.0, "queueing delay appears under saturation: {ms_low} vs {ms_high}");
+        assert!(
+            ms_high > ms_low * 3.0,
+            "queueing delay appears under saturation: {ms_low} vs {ms_high}"
+        );
     }
 
     #[test]

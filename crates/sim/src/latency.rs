@@ -24,7 +24,11 @@ impl LatencyModel {
         for row in &rtt_ms {
             assert_eq!(row.len(), n, "latency matrix must be square");
         }
-        LatencyModel { rtt_ms, jitter, down: vec![vec![false; n]; n] }
+        LatencyModel {
+            rtt_ms,
+            jitter,
+            down: vec![vec![false; n]; n],
+        }
     }
 
     pub fn regions(&self) -> usize {

@@ -45,7 +45,10 @@ impl Metrics {
     }
 
     pub fn record(&mut self, label: &str, latency_ms: f64) {
-        self.samples.entry(label.to_owned()).or_default().push(latency_ms);
+        self.samples
+            .entry(label.to_owned())
+            .or_default()
+            .push(latency_ms);
         self.completed += 1;
     }
 

@@ -31,7 +31,11 @@ impl Default for ServiceCosts {
         // Calibration (Fig. 8): 1 update ≈ 2.8 ms total service (28×
         // speed-up vs an 80 ms Strong round-trip); 2048 updates on one
         // object ≈ 40 ms; 64 objects ≈ 80 ms ≈ the Strong RTT.
-        ServiceCosts { base_ms: 2.8, per_update_ms: 0.018, per_object_ms: 1.25 }
+        ServiceCosts {
+            base_ms: 2.8,
+            per_update_ms: 0.018,
+            per_object_ms: 1.25,
+        }
     }
 }
 

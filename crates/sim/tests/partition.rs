@@ -3,7 +3,9 @@
 //! once in-flight traffic drains.
 
 use ipa_crdt::{ObjectKind, Val};
-use ipa_sim::{two_region_topology, ClientInfo, OpOutcome, SimCtx, SimConfig, Simulation, Workload};
+use ipa_sim::{
+    two_region_topology, ClientInfo, OpOutcome, SimConfig, SimCtx, Simulation, Workload,
+};
 
 struct PartitionedInserter {
     cut_at_op: u64,
@@ -40,14 +42,34 @@ fn weak_ops_available_during_partition_and_converge_after() {
         ..Default::default()
     };
     let mut sim = Simulation::new(two_region_topology(), cfg);
-    let mut w = PartitionedInserter { cut_at_op: 50, heal_at_op: 400, ops: 0 };
+    let mut w = PartitionedInserter {
+        cut_at_op: 50,
+        heal_at_op: 400,
+        ops: 0,
+    };
     sim.run(&mut w);
-    assert!(w.ops > 500, "clients kept running through the cut: {}", w.ops);
+    assert!(
+        w.ops > 500,
+        "clients kept running through the cut: {}",
+        w.ops
+    );
     assert_eq!(sim.metrics.failed, 0, "weak operations never fail");
     // Drain everything (including the deferred partition-era batches).
     sim.quiesce();
-    let n0 = sim.replica(0).object(&"set".into()).unwrap().as_awset().unwrap().len();
-    let n1 = sim.replica(1).object(&"set".into()).unwrap().as_awset().unwrap().len();
+    let n0 = sim
+        .replica(0)
+        .object(&"set".into())
+        .unwrap()
+        .as_awset()
+        .unwrap()
+        .len();
+    let n1 = sim
+        .replica(1)
+        .object(&"set".into())
+        .unwrap()
+        .as_awset()
+        .unwrap()
+        .len();
     assert_eq!(n0, n1, "replicas reconcile after the partition heals");
     assert_eq!(n0 as u64, w.ops, "no update was lost");
 }

@@ -28,8 +28,14 @@ pub fn formula_satisfiable(
     let bool_atoms: Vec<GroundAtom> = f.bool_atoms().into_iter().collect();
     let num_atoms: Vec<GroundAtom> = f.num_atoms().into_iter().collect();
     let nb = bool_atoms.len();
-    assert!(nb <= 16, "brute force limited to 16 boolean atoms, got {nb}");
-    assert!(num_atoms.len() <= 3, "brute force limited to 3 numeric atoms");
+    assert!(
+        nb <= 16,
+        "brute force limited to 16 boolean atoms, got {nb}"
+    );
+    assert!(
+        num_atoms.len() <= 3,
+        "brute force limited to 3 numeric atoms"
+    );
     let dom = (num_bound + 1) as usize;
     let num_combos = dom.pow(num_atoms.len() as u32);
 

@@ -105,9 +105,9 @@ impl Cnf {
 
     /// Evaluate under a full assignment (for testing).
     pub fn eval(&self, assignment: &[bool]) -> bool {
-        self.clauses.iter().all(|c| {
-            c.lits.iter().any(|l| l.apply(assignment[l.var().index()]))
-        })
+        self.clauses
+            .iter()
+            .all(|c| c.lits.iter().any(|l| l.apply(assignment[l.var().index()])))
     }
 }
 

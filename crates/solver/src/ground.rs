@@ -8,11 +8,11 @@
 //! numeric predicate atoms stay symbolic and are encoded with a bounded
 //! order encoding downstream.
 
+use ipa_spec::Symbol;
 use ipa_spec::{
     Atom, CmpOp, Constant, Formula, GroundAtom, NumExpr, PredicateDecl, Sort, Substitution, Term,
     Var,
 };
-use ipa_spec::Symbol;
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
@@ -84,12 +84,25 @@ pub enum GroundFormula {
     And(Vec<GroundFormula>),
     Or(Vec<GroundFormula>),
     /// `|{a ∈ atoms : a true}| + offset  op  rhs`
-    CountCmp { atoms: Vec<GroundAtom>, offset: i64, op: CmpOp, rhs: i64 },
+    CountCmp {
+        atoms: Vec<GroundAtom>,
+        offset: i64,
+        op: CmpOp,
+        rhs: i64,
+    },
     /// `value(atom) + offset  op  rhs` for a numeric predicate instance.
-    ValueCmp { atom: GroundAtom, offset: i64, op: CmpOp, rhs: i64 },
+    ValueCmp {
+        atom: GroundAtom,
+        offset: i64,
+        op: CmpOp,
+        rhs: i64,
+    },
 }
 
 impl GroundFormula {
+    // An AST constructor (used point-free, e.g. `prop_map(Self::not)`),
+    // not a negation of `self`; `ops::Not` would take `self` by value.
+    #[allow(clippy::should_implement_trait)]
     pub fn not(g: GroundFormula) -> GroundFormula {
         GroundFormula::Not(Box::new(g))
     }
@@ -113,14 +126,12 @@ impl GroundFormula {
     /// All boolean ground atoms mentioned (including inside counts).
     pub fn bool_atoms(&self) -> BTreeSet<GroundAtom> {
         let mut out = BTreeSet::new();
-        self.visit(&mut |g| {
-            match g {
-                GroundFormula::Atom(a) => {
-                    out.insert(a.clone());
-                }
-                GroundFormula::CountCmp { atoms, .. } => out.extend(atoms.iter().cloned()),
-                _ => {}
+        self.visit(&mut |g| match g {
+            GroundFormula::Atom(a) => {
+                out.insert(a.clone());
             }
+            GroundFormula::CountCmp { atoms, .. } => out.extend(atoms.iter().cloned()),
+            _ => {}
         });
         out
     }
@@ -162,12 +173,24 @@ impl GroundFormula {
             GroundFormula::Not(g) => !g.eval(bools, nums),
             GroundFormula::And(gs) => gs.iter().all(|g| g.eval(bools, nums)),
             GroundFormula::Or(gs) => gs.iter().any(|g| g.eval(bools, nums)),
-            GroundFormula::CountCmp { atoms, offset, op, rhs } => {
-                let n = atoms.iter().filter(|a| bools.get(a).copied().unwrap_or(false)).count()
-                    as i64;
+            GroundFormula::CountCmp {
+                atoms,
+                offset,
+                op,
+                rhs,
+            } => {
+                let n = atoms
+                    .iter()
+                    .filter(|a| bools.get(a).copied().unwrap_or(false))
+                    .count() as i64;
                 op.eval(n + offset, *rhs)
             }
-            GroundFormula::ValueCmp { atom, offset, op, rhs } => {
+            GroundFormula::ValueCmp {
+                atom,
+                offset,
+                op,
+                rhs,
+            } => {
                 let v = nums.get(atom).copied().unwrap_or(0);
                 op.eval(v + offset, *rhs)
             }
@@ -217,7 +240,11 @@ impl<'a> Grounder<'a> {
         decls: &'a BTreeMap<Symbol, PredicateDecl>,
         named: &'a BTreeMap<Symbol, i64>,
     ) -> Self {
-        Grounder { universe, decls, named }
+        Grounder {
+            universe,
+            decls,
+            named,
+        }
     }
 
     /// Ground a closed formula (its quantifiers expand over the universe).
@@ -232,10 +259,14 @@ impl<'a> Grounder<'a> {
             Formula::Atom(a) => GroundFormula::Atom(self.ground_bool_atom(a)?),
             Formula::Not(g) => GroundFormula::not(self.ground_inner(g)?),
             Formula::And(gs) => GroundFormula::and(
-                gs.iter().map(|g| self.ground_inner(g)).collect::<Result<_, _>>()?,
+                gs.iter()
+                    .map(|g| self.ground_inner(g))
+                    .collect::<Result<_, _>>()?,
             ),
             Formula::Or(gs) => GroundFormula::or(
-                gs.iter().map(|g| self.ground_inner(g)).collect::<Result<_, _>>()?,
+                gs.iter()
+                    .map(|g| self.ground_inner(g))
+                    .collect::<Result<_, _>>()?,
             ),
             Formula::Implies(l, r) => GroundFormula::or(vec![
                 GroundFormula::not(self.ground_inner(l)?),
@@ -310,7 +341,10 @@ impl<'a> Grounder<'a> {
             }
             acc = next;
         }
-        Ok(acc.into_iter().map(|args| GroundAtom::new(pattern.pred.clone(), args)).collect())
+        Ok(acc
+            .into_iter()
+            .map(|args| GroundAtom::new(pattern.pred.clone(), args))
+            .collect())
     }
 
     fn ground_cmp(
@@ -324,7 +358,11 @@ impl<'a> Grounder<'a> {
         self.accumulate(l, 1, &mut lin)?;
         self.accumulate(r, -1, &mut lin)?;
         match lin.terms.len() {
-            0 => Ok(if op.eval(lin.konst, 0) { GroundFormula::True } else { GroundFormula::False }),
+            0 => Ok(if op.eval(lin.konst, 0) {
+                GroundFormula::True
+            } else {
+                GroundFormula::False
+            }),
             1 => {
                 let (coeff, term) = lin.terms.pop().expect("len checked");
                 // coeff * T + konst op 0
@@ -338,10 +376,18 @@ impl<'a> Grounder<'a> {
                     }
                 };
                 Ok(match term {
-                    TermRef::Count(atoms) => {
-                        GroundFormula::CountCmp { atoms, offset: 0, op, rhs }
-                    }
-                    TermRef::Value(atom) => GroundFormula::ValueCmp { atom, offset: 0, op, rhs },
+                    TermRef::Count(atoms) => GroundFormula::CountCmp {
+                        atoms,
+                        offset: 0,
+                        op,
+                        rhs,
+                    },
+                    TermRef::Value(atom) => GroundFormula::ValueCmp {
+                        atom,
+                        offset: 0,
+                        op,
+                        rhs,
+                    },
                 })
             }
             _ => Err(GroundError::UnsupportedNumeric(
@@ -442,7 +488,9 @@ mod tests {
     }
 
     fn small_universe() -> Universe {
-        [player("P1"), player("P2"), tourn("T1")].into_iter().collect()
+        [player("P1"), player("P2"), tourn("T1")]
+            .into_iter()
+            .collect()
     }
 
     #[test]
@@ -495,10 +543,7 @@ mod tests {
         let d = decls();
         let named = BTreeMap::new();
         let g = Grounder::new(&u, &d, &named);
-        let pattern = Atom::new(
-            "enrolled",
-            vec![Term::Wildcard, Term::Const(tourn("T1"))],
-        );
+        let pattern = Atom::new("enrolled", vec![Term::Wildcard, Term::Const(tourn("T1"))]);
         let atoms = g.expand_count_pattern(&pattern).unwrap();
         assert_eq!(atoms.len(), 2);
         assert_eq!(atoms[0].to_string(), "enrolled(P1, T1)");
@@ -514,7 +559,12 @@ mod tests {
         let f = parse_formula("forall(Tournament: t) :- #enrolled(*, t) <= Capacity").unwrap();
         let gf = g.ground(&f).unwrap();
         match gf {
-            GroundFormula::CountCmp { atoms, offset, op, rhs } => {
+            GroundFormula::CountCmp {
+                atoms,
+                offset,
+                op,
+                rhs,
+            } => {
                 assert_eq!(atoms.len(), 2);
                 assert_eq!(offset, 0);
                 assert_eq!(op, CmpOp::Le);

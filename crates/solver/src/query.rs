@@ -117,7 +117,13 @@ impl Problem {
         named: BTreeMap<Symbol, i64>,
         numeric_bound: i64,
     ) -> Self {
-        Problem { universe, decls, named, encoder: Encoder::new(numeric_bound), ground_err: None }
+        Problem {
+            universe,
+            decls,
+            named,
+            encoder: Encoder::new(numeric_bound),
+            ground_err: None,
+        }
     }
 
     pub fn universe(&self) -> &Universe {
@@ -219,7 +225,10 @@ mod tests {
         let out = p.solve();
         let model = out.model().expect("violating state exists");
         // In the found state, someone is enrolled without player/tournament.
-        let violated = model.bools.iter().any(|(a, &v)| a.pred.as_str() == "enrolled" && v);
+        let violated = model
+            .bools
+            .iter()
+            .any(|(a, &v)| a.pred.as_str() == "enrolled" && v);
         assert!(violated, "model: {model:?}");
     }
 
@@ -246,15 +255,19 @@ mod tests {
         let out = p.solve();
         assert!(out.is_sat());
         let m = out.model().unwrap();
-        let enrolled_count =
-            m.bools.iter().filter(|(a, &v)| a.pred.as_str() == "enrolled" && v).count();
+        let enrolled_count = m
+            .bools
+            .iter()
+            .filter(|(a, &v)| a.pred.as_str() == "enrolled" && v)
+            .count();
         assert_eq!(enrolled_count, 1);
     }
 
     #[test]
     fn model_roundtrips_to_interpretation() {
         let mut p = setup();
-        p.assert(&parse_formula("exists(Player: p) :- player(p)").unwrap()).unwrap();
+        p.assert(&parse_formula("exists(Player: p) :- player(p)").unwrap())
+            .unwrap();
         let out = p.solve();
         let m = out.model().unwrap().clone();
         let interp = p.interpretation(&m);

@@ -53,7 +53,10 @@ pub struct Stats {
 
 impl Solver {
     pub fn new() -> Self {
-        Solver { activity_inc: 1.0, ..Default::default() }
+        Solver {
+            activity_inc: 1.0,
+            ..Default::default()
+        }
     }
 
     /// Number of variables known to the solver.
@@ -105,7 +108,7 @@ impl Solver {
         for &l in lits {
             self.ensure_var(l.var());
             match self.value_of(l) {
-                1 => return,  // satisfied at level 0
+                1 => return,    // satisfied at level 0
                 -1 => continue, // already false at level 0: drop literal
                 _ => c.push(l),
             }
@@ -120,9 +123,7 @@ impl Solver {
         match c.len() {
             0 => self.unsat = true,
             1 => {
-                if !self.enqueue(c[0], None) {
-                    self.unsat = true;
-                } else if self.propagate().is_some() {
+                if !self.enqueue(c[0], None) || self.propagate().is_some() {
                     self.unsat = true;
                 }
             }
@@ -267,8 +268,7 @@ impl Solver {
                 reason_lits.clear();
                 reason_lits.extend_from_slice(&clause.lits[start..]);
             }
-            for i in 0..reason_lits.len() {
-                let q = reason_lits[i];
+            for &q in &reason_lits {
                 let vi = q.var().index();
                 if !seen[vi] && self.levels[vi] > 0 {
                     seen[vi] = true;
@@ -333,7 +333,7 @@ impl Solver {
         for (i, &v) in self.values.iter().enumerate() {
             if v == 0 {
                 let a = self.activity[i];
-                if best.map_or(true, |(_, ba)| a > ba) {
+                if best.is_none_or(|(_, ba)| a > ba) {
                     best = Some((i, a));
                 }
             }
@@ -426,7 +426,7 @@ mod tests {
     fn lits(spec: &[i32]) -> Vec<Lit> {
         spec.iter()
             .map(|&x| {
-                let v = SatVar((x.unsigned_abs() - 1) as u32);
+                let v = SatVar(x.unsigned_abs() - 1);
                 Lit::new(v, x > 0)
             })
             .collect()
@@ -543,7 +543,7 @@ mod tests {
         let n = 20;
         let mut cs: Vec<Vec<i32>> = Vec::new();
         for i in 0..n {
-            let base = 3 * i as i32;
+            let base = 3 * i;
             cs.push(vec![base + 1, base + 2, base + 3]);
             // at most one color
             cs.push(vec![-(base + 1), -(base + 2)]);
@@ -551,8 +551,8 @@ mod tests {
             cs.push(vec![-(base + 2), -(base + 3)]);
         }
         for i in 0..n - 1 {
-            let a = 3 * i as i32;
-            let b = 3 * (i + 1) as i32;
+            let a = 3 * i;
+            let b = 3 * (i + 1);
             for c in 1..=3 {
                 cs.push(vec![-(a + c), -(b + c)]);
             }

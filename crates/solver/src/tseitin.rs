@@ -27,7 +27,10 @@ impl Encoder {
     /// `num_bound` is the inclusive upper end of every numeric atom's
     /// domain `[0, num_bound]`.
     pub fn new(num_bound: i64) -> Self {
-        Encoder { num_bound: num_bound.max(0), ..Default::default() }
+        Encoder {
+            num_bound: num_bound.max(0),
+            ..Default::default()
+        }
     }
 
     pub fn num_bound(&self) -> i64 {
@@ -129,14 +132,21 @@ impl Encoder {
                 let lits: Vec<Lit> = gs.iter().map(|g| self.encode(g)).collect();
                 self.gate_or(&lits)
             }
-            GroundFormula::CountCmp { atoms, offset, op, rhs } => {
-                let lits: Vec<Lit> =
-                    atoms.iter().map(|a| self.bool_var(a).positive()).collect();
+            GroundFormula::CountCmp {
+                atoms,
+                offset,
+                op,
+                rhs,
+            } => {
+                let lits: Vec<Lit> = atoms.iter().map(|a| self.bool_var(a).positive()).collect();
                 self.encode_count_cmp(&lits, *rhs - *offset, *op)
             }
-            GroundFormula::ValueCmp { atom, offset, op, rhs } => {
-                self.encode_value_cmp(atom, *rhs - *offset, *op)
-            }
+            GroundFormula::ValueCmp {
+                atom,
+                offset,
+                op,
+                rhs,
+            } => self.encode_value_cmp(atom, *rhs - *offset, *op),
         }
     }
 
@@ -190,7 +200,11 @@ impl Encoder {
                 } else {
                     self.lit_false()
                 };
-                let keep = if j - 1 < prev.len() { Some(prev[j - 1]) } else { None };
+                let keep = if j - 1 < prev.len() {
+                    Some(prev[j - 1])
+                } else {
+                    None
+                };
                 let lit = match keep {
                     Some(kp) => self.gate_or(&[kp, carry]),
                     None => carry,
@@ -338,8 +352,10 @@ mod tests {
 
     #[test]
     fn count_at_least_k_forces_atoms() {
-        let atoms =
-            vec![GroundAtom::new("p", vec![c("1")]), GroundAtom::new("p", vec![c("2")])];
+        let atoms = vec![
+            GroundAtom::new("p", vec![c("1")]),
+            GroundAtom::new("p", vec![c("2")]),
+        ];
         let mut e = Encoder::new(0);
         e.assert(&GroundFormula::CountCmp {
             atoms: atoms.clone(),
@@ -355,8 +371,9 @@ mod tests {
 
     #[test]
     fn count_eq_exact() {
-        let atoms: Vec<GroundAtom> =
-            (0..4).map(|i| GroundAtom::new("p", vec![c(&i.to_string())])).collect();
+        let atoms: Vec<GroundAtom> = (0..4)
+            .map(|i| GroundAtom::new("p", vec![c(&i.to_string())]))
+            .collect();
         let mut e = Encoder::new(0);
         e.assert(&GroundFormula::CountCmp {
             atoms: atoms.clone(),
@@ -383,8 +400,18 @@ mod tests {
         let a = atom("stock");
         let mut e = Encoder::new(5);
         // stock >= 3 and stock <= 2 → unsat
-        e.assert(&GroundFormula::ValueCmp { atom: a.clone(), offset: 0, op: CmpOp::Ge, rhs: 3 });
-        e.assert(&GroundFormula::ValueCmp { atom: a.clone(), offset: 0, op: CmpOp::Le, rhs: 2 });
+        e.assert(&GroundFormula::ValueCmp {
+            atom: a.clone(),
+            offset: 0,
+            op: CmpOp::Ge,
+            rhs: 3,
+        });
+        e.assert(&GroundFormula::ValueCmp {
+            atom: a.clone(),
+            offset: 0,
+            op: CmpOp::Le,
+            rhs: 2,
+        });
         assert!(solve(e).is_none());
     }
 
@@ -393,8 +420,18 @@ mod tests {
         let a = atom("stock");
         let mut e = Encoder::new(5);
         // stock + 3 <= 5  (i.e. stock <= 2), stock >= 2 → stock == 2
-        e.assert(&GroundFormula::ValueCmp { atom: a.clone(), offset: 3, op: CmpOp::Le, rhs: 5 });
-        e.assert(&GroundFormula::ValueCmp { atom: a.clone(), offset: 0, op: CmpOp::Ge, rhs: 2 });
+        e.assert(&GroundFormula::ValueCmp {
+            atom: a.clone(),
+            offset: 3,
+            op: CmpOp::Le,
+            rhs: 5,
+        });
+        e.assert(&GroundFormula::ValueCmp {
+            atom: a.clone(),
+            offset: 0,
+            op: CmpOp::Ge,
+            rhs: 2,
+        });
         let m = solve(e).expect("sat");
         // Decode value: count leading true order vars. Order vars for the
         // single numeric atom are vars 1..=5 in allocation order only if
@@ -408,7 +445,12 @@ mod tests {
     fn value_out_of_domain_is_false() {
         let a = atom("stock");
         let mut e = Encoder::new(3);
-        e.assert(&GroundFormula::ValueCmp { atom: a, offset: 0, op: CmpOp::Ge, rhs: 4 });
+        e.assert(&GroundFormula::ValueCmp {
+            atom: a,
+            offset: 0,
+            op: CmpOp::Ge,
+            rhs: 4,
+        });
         assert!(solve(e).is_none());
     }
 
@@ -418,7 +460,12 @@ mod tests {
         let b = atom("stock");
         let mut e = Encoder::new(4);
         e.assert(&GroundFormula::Atom(a.clone()));
-        e.assert(&GroundFormula::ValueCmp { atom: b.clone(), offset: 0, op: CmpOp::Eq, rhs: 3 });
+        e.assert(&GroundFormula::ValueCmp {
+            atom: b.clone(),
+            offset: 0,
+            op: CmpOp::Eq,
+            rhs: 3,
+        });
         let mut s = Solver::new();
         for cl in &e.cnf.clauses {
             s.add_clause(&cl.lits);

@@ -26,7 +26,7 @@ fn build_cnf(clauses: &[Vec<i32>], nvars: u32) -> Cnf {
     for c in clauses {
         let lits: Vec<Lit> = c
             .iter()
-            .map(|&x| Lit::new(SatVar((x.unsigned_abs() - 1) as u32), x > 0))
+            .map(|&x| Lit::new(SatVar(x.unsigned_abs() - 1), x > 0))
             .collect();
         cnf.add_clause(lits);
     }
@@ -68,12 +68,10 @@ proptest! {
 
 /// Random ground formulas with counting and numeric atoms.
 fn arb_ground_formula() -> impl Strategy<Value = GroundFormula> {
-    let atom = (0u8..5).prop_map(|i| {
-        GroundAtom::new("p", vec![Constant::new(format!("c{i}"), Sort::new("S"))])
-    });
-    let num_atom = (0u8..2).prop_map(|i| {
-        GroundAtom::new("v", vec![Constant::new(format!("n{i}"), Sort::new("S"))])
-    });
+    let atom = (0u8..5)
+        .prop_map(|i| GroundAtom::new("p", vec![Constant::new(format!("c{i}"), Sort::new("S"))]));
+    let num_atom = (0u8..2)
+        .prop_map(|i| GroundAtom::new("v", vec![Constant::new(format!("n{i}"), Sort::new("S"))]));
     let cmp = prop_oneof![
         Just(CmpOp::Le),
         Just(CmpOp::Lt),
@@ -88,7 +86,12 @@ fn arb_ground_formula() -> impl Strategy<Value = GroundFormula> {
             |(mut atoms, rhs, op)| {
                 atoms.sort();
                 atoms.dedup();
-                GroundFormula::CountCmp { atoms, offset: 0, op, rhs }
+                GroundFormula::CountCmp {
+                    atoms,
+                    offset: 0,
+                    op,
+                    rhs,
+                }
             }
         ),
         (num_atom, -1i64..6, cmp).prop_map(|(atom, rhs, op)| GroundFormula::ValueCmp {

@@ -195,8 +195,16 @@ pub enum SpecError {
     UnknownPredicate(String),
     UnknownSort(String),
     UnknownConstant(String),
-    ArityMismatch { pred: String, expected: usize, found: usize },
-    SortMismatch { pred: String, arg: String, expected: String },
+    ArityMismatch {
+        pred: String,
+        expected: usize,
+        found: usize,
+    },
+    SortMismatch {
+        pred: String,
+        arg: String,
+        expected: String,
+    },
     KindMismatch(String),
     NonUniversalInvariant(String),
     OpenInvariant(String),
@@ -211,10 +219,21 @@ impl fmt::Display for SpecError {
             SpecError::UnknownPredicate(p) => write!(f, "unknown predicate {p}"),
             SpecError::UnknownSort(s) => write!(f, "unknown sort {s}"),
             SpecError::UnknownConstant(c) => write!(f, "unknown named constant {c}"),
-            SpecError::ArityMismatch { pred, expected, found } => {
-                write!(f, "predicate {pred} expects {expected} arguments, found {found}")
+            SpecError::ArityMismatch {
+                pred,
+                expected,
+                found,
+            } => {
+                write!(
+                    f,
+                    "predicate {pred} expects {expected} arguments, found {found}"
+                )
             }
-            SpecError::SortMismatch { pred, arg, expected } => {
+            SpecError::SortMismatch {
+                pred,
+                arg,
+                expected,
+            } => {
                 write!(f, "argument {arg} of {pred} should have sort {expected}")
             }
             SpecError::KindMismatch(p) => {
@@ -228,7 +247,10 @@ impl fmt::Display for SpecError {
                 write!(f, "operation {op} has duplicate parameter {p}")
             }
             SpecError::UnboundEffectVar(op, v) => {
-                write!(f, "effect of operation {op} uses variable {v} that is not a parameter")
+                write!(
+                    f,
+                    "effect of operation {op} uses variable {v} that is not a parameter"
+                )
             }
             SpecError::Parse(m) => write!(f, "parse error: {m}"),
         }
@@ -269,14 +291,20 @@ mod tests {
     fn unknown_predicate_rejected() {
         let mut spec = tiny_spec();
         spec.invariants.push(Formula::atom("ghost", vec![]));
-        assert_eq!(spec.validate(), Err(SpecError::UnknownPredicate("ghost".into())));
+        assert_eq!(
+            spec.validate(),
+            Err(SpecError::UnknownPredicate("ghost".into()))
+        );
     }
 
     #[test]
     fn arity_mismatch_rejected() {
         let mut spec = tiny_spec();
         spec.invariants.push(Formula::atom("player", vec![]));
-        assert!(matches!(spec.validate(), Err(SpecError::ArityMismatch { .. })));
+        assert!(matches!(
+            spec.validate(),
+            Err(SpecError::ArityMismatch { .. })
+        ));
     }
 
     #[test]
@@ -286,7 +314,10 @@ mod tests {
         spec.operations[0]
             .effects
             .push(Effect::set_true(Atom::new("player", vec![ghost.into()])));
-        assert!(matches!(spec.validate(), Err(SpecError::UnboundEffectVar(..))));
+        assert!(matches!(
+            spec.validate(),
+            Err(SpecError::UnboundEffectVar(..))
+        ));
     }
 
     #[test]

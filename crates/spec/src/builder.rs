@@ -50,7 +50,10 @@ pub struct AppSpecBuilder {
 
 impl AppSpecBuilder {
     pub fn new(name: impl Into<Symbol>) -> Self {
-        AppSpecBuilder { name: name.into(), ..Default::default() }
+        AppSpecBuilder {
+            name: name.into(),
+            ..Default::default()
+        }
     }
 
     pub fn sort(mut self, name: &str) -> Self {
@@ -104,9 +107,15 @@ impl AppSpecBuilder {
         params: &[(&str, &str)],
         f: impl FnOnce(OperationBuilder) -> OperationBuilder,
     ) -> Self {
-        let vars: Vec<Var> =
-            params.iter().map(|(n, s)| Var::new(*n, Sort::new(*s))).collect();
-        let ob = f(OperationBuilder { params: vars.clone(), effects: Vec::new(), errors: vec![] });
+        let vars: Vec<Var> = params
+            .iter()
+            .map(|(n, s)| Var::new(*n, Sort::new(*s)))
+            .collect();
+        let ob = f(OperationBuilder {
+            params: vars.clone(),
+            effects: Vec::new(),
+            errors: vec![],
+        });
         self.errors.extend(ob.errors);
         self.operations.push(Operation::new(name, vars, ob.effects));
         self

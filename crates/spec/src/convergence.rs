@@ -73,7 +73,10 @@ impl ConvergenceRules {
 
     /// The policy for a predicate (default: add-wins).
     pub fn policy(&self, pred: &Symbol) -> ConvergencePolicy {
-        self.rules.get(pred).copied().unwrap_or(ConvergencePolicy::AddWins)
+        self.rules
+            .get(pred)
+            .copied()
+            .unwrap_or(ConvergencePolicy::AddWins)
     }
 
     /// Whether an explicit rule was given for this predicate.
@@ -106,7 +109,10 @@ mod tests {
     #[test]
     fn default_policy_is_add_wins() {
         let rules = ConvergenceRules::new();
-        assert_eq!(rules.policy(&Symbol::new("anything")), ConvergencePolicy::AddWins);
+        assert_eq!(
+            rules.policy(&Symbol::new("anything")),
+            ConvergencePolicy::AddWins
+        );
         assert!(!rules.has_explicit(&Symbol::new("anything")));
     }
 
@@ -115,9 +121,15 @@ mod tests {
         let rules = ConvergenceRules::new()
             .with("enrolled", ConvergencePolicy::RemWins)
             .with("tournament", ConvergencePolicy::AddWins);
-        assert_eq!(rules.policy(&Symbol::new("enrolled")), ConvergencePolicy::RemWins);
+        assert_eq!(
+            rules.policy(&Symbol::new("enrolled")),
+            ConvergencePolicy::RemWins
+        );
         assert!(rules.has_explicit(&Symbol::new("enrolled")));
-        assert_eq!(rules.to_string(), "{enrolled: rem-wins, tournament: add-wins}");
+        assert_eq!(
+            rules.to_string(),
+            "{enrolled: rem-wins, tournament: add-wins}"
+        );
     }
 
     #[test]

@@ -6,9 +6,9 @@
 //! increments/decrements a numeric predicate. Effect arguments may include
 //! the wildcard `*` for "every element" semantics (`enrolled(*, t) = false`).
 
+use crate::formula::Substitution;
 use crate::interp::{GroundAtom, Interpretation};
 use crate::predicate::Atom;
-use crate::formula::Substitution;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -60,26 +60,41 @@ pub struct Effect {
 
 impl Effect {
     pub fn set_true(atom: Atom) -> Self {
-        Effect { atom, kind: EffectKind::SetTrue }
+        Effect {
+            atom,
+            kind: EffectKind::SetTrue,
+        }
     }
 
     pub fn set_false(atom: Atom) -> Self {
-        Effect { atom, kind: EffectKind::SetFalse }
+        Effect {
+            atom,
+            kind: EffectKind::SetFalse,
+        }
     }
 
     pub fn inc(atom: Atom, k: i64) -> Self {
-        Effect { atom, kind: EffectKind::Inc(k) }
+        Effect {
+            atom,
+            kind: EffectKind::Inc(k),
+        }
     }
 
     pub fn dec(atom: Atom, k: i64) -> Self {
-        Effect { atom, kind: EffectKind::Dec(k) }
+        Effect {
+            atom,
+            kind: EffectKind::Dec(k),
+        }
     }
 
     /// Ground the effect by substituting operation parameters with constants.
     /// Wildcards are preserved (they are resolved against a universe when
     /// the effect is applied or encoded).
     pub fn substitute(&self, s: &Substitution) -> Effect {
-        Effect { atom: self.atom.substitute(s), kind: self.kind }
+        Effect {
+            atom: self.atom.substitute(s),
+            kind: self.kind,
+        }
     }
 
     /// The boolean value this effect writes, if it is a boolean effect.
@@ -127,7 +142,10 @@ impl GroundEffect {
         if e.atom.vars().next().is_some() {
             return None;
         }
-        Some(GroundEffect { atom: e.atom.clone(), kind: e.kind })
+        Some(GroundEffect {
+            atom: e.atom.clone(),
+            kind: e.kind,
+        })
     }
 
     /// Enumerate the fully ground atoms this effect writes, resolving
@@ -151,7 +169,14 @@ impl GroundEffect {
 
 impl fmt::Display for GroundEffect {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}", Effect { atom: self.atom.clone(), kind: self.kind })
+        write!(
+            f,
+            "{}",
+            Effect {
+                atom: self.atom.clone(),
+                kind: self.kind
+            }
+        )
     }
 }
 
@@ -221,26 +246,55 @@ mod tests {
     #[test]
     fn apply_wildcard_clear() {
         let mut m = Interpretation::new();
-        m.set_bool(GroundAtom::new("enrolled", vec![player("P1"), tourn("T1")]), true);
-        m.set_bool(GroundAtom::new("enrolled", vec![player("P2"), tourn("T1")]), true);
-        m.set_bool(GroundAtom::new("enrolled", vec![player("P1"), tourn("T2")]), true);
+        m.set_bool(
+            GroundAtom::new("enrolled", vec![player("P1"), tourn("T1")]),
+            true,
+        );
+        m.set_bool(
+            GroundAtom::new("enrolled", vec![player("P2"), tourn("T1")]),
+            true,
+        );
+        m.set_bool(
+            GroundAtom::new("enrolled", vec![player("P1"), tourn("T2")]),
+            true,
+        );
         // enrolled(*, T1) := false — the paper's Fig. 2c resolution.
         let e = GroundEffect {
             atom: Atom::new("enrolled", vec![Term::Wildcard, Term::Const(tourn("T1"))]),
             kind: EffectKind::SetFalse,
         };
         e.apply(&mut m);
-        assert!(!m.get_bool(&GroundAtom::new("enrolled", vec![player("P1"), tourn("T1")])));
-        assert!(!m.get_bool(&GroundAtom::new("enrolled", vec![player("P2"), tourn("T1")])));
-        assert!(m.get_bool(&GroundAtom::new("enrolled", vec![player("P1"), tourn("T2")])));
+        assert!(!m.get_bool(&GroundAtom::new(
+            "enrolled",
+            vec![player("P1"), tourn("T1")]
+        )));
+        assert!(!m.get_bool(&GroundAtom::new(
+            "enrolled",
+            vec![player("P2"), tourn("T1")]
+        )));
+        assert!(m.get_bool(&GroundAtom::new(
+            "enrolled",
+            vec![player("P1"), tourn("T2")]
+        )));
     }
 
     #[test]
     fn numeric_effects_accumulate() {
         let mut m = Interpretation::new();
-        let stock = Atom::new("stock", vec![Term::Const(Constant::new("I", Sort::new("Item")))]);
-        GroundEffect { atom: stock.clone(), kind: EffectKind::Inc(5) }.apply(&mut m);
-        GroundEffect { atom: stock.clone(), kind: EffectKind::Dec(2) }.apply(&mut m);
+        let stock = Atom::new(
+            "stock",
+            vec![Term::Const(Constant::new("I", Sort::new("Item")))],
+        );
+        GroundEffect {
+            atom: stock.clone(),
+            kind: EffectKind::Inc(5),
+        }
+        .apply(&mut m);
+        GroundEffect {
+            atom: stock.clone(),
+            kind: EffectKind::Dec(2),
+        }
+        .apply(&mut m);
         let ga = GroundAtom::from_atom(&stock).unwrap();
         assert_eq!(m.get_num(&ga), 3);
     }

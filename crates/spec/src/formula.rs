@@ -174,6 +174,9 @@ impl Formula {
         Formula::Atom(Atom::new(pred, args))
     }
 
+    // An AST constructor (used point-free, e.g. `prop_map(Self::not)`),
+    // not a negation of `self`; `ops::Not` would take `self` by value.
+    #[allow(clippy::should_implement_trait)]
     pub fn not(f: Formula) -> Formula {
         Formula::Not(Box::new(f))
     }
@@ -262,8 +265,11 @@ impl Formula {
                 r.collect_free_vars(bound, out);
             }
             Formula::Forall(vs, f) | Formula::Exists(vs, f) => {
-                let newly: Vec<Var> =
-                    vs.iter().filter(|v| bound.insert((*v).clone())).cloned().collect();
+                let newly: Vec<Var> = vs
+                    .iter()
+                    .filter(|v| bound.insert((*v).clone()))
+                    .cloned()
+                    .collect();
                 f.collect_free_vars(bound, out);
                 for v in newly {
                     bound.remove(&v);
@@ -379,8 +385,10 @@ impl Formula {
     /// variable. Used by tests; the solver's grounder performs the full
     /// cartesian instantiation.
     pub fn instantiate(&self, bindings: &[(Var, Constant)]) -> Formula {
-        let s: Substitution =
-            bindings.iter().map(|(v, c)| (v.clone(), Term::Const(c.clone()))).collect();
+        let s: Substitution = bindings
+            .iter()
+            .map(|(v, c)| (v.clone(), Term::Const(c.clone())))
+            .collect();
         match self {
             Formula::Forall(_, body) => body.substitute(&s),
             other => other.substitute(&s),
@@ -444,7 +452,10 @@ impl Formula {
 }
 
 fn shadowed(s: &Substitution, bound: &[Var]) -> Substitution {
-    s.iter().filter(|(v, _)| !bound.contains(v)).map(|(v, t)| (v.clone(), t.clone())).collect()
+    s.iter()
+        .filter(|(v, _)| !bound.contains(v))
+        .map(|(v, t)| (v.clone(), t.clone()))
+        .collect()
 }
 
 impl fmt::Display for Formula {
@@ -541,7 +552,10 @@ mod tests {
         assert!(ref_integrity().is_universal_clause());
         let nested = Formula::forall(
             vec![pv()],
-            Formula::exists(vec![tv()], Formula::atom("enrolled", vec![pv().into(), tv().into()])),
+            Formula::exists(
+                vec![tv()],
+                Formula::atom("enrolled", vec![pv().into(), tv().into()]),
+            ),
         );
         assert!(!nested.is_universal_clause());
     }
@@ -573,10 +587,19 @@ mod tests {
     #[test]
     fn substitution_shadowing() {
         let p = pv();
-        let inner = Formula::forall(vec![p.clone()], Formula::atom("player", vec![p.clone().into()]));
-        let outer = Formula::and([Formula::atom("player", vec![p.clone().into()]), inner.clone()]);
+        let inner = Formula::forall(
+            vec![p.clone()],
+            Formula::atom("player", vec![p.clone().into()]),
+        );
+        let outer = Formula::and([
+            Formula::atom("player", vec![p.clone().into()]),
+            inner.clone(),
+        ]);
         let mut s = Substitution::new();
-        s.insert(p.clone(), Term::Const(Constant::new("P1", Sort::new("Player"))));
+        s.insert(
+            p.clone(),
+            Term::Const(Constant::new("P1", Sort::new("Player"))),
+        );
         let result = outer.substitute(&s);
         // Outer occurrence substituted, bound occurrence untouched.
         let txt = result.to_string();
@@ -591,7 +614,10 @@ mod tests {
             (pv(), Constant::new("P1", Sort::new("Player"))),
             (tv(), Constant::new("T1", Sort::new("Tournament"))),
         ]);
-        assert_eq!(g.to_string(), "(enrolled(P1, T1) => (player(P1) and tournament(T1)))");
+        assert_eq!(
+            g.to_string(),
+            "(enrolled(P1, T1) => (player(P1) and tournament(T1)))"
+        );
         assert!(g.free_vars().is_empty());
     }
 
@@ -608,7 +634,10 @@ mod tests {
         );
         assert!(f.has_numeric_atom());
         assert!(f.is_universal_clause());
-        assert_eq!(f.to_string(), "forall(Tournament: t) :- #enrolled(*, t) <= Capacity");
+        assert_eq!(
+            f.to_string(),
+            "forall(Tournament: t) :- #enrolled(*, t) <= Capacity"
+        );
     }
 
     #[test]

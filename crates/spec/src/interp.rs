@@ -25,7 +25,10 @@ pub struct GroundAtom {
 
 impl GroundAtom {
     pub fn new(pred: impl Into<Symbol>, args: Vec<Constant>) -> Self {
-        GroundAtom { pred: pred.into(), args }
+        GroundAtom {
+            pred: pred.into(),
+            args,
+        }
     }
 
     /// Convert an [`Atom`] whose arguments are all constants.
@@ -38,7 +41,10 @@ impl GroundAtom {
                 _ => return None,
             }
         }
-        Some(GroundAtom { pred: atom.pred.clone(), args })
+        Some(GroundAtom {
+            pred: atom.pred.clone(),
+            args,
+        })
     }
 
     /// Does this ground atom match an atom pattern that may contain
@@ -54,7 +60,10 @@ impl GroundAtom {
     }
 
     pub fn to_atom(&self) -> Atom {
-        Atom::new(self.pred.clone(), self.args.iter().cloned().map(Term::Const).collect())
+        Atom::new(
+            self.pred.clone(),
+            self.args.iter().cloned().map(Term::Const).collect(),
+        )
     }
 }
 
@@ -237,7 +246,9 @@ impl Interpretation {
     pub fn eval_num(&self, e: &NumExpr) -> Result<i64, EvalError> {
         match e {
             NumExpr::Const(k) => Ok(*k),
-            NumExpr::Named(n) => self.get_named(n).ok_or_else(|| EvalError::Unknown(n.clone())),
+            NumExpr::Named(n) => self
+                .get_named(n)
+                .ok_or_else(|| EvalError::Unknown(n.clone())),
             NumExpr::Value(a) => {
                 let ga = GroundAtom::from_atom(a).ok_or_else(|| EvalError::open(a))?;
                 Ok(self.get_num(&ga))
@@ -246,7 +257,10 @@ impl Interpretation {
                 if pattern.vars().next().is_some() {
                     return Err(EvalError::open(pattern));
                 }
-                Ok(self.true_atoms().filter(|ga| ga.matches_pattern(pattern)).count() as i64)
+                Ok(self
+                    .true_atoms()
+                    .filter(|ga| ga.matches_pattern(pattern))
+                    .count() as i64)
             }
             NumExpr::Add(l, r) => Ok(self.eval_num(l)? + self.eval_num(r)?),
             NumExpr::Sub(l, r) => Ok(self.eval_num(l)? - self.eval_num(r)?),
@@ -360,9 +374,15 @@ mod tests {
     fn empty_universe_quantifiers() {
         let m = Interpretation::new();
         let p = Var::new("p", Sort::new("Player"));
-        let fa = Formula::forall(vec![p.clone()], Formula::atom("player", vec![p.clone().into()]));
+        let fa = Formula::forall(
+            vec![p.clone()],
+            Formula::atom("player", vec![p.clone().into()]),
+        );
         let ex = Formula::exists(vec![p.clone()], Formula::atom("player", vec![p.into()]));
-        assert!(m.eval(&fa).unwrap(), "forall over empty universe is vacuous");
+        assert!(
+            m.eval(&fa).unwrap(),
+            "forall over empty universe is vacuous"
+        );
         assert!(!m.eval(&ex).unwrap(), "exists over empty universe is false");
     }
 
@@ -372,8 +392,7 @@ mod tests {
         m.set_bool(enrolled("P1", "T1"), true);
         m.set_bool(enrolled("P2", "T1"), true);
         m.set_bool(enrolled("P3", "T2"), true);
-        let count =
-            NumExpr::count("enrolled", vec![Term::Wildcard, Term::Const(tourn("T1"))]);
+        let count = NumExpr::count("enrolled", vec![Term::Wildcard, Term::Const(tourn("T1"))]);
         assert_eq!(m.eval_num(&count).unwrap(), 2);
         let all = NumExpr::count("enrolled", vec![Term::Wildcard, Term::Wildcard]);
         assert_eq!(m.eval_num(&all).unwrap(), 3);
@@ -420,15 +439,9 @@ mod tests {
     #[test]
     fn pattern_matching() {
         let ga = enrolled("P1", "T1");
-        let pat_any = Atom::new(
-            "enrolled",
-            vec![Term::Wildcard, Term::Const(tourn("T1"))],
-        );
+        let pat_any = Atom::new("enrolled", vec![Term::Wildcard, Term::Const(tourn("T1"))]);
         assert!(ga.matches_pattern(&pat_any));
-        let pat_other = Atom::new(
-            "enrolled",
-            vec![Term::Wildcard, Term::Const(tourn("T2"))],
-        );
+        let pat_other = Atom::new("enrolled", vec![Term::Wildcard, Term::Const(tourn("T2"))]);
         assert!(!ga.matches_pattern(&pat_other));
     }
 }

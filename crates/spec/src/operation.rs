@@ -26,7 +26,12 @@ pub struct Operation {
 
 impl Operation {
     pub fn new(name: impl Into<Symbol>, params: Vec<Var>, effects: Vec<Effect>) -> Self {
-        Operation { name: name.into(), params, effects, added_effects: Vec::new() }
+        Operation {
+            name: name.into(),
+            params,
+            effects,
+            added_effects: Vec::new(),
+        }
     }
 
     /// All effects: original plus analysis-added, in application order.
@@ -114,9 +119,7 @@ impl Operation {
         for e in self.all_effects() {
             match e.kind {
                 EffectKind::SetTrue => conjuncts.push(Formula::Atom(e.atom.clone())),
-                EffectKind::SetFalse => {
-                    conjuncts.push(Formula::not(Formula::Atom(e.atom.clone())))
-                }
+                EffectKind::SetFalse => conjuncts.push(Formula::not(Formula::Atom(e.atom.clone()))),
                 // Numeric effects do not define a boolean post-state.
                 EffectKind::Inc(_) | EffectKind::Dec(_) => {}
             }
@@ -163,7 +166,10 @@ mod tests {
         Operation::new(
             "enroll",
             vec![p.clone(), t.clone()],
-            vec![Effect::set_true(Atom::new("enrolled", vec![p.into(), t.into()]))],
+            vec![Effect::set_true(Atom::new(
+                "enrolled",
+                vec![p.into(), t.into()],
+            ))],
         )
     }
 

@@ -32,7 +32,11 @@ use std::collections::HashMap;
 /// Parse a formula in the paper's annotation syntax.
 pub fn parse_formula(input: &str) -> Result<Formula, SpecError> {
     let tokens = lex(input)?;
-    let mut p = Parser { toks: &tokens, pos: 0, vars: HashMap::new() };
+    let mut p = Parser {
+        toks: &tokens,
+        pos: 0,
+        vars: HashMap::new(),
+    };
     let f = p.parse_formula()?;
     p.expect_eof()?;
     Ok(f)
@@ -48,7 +52,11 @@ pub fn parse_effect(input: &str, params: &[Var]) -> Result<crate::effects::Effec
     for v in params {
         vars.insert(v.name.clone(), v.clone());
     }
-    let mut p = Parser { toks: &tokens, pos: 0, vars };
+    let mut p = Parser {
+        toks: &tokens,
+        pos: 0,
+        vars,
+    };
     let atom = p.parse_pred_atom()?;
     let tok = p.next_tok()?.clone();
     let eff = match tok {
@@ -68,7 +76,11 @@ pub fn parse_effect(input: &str, params: &[Var]) -> Result<crate::effects::Effec
             let k = p.parse_number()?;
             Effect::dec(atom, k)
         }
-        other => return Err(err(format!("expected :=, += or -= after atom, got {other:?}"))),
+        other => {
+            return Err(err(format!(
+                "expected :=, += or -= after atom, got {other:?}"
+            )))
+        }
     };
     p.expect_eof()?;
     Ok(eff)
@@ -260,7 +272,10 @@ impl<'a> Parser<'a> {
     }
 
     fn next_tok(&mut self) -> Result<&Tok, SpecError> {
-        let t = self.toks.get(self.pos).ok_or_else(|| err("unexpected end of input".into()))?;
+        let t = self
+            .toks
+            .get(self.pos)
+            .ok_or_else(|| err("unexpected end of input".into()))?;
         self.pos += 1;
         Ok(t)
     }
@@ -287,7 +302,10 @@ impl<'a> Parser<'a> {
         if self.pos == self.toks.len() {
             Ok(())
         } else {
-            Err(err(format!("trailing tokens starting at {:?}", self.toks[self.pos])))
+            Err(err(format!(
+                "trailing tokens starting at {:?}",
+                self.toks[self.pos]
+            )))
         }
     }
 
@@ -340,7 +358,11 @@ impl<'a> Parser<'a> {
                     self.expect(Tok::RParen)?;
                     break;
                 }
-                other => return Err(err(format!("expected identifier in forall(...), got {other:?}"))),
+                other => {
+                    return Err(err(format!(
+                        "expected identifier in forall(...), got {other:?}"
+                    )))
+                }
             }
         }
         if vars.is_empty() {
@@ -457,9 +479,12 @@ impl<'a> Parser<'a> {
     }
 
     fn parse_cmp_op(&mut self) -> Result<CmpOp, SpecError> {
-        let op = self
-            .peek_cmp_op()
-            .ok_or_else(|| err(format!("expected comparison operator, got {:?}", self.peek())))?;
+        let op = self.peek_cmp_op().ok_or_else(|| {
+            err(format!(
+                "expected comparison operator, got {:?}",
+                self.peek()
+            ))
+        })?;
         self.pos += 1;
         Ok(op)
     }
@@ -522,7 +547,9 @@ impl<'a> Parser<'a> {
                 if self.peek() == Some(&Tok::LParen) {
                     self.parse_atom_args(name)
                 } else {
-                    Err(err(format!("predicate {name} must be applied to arguments")))
+                    Err(err(format!(
+                        "predicate {name} must be applied to arguments"
+                    )))
                 }
             }
             other => Err(err(format!("expected predicate name, got {other:?}"))),
@@ -601,7 +628,10 @@ mod tests {
     fn parse_numeric_aggregation() {
         let f = parse_formula("forall(Tournament: t) :- #enrolled(*, t) <= Capacity").unwrap();
         assert!(f.has_numeric_atom());
-        assert_eq!(f.to_string(), "forall(Tournament: t) :- #enrolled(*, t) <= Capacity");
+        assert_eq!(
+            f.to_string(),
+            "forall(Tournament: t) :- #enrolled(*, t) <= Capacity"
+        );
     }
 
     #[test]
@@ -612,11 +642,11 @@ mod tests {
 
     #[test]
     fn parse_disjunction_and_not() {
-        let f = parse_formula(
-            "forall(Tournament: t) :- not(active(t) and finished(t))",
-        )
-        .unwrap();
-        assert_eq!(f.to_string(), "forall(Tournament: t) :- not((active(t) and finished(t)))");
+        let f = parse_formula("forall(Tournament: t) :- not(active(t) and finished(t))").unwrap();
+        assert_eq!(
+            f.to_string(),
+            "forall(Tournament: t) :- not((active(t) and finished(t)))"
+        );
         let g = parse_formula(
             "forall(Player: p, q, Tournament: t) :- inMatch(p, q, t) => enrolled(p, t) and enrolled(q, t) and (active(t) or finished(t))",
         )
@@ -629,7 +659,10 @@ mod tests {
         let f = parse_formula("forall(Tournament: t) :- active(t) => finished(t) => tournament(t)")
             .unwrap();
         let txt = f.to_string();
-        assert!(txt.contains("(active(t) => (finished(t) => tournament(t)))"), "{txt}");
+        assert!(
+            txt.contains("(active(t) => (finished(t) => tournament(t)))"),
+            "{txt}"
+        );
     }
 
     #[test]

@@ -28,11 +28,19 @@ pub struct PredicateDecl {
 
 impl PredicateDecl {
     pub fn boolean(name: impl Into<Symbol>, params: Vec<Sort>) -> Self {
-        PredicateDecl { name: name.into(), params, kind: PredicateKind::Bool }
+        PredicateDecl {
+            name: name.into(),
+            params,
+            kind: PredicateKind::Bool,
+        }
     }
 
     pub fn numeric(name: impl Into<Symbol>, params: Vec<Sort>) -> Self {
-        PredicateDecl { name: name.into(), params, kind: PredicateKind::Numeric }
+        PredicateDecl {
+            name: name.into(),
+            params,
+            kind: PredicateKind::Numeric,
+        }
     }
 
     pub fn arity(&self) -> usize {
@@ -68,7 +76,10 @@ pub struct Atom {
 
 impl Atom {
     pub fn new(pred: impl Into<Symbol>, args: Vec<Term>) -> Self {
-        Atom { pred: pred.into(), args }
+        Atom {
+            pred: pred.into(),
+            args,
+        }
     }
 
     /// All variables occurring in the atom's arguments (with duplicates).

@@ -47,7 +47,10 @@ pub struct Var {
 
 impl Var {
     pub fn new(name: impl Into<Symbol>, sort: impl Into<Sort>) -> Self {
-        Var { name: name.into(), sort: sort.into() }
+        Var {
+            name: name.into(),
+            sort: sort.into(),
+        }
     }
 }
 
@@ -74,7 +77,10 @@ pub struct Constant {
 
 impl Constant {
     pub fn new(name: impl Into<Symbol>, sort: impl Into<Sort>) -> Self {
-        Constant { name: name.into(), sort: sort.into() }
+        Constant {
+            name: name.into(),
+            sort: sort.into(),
+        }
     }
 }
 

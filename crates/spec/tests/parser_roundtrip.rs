@@ -17,7 +17,10 @@ fn arb_body() -> impl Strategy<Value = Formula> {
     let atom = prop_oneof![
         Just(Formula::atom("player", vec![p.clone().into()])),
         Just(Formula::atom("tournament", vec![t.clone().into()])),
-        Just(Formula::atom("enrolled", vec![p.clone().into(), t.clone().into()])),
+        Just(Formula::atom(
+            "enrolled",
+            vec![p.clone().into(), t.clone().into()]
+        )),
         Just(Formula::cmp(
             NumExpr::count("enrolled", vec![Term::Wildcard, t.clone().into()]),
             CmpOp::Le,

@@ -62,8 +62,14 @@ mod tests {
         assert!(!b.deliverable_at(&clock(&[(0, 3)])));
         assert!(!b.deliverable_at(&clock(&[(0, 2), (1, 1)])));
         assert!(b.deliverable_at(&clock(&[(0, 3), (1, 1)])));
-        assert!(b.deliverable_at(&clock(&[(0, 5), (1, 1)])), "extra knowledge is fine");
-        assert!(!b.deliverable_at(&clock(&[(0, 3), (1, 2)])), "already applied seq");
+        assert!(
+            b.deliverable_at(&clock(&[(0, 5), (1, 1)])),
+            "extra knowledge is fine"
+        );
+        assert!(
+            !b.deliverable_at(&clock(&[(0, 3), (1, 2)])),
+            "already applied seq"
+        );
     }
 
     #[test]

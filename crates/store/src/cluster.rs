@@ -153,12 +153,16 @@ mod tests {
         for i in 0..2u16 {
             let rep = cluster.replica(ReplicaId(i));
             assert_eq!(
-                rep.object(&"aw".into()).unwrap().set_contains(&Val::str("x")),
+                rep.object(&"aw".into())
+                    .unwrap()
+                    .set_contains(&Val::str("x")),
                 Some(true),
                 "add-wins keeps the element"
             );
             assert_eq!(
-                rep.object(&"rw".into()).unwrap().set_contains(&Val::str("x")),
+                rep.object(&"rw".into())
+                    .unwrap()
+                    .set_contains(&Val::str("x")),
                 Some(false),
                 "rem-wins drops the element"
             );

@@ -144,11 +144,11 @@ impl Replica {
 
     fn drain_pending(&mut self) -> usize {
         let mut applied = 0;
-        loop {
-            let Some(idx) = self.pending.iter().position(|b| b.deliverable_at(&self.clock))
-            else {
-                break;
-            };
+        while let Some(idx) = self
+            .pending
+            .iter()
+            .position(|b| b.deliverable_at(&self.clock))
+        {
             let batch = self.pending.swap_remove(idx);
             self.apply_batch(&batch);
             self.lamport = self.lamport.max(batch.lamport);
@@ -236,7 +236,8 @@ impl Replica {
             }
             None => {
                 self.kinds.insert(key.clone(), kind);
-                self.objects.insert(key.clone(), Object::new(kind, creation_owner()));
+                self.objects
+                    .insert(key.clone(), Object::new(kind, creation_owner()));
                 Ok(())
             }
         }
@@ -267,12 +268,20 @@ mod tests {
         tx.aw_add("set", Val::str("x")).unwrap();
         tx.commit();
         assert_eq!(a.stats.commits, 1);
-        assert!(a.object(&"set".into()).unwrap().set_contains(&Val::str("x")).unwrap());
+        assert!(a
+            .object(&"set".into())
+            .unwrap()
+            .set_contains(&Val::str("x"))
+            .unwrap());
 
         for batch in a.take_outbox() {
             assert_eq!(b.receive(batch), 1);
         }
-        assert!(b.object(&"set".into()).unwrap().set_contains(&Val::str("x")).unwrap());
+        assert!(b
+            .object(&"set".into())
+            .unwrap()
+            .set_contains(&Val::str("x"))
+            .unwrap());
         assert_eq!(a.clock(), b.clock());
     }
 
@@ -312,7 +321,14 @@ mod tests {
         let batch = a.take_outbox().pop().unwrap();
         assert_eq!(b.receive(batch.clone()), 1);
         assert_eq!(b.receive(batch), 0, "duplicate must be dropped");
-        assert_eq!(b.object(&"c".into()).unwrap().as_pncounter().unwrap().value(), 5);
+        assert_eq!(
+            b.object(&"c".into())
+                .unwrap()
+                .as_pncounter()
+                .unwrap()
+                .value(),
+            5
+        );
     }
 
     #[test]
@@ -371,7 +387,10 @@ mod tests {
             a.receive(batch);
         }
         let frontier = a.stability_frontier(&replicas);
-        assert!(frontier.get(r(0)) >= 2, "A's two commits are stable: {frontier}");
+        assert!(
+            frontier.get(r(0)) >= 2,
+            "A's two commits are stable: {frontier}"
+        );
         let before = a
             .object(&"rw".into())
             .unwrap()
@@ -380,7 +399,12 @@ mod tests {
             .entry_count();
         assert_eq!(before, 2);
         a.run_gc(&replicas);
-        let after = a.object(&"rw".into()).unwrap().as_rwset().unwrap().entry_count();
+        let after = a
+            .object(&"rw".into())
+            .unwrap()
+            .as_rwset()
+            .unwrap()
+            .entry_count();
         assert_eq!(after, 0, "decided add/remove pair compacted away");
         assert_eq!(a.stats.gc_runs, 1);
     }
@@ -389,7 +413,9 @@ mod tests {
     fn ensure_object_kind_mismatch() {
         let mut a = Replica::new(r(0));
         a.ensure_object(&"k".into(), ObjectKind::AWSet).unwrap();
-        let err = a.ensure_object(&"k".into(), ObjectKind::PNCounter).unwrap_err();
+        let err = a
+            .ensure_object(&"k".into(), ObjectKind::PNCounter)
+            .unwrap_err();
         assert!(matches!(err, StoreError::KindMismatch { .. }));
     }
 }

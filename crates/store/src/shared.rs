@@ -16,7 +16,10 @@ pub struct SharedReplica {
 
 impl SharedReplica {
     pub fn new(id: ReplicaId) -> SharedReplica {
-        SharedReplica { inner: Arc::new(Mutex::new(Replica::new(id))), id }
+        SharedReplica {
+            inner: Arc::new(Mutex::new(Replica::new(id))),
+            id,
+        }
     }
 
     pub fn id(&self) -> ReplicaId {
@@ -56,7 +59,10 @@ mod tests {
             h.join().unwrap();
         }
         shared.with(|r| {
-            assert_eq!(r.object(&"set".into()).unwrap().as_awset().unwrap().len(), 100);
+            assert_eq!(
+                r.object(&"set".into()).unwrap().as_awset().unwrap().len(),
+                100
+            );
             assert_eq!(r.stats.commits, 100);
         });
     }

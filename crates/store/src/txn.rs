@@ -11,7 +11,7 @@ use crate::errors::StoreError;
 use crate::key::Key;
 use crate::replica::{creation_owner, Replica};
 use ipa_crdt::compset::CompensatedRead;
-use ipa_crdt::{Object, ObjectKind, ObjectOp, Val, ValPattern, VClock};
+use ipa_crdt::{Object, ObjectKind, ObjectOp, VClock, Val, ValPattern};
 use std::collections::HashMap;
 
 /// Result of a successful commit.
@@ -66,7 +66,8 @@ impl<'a> Transaction<'a> {
                 self.overlay.insert(key, (declared, obj.clone()));
             }
             None => {
-                self.overlay.insert(key, (kind, Object::new(kind, creation_owner())));
+                self.overlay
+                    .insert(key, (kind, Object::new(kind, creation_owner())));
             }
         }
         Ok(())
@@ -98,7 +99,10 @@ impl<'a> Transaction<'a> {
     fn push(&mut self, key: Key, op: ObjectOp) -> Result<(), StoreError> {
         let (kind, obj) = self.obj_mut(&key)?;
         let kind = *kind;
-        obj.apply(&op).map_err(|e| StoreError::WrongType { key: key.clone(), expected: e.expected })?;
+        obj.apply(&op).map_err(|e| StoreError::WrongType {
+            key: key.clone(),
+            expected: e.expected,
+        })?;
         self.updates.push((key, kind, op));
         Ok(())
     }
@@ -226,7 +230,9 @@ impl<'a> Transaction<'a> {
         let key = key.into();
         let origin = self.replica.id();
         let (_, obj) = self.obj_ref(&key)?;
-        let c = obj.as_pncounter().ok_or_else(|| wrong(&key, "pn-counter"))?;
+        let c = obj
+            .as_pncounter()
+            .ok_or_else(|| wrong(&key, "pn-counter"))?;
         let op = ObjectOp::PNCounter(c.prepare(origin, delta));
         self.push(key, op)
     }
@@ -235,7 +241,9 @@ impl<'a> Transaction<'a> {
         let key = key.into();
         let origin = self.replica.id();
         let (_, obj) = self.obj_ref(&key)?;
-        let c = obj.as_bcounter().ok_or_else(|| wrong(&key, "bounded-counter"))?;
+        let c = obj
+            .as_bcounter()
+            .ok_or_else(|| wrong(&key, "bounded-counter"))?;
         let op = ObjectOp::BCounter(c.prepare_inc(origin, n));
         self.push(key, op)
     }
@@ -246,7 +254,9 @@ impl<'a> Transaction<'a> {
         let key = key.into();
         let origin = self.replica.id();
         let (_, obj) = self.obj_ref(&key)?;
-        let c = obj.as_bcounter().ok_or_else(|| wrong(&key, "bounded-counter"))?;
+        let c = obj
+            .as_bcounter()
+            .ok_or_else(|| wrong(&key, "bounded-counter"))?;
         let op = c
             .prepare_dec(origin, n)
             .ok_or_else(|| StoreError::InsufficientRights { key: key.clone() })?;
@@ -263,7 +273,9 @@ impl<'a> Transaction<'a> {
         let key = key.into();
         let origin = self.replica.id();
         let (_, obj) = self.obj_ref(&key)?;
-        let c = obj.as_bcounter().ok_or_else(|| wrong(&key, "bounded-counter"))?;
+        let c = obj
+            .as_bcounter()
+            .ok_or_else(|| wrong(&key, "bounded-counter"))?;
         let op = c
             .prepare_transfer(origin, to, n)
             .ok_or_else(|| StoreError::InsufficientRights { key: key.clone() })?;
@@ -298,7 +310,9 @@ impl<'a> Transaction<'a> {
         let key = key.into();
         let tag = self.replica.alloc_tag();
         let (_, obj) = self.obj_ref(&key)?;
-        let s = obj.as_compset().ok_or_else(|| wrong(&key, "compensation-set"))?;
+        let s = obj
+            .as_compset()
+            .ok_or_else(|| wrong(&key, "compensation-set"))?;
         let op = ObjectOp::CompSet(s.prepare_add(v, tag));
         self.push(key, op)
     }
@@ -312,11 +326,14 @@ impl<'a> Transaction<'a> {
         let key = key.into();
         let (kind, obj) = self.obj_mut(&key)?;
         let kind = *kind;
-        let s = obj.as_compset_mut().ok_or_else(|| wrong(&key, "compensation-set"))?;
+        let s = obj
+            .as_compset_mut()
+            .ok_or_else(|| wrong(&key, "compensation-set"))?;
         let read = s.read();
         if let Some(comp) = &read.compensation {
             s.apply(comp);
-            self.updates.push((key, kind, ObjectOp::CompSet(comp.clone())));
+            self.updates
+                .push((key, kind, ObjectOp::CompSet(comp.clone())));
             self.compensations += 1;
         }
         Ok(read)
@@ -385,7 +402,14 @@ impl<'a> Transaction<'a> {
     /// Commit: install the overlay and stage the batch. Read-only
     /// transactions commit without consuming a sequence number.
     pub fn commit(self) -> CommitInfo {
-        let Transaction { replica, overlay, updates, commit_clock, ts, compensations } = self;
+        let Transaction {
+            replica,
+            overlay,
+            updates,
+            commit_clock,
+            ts,
+            compensations,
+        } = self;
         if updates.is_empty() {
             // Read-only: nothing replicates; created (ensured) objects
             // still install locally so later transactions find them.
@@ -394,7 +418,11 @@ impl<'a> Transaction<'a> {
                     replica.insert_object(key, kind, obj);
                 }
             }
-            return CommitInfo { clock: replica.clock().clone(), updates: 0, compensations };
+            return CommitInfo {
+                clock: replica.clock().clone(),
+                updates: 0,
+                compensations,
+            };
         }
         let batch = UpdateBatch {
             origin: replica.id(),
@@ -420,12 +448,19 @@ impl<'a> Transaction<'a> {
             }
         }
         replica.commit_batch(batch);
-        CommitInfo { clock: commit_clock, updates: n, compensations }
+        CommitInfo {
+            clock: commit_clock,
+            updates: n,
+            compensations,
+        }
     }
 }
 
 fn wrong(key: &Key, expected: &'static str) -> StoreError {
-    StoreError::WrongType { key: key.clone(), expected }
+    StoreError::WrongType {
+        key: key.clone(),
+        expected,
+    }
 }
 
 #[cfg(test)]
@@ -444,9 +479,16 @@ mod tests {
         tx.ensure("s", ObjectKind::AWSet).unwrap();
         assert!(!tx.contains("s", &Val::str("x")).unwrap());
         tx.aw_add("s", Val::str("x")).unwrap();
-        assert!(tx.contains("s", &Val::str("x")).unwrap(), "read-your-writes");
+        assert!(
+            tx.contains("s", &Val::str("x")).unwrap(),
+            "read-your-writes"
+        );
         tx.commit();
-        assert!(r.object(&"s".into()).unwrap().set_contains(&Val::str("x")).unwrap());
+        assert!(r
+            .object(&"s".into())
+            .unwrap()
+            .set_contains(&Val::str("x"))
+            .unwrap());
     }
 
     #[test]
@@ -458,7 +500,10 @@ mod tests {
             tx.aw_add("s", Val::str("x")).unwrap();
             // dropped without commit
         }
-        assert!(r.object(&"s".into()).is_none(), "aborted txn leaves no trace");
+        assert!(
+            r.object(&"s".into()).is_none(),
+            "aborted txn leaves no trace"
+        );
         assert!(r.take_outbox().is_empty());
     }
 
@@ -491,8 +536,19 @@ mod tests {
         let batch = a.take_outbox().pop().unwrap();
         assert_eq!(batch.updates.len(), 2);
         b.receive(batch);
-        assert!(b.object(&"x".into()).unwrap().set_contains(&Val::str("e")).unwrap());
-        assert_eq!(b.object(&"y".into()).unwrap().as_pncounter().unwrap().value(), 7);
+        assert!(b
+            .object(&"x".into())
+            .unwrap()
+            .set_contains(&Val::str("e"))
+            .unwrap());
+        assert_eq!(
+            b.object(&"y".into())
+                .unwrap()
+                .as_pncounter()
+                .unwrap()
+                .value(),
+            7
+        );
     }
 
     #[test]
@@ -514,7 +570,14 @@ mod tests {
     fn escrow_dec_rejected_without_rights() {
         let mut r = Replica::new(ReplicaId(1)); // rights live at replica 0
         let mut tx = r.begin();
-        tx.ensure("b", ObjectKind::BCounter { floor: 0, initial: 5 }).unwrap();
+        tx.ensure(
+            "b",
+            ObjectKind::BCounter {
+                floor: 0,
+                initial: 5,
+            },
+        )
+        .unwrap();
         assert!(matches!(
             tx.bcounter_dec("b", 1),
             Err(StoreError::InsufficientRights { .. })
@@ -528,7 +591,8 @@ mod tests {
         // Oversell: capacity 1, two adds in separate transactions.
         for user in ["u1", "u2"] {
             let mut tx = a.begin();
-            tx.ensure("tickets", ObjectKind::CompSet { capacity: 1 }).unwrap();
+            tx.ensure("tickets", ObjectKind::CompSet { capacity: 1 })
+                .unwrap();
             tx.compset_add("tickets", Val::str(user)).unwrap();
             tx.commit();
         }
@@ -543,7 +607,14 @@ mod tests {
         for batch in a.take_outbox() {
             b.receive(batch);
         }
-        assert_eq!(b.object(&"tickets".into()).unwrap().as_compset().unwrap().raw_len(), 1);
+        assert_eq!(
+            b.object(&"tickets".into())
+                .unwrap()
+                .as_compset()
+                .unwrap()
+                .raw_len(),
+            1
+        );
     }
 
     #[test]
@@ -564,6 +635,9 @@ mod tests {
         for batch in b.take_outbox() {
             a.receive(batch);
         }
-        assert_eq!(a.object(&"reg".into()).unwrap().as_lww().unwrap().get(), Some(&Val::int(2)));
+        assert_eq!(
+            a.object(&"reg".into()).unwrap().as_lww().unwrap().get(),
+            Some(&Val::int(2))
+        );
     }
 }

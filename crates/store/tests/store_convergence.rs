@@ -21,8 +21,11 @@ enum Step {
 
 fn arb_steps() -> impl Strategy<Value = Vec<Step>> {
     let step = prop_oneof![
-        ((0u8..3), (0u8..5), (0u8..4))
-            .prop_map(|(replica, shape, item)| Step::Commit { replica, shape, item }),
+        ((0u8..3), (0u8..5), (0u8..4)).prop_map(|(replica, shape, item)| Step::Commit {
+            replica,
+            shape,
+            item
+        }),
         (0u8..3).prop_map(|to| Step::Deliver { to }),
         Just(Step::Flush),
     ];

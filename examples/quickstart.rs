@@ -27,7 +27,9 @@ fn main() {
         .invariant_str(
             "forall(Player: p, Tournament: t) :- enrolled(p,t) => player(p) and tournament(t)",
         )
-        .operation("add_player", &[("p", "Player")], |op| op.set_true("player", &["p"]))
+        .operation("add_player", &[("p", "Player")], |op| {
+            op.set_true("player", &["p"])
+        })
         .operation("add_tourn", &[("t", "Tournament")], |op| {
             op.set_true("tournament", &["t"])
         })
@@ -100,9 +102,7 @@ fn main() {
             .unwrap()
             .set_contains(&Val::str("open"))
             .unwrap();
-        println!(
-            "replica {id:?}: enrolled={enrolled} tournament-exists={tourn_alive}"
-        );
+        println!("replica {id:?}: enrolled={enrolled} tournament-exists={tourn_alive}");
         assert!(!enrolled || tourn_alive, "invariant preserved");
     }
     println!("\ninvariant preserved under concurrency — quickstart done.");

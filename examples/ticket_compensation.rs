@@ -48,11 +48,16 @@ fn main() {
         println!("  observed sold: {}", view.sold);
         println!("  oversold at read time: {}", view.oversold);
         if !view.cancelled.is_empty() {
-            println!("  compensation cancelled + reimbursed: {:?}", view.cancelled);
+            println!(
+                "  compensation cancelled + reimbursed: {:?}",
+                view.cancelled
+            );
         }
         match mode {
             Mode::Causal => println!("  → the invariant is silently violated.\n"),
-            _ => println!("  → the read repaired the state; every replica converges to one sale.\n"),
+            _ => {
+                println!("  → the read repaired the state; every replica converges to one sale.\n")
+            }
         }
     }
 }

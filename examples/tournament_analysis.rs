@@ -38,9 +38,7 @@ fn main() {
             println!("  {op}");
         }
     }
-    println!(
-        "\nflagged pairs require coordination or a different convergence-rule choice;"
-    );
+    println!("\nflagged pairs require coordination or a different convergence-rule choice;");
     println!(
         "the runtime resolves the flagged rem_tourn ∥ do_match pair with a rem-wins matches set."
     );

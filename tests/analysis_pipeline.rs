@@ -9,13 +9,20 @@ use ipa::apps::twitter::twitter_spec;
 use ipa::spec::AppSpec;
 
 fn analyze(spec: &AppSpec) -> ipa::analysis::AnalysisReport {
-    Analyzer::for_spec(spec).analyze(spec).expect("analysis succeeds")
+    Analyzer::for_spec(spec)
+        .analyze(spec)
+        .expect("analysis succeeds")
 }
 
 #[test]
 fn every_app_spec_analyzes_to_a_fixpoint() {
-    for spec in [tournament_spec(), twitter_spec(false), twitter_spec(true), ticket_spec(), tpc_spec()]
-    {
+    for spec in [
+        tournament_spec(),
+        twitter_spec(false),
+        twitter_spec(true),
+        ticket_spec(),
+        tpc_spec(),
+    ] {
         let report = analyze(&spec);
         assert!(report.converged, "{}: no fixpoint", spec.name);
         // Patched spec stays valid and re-analysis is stable.
@@ -31,9 +38,10 @@ fn twitter_add_wins_repairs_restore_entities() {
     // Under add-wins rules, some operation gains a restoring SetTrue
     // (e.g. retweet restores the tweet, matching §5.2.3's strategy).
     let restored = report.applied.iter().any(|a| {
-        a.resolution.added.iter().any(|e| {
-            matches!(e.kind, ipa::spec::EffectKind::SetTrue)
-        })
+        a.resolution
+            .added
+            .iter()
+            .any(|e| matches!(e.kind, ipa::spec::EffectKind::SetTrue))
     });
     assert!(restored || report.applied.is_empty(), "{report}");
 }
@@ -43,7 +51,10 @@ fn compensations_only_for_numeric_invariants() {
     let t = analyze(&tournament_spec());
     assert_eq!(t.compensations.len(), 1, "only the capacity constraint");
     let tw = analyze(&twitter_spec(false));
-    assert!(tw.compensations.is_empty(), "twitter has no numeric invariants");
+    assert!(
+        tw.compensations.is_empty(),
+        "twitter has no numeric invariants"
+    );
     let tpc = analyze(&tpc_spec());
     assert_eq!(tpc.compensations.len(), 1, "the stock invariant");
 }
@@ -60,10 +71,7 @@ fn table1_support_matrix_is_consistent_with_analysis() {
             let class = classify(inv);
             if class.ipa_support() == Support::Compensation {
                 assert!(
-                    report
-                        .compensations
-                        .iter()
-                        .any(|c| c.clause == *inv),
+                    report.compensations.iter().any(|c| c.clause == *inv),
                     "{}: clause `{inv}` should have a compensation",
                     spec.name
                 );

@@ -6,7 +6,9 @@
 
 use ipa::coord::{Mode as ResMode, ReservationTable, StrongCoordinator};
 use ipa::crdt::ObjectKind;
-use ipa::sim::{two_region_topology, ClientInfo, OpOutcome, SimConfig, SimCtx, Simulation, Workload};
+use ipa::sim::{
+    two_region_topology, ClientInfo, OpOutcome, SimConfig, SimCtx, Simulation, Workload,
+};
 
 /// A workload where region 1's ops need coordination according to mode,
 /// and the 0↔1 link dies mid-run.
@@ -72,7 +74,14 @@ impl Workload for PartitionProbe {
         if self.cut_done {
             self.ops_after_cut += 1;
         }
-        OpOutcome { label: "op1", objects: 1, updates: 1, extra_wan_ms: extra, ok: true, violations: 0 }
+        OpOutcome {
+            label: "op1",
+            objects: 1,
+            updates: 1,
+            extra_wan_ms: extra,
+            ok: true,
+            violations: 0,
+        }
     }
 }
 
@@ -101,7 +110,11 @@ fn run(mode: &'static str) -> PartitionProbe {
 #[test]
 fn ipa_stays_available_during_partition() {
     let probe = run("ipa");
-    assert!(probe.ops_after_cut > 50, "IPA keeps executing: {}", probe.ops_after_cut);
+    assert!(
+        probe.ops_after_cut > 50,
+        "IPA keeps executing: {}",
+        probe.ops_after_cut
+    );
     assert_eq!(probe.failures_after_cut, 0);
 }
 
@@ -121,6 +134,9 @@ fn indigo_remote_reservation_is_unavailable_during_partition() {
 #[test]
 fn strong_updates_are_unavailable_during_partition() {
     let probe = run("strong");
-    assert!(probe.failures_after_cut > 0, "Strong must fail when the primary is unreachable");
+    assert!(
+        probe.failures_after_cut > 0,
+        "Strong must fail when the primary is unreachable"
+    );
     assert_eq!(probe.ops_after_cut, 0);
 }

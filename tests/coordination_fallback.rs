@@ -6,9 +6,11 @@
 
 use ipa::analysis::Analyzer;
 use ipa::apps::tournament::tournament_spec;
-use ipa::coord::{coordination_plan, Mode as ResMode, ReservationTable, ReservationPlan};
+use ipa::coord::{coordination_plan, Mode as ResMode, ReservationPlan, ReservationTable};
 use ipa::crdt::ObjectKind;
-use ipa::sim::{two_region_topology, ClientInfo, OpOutcome, SimCtx, SimConfig, Simulation, Workload};
+use ipa::sim::{
+    two_region_topology, ClientInfo, OpOutcome, SimConfig, SimCtx, Simulation, Workload,
+};
 use ipa::spec::Symbol;
 use rand::Rng;
 
@@ -28,7 +30,10 @@ impl Workload for PlannedWorkload {
         // Alternate between a flagged op (rem_tourn / do_match) and an
         // unflagged one (enroll).
         let (op, flagged) = if ctx.rng().gen_bool(0.5) {
-            (Symbol::new(if region == 0 { "rem_tourn" } else { "do_match" }), true)
+            (
+                Symbol::new(if region == 0 { "rem_tourn" } else { "do_match" }),
+                true,
+            )
         } else {
             (Symbol::new("enroll"), false)
         };
@@ -77,7 +82,10 @@ impl Workload for PlannedWorkload {
 fn flagged_pair_is_serialized_by_the_derived_plan() {
     let spec = tournament_spec();
     let report = Analyzer::for_spec(&spec).analyze(&spec).expect("analysis");
-    assert!(!report.flagged.is_empty(), "rem_tourn ∥ do_match must be flagged");
+    assert!(
+        !report.flagged.is_empty(),
+        "rem_tourn ∥ do_match must be flagged"
+    );
     let plan = coordination_plan(&report);
 
     let cfg = SimConfig {
@@ -97,7 +105,10 @@ fn flagged_pair_is_serialized_by_the_derived_plan() {
     };
     sim.run(&mut w);
 
-    assert!(w.flagged_coordinated > 10, "flagged ops ran under reservations");
+    assert!(
+        w.flagged_coordinated > 10,
+        "flagged ops ran under reservations"
+    );
     assert!(w.unflagged_free > 10, "unflagged ops ran coordination-free");
     // The two regions contend for the same per-tournament token, so
     // exchanges must actually have happened (the serialization is real).

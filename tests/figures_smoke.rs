@@ -32,7 +32,11 @@ fn fig5_reports_all_operations_for_all_modes() {
     let t = figures::fig5::run(true);
     figures::fig5::print(&t);
     for op in figures::fig5::OPS {
-        for mode in [ipa::apps::Mode::Indigo, ipa::apps::Mode::Ipa, ipa::apps::Mode::Causal] {
+        for mode in [
+            ipa::apps::Mode::Indigo,
+            ipa::apps::Mode::Ipa,
+            ipa::apps::Mode::Causal,
+        ] {
             assert!(
                 t.cells.contains_key(&(op.to_string(), mode)),
                 "missing cell {op}/{mode}"
@@ -46,8 +50,16 @@ fn fig6_rem_wins_timeline_pays_the_read_tax() {
     let t = figures::fig6::run(true);
     figures::fig6::print(&t);
     use ipa::apps::twitter::runtime::Strategy;
-    let causal = t.cells.get(&("Timeline".into(), Strategy::Causal)).unwrap().0;
-    let rem = t.cells.get(&("Timeline".into(), Strategy::RemWins)).unwrap().0;
+    let causal = t
+        .cells
+        .get(&("Timeline".into(), Strategy::Causal))
+        .unwrap()
+        .0;
+    let rem = t
+        .cells
+        .get(&("Timeline".into(), Strategy::RemWins))
+        .unwrap()
+        .0;
     assert!(rem > causal, "rem-wins reads: {rem} vs {causal}");
 }
 
@@ -74,7 +86,10 @@ fn fig8_speedup_decays_with_updates() {
     let (top, bottom) = figures::fig8::run(true);
     figures::fig8::print(&top, &bottom);
     assert!(top.first().unwrap().speedup > top.last().unwrap().speedup);
-    assert!(top.first().unwrap().speedup > 10.0, "~28x in the paper, >10x here");
+    assert!(
+        top.first().unwrap().speedup > 10.0,
+        "~28x in the paper, >10x here"
+    );
     assert!(bottom.first().unwrap().speedup > bottom.last().unwrap().speedup);
 }
 
@@ -84,9 +99,14 @@ fn fig9_indigo_latency_rises_with_contention() {
     figures::fig9::print(&points);
     let ipa = points.iter().find(|p| p.contention_pct.is_none()).unwrap();
     let low = points.iter().find(|p| p.contention_pct == Some(0)).unwrap();
-    let high = points.iter().filter_map(|p| p.contention_pct.map(|c| (c, p.mean_ms)))
+    let high = points
+        .iter()
+        .filter_map(|p| p.contention_pct.map(|c| (c, p.mean_ms)))
         .max_by_key(|(c, _)| *c)
         .unwrap();
-    assert!((low.mean_ms - ipa.mean_ms).abs() < 3.0, "0% contention ≈ IPA");
+    assert!(
+        (low.mean_ms - ipa.mean_ms).abs() < 3.0,
+        "0% contention ≈ IPA"
+    );
     assert!(high.1 > low.mean_ms * 1.5, "latency rises with contention");
 }

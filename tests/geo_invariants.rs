@@ -26,8 +26,9 @@ fn tournament_causal_violates_ipa_preserves_across_seeds() {
         let mut w = TournamentWorkload::with_defaults(Mode::Causal);
         sim.run(&mut w);
         sim.quiesce();
-        causal_violations +=
-            (0..3).map(|r| tournament_violations(sim.replica(r))).sum::<u64>();
+        causal_violations += (0..3)
+            .map(|r| tournament_violations(sim.replica(r)))
+            .sum::<u64>();
 
         // IPA (same seed ⇒ same schedule shape).
         let mut sim = Simulation::new(paper_topology(), sim_cfg(seed));
@@ -43,7 +44,10 @@ fn tournament_causal_violates_ipa_preserves_across_seeds() {
             );
         }
     }
-    assert!(causal_violations > 0, "causal runs must exhibit the anomalies");
+    assert!(
+        causal_violations > 0,
+        "causal runs must exhibit the anomalies"
+    );
 }
 
 #[test]
@@ -55,17 +59,26 @@ fn tpc_causal_violates_ipa_preserves() {
         sim.run(&mut w);
         sim.quiesce();
         causal_total += sim.metrics.violations
-            + (0..3).map(|r| tpc_violations(sim.replica(r), w.products())).sum::<u64>();
+            + (0..3)
+                .map(|r| tpc_violations(sim.replica(r), w.products()))
+                .sum::<u64>();
 
         let mut sim = Simulation::new(paper_topology(), sim_cfg(seed));
         let mut w = TpcWorkload::with_defaults(Mode::Ipa);
         sim.run(&mut w);
         sim.quiesce();
-        assert_eq!(sim.metrics.violations, 0, "IPA reads never observe violations");
+        assert_eq!(
+            sim.metrics.violations, 0,
+            "IPA reads never observe violations"
+        );
         for r in 0..3 {
             // Referential integrity holds everywhere (stock residue is
             // repaired lazily by reads, so only orders are checked here).
-            assert_eq!(tpc_violations(sim.replica(r), &[]), 0, "seed {seed} replica {r}");
+            assert_eq!(
+                tpc_violations(sim.replica(r), &[]),
+                0,
+                "seed {seed} replica {r}"
+            );
         }
     }
     assert!(causal_total > 0, "causal TPC must exhibit anomalies");

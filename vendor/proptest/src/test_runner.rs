@@ -1,0 +1,59 @@
+//! Test-case plumbing used by the `proptest!` macro expansion.
+
+use std::fmt;
+
+pub use rand::rngs::StdRng as TestRng;
+
+/// Per-test RNG, seeded from the test name so every test gets a distinct
+/// but run-to-run deterministic stream.
+pub fn new_rng(test_name: &str) -> TestRng {
+    use rand::SeedableRng;
+    let mut seed = 0xcbf2_9ce4_8422_2325u64; // FNV-1a offset basis
+    for b in test_name.bytes() {
+        seed ^= u64::from(b);
+        seed = seed.wrapping_mul(0x100_0000_01b3);
+    }
+    TestRng::seed_from_u64(seed)
+}
+
+/// Runs one sampled case; exists so the macro expansion avoids an
+/// immediately-invoked closure literal.
+pub fn run_case(case: impl FnOnce() -> TestCaseResult) -> TestCaseResult {
+    case()
+}
+
+/// Subset of proptest's run configuration: just the case count.
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A failed test case (assertion message). No shrinking metadata.
+#[derive(Clone, Debug)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError(message.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+pub type TestCaseResult = Result<(), TestCaseError>;

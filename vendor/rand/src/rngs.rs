@@ -1,0 +1,27 @@
+//! Deterministic RNG implementations.
+
+use crate::{RngCore, SeedableRng};
+
+/// Stand-in for `rand::rngs::StdRng`: SplitMix64. Not cryptographically
+/// secure, but deterministic, fast, and statistically fine for the
+/// simulator and property tests (everything here seeds explicitly).
+#[derive(Clone, Debug)]
+pub struct StdRng {
+    state: u64,
+}
+
+impl RngCore for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(state: u64) -> Self {
+        StdRng { state }
+    }
+}

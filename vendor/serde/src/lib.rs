@@ -1,0 +1,22 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no registry access. The workspace only uses
+//! serde as a forward-compatibility marker — types derive `Serialize` /
+//! `Deserialize` but nothing serializes to a wire format yet — so this
+//! facade provides marker traits with blanket impls and re-exports no-op
+//! derive macros under the usual names. Swapping in the real serde later
+//! is a Cargo.toml-only change.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`; blanket-implemented for every
+/// type so `T: Serialize` bounds compile unchanged.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; blanket-implemented for
+/// every type so `T: Deserialize` bounds compile unchanged.
+pub trait Deserialize {}
+
+impl<T: ?Sized> Deserialize for T {}

@@ -1,0 +1,24 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The build environment has no registry access, so the workspace vendors
+//! a minimal serde facade. Nothing in the workspace serializes to an
+//! actual wire format yet; the derives only need to *exist* so that
+//! `#[derive(Serialize, Deserialize)]` compiles. The vendored `serde`
+//! crate blanket-implements both traits, so these derives expand to
+//! nothing.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` (including `#[serde(...)]` helper
+/// attributes) and expands to nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` (including `#[serde(...)]` helper
+/// attributes) and expands to nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
