@@ -24,6 +24,7 @@
 //!   integrity) + stock (numeric invariant, compensation restock).
 
 pub mod common;
+pub mod oracle;
 pub mod ticket;
 pub mod tournament;
 pub mod tpc;
@@ -31,3 +32,4 @@ pub mod twitter;
 pub mod violations;
 
 pub use common::Mode;
+pub use oracle::{AuditReport, Oracle, Phase};

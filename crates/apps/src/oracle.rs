@@ -1,0 +1,277 @@
+//! The invariant oracle: an explicit, named registry of every invariant
+//! each application promises, auditable against any replica at any
+//! point of a simulation.
+//!
+//! The paper distinguishes two repair disciplines, and the registry
+//! encodes them as audit phases:
+//!
+//! * [`Phase::Continuous`] — invariant-preserving effects (touches,
+//!   rem-wins resolutions) keep the invariant true in **every** causal
+//!   replica state, so these checks must pass at every audit point of an
+//!   IPA-mode run — including mid-run under drops, duplicates, reorders,
+//!   partitions, and crashes. Under Causal mode they are the anomaly
+//!   detectors.
+//! * [`Phase::Final`] — compensation-based invariants (§3.4: capacity /
+//!   numeric constraints repaired on read) may be transiently violated
+//!   by design; they are only required to hold after the compensations
+//!   have run to a fixpoint (quiescence + final repair sweep).
+//!
+//! The sim driver consumes an oracle through
+//! [`Oracle::into_continuous_auditor`], which plugs into
+//! [`ipa_sim::Simulation::set_auditor`] — so *any* simulation test gets
+//! continuous invariant checking for free.
+
+use crate::violations as v;
+use ipa_sim::{Auditor, Region};
+use ipa_store::Replica;
+use std::fmt;
+use std::rc::Rc;
+
+/// When a check is required to hold.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Phase {
+    /// Must hold in every causal replica state (audited mid-run).
+    Continuous,
+    /// Compensable: must hold after repair reaches a fixpoint.
+    Final,
+}
+
+type CheckFn = Rc<dyn Fn(&Replica) -> u64>;
+
+/// One named invariant check.
+#[derive(Clone)]
+pub struct Check {
+    pub name: &'static str,
+    pub phase: Phase,
+    f: CheckFn,
+}
+
+impl Check {
+    pub fn count(&self, replica: &Replica) -> u64 {
+        (self.f)(replica)
+    }
+}
+
+impl fmt::Debug for Check {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Check({} @ {:?})", self.name, self.phase)
+    }
+}
+
+/// Per-check audit outcome for one replica.
+#[derive(Clone, Debug)]
+pub struct AuditReport {
+    pub app: &'static str,
+    pub per_check: Vec<(&'static str, u64)>,
+}
+
+impl AuditReport {
+    pub fn total(&self) -> u64 {
+        self.per_check.iter().map(|(_, n)| n).sum()
+    }
+
+    /// Names of the checks that found violations.
+    pub fn violated(&self) -> Vec<&'static str> {
+        self.per_check
+            .iter()
+            .filter(|(_, n)| *n > 0)
+            .map(|(name, _)| *name)
+            .collect()
+    }
+}
+
+/// The invariant registry of one application.
+#[derive(Clone, Debug)]
+pub struct Oracle {
+    pub app: &'static str,
+    checks: Vec<Check>,
+}
+
+impl Oracle {
+    pub fn new(app: &'static str) -> Oracle {
+        Oracle {
+            app,
+            checks: Vec::new(),
+        }
+    }
+
+    pub fn with_check(
+        mut self,
+        name: &'static str,
+        phase: Phase,
+        f: impl Fn(&Replica) -> u64 + 'static,
+    ) -> Oracle {
+        self.checks.push(Check {
+            name,
+            phase,
+            f: Rc::new(f),
+        });
+        self
+    }
+
+    pub fn checks(&self) -> &[Check] {
+        &self.checks
+    }
+
+    /// Audit every check of the given phase (plus, for `Final`, the
+    /// continuous ones — a final state must satisfy everything).
+    pub fn audit(&self, replica: &Replica, phase: Phase) -> AuditReport {
+        let per_check = self
+            .checks
+            .iter()
+            .filter(|c| c.phase == phase || (phase == Phase::Final && c.phase == Phase::Continuous))
+            .map(|c| (c.name, c.count(replica)))
+            .collect();
+        AuditReport {
+            app: self.app,
+            per_check,
+        }
+    }
+
+    /// Total violations over the continuous checks only.
+    pub fn continuous_violations(&self, replica: &Replica) -> u64 {
+        self.audit(replica, Phase::Continuous).total()
+    }
+
+    /// Total violations over every check (final + continuous).
+    pub fn final_violations(&self, replica: &Replica) -> u64 {
+        self.audit(replica, Phase::Final).total()
+    }
+
+    /// Adapt the continuous checks into the sim driver's auditor hook.
+    pub fn into_continuous_auditor(self) -> Auditor {
+        Box::new(move |_region: Region, replica: &Replica| self.continuous_violations(replica))
+    }
+
+    // ------------------------------------------------------------------
+    // The four applications' registries
+    // ------------------------------------------------------------------
+
+    /// Tournament (Fig. 1): referential integrity and phase exclusion
+    /// hold continuously under IPA; capacity is compensated on read.
+    pub fn tournament() -> Oracle {
+        Oracle::new("tournament")
+            .with_check("enrollment-referential", Phase::Continuous, |r| {
+                v::tournament_enrollment_referential(r)
+            })
+            .with_check("match-referential", Phase::Continuous, |r| {
+                v::tournament_match_referential(r)
+            })
+            .with_check("phase-exclusion", Phase::Continuous, |r| {
+                v::tournament_phase(r)
+            })
+            // Compensable disjunction: two concurrent finish→begin chains
+            // can annihilate both phase marks; the `status` read repair
+            // restores the finish-prevails outcome.
+            .with_check("match-phase", Phase::Final, |r| {
+                v::tournament_match_phase(r)
+            })
+            .with_check("capacity", Phase::Final, v::tournament_capacity)
+    }
+
+    /// Twitter: pure referential integrity, all continuous.
+    pub fn twitter() -> Oracle {
+        Oracle::new("twitter")
+            .with_check("timeline-referential", Phase::Continuous, |r| {
+                v::twitter_timeline_referential(r)
+            })
+            .with_check("follow-referential", Phase::Continuous, |r| {
+                v::twitter_follow_referential(r)
+            })
+    }
+
+    /// Ticket: overselling is compensated on read (§3.4), so the
+    /// capacity check is final-phase. `events` and `capacity` come from
+    /// the workload configuration.
+    pub fn ticket(events: Vec<String>, capacity: usize) -> Oracle {
+        Oracle::new("ticket").with_check("oversell", Phase::Final, move |r| {
+            v::ticket_violations(r, &events, capacity)
+        })
+    }
+
+    /// TPC subset: order referential integrity holds continuously;
+    /// stock non-negativity is restocked by compensation.
+    pub fn tpc(items: Vec<String>) -> Oracle {
+        Oracle::new("tpc")
+            .with_check("order-referential", Phase::Continuous, |r| {
+                v::tpc_order_referential(r)
+            })
+            .with_check("stock-nonnegative", Phase::Final, move |r| {
+                v::tpc_stock_nonnegative(r, &items)
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tournament::runtime as tourn;
+    use ipa_crdt::{ObjectKind, ReplicaId, Val};
+
+    #[test]
+    fn clean_replica_passes_every_registry() {
+        let r = Replica::new(ReplicaId(0));
+        for oracle in [
+            Oracle::tournament(),
+            Oracle::twitter(),
+            Oracle::ticket(vec!["e0".into()], 10),
+            Oracle::tpc(vec!["i0".into()]),
+        ] {
+            assert_eq!(oracle.final_violations(&r), 0, "{}", oracle.app);
+            assert_eq!(oracle.continuous_violations(&r), 0, "{}", oracle.app);
+        }
+    }
+
+    #[test]
+    fn orphan_enrollment_is_attributed_to_the_named_check() {
+        let mut r = Replica::new(ReplicaId(0));
+        let mut tx = r.begin();
+        tx.ensure(tourn::ENROLLED, ObjectKind::AWSet).unwrap();
+        tx.aw_add(tourn::ENROLLED, Val::pair("p1", "ghost"))
+            .unwrap();
+        tx.commit();
+        let oracle = Oracle::tournament();
+        let report = oracle.audit(&r, Phase::Continuous);
+        assert_eq!(report.total(), 1);
+        assert_eq!(report.violated(), vec!["enrollment-referential"]);
+        assert_eq!(oracle.continuous_violations(&r), 1);
+    }
+
+    #[test]
+    fn capacity_is_final_phase_only() {
+        let mut r = Replica::new(ReplicaId(0));
+        let mut tx = r.begin();
+        tx.ensure(tourn::ENROLLED, ObjectKind::AWSet).unwrap();
+        tx.ensure(tourn::PLAYERS, ObjectKind::AWMap).unwrap();
+        tx.ensure(tourn::TOURNS, ObjectKind::AWMap).unwrap();
+        tx.map_put(tourn::TOURNS, Val::str("t"), Val::str("m"))
+            .unwrap();
+        for i in 0..=tourn::CAPACITY {
+            let p = format!("p{i}");
+            tx.map_put(tourn::PLAYERS, Val::str(&p), Val::str("x"))
+                .unwrap();
+            tx.aw_add(tourn::ENROLLED, Val::pair(p, "t")).unwrap();
+        }
+        tx.commit();
+        let oracle = Oracle::tournament();
+        assert_eq!(
+            oracle.continuous_violations(&r),
+            0,
+            "over-capacity is compensable, not a continuous violation"
+        );
+        let report = oracle.audit(&r, Phase::Final);
+        assert_eq!(report.total(), 1);
+        assert!(report.violated().contains(&"capacity"));
+    }
+
+    #[test]
+    fn auditor_adapter_counts_continuous_checks() {
+        let mut r = Replica::new(ReplicaId(0));
+        let mut tx = r.begin();
+        tx.ensure(tourn::ENROLLED, ObjectKind::AWSet).unwrap();
+        tx.aw_add(tourn::ENROLLED, Val::pair("p", "ghost")).unwrap();
+        tx.commit();
+        let auditor = Oracle::tournament().into_continuous_auditor();
+        assert_eq!(auditor(0, &r), 1);
+    }
+}

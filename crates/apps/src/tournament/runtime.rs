@@ -324,7 +324,23 @@ impl Tournament {
     pub fn status(&self, tx: &mut Transaction<'_>, t: &str) -> Result<OpCost, StoreError> {
         self.ensure_schema(tx)?;
         let _meta = tx.map_get(TOURNS, &Val::str(t))?;
-        let _active = tx.contains(ACTIVE, &Val::str(t))?;
+        let active = tx.contains(ACTIVE, &Val::str(t))?;
+        if self.mode == Mode::Ipa && !active && !tx.contains(FINISHED, &Val::str(t))? {
+            // Disjunction compensation (§3.4-style read repair): two
+            // concurrent finish→begin(restart) chains can annihilate both
+            // phase marks — each branch's begin observed-removes its own
+            // `finished` tag while each rem-wins finish defeats the other
+            // branch's `active` add — stranding matches in a tournament
+            // that is neither running nor finished. Restore the
+            // finish-prevails outcome the resolution is built around.
+            let stranded = tx
+                .set_elements(MATCHES)?
+                .iter()
+                .any(|m| matches!(m, Val::Triple(_, _, mt) if mt.as_str() == Some(t)));
+            if stranded {
+                tx.aw_add(FINISHED, Val::str(t))?;
+            }
+        }
         let mut enrolled: Vec<Val> = tx
             .set_elements(ENROLLED)?
             .into_iter()

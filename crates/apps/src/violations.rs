@@ -47,13 +47,11 @@ fn contains(replica: &Replica, key: &str, v: &Val) -> bool {
         .unwrap_or(false)
 }
 
-/// Count violated invariant instances of the Tournament app (Fig. 1).
-pub fn tournament_violations(replica: &Replica) -> u64 {
+/// `enrolled(p, t) ⇒ player(p) ∧ tournament(t)` — count of orphan
+/// enrollments.
+pub fn tournament_enrollment_referential(replica: &Replica) -> u64 {
     let mut violations = 0u64;
-
-    // enrolled(p, t) => player(p) and tournament(t)
-    let enrolled = set_members(replica, tourn::ENROLLED);
-    for e in &enrolled {
+    for e in &set_members(replica, tourn::ENROLLED) {
         let (Some(p), Some(t)) = (e.fst(), e.snd()) else {
             continue;
         };
@@ -61,32 +59,60 @@ pub fn tournament_violations(replica: &Replica) -> u64 {
             violations += 1;
         }
     }
+    violations
+}
 
-    // inMatch(p, q, t) => enrolled(p,t) and enrolled(q,t) and (active or finished)
+/// `inMatch(p, q, t) ⇒ enrolled(p,t) ∧ enrolled(q,t)` — count of
+/// matches with missing enrollments (touch-protected under IPA, so this
+/// part holds continuously).
+pub fn tournament_match_referential(replica: &Replica) -> u64 {
+    let mut violations = 0u64;
     for m in set_members(replica, tourn::MATCHES) {
         let Val::Triple(p, q, t) = &m else { continue };
         let ep = Val::Pair(p.clone(), t.clone());
         let eq = Val::Pair(q.clone(), t.clone());
-        let phase_ok = contains(replica, tourn::ACTIVE, t) || contains(replica, tourn::FINISHED, t);
-        if !contains(replica, tourn::ENROLLED, &ep)
-            || !contains(replica, tourn::ENROLLED, &eq)
-            || !phase_ok
-        {
+        if !contains(replica, tourn::ENROLLED, &ep) || !contains(replica, tourn::ENROLLED, &eq) {
             violations += 1;
         }
     }
+    violations
+}
 
-    // #enrolled(*, t) <= Capacity
+/// `inMatch(p, q, t) ⇒ active(t) ∨ finished(t)` — count of matches in a
+/// tournament that is neither running nor finished. This disjunction is
+/// *not* effect-preserved by the per-predicate resolution: two
+/// concurrent finish→begin(restart) chains can annihilate both phase
+/// marks (each begin observed-removes its own branch's `finished` tag,
+/// each rem-wins finish defeats the other branch's concurrent `active`
+/// add). IPA repairs it with the `status` read-side compensation, so it
+/// is a final-phase invariant like capacity.
+pub fn tournament_match_phase(replica: &Replica) -> u64 {
+    let mut violations = 0u64;
+    for m in set_members(replica, tourn::MATCHES) {
+        let Val::Triple(_, _, t) = &m else { continue };
+        if !contains(replica, tourn::ACTIVE, t) && !contains(replica, tourn::FINISHED, t) {
+            violations += 1;
+        }
+    }
+    violations
+}
+
+/// `#enrolled(*, t) ≤ Capacity` — count of over-capacity tournaments.
+pub fn tournament_capacity(replica: &Replica) -> u64 {
     let mut per_tourn: BTreeMap<Val, usize> = BTreeMap::new();
-    for e in &enrolled {
+    for e in &set_members(replica, tourn::ENROLLED) {
         if let Some(t) = e.snd() {
             *per_tourn.entry(t.clone()).or_insert(0) += 1;
         }
     }
-    violations += per_tourn.values().filter(|&&n| n > tourn::CAPACITY).count() as u64;
+    per_tourn.values().filter(|&&n| n > tourn::CAPACITY).count() as u64
+}
 
-    // active(t) => tournament(t); finished(t) => tournament(t);
-    // not(active(t) and finished(t))
+/// `active(t) ⇒ tournament(t)`, `finished(t) ⇒ tournament(t)`,
+/// `¬(active(t) ∧ finished(t))` — phase referential integrity and
+/// mutual exclusion.
+pub fn tournament_phase(replica: &Replica) -> u64 {
+    let mut violations = 0u64;
     let active: BTreeSet<Val> = set_members(replica, tourn::ACTIVE).into_iter().collect();
     let finished: BTreeSet<Val> = set_members(replica, tourn::FINISHED).into_iter().collect();
     for t in &active {
@@ -105,6 +131,16 @@ pub fn tournament_violations(replica: &Replica) -> u64 {
     violations
 }
 
+/// Count violated invariant instances of the Tournament app (Fig. 1) —
+/// the sum over the registry's individual checks.
+pub fn tournament_violations(replica: &Replica) -> u64 {
+    tournament_enrollment_referential(replica)
+        + tournament_match_referential(replica)
+        + tournament_match_phase(replica)
+        + tournament_capacity(replica)
+        + tournament_phase(replica)
+}
+
 /// Count oversold events in the Ticket app: raw set size beyond capacity
 /// (under Causal the set is a plain AWSet keyed per event).
 pub fn ticket_violations(replica: &Replica, events: &[String], capacity: usize) -> u64 {
@@ -119,18 +155,22 @@ pub fn ticket_violations(replica: &Replica, events: &[String], capacity: usize) 
     v
 }
 
-/// Count Twitter referential-integrity violations: timeline entries whose
-/// tweet no longer exists, and follow edges with missing users.
-pub fn twitter_violations(replica: &Replica) -> u64 {
+/// Timeline entries whose tweet no longer exists.
+pub fn twitter_timeline_referential(replica: &Replica) -> u64 {
     let mut v = 0;
-    let entries = set_members(replica, crate::twitter::runtime::ENTRIES);
-    for e in &entries {
+    for e in &set_members(replica, crate::twitter::runtime::ENTRIES) {
         if let Val::Triple(_, tweet, _) = e {
             if !contains(replica, crate::twitter::runtime::TWEETS, tweet) {
                 v += 1;
             }
         }
     }
+    v
+}
+
+/// Follow edges with missing users on either end.
+pub fn twitter_follow_referential(replica: &Replica) -> u64 {
+    let mut v = 0;
     for f in set_members(replica, crate::twitter::runtime::FOLLOWS) {
         let (Some(a), Some(b)) = (f.fst(), f.snd()) else {
             continue;
@@ -144,9 +184,14 @@ pub fn twitter_violations(replica: &Replica) -> u64 {
     v
 }
 
-/// Count TPC violations: negative stock values and orders referencing
-/// missing products.
-pub fn tpc_violations(replica: &Replica, items: &[String]) -> u64 {
+/// Count Twitter referential-integrity violations: timeline entries whose
+/// tweet no longer exists, and follow edges with missing users.
+pub fn twitter_violations(replica: &Replica) -> u64 {
+    twitter_timeline_referential(replica) + twitter_follow_referential(replica)
+}
+
+/// Negative stock counters (the TPC numeric invariant).
+pub fn tpc_stock_nonnegative(replica: &Replica, items: &[String]) -> u64 {
     let mut v = 0;
     for i in items {
         let key = Key::new(format!("tpc/stock/{i}"));
@@ -158,6 +203,12 @@ pub fn tpc_violations(replica: &Replica, items: &[String]) -> u64 {
             }
         }
     }
+    v
+}
+
+/// Orders referencing missing products (TPC referential integrity).
+pub fn tpc_order_referential(replica: &Replica) -> u64 {
+    let mut v = 0;
     for o in set_members(replica, crate::tpc::runtime::ORDERS) {
         if let Some(p) = o.snd() {
             if !contains(replica, crate::tpc::runtime::PRODUCTS, p) {
@@ -166,6 +217,12 @@ pub fn tpc_violations(replica: &Replica, items: &[String]) -> u64 {
         }
     }
     v
+}
+
+/// Count TPC violations: negative stock values and orders referencing
+/// missing products.
+pub fn tpc_violations(replica: &Replica, items: &[String]) -> u64 {
+    tpc_stock_nonnegative(replica, items) + tpc_order_referential(replica)
 }
 
 #[cfg(test)]

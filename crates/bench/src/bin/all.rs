@@ -22,4 +22,7 @@ fn main() {
     println!();
     let p9 = ipa_bench::figures::fig9::run(quick);
     ipa_bench::figures::fig9::print(&p9);
+    println!();
+    let nem = ipa_bench::figures::nemesis::run(quick);
+    ipa_bench::figures::nemesis::print(&nem);
 }

@@ -1,0 +1,6 @@
+//! Regenerate the nemesis sweep (violations/availability vs fault
+//! intensity).
+fn main() {
+    let points = ipa_bench::figures::nemesis::run(ipa_bench::quick_flag());
+    ipa_bench::figures::nemesis::print(&points);
+}

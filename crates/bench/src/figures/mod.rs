@@ -6,4 +6,5 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod nemesis;
 pub mod table1;

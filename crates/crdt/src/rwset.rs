@@ -188,13 +188,21 @@ impl<E: Ord + Clone, P: Pattern<E>> RWSet<E, P> {
             }
             let present = self.contains(&e);
             if present {
-                // Keep one representative add (the causally latest).
-                if let Some(adds) = self.adds.get_mut(&e) {
-                    adds.sort_by(|a, b| a.1.total().cmp(&b.1.total()).then(a.0.cmp(&b.0)));
-                    if let Some(keep) = adds.pop() {
-                        adds.clear();
-                        adds.push(keep);
-                    }
+                // Keep one representative add — the causally latest
+                // *visible* one. A defeated add must never become the
+                // representative: a still-live wildcard remove would
+                // defeat it again after the element's own removes are
+                // dropped, flipping observable membership.
+                let keep = self
+                    .adds
+                    .get(&e)
+                    .into_iter()
+                    .flatten()
+                    .filter(|(_, ac)| self.add_visible(&e, ac))
+                    .max_by(|a, b| a.1.total().cmp(&b.1.total()).then(a.0.cmp(&b.0)))
+                    .cloned();
+                if let Some(keep) = keep {
+                    self.adds.insert(e.clone(), vec![keep]);
                 }
                 self.removes.remove(&e);
             } else {
@@ -202,9 +210,20 @@ impl<E: Ord + Clone, P: Pattern<E>> RWSet<E, P> {
                 self.removes.remove(&e);
             }
         }
-        // Wildcard removes under the frontier can no longer defeat
-        // anything that is not already decided above.
-        self.wild_removes.retain(|(_, _, c)| !c.le(stable));
+        // A stable wildcard remove cannot defeat *future* adds (their
+        // clocks dominate the frontier), but it may still be the only
+        // thing defeating an already-delivered concurrent add that was
+        // too fresh to compact above. Keep it until no retained add
+        // depends on it.
+        let adds = &self.adds;
+        self.wild_removes.retain(|(p, _, rc)| {
+            if !rc.le(stable) {
+                return true;
+            }
+            adds.iter().any(|(e, entries)| {
+                p.matches(e) && entries.iter().any(|(_, ac)| !(rc.le(ac) && rc != ac))
+            })
+        });
         // Defensive: drop empty buckets.
         self.adds.retain(|_, v| !v.is_empty());
         self.removes.retain(|_, v| !v.is_empty());
@@ -284,6 +303,58 @@ mod tests {
         let late = a.prepare_add(Val::pair("p3", "t1"), tag(1, 2), clock(&[(0, 1), (1, 2)]));
         a.apply(&late);
         assert!(a.contains(&Val::pair("p3", "t1")));
+    }
+
+    /// Regression (found by the nemesis invariant oracle): a stable
+    /// wildcard remove must survive compaction while an already-delivered
+    /// *concurrent* add it defeats is still too fresh to compact —
+    /// dropping the wildcard resurrected the defeated element.
+    #[test]
+    fn compact_keeps_wildcard_that_defeats_an_unstable_add() {
+        use crate::value::{Val, ValPattern};
+        let mut s: RWSet<Val, ValPattern> = RWSet::new();
+        // Stable wildcard clear of (*, t1) at replica 0.
+        s.apply(&s.prepare_remove_matching(
+            ValPattern::pair(ValPattern::Any, ValPattern::exact("t1")),
+            tag(0, 1),
+            clock(&[(0, 1)]),
+        ));
+        // Concurrent add from replica 1, not yet causally stable.
+        s.apply(&s.prepare_add(Val::pair("p", "t1"), tag(1, 1), clock(&[(1, 1)])));
+        assert!(!s.contains(&Val::pair("p", "t1")), "remove wins");
+        // Frontier covers the wildcard but not the add.
+        s.compact(&clock(&[(0, 1)]));
+        assert!(
+            !s.contains(&Val::pair("p", "t1")),
+            "compaction must not resurrect the defeated add"
+        );
+    }
+
+    /// Regression: the representative add kept for a present element must
+    /// be a *visible* one — keeping a defeated add (higher clock total)
+    /// while a live wildcard remains flips membership at the next read.
+    #[test]
+    fn compact_keeps_a_visible_representative_add() {
+        use crate::value::{Val, ValPattern};
+        let mut s: RWSet<Val, ValPattern> = RWSet::new();
+        let e = Val::pair("p", "t1");
+        // Wildcard remove at [0:2].
+        s.apply(&s.prepare_remove_matching(
+            ValPattern::pair(ValPattern::Any, ValPattern::exact("t1")),
+            tag(0, 2),
+            clock(&[(0, 2)]),
+        ));
+        // Defeated concurrent add with a *larger* clock total…
+        s.apply(&s.prepare_add(e.clone(), tag(1, 3), clock(&[(1, 3), (2, 3)])));
+        // …and a surviving add causally after the wildcard.
+        s.apply(&s.prepare_add(e.clone(), tag(0, 3), clock(&[(0, 3)])));
+        assert!(s.contains(&e));
+        // Everything stable: compaction decides the element.
+        s.compact(&clock(&[(0, 3), (1, 3), (2, 3)]));
+        assert!(
+            s.contains(&e),
+            "membership must be preserved across compaction"
+        );
     }
 
     #[test]

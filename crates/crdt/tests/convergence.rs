@@ -1,17 +1,21 @@
 //! Property tests: every CRDT converges when the same operations are
 //! delivered in different causal orders.
 //!
-//! The harness simulates a small fleet of replicas issuing operations and
-//! then delivers the full op log to two fresh replicas in two different
-//! *causally consistent* orders (each op after every op of its causal
-//! past). The final states must be identical — the commutativity half of
-//! the paper's correctness argument (§2.2, Theorem 1 requires commutative
-//! operations).
+//! The harness simulates a small fleet of replicas issuing operations
+//! and replays the full op log through `ipa-store`'s **schedule
+//! explorer**: seeded causally-consistent interleavings
+//! ([`Schedule::sample_order`]) and, for small logs, *exhaustive*
+//! enumeration of every reachable delivery order
+//! ([`Schedule::enumerate_orders`]). The final states must be identical
+//! — the commutativity half of the paper's correctness argument (§2.2,
+//! Theorem 1 requires commutative operations). Any failing schedule
+//! reproduces from its seed alone.
 
 use ipa_crdt::{
     AWMap, AWSet, MVRegOp, MVRegister, Object, ObjectKind, ObjectOp, PNCounter, PNCounterOp, RWSet,
     ReplicaId, Tag, VClock, Val, ValPattern,
 };
+use ipa_store::schedule::{CausalItem, Schedule};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -36,12 +40,22 @@ fn arb_script() -> impl Strategy<Value = Vec<(u8, Cmd)>> {
     prop::collection::vec(((0u8..3), cmd), 1..24)
 }
 
-/// An op log entry: the effect plus its causal clock and origin.
+/// An op log entry: the effect plus its causal clock and origin — the
+/// schedule explorer's [`CausalItem`] view of one operation.
 #[derive(Clone, Debug)]
 struct LogEntry {
     op: ObjectOp,
     clock: VClock,
     origin: ReplicaId,
+}
+
+impl CausalItem for LogEntry {
+    fn origin(&self) -> ReplicaId {
+        self.origin
+    }
+    fn clock(&self) -> &VClock {
+        &self.clock
+    }
 }
 
 /// Execute the script against live per-replica states (ops prepared at the
@@ -128,47 +142,28 @@ fn run_script(kind: ObjectKind, script: &[(u8, Cmd)]) -> Vec<LogEntry> {
     log
 }
 
-/// Produce a random causal (topologically sorted) permutation of the log.
-fn causal_shuffle(log: &[LogEntry], seed: u64) -> Vec<LogEntry> {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut remaining: Vec<LogEntry> = log.to_vec();
-    let mut delivered_clock = VClock::new();
-    let mut out = Vec::with_capacity(log.len());
-    while !remaining.is_empty() {
-        // Standard causal-delivery condition: an op from origin X with
-        // clock c is deliverable iff c[X] == delivered[X] + 1 and
-        // c[Y] <= delivered[Y] for every other replica Y.
-        let mut ready: Vec<usize> = (0..remaining.len())
-            .filter(|&i| {
-                let e = &remaining[i];
-                e.clock.iter().all(|(r, v)| {
-                    if r == e.origin {
-                        v == delivered_clock.get(r) + 1
-                    } else {
-                        v <= delivered_clock.get(r)
-                    }
-                })
-            })
-            .collect();
-        assert!(
-            !ready.is_empty(),
-            "causal delivery deadlock — log is corrupt"
-        );
-        ready.shuffle(&mut rng);
-        let pick = ready[0];
-        let e = remaining.swap_remove(pick);
-        delivered_clock.merge(&e.clock);
-        out.push(e);
+/// Replay the log onto a fresh object in the given index order.
+fn replay_order(kind: ObjectKind, log: &[LogEntry], order: &[usize]) -> Object {
+    let mut o = Object::new(kind, ReplicaId(99));
+    for &i in order {
+        o.apply(&log[i].op).unwrap();
     }
-    out
+    o
 }
 
 fn replay(kind: ObjectKind, log: &[LogEntry]) -> Object {
-    let mut o = Object::new(kind, ReplicaId(99));
-    for e in log {
-        o.apply(&e.op).unwrap();
+    let order: Vec<usize> = (0..log.len()).collect();
+    replay_order(kind, log, &order)
+}
+
+/// Observable membership of a set-like object (RWSet state vectors may
+/// store entries in different orders, so compare what readers see).
+fn membership(o: &Object) -> Vec<Val> {
+    match o {
+        Object::AWSet(s) => s.elements().cloned().collect(),
+        Object::RWSet(s) => s.elements().cloned().collect(),
+        _ => panic!("not a set"),
     }
-    o
 }
 
 proptest! {
@@ -178,7 +173,8 @@ proptest! {
     fn awset_converges_under_causal_reordering(script in arb_script(), seed in 0u64..1000) {
         let log = run_script(ObjectKind::AWSet, &script);
         let a = replay(ObjectKind::AWSet, &log);
-        let b = replay(ObjectKind::AWSet, &causal_shuffle(&log, seed));
+        let order = Schedule::from_seed(seed).sample_order(&log);
+        let b = replay_order(ObjectKind::AWSet, &log, &order);
         prop_assert_eq!(a, b);
     }
 
@@ -186,12 +182,23 @@ proptest! {
     fn rwset_converges_under_causal_reordering(script in arb_script(), seed in 0u64..1000) {
         let log = run_script(ObjectKind::RWSet, &script);
         let a = replay(ObjectKind::RWSet, &log);
-        let b = replay(ObjectKind::RWSet, &causal_shuffle(&log, seed));
-        // RWSet state stores add/remove entry vectors whose order may
-        // differ; compare observable membership instead.
-        let ea: Vec<Val> = a.as_rwset().unwrap().elements().cloned().collect();
-        let eb: Vec<Val> = b.as_rwset().unwrap().elements().cloned().collect();
-        prop_assert_eq!(ea, eb);
+        let order = Schedule::from_seed(seed).sample_order(&log);
+        let b = replay_order(ObjectKind::RWSet, &log, &order);
+        prop_assert_eq!(membership(&a), membership(&b));
+    }
+
+    /// Exhaustive version: for short scripts, check *every* reachable
+    /// causal interleaving, not just two samples.
+    #[test]
+    fn awset_converges_under_every_causal_order(script in prop::collection::vec(((0u8..3), (0u8..4).prop_map(Cmd::Add)), 1..6)) {
+        let log = run_script(ObjectKind::AWSet, &script);
+        let reference = replay(ObjectKind::AWSet, &log);
+        let orders = Schedule::enumerate_orders(&log, 256);
+        prop_assert!(!orders.is_empty());
+        for order in &orders {
+            let other = replay_order(ObjectKind::AWSet, &log, order);
+            prop_assert_eq!(&reference, &other, "diverged under order {:?}", order);
+        }
     }
 
     #[test]
@@ -243,6 +250,15 @@ proptest! {
         vb.sort_unstable();
         prop_assert_eq!(va, vb);
     }
+}
+
+#[test]
+fn sampled_schedules_replay_from_seed() {
+    let script: Vec<(u8, Cmd)> = (0..18).map(|i| (i % 3, Cmd::Add(i % 6))).collect();
+    let log = run_script(ObjectKind::AWSet, &script);
+    let a = Schedule::from_seed(123).sample_order(&log);
+    let b = Schedule::from_seed(123).sample_order(&log);
+    assert_eq!(a, b, "same seed ⇒ identical schedule");
 }
 
 #[test]

@@ -1,6 +1,7 @@
 //! The simulation driver: event loop, clients, and the workload
 //! interface.
 
+use crate::fault::FaultPlan;
 use crate::latency::{LatencyModel, Region};
 use crate::metrics::Metrics;
 use crate::server::{ServerQueue, ServiceCosts};
@@ -12,6 +13,7 @@ use rand::Rng;
 use rand::SeedableRng;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::sync::Arc;
 
 /// Simulation parameters.
 #[derive(Clone, Debug)]
@@ -30,6 +32,9 @@ pub struct SimConfig {
     pub costs: ServiceCosts,
     /// Stability GC period (None disables).
     pub gc_interval_s: Option<f64>,
+    /// Nemesis schedule: transport faults, flapping partitions, replica
+    /// crashes. [`FaultPlan::none`] reproduces the benign transport.
+    pub faults: FaultPlan,
 }
 
 impl Default for SimConfig {
@@ -43,9 +48,32 @@ impl Default for SimConfig {
             seed: 42,
             costs: ServiceCosts::default(),
             gc_interval_s: Some(1.0),
+            faults: FaultPlan::none(),
         }
     }
 }
+
+/// What the nemesis actually did during a run (observability; every
+/// count is deterministic per `(seed, faults)`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NemesisStats {
+    pub batches_dropped: u64,
+    pub batches_duplicated: u64,
+    pub batches_delayed: u64,
+    pub crashes: u64,
+    /// Volatile batches (outbox + pending) wiped by crashes.
+    pub batches_lost_in_crash: u64,
+    /// Batches arriving at a down replica (lost).
+    pub batches_refused_down: u64,
+    pub link_flaps: u64,
+    /// Batches re-sent by periodic / restart anti-entropy.
+    pub anti_entropy_batches: u64,
+}
+
+/// Continuous invariant oracle: called for every live replica at each
+/// audit point; returns the number of violated invariant instances
+/// observed in that replica's materialized state.
+pub type Auditor = Box<dyn Fn(Region, &Replica) -> u64>;
 
 /// A closed-loop client bound to its home region.
 #[derive(Clone, Copy, Debug)]
@@ -119,7 +147,8 @@ pub struct SimCtx<'a> {
     replicas: &'a mut [Replica],
     rng: &'a mut StdRng,
     /// Replication staged by commits in this op: (dest, arrival, batch).
-    staged: Vec<(Region, SimTime, UpdateBatch)>,
+    /// The payload is `Arc`-shared across destinations.
+    staged: Vec<(Region, SimTime, Arc<UpdateBatch>)>,
 }
 
 impl<'a> SimCtx<'a> {
@@ -182,12 +211,13 @@ impl<'a> SimCtx<'a> {
                     // Partitioned: deliver when the link heals — modeled
                     // as a long delay re-checked by the driver.
                     let delay = SimTime::from_secs(3600.0);
-                    self.staged.push((dest, self.now + delay, batch.clone()));
+                    self.staged
+                        .push((dest, self.now + delay, Arc::clone(&batch)));
                     continue;
                 }
                 let ow = self.latency.one_way(region, dest, self.rng);
                 self.staged
-                    .push((dest, self.now + SimTime::from_ms(ow), batch.clone()));
+                    .push((dest, self.now + SimTime::from_ms(ow), Arc::clone(&batch)));
             }
         }
         Ok((value, info))
@@ -199,9 +229,21 @@ enum Event {
     ClientReady(usize),
     BatchArrive {
         dest: Region,
-        batch: Box<UpdateBatch>,
+        batch: Arc<UpdateBatch>,
     },
     Gc,
+    /// Nemesis: cut a random link (and schedule its heal).
+    Flap,
+    /// Nemesis: heal the given link.
+    FlapHeal(Region, Region),
+    /// Nemesis: crash a replica (volatile state lost).
+    Crash(Region),
+    /// Nemesis: restart a crashed replica and run recovery anti-entropy.
+    Restart(Region),
+    /// Periodic pairwise anti-entropy (drop/crash repair).
+    AntiEntropy,
+    /// Continuous invariant-oracle audit point.
+    Audit,
 }
 
 #[derive(Clone, Debug)]
@@ -239,13 +281,23 @@ pub struct Simulation {
     seq: u64,
     now: SimTime,
     rng: StdRng,
+    /// Independent nemesis stream: fault decisions never perturb the
+    /// workload's RNG, so the same `cfg.seed` drives the same client
+    /// schedule under any fault plan.
+    nemesis_rng: StdRng,
+    crashed: Vec<bool>,
+    /// FNV-1a fold of every processed event — two runs with equal seeds
+    /// produce equal digests (the determinism oracle).
+    digest: u64,
+    auditor: Option<(Auditor, f64)>,
+    pub nemesis: NemesisStats,
     pub metrics: Metrics,
 }
 
 impl Simulation {
     pub fn new(latency: LatencyModel, cfg: SimConfig) -> Simulation {
         let regions = latency.regions() as u16;
-        let replicas = (0..regions).map(|r| Replica::new(ReplicaId(r))).collect();
+        let replicas: Vec<Replica> = (0..regions).map(|r| Replica::new(ReplicaId(r))).collect();
         let servers = (0..regions).map(|_| ServerQueue::new()).collect();
         let mut clients = Vec::with_capacity(cfg.clients_per_region * regions as usize);
         for region in 0..regions {
@@ -257,8 +309,10 @@ impl Simulation {
             }
         }
         let rng = StdRng::seed_from_u64(cfg.seed);
+        let nemesis_rng = StdRng::seed_from_u64(cfg.faults.seed ^ 0x6e65_6d65_7369_7321);
         let mut metrics = Metrics::new();
         metrics.set_window(cfg.warmup_s, cfg.warmup_s + cfg.duration_s);
+        let crashed = vec![false; replicas.len()];
         Simulation {
             cfg,
             latency,
@@ -269,7 +323,55 @@ impl Simulation {
             seq: 0,
             now: SimTime::ZERO,
             rng,
+            nemesis_rng,
+            crashed,
+            digest: 0xcbf2_9ce4_8422_2325,
+            auditor: None,
+            nemesis: NemesisStats::default(),
             metrics,
+        }
+    }
+
+    /// Install a continuous invariant oracle, audited for every live
+    /// replica each `interval_s` of simulated time and once more at
+    /// [`Simulation::quiesce`]. Violations accumulate in
+    /// [`Metrics::audit_violations`].
+    pub fn set_auditor(&mut self, interval_s: f64, auditor: Auditor) {
+        self.auditor = Some((auditor, interval_s));
+    }
+
+    /// Audit every live replica now; records and returns the violation
+    /// count (0 when no auditor is installed).
+    pub fn audit_now(&mut self) -> u64 {
+        let Some((auditor, _)) = &self.auditor else {
+            return 0;
+        };
+        let mut violations = 0;
+        for (r, replica) in self.replicas.iter().enumerate() {
+            if !self.crashed[r] {
+                violations += auditor(r as Region, replica);
+            }
+        }
+        self.metrics.record_audit(violations, self.now.as_ms());
+        violations
+    }
+
+    /// Is the replica currently crashed by the nemesis?
+    pub fn is_down(&self, region: Region) -> bool {
+        self.crashed[region as usize]
+    }
+
+    /// Deterministic digest of the processed event schedule. Equal seeds
+    /// (workload and nemesis) yield equal digests; any divergence means
+    /// the run is not reproducible.
+    pub fn schedule_digest(&self) -> u64 {
+        self.digest
+    }
+
+    fn fold_digest(&mut self, words: [u64; 4]) {
+        for w in words {
+            self.digest ^= w;
+            self.digest = self.digest.wrapping_mul(0x100_0000_01b3);
         }
     }
 
@@ -301,7 +403,7 @@ impl Simulation {
                 for batch in batches {
                     for d in 0..self.replicas.len() {
                         if d != i {
-                            self.replicas[d].receive(batch.clone());
+                            self.replicas[d].receive(Arc::clone(&batch));
                             moved = true;
                         }
                     }
@@ -311,6 +413,12 @@ impl Simulation {
                 break;
             }
         }
+    }
+
+    /// Instant pairwise anti-entropy to a fixpoint: re-delivers every
+    /// logged batch some replica is missing (drop and crash repair).
+    fn anti_entropy_fixpoint(&mut self) {
+        while ipa_store::anti_entropy_round(&mut self.replicas) > 0 {}
     }
 
     pub fn num_clients(&self) -> usize {
@@ -326,15 +434,74 @@ impl Simulation {
         }));
     }
 
-    fn flush_staged(&mut self, staged: Vec<(Region, SimTime, UpdateBatch)>) {
+    /// Schedule staged deliveries, applying per-link nemesis faults:
+    /// drops vanish (repaired later by anti-entropy), duplicates arrive
+    /// twice, delayed batches arrive out of order into the causal buffer.
+    fn flush_staged(&mut self, staged: Vec<(Region, SimTime, Arc<UpdateBatch>)>) {
         for (dest, at, batch) in staged {
-            self.schedule(
-                at,
-                Event::BatchArrive {
-                    dest,
-                    batch: Box::new(batch),
-                },
-            );
+            let link = self.cfg.faults.link(batch.origin.0, dest);
+            let mut at = at;
+            if !link.is_none() {
+                if self.nemesis_rng.gen_bool(link.drop_p) {
+                    self.nemesis.batches_dropped += 1;
+                    continue;
+                }
+                if self.nemesis_rng.gen_bool(link.delay_p) {
+                    let extra = self.nemesis_rng.gen_range(0.0..link.delay_ms.max(0.001));
+                    at += SimTime::from_ms(extra);
+                    self.nemesis.batches_delayed += 1;
+                }
+                if self.nemesis_rng.gen_bool(link.dup_p) {
+                    self.nemesis.batches_duplicated += 1;
+                    self.schedule(
+                        at + SimTime::from_ms(link.dup_delay_ms),
+                        Event::BatchArrive {
+                            dest,
+                            batch: Arc::clone(&batch),
+                        },
+                    );
+                }
+            }
+            self.schedule(at, Event::BatchArrive { dest, batch });
+        }
+    }
+
+    /// One pairwise anti-entropy round at simulated time `self.now`:
+    /// every live replica pulls what it is missing from every live,
+    /// reachable peer's durable log, paying one-way link latency.
+    fn anti_entropy_round(&mut self) {
+        let n = self.replicas.len();
+        for dst in 0..n {
+            if self.crashed[dst] {
+                continue;
+            }
+            for src in 0..n {
+                if src == dst || self.crashed[src] {
+                    continue;
+                }
+                if !self.latency.link_up(src as Region, dst as Region) {
+                    continue;
+                }
+                let since = self.replicas[dst].clock().clone();
+                let missing = self.replicas[src].batches_since(&since);
+                if missing.is_empty() {
+                    continue;
+                }
+                let ow = self
+                    .latency
+                    .one_way(src as Region, dst as Region, &mut self.nemesis_rng);
+                let at = self.now + SimTime::from_ms(ow);
+                for batch in missing {
+                    self.nemesis.anti_entropy_batches += 1;
+                    self.schedule(
+                        at,
+                        Event::BatchArrive {
+                            dest: dst as Region,
+                            batch,
+                        },
+                    );
+                }
+            }
         }
     }
 
@@ -362,6 +529,24 @@ impl Simulation {
         if let Some(gc) = self.cfg.gc_interval_s {
             self.schedule(SimTime::from_secs(gc), Event::Gc);
         }
+        // Nemesis schedule: crashes/restarts are fixed points in virtual
+        // time; flapping and anti-entropy are periodic.
+        for crash in self.cfg.faults.crashes.clone() {
+            self.schedule(SimTime::from_secs(crash.at_s), Event::Crash(crash.region));
+            self.schedule(
+                SimTime::from_secs(crash.at_s + crash.down_s),
+                Event::Restart(crash.region),
+            );
+        }
+        if let Some(flap) = self.cfg.faults.flap {
+            self.schedule(SimTime::from_secs(flap.period_s), Event::Flap);
+        }
+        if let Some(ae) = self.cfg.faults.effective_anti_entropy_s() {
+            self.schedule(SimTime::from_secs(ae), Event::AntiEntropy);
+        }
+        if let Some((_, interval)) = &self.auditor {
+            self.schedule(SimTime::from_secs(*interval), Event::Audit);
+        }
 
         let warmup_end = SimTime::from_secs(self.cfg.warmup_s);
         let end = SimTime::from_secs(self.cfg.warmup_s + self.cfg.duration_s);
@@ -377,20 +562,93 @@ impl Simulation {
             self.now = next.at;
             match next.ev {
                 Event::BatchArrive { dest, batch } => {
-                    self.replicas[dest as usize].receive(*batch);
+                    self.fold_digest([1, next.at.as_micros(), u64::from(dest), batch.seq]);
+                    if self.crashed[dest as usize] {
+                        // A down replica refuses traffic; anti-entropy
+                        // re-sends after the restart.
+                        self.nemesis.batches_refused_down += 1;
+                    } else {
+                        self.replicas[dest as usize].receive(batch);
+                    }
                 }
                 Event::Gc => {
                     let ids: Vec<ReplicaId> = self.replicas.iter().map(Replica::id).collect();
-                    for r in &mut self.replicas {
-                        r.run_gc(&ids);
+                    for (i, r) in self.replicas.iter_mut().enumerate() {
+                        if !self.crashed[i] {
+                            r.run_gc(&ids);
+                        }
                     }
                     if let Some(gc) = self.cfg.gc_interval_s {
                         let at = self.now + SimTime::from_secs(gc);
                         self.schedule(at, Event::Gc);
                     }
                 }
+                Event::Flap => {
+                    let flap = self.cfg.faults.flap.expect("flap event without plan");
+                    let n = self.replicas.len() as u16;
+                    if n >= 2 {
+                        let a = self.nemesis_rng.gen_range(0..n);
+                        let mut b = self.nemesis_rng.gen_range(0..n - 1);
+                        if b >= a {
+                            b += 1;
+                        }
+                        if self.latency.link_up(a, b) {
+                            self.latency.set_link(a, b, false);
+                            self.nemesis.link_flaps += 1;
+                            self.fold_digest([2, next.at.as_micros(), u64::from(a), u64::from(b)]);
+                            self.schedule(
+                                self.now + SimTime::from_secs(flap.outage_s),
+                                Event::FlapHeal(a, b),
+                            );
+                        }
+                    }
+                    self.schedule(self.now + SimTime::from_secs(flap.period_s), Event::Flap);
+                }
+                Event::FlapHeal(a, b) => {
+                    self.latency.set_link(a, b, true);
+                    self.fold_digest([3, next.at.as_micros(), u64::from(a), u64::from(b)]);
+                }
+                Event::Crash(region) => {
+                    let lost = self.replicas[region as usize].crash();
+                    self.crashed[region as usize] = true;
+                    self.nemesis.crashes += 1;
+                    self.nemesis.batches_lost_in_crash += lost as u64;
+                    self.fold_digest([4, next.at.as_micros(), u64::from(region), lost as u64]);
+                }
+                Event::Restart(region) => {
+                    self.crashed[region as usize] = false;
+                    self.fold_digest([5, next.at.as_micros(), u64::from(region), 0]);
+                    // Recovery: one immediate anti-entropy round pulls the
+                    // gap from peers and pushes the survivor log back out.
+                    self.anti_entropy_round();
+                }
+                Event::AntiEntropy => {
+                    self.anti_entropy_round();
+                    if let Some(ae) = self.cfg.faults.effective_anti_entropy_s() {
+                        self.schedule(self.now + SimTime::from_secs(ae), Event::AntiEntropy);
+                    }
+                }
+                Event::Audit => {
+                    let violations = self.audit_now();
+                    self.fold_digest([6, next.at.as_micros(), violations, 0]);
+                    if let Some((_, interval)) = &self.auditor {
+                        let at = self.now + SimTime::from_secs(*interval);
+                        self.schedule(at, Event::Audit);
+                    }
+                }
                 Event::ClientReady(c) => {
                     let client = self.clients[c];
+                    if self.crashed[client.region as usize] {
+                        // Home replica is down: the op fails fast and the
+                        // client retries after a think-time backoff.
+                        if self.now >= warmup_end {
+                            self.metrics.record_failure();
+                        }
+                        let think = self.think_time();
+                        let at = self.now + SimTime::from_ms(self.cfg.think_time_ms) + think;
+                        self.schedule(at, Event::ClientReady(c));
+                        continue;
+                    }
                     let outcome = {
                         let mut ctx = SimCtx {
                             now: self.now,
@@ -404,6 +662,7 @@ impl Simulation {
                         self.flush_staged(staged);
                         outcome
                     };
+                    self.fold_digest([7, next.at.as_micros(), c as u64, u64::from(outcome.ok)]);
                     let region = client.region as usize;
                     let completion = if outcome.ok {
                         let to_server = self.cfg.client_rtt_ms / 2.0;
@@ -447,16 +706,33 @@ impl Simulation {
         SimTime::from_ms(base * f)
     }
 
-    /// Let in-flight replication drain after the run (delivers every
-    /// pending batch immediately, ignoring link latency).
+    /// Let in-flight replication drain after the run: restarts any
+    /// still-crashed replica, delivers every pending batch immediately
+    /// (ignoring link latency), repairs nemesis losses through instant
+    /// anti-entropy, and runs one final oracle audit.
     pub fn quiesce(&mut self) {
+        self.crashed.fill(false);
         let mut remaining: Vec<Scheduled> = self.queue.drain().map(|Reverse(s)| s).collect();
         remaining.sort();
         for s in remaining {
             if let Event::BatchArrive { dest, batch } = s.ev {
-                self.replicas[dest as usize].receive(*batch);
+                self.replicas[dest as usize].receive(batch);
             }
         }
+        self.anti_entropy_fixpoint();
+        self.audit_now();
+    }
+
+    /// Post-quiescence idempotence check: delivery under faults must not
+    /// have double-applied any batch at any replica. Returns the regions
+    /// violating the oracle (empty = consistent).
+    pub fn double_apply_violations(&self) -> Vec<Region> {
+        self.replicas
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| !r.applied_consistent())
+            .map(|(i, _)| i as Region)
+            .collect()
     }
 }
 

@@ -1,0 +1,251 @@
+//! Deterministic fault injection (the "nemesis"): per-link transport
+//! faults, flapping partitions, and replica crash/restart schedules.
+//!
+//! A [`FaultPlan`] plus the simulation seed fully determines every fault
+//! decision — the nemesis draws from its own RNG stream (seeded from
+//! [`FaultPlan::seed`]), so pure transport faults leave the *workload's*
+//! schedule untouched (crashes and flaps necessarily alter it: they
+//! change which ops run and which links are up, but deterministically),
+//! and any red run reproduces from the two integers printed with the
+//! failure.
+//!
+//! Fault model:
+//!
+//! * **drop** — an update batch silently vanishes on one link; the
+//!   periodic anti-entropy pass ([`FaultPlan::anti_entropy_s`]) repairs
+//!   the gap from the peers' durable logs.
+//! * **duplicate** — a batch is delivered twice (possibly far apart);
+//!   delivery is idempotent, so state and `ReplicaStats` must not
+//!   double-count.
+//! * **reorder / delay** — extra per-batch latency beyond the jittered
+//!   link RTT, forcing out-of-order arrival into the causal buffer.
+//! * **flapping partitions** — the nemesis periodically cuts a random
+//!   link and heals it after an outage window.
+//! * **crash/restart** — a replica loses its volatile state (outbox and
+//!   pending buffer), rejects client operations while down, and on
+//!   restart rebuilds through anti-entropy with every reachable peer.
+
+use crate::latency::Region;
+use std::fmt;
+
+/// Per-link fault probabilities and magnitudes.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LinkFaults {
+    /// Probability a batch is dropped on this link.
+    pub drop_p: f64,
+    /// Probability a batch is duplicated (second copy arrives
+    /// `dup_delay_ms` later).
+    pub dup_p: f64,
+    pub dup_delay_ms: f64,
+    /// Probability a batch is delayed by up to `delay_ms` extra
+    /// (uniform), enough to reorder it behind its successors.
+    pub delay_p: f64,
+    pub delay_ms: f64,
+}
+
+impl LinkFaults {
+    pub const NONE: LinkFaults = LinkFaults {
+        drop_p: 0.0,
+        dup_p: 0.0,
+        dup_delay_ms: 40.0,
+        delay_p: 0.0,
+        delay_ms: 200.0,
+    };
+
+    pub fn is_none(&self) -> bool {
+        self.drop_p <= 0.0 && self.dup_p <= 0.0 && self.delay_p <= 0.0
+    }
+}
+
+impl Default for LinkFaults {
+    fn default() -> Self {
+        LinkFaults::NONE
+    }
+}
+
+/// Flapping-partition nemesis: every `period_s` cut one random link for
+/// `outage_s` simulated seconds.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FlapPlan {
+    pub period_s: f64,
+    pub outage_s: f64,
+}
+
+/// One scheduled replica crash.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CrashPlan {
+    pub region: Region,
+    /// Crash time (simulated seconds).
+    pub at_s: f64,
+    /// Downtime before the restart event.
+    pub down_s: f64,
+}
+
+/// The full nemesis schedule for one simulation run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultPlan {
+    /// Seed of the nemesis RNG stream (independent of the workload's).
+    pub seed: u64,
+    /// Faults applied to every link without an override.
+    pub link_defaults: LinkFaults,
+    /// Per-link overrides, symmetric: `(a, b, faults)`.
+    pub per_link: Vec<(Region, Region, LinkFaults)>,
+    pub flap: Option<FlapPlan>,
+    pub crashes: Vec<CrashPlan>,
+    /// Periodic anti-entropy interval (repairs drops and crash losses).
+    /// Defaults on whenever any fault is configured.
+    pub anti_entropy_s: Option<f64>,
+}
+
+impl FaultPlan {
+    /// No faults at all — the benign transport the seed tests assume.
+    pub fn none() -> FaultPlan {
+        FaultPlan {
+            seed: 0,
+            link_defaults: LinkFaults::NONE,
+            per_link: Vec::new(),
+            flap: None,
+            crashes: Vec::new(),
+            anti_entropy_s: None,
+        }
+    }
+
+    /// A canonical hostile plan scaled by `intensity` in `[0, 1]`:
+    /// intensity 0 is fault-free; intensity 1 drops/dups/delays roughly a
+    /// quarter of all batches and flaps a link every simulated second.
+    pub fn with_intensity(seed: u64, intensity: f64) -> FaultPlan {
+        let i = intensity.clamp(0.0, 1.0);
+        if i == 0.0 {
+            return FaultPlan::none();
+        }
+        FaultPlan {
+            seed,
+            link_defaults: LinkFaults {
+                drop_p: 0.25 * i,
+                dup_p: 0.25 * i,
+                dup_delay_ms: 40.0,
+                delay_p: 0.25 * i,
+                delay_ms: 150.0 + 250.0 * i,
+            },
+            per_link: Vec::new(),
+            flap: (i >= 0.5).then_some(FlapPlan {
+                period_s: 1.0,
+                outage_s: 0.3 * i,
+            }),
+            crashes: Vec::new(),
+            anti_entropy_s: Some(0.25),
+        }
+    }
+
+    /// Do any transport faults, flaps, or crashes apply?
+    pub fn is_none(&self) -> bool {
+        self.link_defaults.is_none()
+            && self.per_link.iter().all(|(_, _, f)| f.is_none())
+            && self.flap.is_none()
+            && self.crashes.is_empty()
+    }
+
+    /// The faults on link `a → b` (symmetric; last matching override
+    /// wins).
+    pub fn link(&self, a: Region, b: Region) -> LinkFaults {
+        let mut out = self.link_defaults;
+        for &(x, y, f) in &self.per_link {
+            if (x, y) == (a, b) || (x, y) == (b, a) {
+                out = f;
+            }
+        }
+        out
+    }
+
+    /// Effective anti-entropy interval: the configured one, or a default
+    /// 250 ms whenever any fault could lose a batch.
+    pub fn effective_anti_entropy_s(&self) -> Option<f64> {
+        match self.anti_entropy_s {
+            Some(s) => Some(s),
+            None if !self.is_none() => Some(0.25),
+            None => None,
+        }
+    }
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::none()
+    }
+}
+
+impl fmt::Display for FaultPlan {
+    /// One-line reproduction record: printed with any nemesis failure so
+    /// the schedule replays locally from the seed.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_none() {
+            return write!(f, "FaultPlan{{none}}");
+        }
+        let l = self.link_defaults;
+        write!(
+            f,
+            "FaultPlan{{seed={} drop={:.3} dup={:.3} delay={:.3}x{:.0}ms",
+            self.seed, l.drop_p, l.dup_p, l.delay_p, l.delay_ms
+        )?;
+        if let Some(flap) = self.flap {
+            write!(f, " flap={}s/{}s", flap.period_s, flap.outage_s)?;
+        }
+        for c in &self.crashes {
+            write!(f, " crash(r{}@{}s+{}s)", c.region, c.at_s, c.down_s)?;
+        }
+        if let Some(ae) = self.effective_anti_entropy_s() {
+            write!(f, " ae={ae}s")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_plan_is_none() {
+        assert!(FaultPlan::none().is_none());
+        assert!(FaultPlan::default().is_none());
+        assert_eq!(FaultPlan::none().effective_anti_entropy_s(), None);
+    }
+
+    #[test]
+    fn intensity_scales_probabilities() {
+        let low = FaultPlan::with_intensity(1, 0.2);
+        let high = FaultPlan::with_intensity(1, 1.0);
+        assert!(low.link_defaults.drop_p < high.link_defaults.drop_p);
+        assert!(low.flap.is_none());
+        assert!(high.flap.is_some());
+        assert!(!low.is_none());
+        assert!(FaultPlan::with_intensity(1, 0.0).is_none());
+    }
+
+    #[test]
+    fn per_link_override_wins_symmetrically() {
+        let mut plan = FaultPlan::none();
+        let hostile = LinkFaults {
+            drop_p: 0.5,
+            ..LinkFaults::NONE
+        };
+        plan.per_link.push((0, 1, hostile));
+        assert_eq!(plan.link(0, 1).drop_p, 0.5);
+        assert_eq!(plan.link(1, 0).drop_p, 0.5);
+        assert_eq!(plan.link(0, 2).drop_p, 0.0);
+    }
+
+    #[test]
+    fn crashes_make_the_plan_hostile_and_print() {
+        let mut plan = FaultPlan::none();
+        plan.crashes.push(CrashPlan {
+            region: 1,
+            at_s: 0.5,
+            down_s: 1.0,
+        });
+        assert!(!plan.is_none());
+        assert_eq!(plan.effective_anti_entropy_s(), Some(0.25));
+        let s = plan.to_string();
+        assert!(s.contains("crash(r1@0.5s+1s)"), "{s}");
+    }
+}

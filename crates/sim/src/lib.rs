@@ -19,13 +19,17 @@
 //! baselines on top; `ipa-apps` provides the paper's four applications.
 
 pub mod driver;
+pub mod fault;
 pub mod latency;
 pub mod metrics;
 pub mod scenario;
 pub mod server;
 pub mod time;
 
-pub use driver::{ClientInfo, OpOutcome, SimConfig, SimCtx, Simulation, Workload};
+pub use driver::{
+    Auditor, ClientInfo, NemesisStats, OpOutcome, SimConfig, SimCtx, Simulation, Workload,
+};
+pub use fault::{CrashPlan, FaultPlan, FlapPlan, LinkFaults};
 pub use latency::{LatencyModel, Region};
 pub use metrics::{LatencySummary, Metrics};
 pub use scenario::{paper_topology, two_region_topology};

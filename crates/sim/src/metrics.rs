@@ -23,6 +23,13 @@ pub struct Metrics {
     pub failed: u64,
     /// Invariant violations observed by the workload (Fig. 7 red dots).
     pub violations: u64,
+    /// Violated invariant instances counted by the continuous oracle
+    /// across all audit points (nemesis runs).
+    pub audit_violations: u64,
+    /// Number of oracle audit points taken.
+    pub audits: u64,
+    /// Simulated time of the first audit that observed a violation.
+    pub first_audit_violation_ms: Option<f64>,
     window_start_s: f64,
     window_end_s: f64,
 }
@@ -58,6 +65,25 @@ impl Metrics {
 
     pub fn record_violations(&mut self, n: u64) {
         self.violations += n;
+    }
+
+    /// Record one oracle audit point (continuous invariant checking).
+    pub fn record_audit(&mut self, violations: u64, at_ms: f64) {
+        self.audits += 1;
+        self.audit_violations += violations;
+        if violations > 0 && self.first_audit_violation_ms.is_none() {
+            self.first_audit_violation_ms = Some(at_ms);
+        }
+    }
+
+    /// Fraction of attempted operations that completed (1.0 when nothing
+    /// failed; the availability axis of the nemesis figure).
+    pub fn availability(&self) -> f64 {
+        let attempts = self.completed + self.failed;
+        if attempts == 0 {
+            return 1.0;
+        }
+        self.completed as f64 / attempts as f64
     }
 
     /// Throughput over the window (transactions per simulated second).
@@ -156,5 +182,22 @@ mod tests {
         m.record_violations(3);
         assert_eq!(m.failed, 1);
         assert_eq!(m.violations, 3);
+    }
+
+    #[test]
+    fn audits_and_availability() {
+        let mut m = Metrics::new();
+        assert_eq!(m.availability(), 1.0, "vacuously available");
+        m.record_audit(0, 100.0);
+        m.record_audit(2, 250.0);
+        m.record_audit(1, 400.0);
+        assert_eq!(m.audits, 3);
+        assert_eq!(m.audit_violations, 3);
+        assert_eq!(m.first_audit_violation_ms, Some(250.0));
+        m.record("op", 1.0);
+        m.record("op", 1.0);
+        m.record("op", 1.0);
+        m.record_failure();
+        assert_eq!(m.availability(), 0.75);
     }
 }

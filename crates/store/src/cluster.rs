@@ -5,14 +5,16 @@
 use crate::batch::UpdateBatch;
 use crate::replica::Replica;
 use ipa_crdt::ReplicaId;
+use std::sync::Arc;
 
 /// A set of replicas plus an in-memory transport.
 #[derive(Debug)]
 pub struct Cluster {
     replicas: Vec<Replica>,
     /// Batches picked up from outboxes but not yet delivered:
-    /// `(destination, batch)`.
-    in_flight: Vec<(ReplicaId, UpdateBatch)>,
+    /// `(destination, batch)`. The payload is shared — fan-out to `n`
+    /// destinations costs `n` `Arc` clones, not `n` deep copies.
+    in_flight: Vec<(ReplicaId, Arc<UpdateBatch>)>,
 }
 
 impl Cluster {
@@ -45,7 +47,7 @@ impl Cluster {
     }
 
     /// Move committed batches from every outbox into the in-flight queue
-    /// (fan-out to all other replicas).
+    /// (fan-out to all other replicas; `Arc` clones only).
     pub fn collect_outboxes(&mut self) {
         let n = self.replicas.len() as u16;
         let mut staged = Vec::new();
@@ -53,12 +55,55 @@ impl Cluster {
             for batch in r.take_outbox() {
                 for dest in 0..n {
                     if ReplicaId(dest) != batch.origin {
-                        staged.push((ReplicaId(dest), batch.clone()));
+                        staged.push((ReplicaId(dest), Arc::clone(&batch)));
                     }
                 }
             }
         }
         self.in_flight.extend(staged);
+    }
+
+    /// Number of undelivered in-flight batches (observability).
+    pub fn in_flight_count(&self) -> usize {
+        self.in_flight.len()
+    }
+
+    /// Drop an in-flight batch by queue index (fault injection). Returns
+    /// false when the index is out of range.
+    pub fn drop_in_flight(&mut self, idx: usize) -> bool {
+        if idx < self.in_flight.len() {
+            self.in_flight.swap_remove(idx);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Duplicate an in-flight batch by queue index (fault injection).
+    pub fn duplicate_in_flight(&mut self, idx: usize) -> bool {
+        if idx < self.in_flight.len() {
+            let copy = (self.in_flight[idx].0, Arc::clone(&self.in_flight[idx].1));
+            self.in_flight.push(copy);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Deliver the in-flight batch at `idx` to its destination. Returns
+    /// the number of batches the destination applied (0 when buffered or
+    /// deduplicated).
+    pub fn deliver_in_flight(&mut self, idx: usize) -> usize {
+        let (dest, batch) = self.in_flight.swap_remove(idx);
+        self.replicas[dest.0 as usize].receive(batch)
+    }
+
+    /// Destination, origin, and origin-sequence of the in-flight batch
+    /// at `idx` — the schedule explorer's per-step view of the network.
+    pub fn in_flight_meta_at(&self, idx: usize) -> Option<(ReplicaId, ReplicaId, u64)> {
+        self.in_flight
+            .get(idx)
+            .map(|(dest, b)| (*dest, b.origin, b.seq))
     }
 
     /// Deliver every in-flight batch (in queue order).
@@ -79,6 +124,19 @@ impl Cluster {
             }
             self.deliver_all();
         }
+    }
+
+    /// One full round of anti-entropy: every replica pulls the batches it
+    /// is missing from every peer's durable log. Repairs arbitrary drops
+    /// (and crash-lost outboxes) as long as some replica still logs the
+    /// batch. Returns the number of batches applied cluster-wide.
+    pub fn anti_entropy(&mut self) -> usize {
+        crate::replica::anti_entropy_round(&mut self.replicas)
+    }
+
+    /// Pump anti-entropy rounds until no replica learns anything new.
+    pub fn anti_entropy_to_fixpoint(&mut self) {
+        while self.anti_entropy() > 0 {}
     }
 
     /// Run stability GC on every replica.

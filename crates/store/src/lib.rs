@@ -25,6 +25,7 @@ pub mod cluster;
 pub mod errors;
 pub mod key;
 pub mod replica;
+pub mod schedule;
 pub mod shared;
 pub mod txn;
 
@@ -32,6 +33,7 @@ pub use batch::UpdateBatch;
 pub use cluster::Cluster;
 pub use errors::StoreError;
 pub use key::Key;
-pub use replica::Replica;
+pub use replica::{anti_entropy_round, Replica};
+pub use schedule::{CausalItem, DeliveryFaults, Schedule, ScheduleReport};
 pub use shared::SharedReplica;
 pub use txn::{CommitInfo, Transaction};

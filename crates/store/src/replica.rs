@@ -7,6 +7,7 @@ use crate::key::Key;
 use crate::txn::Transaction;
 use ipa_crdt::{Object, ObjectKind, ReplicaId, Tag, VClock};
 use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
 
 /// Counters exposed for tests and the benchmark harness.
 #[derive(Clone, Copy, Debug, Default)]
@@ -16,6 +17,10 @@ pub struct ReplicaStats {
     pub batches_applied: u64,
     pub updates_applied: u64,
     pub gc_runs: u64,
+    /// Crash/restart cycles this replica went through (nemesis).
+    pub crashes: u64,
+    /// Batches handed out through anti-entropy pulls.
+    pub anti_entropy_sent: u64,
 }
 
 /// One replica of the geo-replicated store.
@@ -32,10 +37,17 @@ pub struct Replica {
     /// The declared kind of each key (shipped with updates so receivers
     /// can instantiate missing objects deterministically).
     kinds: HashMap<Key, ObjectKind>,
-    /// Remote batches waiting for causal predecessors.
-    pending: Vec<UpdateBatch>,
-    /// Committed local batches awaiting transport pickup.
-    outbox: Vec<UpdateBatch>,
+    /// Remote batches waiting for causal predecessors. Volatile: lost on
+    /// [`Replica::crash`].
+    pending: Vec<Arc<UpdateBatch>>,
+    /// Committed local batches awaiting transport pickup. Volatile: lost
+    /// on [`Replica::crash`].
+    outbox: Vec<Arc<UpdateBatch>>,
+    /// Durable log of every batch applied here (own commits and remote
+    /// deliveries), in application order. Serves anti-entropy pulls
+    /// ([`Replica::batches_since`]) and is compacted under the stability
+    /// frontier by [`Replica::run_gc`].
+    log: Vec<Arc<UpdateBatch>>,
     /// Latest received clock per origin (incl. self) — the causal
     /// stability inputs.
     last_from: BTreeMap<ReplicaId, VClock>,
@@ -53,6 +65,7 @@ impl Replica {
             kinds: HashMap::new(),
             pending: Vec::new(),
             outbox: Vec::new(),
+            log: Vec::new(),
             last_from: BTreeMap::new(),
             stats: ReplicaStats::default(),
         }
@@ -110,9 +123,11 @@ impl Replica {
     pub(crate) fn commit_batch(&mut self, batch: UpdateBatch) {
         debug_assert_eq!(batch.origin, self.id);
         debug_assert!(batch.deliverable_at(&self.clock));
+        let batch = Arc::new(batch);
         self.apply_batch(&batch);
         self.lamport = self.lamport.max(batch.lamport);
         self.last_from.insert(self.id, batch.clock.clone());
+        self.log.push(Arc::clone(&batch));
         self.outbox.push(batch);
         self.stats.commits += 1;
     }
@@ -126,17 +141,29 @@ impl Replica {
     }
 
     /// Drain the batches committed here since the last call (transport
-    /// pickup).
-    pub fn take_outbox(&mut self) -> Vec<UpdateBatch> {
+    /// pickup). Fan-out transports clone the returned `Arc`s — the batch
+    /// payload itself is shared, never copied per destination.
+    pub fn take_outbox(&mut self) -> Vec<Arc<UpdateBatch>> {
         std::mem::take(&mut self.outbox)
     }
 
     /// Receive a remote batch: buffer it and apply everything that has
-    /// become deliverable. Returns the number of batches applied.
-    pub fn receive(&mut self, batch: UpdateBatch) -> usize {
+    /// become deliverable. Duplicates (including redeliveries after a
+    /// crash or an anti-entropy re-send) are detected via the batch clock
+    /// and dropped, so delivery is idempotent. Returns the number of
+    /// batches applied.
+    pub fn receive(&mut self, batch: impl Into<Arc<UpdateBatch>>) -> usize {
+        let batch = batch.into();
         self.stats.batches_received += 1;
         if batch.origin == self.id || batch.clock.le(&self.clock) {
             return 0; // own or already-seen batch
+        }
+        if self
+            .pending
+            .iter()
+            .any(|b| b.origin == batch.origin && b.seq == batch.seq)
+        {
+            return 0; // duplicate of an already-buffered batch
         }
         self.pending.push(batch);
         self.drain_pending()
@@ -156,8 +183,13 @@ impl Replica {
                 .entry(batch.origin)
                 .and_modify(|c| c.merge(&batch.clock))
                 .or_insert_with(|| batch.clock.clone());
+            self.log.push(batch);
             applied += 1;
         }
+        // Purge buffered copies whose content arrived through another
+        // path (duplicate delivery, anti-entropy) in the meantime.
+        let clock = &self.clock;
+        self.pending.retain(|b| !b.clock.le(clock));
         applied
     }
 
@@ -185,6 +217,53 @@ impl Replica {
     /// Number of buffered (not yet causally deliverable) batches.
     pub fn pending_count(&self) -> usize {
         self.pending.len()
+    }
+
+    // ------------------------------------------------------------------
+    // Crash / recovery (nemesis support)
+    // ------------------------------------------------------------------
+
+    /// Crash the replica: volatile state (the outbox awaiting transport
+    /// pickup and the buffered pending batches) is lost; durable state
+    /// (objects, clocks, the applied-batch log) survives. Returns the
+    /// number of batches lost. Recovery happens through anti-entropy:
+    /// peers re-send from their logs ([`Replica::batches_since`]) and
+    /// this replica re-sends its own logged commits.
+    pub fn crash(&mut self) -> usize {
+        let lost = self.outbox.len() + self.pending.len();
+        self.outbox.clear();
+        self.pending.clear();
+        self.stats.crashes += 1;
+        lost
+    }
+
+    /// Anti-entropy pull: every logged batch not yet covered by `since`
+    /// (the requesting replica's applied clock), in log order — so a
+    /// recovering or drop-afflicted peer can close its causal gaps.
+    pub fn batches_since(&mut self, since: &VClock) -> Vec<Arc<UpdateBatch>> {
+        let out: Vec<Arc<UpdateBatch>> = self
+            .log
+            .iter()
+            .filter(|b| b.clock.get(b.origin) > since.get(b.origin))
+            .cloned()
+            .collect();
+        self.stats.anti_entropy_sent += out.len() as u64;
+        out
+    }
+
+    /// Length of the durable applied-batch log (observability for the
+    /// compaction tests).
+    pub fn log_len(&self) -> usize {
+        self.log.len()
+    }
+
+    /// Delivery idempotence oracle: every applied batch advances exactly
+    /// one vector-clock component by one, so the total of the applied
+    /// clock must equal the number of batches applied. A double-apply
+    /// breaks this equality. Checked by the nemesis driver after every
+    /// hostile schedule.
+    pub fn applied_consistent(&self) -> bool {
+        self.stats.batches_applied == self.clock.total()
     }
 
     // ------------------------------------------------------------------
@@ -217,6 +296,9 @@ impl Replica {
         for obj in self.objects.values_mut() {
             obj.compact(&frontier);
         }
+        // Causally stable batches have been received everywhere, so no
+        // anti-entropy pull can ever need them again — compact the log.
+        self.log.retain(|b| !b.clock.le(&frontier));
         self.stats.gc_runs += 1;
     }
 
@@ -248,6 +330,28 @@ impl Replica {
 /// escrow rights (bounded counters) conventionally belong to replica 0.
 pub(crate) fn creation_owner() -> ReplicaId {
     ReplicaId(0)
+}
+
+/// One full pairwise anti-entropy round over a replica set: every
+/// replica pulls the batches it is missing from every peer's durable
+/// log. Returns the number of batches applied. Shared by
+/// [`crate::Cluster::anti_entropy`] and the simulator's post-run repair.
+pub fn anti_entropy_round(replicas: &mut [Replica]) -> usize {
+    let mut applied = 0;
+    let n = replicas.len();
+    for dst in 0..n {
+        for src in 0..n {
+            if src == dst {
+                continue;
+            }
+            let since = replicas[dst].clock().clone();
+            let missing = replicas[src].batches_since(&since);
+            for b in missing {
+                applied += replicas[dst].receive(b);
+            }
+        }
+    }
+    applied
 }
 
 #[cfg(test)]

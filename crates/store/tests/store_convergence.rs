@@ -8,6 +8,7 @@ use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::Rng;
 use rand::SeedableRng;
+use std::sync::Arc;
 
 #[derive(Clone, Debug)]
 enum Step {
@@ -34,8 +35,8 @@ fn arb_steps() -> impl Strategy<Value = Vec<Step>> {
 
 struct Net {
     replicas: Vec<Replica>,
-    /// Per-destination queues of undelivered batches.
-    queues: Vec<Vec<UpdateBatch>>,
+    /// Per-destination queues of undelivered batches (payload shared).
+    queues: Vec<Vec<Arc<UpdateBatch>>>,
 }
 
 impl Net {

@@ -1,69 +1,105 @@
 //! Integration: geo-simulated runs — Causal violates invariants under
 //! contention, IPA never does (the core claim of the paper).
+//!
+//! The invariant oracle is active *continuously*: every run installs the
+//! application's registry as a sim auditor, so invariants are checked at
+//! periodic audit points of the simulation (including under nemesis
+//! fault schedules), not just at the end.
 
+use ipa::apps::oracle::{Oracle, Phase};
 use ipa::apps::tournament::TournamentWorkload;
 use ipa::apps::tpc::TpcWorkload;
-use ipa::apps::violations::{tournament_violations, tpc_violations};
 use ipa::apps::Mode;
-use ipa::sim::{paper_topology, SimConfig, Simulation};
+use ipa::sim::{paper_topology, FaultPlan, SimConfig, Simulation};
 
-fn sim_cfg(seed: u64) -> SimConfig {
+fn sim_cfg(seed: u64, faults: FaultPlan) -> SimConfig {
     SimConfig {
         clients_per_region: 3,
         warmup_s: 0.3,
         duration_s: 2.5,
         seed,
+        faults,
         ..Default::default()
     }
 }
 
-#[test]
-fn tournament_causal_violates_ipa_preserves_across_seeds() {
+/// One tournament run with the oracle wired in as a continuous auditor.
+fn tournament_run(mode: Mode, seed: u64, faults: FaultPlan) -> (Simulation, TournamentWorkload) {
+    let mut sim = Simulation::new(paper_topology(), sim_cfg(seed, faults));
+    sim.set_auditor(0.25, Oracle::tournament().into_continuous_auditor());
+    let mut w = TournamentWorkload::with_defaults(mode);
+    sim.run(&mut w);
+    sim.quiesce();
+    (sim, w)
+}
+
+fn assert_tournament_claim(faults: impl Fn(u64) -> FaultPlan, label: &str) {
     let mut causal_violations = 0u64;
     for seed in [5u64, 6, 7] {
-        // Causal.
-        let mut sim = Simulation::new(paper_topology(), sim_cfg(seed));
-        let mut w = TournamentWorkload::with_defaults(Mode::Causal);
-        sim.run(&mut w);
-        sim.quiesce();
+        // Causal: the continuous oracle observes the anomalies live.
+        let (sim, _) = tournament_run(Mode::Causal, seed, faults(seed));
+        causal_violations += sim.metrics.audit_violations;
         causal_violations += (0..3)
-            .map(|r| tournament_violations(sim.replica(r)))
+            .map(|r| Oracle::tournament().final_violations(sim.replica(r)))
             .sum::<u64>();
 
-        // IPA (same seed ⇒ same schedule shape).
-        let mut sim = Simulation::new(paper_topology(), sim_cfg(seed));
-        let mut w = TournamentWorkload::with_defaults(Mode::Ipa);
-        sim.run(&mut w);
-        sim.quiesce();
+        // IPA (same seed ⇒ same workload schedule shape).
+        let (mut sim, w) = tournament_run(Mode::Ipa, seed, faults(seed));
+        assert_eq!(
+            sim.metrics.audit_violations, 0,
+            "{label}, seed {seed}: IPA must keep continuous invariants at every \
+             audit point (first violation at {:?} ms)",
+            sim.metrics.first_audit_violation_ms
+        );
         w.final_repair(&mut sim);
+        let oracle = Oracle::tournament();
         for r in 0..3 {
+            let report = oracle.audit(sim.replica(r), Phase::Final);
             assert_eq!(
-                tournament_violations(sim.replica(r)),
+                report.total(),
                 0,
-                "seed {seed}, replica {r}: IPA must preserve invariants"
+                "{label}, seed {seed}, replica {r}: IPA must preserve all invariants \
+                 (violated: {:?})",
+                report.violated()
             );
         }
     }
     assert!(
         causal_violations > 0,
-        "causal runs must exhibit the anomalies"
+        "{label}: causal runs must exhibit the anomalies"
     );
+}
+
+#[test]
+fn tournament_causal_violates_ipa_preserves_across_seeds() {
+    assert_tournament_claim(|_| FaultPlan::none(), "benign");
+}
+
+#[test]
+fn tournament_claim_survives_nemesis_faults() {
+    // Hostile transport: drops, duplicates, reorders, flapping
+    // partitions — the IPA guarantees must hold under exactly these
+    // conditions, and Causal must still (only) be the one violating.
+    assert_tournament_claim(|seed| FaultPlan::with_intensity(seed, 0.7), "nemesis");
 }
 
 #[test]
 fn tpc_causal_violates_ipa_preserves() {
     let mut causal_total = 0u64;
     for seed in [11u64, 12] {
-        let mut sim = Simulation::new(paper_topology(), sim_cfg(seed));
+        let mut sim = Simulation::new(paper_topology(), sim_cfg(seed, FaultPlan::none()));
+        sim.set_auditor(0.25, Oracle::tpc(Vec::new()).into_continuous_auditor());
         let mut w = TpcWorkload::with_defaults(Mode::Causal);
         sim.run(&mut w);
         sim.quiesce();
         causal_total += sim.metrics.violations
+            + sim.metrics.audit_violations
             + (0..3)
-                .map(|r| tpc_violations(sim.replica(r), w.products()))
+                .map(|r| Oracle::tpc(w.products().to_vec()).final_violations(sim.replica(r)))
                 .sum::<u64>();
 
-        let mut sim = Simulation::new(paper_topology(), sim_cfg(seed));
+        let mut sim = Simulation::new(paper_topology(), sim_cfg(seed, FaultPlan::none()));
+        sim.set_auditor(0.25, Oracle::tpc(Vec::new()).into_continuous_auditor());
         let mut w = TpcWorkload::with_defaults(Mode::Ipa);
         sim.run(&mut w);
         sim.quiesce();
@@ -71,14 +107,15 @@ fn tpc_causal_violates_ipa_preserves() {
             sim.metrics.violations, 0,
             "IPA reads never observe violations"
         );
+        assert_eq!(
+            sim.metrics.audit_violations, 0,
+            "IPA referential integrity holds at every audit point"
+        );
         for r in 0..3 {
             // Referential integrity holds everywhere (stock residue is
             // repaired lazily by reads, so only orders are checked here).
-            assert_eq!(
-                tpc_violations(sim.replica(r), &[]),
-                0,
-                "seed {seed} replica {r}"
-            );
+            let report = Oracle::tpc(Vec::new()).audit(sim.replica(r), Phase::Final);
+            assert_eq!(report.total(), 0, "seed {seed} replica {r}");
         }
     }
     assert!(causal_total > 0, "causal TPC must exhibit anomalies");
@@ -87,7 +124,7 @@ fn tpc_causal_violates_ipa_preserves() {
 #[test]
 fn replicas_converge_in_every_mode() {
     for mode in [Mode::Causal, Mode::Ipa, Mode::Indigo, Mode::Strong] {
-        let mut sim = Simulation::new(paper_topology(), sim_cfg(21));
+        let mut sim = Simulation::new(paper_topology(), sim_cfg(21, FaultPlan::none()));
         let mut w = TournamentWorkload::with_defaults(mode);
         sim.run(&mut w);
         sim.quiesce();

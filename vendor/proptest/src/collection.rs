@@ -55,11 +55,47 @@ pub struct VecStrategy<S> {
     size: SizeRange,
 }
 
-impl<S: Strategy> Strategy for VecStrategy<S> {
+impl<S: Strategy> Strategy for VecStrategy<S>
+where
+    S::Value: Clone,
+{
     type Value = Vec<S::Value>;
 
     fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
         let len = rng.gen_range(self.size.min..=self.size.max_inclusive);
         (0..len).map(|_| self.element.sample(rng)).collect()
+    }
+
+    /// Prefix/halving shrink: first try the front half of the vector,
+    /// then dropping each single element, then shrinking elements in
+    /// place (capped to keep the candidate list linear in `len`).
+    fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+        let mut out: Vec<Vec<S::Value>> = Vec::new();
+        let min = self.size.min;
+        if value.len() > min {
+            // Halving pass: keep the smallest legal prefix first, then
+            // the front half.
+            out.push(value[..min].to_vec());
+            let half = (value.len() / 2).max(min);
+            if half < value.len() {
+                out.push(value[..half].to_vec());
+            }
+            // Single-element drops (back to front, so trailing noise
+            // disappears first).
+            for i in (0..value.len()).rev() {
+                let mut c = value.clone();
+                c.remove(i);
+                out.push(c);
+            }
+        }
+        // Element-wise shrinks, a few candidates per position.
+        for i in 0..value.len() {
+            for e in self.element.shrink(&value[i]).into_iter().take(3) {
+                let mut c = value.clone();
+                c[i] = e;
+                out.push(c);
+            }
+        }
+        out
     }
 }

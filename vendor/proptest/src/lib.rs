@@ -8,9 +8,17 @@
 //! `proptest!` / `prop_assert*!` test macros.
 //!
 //! Semantics: each test runs `ProptestConfig::cases` random cases from a
-//! fixed seed (deterministic across runs). Failing inputs are reported
-//! via panic but are **not shrunk** — shrinking is the main feature the
-//! real crate would add back.
+//! fixed seed (deterministic across runs). Failing inputs are **shrunk**
+//! before reporting, with a deliberately minimal subset of the real
+//! crate's machinery: integer range strategies halve toward their lower
+//! bound, `Vec` strategies run prefix/halving and single-element-drop
+//! passes (plus capped element-wise shrinks), and tuples shrink
+//! component-wise. Values produced through `prop_map`, `prop_flat_map`,
+//! `Union`/`prop_oneof!` or `boxed()` do not shrink further (there is no
+//! value tree to invert the mapping through); a `Vec` of such values
+//! still shrinks by length. The greedy loop adopts the first failing
+//! candidate and stops at a local minimum or after 500 steps, then
+//! panics with the minimized input.
 
 pub mod collection;
 pub mod strategy;
@@ -60,18 +68,21 @@ macro_rules! __proptest_tests {
             $(#[$meta])*
             fn $name() {
                 let config: $crate::test_runner::ProptestConfig = $config;
-                let mut rng = $crate::test_runner::new_rng(stringify!($name));
-                for case in 0..config.cases {
-                    $(let $pat =
-                        $crate::strategy::Strategy::sample(&($strategy), &mut rng);)+
-                    let outcome = $crate::test_runner::run_case(|| {
-                        $body
-                        Ok(())
-                    });
-                    if let Err(e) = outcome {
-                        panic!("proptest case {case} failed: {e}");
-                    }
-                }
+                // All inputs form one combined tuple strategy so a
+                // failing case can shrink component-wise.
+                let __strategy = ($(($strategy),)+);
+                $crate::test_runner::run_cases(
+                    config,
+                    stringify!($name),
+                    __strategy,
+                    |__v| {
+                        let ($($pat,)+) = ::core::clone::Clone::clone(__v);
+                        $crate::test_runner::run_case(|| {
+                            $body
+                            Ok(())
+                        })
+                    },
+                );
             }
         )*
     };

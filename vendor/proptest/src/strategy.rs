@@ -1,7 +1,13 @@
 //! Value-generation strategies.
 //!
-//! Unlike real proptest there is no value tree / shrinking: a strategy is
-//! just a recipe for sampling a random value from a [`TestRng`].
+//! Unlike real proptest there is no value tree: a strategy is a recipe
+//! for sampling a random value from a [`TestRng`], plus an optional
+//! *shrink* step ([`Strategy::shrink`]) proposing smaller failing
+//! candidates. Shrinking is implemented for integer ranges (halving
+//! toward the lower bound), `Vec` strategies (prefix/halving passes,
+//! single-element drops, element-wise shrinks) and tuples
+//! (component-wise); `prop_map` / `prop_flat_map` / `Union` values do
+//! not shrink (the mapping cannot be inverted without a value tree).
 
 use crate::test_runner::TestRng;
 use rand::Rng;
@@ -13,6 +19,14 @@ pub trait Strategy {
     type Value;
 
     fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Candidate simplifications of a failing value, most aggressive
+    /// first. The harness keeps any candidate that still fails and
+    /// iterates to a local minimum. The default (no candidates) is
+    /// correct for any strategy — shrinking is best-effort.
+    fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
 
     /// Transform generated values.
     fn prop_map<O, F>(self, f: F) -> Map<Self, F>
@@ -166,7 +180,80 @@ impl<T> Strategy for Union<T> {
     }
 }
 
-macro_rules! range_strategy {
+/// Halving pass toward `lo`: `lo`, then successive midpoints between
+/// `lo` and `v`, then `v - 1` — skipping `v` itself.
+fn shrink_int_toward<T>(lo: T, v: T) -> Vec<T>
+where
+    T: Copy + PartialOrd + IntHalve,
+{
+    let mut out = Vec::new();
+    if v <= lo {
+        return out;
+    }
+    let mut push = |c: T| {
+        if c < v && !out.contains(&c) {
+            out.push(c);
+        }
+    };
+    push(lo);
+    push(lo.midpoint_to(v));
+    push(v.pred());
+    out
+}
+
+/// Minimal integer arithmetic needed by the halving shrinker.
+pub trait IntHalve: Sized {
+    fn midpoint_to(self, hi: Self) -> Self;
+    fn pred(self) -> Self;
+}
+
+macro_rules! int_halve {
+    ($($t:ty),*) => {$(
+        impl IntHalve for $t {
+            fn midpoint_to(self, hi: $t) -> $t {
+                // self <= hi by construction; avoid overflow.
+                self + (hi - self) / 2
+            }
+            fn pred(self) -> $t {
+                self - 1
+            }
+        }
+    )*};
+}
+
+int_halve!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                shrink_int_toward(self.start, *value)
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                shrink_int_toward(*self.start(), *value)
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_range_strategy {
     ($($t:ty),*) => {$(
         impl Strategy for Range<$t> {
             type Value = $t;
@@ -186,24 +273,39 @@ macro_rules! range_strategy {
     )*};
 }
 
-range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+float_range_strategy!(f32, f64);
 
 macro_rules! tuple_strategy {
-    ($($name:ident),+) => {
-        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+    ($(($name:ident, $idx:tt)),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+)
+        where
+            $($name::Value: Clone,)+
+        {
             type Value = ($($name::Value,)+);
 
-            #[allow(non_snake_case)]
             fn sample(&self, rng: &mut TestRng) -> Self::Value {
-                let ($($name,)+) = self;
-                ($($name.sample(rng),)+)
+                ($(self.$idx.sample(rng),)+)
+            }
+
+            /// Component-wise shrink: each candidate simplifies exactly
+            /// one position and keeps the others fixed.
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                $(
+                    for cand in self.$idx.shrink(&value.$idx) {
+                        let mut next = value.clone();
+                        next.$idx = cand;
+                        out.push(next);
+                    }
+                )+
+                out
             }
         }
     };
 }
 
-tuple_strategy!(A);
-tuple_strategy!(A, B);
-tuple_strategy!(A, B, C);
-tuple_strategy!(A, B, C, D);
-tuple_strategy!(A, B, C, D, E);
+tuple_strategy!((A, 0));
+tuple_strategy!((A, 0), (B, 1));
+tuple_strategy!((A, 0), (B, 1), (C, 2));
+tuple_strategy!((A, 0), (B, 1), (C, 2), (D, 3));
+tuple_strategy!((A, 0), (B, 1), (C, 2), (D, 3), (E, 4));

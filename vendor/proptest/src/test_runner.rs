@@ -22,6 +22,66 @@ pub fn run_case(case: impl FnOnce() -> TestCaseResult) -> TestCaseResult {
     case()
 }
 
+/// The whole sampled-case loop for one `proptest!` test: sample
+/// `config.cases` inputs, and on the first failure shrink it to a local
+/// minimum and panic with the minimized input. Lives here (not in the
+/// macro expansion) so the case closure's argument type is pinned by
+/// this signature.
+pub fn run_cases<S: crate::strategy::Strategy>(
+    config: ProptestConfig,
+    test_name: &str,
+    strategy: S,
+    run: impl Fn(&S::Value) -> TestCaseResult,
+) where
+    S::Value: Clone + std::fmt::Debug,
+{
+    let mut rng = new_rng(test_name);
+    for case in 0..config.cases {
+        let value = strategy.sample(&mut rng);
+        if run(&value).is_err() {
+            let (minimal, err, steps) = shrink_failure(&strategy, value, &run);
+            panic!(
+                "proptest case {case} failed: {err}\n\
+                 minimal failing input ({steps} shrink steps): {minimal:#?}"
+            );
+        }
+    }
+}
+
+/// Greedy shrink loop: starting from a known-failing `initial` value,
+/// repeatedly adopt the first [`Strategy::shrink`] candidate that still
+/// fails, until no candidate fails (a local minimum) or the step budget
+/// runs out. Returns the minimized value, its failure, and the number of
+/// shrink steps taken.
+pub fn shrink_failure<S: crate::strategy::Strategy>(
+    strategy: &S,
+    initial: S::Value,
+    run: impl Fn(&S::Value) -> TestCaseResult,
+) -> (S::Value, TestCaseError, usize)
+where
+    S::Value: Clone,
+{
+    let mut current = initial;
+    let mut err = match run(&current) {
+        Err(e) => e,
+        Ok(()) => TestCaseError::fail("flaky: initial failure did not reproduce"),
+    };
+    let mut steps = 0;
+    const MAX_STEPS: usize = 500;
+    'outer: while steps < MAX_STEPS {
+        for cand in strategy.shrink(&current) {
+            if let Err(e) = run(&cand) {
+                current = cand;
+                err = e;
+                steps += 1;
+                continue 'outer;
+            }
+        }
+        break; // local minimum: every candidate passes
+    }
+    (current, err, steps)
+}
+
 /// Subset of proptest's run configuration: just the case count.
 #[derive(Clone, Copy, Debug)]
 pub struct ProptestConfig {
@@ -57,3 +117,59 @@ impl fmt::Display for TestCaseError {
 }
 
 pub type TestCaseResult = Result<(), TestCaseError>;
+
+#[cfg(test)]
+mod tests {
+    use super::{shrink_failure, TestCaseError};
+    use crate::collection;
+    use crate::strategy::Strategy;
+
+    #[test]
+    fn integer_failure_shrinks_to_boundary() {
+        // Failing predicate: x >= 10. The halving pass must land exactly
+        // on the boundary value.
+        let strategy = (0u64..1000,);
+        let (minimal, _, steps) = shrink_failure(&strategy, (700,), |&(x,)| {
+            if x >= 10 {
+                Err(TestCaseError::fail("too big"))
+            } else {
+                Ok(())
+            }
+        });
+        assert_eq!(minimal.0, 10);
+        assert!(steps > 0);
+    }
+
+    #[test]
+    fn vec_failure_shrinks_to_single_boundary_element() {
+        // Failing predicate: some element >= 10. Prefix/halving plus
+        // element shrinks must reduce a noisy script to `[10]`.
+        let strategy = (collection::vec(0u8..100, 0..20),);
+        let initial = (vec![3u8, 15, 7, 99, 2, 2, 2],);
+        let (minimal, _, _) = shrink_failure(&strategy, initial, |(v,)| {
+            if v.iter().any(|&x| x >= 10) {
+                Err(TestCaseError::fail("has a big element"))
+            } else {
+                Ok(())
+            }
+        });
+        assert_eq!(minimal.0, vec![10]);
+    }
+
+    #[test]
+    fn vec_shrink_respects_min_size() {
+        let strategy = collection::vec(0u8..10, 2..5);
+        for cand in strategy.shrink(&vec![1, 2, 3, 4]) {
+            assert!(cand.len() >= 2, "candidate below min size: {cand:?}");
+        }
+    }
+
+    #[test]
+    fn passing_values_do_not_shrink() {
+        let strategy = (0u64..100,);
+        let (minimal, err, steps) = shrink_failure(&strategy, (5,), |_| Ok(()));
+        assert_eq!(minimal.0, 5);
+        assert_eq!(steps, 0);
+        assert!(err.to_string().contains("flaky"));
+    }
+}
