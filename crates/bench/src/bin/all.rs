@@ -25,4 +25,6 @@ fn main() {
     println!();
     let nem = ipa_bench::figures::nemesis::run(quick);
     ipa_bench::figures::nemesis::print(&nem);
+    println!();
+    ipa_bench::figures::replication::regenerate(quick);
 }

@@ -1,0 +1,10 @@
+//! Regenerate the replication hot-path microbenchmark and write the
+//! tracked `BENCH_replication.json` at the repo root.
+//!
+//! ```text
+//! cargo run -p ipa-bench --release --bin replication [-- --quick]
+//! ```
+
+fn main() {
+    ipa_bench::figures::replication::regenerate(ipa_bench::quick_flag());
+}

@@ -4,7 +4,7 @@
 //! number of clients contacting each server ... until peak throughput is
 //! achieved" (§5.2.2).
 
-use crate::runner::{run_tournament, Budget, RunSummary};
+use crate::runner::{run_tournament, Budget, RunSummary, SummaryScratch};
 use ipa_apps::Mode;
 
 /// One point of the latency/throughput curve.
@@ -26,10 +26,11 @@ pub fn run(quick: bool) -> Vec<Point> {
         &[1, 2, 4, 8, 16, 32, 48]
     };
     let mut out = Vec::new();
+    let mut scratch = SummaryScratch::default();
     for mode in Mode::all() {
         for &c in clients {
             let (sim, _) = run_tournament(mode, c, 4242 + c as u64, budget);
-            let s = RunSummary::from_sim(&sim);
+            let s = RunSummary::from_sim_with(&sim, &mut scratch);
             out.push(Point {
                 mode,
                 clients_per_region: c,

@@ -4,7 +4,7 @@
 //! contention rises, the divergence window grows larger, increasing the
 //! chance for invariant violation."
 
-use crate::runner::{run_ticket, Budget, RunSummary};
+use crate::runner::{run_ticket, Budget, RunSummary, SummaryScratch};
 use ipa_apps::ticket::workload::final_oversell_count;
 use ipa_apps::Mode;
 
@@ -28,10 +28,11 @@ pub fn run(quick: bool) -> Vec<Point> {
         &[1, 2, 4, 8, 16, 32, 48]
     };
     let mut out = Vec::new();
+    let mut scratch = SummaryScratch::default();
     for mode in [Mode::Causal, Mode::Ipa] {
         for &c in clients {
             let (sim, w) = run_ticket(mode, c, 777 + c as u64, budget);
-            let s = RunSummary::from_sim(&sim);
+            let s = RunSummary::from_sim_with(&sim, &mut scratch);
             out.push(Point {
                 mode,
                 clients_per_region: c,

@@ -7,4 +7,5 @@ pub mod fig7;
 pub mod fig8;
 pub mod fig9;
 pub mod nemesis;
+pub mod replication;
 pub mod table1;

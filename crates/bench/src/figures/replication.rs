@@ -1,0 +1,636 @@
+//! **Replication microbenchmark** (beyond the paper): the cost of the
+//! replication fast path itself — anti-entropy pulls, vector-clock
+//! operations, and batch application.
+//!
+//! IPA's evaluation rests on the claim that invariant preservation adds
+//! little over plain causal replication; that claim is only meaningful
+//! if the causal replication underneath is not dominated by accidental
+//! overheads. This figure tracks three hot-path costs and compares each
+//! against an in-bench emulation of the pre-optimization structures
+//! (full-log-scan pulls, `BTreeMap` clocks, `String` keys), measured in
+//! the same process and run:
+//!
+//! * **anti-entropy** — batches examined per pull as the log grows. The
+//!   per-origin indexed log seeks straight to the requester's gap, so
+//!   the cost tracks the gap, not the log.
+//! * **clock ops** — merge / compare throughput of the dense `Vec<u64>`
+//!   clock vs. the legacy `BTreeMap` clock.
+//! * **batch apply** — end-to-end `receive` throughput, plus the key
+//!   handling (`Arc<str>` clone vs. `String` clone) that dominates its
+//!   per-update constant.
+//!
+//! Results are emitted both as a table and as machine-readable
+//! `BENCH_replication.json` at the repo root, so the perf trajectory is
+//! tracked commit over commit. CI regenerates the JSON with `--quick`
+//! and fails when the anti-entropy pull cost grows super-linearly again.
+
+use ipa_crdt::{ObjectKind, ReplicaId, VClock};
+use ipa_store::Replica;
+use std::time::Instant;
+
+/// Anti-entropy pull cost at one log length.
+#[derive(Clone, Debug)]
+pub struct AePoint {
+    pub log_len: usize,
+    /// Batches the requester is actually missing.
+    pub gap: usize,
+    /// Log entries examined by the indexed pull (segment probes +
+    /// returned batches) — deterministic, counted by the store.
+    pub indexed_scanned: u64,
+    /// Log entries the legacy implementation examined: the whole log.
+    pub full_scan: u64,
+    /// Wall time of the indexed pull (ns).
+    pub indexed_ns: u64,
+    /// Wall time of an emulated legacy full-scan pull on the same log
+    /// snapshot (ns).
+    pub full_scan_ns: u64,
+}
+
+/// Throughputs in million ops per second, new vs. legacy emulation.
+#[derive(Clone, Copy, Debug)]
+pub struct OpRate {
+    pub new_mops: f64,
+    pub legacy_mops: f64,
+}
+
+impl OpRate {
+    pub fn speedup(&self) -> f64 {
+        if self.legacy_mops > 0.0 {
+            self.new_mops / self.legacy_mops
+        } else {
+            0.0
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+pub struct Report {
+    pub quick: bool,
+    pub anti_entropy: Vec<AePoint>,
+    pub clock_merge: OpRate,
+    pub clock_le: OpRate,
+    pub key_clone: OpRate,
+    /// End-to-end `receive` throughput (batches/s) on the new data path.
+    pub batch_apply_per_s: f64,
+    /// The same delivery workload replayed through the legacy emulation
+    /// (BTreeMap clock bookkeeping + String key clones per update),
+    /// batches/s.
+    pub batch_apply_legacy_per_s: f64,
+    pub batch_apply_updates_per_batch: usize,
+    pub batch_apply_batches: usize,
+}
+
+/// The pre-optimization structures, reproduced for same-run A/B
+/// measurement. Kept faithful to the seed implementation: `BTreeMap`
+/// clock with entry-wise ops, `String` keys cloned per update, full-log
+/// filter scans for pulls.
+mod legacy {
+    use ipa_crdt::ReplicaId;
+    use std::collections::BTreeMap;
+
+    #[derive(Clone, Debug, Default, PartialEq, Eq)]
+    pub struct BTreeClock {
+        entries: BTreeMap<ReplicaId, u64>,
+    }
+
+    impl BTreeClock {
+        pub fn get(&self, r: ReplicaId) -> u64 {
+            self.entries.get(&r).copied().unwrap_or(0)
+        }
+
+        pub fn set(&mut self, r: ReplicaId, v: u64) {
+            if v == 0 {
+                self.entries.remove(&r);
+            } else {
+                self.entries.insert(r, v);
+            }
+        }
+
+        pub fn merge(&mut self, other: &BTreeClock) {
+            for (&r, &v) in &other.entries {
+                let e = self.entries.entry(r).or_insert(0);
+                if v > *e {
+                    *e = v;
+                }
+            }
+        }
+
+        pub fn le(&self, other: &BTreeClock) -> bool {
+            self.entries.iter().all(|(&r, &v)| v <= other.get(r))
+        }
+    }
+}
+
+fn rate_mops(ops: u64, elapsed_ns: u64) -> f64 {
+    if elapsed_ns == 0 {
+        return f64::INFINITY;
+    }
+    ops as f64 * 1e3 / elapsed_ns as f64
+}
+
+/// Commit `n` single-update batches at the replica (one hot key).
+fn fill_log(replica: &mut Replica, n: usize) {
+    for _ in 0..n {
+        let mut tx = replica.begin();
+        tx.ensure("bench:counter", ObjectKind::PNCounter).unwrap();
+        tx.counter_add("bench:counter", 1).unwrap();
+        tx.commit();
+    }
+    replica.take_outbox();
+}
+
+fn measure_anti_entropy(log_lens: &[usize], gap: usize) -> Vec<AePoint> {
+    let mut out = Vec::new();
+    for &log_len in log_lens {
+        let mut src = Replica::new(ReplicaId(0));
+        fill_log(&mut src, log_len);
+        // A peer missing the last `gap` batches.
+        let mut since = src.clock().clone();
+        since.set(ReplicaId(0), (log_len - gap) as u64);
+
+        let scanned_before = src.stats.anti_entropy_scanned;
+        let t = Instant::now();
+        let missing = src.batches_since(&since);
+        let indexed_ns = t.elapsed().as_nanos() as u64;
+        assert_eq!(missing.len(), gap);
+        let indexed_scanned = src.stats.anti_entropy_scanned - scanned_before;
+
+        // Legacy emulation: the pull filters the entire application-order
+        // log, exactly like the seed implementation did.
+        let snapshot = src.log_snapshot();
+        let t = Instant::now();
+        let legacy: Vec<_> = snapshot
+            .iter()
+            .filter(|b| b.clock.get(b.origin) > since.get(b.origin))
+            .cloned()
+            .collect();
+        let full_scan_ns = t.elapsed().as_nanos() as u64;
+        assert_eq!(legacy.len(), missing.len());
+
+        out.push(AePoint {
+            log_len,
+            gap,
+            indexed_scanned,
+            full_scan: snapshot.len() as u64,
+            indexed_ns,
+            full_scan_ns,
+        });
+    }
+    out
+}
+
+fn measure_clock_ops(iters: usize) -> (OpRate, OpRate) {
+    const REPLICAS: u16 = 8;
+    // Two overlapping clocks with every component populated — the shape
+    // delivery and stability tracking see once all replicas have talked.
+    let mut dense_a = VClock::new();
+    let mut dense_b = VClock::new();
+    let mut legacy_a = legacy::BTreeClock::default();
+    let mut legacy_b = legacy::BTreeClock::default();
+    for r in 0..REPLICAS {
+        let (va, vb) = (u64::from(r) * 7 + 3, u64::from(r) * 5 + 4);
+        dense_a.set(ReplicaId(r), va);
+        dense_b.set(ReplicaId(r), vb);
+        legacy_a.set(ReplicaId(r), va);
+        legacy_b.set(ReplicaId(r), vb);
+    }
+
+    let t = Instant::now();
+    let mut acc = dense_a.clone();
+    for i in 0..iters {
+        acc.merge(if i % 2 == 0 { &dense_b } else { &dense_a });
+    }
+    let dense_merge_ns = t.elapsed().as_nanos() as u64;
+    assert!(!acc.is_empty());
+
+    let t = Instant::now();
+    let mut acc = legacy_a.clone();
+    for i in 0..iters {
+        acc.merge(if i % 2 == 0 { &legacy_b } else { &legacy_a });
+    }
+    let legacy_merge_ns = t.elapsed().as_nanos() as u64;
+    assert!(acc.get(ReplicaId(0)) > 0);
+
+    let t = Instant::now();
+    let mut trues = 0usize;
+    for i in 0..iters {
+        let le = if i % 2 == 0 {
+            dense_a.le(&dense_b)
+        } else {
+            dense_b.le(&dense_a)
+        };
+        if le {
+            trues += 1;
+        }
+    }
+    let dense_le_ns = t.elapsed().as_nanos() as u64;
+
+    let t = Instant::now();
+    let mut legacy_trues = 0usize;
+    for i in 0..iters {
+        let le = if i % 2 == 0 {
+            legacy_a.le(&legacy_b)
+        } else {
+            legacy_b.le(&legacy_a)
+        };
+        if le {
+            legacy_trues += 1;
+        }
+    }
+    let legacy_le_ns = t.elapsed().as_nanos() as u64;
+    assert_eq!(trues, legacy_trues, "dense and legacy le must agree");
+
+    (
+        OpRate {
+            new_mops: rate_mops(iters as u64, dense_merge_ns),
+            legacy_mops: rate_mops(iters as u64, legacy_merge_ns),
+        },
+        OpRate {
+            new_mops: rate_mops(iters as u64, dense_le_ns),
+            legacy_mops: rate_mops(iters as u64, legacy_le_ns),
+        },
+    )
+}
+
+/// Clone cost as `apply_batch` pays it: clones are *retained* (inserted
+/// into the object and kind maps), so the legacy `String` path holds one
+/// live allocation per clone while `Arc<str>` holds a refcount. Clones
+/// are kept in a batch-sized buffer to model that retention.
+fn measure_key_clone(iters: usize) -> OpRate {
+    const LIVE: usize = 8192;
+    let interned = ipa_store::Key::from("tournament:enrolled:players");
+    let string = String::from("tournament:enrolled:players");
+
+    let measure_interned = || {
+        let mut keep: Vec<ipa_store::Key> = Vec::with_capacity(LIVE);
+        let t = Instant::now();
+        for i in 0..iters {
+            if keep.len() == LIVE {
+                keep.clear();
+            }
+            keep.push(interned.clone());
+            if i == 0 {
+                assert_eq!(keep[0], interned);
+            }
+        }
+        t.elapsed().as_nanos() as u64
+    };
+    let measure_string = || {
+        let mut keep: Vec<String> = Vec::with_capacity(LIVE);
+        let t = Instant::now();
+        for i in 0..iters {
+            if keep.len() == LIVE {
+                keep.clear();
+            }
+            keep.push(string.clone());
+            if i == 0 {
+                assert_eq!(keep[0], string);
+            }
+        }
+        t.elapsed().as_nanos() as u64
+    };
+
+    // Warm-up pass, then keep the warm measurement for both sides.
+    measure_interned();
+    measure_string();
+    let interned_ns = measure_interned();
+    let string_ns = measure_string();
+
+    OpRate {
+        new_mops: rate_mops(iters as u64, interned_ns),
+        legacy_mops: rate_mops(iters as u64, string_ns),
+    }
+}
+
+/// End-to-end delivery throughput: replica 0 commits, replica 1
+/// receives every batch (in order — the pure apply path, no buffering).
+/// The legacy figure replays the same batches while performing the
+/// bookkeeping the old data path did per update (String key clone) and
+/// per batch (BTreeMap clock merge + dedup compare), on top of the
+/// current store — an upper bound on what the old constants cost.
+fn measure_batch_apply(batches: usize, updates_per_batch: usize) -> (f64, f64) {
+    // Counters keep the copy-on-write overlay clone O(replicas) per
+    // transaction, so the measurement isolates the delivery path instead
+    // of object growth.
+    let keys = ["t:players", "t:enrolled", "t:matches", "t:budget"];
+    let build = |src: &mut Replica| {
+        let mut out = Vec::new();
+        for i in 0..batches {
+            let mut tx = src.begin();
+            for (j, key) in keys.iter().take(updates_per_batch).enumerate() {
+                tx.ensure(*key, ObjectKind::PNCounter).unwrap();
+                tx.counter_add(*key, (i * updates_per_batch + j) as i64)
+                    .unwrap();
+            }
+            tx.commit();
+        }
+        out.extend(src.take_outbox());
+        out
+    };
+
+    let mut src = Replica::new(ReplicaId(0));
+    let staged = build(&mut src);
+
+    let deliver_new = |staged: &[std::sync::Arc<ipa_store::UpdateBatch>]| {
+        let mut dst = Replica::new(ReplicaId(1));
+        let t = Instant::now();
+        for b in staged {
+            dst.receive(std::sync::Arc::clone(b));
+        }
+        let ns = t.elapsed().as_nanos() as u64;
+        assert_eq!(dst.stats.batches_applied as usize, batches);
+        ns
+    };
+    let deliver_legacy = |staged: &[std::sync::Arc<ipa_store::UpdateBatch>]| {
+        let mut dst = Replica::new(ReplicaId(1));
+        let mut legacy_clock = legacy::BTreeClock::default();
+        let t = Instant::now();
+        for b in staged {
+            // Per-batch legacy clock bookkeeping: dedup compare + merge.
+            let mut bc = legacy::BTreeClock::default();
+            for (r, v) in b.clock.iter() {
+                bc.set(r, v);
+            }
+            let _ = bc.le(&legacy_clock);
+            legacy_clock.merge(&bc);
+            // Per-update legacy key handling: the old apply path cloned
+            // the String key twice per update (kinds map + objects map).
+            for (key, _, _) in &b.updates {
+                let kinds_key: String = key.as_str().to_owned();
+                let objects_key: String = key.as_str().to_owned();
+                std::hint::black_box((&kinds_key, &objects_key));
+            }
+            dst.receive(std::sync::Arc::clone(b));
+        }
+        let ns = t.elapsed().as_nanos() as u64;
+        assert_eq!(dst.stats.batches_applied as usize, batches);
+        ns
+    };
+
+    // Warm-up pass each (allocator and cache state), then alternate
+    // measured runs and keep the best of three per side.
+    deliver_new(&staged);
+    deliver_legacy(&staged);
+    let mut new_ns = u64::MAX;
+    let mut legacy_ns = u64::MAX;
+    for _ in 0..3 {
+        new_ns = new_ns.min(deliver_new(&staged));
+        legacy_ns = legacy_ns.min(deliver_legacy(&staged));
+    }
+
+    let per_s = |ns: u64| {
+        if ns == 0 {
+            f64::INFINITY
+        } else {
+            batches as f64 * 1e9 / ns as f64
+        }
+    };
+    (per_s(new_ns), per_s(legacy_ns))
+}
+
+pub fn run(quick: bool) -> Report {
+    let log_lens: &[usize] = if quick {
+        &[250, 1000, 4000]
+    } else {
+        &[250, 500, 1000, 2000, 4000, 8000]
+    };
+    let gap = 16;
+    let clock_iters = if quick { 200_000 } else { 2_000_000 };
+    let clone_iters = if quick { 500_000 } else { 5_000_000 };
+    let apply_batches = if quick { 5_000 } else { 40_000 };
+    let updates_per_batch = 4;
+
+    let anti_entropy = measure_anti_entropy(log_lens, gap);
+    let (clock_merge, clock_le) = measure_clock_ops(clock_iters);
+    let key_clone = measure_key_clone(clone_iters);
+    let (batch_apply_per_s, batch_apply_legacy_per_s) =
+        measure_batch_apply(apply_batches, updates_per_batch);
+
+    Report {
+        quick,
+        anti_entropy,
+        clock_merge,
+        clock_le,
+        key_clone,
+        batch_apply_per_s,
+        batch_apply_legacy_per_s,
+        batch_apply_updates_per_batch: updates_per_batch,
+        batch_apply_batches: apply_batches,
+    }
+}
+
+pub fn print(report: &Report) {
+    println!("Replication microbenchmark: hot-path cost, new vs legacy structures.");
+    println!(
+        "\nAnti-entropy pull cost (peer missing {} batches):",
+        report
+            .anti_entropy
+            .first()
+            .map(|p| p.gap)
+            .unwrap_or_default()
+    );
+    println!(
+        "{:>9} {:>16} {:>16} {:>12} {:>13} {:>13}",
+        "log len", "scanned (idx)", "scanned (full)", "reduction", "idx [µs]", "full [µs]"
+    );
+    for p in &report.anti_entropy {
+        println!(
+            "{:>9} {:>16} {:>16} {:>11.1}x {:>13.1} {:>13.1}",
+            p.log_len,
+            p.indexed_scanned,
+            p.full_scan,
+            p.full_scan as f64 / p.indexed_scanned.max(1) as f64,
+            p.indexed_ns as f64 / 1e3,
+            p.full_scan_ns as f64 / 1e3,
+        );
+    }
+    println!("\nHot-path operation throughput (million ops/s):");
+    println!(
+        "{:<22} {:>12} {:>12} {:>10}",
+        "op", "new", "legacy", "speedup"
+    );
+    for (name, r) in [
+        ("clock merge", report.clock_merge),
+        ("clock compare (le)", report.clock_le),
+        ("key clone", report.key_clone),
+    ] {
+        println!(
+            "{:<22} {:>12.1} {:>12.1} {:>9.1}x",
+            name,
+            r.new_mops,
+            r.legacy_mops,
+            r.speedup()
+        );
+    }
+    println!(
+        "\nBatch apply ({} batches × {} updates): {:.0}/s new, {:.0}/s with legacy \
+         per-update bookkeeping ({:.2}x)",
+        report.batch_apply_batches,
+        report.batch_apply_updates_per_batch,
+        report.batch_apply_per_s,
+        report.batch_apply_legacy_per_s,
+        report.batch_apply_per_s / report.batch_apply_legacy_per_s,
+    );
+}
+
+/// Render the report as the machine-readable `BENCH_replication.json`
+/// payload (tracked at the repo root).
+pub fn to_json(report: &Report) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"figure\": \"replication\",\n");
+    s.push_str(&format!("  \"quick\": {},\n", report.quick));
+    s.push_str("  \"anti_entropy\": {\n");
+    s.push_str("    \"unit\": \"batches scanned per pull\",\n");
+    s.push_str(&format!(
+        "    \"gap\": {},\n    \"points\": [\n",
+        report
+            .anti_entropy
+            .first()
+            .map(|p| p.gap)
+            .unwrap_or_default()
+    ));
+    for (i, p) in report.anti_entropy.iter().enumerate() {
+        s.push_str(&format!(
+            "      {{\"log_len\": {}, \"indexed_scanned\": {}, \"full_scan\": {}, \
+             \"reduction_x\": {:.2}, \"indexed_ns\": {}, \"full_scan_ns\": {}}}{}\n",
+            p.log_len,
+            p.indexed_scanned,
+            p.full_scan,
+            p.full_scan as f64 / p.indexed_scanned.max(1) as f64,
+            p.indexed_ns,
+            p.full_scan_ns,
+            if i + 1 < report.anti_entropy.len() {
+                ","
+            } else {
+                ""
+            }
+        ));
+    }
+    s.push_str("    ]\n  },\n");
+    let rate = |name: &str, r: &OpRate, comma: bool| {
+        format!(
+            "  \"{}\": {{\"new_mops_per_s\": {:.2}, \"legacy_mops_per_s\": {:.2}, \
+             \"speedup_x\": {:.2}}}{}\n",
+            name,
+            r.new_mops,
+            r.legacy_mops,
+            r.speedup(),
+            if comma { "," } else { "" }
+        )
+    };
+    s.push_str(&rate("clock_merge", &report.clock_merge, true));
+    s.push_str(&rate("clock_compare", &report.clock_le, true));
+    s.push_str(&rate("key_clone", &report.key_clone, true));
+    s.push_str(&format!(
+        "  \"batch_apply\": {{\"batches\": {}, \"updates_per_batch\": {}, \
+         \"new_batches_per_s\": {:.0}, \"legacy_batches_per_s\": {:.0}, \
+         \"speedup_x\": {:.2}}}\n",
+        report.batch_apply_batches,
+        report.batch_apply_updates_per_batch,
+        report.batch_apply_per_s,
+        report.batch_apply_legacy_per_s,
+        report.batch_apply_per_s / report.batch_apply_legacy_per_s,
+    ));
+    s.push_str("}\n");
+    s
+}
+
+/// Canonical location of the tracked JSON: the repo root.
+pub fn json_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_replication.json")
+}
+
+/// Run the figure, print the table, and (re)write the tracked JSON —
+/// the shared recipe of the `replication` and `all` binaries.
+pub fn regenerate(quick: bool) {
+    let report = run(quick);
+    print(&report);
+    let path = json_path();
+    std::fs::write(&path, to_json(&report)).expect("write BENCH_replication.json");
+    println!("\nwrote {}", path.display());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_report_shows_sublinear_pull_cost() {
+        let report = run(true);
+        // Indexed pull cost tracks the (fixed) gap, not the log length.
+        let small = &report.anti_entropy[0];
+        let large = report.anti_entropy.last().unwrap();
+        assert!(large.log_len >= 4 * small.log_len);
+        assert!(
+            large.indexed_scanned <= small.indexed_scanned + 4,
+            "pull cost must not grow with the log: {} -> {}",
+            small.indexed_scanned,
+            large.indexed_scanned
+        );
+        for p in &report.anti_entropy {
+            if p.log_len >= 1000 {
+                assert!(
+                    p.full_scan as f64 / p.indexed_scanned.max(1) as f64 >= 5.0,
+                    "≥5x reduction at log len {}: {} vs {}",
+                    p.log_len,
+                    p.indexed_scanned,
+                    p.full_scan
+                );
+            }
+        }
+        assert!(report.batch_apply_per_s > 0.0);
+    }
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        // A hand-built report exercises the serializer without paying
+        // for a full benchmark run.
+        let report = Report {
+            quick: true,
+            anti_entropy: vec![
+                AePoint {
+                    log_len: 250,
+                    gap: 16,
+                    indexed_scanned: 17,
+                    full_scan: 250,
+                    indexed_ns: 1_000,
+                    full_scan_ns: 2_000,
+                },
+                AePoint {
+                    log_len: 1000,
+                    gap: 16,
+                    indexed_scanned: 17,
+                    full_scan: 1000,
+                    indexed_ns: 1_000,
+                    full_scan_ns: 8_000,
+                },
+            ],
+            clock_merge: OpRate {
+                new_mops: 100.0,
+                legacy_mops: 10.0,
+            },
+            clock_le: OpRate {
+                new_mops: 500.0,
+                legacy_mops: 100.0,
+            },
+            key_clone: OpRate {
+                new_mops: 60.0,
+                legacy_mops: 40.0,
+            },
+            batch_apply_per_s: 2_000_000.0,
+            batch_apply_legacy_per_s: 1_500_000.0,
+            batch_apply_updates_per_batch: 4,
+            batch_apply_batches: 5_000,
+        };
+        let json = to_json(&report);
+        assert!(json.contains("\"anti_entropy\""));
+        assert!(json.contains("\"clock_merge\""));
+        assert!(json.contains("\"batch_apply\""));
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "balanced braces"
+        );
+    }
+}

@@ -18,4 +18,4 @@
 pub mod figures;
 pub mod runner;
 
-pub use runner::{quick_flag, RunSummary};
+pub use runner::{quick_flag, RunSummary, SummaryScratch};

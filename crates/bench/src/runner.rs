@@ -21,16 +21,27 @@ pub struct RunSummary {
     pub per_op: BTreeMap<String, LatencySummary>,
 }
 
+/// Reusable flattening buffer for [`RunSummary::from_sim_with`]: sweeps
+/// computing one summary per point keep a single warmed allocation
+/// instead of re-growing a sample vector at every sweep point.
+#[derive(Debug, Default)]
+pub struct SummaryScratch {
+    samples: Vec<f64>,
+}
+
 impl RunSummary {
     pub fn from_sim(sim: &Simulation) -> RunSummary {
-        let overall = sim.metrics.overall();
+        RunSummary::from_sim_with(sim, &mut SummaryScratch::default())
+    }
+
+    /// [`RunSummary::from_sim`] with a caller-held scratch buffer, for
+    /// sweep loops.
+    pub fn from_sim_with(sim: &Simulation, scratch: &mut SummaryScratch) -> RunSummary {
+        let overall = sim.metrics.overall_with(&mut scratch.samples);
         let per_op = sim
             .metrics
             .labels()
-            .map(str::to_owned)
-            .collect::<Vec<_>>()
-            .into_iter()
-            .filter_map(|l| sim.metrics.summary(&l).map(|s| (l, s)))
+            .filter_map(|l| sim.metrics.summary(l).map(|s| (l.to_owned(), s)))
             .collect();
         RunSummary {
             throughput: sim.metrics.throughput(),

@@ -1,16 +1,31 @@
 //! Vector clocks: the causality metadata for remove-wins semantics,
 //! multi-value registers, causal delivery and stability tracking.
+//!
+//! Replica ids are small and contiguous everywhere in this codebase, so
+//! the clock is stored *densely*: a `Vec<u64>` indexed by [`ReplicaId`],
+//! with missing components implicitly zero. `merge`/`le`/`meet` — the
+//! innermost loops of delivery, dedup and stability tracking — become
+//! branch-light linear scans over a contiguous array instead of B-tree
+//! walks. The vector is kept canonical (no trailing zeros) so derived
+//! equality coincides with pointwise equality.
 
 use crate::tag::ReplicaId;
 use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
-use std::collections::BTreeMap;
 use std::fmt;
 
 /// A vector clock: per-replica event counters. Missing entries are zero.
 #[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct VClock {
-    entries: BTreeMap<ReplicaId, u64>,
+    /// `entries[i]` is replica `i`'s component; canonical form keeps the
+    /// last element non-zero so `==` is pointwise equality.
+    ///
+    /// Every constructor and mutator preserves canonical form. The serde
+    /// derives are forward-compatibility markers (the vendored stub
+    /// generates no code); a real `Deserialize` impl MUST route through
+    /// [`VClock::from_raw`] so untrusted trailing zeros cannot break the
+    /// comparisons that rely on the invariant.
+    entries: Vec<u64>,
 }
 
 impl VClock {
@@ -18,29 +33,58 @@ impl VClock {
         Self::default()
     }
 
+    /// Build a clock from a raw dense component vector, restoring
+    /// canonical form (drops trailing zeros). The required entry point
+    /// for any deserialization path.
+    pub fn from_raw(entries: Vec<u64>) -> Self {
+        let mut c = VClock { entries };
+        c.normalize();
+        c
+    }
+
+    #[inline]
     pub fn get(&self, r: ReplicaId) -> u64 {
-        self.entries.get(&r).copied().unwrap_or(0)
+        self.entries.get(r.0 as usize).copied().unwrap_or(0)
     }
 
     pub fn set(&mut self, r: ReplicaId, v: u64) {
+        let i = r.0 as usize;
         if v == 0 {
-            self.entries.remove(&r);
+            if i < self.entries.len() {
+                self.entries[i] = 0;
+                self.normalize();
+            }
         } else {
-            self.entries.insert(r, v);
+            if i >= self.entries.len() {
+                self.entries.resize(i + 1, 0);
+            }
+            self.entries[i] = v;
+        }
+    }
+
+    /// Drop trailing zeros (restore canonical form).
+    fn normalize(&mut self) {
+        while self.entries.last() == Some(&0) {
+            self.entries.pop();
         }
     }
 
     /// Advance this replica's component by one and return the new value.
     pub fn tick(&mut self, r: ReplicaId) -> u64 {
-        let v = self.entries.entry(r).or_insert(0);
-        *v += 1;
-        *v
+        let i = r.0 as usize;
+        if i >= self.entries.len() {
+            self.entries.resize(i + 1, 0);
+        }
+        self.entries[i] += 1;
+        self.entries[i]
     }
 
     /// Pointwise maximum (least upper bound).
     pub fn merge(&mut self, other: &VClock) {
-        for (&r, &v) in &other.entries {
-            let e = self.entries.entry(r).or_insert(0);
+        if other.entries.len() > self.entries.len() {
+            self.entries.resize(other.entries.len(), 0);
+        }
+        for (e, &v) in self.entries.iter_mut().zip(&other.entries) {
             if v > *e {
                 *e = v;
             }
@@ -59,8 +103,14 @@ impl VClock {
     }
 
     /// `self ≤ other` pointwise.
+    #[inline]
     pub fn le(&self, other: &VClock) -> bool {
-        self.entries.iter().all(|(&r, &v)| v <= other.get(r))
+        // Canonical form: a longer vector ends in a non-zero component
+        // the other clock lacks, so it cannot be dominated.
+        if self.entries.len() > other.entries.len() {
+            return false;
+        }
+        self.entries.iter().zip(&other.entries).all(|(a, b)| a <= b)
     }
 
     /// Strict domination: `self ≤ other` and `self ≠ other`.
@@ -83,13 +133,42 @@ impl VClock {
         }
     }
 
+    /// The causal-delivery condition for an event stamped with this clock
+    /// and originated at `origin`, evaluated against the applied clock
+    /// `at`: the origin component must be the next expected sequence and
+    /// every other component already covered. Dense single pass — this is
+    /// the innermost test of `receive`/`drain_pending`.
+    #[inline]
+    pub fn deliverable_from(&self, origin: ReplicaId, at: &VClock) -> bool {
+        let o = origin.0 as usize;
+        for (i, &v) in self.entries.iter().enumerate() {
+            if v == 0 {
+                continue;
+            }
+            let have = at.entries.get(i).copied().unwrap_or(0);
+            if i == o {
+                if v != have + 1 {
+                    return false;
+                }
+            } else if v > have {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Non-zero components, in replica-id order.
     pub fn iter(&self) -> impl Iterator<Item = (ReplicaId, u64)> + '_ {
-        self.entries.iter().map(|(&r, &v)| (r, v))
+        self.entries
+            .iter()
+            .enumerate()
+            .filter(|(_, &v)| v != 0)
+            .map(|(i, &v)| (ReplicaId(i as u16), v))
     }
 
     /// Sum of all components (a cheap logical "size" used for LWW ties).
     pub fn total(&self) -> u64 {
-        self.entries.values().sum()
+        self.entries.iter().sum()
     }
 
     pub fn is_empty(&self) -> bool {
@@ -100,7 +179,7 @@ impl VClock {
 impl fmt::Display for VClock {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "⟨")?;
-        for (i, (r, v)) in self.entries.iter().enumerate() {
+        for (i, (r, v)) in self.iter().enumerate() {
             if i > 0 {
                 write!(f, ", ")?;
             }
@@ -178,6 +257,47 @@ mod tests {
         c.set(r(0), 5);
         c.set(r(0), 0);
         assert!(c.is_empty());
+    }
+
+    #[test]
+    fn from_raw_normalizes_trailing_zeros() {
+        let a = VClock::from_raw(vec![2, 0, 0]);
+        let b = VClock::from_raw(vec![2]);
+        assert_eq!(a, b);
+        assert!(a.le(&b) && b.le(&a));
+        assert!(VClock::from_raw(vec![0, 0]).is_empty());
+    }
+
+    #[test]
+    fn equality_ignores_trailing_zero_components() {
+        // A clock that grew a high component and lost it again must equal
+        // one that never had it (canonical form).
+        let mut a = VClock::new();
+        a.set(r(0), 2);
+        a.set(r(5), 9);
+        a.set(r(5), 0);
+        let mut b = VClock::new();
+        b.set(r(0), 2);
+        assert_eq!(a, b);
+        assert!(a.le(&b) && b.le(&a));
+        assert_eq!(a.partial_cmp_causal(&b), Some(Ordering::Equal));
+    }
+
+    #[test]
+    fn deliverable_from_matches_componentwise_definition() {
+        let batch: VClock = [(r(0), 3), (r(1), 2)].into_iter().collect();
+        let origin = r(1);
+        let cases: &[(&[(u16, u64)], bool)] = &[
+            (&[(0, 3)], false),         // origin seq not next
+            (&[(0, 2), (1, 1)], false), // dependency uncovered
+            (&[(0, 3), (1, 1)], true),  // exactly ready
+            (&[(0, 5), (1, 1)], true),  // extra knowledge is fine
+            (&[(0, 3), (1, 2)], false), // already applied
+        ];
+        for (at, want) in cases {
+            let at: VClock = at.iter().map(|&(i, v)| (r(i), v)).collect();
+            assert_eq!(batch.deliverable_from(origin, &at), *want, "at {at}");
+        }
     }
 
     #[test]

@@ -7,7 +7,7 @@ use crate::metrics::Metrics;
 use crate::server::{ServerQueue, ServiceCosts};
 use crate::time::SimTime;
 use ipa_crdt::ReplicaId;
-use ipa_store::{CommitInfo, Replica, StoreError, Transaction, UpdateBatch};
+use ipa_store::{AeCursors, CommitInfo, Replica, StoreError, Transaction, UpdateBatch};
 use rand::rngs::StdRng;
 use rand::Rng;
 use rand::SeedableRng;
@@ -286,6 +286,12 @@ pub struct Simulation {
     /// schedule under any fault plan.
     nemesis_rng: StdRng,
     crashed: Vec<bool>,
+    /// Per-peer anti-entropy cursors carried across periodic rounds and
+    /// the quiesce fixpoint: pairs whose last pull drained and whose
+    /// inputs (peer clock, source log version) are unchanged skip the
+    /// pull. Never changes which batches are sent, so schedule digests
+    /// are unaffected.
+    ae_cursors: AeCursors,
     /// FNV-1a fold of every processed event — two runs with equal seeds
     /// produce equal digests (the determinism oracle).
     digest: u64,
@@ -325,6 +331,7 @@ impl Simulation {
             rng,
             nemesis_rng,
             crashed,
+            ae_cursors: AeCursors::new(),
             digest: 0xcbf2_9ce4_8422_2325,
             auditor: None,
             nemesis: NemesisStats::default(),
@@ -418,7 +425,7 @@ impl Simulation {
     /// Instant pairwise anti-entropy to a fixpoint: re-delivers every
     /// logged batch some replica is missing (drop and crash repair).
     fn anti_entropy_fixpoint(&mut self) {
-        while ipa_store::anti_entropy_round(&mut self.replicas) > 0 {}
+        while ipa_store::anti_entropy_round_with(&mut self.replicas, &mut self.ae_cursors) > 0 {}
     }
 
     pub fn num_clients(&self) -> usize {
@@ -483,7 +490,14 @@ impl Simulation {
                     continue;
                 }
                 let since = self.replicas[dst].clock().clone();
+                let version = self.replicas[src].log_version();
+                let (d, s) = (self.replicas[dst].id(), self.replicas[src].id());
+                if !self.ae_cursors.should_pull(d, s, &since, version) {
+                    continue;
+                }
                 let missing = self.replicas[src].batches_since(&since);
+                self.ae_cursors
+                    .record(d, s, since, version, missing.is_empty());
                 if missing.is_empty() {
                     continue;
                 }

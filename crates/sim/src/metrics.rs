@@ -103,12 +103,20 @@ impl Metrics {
 
     /// Summary across all labels.
     pub fn overall(&self) -> Option<LatencySummary> {
-        let mut all: Vec<f64> = self.samples.values().flatten().copied().collect();
-        if all.is_empty() {
+        self.overall_with(&mut Vec::new())
+    }
+
+    /// [`Metrics::overall`] flattening into a caller-provided scratch
+    /// buffer, so sweeps computing one summary per point reuse a single
+    /// warmed allocation instead of re-growing a fresh vector each time.
+    pub fn overall_with(&self, scratch: &mut Vec<f64>) -> Option<LatencySummary> {
+        scratch.clear();
+        scratch.extend(self.samples.values().flatten().copied());
+        if scratch.is_empty() {
             return None;
         }
-        all.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
-        summarize(&all)
+        scratch.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        summarize_sorted(scratch)
     }
 }
 
@@ -118,6 +126,13 @@ fn summarize(xs: &[f64]) -> Option<LatencySummary> {
     }
     let mut sorted = xs.to_vec();
     sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    summarize_sorted(&sorted)
+}
+
+fn summarize_sorted(sorted: &[f64]) -> Option<LatencySummary> {
+    if sorted.is_empty() {
+        return None;
+    }
     let n = sorted.len();
     let mean = sorted.iter().sum::<f64>() / n as f64;
     let var = sorted.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;

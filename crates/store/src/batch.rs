@@ -23,15 +23,9 @@ pub struct UpdateBatch {
 
 impl UpdateBatch {
     /// Is this batch deliverable at a replica whose applied-clock is
-    /// `at`? Standard causal-delivery condition.
+    /// `at`? Standard causal-delivery condition (one dense scan).
     pub fn deliverable_at(&self, at: &VClock) -> bool {
-        self.clock.iter().all(|(r, v)| {
-            if r == self.origin {
-                v == at.get(r) + 1
-            } else {
-                v <= at.get(r)
-            }
-        })
+        self.clock.deliverable_from(self.origin, at)
     }
 
     /// Serialized size in bytes (for the simulator's bandwidth model).

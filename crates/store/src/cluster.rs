@@ -3,7 +3,7 @@
 //! (the latency-accurate transport lives in `ipa-sim`).
 
 use crate::batch::UpdateBatch;
-use crate::replica::Replica;
+use crate::replica::{AeCursors, Replica};
 use ipa_crdt::ReplicaId;
 use std::sync::Arc;
 
@@ -15,6 +15,9 @@ pub struct Cluster {
     /// `(destination, batch)`. The payload is shared — fan-out to `n`
     /// destinations costs `n` `Arc` clones, not `n` deep copies.
     in_flight: Vec<(ReplicaId, Arc<UpdateBatch>)>,
+    /// Per-peer anti-entropy cursors carried across rounds: converged
+    /// pairs are skipped without probing the source log.
+    ae_cursors: AeCursors,
 }
 
 impl Cluster {
@@ -23,6 +26,7 @@ impl Cluster {
         Cluster {
             replicas: (0..n).map(|i| Replica::new(ReplicaId(i))).collect(),
             in_flight: Vec::new(),
+            ae_cursors: AeCursors::new(),
         }
     }
 
@@ -131,7 +135,7 @@ impl Cluster {
     /// (and crash-lost outboxes) as long as some replica still logs the
     /// batch. Returns the number of batches applied cluster-wide.
     pub fn anti_entropy(&mut self) -> usize {
-        crate::replica::anti_entropy_round(&mut self.replicas)
+        crate::replica::anti_entropy_round_with(&mut self.replicas, &mut self.ae_cursors)
     }
 
     /// Pump anti-entropy rounds until no replica learns anything new.

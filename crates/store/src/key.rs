@@ -2,14 +2,20 @@
 
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::sync::Arc;
 
 /// A key naming one CRDT object in the store. Applications typically use
 /// structured names like `"tournament:players"` or `"timeline:alice"`.
+///
+/// Keys are interned as `Arc<str>`: cloning — which the replication hot
+/// path does once per update in `apply_batch` and per touched object in
+/// transaction overlays — is a reference-count bump, never a heap copy
+/// of the string.
 #[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
-pub struct Key(pub String);
+pub struct Key(Arc<str>);
 
 impl Key {
-    pub fn new(s: impl Into<String>) -> Key {
+    pub fn new(s: impl Into<Arc<str>>) -> Key {
         Key(s.into())
     }
 
@@ -38,7 +44,7 @@ impl From<&str> for Key {
 
 impl From<String> for Key {
     fn from(s: String) -> Key {
-        Key(s)
+        Key::new(s)
     }
 }
 
@@ -52,5 +58,16 @@ mod tests {
         assert_eq!(k.as_str(), "tournament:players");
         assert_eq!(k.to_string(), "tournament:players");
         assert_eq!(format!("{k:?}"), "Key(tournament:players)");
+    }
+
+    #[test]
+    fn clones_share_the_backing_allocation() {
+        let k: Key = "hot:key".into();
+        let c = k.clone();
+        assert_eq!(k, c);
+        assert!(
+            std::ptr::eq(k.as_str(), c.as_str()),
+            "clone must not copy the string"
+        );
     }
 }

@@ -1,12 +1,20 @@
 //! A single data-center replica: object storage, causal delivery,
 //! stability tracking and garbage collection.
+//!
+//! The replication data path is log-structured: the durable batch log is
+//! segmented per origin and indexed by origin sequence, so an
+//! anti-entropy pull seeks straight to the requester's causal gap in
+//! O(origins) and pays only for the batches it returns — never a scan of
+//! the whole log. The pending (not-yet-deliverable) buffer is likewise
+//! indexed by `(origin, seq)`, making duplicate detection O(1) and the
+//! delivery drain O(origins) per applied batch.
 
 use crate::batch::UpdateBatch;
 use crate::errors::StoreError;
 use crate::key::Key;
 use crate::txn::Transaction;
 use ipa_crdt::{Object, ObjectKind, ReplicaId, Tag, VClock};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::Arc;
 
 /// Counters exposed for tests and the benchmark harness.
@@ -21,6 +29,47 @@ pub struct ReplicaStats {
     pub crashes: u64,
     /// Batches handed out through anti-entropy pulls.
     pub anti_entropy_sent: u64,
+    /// Log entries examined while serving anti-entropy pulls (segment
+    /// probes + returned batches). The full-scan implementation this
+    /// replaced examined the entire log per pull; the benchmark tracks
+    /// the ratio.
+    pub anti_entropy_scanned: u64,
+}
+
+/// One origin's contiguous run of logged batches. Causal delivery (and
+/// local commit order) guarantees a replica applies an origin's batches
+/// in sequence order with no gaps, so `entries[k]` holds origin sequence
+/// `first_seq + k` — an O(1) seek by sequence number. Each entry carries
+/// the global application index so multi-origin pulls can be returned in
+/// exact application order.
+#[derive(Debug)]
+struct OriginLog {
+    /// Sequence number of `entries.front()`; when the segment is empty
+    /// this is the next sequence expected (compaction advances it).
+    first_seq: u64,
+    entries: VecDeque<(u64, Arc<UpdateBatch>)>,
+}
+
+impl OriginLog {
+    fn new() -> OriginLog {
+        OriginLog {
+            first_seq: 1,
+            entries: VecDeque::new(),
+        }
+    }
+
+    /// Sequence number one past the last logged batch.
+    fn next_seq(&self) -> u64 {
+        self.first_seq + self.entries.len() as u64
+    }
+}
+
+/// A batch buffered for causal delivery, with its arrival order and its
+/// current position in the legacy-order scan vector.
+#[derive(Debug)]
+struct PendingSlot {
+    pos: usize,
+    batch: Arc<UpdateBatch>,
 }
 
 /// One replica of the geo-replicated store.
@@ -37,17 +86,32 @@ pub struct Replica {
     /// The declared kind of each key (shipped with updates so receivers
     /// can instantiate missing objects deterministically).
     kinds: HashMap<Key, ObjectKind>,
-    /// Remote batches waiting for causal predecessors. Volatile: lost on
-    /// [`Replica::crash`].
-    pending: Vec<Arc<UpdateBatch>>,
+    /// Remote batches waiting for causal predecessors, indexed by
+    /// `(origin, seq)` for O(1) duplicate detection. `pending_order`
+    /// preserves the buffer's positional order (deliveries use
+    /// swap-remove, exactly like the scan vector this index replaced, so
+    /// application order — and with it every schedule digest — is
+    /// unchanged). Volatile: lost on [`Replica::crash`].
+    pending: HashMap<(ReplicaId, u64), PendingSlot>,
+    pending_order: Vec<(ReplicaId, u64)>,
+    /// Buffered-batch count per origin id: the drain only probes origins
+    /// that actually have something waiting.
+    pending_per_origin: Vec<u32>,
     /// Committed local batches awaiting transport pickup. Volatile: lost
     /// on [`Replica::crash`].
     outbox: Vec<Arc<UpdateBatch>>,
-    /// Durable log of every batch applied here (own commits and remote
-    /// deliveries), in application order. Serves anti-entropy pulls
+    /// Durable log of every batch applied here, segmented per origin and
+    /// indexed by origin sequence. Serves anti-entropy pulls
     /// ([`Replica::batches_since`]) and is compacted under the stability
     /// frontier by [`Replica::run_gc`].
-    log: Vec<Arc<UpdateBatch>>,
+    log: Vec<OriginLog>,
+    /// Total batches across all segments.
+    log_total: usize,
+    /// Global application-order counter (stamps log entries).
+    apply_idx: u64,
+    /// Bumped whenever the log gains or loses entries; anti-entropy
+    /// cursors use it to detect staleness.
+    log_version: u64,
     /// Latest received clock per origin (incl. self) — the causal
     /// stability inputs.
     last_from: BTreeMap<ReplicaId, VClock>,
@@ -63,9 +127,14 @@ impl Replica {
             next_tag: 0,
             objects: HashMap::new(),
             kinds: HashMap::new(),
-            pending: Vec::new(),
+            pending: HashMap::new(),
+            pending_order: Vec::new(),
+            pending_per_origin: Vec::new(),
             outbox: Vec::new(),
             log: Vec::new(),
+            log_total: 0,
+            apply_idx: 0,
+            log_version: 0,
             last_from: BTreeMap::new(),
             stats: ReplicaStats::default(),
         }
@@ -127,7 +196,7 @@ impl Replica {
         self.apply_batch(&batch);
         self.lamport = self.lamport.max(batch.lamport);
         self.last_from.insert(self.id, batch.clock.clone());
-        self.log.push(Arc::clone(&batch));
+        self.log_append(Arc::clone(&batch));
         self.outbox.push(batch);
         self.stats.commits += 1;
     }
@@ -150,46 +219,128 @@ impl Replica {
     /// Receive a remote batch: buffer it and apply everything that has
     /// become deliverable. Duplicates (including redeliveries after a
     /// crash or an anti-entropy re-send) are detected via the batch clock
-    /// and dropped, so delivery is idempotent. Returns the number of
-    /// batches applied.
+    /// and the `(origin, seq)` index and dropped, so delivery is
+    /// idempotent. Returns the number of batches applied.
     pub fn receive(&mut self, batch: impl Into<Arc<UpdateBatch>>) -> usize {
         let batch = batch.into();
         self.stats.batches_received += 1;
         if batch.origin == self.id || batch.clock.le(&self.clock) {
             return 0; // own or already-seen batch
         }
-        if self
-            .pending
-            .iter()
-            .any(|b| b.origin == batch.origin && b.seq == batch.seq)
+        // Fast path: nothing buffered and the batch is immediately
+        // deliverable — the common in-order case. Applying directly is
+        // exactly what buffer-then-drain would do, minus the index
+        // round-trip.
+        if self.pending_order.is_empty() && batch.clock.deliverable_from(batch.origin, &self.clock)
         {
-            return 0; // duplicate of an already-buffered batch
-        }
-        self.pending.push(batch);
-        self.drain_pending()
-    }
-
-    fn drain_pending(&mut self) -> usize {
-        let mut applied = 0;
-        while let Some(idx) = self
-            .pending
-            .iter()
-            .position(|b| b.deliverable_at(&self.clock))
-        {
-            let batch = self.pending.swap_remove(idx);
             self.apply_batch(&batch);
             self.lamport = self.lamport.max(batch.lamport);
             self.last_from
                 .entry(batch.origin)
                 .and_modify(|c| c.merge(&batch.clock))
                 .or_insert_with(|| batch.clock.clone());
-            self.log.push(batch);
+            self.log_append(batch);
+            return 1;
+        }
+        let key = (batch.origin, batch.seq);
+        if self.pending.contains_key(&key) {
+            return 0; // duplicate of an already-buffered batch
+        }
+        let o = batch.origin.0 as usize;
+        if o >= self.pending_per_origin.len() {
+            self.pending_per_origin.resize(o + 1, 0);
+        }
+        self.pending_per_origin[o] += 1;
+        self.pending_order.push(key);
+        self.pending.insert(
+            key,
+            PendingSlot {
+                pos: self.pending_order.len() - 1,
+                batch,
+            },
+        );
+        self.drain_pending()
+    }
+
+    /// Remove the pending batch at position `pos`, swap-remove style (the
+    /// last buffered batch takes its slot).
+    fn pending_swap_remove(&mut self, pos: usize) -> Arc<UpdateBatch> {
+        let key = self.pending_order[pos];
+        let last = self.pending_order.len() - 1;
+        self.pending_order.swap_remove(pos);
+        if pos != last {
+            let moved = self.pending_order[pos];
+            self.pending
+                .get_mut(&moved)
+                .expect("order and index agree")
+                .pos = pos;
+        }
+        self.pending_per_origin[key.0 .0 as usize] -= 1;
+        self.pending
+            .remove(&key)
+            .expect("order and index agree")
+            .batch
+    }
+
+    fn drain_pending(&mut self) -> usize {
+        let mut applied = 0;
+        loop {
+            // Only one batch per origin can be deliverable: the one whose
+            // sequence is next after the applied clock. Probe exactly
+            // those instead of scanning the whole buffer; among the ready
+            // ones, apply the first by buffer position — the same batch a
+            // front-to-back scan would have picked.
+            let mut next: Option<usize> = None;
+            for (o, &count) in self.pending_per_origin.iter().enumerate() {
+                if count == 0 {
+                    continue;
+                }
+                let origin = ReplicaId(o as u16);
+                let want = self.clock.get(origin) + 1;
+                if let Some(slot) = self.pending.get(&(origin, want)) {
+                    if slot.batch.clock.deliverable_from(origin, &self.clock)
+                        && next.is_none_or(|p| slot.pos < p)
+                    {
+                        next = Some(slot.pos);
+                    }
+                }
+            }
+            let Some(pos) = next else { break };
+            let batch = self.pending_swap_remove(pos);
+            self.apply_batch(&batch);
+            self.lamport = self.lamport.max(batch.lamport);
+            self.last_from
+                .entry(batch.origin)
+                .and_modify(|c| c.merge(&batch.clock))
+                .or_insert_with(|| batch.clock.clone());
+            self.log_append(batch);
             applied += 1;
         }
         // Purge buffered copies whose content arrived through another
-        // path (duplicate delivery, anti-entropy) in the meantime.
-        let clock = &self.clock;
-        self.pending.retain(|b| !b.clock.le(clock));
+        // path (duplicate delivery, anti-entropy) in the meantime: a
+        // buffered batch is stale exactly when its sequence is already
+        // covered by the applied clock. The clock only moves when
+        // something applied, so the purge is skipped otherwise.
+        if applied > 0 {
+            let clock = &self.clock;
+            let pending = &mut self.pending;
+            let per_origin = &mut self.pending_per_origin;
+            self.pending_order.retain(|&(origin, seq)| {
+                if seq <= clock.get(origin) {
+                    pending.remove(&(origin, seq));
+                    per_origin[origin.0 as usize] -= 1;
+                    false
+                } else {
+                    true
+                }
+            });
+            for (pos, key) in self.pending_order.iter().enumerate() {
+                self.pending
+                    .get_mut(key)
+                    .expect("order and index agree")
+                    .pos = pos;
+            }
+        }
         applied
     }
 
@@ -216,7 +367,7 @@ impl Replica {
 
     /// Number of buffered (not yet causally deliverable) batches.
     pub fn pending_count(&self) -> usize {
-        self.pending.len()
+        self.pending_order.len()
     }
 
     // ------------------------------------------------------------------
@@ -230,31 +381,88 @@ impl Replica {
     /// peers re-send from their logs ([`Replica::batches_since`]) and
     /// this replica re-sends its own logged commits.
     pub fn crash(&mut self) -> usize {
-        let lost = self.outbox.len() + self.pending.len();
+        let lost = self.outbox.len() + self.pending_order.len();
         self.outbox.clear();
         self.pending.clear();
+        self.pending_order.clear();
+        self.pending_per_origin.fill(0);
         self.stats.crashes += 1;
         lost
     }
 
+    /// Append an applied batch to its origin's log segment.
+    fn log_append(&mut self, batch: Arc<UpdateBatch>) {
+        let o = batch.origin.0 as usize;
+        if o >= self.log.len() {
+            self.log.resize_with(o + 1, OriginLog::new);
+        }
+        let seg = &mut self.log[o];
+        debug_assert_eq!(
+            batch.seq,
+            seg.next_seq(),
+            "causal delivery applies an origin's batches gap-free"
+        );
+        seg.entries.push_back((self.apply_idx, batch));
+        self.apply_idx += 1;
+        self.log_total += 1;
+        self.log_version += 1;
+    }
+
     /// Anti-entropy pull: every logged batch not yet covered by `since`
-    /// (the requesting replica's applied clock), in log order — so a
-    /// recovering or drop-afflicted peer can close its causal gaps.
+    /// (the requesting replica's applied clock), in application order —
+    /// so a recovering or drop-afflicted peer can close its causal gaps.
+    /// Each origin segment is seeked by sequence number, so the pull
+    /// costs O(origins + missing), independent of the log length.
     pub fn batches_since(&mut self, since: &VClock) -> Vec<Arc<UpdateBatch>> {
-        let out: Vec<Arc<UpdateBatch>> = self
-            .log
-            .iter()
-            .filter(|b| b.clock.get(b.origin) > since.get(b.origin))
-            .cloned()
-            .collect();
-        self.stats.anti_entropy_sent += out.len() as u64;
-        out
+        let mut hits: Vec<(u64, Arc<UpdateBatch>)> = Vec::new();
+        let mut scanned = 0u64;
+        for (o, seg) in self.log.iter().enumerate() {
+            if seg.entries.is_empty() {
+                continue;
+            }
+            scanned += 1; // segment probe
+            let have = since.get(ReplicaId(o as u16));
+            // Compacted batches are causally stable, hence already
+            // applied at every replica that can ask — the requester's
+            // clock always covers them.
+            debug_assert!(have + 1 >= seg.first_seq || seg.entries.is_empty());
+            let start = (have + 1).max(seg.first_seq);
+            let idx = (start - seg.first_seq) as usize;
+            for e in seg.entries.iter().skip(idx) {
+                hits.push(e.clone());
+            }
+        }
+        // Restore global application order (pulls feed causal delivery in
+        // the exact order a full log scan used to produce).
+        hits.sort_unstable_by_key(|(apply_idx, _)| *apply_idx);
+        self.stats.anti_entropy_scanned += scanned + hits.len() as u64;
+        self.stats.anti_entropy_sent += hits.len() as u64;
+        hits.into_iter().map(|(_, b)| b).collect()
     }
 
     /// Length of the durable applied-batch log (observability for the
     /// compaction tests).
     pub fn log_len(&self) -> usize {
-        self.log.len()
+        self.log_total
+    }
+
+    /// Monotonic counter bumped on every log append or compaction.
+    /// [`AeCursors`] compares it to detect whether a peer's last pull
+    /// result could have changed.
+    pub fn log_version(&self) -> u64 {
+        self.log_version
+    }
+
+    /// The full durable log in application order (test oracle; the hot
+    /// path never materializes this).
+    pub fn log_snapshot(&self) -> Vec<Arc<UpdateBatch>> {
+        let mut all: Vec<(u64, Arc<UpdateBatch>)> = self
+            .log
+            .iter()
+            .flat_map(|seg| seg.entries.iter().cloned())
+            .collect();
+        all.sort_unstable_by_key(|(apply_idx, _)| *apply_idx);
+        all.into_iter().map(|(_, b)| b).collect()
     }
 
     /// Delivery idempotence oracle: every applied batch advances exactly
@@ -298,7 +506,25 @@ impl Replica {
         }
         // Causally stable batches have been received everywhere, so no
         // anti-entropy pull can ever need them again — compact the log.
-        self.log.retain(|b| !b.clock.le(&frontier));
+        // Per-origin batch clocks grow monotonically with the sequence,
+        // so the stable batches form a prefix of each segment; dropping
+        // it advances `first_seq`, which keeps the seek index valid.
+        let mut compacted = false;
+        for seg in &mut self.log {
+            while let Some((_, b)) = seg.entries.front() {
+                if b.clock.le(&frontier) {
+                    seg.entries.pop_front();
+                    seg.first_seq += 1;
+                    self.log_total -= 1;
+                    compacted = true;
+                } else {
+                    break;
+                }
+            }
+        }
+        if compacted {
+            self.log_version += 1;
+        }
         self.stats.gc_runs += 1;
     }
 
@@ -332,11 +558,87 @@ pub(crate) fn creation_owner() -> ReplicaId {
     ReplicaId(0)
 }
 
+/// Per-peer anti-entropy cursors, held by whoever drives repeated rounds
+/// (a [`crate::Cluster`], the simulator). For each `(puller, source)`
+/// pair the cursor caches the puller's applied clock and the source's log
+/// version as of the last pull; when neither has moved and that pull came
+/// back empty, the next round skips the pair outright — a pull is a pure
+/// function of exactly those two inputs. In a converged cluster this
+/// makes a round O(pairs) instead of O(pairs × log).
+///
+/// The cursor never changes *what* a pull returns: the batch set is
+/// always derived from the puller's authoritative clock, so dropped or
+/// refused deliveries are re-sent exactly as without cursors (schedule
+/// digests are bit-identical), and GC compaction — which only discards
+/// causally stable prefixes every possible puller already covers — just
+/// bumps the log version and forces one fresh (still cheap, seek-based)
+/// pull.
+#[derive(Debug, Default)]
+pub struct AeCursors {
+    map: HashMap<(ReplicaId, ReplicaId), AeCursor>,
+}
+
+#[derive(Debug)]
+struct AeCursor {
+    peer_clock: VClock,
+    log_version: u64,
+    drained: bool,
+}
+
+impl AeCursors {
+    pub fn new() -> AeCursors {
+        AeCursors::default()
+    }
+
+    /// Would a pull by `dst` (applied clock `clock`) from `src` (log
+    /// version `version`) return anything it did not already return last
+    /// time? False only when the last pull was empty and both inputs are
+    /// unchanged.
+    pub fn should_pull(
+        &self,
+        dst: ReplicaId,
+        src: ReplicaId,
+        clock: &VClock,
+        version: u64,
+    ) -> bool {
+        match self.map.get(&(dst, src)) {
+            Some(c) => !(c.drained && c.log_version == version && c.peer_clock == *clock),
+            None => true,
+        }
+    }
+
+    /// Record the inputs and outcome of a pull that actually ran.
+    pub fn record(
+        &mut self,
+        dst: ReplicaId,
+        src: ReplicaId,
+        clock: VClock,
+        version: u64,
+        drained: bool,
+    ) {
+        self.map.insert(
+            (dst, src),
+            AeCursor {
+                peer_clock: clock,
+                log_version: version,
+                drained,
+            },
+        );
+    }
+}
+
 /// One full pairwise anti-entropy round over a replica set: every
 /// replica pulls the batches it is missing from every peer's durable
 /// log. Returns the number of batches applied. Shared by
 /// [`crate::Cluster::anti_entropy`] and the simulator's post-run repair.
 pub fn anti_entropy_round(replicas: &mut [Replica]) -> usize {
+    anti_entropy_round_with(replicas, &mut AeCursors::new())
+}
+
+/// [`anti_entropy_round`] with per-peer cursors carried across rounds:
+/// pairs whose last pull drained and whose inputs are unchanged are
+/// skipped without touching the source log.
+pub fn anti_entropy_round_with(replicas: &mut [Replica], cursors: &mut AeCursors) -> usize {
     let mut applied = 0;
     let n = replicas.len();
     for dst in 0..n {
@@ -344,8 +646,14 @@ pub fn anti_entropy_round(replicas: &mut [Replica]) -> usize {
             if src == dst {
                 continue;
             }
+            let (d, s) = (replicas[dst].id(), replicas[src].id());
+            let version = replicas[src].log_version();
             let since = replicas[dst].clock().clone();
+            if !cursors.should_pull(d, s, &since, version) {
+                continue;
+            }
             let missing = replicas[src].batches_since(&since);
+            cursors.record(d, s, since, version, missing.is_empty());
             for b in missing {
                 applied += replicas[dst].receive(b);
             }
@@ -436,6 +744,27 @@ mod tests {
     }
 
     #[test]
+    fn duplicate_of_buffered_batch_is_indexed_out() {
+        let mut a = Replica::new(r(0));
+        let mut b = Replica::new(r(1));
+        for v in ["x", "y"] {
+            let mut tx = a.begin();
+            tx.ensure("set", ObjectKind::AWSet).unwrap();
+            tx.aw_add("set", Val::str(v)).unwrap();
+            tx.commit();
+        }
+        let mut batches = a.take_outbox();
+        let second = batches.pop().unwrap();
+        let first = batches.pop().unwrap();
+        // Buffer the out-of-order batch, then redeliver the same copy.
+        assert_eq!(b.receive(Arc::clone(&second)), 0);
+        assert_eq!(b.receive(Arc::clone(&second)), 0, "buffered duplicate");
+        assert_eq!(b.pending_count(), 1, "the duplicate was not re-buffered");
+        assert_eq!(b.receive(first), 2);
+        assert!(b.applied_consistent());
+    }
+
+    #[test]
     fn causal_chain_across_three_replicas() {
         // A writes, B reads A's write and writes, C must see them in order.
         let mut a = Replica::new(r(0));
@@ -511,6 +840,59 @@ mod tests {
             .entry_count();
         assert_eq!(after, 0, "decided add/remove pair compacted away");
         assert_eq!(a.stats.gc_runs, 1);
+    }
+
+    #[test]
+    fn batches_since_seeks_instead_of_scanning() {
+        let mut a = Replica::new(r(0));
+        for i in 0..100 {
+            let mut tx = a.begin();
+            tx.ensure("c", ObjectKind::PNCounter).unwrap();
+            tx.counter_add("c", i).unwrap();
+            tx.commit();
+        }
+        a.take_outbox();
+        // A peer missing only the last 3 batches costs ~3, not 100.
+        let since: VClock = [(r(0), 97)].into_iter().collect();
+        let before = a.stats.anti_entropy_scanned;
+        let missing = a.batches_since(&since);
+        assert_eq!(missing.len(), 3);
+        assert_eq!(missing[0].seq, 98);
+        let scanned = a.stats.anti_entropy_scanned - before;
+        assert!(scanned <= 4, "seek cost {scanned} must not scan the log");
+        // A fully caught-up peer costs only the segment probe.
+        let caught_up = a.clock().clone();
+        let before = a.stats.anti_entropy_scanned;
+        assert!(a.batches_since(&caught_up).is_empty());
+        assert!(a.stats.anti_entropy_scanned - before <= 1);
+    }
+
+    #[test]
+    fn cursors_skip_drained_pairs_without_changing_results() {
+        let mut replicas = vec![Replica::new(r(0)), Replica::new(r(1))];
+        let mut tx = replicas[0].begin();
+        tx.ensure("c", ObjectKind::PNCounter).unwrap();
+        tx.counter_add("c", 1).unwrap();
+        tx.commit();
+        let mut cursors = AeCursors::new();
+        assert_eq!(anti_entropy_round_with(&mut replicas, &mut cursors), 1);
+        // Second round: nothing to pull; third round after cursors have
+        // seen the drained state: the source log is not even probed.
+        assert_eq!(anti_entropy_round_with(&mut replicas, &mut cursors), 0);
+        let probes =
+            replicas[0].stats.anti_entropy_scanned + replicas[1].stats.anti_entropy_scanned;
+        assert_eq!(anti_entropy_round_with(&mut replicas, &mut cursors), 0);
+        assert_eq!(
+            replicas[0].stats.anti_entropy_scanned + replicas[1].stats.anti_entropy_scanned,
+            probes,
+            "drained pairs are skipped without a pull"
+        );
+        // A new commit invalidates the cursor and the pull resumes.
+        let mut tx = replicas[1].begin();
+        tx.ensure("c", ObjectKind::PNCounter).unwrap();
+        tx.counter_add("c", 1).unwrap();
+        tx.commit();
+        assert_eq!(anti_entropy_round_with(&mut replicas, &mut cursors), 1);
     }
 
     #[test]

@@ -62,14 +62,7 @@ impl<T: CausalItem> CausalItem for &T {
 /// origin component is the next expected and every other component is
 /// already covered.
 fn deliverable<T: CausalItem>(item: &T, delivered: &VClock) -> bool {
-    let origin = item.origin();
-    item.clock().iter().all(|(r, v)| {
-        if r == origin {
-            v == delivered.get(r) + 1
-        } else {
-            v <= delivered.get(r)
-        }
-    })
+    item.clock().deliverable_from(item.origin(), delivered)
 }
 
 /// Per-batch transport faults applied while [`Schedule::run`] drains a

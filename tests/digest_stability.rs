@@ -1,0 +1,102 @@
+//! Deterministic-replay pin: schedule digests for a matrix of
+//! `(SimConfig::seed, FaultPlan::seed)` pairs, frozen at the values the
+//! event loop produced before the replication hot path went
+//! log-structured (per-origin indexed segments, anti-entropy cursors,
+//! dense vector clocks, indexed pending set). Any optimization that
+//! perturbs the processed event schedule — an extra or missing
+//! anti-entropy re-send, a reordered pull, a changed delivery order —
+//! changes a digest and fails here.
+//!
+//! If a digest changes *intentionally* (a new event type, a semantic
+//! scheduling change), re-pin the constants and say why in the commit.
+
+use ipa::apps::oracle::Oracle;
+use ipa::apps::tournament::TournamentWorkload;
+use ipa::apps::Mode;
+use ipa::sim::{paper_topology, CrashPlan, FaultPlan, SimConfig, Simulation};
+
+fn digest(mode: Mode, sim_seed: u64, faults: FaultPlan) -> u64 {
+    let cfg = SimConfig {
+        clients_per_region: 2,
+        warmup_s: 0.2,
+        duration_s: 1.8,
+        seed: sim_seed,
+        faults,
+        ..Default::default()
+    };
+    let mut sim = Simulation::new(paper_topology(), cfg);
+    sim.set_auditor(0.25, Oracle::tournament().into_continuous_auditor());
+    let mut w = TournamentWorkload::with_defaults(mode);
+    sim.run(&mut w);
+    sim.quiesce();
+    sim.schedule_digest()
+}
+
+fn plans(fault_seed: u64) -> Vec<(&'static str, FaultPlan)> {
+    let mut crashy = FaultPlan::with_intensity(fault_seed, 0.4);
+    crashy.crashes.push(CrashPlan {
+        region: (fault_seed % 3) as u16,
+        at_s: 0.9,
+        down_s: 0.8,
+    });
+    vec![
+        ("none", FaultPlan::none()),
+        ("mid", FaultPlan::with_intensity(fault_seed, 0.5)),
+        ("hot", FaultPlan::with_intensity(fault_seed, 1.0)),
+        ("crashy", crashy),
+    ]
+}
+
+/// (sim seed, fault seed, plan name, mode as index {0: Causal, 1: Ipa},
+/// pinned digest).
+const PINNED: &[(u64, u64, &str, usize, u64)] = &[
+    (11, 11, "none", 0, 0xc01e61a063635644),
+    (11, 11, "none", 1, 0x0c2678d401ef2ee4),
+    (11, 11, "mid", 0, 0x6c6c84d785f18865),
+    (11, 11, "mid", 1, 0x98151352c9de5fbf),
+    (11, 11, "hot", 0, 0x085bc14d13921d66),
+    (11, 11, "hot", 1, 0x869395e6a48dcf2d),
+    (11, 11, "crashy", 0, 0x2f27609cd7501a4a),
+    (11, 11, "crashy", 1, 0xf3a634ac3817ef2c),
+    (23, 713, "none", 0, 0xb9666ce0fb916629),
+    (23, 713, "none", 1, 0xcba2e59fedff374e),
+    (23, 713, "mid", 0, 0x14b40dd5a2c8681a),
+    (23, 713, "mid", 1, 0x72e819b03f1d8e36),
+    (23, 713, "hot", 0, 0x31de0edc66a2ccc9),
+    (23, 713, "hot", 1, 0xf2b542df245b14ce),
+    (23, 713, "crashy", 0, 0x0d69d7c916196ae8),
+    (23, 713, "crashy", 1, 0x9a0b5a974646f341),
+    (37, 37, "none", 0, 0x45918b9abc6db1e5),
+    (37, 37, "none", 1, 0x10ef1d3b2e8cb2ba),
+    (37, 37, "mid", 0, 0x3cab3d49c2049099),
+    (37, 37, "mid", 1, 0x3cb3f57846d5b7b7),
+    (37, 37, "hot", 0, 0xb6e4f44c7b8c8882),
+    (37, 37, "hot", 1, 0x9cdeee4c5fa760a7),
+    (37, 37, "crashy", 0, 0x93c96f11b04b0873),
+    (37, 37, "crashy", 1, 0x724a1cf3ca865531),
+    (97, 3007, "none", 0, 0x21836fd632305359),
+    (97, 3007, "none", 1, 0xbefa284938aaa1f6),
+    (97, 3007, "mid", 0, 0x4c19d92ab5e22cee),
+    (97, 3007, "mid", 1, 0xf0333daed570938c),
+    (97, 3007, "hot", 0, 0xe2922a5c483ff973),
+    (97, 3007, "hot", 1, 0x23323149c817aedb),
+    (97, 3007, "crashy", 0, 0x9a162ebbb37f25cb),
+    (97, 3007, "crashy", 1, 0x31030f1b82f4212b),
+];
+
+#[test]
+fn schedule_digests_match_the_pre_optimization_pins() {
+    for &(sim_seed, fault_seed, plan_name, mode_idx, want) in PINNED {
+        let (name, plan) = plans(fault_seed)
+            .into_iter()
+            .find(|(n, _)| *n == plan_name)
+            .expect("plan name");
+        let mode = [Mode::Causal, Mode::Ipa][mode_idx];
+        let got = digest(mode, sim_seed, plan);
+        assert_eq!(
+            got, want,
+            "schedule digest drifted for (sim seed {sim_seed}, fault seed \
+             {fault_seed}, plan {name}, {mode:?}): 0x{got:016x} != 0x{want:016x}"
+        );
+    }
+}
