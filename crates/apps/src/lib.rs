@@ -25,6 +25,7 @@
 
 pub mod common;
 pub mod oracle;
+pub mod soak;
 pub mod ticket;
 pub mod tournament;
 pub mod tpc;
@@ -32,4 +33,4 @@ pub mod twitter;
 pub mod violations;
 
 pub use common::Mode;
-pub use oracle::{AuditReport, Oracle, Phase};
+pub use oracle::{AuditReport, Oracle, Phase, SimCheck, DEFAULT_LIVENESS_BOUND};

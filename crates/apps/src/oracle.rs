@@ -22,7 +22,7 @@
 //! continuous invariant checking for free.
 
 use crate::violations as v;
-use ipa_sim::{Auditor, Region};
+use ipa_sim::{Auditor, Region, Simulation};
 use ipa_store::Replica;
 use std::fmt;
 use std::rc::Rc;
@@ -34,9 +34,34 @@ pub enum Phase {
     Continuous,
     /// Compensable: must hold after repair reaches a fixpoint.
     Final,
+    /// Whole-simulation liveness: audited against the run, not a single
+    /// replica's state (e.g. bounded anti-entropy convergence).
+    Liveness,
 }
 
 type CheckFn = Rc<dyn Fn(&Replica) -> u64>;
+type SimCheckFn = Rc<dyn Fn(&Simulation) -> u64>;
+
+/// One named whole-simulation check (the [`Phase::Liveness`] class):
+/// unlike state checks it sees the run itself — round counts, gap
+/// accounting, nemesis statistics.
+#[derive(Clone)]
+pub struct SimCheck {
+    pub name: &'static str,
+    f: SimCheckFn,
+}
+
+impl SimCheck {
+    pub fn count(&self, sim: &Simulation) -> u64 {
+        (self.f)(sim)
+    }
+}
+
+impl fmt::Debug for SimCheck {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SimCheck({} @ Liveness)", self.name)
+    }
+}
 
 /// One named invariant check.
 #[derive(Clone)]
@@ -80,11 +105,21 @@ impl AuditReport {
     }
 }
 
+/// Anti-entropy convergence bound every application registry ships
+/// with: after a fault, each induced causal gap must close within this
+/// many rounds of repair opportunity (and quiescence within as many
+/// productive rounds). Generous against delivery latency — one pull
+/// plus a WAN one-way fits in 2 — while still catching a repair path
+/// that loops or starves.
+pub const DEFAULT_LIVENESS_BOUND: u64 = 12;
+
 /// The invariant registry of one application.
 #[derive(Clone, Debug)]
 pub struct Oracle {
     pub app: &'static str,
     checks: Vec<Check>,
+    sim_checks: Vec<SimCheck>,
+    liveness_bound: Option<u64>,
 }
 
 impl Oracle {
@@ -92,6 +127,8 @@ impl Oracle {
         Oracle {
             app,
             checks: Vec::new(),
+            sim_checks: Vec::new(),
+            liveness_bound: None,
         }
     }
 
@@ -101,6 +138,10 @@ impl Oracle {
         phase: Phase,
         f: impl Fn(&Replica) -> u64 + 'static,
     ) -> Oracle {
+        assert!(
+            phase != Phase::Liveness,
+            "liveness checks audit the simulation; use with_sim_check"
+        );
         self.checks.push(Check {
             name,
             phase,
@@ -109,8 +150,52 @@ impl Oracle {
         self
     }
 
+    /// Register a whole-simulation ([`Phase::Liveness`]) check.
+    pub fn with_sim_check(
+        mut self,
+        name: &'static str,
+        f: impl Fn(&Simulation) -> u64 + 'static,
+    ) -> Oracle {
+        self.sim_checks.push(SimCheck {
+            name,
+            f: Rc::new(f),
+        });
+        self
+    }
+
+    /// Arm the bounded-liveness oracle: registers the `bounded-liveness`
+    /// sim check (violations reported by the simulation's gap/round
+    /// accounting) and remembers the bound the harness must install via
+    /// [`ipa_sim::Simulation::set_liveness_bound`] before the run.
+    pub fn with_liveness(mut self, bound: u64) -> Oracle {
+        self.liveness_bound = Some(bound);
+        self.with_sim_check("bounded-liveness", Simulation::liveness_violations)
+    }
+
+    /// The convergence bound to install on the simulation (None when
+    /// [`Oracle::with_liveness`] was never called).
+    pub fn liveness_bound(&self) -> Option<u64> {
+        self.liveness_bound
+    }
+
     pub fn checks(&self) -> &[Check] {
         &self.checks
+    }
+
+    pub fn sim_checks(&self) -> &[SimCheck] {
+        &self.sim_checks
+    }
+
+    /// Audit the whole-simulation (liveness) checks.
+    pub fn audit_sim(&self, sim: &Simulation) -> AuditReport {
+        AuditReport {
+            app: self.app,
+            per_check: self
+                .sim_checks
+                .iter()
+                .map(|c| (c.name, c.count(sim)))
+                .collect(),
+        }
     }
 
     /// Audit every check of the given phase (plus, for `Final`, the
@@ -167,6 +252,7 @@ impl Oracle {
                 v::tournament_match_phase(r)
             })
             .with_check("capacity", Phase::Final, v::tournament_capacity)
+            .with_liveness(DEFAULT_LIVENESS_BOUND)
     }
 
     /// Twitter: pure referential integrity, all continuous.
@@ -178,15 +264,18 @@ impl Oracle {
             .with_check("follow-referential", Phase::Continuous, |r| {
                 v::twitter_follow_referential(r)
             })
+            .with_liveness(DEFAULT_LIVENESS_BOUND)
     }
 
     /// Ticket: overselling is compensated on read (§3.4), so the
     /// capacity check is final-phase. `events` and `capacity` come from
     /// the workload configuration.
     pub fn ticket(events: Vec<String>, capacity: usize) -> Oracle {
-        Oracle::new("ticket").with_check("oversell", Phase::Final, move |r| {
-            v::ticket_violations(r, &events, capacity)
-        })
+        Oracle::new("ticket")
+            .with_check("oversell", Phase::Final, move |r| {
+                v::ticket_violations(r, &events, capacity)
+            })
+            .with_liveness(DEFAULT_LIVENESS_BOUND)
     }
 
     /// TPC subset: order referential integrity holds continuously;
@@ -199,6 +288,7 @@ impl Oracle {
             .with_check("stock-nonnegative", Phase::Final, move |r| {
                 v::tpc_stock_nonnegative(r, &items)
             })
+            .with_liveness(DEFAULT_LIVENESS_BOUND)
     }
 }
 
@@ -262,6 +352,35 @@ mod tests {
         let report = oracle.audit(&r, Phase::Final);
         assert_eq!(report.total(), 1);
         assert!(report.violated().contains(&"capacity"));
+    }
+
+    #[test]
+    fn every_registry_arms_the_liveness_check() {
+        use ipa_sim::{paper_topology, FaultPlan, SimConfig, Simulation};
+        let sim = Simulation::new(
+            paper_topology(),
+            SimConfig {
+                faults: FaultPlan::none(),
+                ..Default::default()
+            },
+        );
+        for oracle in [
+            Oracle::tournament(),
+            Oracle::twitter(),
+            Oracle::ticket(vec!["e0".into()], 10),
+            Oracle::tpc(vec!["i0".into()]),
+        ] {
+            assert_eq!(
+                oracle.liveness_bound(),
+                Some(DEFAULT_LIVENESS_BOUND),
+                "{}",
+                oracle.app
+            );
+            let report = oracle.audit_sim(&sim);
+            assert_eq!(report.per_check, vec![("bounded-liveness", 0)]);
+            // Liveness never leaks into the replica-state phases.
+            assert!(oracle.checks().iter().all(|c| c.phase != Phase::Liveness));
+        }
     }
 
     #[test]

@@ -1,0 +1,419 @@
+//! Workload-parametric nemesis soak entry points: one uniform harness
+//! that drives any of the paper's four applications under a hostile
+//! schedule, audits its full [`Oracle`] registry (continuous, final,
+//! bounded-liveness), classifies the first failure, and — on red —
+//! feeds the run to the `ipa-sim` shrinker to produce a minimal,
+//! replayable counterexample.
+//!
+//! `tests/nemesis_soak.rs` selects the application via
+//! `IPA_NEMESIS_APP=tournament|ticket|tpc|twitter`; CI fans the product
+//! `application × seed` out one cell per job.
+
+use crate::oracle::{Oracle, Phase};
+use crate::ticket::workload::TicketWorkload;
+use crate::tournament::workload::TournamentWorkload;
+use crate::tpc::workload::TpcWorkload;
+use crate::twitter::runtime::Strategy;
+use crate::twitter::workload::TwitterWorkload;
+use crate::Mode;
+use ipa_sim::{
+    paper_topology, shrink_plan, ClientInfo, ExplicitPlan, FaultPlan, OpOutcome, RunVerdict,
+    ShrinkBudget, ShrinkOutcome, SimConfig, SimCtx, Simulation, Workload,
+};
+
+/// One of the paper's four applications, as a soak-matrix coordinate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum App {
+    Tournament,
+    Ticket,
+    Tpc,
+    Twitter,
+}
+
+impl App {
+    pub fn all() -> [App; 4] {
+        [App::Tournament, App::Ticket, App::Tpc, App::Twitter]
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            App::Tournament => "tournament",
+            App::Ticket => "ticket",
+            App::Tpc => "tpc",
+            App::Twitter => "twitter",
+        }
+    }
+
+    /// Parse an `IPA_NEMESIS_APP` value.
+    pub fn parse(s: &str) -> Option<App> {
+        App::all()
+            .into_iter()
+            .find(|a| a.name() == s.trim().to_lowercase())
+    }
+}
+
+impl std::fmt::Display for App {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The invariant-preserving configuration under soak: IPA mode for the
+/// three Mode-driven apps; the add-wins repair strategy for Twitter
+/// (its rem-wins variant repairs on read instead, which intentionally
+/// violates the continuous referential checks mid-run).
+enum SoakWorkload {
+    Tournament(TournamentWorkload),
+    Ticket(TicketWorkload),
+    Tpc(TpcWorkload),
+    Twitter(TwitterWorkload),
+}
+
+impl Workload for SoakWorkload {
+    fn setup(&mut self, ctx: &mut SimCtx<'_>) {
+        match self {
+            SoakWorkload::Tournament(w) => w.setup(ctx),
+            SoakWorkload::Ticket(w) => w.setup(ctx),
+            SoakWorkload::Tpc(w) => w.setup(ctx),
+            SoakWorkload::Twitter(w) => w.setup(ctx),
+        }
+    }
+
+    fn op(&mut self, ctx: &mut SimCtx<'_>, client: ClientInfo) -> OpOutcome {
+        match self {
+            SoakWorkload::Tournament(w) => w.op(ctx, client),
+            SoakWorkload::Ticket(w) => w.op(ctx, client),
+            SoakWorkload::Tpc(w) => w.op(ctx, client),
+            SoakWorkload::Twitter(w) => w.op(ctx, client),
+        }
+    }
+}
+
+/// The first oracle failure a soak run exhibited.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Failure {
+    /// Stable check identifier, e.g. `continuous:phase-exclusion`,
+    /// `final:capacity`, `double-apply`, `convergence`,
+    /// `bounded-liveness`. The shrinker minimizes against exactly this.
+    pub check: String,
+    pub count: u64,
+}
+
+impl std::fmt::Display for Failure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} ({} violations)", self.check, self.count)
+    }
+}
+
+/// Outcome of one soaked run (quiesced, repaired, audited).
+pub struct SoakRun {
+    pub sim: Simulation,
+    pub failure: Option<Failure>,
+    pub digest: u64,
+    /// The recorded fault trace, when recording was requested.
+    pub trace: Option<ExplicitPlan>,
+}
+
+/// The nemesis configuration of one soak run.
+pub enum Nemesis<'a> {
+    /// Probabilistic plan (the CI matrix shape); `record` captures the
+    /// materialized fault trace for shrinking.
+    Plan { faults: &'a FaultPlan, record: bool },
+    /// Sealed replay of an explicit plan (shrink candidates, repro
+    /// artifacts).
+    Explicit(&'a ExplicitPlan),
+}
+
+/// The SimConfig every soak cell runs (kept in lockstep with the
+/// digest-stability pins: clients 2, warmup 0.2 s, duration 1.8 s).
+pub fn soak_config(seed: u64, faults: FaultPlan) -> SimConfig {
+    SimConfig {
+        clients_per_region: 2,
+        warmup_s: 0.2,
+        duration_s: 1.8,
+        seed,
+        faults,
+        ..Default::default()
+    }
+}
+
+fn fresh_workload(app: App) -> SoakWorkload {
+    match app {
+        App::Tournament => SoakWorkload::Tournament(TournamentWorkload::with_defaults(Mode::Ipa)),
+        App::Ticket => SoakWorkload::Ticket(TicketWorkload::with_defaults(Mode::Ipa)),
+        App::Tpc => SoakWorkload::Tpc(TpcWorkload::with_defaults(Mode::Ipa)),
+        App::Twitter => SoakWorkload::Twitter(TwitterWorkload::with_defaults(Strategy::AddWins)),
+    }
+}
+
+/// The app's full registry. Ticket's oversell check enumerates event
+/// generations, which only the finished workload knows — hence the
+/// post-run handle.
+fn oracle_for(app: App, w: &SoakWorkload) -> Oracle {
+    match (app, w) {
+        (App::Tournament, _) => Oracle::tournament(),
+        (App::Ticket, SoakWorkload::Ticket(w)) => {
+            Oracle::ticket(w.all_event_names(), w.app.capacity)
+        }
+        (App::Tpc, SoakWorkload::Tpc(w)) => Oracle::tpc(w.products().to_vec()),
+        (App::Twitter, _) => Oracle::twitter(),
+        _ => unreachable!("workload/app mismatch"),
+    }
+}
+
+/// Two rounds of "read every entity at every replica, then replicate":
+/// the generic shape of a read-side compensation sweep (reads repair,
+/// the sync spreads the repairs, the second round confirms a fixpoint).
+fn view_sweep(
+    sim: &mut Simulation,
+    names: &[String],
+    mut view: impl FnMut(&mut ipa_store::Transaction<'_>, &str),
+) {
+    for _round in 0..2 {
+        for region in 0..sim.regions() as u16 {
+            let replica = sim.replica_mut(region);
+            let mut tx = replica.begin();
+            for name in names {
+                view(&mut tx, name);
+            }
+            tx.commit();
+        }
+        sim.sync_all();
+    }
+}
+
+/// Run the read-side compensations to a fixpoint (§3.4): each app's
+/// compensable invariants only promise to hold after their repairing
+/// reads have run everywhere and replicated.
+fn final_repair(app: App, w: &SoakWorkload, sim: &mut Simulation) {
+    match (app, w) {
+        (App::Tournament, SoakWorkload::Tournament(w)) => w.final_repair(sim),
+        (App::Ticket, SoakWorkload::Ticket(w)) => {
+            let app = w.app;
+            view_sweep(sim, &w.all_event_names(), |tx, e| {
+                app.view(tx, e).expect("view sweep");
+            });
+        }
+        (App::Tpc, SoakWorkload::Tpc(w)) => {
+            let app = w.app;
+            view_sweep(sim, w.products(), |tx, p| {
+                app.view(tx, p).expect("view sweep");
+            });
+        }
+        // Add-wins Twitter preserves its invariants in-line; there is
+        // nothing compensable to sweep.
+        (App::Twitter, _) => {}
+        _ => unreachable!("workload/app mismatch"),
+    }
+}
+
+/// Classify the first failure of a quiesced, repaired run. The order is
+/// fixed so the same defect always reports the same check (the shrinker
+/// keys on it): continuous → double-apply → final → convergence →
+/// bounded-liveness.
+fn classify(app: App, w: &SoakWorkload, sim: &Simulation) -> Option<Failure> {
+    let oracle = oracle_for(app, w);
+    if sim.metrics.audit_violations > 0 {
+        // Attribute to the check still violated now if any (the final
+        // audit below includes continuous checks); otherwise report the
+        // transient class.
+        for r in 0..sim.regions() as u16 {
+            let report = oracle.audit(sim.replica(r), Phase::Continuous);
+            if let Some(name) = report.violated().first() {
+                return Some(Failure {
+                    check: format!("continuous:{name}"),
+                    count: sim.metrics.audit_violations,
+                });
+            }
+        }
+        return Some(Failure {
+            check: "continuous:transient".into(),
+            count: sim.metrics.audit_violations,
+        });
+    }
+    let double = sim.double_apply_violations();
+    if !double.is_empty() {
+        return Some(Failure {
+            check: "double-apply".into(),
+            count: double.len() as u64,
+        });
+    }
+    for r in 0..sim.regions() as u16 {
+        let report = oracle.audit(sim.replica(r), Phase::Final);
+        if report.total() > 0 {
+            let name = report.violated()[0];
+            return Some(Failure {
+                check: format!("final:{name}"),
+                count: report.total(),
+            });
+        }
+    }
+    let c0 = sim.replica(0).clock();
+    for r in 1..sim.regions() as u16 {
+        if sim.replica(r).clock() != c0 {
+            return Some(Failure {
+                check: "convergence".into(),
+                count: 1,
+            });
+        }
+    }
+    let liveness = oracle.audit_sim(sim);
+    if liveness.total() > 0 {
+        let name = liveness.violated()[0];
+        return Some(Failure {
+            check: name.to_string(),
+            count: liveness.total(),
+        });
+    }
+    None
+}
+
+/// Per-run overrides for the soak harness (tests tighten the liveness
+/// bound to force reproducible red cells; CI runs the defaults).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SoakTuning {
+    /// Override the registry's bounded-liveness rounds.
+    pub liveness_bound: Option<u64>,
+}
+
+/// One full soak cell: run the app under the nemesis, quiesce, repair,
+/// audit everything, classify.
+pub fn run_soak(app: App, seed: u64, nemesis: Nemesis<'_>) -> SoakRun {
+    run_soak_tuned(app, seed, nemesis, SoakTuning::default())
+}
+
+/// [`run_soak`] with overrides.
+pub fn run_soak_tuned(app: App, seed: u64, nemesis: Nemesis<'_>, tuning: SoakTuning) -> SoakRun {
+    let faults = match &nemesis {
+        Nemesis::Plan { faults, .. } => (*faults).clone(),
+        Nemesis::Explicit(_) => FaultPlan::none(),
+    };
+    let mut sim = Simulation::new(paper_topology(), soak_config(seed, faults));
+    let mut workload = fresh_workload(app);
+    // Continuous checks audited every 250 ms of simulated time; the
+    // event-dependent registries (ticket) have no continuous checks, so
+    // the pre-run registry is always sufficient for the auditor.
+    let auditor = match app {
+        App::Tournament => Oracle::tournament(),
+        App::Ticket => Oracle::ticket(Vec::new(), 0),
+        App::Tpc => Oracle::tpc(Vec::new()),
+        App::Twitter => Oracle::twitter(),
+    };
+    if let Some(bound) = tuning.liveness_bound.or(auditor.liveness_bound()) {
+        sim.set_liveness_bound(bound);
+    }
+    sim.set_auditor(0.25, auditor.into_continuous_auditor());
+    match nemesis {
+        Nemesis::Plan { record: true, .. } => sim.record_fault_trace(),
+        Nemesis::Explicit(plan) => sim.set_explicit_faults(plan),
+        _ => {}
+    }
+    sim.run(&mut workload);
+    sim.quiesce();
+    final_repair(app, &workload, &mut sim);
+    let failure = classify(app, &workload, &sim);
+    let digest = sim.schedule_digest();
+    let trace =
+        matches!(nemesis, Nemesis::Plan { record: true, .. }).then(|| sim.take_fault_trace());
+    SoakRun {
+        sim,
+        failure,
+        digest,
+        trace,
+    }
+}
+
+/// Shrink a red `(app, workload seed, fault plan)` cell to a minimal
+/// explicit counterexample: record the failing run's fault trace, seal
+/// it, and delta-debug it against the same classifier. `None` when the
+/// probabilistic run doesn't fail, or when its sealed trace no longer
+/// reproduces any failure (never observed — the seal is exact — but the
+/// shrinker refuses to "minimize" a green run rather than lie).
+pub fn shrink_soak_failure(
+    app: App,
+    seed: u64,
+    faults: &FaultPlan,
+    budget: ShrinkBudget,
+) -> Option<ShrinkOutcome> {
+    shrink_soak_failure_tuned(app, seed, faults, budget, SoakTuning::default())
+}
+
+/// [`shrink_soak_failure`] with overrides (the candidate runs are judged
+/// under the same tuning as the recording run).
+pub fn shrink_soak_failure_tuned(
+    app: App,
+    seed: u64,
+    faults: &FaultPlan,
+    budget: ShrinkBudget,
+    tuning: SoakTuning,
+) -> Option<ShrinkOutcome> {
+    let recorded = run_soak_tuned(
+        app,
+        seed,
+        Nemesis::Plan {
+            faults,
+            record: true,
+        },
+        tuning,
+    );
+    recorded.failure.as_ref()?;
+    let trace = recorded.trace.expect("recording was on");
+    shrink_plan(&trace, budget, |candidate| {
+        let run = run_soak_tuned(app, seed, Nemesis::Explicit(candidate), tuning);
+        run.failure.map(|f| RunVerdict {
+            check: f.check,
+            digest: run.digest,
+        })
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn app_names_roundtrip() {
+        for app in App::all() {
+            assert_eq!(App::parse(app.name()), Some(app));
+            assert_eq!(App::parse(&app.name().to_uppercase()), Some(app));
+        }
+        assert_eq!(App::parse("nonesuch"), None);
+    }
+
+    #[test]
+    fn benign_soak_is_green_for_every_app() {
+        for app in App::all() {
+            let run = run_soak(
+                app,
+                5,
+                Nemesis::Plan {
+                    faults: &FaultPlan::none(),
+                    record: false,
+                },
+            );
+            assert_eq!(run.failure, None, "{app}: {:?}", run.failure);
+            assert!(run.sim.metrics.completed > 50, "{app} actually ran");
+        }
+    }
+
+    #[test]
+    fn recording_a_soak_yields_a_sealed_trace() {
+        let plan = FaultPlan::with_intensity(3, 0.6);
+        let run = run_soak(
+            App::Tournament,
+            3,
+            Nemesis::Plan {
+                faults: &plan,
+                record: true,
+            },
+        );
+        let trace = run.trace.expect("recorded");
+        assert!(!trace.events.is_empty());
+        let replay = run_soak(App::Tournament, 3, Nemesis::Explicit(&trace));
+        assert_eq!(
+            replay.digest, run.digest,
+            "sealed replay reproduces the probabilistic soak exactly"
+        );
+        assert_eq!(replay.failure, run.failure);
+    }
+}

@@ -157,6 +157,15 @@ impl VClock {
         true
     }
 
+    /// The dense component vector (canonical form: no trailing zeros).
+    /// `as_slice()[i]` is replica `i`'s component; indices past the end
+    /// are implicitly zero. Lets batch consumers (stability folds) scan
+    /// many clocks without per-clock allocation.
+    #[inline]
+    pub fn as_slice(&self) -> &[u64] {
+        &self.entries
+    }
+
     /// Non-zero components, in replica-id order.
     pub fn iter(&self) -> impl Iterator<Item = (ReplicaId, u64)> + '_ {
         self.entries
@@ -249,6 +258,16 @@ mod tests {
         let m = a.meet(&b, &[r(0), r(1)]);
         assert_eq!(m.get(r(0)), 1);
         assert_eq!(m.get(r(1)), 0);
+    }
+
+    #[test]
+    fn as_slice_is_dense_and_canonical() {
+        let c: VClock = [(r(0), 3), (r(2), 5)].into_iter().collect();
+        assert_eq!(c.as_slice(), &[3, 0, 5]);
+        let mut d = c.clone();
+        d.set(r(2), 0);
+        assert_eq!(d.as_slice(), &[3], "trailing zeros never appear");
+        assert!(VClock::new().as_slice().is_empty());
     }
 
     #[test]

@@ -5,6 +5,7 @@ use crate::fault::FaultPlan;
 use crate::latency::{LatencyModel, Region};
 use crate::metrics::Metrics;
 use crate::server::{ServerQueue, ServiceCosts};
+use crate::shrink::{ExplicitPlan, FaultEvent};
 use crate::time::SimTime;
 use ipa_crdt::ReplicaId;
 use ipa_store::{AeCursors, CommitInfo, Replica, StoreError, Transaction, UpdateBatch};
@@ -12,7 +13,7 @@ use rand::rngs::StdRng;
 use rand::Rng;
 use rand::SeedableRng;
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, HashMap, HashSet};
 use std::sync::Arc;
 
 /// Simulation parameters.
@@ -68,6 +69,142 @@ pub struct NemesisStats {
     pub link_flaps: u64,
     /// Batches re-sent by periodic / restart anti-entropy.
     pub anti_entropy_batches: u64,
+}
+
+/// Captures every fault the nemesis RNG materializes, so a failing
+/// probabilistic run can be re-expressed as an [`ExplicitPlan`] and
+/// handed to the shrinker. Recording is pure observation: it draws no
+/// RNG and never perturbs the schedule.
+#[derive(Debug, Default)]
+struct TraceRecorder {
+    events: Vec<FaultEvent>,
+    /// Cut windows awaiting their heal: `(a, b, cut_at_s)`.
+    open_cuts: Vec<(Region, Region, f64)>,
+    /// Crashes awaiting their restart: `(region, at_s)`.
+    open_crashes: Vec<(Region, f64)>,
+    ae_latency_ms: Vec<(u64, Region, Region, f64)>,
+}
+
+/// Downtime recorded for a crash whose restart never fired inside the
+/// run window (effectively "down forever" — quiesce restarts everyone).
+const OPEN_ENDED_S: f64 = 1.0e6;
+
+/// Indexed form of an [`ExplicitPlan`]: when installed, every fault
+/// decision is a table lookup and the nemesis RNG is never drawn — the
+/// run is a pure function of `(workload seed, plan)`.
+#[derive(Debug)]
+struct ExplicitNemesis {
+    drops: HashSet<(Region, Region, u64)>,
+    delays: HashMap<(Region, Region, u64), f64>,
+    dups: HashMap<(Region, Region, u64), f64>,
+    cuts: Vec<(Region, Region, f64, f64)>,
+    crashes: Vec<(Region, f64, f64)>,
+    ae_latency_ms: HashMap<(u64, Region, Region), f64>,
+    anti_entropy_s: Option<f64>,
+}
+
+impl ExplicitNemesis {
+    fn index(plan: &ExplicitPlan) -> ExplicitNemesis {
+        let mut ex = ExplicitNemesis {
+            drops: HashSet::new(),
+            delays: HashMap::new(),
+            dups: HashMap::new(),
+            cuts: Vec::new(),
+            crashes: Vec::new(),
+            ae_latency_ms: plan
+                .ae_latency_ms
+                .iter()
+                .map(|&(r, s, d, ms)| ((r, s, d), ms))
+                .collect(),
+            anti_entropy_s: plan.anti_entropy_s,
+        };
+        for e in &plan.events {
+            match *e {
+                FaultEvent::Drop { origin, dest, seq } => {
+                    ex.drops.insert((origin, dest, seq));
+                }
+                FaultEvent::Delay {
+                    origin,
+                    dest,
+                    seq,
+                    extra_ms,
+                } => {
+                    ex.delays.insert((origin, dest, seq), extra_ms);
+                }
+                FaultEvent::Duplicate {
+                    origin,
+                    dest,
+                    seq,
+                    dup_delay_ms,
+                } => {
+                    ex.dups.insert((origin, dest, seq), dup_delay_ms);
+                }
+                FaultEvent::Partition {
+                    a,
+                    b,
+                    at_s,
+                    outage_s,
+                } => {
+                    ex.cuts.push((a, b, at_s, outage_s));
+                }
+                FaultEvent::Crash {
+                    region,
+                    at_s,
+                    down_s,
+                } => {
+                    ex.crashes.push((region, at_s, down_s));
+                }
+            }
+        }
+        ex
+    }
+}
+
+/// A fault-induced causal gap under repair: replica `dest` is missing
+/// `origin`'s batch `seq` (it was dropped, refused while down, or lost
+/// in a crash). The bounded-liveness oracle requires anti-entropy to
+/// close every gap within N rounds of repair opportunity.
+#[derive(Clone, Copy, Debug)]
+struct Gap {
+    dest: Region,
+    origin: Region,
+    seq: u64,
+    /// Anti-entropy rounds elapsed while repair was possible (the
+    /// direct link up, the replica alive). Reset by heals and restarts:
+    /// each network transition grants a fresh window.
+    rounds: u64,
+}
+
+/// Bounded-liveness accounting: "after the last injected fault, every
+/// replica converges within N anti-entropy rounds — not just at
+/// quiesce". Tracked per fault-induced gap during the run, plus the
+/// number of productive repair rounds the quiesce fixpoint needed.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LivenessStats {
+    /// Gaps ever tracked (drops, refused-while-down, restart catch-up).
+    pub tracked_gaps: u64,
+    /// Gaps repaired by anti-entropy (clock caught up).
+    pub repaired_gaps: u64,
+    /// Most repair-eligible rounds any gap stayed open.
+    pub max_gap_rounds: u64,
+    /// Gaps that outlived the bound mid-run (counted once per gap).
+    pub run_breaches: u64,
+    /// Productive anti-entropy rounds the quiesce fixpoint executed.
+    pub quiesce_rounds: u64,
+    /// The configured bound (None = accounting only, never a violation).
+    pub bound: Option<u64>,
+}
+
+impl LivenessStats {
+    /// Violations of the bounded-liveness oracle: mid-run gaps that
+    /// outlived the bound, plus one if quiescence itself needed more
+    /// than N repair rounds. Always zero when no bound is configured.
+    pub fn violations(&self) -> u64 {
+        let Some(bound) = self.bound else {
+            return 0;
+        };
+        self.run_breaches + u64::from(self.quiesce_rounds > bound)
+    }
 }
 
 /// Continuous invariant oracle: called for every live replica at each
@@ -234,6 +371,8 @@ enum Event {
     Gc,
     /// Nemesis: cut a random link (and schedule its heal).
     Flap,
+    /// Explicit nemesis: cut this specific link for the given outage.
+    Cut(Region, Region, f64),
     /// Nemesis: heal the given link.
     FlapHeal(Region, Region),
     /// Nemesis: crash a replica (volatile state lost).
@@ -296,6 +435,16 @@ pub struct Simulation {
     /// produce equal digests (the determinism oracle).
     digest: u64,
     auditor: Option<(Auditor, f64)>,
+    /// Fault-trace recorder (None unless enabled; pure observation).
+    trace: Option<TraceRecorder>,
+    /// Explicit nemesis replay (None = probabilistic `cfg.faults`).
+    explicit: Option<ExplicitNemesis>,
+    /// Anti-entropy round counter (periodic + restart recovery), keying
+    /// recorded send latencies and the liveness gap accounting.
+    ae_round: u64,
+    /// Open fault-induced gaps the liveness oracle is timing.
+    gaps: Vec<Gap>,
+    liveness: LivenessStats,
     pub nemesis: NemesisStats,
     pub metrics: Metrics,
 }
@@ -334,9 +483,82 @@ impl Simulation {
             ae_cursors: AeCursors::new(),
             digest: 0xcbf2_9ce4_8422_2325,
             auditor: None,
+            trace: None,
+            explicit: None,
+            ae_round: 0,
+            gaps: Vec::new(),
+            liveness: LivenessStats::default(),
             nemesis: NemesisStats::default(),
             metrics,
         }
+    }
+
+    /// Record every materialized fault as an explicit event, retrievable
+    /// after the run via [`Simulation::take_fault_trace`]. Recording
+    /// draws no RNG and cannot perturb the schedule.
+    pub fn record_fault_trace(&mut self) {
+        self.trace = Some(TraceRecorder::default());
+    }
+
+    /// The recorded fault trace as a replayable [`ExplicitPlan`]. Cut
+    /// windows and crashes still open at the end of the run are closed
+    /// with an effectively-infinite duration (matching their observed
+    /// behavior: never healed / restarted inside the window).
+    pub fn take_fault_trace(&mut self) -> ExplicitPlan {
+        let tr = self.trace.take().expect("record_fault_trace was enabled");
+        let mut events = tr.events;
+        for (a, b, at_s) in tr.open_cuts {
+            events.push(FaultEvent::Partition {
+                a,
+                b,
+                at_s,
+                outage_s: OPEN_ENDED_S,
+            });
+        }
+        for (region, at_s) in tr.open_crashes {
+            events.push(FaultEvent::Crash {
+                region,
+                at_s,
+                down_s: OPEN_ENDED_S,
+            });
+        }
+        ExplicitPlan {
+            events,
+            anti_entropy_s: self.cfg.faults.effective_anti_entropy_s(),
+            ae_latency_ms: tr.ae_latency_ms,
+        }
+    }
+
+    /// Replay an explicit fault plan instead of the probabilistic
+    /// `cfg.faults`: every drop/delay/duplicate is a per-batch table
+    /// lookup, partitions and crashes are fixed windows, anti-entropy
+    /// sends use recorded (or jitter-free base) latencies — the nemesis
+    /// RNG is never drawn, so the run is a pure function of
+    /// `(cfg.seed, plan)`. Call before [`Simulation::run`].
+    pub fn set_explicit_faults(&mut self, plan: &ExplicitPlan) {
+        debug_assert!(
+            self.cfg.faults.is_none(),
+            "explicit replay ignores cfg.faults; configure FaultPlan::none()"
+        );
+        self.explicit = Some(ExplicitNemesis::index(plan));
+    }
+
+    /// Arm the bounded-liveness oracle: every fault-induced causal gap
+    /// must be repaired within `rounds` anti-entropy rounds of repair
+    /// opportunity, and the quiesce fixpoint must converge within
+    /// `rounds` productive rounds. Violations are reported by
+    /// [`Simulation::liveness_violations`].
+    pub fn set_liveness_bound(&mut self, rounds: u64) {
+        self.liveness.bound = Some(rounds);
+    }
+
+    pub fn liveness(&self) -> &LivenessStats {
+        &self.liveness
+    }
+
+    /// Bounded-liveness violations so far (0 when no bound is armed).
+    pub fn liveness_violations(&self) -> u64 {
+        self.liveness.violations()
     }
 
     /// Install a continuous invariant oracle, audited for every live
@@ -424,8 +646,18 @@ impl Simulation {
 
     /// Instant pairwise anti-entropy to a fixpoint: re-delivers every
     /// logged batch some replica is missing (drop and crash repair).
+    /// Records the productive round count for the liveness oracle.
     fn anti_entropy_fixpoint(&mut self) {
-        while ipa_store::anti_entropy_round_with(&mut self.replicas, &mut self.ae_cursors) > 0 {}
+        self.liveness.quiesce_rounds =
+            ipa_store::anti_entropy_fixpoint_with(&mut self.replicas, &mut self.ae_cursors);
+    }
+
+    /// The periodic anti-entropy interval for this run's nemesis mode.
+    fn ae_interval(&self) -> Option<f64> {
+        match &self.explicit {
+            Some(ex) => ex.anti_entropy_s,
+            None => self.cfg.faults.effective_anti_entropy_s(),
+        }
     }
 
     pub fn num_clients(&self) -> usize {
@@ -444,22 +676,72 @@ impl Simulation {
     /// Schedule staged deliveries, applying per-link nemesis faults:
     /// drops vanish (repaired later by anti-entropy), duplicates arrive
     /// twice, delayed batches arrive out of order into the causal buffer.
+    /// Under an explicit plan the same faults come from per-batch table
+    /// lookups instead of the nemesis RNG.
     fn flush_staged(&mut self, staged: Vec<(Region, SimTime, Arc<UpdateBatch>)>) {
         for (dest, at, batch) in staged {
-            let link = self.cfg.faults.link(batch.origin.0, dest);
+            let origin = batch.origin.0;
+            let seq = batch.seq;
+            if self.explicit.is_some() {
+                let key = (origin, dest, seq);
+                let ex = self.explicit.as_ref().expect("checked");
+                let mut at = at;
+                if ex.drops.contains(&key) {
+                    self.nemesis.batches_dropped += 1;
+                    self.note_gap(dest, origin, seq);
+                    continue;
+                }
+                if let Some(&extra) = ex.delays.get(&key) {
+                    at += SimTime::from_ms(extra);
+                    self.nemesis.batches_delayed += 1;
+                }
+                if let Some(&dup_delay) = ex.dups.get(&key) {
+                    self.nemesis.batches_duplicated += 1;
+                    self.schedule(
+                        at + SimTime::from_ms(dup_delay),
+                        Event::BatchArrive {
+                            dest,
+                            batch: Arc::clone(&batch),
+                        },
+                    );
+                }
+                self.schedule(at, Event::BatchArrive { dest, batch });
+                continue;
+            }
+            let link = self.cfg.faults.link(origin, dest);
             let mut at = at;
             if !link.is_none() {
                 if self.nemesis_rng.gen_bool(link.drop_p) {
                     self.nemesis.batches_dropped += 1;
+                    if let Some(tr) = &mut self.trace {
+                        tr.events.push(FaultEvent::Drop { origin, dest, seq });
+                    }
+                    self.note_gap(dest, origin, seq);
                     continue;
                 }
                 if self.nemesis_rng.gen_bool(link.delay_p) {
                     let extra = self.nemesis_rng.gen_range(0.0..link.delay_ms.max(0.001));
                     at += SimTime::from_ms(extra);
                     self.nemesis.batches_delayed += 1;
+                    if let Some(tr) = &mut self.trace {
+                        tr.events.push(FaultEvent::Delay {
+                            origin,
+                            dest,
+                            seq,
+                            extra_ms: extra,
+                        });
+                    }
                 }
                 if self.nemesis_rng.gen_bool(link.dup_p) {
                     self.nemesis.batches_duplicated += 1;
+                    if let Some(tr) = &mut self.trace {
+                        tr.events.push(FaultEvent::Duplicate {
+                            origin,
+                            dest,
+                            seq,
+                            dup_delay_ms: link.dup_delay_ms,
+                        });
+                    }
                     self.schedule(
                         at + SimTime::from_ms(link.dup_delay_ms),
                         Event::BatchArrive {
@@ -473,10 +755,94 @@ impl Simulation {
         }
     }
 
+    /// Register a fault-induced causal gap for liveness accounting.
+    fn note_gap(&mut self, dest: Region, origin: Region, seq: u64) {
+        self.liveness.tracked_gaps += 1;
+        self.gaps.push(Gap {
+            dest,
+            origin,
+            seq,
+            rounds: 0,
+        });
+    }
+
+    /// One liveness probe after an anti-entropy round: close repaired
+    /// gaps, advance the round count of gaps that had a repair
+    /// opportunity, and convert bound-exceeding gaps into breaches.
+    fn liveness_probe(&mut self) {
+        let mut i = 0;
+        while i < self.gaps.len() {
+            let g = self.gaps[i];
+            if self.replicas[g.dest as usize]
+                .clock()
+                .get(ReplicaId(g.origin))
+                >= g.seq
+            {
+                self.liveness.repaired_gaps += 1;
+                self.liveness.max_gap_rounds = self.liveness.max_gap_rounds.max(g.rounds);
+                self.gaps.swap_remove(i);
+                continue;
+            }
+            // No repair opportunity this round: either endpoint is down
+            // (a crashed origin cannot serve its durable copy; a crashed
+            // dest cannot pull) or the direct link is cut. (Relay repair
+            // via a third replica can still happen — this only pauses
+            // the countdown, keeping the oracle free of false alarms.)
+            if self.crashed[g.dest as usize]
+                || self.crashed[g.origin as usize]
+                || !self.latency.link_up(g.origin, g.dest)
+            {
+                i += 1;
+                continue;
+            }
+            let g = &mut self.gaps[i];
+            g.rounds += 1;
+            self.liveness.max_gap_rounds = self.liveness.max_gap_rounds.max(g.rounds);
+            if let Some(bound) = self.liveness.bound {
+                if g.rounds > bound {
+                    self.liveness.run_breaches += 1;
+                    self.gaps.swap_remove(i);
+                    continue;
+                }
+            }
+            i += 1;
+        }
+    }
+
+    /// Every gap gets a fresh repair window when the network transitions
+    /// (a heal or a restart changes which pulls are possible).
+    fn reset_gap_windows(&mut self) {
+        for g in &mut self.gaps {
+            g.rounds = 0;
+        }
+    }
+
+    /// A restarted replica owes everything its live peers applied while
+    /// it was down: one liveness gap per origin, up to the highest
+    /// component any peer has durably logged.
+    fn note_restart_obligations(&mut self, region: Region) {
+        let own = self.replicas[region as usize].clock().clone();
+        let mut target = ipa_crdt::VClock::new();
+        for (i, r) in self.replicas.iter().enumerate() {
+            if i != region as usize && !self.crashed[i] {
+                target.merge(r.clock());
+            }
+        }
+        for (origin, seq) in target.iter() {
+            if seq > own.get(origin) {
+                self.note_gap(region, origin.0, seq);
+            }
+        }
+    }
+
     /// One pairwise anti-entropy round at simulated time `self.now`:
     /// every live replica pulls what it is missing from every live,
-    /// reachable peer's durable log, paying one-way link latency.
+    /// reachable peer's durable log, paying one-way link latency. Under
+    /// an explicit plan the latency is the recorded one (or jitter-free
+    /// base) instead of a nemesis-RNG draw.
     fn anti_entropy_round(&mut self) {
+        self.ae_round += 1;
+        let round = self.ae_round;
         let n = self.replicas.len();
         for dst in 0..n {
             if self.crashed[dst] {
@@ -501,9 +867,19 @@ impl Simulation {
                 if missing.is_empty() {
                     continue;
                 }
-                let ow = self
-                    .latency
-                    .one_way(src as Region, dst as Region, &mut self.nemesis_rng);
+                let (src_r, dst_r) = (src as Region, dst as Region);
+                let ow = if let Some(ex) = &self.explicit {
+                    ex.ae_latency_ms
+                        .get(&(round, src_r, dst_r))
+                        .copied()
+                        .unwrap_or_else(|| self.latency.base_rtt(src_r, dst_r) / 2.0)
+                } else {
+                    let ow = self.latency.one_way(src_r, dst_r, &mut self.nemesis_rng);
+                    if let Some(tr) = &mut self.trace {
+                        tr.ae_latency_ms.push((round, src_r, dst_r, ow));
+                    }
+                    ow
+                };
                 let at = self.now + SimTime::from_ms(ow);
                 for batch in missing {
                     self.nemesis.anti_entropy_batches += 1;
@@ -517,6 +893,7 @@ impl Simulation {
                 }
             }
         }
+        self.liveness_probe();
     }
 
     /// Run the workload to completion of the configured window.
@@ -544,19 +921,36 @@ impl Simulation {
             self.schedule(SimTime::from_secs(gc), Event::Gc);
         }
         // Nemesis schedule: crashes/restarts are fixed points in virtual
-        // time; flapping and anti-entropy are periodic.
-        for crash in self.cfg.faults.crashes.clone() {
-            self.schedule(SimTime::from_secs(crash.at_s), Event::Crash(crash.region));
-            self.schedule(
-                SimTime::from_secs(crash.at_s + crash.down_s),
-                Event::Restart(crash.region),
-            );
-        }
-        if let Some(flap) = self.cfg.faults.flap {
-            self.schedule(SimTime::from_secs(flap.period_s), Event::Flap);
-        }
-        if let Some(ae) = self.cfg.faults.effective_anti_entropy_s() {
-            self.schedule(SimTime::from_secs(ae), Event::AntiEntropy);
+        // time; flapping and anti-entropy are periodic. An explicit plan
+        // replaces all three with its own fixed windows.
+        if let Some(ex) = &self.explicit {
+            let crashes = ex.crashes.clone();
+            let cuts = ex.cuts.clone();
+            let ae = ex.anti_entropy_s;
+            for (region, at_s, down_s) in crashes {
+                self.schedule(SimTime::from_secs(at_s), Event::Crash(region));
+                self.schedule(SimTime::from_secs(at_s + down_s), Event::Restart(region));
+            }
+            for (a, b, at_s, outage_s) in cuts {
+                self.schedule(SimTime::from_secs(at_s), Event::Cut(a, b, outage_s));
+            }
+            if let Some(ae) = ae {
+                self.schedule(SimTime::from_secs(ae), Event::AntiEntropy);
+            }
+        } else {
+            for crash in self.cfg.faults.crashes.clone() {
+                self.schedule(SimTime::from_secs(crash.at_s), Event::Crash(crash.region));
+                self.schedule(
+                    SimTime::from_secs(crash.at_s + crash.down_s),
+                    Event::Restart(crash.region),
+                );
+            }
+            if let Some(flap) = self.cfg.faults.flap {
+                self.schedule(SimTime::from_secs(flap.period_s), Event::Flap);
+            }
+            if let Some(ae) = self.cfg.faults.effective_anti_entropy_s() {
+                self.schedule(SimTime::from_secs(ae), Event::AntiEntropy);
+            }
         }
         if let Some((_, interval)) = &self.auditor {
             self.schedule(SimTime::from_secs(*interval), Event::Audit);
@@ -579,7 +973,9 @@ impl Simulation {
                     self.fold_digest([1, next.at.as_micros(), u64::from(dest), batch.seq]);
                     if self.crashed[dest as usize] {
                         // A down replica refuses traffic; anti-entropy
-                        // re-sends after the restart.
+                        // re-sends after the restart. (No gap is noted
+                        // here: the restart registers one obligation per
+                        // origin covering everything missed while down.)
                         self.nemesis.batches_refused_down += 1;
                     } else {
                         self.replicas[dest as usize].receive(batch);
@@ -610,6 +1006,9 @@ impl Simulation {
                             self.latency.set_link(a, b, false);
                             self.nemesis.link_flaps += 1;
                             self.fold_digest([2, next.at.as_micros(), u64::from(a), u64::from(b)]);
+                            if let Some(tr) = &mut self.trace {
+                                tr.open_cuts.push((a, b, self.now.as_secs()));
+                            }
                             self.schedule(
                                 self.now + SimTime::from_secs(flap.outage_s),
                                 Event::FlapHeal(a, b),
@@ -618,9 +1017,37 @@ impl Simulation {
                     }
                     self.schedule(self.now + SimTime::from_secs(flap.period_s), Event::Flap);
                 }
+                Event::Cut(a, b, outage_s) => {
+                    // The explicit-plan analog of a materialized flap:
+                    // same digest fold, heal scheduled from here (exactly
+                    // when the probabilistic path allocated it).
+                    if self.latency.link_up(a, b) {
+                        self.latency.set_link(a, b, false);
+                        self.nemesis.link_flaps += 1;
+                        self.fold_digest([2, next.at.as_micros(), u64::from(a), u64::from(b)]);
+                        self.schedule(
+                            self.now + SimTime::from_secs(outage_s),
+                            Event::FlapHeal(a, b),
+                        );
+                    }
+                }
                 Event::FlapHeal(a, b) => {
                     self.latency.set_link(a, b, true);
                     self.fold_digest([3, next.at.as_micros(), u64::from(a), u64::from(b)]);
+                    if let Some(tr) = &mut self.trace {
+                        if let Some(pos) =
+                            tr.open_cuts.iter().position(|&(x, y, _)| (x, y) == (a, b))
+                        {
+                            let (_, _, at_s) = tr.open_cuts.remove(pos);
+                            tr.events.push(FaultEvent::Partition {
+                                a,
+                                b,
+                                at_s,
+                                outage_s: self.now.as_secs() - at_s,
+                            });
+                        }
+                    }
+                    self.reset_gap_windows();
                 }
                 Event::Crash(region) => {
                     let lost = self.replicas[region as usize].crash();
@@ -628,17 +1055,37 @@ impl Simulation {
                     self.nemesis.crashes += 1;
                     self.nemesis.batches_lost_in_crash += lost as u64;
                     self.fold_digest([4, next.at.as_micros(), u64::from(region), lost as u64]);
+                    if let Some(tr) = &mut self.trace {
+                        tr.open_crashes.push((region, self.now.as_secs()));
+                    }
+                    // Gaps at a down replica cannot be repaired; restart
+                    // re-registers everything it must catch up on.
+                    self.gaps.retain(|g| g.dest != region);
                 }
                 Event::Restart(region) => {
                     self.crashed[region as usize] = false;
                     self.fold_digest([5, next.at.as_micros(), u64::from(region), 0]);
+                    if let Some(tr) = &mut self.trace {
+                        if let Some(pos) = tr.open_crashes.iter().position(|&(r, _)| r == region) {
+                            let (_, at_s) = tr.open_crashes.remove(pos);
+                            tr.events.push(FaultEvent::Crash {
+                                region,
+                                at_s,
+                                down_s: self.now.as_secs() - at_s,
+                            });
+                        }
+                    }
+                    // Liveness: the restarted replica owes every batch
+                    // its live peers applied while it was down.
+                    self.note_restart_obligations(region);
+                    self.reset_gap_windows();
                     // Recovery: one immediate anti-entropy round pulls the
                     // gap from peers and pushes the survivor log back out.
                     self.anti_entropy_round();
                 }
                 Event::AntiEntropy => {
                     self.anti_entropy_round();
-                    if let Some(ae) = self.cfg.faults.effective_anti_entropy_s() {
+                    if let Some(ae) = self.ae_interval() {
                         self.schedule(self.now + SimTime::from_secs(ae), Event::AntiEntropy);
                     }
                 }

@@ -24,14 +24,19 @@ pub mod latency;
 pub mod metrics;
 pub mod scenario;
 pub mod server;
+pub mod shrink;
 pub mod time;
 
 pub use driver::{
-    Auditor, ClientInfo, NemesisStats, OpOutcome, SimConfig, SimCtx, Simulation, Workload,
+    Auditor, ClientInfo, LivenessStats, NemesisStats, OpOutcome, SimConfig, SimCtx, Simulation,
+    Workload,
 };
 pub use fault::{CrashPlan, FaultPlan, FlapPlan, LinkFaults};
 pub use latency::{LatencyModel, Region};
 pub use metrics::{LatencySummary, Metrics};
 pub use scenario::{paper_topology, two_region_topology};
 pub use server::ServerQueue;
+pub use shrink::{
+    shrink_plan, ExplicitPlan, FaultEvent, PlanParseError, RunVerdict, ShrinkBudget, ShrinkOutcome,
+};
 pub use time::SimTime;

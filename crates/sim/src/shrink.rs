@@ -1,0 +1,728 @@
+//! Schedule minimization: a deterministic delta-debugger over explicit
+//! fault plans.
+//!
+//! A red nemesis run is reproducible from two integers, but the
+//! *probabilistic* [`crate::FaultPlan`] it reproduces materializes
+//! hundreds of concrete faults — far too many to reason about. This
+//! module makes every failure small:
+//!
+//! 1. **Record** — re-run the failing `(workload seed, fault seed)` pair
+//!    with [`crate::Simulation::record_fault_trace`] enabled. Every fault
+//!    the nemesis RNG materializes (per-batch drops/delays/duplicates,
+//!    partition windows, crash/restart pairs, anti-entropy send
+//!    latencies) is captured as an explicit [`FaultEvent`].
+//! 2. **Seal** — replay the trace through
+//!    [`crate::Simulation::set_explicit_faults`]: the nemesis RNG is
+//!    never drawn, every fault comes from the trace, so the run is a
+//!    pure function of `(workload seed, ExplicitPlan)`.
+//! 3. **Shrink** — [`shrink_plan`] greedily removes fault events
+//!    (chunked ddmin, the vendored-proptest discipline applied to an
+//!    explicit plan instead of a generator tree), then shrinks the
+//!    surviving events' numeric fields (delays, outage windows,
+//!    downtimes), re-running the sealed simulation after each candidate
+//!    and keeping the smallest plan that still fails the *same* oracle
+//!    check.
+//!
+//! The minimized plan serializes to a line-oriented text format
+//! ([`ExplicitPlan::to_string`] / [`ExplicitPlan::from_str`]) that CI
+//! uploads as an artifact and `tests/nemesis_soak.rs` replays via
+//! `IPA_NEMESIS_REPLAY=<file>`.
+
+use crate::latency::Region;
+use std::fmt;
+use std::str::FromStr;
+
+/// One concrete, materialized fault. Transport faults are keyed by the
+/// batch they hit — `(origin, dest, seq)` — which is stable across
+/// replays because the workload RNG stream is independent of the
+/// nemesis.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum FaultEvent {
+    /// The batch `origin → dest` with origin-sequence `seq` vanishes.
+    Drop {
+        origin: Region,
+        dest: Region,
+        seq: u64,
+    },
+    /// The batch arrives `extra_ms` later than its link latency.
+    Delay {
+        origin: Region,
+        dest: Region,
+        seq: u64,
+        extra_ms: f64,
+    },
+    /// A second copy of the batch arrives `dup_delay_ms` after the first.
+    Duplicate {
+        origin: Region,
+        dest: Region,
+        seq: u64,
+        dup_delay_ms: f64,
+    },
+    /// Link `a ↔ b` is cut at `at_s` and heals `outage_s` later.
+    Partition {
+        a: Region,
+        b: Region,
+        at_s: f64,
+        outage_s: f64,
+    },
+    /// Replica `region` crashes at `at_s` (volatile state lost) and
+    /// restarts `down_s` later.
+    Crash {
+        region: Region,
+        at_s: f64,
+        down_s: f64,
+    },
+}
+
+impl FaultEvent {
+    /// Event-class label (used for summaries and chunk ordering).
+    pub fn class(&self) -> &'static str {
+        match self {
+            FaultEvent::Drop { .. } => "drop",
+            FaultEvent::Delay { .. } => "delay",
+            FaultEvent::Duplicate { .. } => "dup",
+            FaultEvent::Partition { .. } => "cut",
+            FaultEvent::Crash { .. } => "crash",
+        }
+    }
+}
+
+impl fmt::Display for FaultEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            FaultEvent::Drop { origin, dest, seq } => write!(f, "drop {origin}->{dest} {seq}"),
+            FaultEvent::Delay {
+                origin,
+                dest,
+                seq,
+                extra_ms,
+            } => write!(f, "delay {origin}->{dest} {seq} {extra_ms}"),
+            FaultEvent::Duplicate {
+                origin,
+                dest,
+                seq,
+                dup_delay_ms,
+            } => write!(f, "dup {origin}->{dest} {seq} {dup_delay_ms}"),
+            FaultEvent::Partition {
+                a,
+                b,
+                at_s,
+                outage_s,
+            } => {
+                write!(f, "cut {a}-{b} {at_s} {outage_s}")
+            }
+            FaultEvent::Crash {
+                region,
+                at_s,
+                down_s,
+            } => {
+                write!(f, "crash {region} {at_s} {down_s}")
+            }
+        }
+    }
+}
+
+/// A fully explicit nemesis schedule: every fault is an event, nothing
+/// is drawn from an RNG. Replaying the same plan under the same workload
+/// seed yields the same schedule digest, bit for bit.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ExplicitPlan {
+    pub events: Vec<FaultEvent>,
+    /// Periodic anti-entropy interval (`None` disables repair — useful
+    /// for constructing liveness counterexamples in tests).
+    pub anti_entropy_s: Option<f64>,
+    /// Recorded anti-entropy send latencies, keyed by
+    /// `(round index, src, dst)`. Replay uses the recorded value when
+    /// present and the jitter-free base link latency otherwise, so a
+    /// full-trace replay reproduces the original arrival times exactly
+    /// while shrunk candidates stay deterministic.
+    pub ae_latency_ms: Vec<(u64, Region, Region, f64)>,
+}
+
+impl ExplicitPlan {
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events per class, for failure banners.
+    pub fn summary(&self) -> String {
+        let mut counts: [(&str, usize); 5] = [
+            ("drop", 0),
+            ("delay", 0),
+            ("dup", 0),
+            ("cut", 0),
+            ("crash", 0),
+        ];
+        for e in &self.events {
+            let c = e.class();
+            for slot in counts.iter_mut() {
+                if slot.0 == c {
+                    slot.1 += 1;
+                }
+            }
+        }
+        let parts: Vec<String> = counts
+            .iter()
+            .filter(|(_, n)| *n > 0)
+            .map(|(c, n)| format!("{n} {c}"))
+            .collect();
+        if parts.is_empty() {
+            "no faults".to_owned()
+        } else {
+            format!("{} events: {}", self.events.len(), parts.join(", "))
+        }
+    }
+}
+
+impl fmt::Display for ExplicitPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "# ipa-nemesis explicit fault plan v1")?;
+        match self.anti_entropy_s {
+            Some(s) => writeln!(f, "ae {s}")?,
+            None => writeln!(f, "ae off")?,
+        }
+        for e in &self.events {
+            writeln!(f, "{e}")?;
+        }
+        for &(round, src, dst, ms) in &self.ae_latency_ms {
+            writeln!(f, "ael {round} {src}->{dst} {ms}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A malformed plan line (file + env-var replay paths surface this).
+#[derive(Clone, Debug, PartialEq)]
+pub struct PlanParseError {
+    pub line: usize,
+    pub message: String,
+}
+
+impl fmt::Display for PlanParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "plan line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for PlanParseError {}
+
+fn parse_link(tok: &str, sep: &str) -> Option<(Region, Region)> {
+    let (a, b) = tok.split_once(sep)?;
+    Some((a.parse().ok()?, b.parse().ok()?))
+}
+
+impl FromStr for ExplicitPlan {
+    type Err = PlanParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut plan = ExplicitPlan::default();
+        for (i, raw) in s.lines().enumerate() {
+            let line = raw.trim();
+            let err = |message: String| PlanParseError {
+                line: i + 1,
+                message,
+            };
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut tok = line.split_whitespace();
+            let kind = tok.next().unwrap_or_default();
+            let mut next = || tok.next().ok_or_else(|| err(format!("truncated {kind}")));
+            match kind {
+                "ae" => {
+                    let v = next()?;
+                    plan.anti_entropy_s = if v == "off" {
+                        None
+                    } else {
+                        Some(
+                            v.parse()
+                                .map_err(|_| err(format!("bad ae interval {v:?}")))?,
+                        )
+                    };
+                }
+                "drop" | "delay" | "dup" => {
+                    let link = next()?;
+                    let (origin, dest) = parse_link(link, "->")
+                        .ok_or_else(|| err(format!("bad link {link:?} (want o->d)")))?;
+                    let seq = next()?;
+                    let seq = seq.parse().map_err(|_| err(format!("bad seq {seq:?}")))?;
+                    plan.events.push(match kind {
+                        "drop" => FaultEvent::Drop { origin, dest, seq },
+                        "delay" => {
+                            let ms = next()?;
+                            FaultEvent::Delay {
+                                origin,
+                                dest,
+                                seq,
+                                extra_ms: ms.parse().map_err(|_| err(format!("bad ms {ms:?}")))?,
+                            }
+                        }
+                        _ => {
+                            let ms = next()?;
+                            FaultEvent::Duplicate {
+                                origin,
+                                dest,
+                                seq,
+                                dup_delay_ms: ms
+                                    .parse()
+                                    .map_err(|_| err(format!("bad ms {ms:?}")))?,
+                            }
+                        }
+                    });
+                }
+                "cut" => {
+                    let link = next()?;
+                    let (a, b) = parse_link(link, "-")
+                        .ok_or_else(|| err(format!("bad link {link:?} (want a-b)")))?;
+                    let at = next()?;
+                    let outage = next()?;
+                    plan.events.push(FaultEvent::Partition {
+                        a,
+                        b,
+                        at_s: at.parse().map_err(|_| err(format!("bad time {at:?}")))?,
+                        outage_s: outage
+                            .parse()
+                            .map_err(|_| err(format!("bad outage {outage:?}")))?,
+                    });
+                }
+                "crash" => {
+                    let region = next()?;
+                    let at = next()?;
+                    let down = next()?;
+                    plan.events.push(FaultEvent::Crash {
+                        region: region
+                            .parse()
+                            .map_err(|_| err(format!("bad region {region:?}")))?,
+                        at_s: at.parse().map_err(|_| err(format!("bad time {at:?}")))?,
+                        down_s: down
+                            .parse()
+                            .map_err(|_| err(format!("bad down {down:?}")))?,
+                    });
+                }
+                "ael" => {
+                    let round = next()?;
+                    let link = next()?;
+                    let (src, dst) = parse_link(link, "->")
+                        .ok_or_else(|| err(format!("bad link {link:?} (want s->d)")))?;
+                    let ms = next()?;
+                    plan.ae_latency_ms.push((
+                        round
+                            .parse()
+                            .map_err(|_| err(format!("bad round {round:?}")))?,
+                        src,
+                        dst,
+                        ms.parse().map_err(|_| err(format!("bad ms {ms:?}")))?,
+                    ));
+                }
+                other => return Err(err(format!("unknown directive {other:?}"))),
+            }
+        }
+        Ok(plan)
+    }
+}
+
+/// What a single sealed run reported: the name of the oracle check that
+/// failed and the run's schedule digest.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RunVerdict {
+    pub check: String,
+    pub digest: u64,
+}
+
+/// The result of a shrink: the minimal plan found, the check it still
+/// fails, and the digest of its (deterministic) replay.
+#[derive(Clone, Debug)]
+pub struct ShrinkOutcome {
+    pub plan: ExplicitPlan,
+    /// The oracle check every kept candidate failed (identical to the
+    /// original failure's).
+    pub check: String,
+    /// Schedule digest of the minimized plan's replay — replaying the
+    /// plan must reproduce exactly this digest.
+    pub digest: u64,
+    /// Sealed simulations executed (the shrink budget spent).
+    pub runs: usize,
+    pub original_events: usize,
+}
+
+impl ShrinkOutcome {
+    pub fn shrunk_events(&self) -> usize {
+        self.plan.events.len()
+    }
+}
+
+/// Budget for one shrink session: a hard cap on sealed re-runs.
+#[derive(Clone, Copy, Debug)]
+pub struct ShrinkBudget {
+    pub max_runs: usize,
+}
+
+impl Default for ShrinkBudget {
+    fn default() -> Self {
+        // Mirrors the vendored proptest shrink loop's 500-step greedy
+        // discipline; each step here is a full sealed simulation.
+        ShrinkBudget { max_runs: 500 }
+    }
+}
+
+/// Delta-debug `initial` against the caller's sealed runner.
+///
+/// `run` executes one sealed simulation of a candidate plan and returns
+/// `Some(verdict)` when an oracle check fails (`None` = the candidate
+/// passes, so it is rejected). The shrinker only keeps candidates that
+/// fail the *same* check as the initial plan.
+///
+/// Returns `None` when the initial plan does not fail at all (nothing to
+/// shrink). The whole procedure is deterministic: same initial plan +
+/// same (deterministic) runner ⇒ same outcome.
+pub fn shrink_plan(
+    initial: &ExplicitPlan,
+    budget: ShrinkBudget,
+    mut run: impl FnMut(&ExplicitPlan) -> Option<RunVerdict>,
+) -> Option<ShrinkOutcome> {
+    let mut runs = 1usize;
+    let base = run(initial)?;
+    let target = base.check.clone();
+    let mut best = initial.clone();
+    let mut best_digest = base.digest;
+
+    let mut try_candidate = |candidate: &ExplicitPlan, runs: &mut usize| -> Option<u64> {
+        if *runs >= budget.max_runs {
+            return None;
+        }
+        *runs += 1;
+        match run(candidate) {
+            Some(v) if v.check == target => Some(v.digest),
+            _ => None,
+        }
+    };
+
+    // Phase 1 — chunked ddmin over whole events. Event order inside the
+    // plan is semantically irrelevant (transport faults key on batches,
+    // windows and crashes on virtual time), so removing any subsequence
+    // is a valid candidate.
+    loop {
+        let before = best.events.len();
+        let mut chunk = before.div_ceil(2).max(1);
+        while chunk >= 1 {
+            let mut i = 0;
+            while i < best.events.len() && runs < budget.max_runs {
+                let mut candidate = best.clone();
+                let end = (i + chunk).min(candidate.events.len());
+                candidate.events.drain(i..end);
+                if let Some(digest) = try_candidate(&candidate, &mut runs) {
+                    best = candidate;
+                    best_digest = digest;
+                    // Re-test the same position: the next chunk slid in.
+                } else {
+                    i += chunk;
+                }
+            }
+            if chunk == 1 {
+                break;
+            }
+            chunk /= 2;
+        }
+        if best.events.len() == before || runs >= budget.max_runs {
+            break;
+        }
+        // Removing events can unlock further removals (a delay only
+        // mattered because a later drop depended on its reordering);
+        // iterate to a fixpoint like the proptest loop does.
+    }
+
+    // Phase 2 — per-event field shrinking: halve the surviving events'
+    // magnitudes toward zero while the failure persists (integer-style
+    // halving on floats, cut off once the step stops being meaningful).
+    let mut changed = true;
+    while changed && runs < budget.max_runs {
+        changed = false;
+        for i in 0..best.events.len() {
+            loop {
+                let mut candidate = best.clone();
+                let shrunk = match &mut candidate.events[i] {
+                    FaultEvent::Delay { extra_ms, .. } => halve(extra_ms, 1.0),
+                    FaultEvent::Duplicate { dup_delay_ms, .. } => halve(dup_delay_ms, 1.0),
+                    FaultEvent::Partition { outage_s, .. } => halve(outage_s, 0.01),
+                    FaultEvent::Crash { down_s, .. } => halve(down_s, 0.01),
+                    FaultEvent::Drop { .. } => false,
+                };
+                if !shrunk || runs >= budget.max_runs {
+                    break;
+                }
+                if let Some(digest) = try_candidate(&candidate, &mut runs) {
+                    best = candidate;
+                    best_digest = digest;
+                    changed = true;
+                } else {
+                    break;
+                }
+            }
+        }
+    }
+
+    // Phase 3 — drop the recorded anti-entropy latency table. Its round
+    // keys describe the *full* trace; once events are gone the rounds
+    // shift and stale entries would misdescribe the replay. If the
+    // failure survives on jitter-free base latencies (it almost always
+    // does), the minimized artifact stays honest and much smaller. The
+    // full-trace case keeps the table: it is what makes the seal
+    // bit-identical to the probabilistic original.
+    if best.events.len() < initial.events.len() && !best.ae_latency_ms.is_empty() {
+        let mut candidate = best.clone();
+        candidate.ae_latency_ms.clear();
+        if let Some(digest) = try_candidate(&candidate, &mut runs) {
+            best = candidate;
+            best_digest = digest;
+        }
+    }
+
+    Some(ShrinkOutcome {
+        plan: best,
+        check: target,
+        digest: best_digest,
+        runs,
+        original_events: initial.events.len(),
+    })
+}
+
+/// Halve toward zero; `false` once the value is at or below the floor
+/// (no meaningful shrink left).
+fn halve(v: &mut f64, floor: f64) -> bool {
+    if *v <= floor {
+        return false;
+    }
+    *v /= 2.0;
+    if *v < floor {
+        *v = floor;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_plan() -> ExplicitPlan {
+        ExplicitPlan {
+            events: vec![
+                FaultEvent::Drop {
+                    origin: 0,
+                    dest: 2,
+                    seq: 17,
+                },
+                FaultEvent::Delay {
+                    origin: 1,
+                    dest: 0,
+                    seq: 23,
+                    extra_ms: 35.25,
+                },
+                FaultEvent::Duplicate {
+                    origin: 0,
+                    dest: 1,
+                    seq: 9,
+                    dup_delay_ms: 40.0,
+                },
+                FaultEvent::Partition {
+                    a: 0,
+                    b: 2,
+                    at_s: 1.0,
+                    outage_s: 0.3,
+                },
+                FaultEvent::Crash {
+                    region: 1,
+                    at_s: 0.9,
+                    down_s: 0.8,
+                },
+            ],
+            anti_entropy_s: Some(0.25),
+            ae_latency_ms: vec![(3, 0, 2, 40.125)],
+        }
+    }
+
+    #[test]
+    fn plan_text_roundtrips_exactly() {
+        let plan = sample_plan();
+        let text = plan.to_string();
+        let back: ExplicitPlan = text.parse().expect("parse");
+        assert_eq!(back, plan, "text:\n{text}");
+        // Idempotent: rendering the parsed plan is byte-identical.
+        assert_eq!(back.to_string(), text);
+    }
+
+    #[test]
+    fn ae_off_and_comments_parse() {
+        let text = "# comment\n\nae off\ndrop 1->0 4\n";
+        let plan: ExplicitPlan = text.parse().expect("parse");
+        assert_eq!(plan.anti_entropy_s, None);
+        assert_eq!(plan.events.len(), 1);
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let err = "ae 0.25\nwarp 9".parse::<ExplicitPlan>().unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("warp"), "{err}");
+        let err = "drop 0->x 4".parse::<ExplicitPlan>().unwrap_err();
+        assert_eq!(err.line, 1);
+    }
+
+    #[test]
+    fn summary_counts_classes() {
+        assert_eq!(
+            sample_plan().summary(),
+            "5 events: 1 drop, 1 delay, 1 dup, 1 cut, 1 crash"
+        );
+        assert_eq!(ExplicitPlan::default().summary(), "no faults");
+    }
+
+    /// A synthetic "oracle": fails iff the plan still contains the
+    /// culprit drop; digest = number of events (detectably changing).
+    fn culprit_runner(plan: &ExplicitPlan) -> Option<RunVerdict> {
+        let has_culprit = plan.events.iter().any(|e| {
+            matches!(
+                e,
+                FaultEvent::Drop {
+                    origin: 0,
+                    dest: 2,
+                    seq: 17
+                }
+            )
+        });
+        has_culprit.then(|| RunVerdict {
+            check: "culprit".into(),
+            digest: plan.events.len() as u64,
+        })
+    }
+
+    #[test]
+    fn ddmin_isolates_a_single_culprit() {
+        let mut plan = ExplicitPlan {
+            anti_entropy_s: Some(0.25),
+            ..Default::default()
+        };
+        for seq in 0..60 {
+            plan.events.push(FaultEvent::Delay {
+                origin: (seq % 3) as Region,
+                dest: ((seq + 1) % 3) as Region,
+                seq,
+                extra_ms: 20.0,
+            });
+        }
+        plan.events.insert(
+            37,
+            FaultEvent::Drop {
+                origin: 0,
+                dest: 2,
+                seq: 17,
+            },
+        );
+        let out = shrink_plan(&plan, ShrinkBudget::default(), culprit_runner).expect("fails");
+        assert_eq!(out.plan.events.len(), 1, "{}", out.plan);
+        assert_eq!(
+            out.plan.events[0],
+            FaultEvent::Drop {
+                origin: 0,
+                dest: 2,
+                seq: 17
+            }
+        );
+        assert_eq!(out.check, "culprit");
+        assert_eq!(out.original_events, 61);
+        assert!(
+            out.runs <= 60,
+            "ddmin is logarithmic-ish: {} runs",
+            out.runs
+        );
+    }
+
+    #[test]
+    fn shrink_refuses_a_passing_plan() {
+        let plan = sample_plan();
+        assert!(shrink_plan(&plan, ShrinkBudget::default(), |_| None).is_none());
+    }
+
+    #[test]
+    fn field_shrinking_halves_magnitudes_while_failing() {
+        // Oracle: fails while the delay is ≥ 4 ms; the culprit event must
+        // survive with its delay halved down to the smallest failing step.
+        let plan = ExplicitPlan {
+            events: vec![FaultEvent::Delay {
+                origin: 0,
+                dest: 1,
+                seq: 5,
+                extra_ms: 64.0,
+            }],
+            anti_entropy_s: None,
+            ae_latency_ms: Vec::new(),
+        };
+        let out = shrink_plan(&plan, ShrinkBudget::default(), |p| {
+            let failing = p
+                .events
+                .iter()
+                .any(|e| matches!(e, FaultEvent::Delay { extra_ms, .. } if *extra_ms >= 4.0));
+            failing.then(|| RunVerdict {
+                check: "delay".into(),
+                digest: 1,
+            })
+        })
+        .expect("fails");
+        let FaultEvent::Delay { extra_ms, .. } = out.plan.events[0] else {
+            panic!("delay survived: {}", out.plan);
+        };
+        assert_eq!(extra_ms, 4.0, "halved 64 → 32 → 16 → 8 → 4, then stuck");
+    }
+
+    #[test]
+    fn shrink_is_deterministic() {
+        let mut plan = ExplicitPlan::default();
+        for seq in 0..40 {
+            plan.events.push(if seq % 7 == 3 {
+                FaultEvent::Drop {
+                    origin: 0,
+                    dest: 2,
+                    seq: 17,
+                }
+            } else {
+                FaultEvent::Duplicate {
+                    origin: (seq % 3) as Region,
+                    dest: ((seq + 2) % 3) as Region,
+                    seq,
+                    dup_delay_ms: 40.0,
+                }
+            });
+        }
+        let a = shrink_plan(&plan, ShrinkBudget::default(), culprit_runner).unwrap();
+        let b = shrink_plan(&plan, ShrinkBudget::default(), culprit_runner).unwrap();
+        assert_eq!(a.plan, b.plan);
+        assert_eq!(a.runs, b.runs);
+        assert_eq!(a.digest, b.digest);
+    }
+
+    #[test]
+    fn budget_caps_the_run_count() {
+        let mut plan = ExplicitPlan::default();
+        for seq in 0..100 {
+            plan.events.push(FaultEvent::Drop {
+                origin: 0,
+                dest: 2,
+                seq,
+            });
+        }
+        // Every candidate containing seq 17 fails, so shrinking has many
+        // live moves; the budget must still bound total work.
+        let budget = ShrinkBudget { max_runs: 10 };
+        let out = shrink_plan(&plan, budget, |p| {
+            p.events
+                .iter()
+                .any(|e| matches!(e, FaultEvent::Drop { seq: 17, .. }))
+                .then(|| RunVerdict {
+                    check: "c".into(),
+                    digest: p.events.len() as u64,
+                })
+        })
+        .unwrap();
+        assert!(out.runs <= 10);
+        assert!(out.plan.events.len() < plan.events.len(), "some progress");
+    }
+}

@@ -1,0 +1,153 @@
+//! Bounded-liveness oracle: after a fault, anti-entropy must close
+//! every induced causal gap within N rounds of repair opportunity, and
+//! the quiesce fixpoint must converge within N productive rounds.
+
+use ipa_crdt::{ObjectKind, Val};
+use ipa_sim::{
+    paper_topology, ClientInfo, ExplicitPlan, FaultEvent, FaultPlan, OpOutcome, SimConfig, SimCtx,
+    Simulation, Workload,
+};
+
+struct Inserter {
+    n: u64,
+}
+
+impl Workload for Inserter {
+    fn op(&mut self, ctx: &mut SimCtx<'_>, client: ClientInfo) -> OpOutcome {
+        self.n += 1;
+        let v = Val::str(format!("e{}", self.n));
+        ctx.commit(client.region, |tx| {
+            tx.ensure("set", ObjectKind::AWSet)?;
+            tx.aw_add("set", v)
+        })
+        .expect("commit");
+        OpOutcome::ok("insert", 1, 1)
+    }
+}
+
+fn cfg(seed: u64, faults: FaultPlan) -> SimConfig {
+    SimConfig {
+        clients_per_region: 2,
+        warmup_s: 0.2,
+        duration_s: 1.8,
+        seed,
+        faults,
+        ..Default::default()
+    }
+}
+
+fn dropped_batch_plan(anti_entropy_s: Option<f64>) -> ExplicitPlan {
+    ExplicitPlan {
+        events: vec![FaultEvent::Drop {
+            origin: 0,
+            dest: 2,
+            seq: 10,
+        }],
+        anti_entropy_s,
+        ae_latency_ms: Vec::new(),
+    }
+}
+
+fn run(plan: &ExplicitPlan, bound: Option<u64>) -> Simulation {
+    let mut sim = Simulation::new(paper_topology(), cfg(7, FaultPlan::none()));
+    sim.set_explicit_faults(plan);
+    if let Some(b) = bound {
+        sim.set_liveness_bound(b);
+    }
+    let mut w = Inserter { n: 0 };
+    sim.run(&mut w);
+    sim.quiesce();
+    sim
+}
+
+#[test]
+fn anti_entropy_repairs_a_gap_within_a_generous_bound() {
+    let sim = run(&dropped_batch_plan(Some(0.25)), Some(12));
+    let l = sim.liveness();
+    assert_eq!(l.tracked_gaps, 1, "the drop opened one gap");
+    assert_eq!(l.repaired_gaps, 1, "anti-entropy closed it mid-run");
+    assert!(
+        l.max_gap_rounds <= 2,
+        "one pull + delivery latency: {} rounds",
+        l.max_gap_rounds
+    );
+    assert_eq!(sim.liveness_violations(), 0);
+    assert!(
+        l.quiesce_rounds == 0,
+        "already converged before quiesce: {} rounds",
+        l.quiesce_rounds
+    );
+}
+
+#[test]
+fn a_zero_bound_flags_any_unrepaired_round() {
+    // Bound 0 demands instant repair — the first anti-entropy round
+    // finds the gap still open (its re-send is in flight), breaching.
+    let sim = run(&dropped_batch_plan(Some(0.25)), Some(0));
+    assert!(sim.liveness().run_breaches >= 1, "{:?}", sim.liveness());
+    assert!(sim.liveness_violations() >= 1);
+}
+
+#[test]
+fn quiesce_repair_rounds_count_against_the_bound() {
+    // No periodic anti-entropy: the gap survives to quiesce, whose
+    // fixpoint needs ≥ 1 productive round — a violation at bound 0,
+    // fine at bound 12.
+    let sim = run(&dropped_batch_plan(None), Some(0));
+    let l = sim.liveness();
+    assert_eq!(l.run_breaches, 0, "no rounds ran, so no mid-run breach");
+    assert!(l.quiesce_rounds >= 1, "{:?}", l);
+    assert_eq!(sim.liveness_violations(), 1);
+
+    let sim = run(&dropped_batch_plan(None), Some(12));
+    assert_eq!(sim.liveness_violations(), 0);
+}
+
+#[test]
+fn liveness_accounting_never_perturbs_the_schedule() {
+    // Arming the oracle is pure observation: digests with and without a
+    // bound are identical, for explicit and probabilistic runs alike.
+    let explicit = dropped_batch_plan(Some(0.25));
+    let a = run(&explicit, None).schedule_digest();
+    let b = run(&explicit, Some(0)).schedule_digest();
+    assert_eq!(a, b);
+
+    let prob = |bound: Option<u64>| {
+        let mut sim = Simulation::new(
+            paper_topology(),
+            cfg(11, FaultPlan::with_intensity(11, 0.8)),
+        );
+        if let Some(bnd) = bound {
+            sim.set_liveness_bound(bnd);
+        }
+        let mut w = Inserter { n: 0 };
+        sim.run(&mut w);
+        sim.quiesce();
+        sim.schedule_digest()
+    };
+    assert_eq!(prob(None), prob(Some(3)));
+}
+
+#[test]
+fn crash_recovery_is_tracked_as_restart_obligations() {
+    let mut plan = ExplicitPlan {
+        anti_entropy_s: Some(0.25),
+        ..Default::default()
+    };
+    plan.events.push(FaultEvent::Crash {
+        region: 1,
+        at_s: 0.6,
+        down_s: 0.5,
+    });
+    let sim = run(&plan, Some(12));
+    let l = sim.liveness();
+    assert!(
+        l.tracked_gaps >= 1,
+        "the restart owes its peers' progress: {l:?}"
+    );
+    assert_eq!(
+        l.repaired_gaps, l.tracked_gaps,
+        "recovery caught up within the bound: {l:?}"
+    );
+    assert_eq!(sim.liveness_violations(), 0);
+}

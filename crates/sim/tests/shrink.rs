@@ -1,0 +1,268 @@
+//! Shrinker properties over real sealed simulations:
+//!
+//! * a recorded fault trace replays the original probabilistic run
+//!   bit-identically (the "seal" — same schedule digest);
+//! * a plan with one injected culprit fault shrinks to exactly that
+//!   fault, and replaying the minimized plan reproduces the identical
+//!   violation (same digest);
+//! * every candidate the shrinker keeps fails the same oracle check;
+//! * shrinking is deterministic from the `(workload seed, fault seed)`
+//!   pair.
+
+use ipa_crdt::{ObjectKind, ReplicaId, Val};
+use ipa_sim::{
+    paper_topology, shrink_plan, ClientInfo, CrashPlan, ExplicitPlan, FaultEvent, FaultPlan,
+    OpOutcome, RunVerdict, ShrinkBudget, SimConfig, SimCtx, Simulation, Workload,
+};
+
+/// Deterministic unique-insert workload (independent of fault plans:
+/// every op succeeds locally, so the client schedule shape is fixed by
+/// the workload seed alone).
+struct Inserter {
+    n: u64,
+}
+
+impl Workload for Inserter {
+    fn op(&mut self, ctx: &mut SimCtx<'_>, client: ClientInfo) -> OpOutcome {
+        self.n += 1;
+        let v = Val::str(format!("e{}", self.n));
+        ctx.commit(client.region, |tx| {
+            tx.ensure("set", ObjectKind::AWSet)?;
+            tx.aw_add("set", v)
+        })
+        .expect("commit");
+        OpOutcome::ok("insert", 1, 1)
+    }
+}
+
+fn cfg(seed: u64, faults: FaultPlan) -> SimConfig {
+    SimConfig {
+        clients_per_region: 2,
+        warmup_s: 0.2,
+        duration_s: 1.8,
+        seed,
+        faults,
+        ..Default::default()
+    }
+}
+
+/// Run one sealed (explicit-plan) simulation; returns it pre-quiesce so
+/// oracles can inspect the un-repaired end-of-run state.
+fn run_explicit(workload_seed: u64, plan: &ExplicitPlan) -> Simulation {
+    let mut sim = Simulation::new(paper_topology(), cfg(workload_seed, FaultPlan::none()));
+    sim.set_explicit_faults(plan);
+    let mut w = Inserter { n: 0 };
+    sim.run(&mut w);
+    sim
+}
+
+#[test]
+fn recorded_trace_replays_bit_identically() {
+    for (workload_seed, fault_seed, intensity, crashy) in
+        [(11u64, 11u64, 0.5, false), (97, 3007, 1.0, true)]
+    {
+        let mut plan = FaultPlan::with_intensity(fault_seed, intensity);
+        if crashy {
+            plan.crashes.push(CrashPlan {
+                region: (fault_seed % 3) as u16,
+                at_s: 0.9,
+                down_s: 0.8,
+            });
+        }
+        let mut sim = Simulation::new(paper_topology(), cfg(workload_seed, plan));
+        sim.record_fault_trace();
+        let mut w = Inserter { n: 0 };
+        sim.run(&mut w);
+        sim.quiesce();
+        let trace = sim.take_fault_trace();
+        assert!(!trace.events.is_empty());
+
+        let mut replay = run_explicit(workload_seed, &trace);
+        replay.quiesce();
+        assert_eq!(
+            replay.schedule_digest(),
+            sim.schedule_digest(),
+            "sealed replay must reproduce the probabilistic run exactly \
+             (seeds {workload_seed}/{fault_seed})"
+        );
+        assert_eq!(replay.nemesis, sim.nemesis);
+
+        // And the text format round-trips the whole trace losslessly.
+        let parsed: ExplicitPlan = trace.to_string().parse().expect("parse");
+        assert_eq!(parsed, trace);
+    }
+}
+
+/// The targeted oracle used by the culprit tests: the run fails iff
+/// `dest` never applied `origin`'s batch `seq` by end-of-run (a dropped
+/// batch with anti-entropy effectively disabled stays missing).
+fn missing_batch_verdict(sim: &Simulation, origin: u16, dest: u16, seq: u64) -> Option<RunVerdict> {
+    (sim.replica(dest).clock().get(ReplicaId(origin)) < seq).then(|| RunVerdict {
+        check: format!("missing-batch r{origin}:{seq}@r{dest}"),
+        digest: sim.schedule_digest(),
+    })
+}
+
+#[test]
+fn single_culprit_shrinks_to_exactly_that_fault() {
+    let workload_seed = 11;
+    // A plan with one real culprit (the drop) buried in noise: 120
+    // delay/duplicate events that never block causal delivery for long.
+    let culprit = FaultEvent::Drop {
+        origin: 0,
+        dest: 2,
+        seq: 40,
+    };
+    let mut plan = ExplicitPlan {
+        // Anti-entropy never fires inside the window, so the dropped
+        // batch stays missing (the liveness-style failure mode).
+        anti_entropy_s: None,
+        ..Default::default()
+    };
+    for i in 0..120u64 {
+        let (origin, dest) = (
+            [0u16, 1, 2][(i % 3) as usize],
+            [1u16, 2, 0][(i % 3) as usize],
+        );
+        plan.events.push(if i % 2 == 0 {
+            FaultEvent::Delay {
+                origin,
+                dest,
+                seq: i / 3 + 1,
+                extra_ms: 25.0,
+            }
+        } else {
+            FaultEvent::Duplicate {
+                origin,
+                dest,
+                seq: i / 3 + 1,
+                dup_delay_ms: 40.0,
+            }
+        });
+        if i == 60 {
+            plan.events.push(culprit);
+        }
+    }
+    let original_events = plan.events.len();
+
+    let outcome = shrink_plan(&plan, ShrinkBudget::default(), |candidate| {
+        let sim = run_explicit(workload_seed, candidate);
+        missing_batch_verdict(&sim, 0, 2, 40)
+    })
+    .expect("the full plan fails: the culprit drop is in it");
+
+    assert_eq!(
+        outcome.plan.events,
+        vec![culprit],
+        "ddmin must isolate the culprit:\n{}",
+        outcome.plan
+    );
+    assert!(
+        outcome.shrunk_events() * 10 <= original_events,
+        "{} of {} events is not ≤ 10%",
+        outcome.shrunk_events(),
+        original_events
+    );
+
+    // The printed repro replays the identical violation: parse the
+    // minimized plan back from its text form and re-run it.
+    let reparsed: ExplicitPlan = outcome.plan.to_string().parse().expect("parse");
+    let sim = run_explicit(workload_seed, &reparsed);
+    let verdict = missing_batch_verdict(&sim, 0, 2, 40).expect("still violates");
+    assert_eq!(verdict.check, outcome.check);
+    assert_eq!(
+        verdict.digest, outcome.digest,
+        "replaying the minimized plan reproduces the same schedule digest"
+    );
+}
+
+#[test]
+fn every_kept_candidate_fails_the_same_check() {
+    // Two distinct failure modes in one plan: drops on 0→2 and on 1→0.
+    // The oracle reports whichever it sees, preferring the 0→2 check;
+    // the shrinker locks onto the *initial* check and must never keep a
+    // candidate that only fails the other one.
+    let mut plan = ExplicitPlan {
+        anti_entropy_s: None,
+        ..Default::default()
+    };
+    for seq in [20u64, 30, 40] {
+        plan.events.push(FaultEvent::Drop {
+            origin: 0,
+            dest: 2,
+            seq,
+        });
+        plan.events.push(FaultEvent::Drop {
+            origin: 1,
+            dest: 0,
+            seq,
+        });
+    }
+    let workload_seed = 23;
+    let mut kept_checks = Vec::new();
+    let outcome = shrink_plan(&plan, ShrinkBudget::default(), |candidate| {
+        let sim = run_explicit(workload_seed, candidate);
+        let verdict =
+            missing_batch_verdict(&sim, 0, 2, 20).or_else(|| missing_batch_verdict(&sim, 1, 0, 20));
+        if let Some(v) = &verdict {
+            kept_checks.push(v.check.clone());
+        }
+        verdict
+    })
+    .expect("fails");
+    assert_eq!(outcome.check, "missing-batch r0:20@r2");
+    // Every failing verdict the shrinker accepted (kept) matches the
+    // target check; verdicts for the other check were rejected, so the
+    // minimized plan must still fail the original check.
+    let sim = run_explicit(workload_seed, &outcome.plan);
+    assert!(missing_batch_verdict(&sim, 0, 2, 20).is_some());
+    assert!(
+        outcome.plan.events.len() <= 2,
+        "the unrelated 1→0 drops must be gone:\n{}",
+        outcome.plan
+    );
+}
+
+#[test]
+fn shrinking_is_deterministic_from_the_seed_pair() {
+    // The advertised CI workflow: record the trace of a probabilistic
+    // (workload seed, fault seed) run, derive the failure from the trace
+    // itself, shrink. Both full passes must agree bit for bit.
+    let (workload_seed, fault_seed) = (37u64, 41u64);
+    let shrink_once = || {
+        let mut plan = FaultPlan::with_intensity(fault_seed, 0.3);
+        // Defer anti-entropy past the window so drops stay unrepaired.
+        plan.anti_entropy_s = Some(3600.0);
+        let mut sim = Simulation::new(paper_topology(), cfg(workload_seed, plan));
+        sim.record_fault_trace();
+        let mut w = Inserter { n: 0 };
+        sim.run(&mut w);
+        let trace = sim.take_fault_trace();
+        // The failure to minimize: the last batch the nemesis dropped.
+        let &FaultEvent::Drop { origin, dest, seq } = trace
+            .events
+            .iter()
+            .rev()
+            .find(|e| matches!(e, FaultEvent::Drop { .. }))
+            .expect("intensity 0.3 drops something")
+        else {
+            unreachable!()
+        };
+        let outcome = shrink_plan(&trace, ShrinkBudget::default(), |candidate| {
+            let sim = run_explicit(workload_seed, candidate);
+            missing_batch_verdict(&sim, origin, dest, seq)
+        })
+        .expect("the recorded trace contains the culprit drop");
+        (outcome.plan.to_string(), outcome.digest, outcome.runs)
+    };
+    let a = shrink_once();
+    let b = shrink_once();
+    assert_eq!(a, b, "same seed pair ⇒ same minimized plan, digest, cost");
+    // And the minimized plan is tiny: the culprit drop alone suffices.
+    let plan: ExplicitPlan = a.0.parse().expect("parse");
+    assert!(
+        plan.events.len() <= 2,
+        "expected (near-)singleton plan:\n{}",
+        a.0
+    );
+}

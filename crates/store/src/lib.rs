@@ -33,7 +33,9 @@ pub use batch::UpdateBatch;
 pub use cluster::Cluster;
 pub use errors::StoreError;
 pub use key::Key;
-pub use replica::{anti_entropy_round, anti_entropy_round_with, AeCursors, Replica};
+pub use replica::{
+    anti_entropy_fixpoint_with, anti_entropy_round, anti_entropy_round_with, AeCursors, Replica,
+};
 pub use schedule::{CausalItem, DeliveryFaults, Schedule, ScheduleReport};
 pub use shared::SharedReplica;
 pub use txn::{CommitInfo, Transaction};

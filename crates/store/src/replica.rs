@@ -483,15 +483,51 @@ impl Replica {
     /// Every future delivery dominates this frontier, so CRDT metadata at
     /// or below it can be compacted.
     pub fn stability_frontier(&self, replicas: &[ReplicaId]) -> VClock {
-        let mut frontier: Option<VClock> = None;
-        for r in replicas {
-            let c = self.last_from.get(r).cloned().unwrap_or_default();
-            frontier = Some(match frontier {
-                None => c,
-                Some(f) => f.meet(&c, replicas),
-            });
+        // One fold over the dense component slices: no intermediate
+        // VClock per replica (the old meet chain allocated one each).
+        let mut iter = replicas.iter();
+        let Some(first) = iter.next() else {
+            return VClock::new();
+        };
+        let first = self
+            .last_from
+            .get(first)
+            .map(VClock::as_slice)
+            .unwrap_or(&[]);
+        if replicas.len() == 1 {
+            // Single-replica frontier is that replica's clock verbatim
+            // (the meet chain never restricted a lone clock).
+            return VClock::from_raw(first.to_vec());
         }
-        frontier.unwrap_or_default()
+        let mut mins = first.to_vec();
+        for r in iter {
+            let c = self.last_from.get(r).map(VClock::as_slice).unwrap_or(&[]);
+            // A missing component is zero, so the min vector can only
+            // shrink to the shorter slice.
+            mins.truncate(c.len());
+            if mins.is_empty() {
+                return VClock::new();
+            }
+            for (m, &v) in mins.iter_mut().zip(c) {
+                if v < *m {
+                    *m = v;
+                }
+            }
+        }
+        // The meet chain only ever set components named in `replicas`;
+        // zero everything else to preserve that restriction.
+        let mut named = vec![false; mins.len()];
+        for &r in replicas {
+            if let Some(k) = named.get_mut(r.0 as usize) {
+                *k = true;
+            }
+        }
+        for (m, keep) in mins.iter_mut().zip(&named) {
+            if !keep {
+                *m = 0;
+            }
+        }
+        VClock::from_raw(mins)
     }
 
     /// Compact every object's causal metadata under the stability
@@ -633,6 +669,20 @@ impl AeCursors {
 /// [`crate::Cluster::anti_entropy`] and the simulator's post-run repair.
 pub fn anti_entropy_round(replicas: &mut [Replica]) -> usize {
     anti_entropy_round_with(replicas, &mut AeCursors::new())
+}
+
+/// Run [`anti_entropy_round_with`] to a fixpoint and return how many
+/// *productive* rounds it took (rounds that applied at least one batch;
+/// an already-converged set costs zero). This is the quiesce-time
+/// instrumentation the bounded-liveness oracle audits: after the last
+/// injected fault every replica must converge within N rounds, and this
+/// count is exactly the N a given run needed.
+pub fn anti_entropy_fixpoint_with(replicas: &mut [Replica], cursors: &mut AeCursors) -> u64 {
+    let mut rounds = 0;
+    while anti_entropy_round_with(replicas, cursors) > 0 {
+        rounds += 1;
+    }
+    rounds
 }
 
 /// [`anti_entropy_round`] with per-peer cursors carried across rounds:
@@ -840,6 +890,94 @@ mod tests {
             .entry_count();
         assert_eq!(after, 0, "decided add/remove pair compacted away");
         assert_eq!(a.stats.gc_runs, 1);
+    }
+
+    /// The pre-fold frontier: a chain of per-replica `meet` calls, each
+    /// allocating an intermediate clock. Kept verbatim as the semantic
+    /// reference for the dense-slice fold.
+    fn stability_frontier_meet_chain(replica: &Replica, replicas: &[ReplicaId]) -> VClock {
+        let mut frontier: Option<VClock> = None;
+        for r in replicas {
+            let c = replica.last_from.get(r).cloned().unwrap_or_default();
+            frontier = Some(match frontier {
+                None => c,
+                Some(f) => f.meet(&c, replicas),
+            });
+        }
+        frontier.unwrap_or_default()
+    }
+
+    #[test]
+    fn stability_frontier_fold_equals_the_old_meet_chain() {
+        // Exhaustive-ish pin: every shape the meet chain handled — empty
+        // replica sets, missing last_from entries, clocks of different
+        // lengths, components outside the replica set, duplicates in the
+        // set, and the single-replica unrestricted quirk.
+        let mut a = Replica::new(r(0));
+        let clocks: &[&[u64]] = &[
+            &[],
+            &[3],
+            &[2, 7],
+            &[5, 1, 9],
+            &[0, 4, 2, 8],
+            &[1, 1, 1, 1, 6],
+        ];
+        for (i, c) in clocks.iter().enumerate() {
+            a.last_from
+                .insert(ReplicaId(i as u16), VClock::from_raw(c.to_vec()));
+        }
+        // Note r(9) has no last_from entry and r(4)'s clock names r(4)
+        // itself — both shapes the chain floored or restricted away.
+        let sets: &[&[ReplicaId]] = &[
+            &[],
+            &[r(0)],
+            &[r(2)],
+            &[r(9)],
+            &[r(0), r(1)],
+            &[r(1), r(2), r(3)],
+            &[r(0), r(9)],
+            &[r(3), r(4)],
+            &[r(0), r(1), r(2), r(3), r(4)],
+            &[r(2), r(2), r(0)],
+            &[r(4), r(3), r(2), r(1), r(0), r(9)],
+        ];
+        for set in sets {
+            assert_eq!(
+                a.stability_frontier(set),
+                stability_frontier_meet_chain(&a, set),
+                "frontier diverged from the meet chain for {set:?}"
+            );
+        }
+
+        // Non-degenerate frontiers: every clock non-empty, so the fold
+        // must reproduce real minima and drop exactly the components the
+        // meet chain's restriction dropped.
+        let mut b = Replica::new(r(0));
+        for (i, c) in [[4u64, 5, 6], [2, 9, 3], [8, 1, 7]].iter().enumerate() {
+            b.last_from
+                .insert(ReplicaId(i as u16), VClock::from_raw(c.to_vec()));
+        }
+        for set in [
+            &[r(0), r(1)][..],
+            &[r(0), r(1), r(2)],
+            &[r(2), r(0)],
+            &[r(1)],
+            &[r(0), r(1), r(2), r(3)],
+        ] {
+            let got = b.stability_frontier(set);
+            assert_eq!(
+                got,
+                stability_frontier_meet_chain(&b, set),
+                "frontier diverged for {set:?}"
+            );
+            if set.len() == 2 && set.contains(&r(0)) && set.contains(&r(1)) {
+                assert_eq!(
+                    got,
+                    VClock::from_raw(vec![2, 5]),
+                    "component 2 must be dropped by the replica-set restriction"
+                );
+            }
+        }
     }
 
     #[test]

@@ -1,19 +1,41 @@
-//! Seed-matrix nemesis soak: quick hostile-schedule runs across a set of
-//! seeds. CI fans this out one seed per job; any red run prints the seed
-//! and the full fault plan so the schedule replays locally with one
-//! command:
+//! Workload-parametric nemesis soak: quick hostile-schedule runs for any
+//! of the four applications across a set of seeds. CI fans this out as
+//! an `application × seed` matrix, one cell per job; any red cell
+//! shrinks its failure to a minimal explicit fault plan, writes it as a
+//! `repro-<app>-<seed>.txt` artifact, and prints the exact command that
+//! replays the identical violation locally:
 //!
 //! ```text
-//! IPA_NEMESIS_SEEDS=<seed> cargo test --release --test nemesis_soak -- --nocapture
+//! IPA_NEMESIS_APP=<app> IPA_NEMESIS_SEEDS=<seed> \
+//!     cargo test --release --test nemesis_soak -- --nocapture
+//! # …or, byte-identical from the artifact:
+//! IPA_NEMESIS_APP=<app> IPA_NEMESIS_SEEDS=<seed> IPA_NEMESIS_REPLAY=repro-<app>-<seed>.txt \
+//!     cargo test --release --test nemesis_soak -- --nocapture
 //! ```
 //!
-//! Seeds come from `IPA_NEMESIS_SEEDS` (comma-separated); the default
-//! covers a small spread so a plain `cargo test` stays quick.
+//! Environment:
+//! * `IPA_NEMESIS_APP` — tournament (default) | ticket | tpc | twitter
+//! * `IPA_NEMESIS_SEEDS` — comma-separated workload seeds (default
+//!   `11,23,37` so a plain `cargo test` stays quick)
+//! * `IPA_NEMESIS_REPLAY` — path to a minimized plan: skip the matrix
+//!   and replay exactly that plan under the first seed
+//! * `IPA_NEMESIS_REPRO_DIR` — where red cells write artifacts
+//!   (default `target/nemesis`)
 
-use ipa::apps::oracle::{Oracle, Phase};
-use ipa::apps::tournament::TournamentWorkload;
+use ipa::apps::oracle::Oracle;
+use ipa::apps::soak::{run_soak, shrink_soak_failure, App, Nemesis};
 use ipa::apps::Mode;
-use ipa::sim::{paper_topology, CrashPlan, FaultPlan, SimConfig, Simulation};
+use ipa::sim::{CrashPlan, ExplicitPlan, FaultPlan, ShrinkBudget};
+use std::path::PathBuf;
+
+fn app() -> App {
+    match std::env::var("IPA_NEMESIS_APP") {
+        Ok(s) => App::parse(&s).unwrap_or_else(|| {
+            panic!("bad IPA_NEMESIS_APP {s:?}: want tournament|ticket|tpc|twitter")
+        }),
+        Err(_) => App::Tournament,
+    }
+}
 
 fn seeds() -> Vec<u64> {
     let raw = std::env::var("IPA_NEMESIS_SEEDS").unwrap_or_else(|_| "11,23,37".into());
@@ -42,83 +64,148 @@ fn quick_plans(seed: u64) -> Vec<FaultPlan> {
     ]
 }
 
-fn run(mode: Mode, seed: u64, faults: FaultPlan) -> (Simulation, TournamentWorkload) {
-    let cfg = SimConfig {
-        clients_per_region: 2,
-        warmup_s: 0.2,
-        duration_s: 1.8,
-        seed,
-        faults,
-        ..Default::default()
-    };
-    let mut sim = Simulation::new(paper_topology(), cfg);
-    sim.set_auditor(0.25, Oracle::tournament().into_continuous_auditor());
-    let mut w = TournamentWorkload::with_defaults(mode);
-    sim.run(&mut w);
-    sim.quiesce();
-    (sim, w)
+/// One reproduction banner for every assertion in this file.
+fn repro(app: App, seed: u64, plan: &FaultPlan) -> String {
+    format!(
+        "{app} seed {seed} under {plan}\n  reproduce: IPA_NEMESIS_APP={app} \
+         IPA_NEMESIS_SEEDS={seed} cargo test --release --test nemesis_soak -- --nocapture"
+    )
 }
 
-/// One reproduction banner for every assertion in this file.
-fn repro(seed: u64, plan: &FaultPlan) -> String {
-    format!(
-        "seed {seed} under {plan}\n  reproduce: IPA_NEMESIS_SEEDS={seed} cargo test --release --test nemesis_soak -- --nocapture"
-    )
+fn repro_dir() -> PathBuf {
+    std::env::var("IPA_NEMESIS_REPRO_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| PathBuf::from("target/nemesis"))
+}
+
+/// Shrink a red cell, write the minimized plan as an artifact, and
+/// build the failure banner with the exact replay command.
+fn report_red_cell(app: App, seed: u64, plan: &FaultPlan, failure: &str) -> String {
+    let mut banner = format!(
+        "nemesis soak RED: {}\n  failed check: {failure}\n",
+        repro(app, seed, plan)
+    );
+    match shrink_soak_failure(app, seed, plan, ShrinkBudget::default()) {
+        Some(outcome) => {
+            let dir = repro_dir();
+            std::fs::create_dir_all(&dir).expect("create repro dir");
+            let path = dir.join(format!("repro-{app}-{seed}.txt"));
+            let contents = format!(
+                "# red nemesis soak cell, minimized by ipa-sim::shrink\n\
+                 # app={app} workload_seed={seed} check={}\n\
+                 # {} of {} recorded fault events survive; replay digest 0x{:016x}\n\
+                 # replay: IPA_NEMESIS_APP={app} IPA_NEMESIS_SEEDS={seed} \
+                 IPA_NEMESIS_REPLAY={} cargo test --release --test nemesis_soak -- --nocapture\n\
+                 {}",
+                outcome.check,
+                outcome.shrunk_events(),
+                outcome.original_events,
+                outcome.digest,
+                path.display(),
+                outcome.plan
+            );
+            std::fs::write(&path, &contents).expect("write repro artifact");
+            banner.push_str(&format!(
+                "  minimized: {} of {} fault events still fail `{}` ({})\n  \
+                 artifact: {}\n  replay the identical violation:\n    \
+                 IPA_NEMESIS_APP={app} IPA_NEMESIS_SEEDS={seed} IPA_NEMESIS_REPLAY={} \
+                 cargo test --release --test nemesis_soak -- --nocapture\n",
+                outcome.shrunk_events(),
+                outcome.original_events,
+                outcome.check,
+                outcome.plan.summary(),
+                path.display(),
+                path.display(),
+            ));
+        }
+        None => banner.push_str(
+            "  (the shrinker could not reproduce the failure from the recorded trace — \
+             replay from the seeds above)\n",
+        ),
+    }
+    banner
+}
+
+/// Replay a minimized plan byte-for-byte and resurface its violation.
+fn replay(app: App, seed: u64, path: &str) {
+    let text =
+        std::fs::read_to_string(path).unwrap_or_else(|e| panic!("IPA_NEMESIS_REPLAY={path}: {e}"));
+    let plan: ExplicitPlan = text.parse().unwrap_or_else(|e| panic!("{path}: {e}"));
+    println!("replaying {} against {app} seed {seed}", plan.summary());
+    let run = run_soak(app, seed, Nemesis::Explicit(&plan));
+    println!("replay schedule digest: 0x{:016x}", run.digest);
+    match run.failure {
+        Some(f) => panic!("replayed violation: {f} ({app} seed {seed}, plan {path})"),
+        None => println!("the plan no longer fails — the violation is fixed"),
+    }
+}
+
+/// In replay mode every other test in this file is a no-op, so the
+/// documented one-plan replay command runs exactly one simulation.
+fn replay_mode() -> bool {
+    std::env::var_os("IPA_NEMESIS_REPLAY").is_some()
 }
 
 #[test]
 fn soak_every_seed_under_quick_fault_configs() {
-    for seed in seeds() {
+    let app = app();
+    let seeds = seeds();
+    if let Ok(path) = std::env::var("IPA_NEMESIS_REPLAY") {
+        let seed = seeds.first().copied().unwrap_or_else(|| {
+            panic!("IPA_NEMESIS_REPLAY needs IPA_NEMESIS_SEEDS=<workload seed> (the seed in the artifact's header)")
+        });
+        replay(app, seed, &path);
+        return;
+    }
+    for seed in seeds {
         for plan in quick_plans(seed) {
-            println!("soaking {}", repro(seed, &plan));
+            println!("soaking {}", repro(app, seed, &plan));
 
-            // IPA: continuous invariants at every audit point, all
-            // invariants after the final repair, full convergence.
-            let (mut sim, w) = run(Mode::Ipa, seed, plan.clone());
-            assert_eq!(
-                sim.metrics.audit_violations,
-                0,
-                "IPA continuous invariants broke (first at {:?} ms) — {}",
-                sim.metrics.first_audit_violation_ms,
-                repro(seed, &plan)
+            // IPA: continuous invariants at every audit point,
+            // idempotent delivery, all invariants after the final
+            // repair, full convergence, bounded-liveness repair. A red
+            // run shrinks itself to a minimal replayable plan.
+            let run = run_soak(
+                app,
+                seed,
+                Nemesis::Plan {
+                    faults: &plan,
+                    record: false,
+                },
             );
-            assert!(
-                sim.double_apply_violations().is_empty(),
-                "double-applied batches at replicas {:?} — {}",
-                sim.double_apply_violations(),
-                repro(seed, &plan)
-            );
-            w.final_repair(&mut sim);
-            let oracle = Oracle::tournament();
-            for r in 0..3 {
-                let report = oracle.audit(sim.replica(r), Phase::Final);
-                assert_eq!(
-                    report.total(),
-                    0,
-                    "IPA final invariants broke at replica {r} ({:?}) — {}",
-                    report.violated(),
-                    repro(seed, &plan)
+            if let Some(failure) = &run.failure {
+                panic!(
+                    "{}",
+                    report_red_cell(app, seed, &plan, &failure.to_string())
                 );
             }
-            let c0 = sim.replica(0).clock().clone();
-            for r in 1..3 {
-                assert_eq!(
-                    sim.replica(r).clock(),
-                    &c0,
-                    "replica {r} failed to converge — {}",
-                    repro(seed, &plan)
-                );
-            }
+            let liveness = run.sim.liveness();
+            println!(
+                "  green: {} ops, {}/{} gaps repaired mid-run (max {} rounds, \
+                 quiesce {} rounds), digest 0x{:016x}",
+                run.sim.metrics.completed,
+                liveness.repaired_gaps,
+                liveness.tracked_gaps,
+                liveness.max_gap_rounds,
+                liveness.quiesce_rounds,
+                run.digest,
+            );
 
             // Determinism: a second run from the same seeds must replay
-            // the identical schedule (final_repair never touches the
-            // digest — it folds run-loop events only).
-            let (sim_b, _) = run(Mode::Ipa, seed, plan.clone());
+            // the identical schedule.
+            let again = run_soak(
+                app,
+                seed,
+                Nemesis::Plan {
+                    faults: &plan,
+                    record: false,
+                },
+            );
             assert_eq!(
-                sim.schedule_digest(),
-                sim_b.schedule_digest(),
+                run.digest,
+                again.digest,
                 "schedule not reproducible — {}",
-                repro(seed, &plan)
+                repro(app, seed, &plan)
             );
         }
     }
@@ -128,17 +215,82 @@ fn soak_every_seed_under_quick_fault_configs() {
 fn soak_causal_still_exhibits_anomalies() {
     // Under hostile schedules the *unpatched* application must keep
     // showing the paper's anomalies. Summed over a FIXED seed spread
-    // (not `IPA_NEMESIS_SEEDS`): an individual seed may get lucky, and
-    // the CI matrix pins a single seed per job — this check is about a
-    // global property, so it must not depend on which matrix seed runs.
+    // (not `IPA_NEMESIS_SEEDS`): an individual seed may get lucky —
+    // this is a global property. It is seed- and app-independent, so
+    // matrix cells (which set IPA_NEMESIS_SEEDS) skip it; it runs once,
+    // in the plain test job, against the anomaly-dense tournament app.
+    if replay_mode() || app() != App::Tournament || std::env::var_os("IPA_NEMESIS_SEEDS").is_some()
+    {
+        return;
+    }
+    use ipa::apps::soak::soak_config;
+    use ipa::apps::tournament::TournamentWorkload;
+    use ipa::sim::{paper_topology, Simulation};
     let mut total = 0u64;
     for seed in [11u64, 23, 37] {
         let plan = FaultPlan::with_intensity(seed, 0.8);
-        let (sim, _) = run(Mode::Causal, seed, plan);
+        let mut sim = Simulation::new(paper_topology(), soak_config(seed, plan));
+        sim.set_auditor(0.25, Oracle::tournament().into_continuous_auditor());
+        let mut w = TournamentWorkload::with_defaults(Mode::Causal);
+        sim.run(&mut w);
+        sim.quiesce();
         total += sim.metrics.audit_violations
             + (0..3)
                 .map(|r| Oracle::tournament().final_violations(sim.replica(r)))
                 .sum::<u64>();
     }
     assert!(total > 0, "causal soak lost the expected anomalies");
+}
+
+/// End-to-end red-cell drill: force a failure (a zero liveness bound
+/// flags the first unrepaired anti-entropy round), shrink it, and prove
+/// the acceptance contract — the minimized plan is ≤ 10 % of the
+/// recorded fault events, still fails the same check, and replays to
+/// the identical schedule digest, twice.
+#[test]
+fn forced_red_cell_shrinks_to_a_tiny_replayable_plan() {
+    // The drill is app/seed-independent, so CI matrix cells (which set
+    // IPA_NEMESIS_APP) skip it — it runs once, in the plain test job.
+    if replay_mode() || std::env::var_os("IPA_NEMESIS_APP").is_some() {
+        return;
+    }
+    use ipa::apps::soak::{run_soak_tuned, shrink_soak_failure_tuned, SoakTuning};
+    let (app, seed) = (App::Tournament, 11);
+    let plan = FaultPlan::with_intensity(seed, 0.5);
+    let tuning = SoakTuning {
+        liveness_bound: Some(0),
+    };
+    let red = run_soak_tuned(
+        app,
+        seed,
+        Nemesis::Plan {
+            faults: &plan,
+            record: false,
+        },
+        tuning,
+    );
+    let failure = red.failure.expect("bound 0 must go red under drops");
+    assert_eq!(failure.check, "bounded-liveness");
+
+    let outcome = shrink_soak_failure_tuned(app, seed, &plan, ShrinkBudget::default(), tuning)
+        .expect("the recorded trace reproduces the failure");
+    assert_eq!(outcome.check, "bounded-liveness");
+    assert!(
+        outcome.shrunk_events() * 10 <= outcome.original_events,
+        "{} of {} events is not ≤ 10%",
+        outcome.shrunk_events(),
+        outcome.original_events
+    );
+
+    // The artifact text replays the identical violation, deterministically.
+    let reparsed: ExplicitPlan = outcome.plan.to_string().parse().expect("parse");
+    for _ in 0..2 {
+        let replayed = run_soak_tuned(app, seed, Nemesis::Explicit(&reparsed), tuning);
+        assert_eq!(replayed.digest, outcome.digest, "identical schedule");
+        assert_eq!(
+            replayed.failure.expect("still fails").check,
+            outcome.check,
+            "identical violation"
+        );
+    }
 }
