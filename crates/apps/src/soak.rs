@@ -17,8 +17,8 @@ use crate::twitter::runtime::Strategy;
 use crate::twitter::workload::TwitterWorkload;
 use crate::Mode;
 use ipa_sim::{
-    paper_topology, shrink_plan, ClientInfo, ExplicitPlan, FaultPlan, OpOutcome, RunVerdict,
-    ShrinkBudget, ShrinkOutcome, SimConfig, SimCtx, Simulation, Workload,
+    paper_topology, shrink_joint, AppOp, ClientInfo, ExplicitPlan, FaultPlan, JointOutcome,
+    OpOutcome, OpTrace, RunVerdict, ShrinkBudget, SimConfig, SimCtx, Simulation, Workload,
 };
 
 /// One of the paper's four applications, as a soak-matrix coordinate.
@@ -87,6 +87,24 @@ impl Workload for SoakWorkload {
             SoakWorkload::Twitter(w) => w.op(ctx, client),
         }
     }
+
+    fn decide(&mut self, ctx: &mut SimCtx<'_>, client: ClientInfo) -> Option<AppOp> {
+        match self {
+            SoakWorkload::Tournament(w) => w.decide(ctx, client),
+            SoakWorkload::Ticket(w) => w.decide(ctx, client),
+            SoakWorkload::Tpc(w) => w.decide(ctx, client),
+            SoakWorkload::Twitter(w) => w.decide(ctx, client),
+        }
+    }
+
+    fn execute(&mut self, ctx: &mut SimCtx<'_>, client: ClientInfo, op: &AppOp) -> OpOutcome {
+        match self {
+            SoakWorkload::Tournament(w) => w.execute(ctx, client, op),
+            SoakWorkload::Ticket(w) => w.execute(ctx, client, op),
+            SoakWorkload::Tpc(w) => w.execute(ctx, client, op),
+            SoakWorkload::Twitter(w) => w.execute(ctx, client, op),
+        }
+    }
 }
 
 /// The first oracle failure a soak run exhibited.
@@ -112,16 +130,24 @@ pub struct SoakRun {
     pub digest: u64,
     /// The recorded fault trace, when recording was requested.
     pub trace: Option<ExplicitPlan>,
+    /// The recorded op trace, when recording was requested.
+    pub ops: Option<OpTrace>,
 }
 
-/// The nemesis configuration of one soak run.
+/// The nemesis/workload configuration of one soak run.
 pub enum Nemesis<'a> {
-    /// Probabilistic plan (the CI matrix shape); `record` captures the
-    /// materialized fault trace for shrinking.
+    /// Probabilistic plan with RNG-driven clients (the CI matrix shape);
+    /// `record` captures both the materialized fault trace and the
+    /// executed op trace for joint shrinking.
     Plan { faults: &'a FaultPlan, record: bool },
-    /// Sealed replay of an explicit plan (shrink candidates, repro
-    /// artifacts).
-    Explicit(&'a ExplicitPlan),
+    /// Sealed replay (shrink candidates, repro artifacts): an explicit
+    /// fault plan, a recorded op trace, or both. `faults: None` keeps
+    /// the benign transport; `ops: None` keeps the seeded closed-loop
+    /// clients.
+    Explicit {
+        faults: Option<&'a ExplicitPlan>,
+        ops: Option<&'a OpTrace>,
+    },
 }
 
 /// The SimConfig every soak cell runs (kept in lockstep with the
@@ -286,7 +312,7 @@ pub fn run_soak(app: App, seed: u64, nemesis: Nemesis<'_>) -> SoakRun {
 pub fn run_soak_tuned(app: App, seed: u64, nemesis: Nemesis<'_>, tuning: SoakTuning) -> SoakRun {
     let faults = match &nemesis {
         Nemesis::Plan { faults, .. } => (*faults).clone(),
-        Nemesis::Explicit(_) => FaultPlan::none(),
+        Nemesis::Explicit { .. } => FaultPlan::none(),
     };
     let mut sim = Simulation::new(paper_topology(), soak_config(seed, faults));
     let mut workload = fresh_workload(app);
@@ -304,8 +330,18 @@ pub fn run_soak_tuned(app: App, seed: u64, nemesis: Nemesis<'_>, tuning: SoakTun
     }
     sim.set_auditor(0.25, auditor.into_continuous_auditor());
     match nemesis {
-        Nemesis::Plan { record: true, .. } => sim.record_fault_trace(),
-        Nemesis::Explicit(plan) => sim.set_explicit_faults(plan),
+        Nemesis::Plan { record: true, .. } => {
+            sim.record_fault_trace();
+            sim.record_op_trace();
+        }
+        Nemesis::Explicit { faults, ops } => {
+            if let Some(plan) = faults {
+                sim.set_explicit_faults(plan);
+            }
+            if let Some(trace) = ops {
+                sim.set_explicit_ops(trace);
+            }
+        }
         _ => {}
     }
     sim.run(&mut workload);
@@ -313,28 +349,32 @@ pub fn run_soak_tuned(app: App, seed: u64, nemesis: Nemesis<'_>, tuning: SoakTun
     final_repair(app, &workload, &mut sim);
     let failure = classify(app, &workload, &sim);
     let digest = sim.schedule_digest();
-    let trace =
-        matches!(nemesis, Nemesis::Plan { record: true, .. }).then(|| sim.take_fault_trace());
+    let recording = matches!(nemesis, Nemesis::Plan { record: true, .. });
+    let trace = recording.then(|| sim.take_fault_trace());
+    let ops = recording.then(|| sim.take_op_trace());
     SoakRun {
         sim,
         failure,
         digest,
         trace,
+        ops,
     }
 }
 
 /// Shrink a red `(app, workload seed, fault plan)` cell to a minimal
-/// explicit counterexample: record the failing run's fault trace, seal
-/// it, and delta-debug it against the same classifier. `None` when the
-/// probabilistic run doesn't fail, or when its sealed trace no longer
-/// reproduces any failure (never observed — the seal is exact — but the
-/// shrinker refuses to "minimize" a green run rather than lie).
+/// explicit counterexample: record the failing run's fault trace *and*
+/// op trace, seal the pair, and jointly delta-debug both against the
+/// same classifier — the minimized artifact names the few client ops
+/// that matter alongside the few faults. `None` when the probabilistic
+/// run doesn't fail, or when its sealed trace pair no longer reproduces
+/// any failure (never observed — the seal is exact — but the shrinker
+/// refuses to "minimize" a green run rather than lie).
 pub fn shrink_soak_failure(
     app: App,
     seed: u64,
     faults: &FaultPlan,
     budget: ShrinkBudget,
-) -> Option<ShrinkOutcome> {
+) -> Option<JointOutcome> {
     shrink_soak_failure_tuned(app, seed, faults, budget, SoakTuning::default())
 }
 
@@ -346,7 +386,7 @@ pub fn shrink_soak_failure_tuned(
     faults: &FaultPlan,
     budget: ShrinkBudget,
     tuning: SoakTuning,
-) -> Option<ShrinkOutcome> {
+) -> Option<JointOutcome> {
     let recorded = run_soak_tuned(
         app,
         seed,
@@ -358,8 +398,17 @@ pub fn shrink_soak_failure_tuned(
     );
     recorded.failure.as_ref()?;
     let trace = recorded.trace.expect("recording was on");
-    shrink_plan(&trace, budget, |candidate| {
-        let run = run_soak_tuned(app, seed, Nemesis::Explicit(candidate), tuning);
+    let ops = recorded.ops.expect("recording was on");
+    shrink_joint(&trace, &ops, budget, |cand_faults, cand_ops| {
+        let run = run_soak_tuned(
+            app,
+            seed,
+            Nemesis::Explicit {
+                faults: Some(cand_faults),
+                ops: Some(cand_ops),
+            },
+            tuning,
+        );
         run.failure.map(|f| RunVerdict {
             check: f.check,
             digest: run.digest,
@@ -409,11 +458,85 @@ mod tests {
         );
         let trace = run.trace.expect("recorded");
         assert!(!trace.events.is_empty());
-        let replay = run_soak(App::Tournament, 3, Nemesis::Explicit(&trace));
+        let replay = run_soak(
+            App::Tournament,
+            3,
+            Nemesis::Explicit {
+                faults: Some(&trace),
+                ops: None,
+            },
+        );
         assert_eq!(
             replay.digest, run.digest,
-            "sealed replay reproduces the probabilistic soak exactly"
+            "sealed fault replay reproduces the probabilistic soak exactly"
         );
         assert_eq!(replay.failure, run.failure);
+    }
+
+    /// The op-replay seal, on every probed config: replaying the
+    /// recorded `OpTrace` with `set_explicit_ops` — no workload RNG —
+    /// reproduces the original schedule digest bit for bit, for all
+    /// four applications, both with the fault plan kept probabilistic
+    /// and with the fully sealed (ops + faults) pair.
+    #[test]
+    fn op_trace_seal_is_bit_exact_for_every_app() {
+        for app in App::all() {
+            for (seed, intensity) in [(3u64, 0.6), (11, 0.4)] {
+                let plan = FaultPlan::with_intensity(seed, intensity);
+                let run = run_soak(
+                    app,
+                    seed,
+                    Nemesis::Plan {
+                        faults: &plan,
+                        record: true,
+                    },
+                );
+                let ops = run.ops.expect("recorded");
+                assert!(!ops.events.is_empty(), "{app}: ops were recorded");
+
+                // Ops sealed, nemesis still probabilistic: the nemesis
+                // stream is independent, so the digest must match.
+                let mut sim =
+                    ipa_sim::Simulation::new(paper_topology(), soak_config(seed, plan.clone()));
+                let auditor = match app {
+                    App::Tournament => Oracle::tournament(),
+                    App::Ticket => Oracle::ticket(Vec::new(), 0),
+                    App::Tpc => Oracle::tpc(Vec::new()),
+                    App::Twitter => Oracle::twitter(),
+                };
+                if let Some(bound) = auditor.liveness_bound() {
+                    sim.set_liveness_bound(bound);
+                }
+                sim.set_auditor(0.25, auditor.into_continuous_auditor());
+                sim.set_explicit_ops(&ops);
+                let mut workload = fresh_workload(app);
+                sim.run(&mut workload);
+                sim.quiesce();
+                assert_eq!(
+                    sim.schedule_digest(),
+                    run.digest,
+                    "{app} seed {seed}: ops-only seal must be bit-exact"
+                );
+
+                // Fully sealed pair (ops + faults): same digest, same
+                // failure classification, and the text forms roundtrip.
+                let faults = run.trace.expect("recorded");
+                let ops2: OpTrace = ops.to_string().parse().expect("ops roundtrip");
+                assert_eq!(ops2, ops);
+                let sealed = run_soak(
+                    app,
+                    seed,
+                    Nemesis::Explicit {
+                        faults: Some(&faults),
+                        ops: Some(&ops2),
+                    },
+                );
+                assert_eq!(
+                    sealed.digest, run.digest,
+                    "{app} seed {seed}: full seal must be bit-exact"
+                );
+                assert_eq!(sealed.failure, run.failure);
+            }
+        }
     }
 }

@@ -5,9 +5,49 @@ use crate::common::Mode;
 use crate::ticket::runtime::{pool_key, TicketApp};
 use ipa_coord::escrow::EscrowOutcome;
 use ipa_coord::EscrowTable;
-use ipa_sim::{ClientInfo, OpOutcome, SimCtx, Workload};
+use ipa_sim::{AppOp, ClientInfo, OpOutcome, SimCtx, Workload};
 use rand::Rng;
 use std::collections::HashSet;
+use std::fmt;
+use std::str::FromStr;
+
+/// One decided ticket operation. Ops carry the *slot*, not the event
+/// name: event names embed the slot's sold-out generation, which is
+/// execute-time state — keying on the slot keeps a shrunk trace
+/// self-consistent (the surviving ops always address events that exist
+/// in their own replay).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TicketOp {
+    Buy { slot: usize },
+    View { slot: usize },
+}
+
+impl fmt::Display for TicketOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TicketOp::Buy { slot } => write!(f, "buy {slot}"),
+            TicketOp::View { slot } => write!(f, "view {slot}"),
+        }
+    }
+}
+
+impl FromStr for TicketOp {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let tok: Vec<&str> = s.split_whitespace().collect();
+        let slot = |i: usize| -> Result<usize, String> {
+            tok.get(i)
+                .and_then(|t| t.parse().ok())
+                .ok_or_else(|| format!("bad ticket op {s:?}"))
+        };
+        match tok.first().copied() {
+            Some("buy") if tok.len() == 2 => Ok(TicketOp::Buy { slot: slot(1)? }),
+            Some("view") if tok.len() == 2 => Ok(TicketOp::View { slot: slot(1)? }),
+            _ => Err(format!("bad ticket op {s:?}")),
+        }
+    }
+}
 
 /// Workload parameters.
 #[derive(Clone, Debug)]
@@ -103,11 +143,52 @@ impl Workload for TicketWorkload {
     }
 
     fn op(&mut self, ctx: &mut SimCtx<'_>, client: ClientInfo) -> OpOutcome {
-        let region = client.region;
+        let op = self.decide_op(ctx);
+        self.execute_op(ctx, client, op)
+    }
+
+    fn decide(&mut self, ctx: &mut SimCtx<'_>, _client: ClientInfo) -> Option<AppOp> {
+        Some(AppOp::new(self.decide_op(ctx).to_string()))
+    }
+
+    fn execute(&mut self, ctx: &mut SimCtx<'_>, client: ClientInfo, op: &AppOp) -> OpOutcome {
+        let op: TicketOp = op
+            .as_str()
+            .parse()
+            .unwrap_or_else(|e| panic!("op trace: {e}"));
+        self.execute_op(ctx, client, op)
+    }
+}
+
+impl TicketWorkload {
+    /// Draw the next op (slot, then buy-vs-view — the pre-split order,
+    /// so probabilistic schedules are unchanged).
+    fn decide_op(&mut self, ctx: &mut SimCtx<'_>) -> TicketOp {
         let slot = ctx.rng().gen_range(0..self.cfg.num_events);
+        let is_buy = ctx.rng().gen::<f64>() < self.cfg.buy_fraction;
+        if is_buy {
+            TicketOp::Buy { slot }
+        } else {
+            TicketOp::View { slot }
+        }
+    }
+
+    /// Execute a decided (or replayed) op. User ids and generation rolls
+    /// are execute-time state, so a replayed trace regenerates them
+    /// identically.
+    fn execute_op(&mut self, ctx: &mut SimCtx<'_>, client: ClientInfo, op: TicketOp) -> OpOutcome {
+        let region = client.region;
+        let (slot, is_buy) = match op {
+            TicketOp::Buy { slot } => (slot, true),
+            TicketOp::View { slot } => (slot, false),
+        };
+        assert!(
+            slot < self.cfg.num_events,
+            "op trace slot {slot} out of range (config has {})",
+            self.cfg.num_events
+        );
         let event = self.event_name(slot);
         let app = self.app;
-        let is_buy = ctx.rng().gen::<f64>() < self.cfg.buy_fraction;
 
         if is_buy {
             self.next_user += 1;

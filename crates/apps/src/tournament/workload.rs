@@ -4,8 +4,82 @@
 use crate::common::{pick_local, Mode};
 use crate::tournament::runtime::{OpCost, Tournament};
 use ipa_coord::{IndigoCoordinator, Mode as ResMode, StrongCoordinator};
-use ipa_sim::{ClientInfo, OpOutcome, SimCtx, Workload};
+use ipa_sim::{AppOp, ClientInfo, OpOutcome, SimCtx, Workload};
 use rand::Rng;
+use std::fmt;
+use std::str::FromStr;
+
+/// One decided tournament operation, fully resolved (entity names, not
+/// RNG state), so it serializes into an op-trace line and replays
+/// without the workload RNG.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TournamentOp {
+    Status { t: String },
+    Enroll { p: String, t: String },
+    Disenroll { p: String, t: String },
+    DoMatch { p: String, q: String, t: String },
+    Begin { t: String },
+    Finish { t: String },
+    Remove { t: String },
+}
+
+impl TournamentOp {
+    /// The metrics label (identical to the pre-split `op()` labels).
+    pub fn label(&self) -> &'static str {
+        match self {
+            TournamentOp::Status { .. } => "Status",
+            TournamentOp::Enroll { .. } => "Enroll",
+            TournamentOp::Disenroll { .. } => "Disenroll",
+            TournamentOp::DoMatch { .. } => "DoMatch",
+            TournamentOp::Begin { .. } => "Begin",
+            TournamentOp::Finish { .. } => "Finish",
+            TournamentOp::Remove { .. } => "Remove",
+        }
+    }
+}
+
+impl fmt::Display for TournamentOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TournamentOp::Status { t } => write!(f, "status {t}"),
+            TournamentOp::Enroll { p, t } => write!(f, "enroll {p} {t}"),
+            TournamentOp::Disenroll { p, t } => write!(f, "disenroll {p} {t}"),
+            TournamentOp::DoMatch { p, q, t } => write!(f, "match {p} {q} {t}"),
+            TournamentOp::Begin { t } => write!(f, "begin {t}"),
+            TournamentOp::Finish { t } => write!(f, "finish {t}"),
+            TournamentOp::Remove { t } => write!(f, "remove {t}"),
+        }
+    }
+}
+
+impl FromStr for TournamentOp {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let tok: Vec<&str> = s.split_whitespace().collect();
+        let own = |i: usize| tok[i].to_owned();
+        match (tok.first().copied(), tok.len()) {
+            (Some("status"), 2) => Ok(TournamentOp::Status { t: own(1) }),
+            (Some("enroll"), 3) => Ok(TournamentOp::Enroll {
+                p: own(1),
+                t: own(2),
+            }),
+            (Some("disenroll"), 3) => Ok(TournamentOp::Disenroll {
+                p: own(1),
+                t: own(2),
+            }),
+            (Some("match"), 4) => Ok(TournamentOp::DoMatch {
+                p: own(1),
+                q: own(2),
+                t: own(3),
+            }),
+            (Some("begin"), 2) => Ok(TournamentOp::Begin { t: own(1) }),
+            (Some("finish"), 2) => Ok(TournamentOp::Finish { t: own(1) }),
+            (Some("remove"), 2) => Ok(TournamentOp::Remove { t: own(1) }),
+            _ => Err(format!("bad tournament op {s:?}")),
+        }
+    }
+}
 
 /// Workload parameters.
 #[derive(Clone, Debug)]
@@ -101,6 +175,147 @@ impl TournamentWorkload {
     }
 }
 
+impl TournamentWorkload {
+    /// Draw the next op from the workload RNG. Draw order (is_write,
+    /// tournament, player, write-kind) is exactly the pre-split `op()`'s,
+    /// so probabilistic schedules — and their digest pins — are
+    /// unchanged.
+    fn decide_op(&mut self, ctx: &mut SimCtx<'_>, client: ClientInfo) -> TournamentOp {
+        let regions = ctx.regions();
+        let region = client.region;
+        let is_write = ctx.rng().gen::<f64>() < self.cfg.write_fraction;
+        let ti = pick_local(
+            ctx.rng(),
+            self.tournaments.len(),
+            regions,
+            region,
+            self.cfg.locality,
+        );
+        let t = self.tournaments[ti].clone();
+        let pi = ctx.rng().gen_range(0..self.players.len());
+        let p = self.players[pi].clone();
+
+        // Operation mix (writes sum to 1.0 within the write fraction).
+        if !is_write {
+            return TournamentOp::Status { t };
+        }
+        let x = ctx.rng().gen::<f64>();
+        match x {
+            x if x < 0.28 => TournamentOp::Enroll { p, t },
+            x if x < 0.46 => TournamentOp::Disenroll { p, t },
+            x if x < 0.70 => {
+                let q = self.players[(pi + 1) % self.players.len()].clone();
+                TournamentOp::DoMatch { p, q, t }
+            }
+            x if x < 0.82 => TournamentOp::Begin { t },
+            x if x < 0.94 => TournamentOp::Finish { t },
+            _ => TournamentOp::Remove { t },
+        }
+    }
+
+    /// Execute a decided (or replayed) op. Deterministic: the only
+    /// context draws are the commit-staging latencies, which replay from
+    /// the recorded op trace.
+    fn execute_op(
+        &mut self,
+        ctx: &mut SimCtx<'_>,
+        client: ClientInfo,
+        op: &TournamentOp,
+    ) -> OpOutcome {
+        let region = client.region;
+        let label = op.label();
+        let t = match op {
+            TournamentOp::Status { t }
+            | TournamentOp::Enroll { t, .. }
+            | TournamentOp::Disenroll { t, .. }
+            | TournamentOp::DoMatch { t, .. }
+            | TournamentOp::Begin { t }
+            | TournamentOp::Finish { t }
+            | TournamentOp::Remove { t } => t.clone(),
+        };
+
+        // Coordination cost first (Indigo / Strong pay before executing).
+        let mut extra_wan = 0.0;
+        let exec_region: u16 = match self.mode() {
+            Mode::Indigo if label != "Status" => match self.indigo_cost(ctx, region, label, &t) {
+                Some(c) => {
+                    extra_wan += c;
+                    region
+                }
+                None => return OpOutcome::unavailable(label),
+            },
+            Mode::Strong if label != "Status" => match self.strong.forward_cost(ctx, region) {
+                Some(c) => {
+                    extra_wan += c;
+                    self.strong.primary()
+                }
+                None => return OpOutcome::unavailable(label),
+            },
+            _ => region,
+        };
+
+        let app = self.app;
+        self.next_id += 1;
+        let (cost, _info) = ctx
+            .commit(exec_region, |tx| match op {
+                TournamentOp::Status { t } => app.status(tx, t),
+                TournamentOp::Enroll { p, t } => app.enroll(tx, p, t),
+                TournamentOp::Disenroll { p, t } => app.disenroll(tx, p, t),
+                TournamentOp::DoMatch { p, q, t } => {
+                    // The transaction code establishes the operation's
+                    // preconditions locally (§2.2): both players enrolled
+                    // and the tournament running.
+                    let mut total = OpCost {
+                        objects: 0,
+                        updates: 0,
+                    };
+                    if !app.is_active(tx, t)? {
+                        let c = app.begin_tourn(tx, t)?;
+                        total.objects += c.objects;
+                        total.updates += c.updates;
+                    }
+                    for player in [p, q] {
+                        if !tx.contains(
+                            crate::tournament::runtime::ENROLLED,
+                            &ipa_crdt::Val::pair(player.as_str(), t.as_str()),
+                        )? {
+                            let c = app.enroll(tx, player, t)?;
+                            total.objects += c.objects;
+                            total.updates += c.updates;
+                        }
+                    }
+                    let c = app.do_match(tx, p, q, t)?;
+                    Ok(OpCost {
+                        objects: (total.objects + c.objects).min(6),
+                        updates: total.updates + c.updates,
+                    })
+                }
+                TournamentOp::Begin { t } => app.begin_tourn(tx, t),
+                TournamentOp::Finish { t } => app.finish_tourn(tx, t),
+                TournamentOp::Remove { t } => app.rem_tourn(tx, t),
+            })
+            .expect("tournament op");
+        let cost: OpCost = cost;
+
+        // Removed tournaments come back quickly so the workload keeps its
+        // entity population (matches the paper's steady-state runs).
+        if matches!(op, TournamentOp::Remove { .. }) {
+            let app = self.app;
+            ctx.commit(exec_region, |tx| app.add_tourn(tx, &t).map(|_| ()))
+                .expect("re-add tournament");
+        }
+
+        OpOutcome {
+            label,
+            objects: cost.objects,
+            updates: cost.updates,
+            extra_wan_ms: extra_wan,
+            ok: true,
+            violations: 0,
+        }
+    }
+}
+
 impl Workload for TournamentWorkload {
     fn setup(&mut self, ctx: &mut SimCtx<'_>) {
         let app = self.app;
@@ -130,117 +345,20 @@ impl Workload for TournamentWorkload {
     }
 
     fn op(&mut self, ctx: &mut SimCtx<'_>, client: ClientInfo) -> OpOutcome {
-        let regions = ctx.regions();
-        let region = client.region;
-        let is_write = ctx.rng().gen::<f64>() < self.cfg.write_fraction;
-        let ti = pick_local(
-            ctx.rng(),
-            self.tournaments.len(),
-            regions,
-            region,
-            self.cfg.locality,
-        );
-        let t = self.tournaments[ti].clone();
-        let pi = ctx.rng().gen_range(0..self.players.len());
-        let p = self.players[pi].clone();
+        let op = self.decide_op(ctx, client);
+        self.execute_op(ctx, client, &op)
+    }
 
-        // Operation mix (writes sum to 1.0 within the write fraction).
-        let label: &'static str = if !is_write {
-            "Status"
-        } else {
-            let x = ctx.rng().gen::<f64>();
-            match x {
-                x if x < 0.28 => "Enroll",
-                x if x < 0.46 => "Disenroll",
-                x if x < 0.70 => "DoMatch",
-                x if x < 0.82 => "Begin",
-                x if x < 0.94 => "Finish",
-                _ => "Remove",
-            }
-        };
+    fn decide(&mut self, ctx: &mut SimCtx<'_>, client: ClientInfo) -> Option<AppOp> {
+        Some(AppOp::new(self.decide_op(ctx, client).to_string()))
+    }
 
-        // Coordination cost first (Indigo / Strong pay before executing).
-        let mut extra_wan = 0.0;
-        let exec_region: u16 = match self.mode() {
-            Mode::Indigo if label != "Status" => match self.indigo_cost(ctx, region, label, &t) {
-                Some(c) => {
-                    extra_wan += c;
-                    region
-                }
-                None => return OpOutcome::unavailable(label),
-            },
-            Mode::Strong if label != "Status" => match self.strong.forward_cost(ctx, region) {
-                Some(c) => {
-                    extra_wan += c;
-                    self.strong.primary()
-                }
-                None => return OpOutcome::unavailable(label),
-            },
-            _ => region,
-        };
-
-        let app = self.app;
-        self.next_id += 1;
-        let q = self.players[(pi + 1) % self.players.len()].clone();
-        let (cost, _info) = ctx
-            .commit(exec_region, |tx| match label {
-                "Status" => app.status(tx, &t),
-                "Enroll" => app.enroll(tx, &p, &t),
-                "Disenroll" => app.disenroll(tx, &p, &t),
-                "DoMatch" => {
-                    // The transaction code establishes the operation's
-                    // preconditions locally (§2.2): both players enrolled
-                    // and the tournament running.
-                    let mut total = OpCost {
-                        objects: 0,
-                        updates: 0,
-                    };
-                    if !app.is_active(tx, &t)? {
-                        let c = app.begin_tourn(tx, &t)?;
-                        total.objects += c.objects;
-                        total.updates += c.updates;
-                    }
-                    for player in [&p, &q] {
-                        if !tx.contains(
-                            crate::tournament::runtime::ENROLLED,
-                            &ipa_crdt::Val::pair(player.as_str(), t.as_str()),
-                        )? {
-                            let c = app.enroll(tx, player, &t)?;
-                            total.objects += c.objects;
-                            total.updates += c.updates;
-                        }
-                    }
-                    let c = app.do_match(tx, &p, &q, &t)?;
-                    Ok(OpCost {
-                        objects: (total.objects + c.objects).min(6),
-                        updates: total.updates + c.updates,
-                    })
-                }
-                "Begin" => app.begin_tourn(tx, &t),
-                "Finish" => app.finish_tourn(tx, &t),
-                "Remove" => app.rem_tourn(tx, &t),
-                _ => unreachable!("unknown label {label}"),
-            })
-            .expect("tournament op");
-        let cost: OpCost = cost;
-
-        // Removed tournaments come back quickly so the workload keeps its
-        // entity population (matches the paper's steady-state runs).
-        if label == "Remove" {
-            let app = self.app;
-            let t2 = t.clone();
-            ctx.commit(exec_region, |tx| app.add_tourn(tx, &t2).map(|_| ()))
-                .expect("re-add tournament");
-        }
-
-        OpOutcome {
-            label,
-            objects: cost.objects,
-            updates: cost.updates,
-            extra_wan_ms: extra_wan,
-            ok: true,
-            violations: 0,
-        }
+    fn execute(&mut self, ctx: &mut SimCtx<'_>, client: ClientInfo, op: &AppOp) -> OpOutcome {
+        let op: TournamentOp = op
+            .as_str()
+            .parse()
+            .unwrap_or_else(|e| panic!("op trace: {e}"));
+        self.execute_op(ctx, client, &op)
     }
 }
 

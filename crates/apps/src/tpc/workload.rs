@@ -3,8 +3,54 @@
 
 use crate::common::Mode;
 use crate::tpc::runtime::TpcApp;
-use ipa_sim::{ClientInfo, OpOutcome, SimCtx, Workload};
+use ipa_sim::{AppOp, ClientInfo, OpOutcome, SimCtx, Workload};
 use rand::Rng;
+use std::fmt;
+use std::str::FromStr;
+
+/// One decided TPC operation (fully resolved product name). A
+/// `Purchase` that finds the shelf empty restocks instead — that branch
+/// is execute-time state, mirroring the pre-split workload.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TpcOp {
+    View { p: String },
+    Purchase { p: String },
+    Restock { p: String },
+    RemProduct { p: String },
+    AddProduct { p: String },
+}
+
+impl fmt::Display for TpcOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TpcOp::View { p } => write!(f, "view {p}"),
+            TpcOp::Purchase { p } => write!(f, "purchase {p}"),
+            TpcOp::Restock { p } => write!(f, "restock {p}"),
+            TpcOp::RemProduct { p } => write!(f, "remproduct {p}"),
+            TpcOp::AddProduct { p } => write!(f, "addproduct {p}"),
+        }
+    }
+}
+
+impl FromStr for TpcOp {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let tok: Vec<&str> = s.split_whitespace().collect();
+        if tok.len() != 2 {
+            return Err(format!("bad tpc op {s:?}"));
+        }
+        let p = tok[1].to_owned();
+        match tok[0] {
+            "view" => Ok(TpcOp::View { p }),
+            "purchase" => Ok(TpcOp::Purchase { p }),
+            "restock" => Ok(TpcOp::Restock { p }),
+            "remproduct" => Ok(TpcOp::RemProduct { p }),
+            "addproduct" => Ok(TpcOp::AddProduct { p }),
+            _ => Err(format!("bad tpc op {s:?}")),
+        }
+    }
+}
 
 /// Workload parameters.
 #[derive(Clone, Debug)]
@@ -65,50 +111,92 @@ impl Workload for TpcWorkload {
     }
 
     fn op(&mut self, ctx: &mut SimCtx<'_>, client: ClientInfo) -> OpOutcome {
-        let region = client.region;
+        let op = self.decide_op(ctx);
+        self.execute_op(ctx, client, &op)
+    }
+
+    fn decide(&mut self, ctx: &mut SimCtx<'_>, _client: ClientInfo) -> Option<AppOp> {
+        Some(AppOp::new(self.decide_op(ctx).to_string()))
+    }
+
+    fn execute(&mut self, ctx: &mut SimCtx<'_>, client: ClientInfo, op: &AppOp) -> OpOutcome {
+        let op: TpcOp = op
+            .as_str()
+            .parse()
+            .unwrap_or_else(|e| panic!("op trace: {e}"));
+        self.execute_op(ctx, client, &op)
+    }
+}
+
+impl TpcWorkload {
+    /// Draw the next op (product, then op-kind — the pre-split order).
+    fn decide_op(&mut self, ctx: &mut SimCtx<'_>) -> TpcOp {
         let p = self.products[ctx.rng().gen_range(0..self.products.len())].clone();
         let x = ctx.rng().gen::<f64>();
+        if x < 0.45 {
+            TpcOp::View { p }
+        } else if x < 0.85 {
+            TpcOp::Purchase { p }
+        } else if x < 0.93 {
+            TpcOp::Restock { p }
+        } else if x < 0.97 {
+            TpcOp::RemProduct { p }
+        } else {
+            TpcOp::AddProduct { p }
+        }
+    }
+
+    /// Execute a decided (or replayed) op. Order ids are execute-time
+    /// state, so replays regenerate the identical order stream.
+    fn execute_op(&mut self, ctx: &mut SimCtx<'_>, client: ClientInfo, op: &TpcOp) -> OpOutcome {
+        let region = client.region;
         let app = self.app;
 
-        let (label, cost, violations): (&'static str, _, u64) = if x < 0.45 {
-            let ((_, negative, cost), _info) =
-                ctx.commit(region, |tx| app.view(tx, &p)).expect("view");
-            (
-                "View",
-                cost,
-                u64::from(negative && app.mode == Mode::Causal),
-            )
-        } else if x < 0.85 {
-            self.next_order += 1;
-            let order = format!("o{}", self.next_order);
-            let (res, _info) = ctx
-                .commit(region, |tx| app.purchase(tx, &order, &p))
-                .expect("purchase");
-            match res {
-                Some(cost) => ("Purchase", cost, 0),
-                None => {
-                    // Out of stock: restock (the admin path).
-                    let (cost, _info) = ctx
-                        .commit(region, |tx| app.restock(tx, &p))
-                        .expect("restock");
-                    ("Restock", cost, 0)
+        let (label, cost, violations): (&'static str, _, u64) = match op {
+            TpcOp::View { p } => {
+                let ((_, negative, cost), _info) =
+                    ctx.commit(region, |tx| app.view(tx, p)).expect("view");
+                (
+                    "View",
+                    cost,
+                    u64::from(negative && app.mode == Mode::Causal),
+                )
+            }
+            TpcOp::Purchase { p } => {
+                self.next_order += 1;
+                let order = format!("o{}", self.next_order);
+                let (res, _info) = ctx
+                    .commit(region, |tx| app.purchase(tx, &order, p))
+                    .expect("purchase");
+                match res {
+                    Some(cost) => ("Purchase", cost, 0),
+                    None => {
+                        // Out of stock: restock (the admin path).
+                        let (cost, _info) = ctx
+                            .commit(region, |tx| app.restock(tx, p))
+                            .expect("restock");
+                        ("Restock", cost, 0)
+                    }
                 }
             }
-        } else if x < 0.93 {
-            let (cost, _info) = ctx
-                .commit(region, |tx| app.restock(tx, &p))
-                .expect("restock");
-            ("Restock", cost, 0)
-        } else if x < 0.97 {
-            let (cost, _info) = ctx
-                .commit(region, |tx| app.rem_product(tx, &p))
-                .expect("rem product");
-            ("RemProduct", cost, 0)
-        } else {
-            let (cost, _info) = ctx
-                .commit(region, |tx| app.add_product(tx, &p, self.cfg.initial_stock))
-                .expect("add product");
-            ("AddProduct", cost, 0)
+            TpcOp::Restock { p } => {
+                let (cost, _info) = ctx
+                    .commit(region, |tx| app.restock(tx, p))
+                    .expect("restock");
+                ("Restock", cost, 0)
+            }
+            TpcOp::RemProduct { p } => {
+                let (cost, _info) = ctx
+                    .commit(region, |tx| app.rem_product(tx, p))
+                    .expect("rem product");
+                ("RemProduct", cost, 0)
+            }
+            TpcOp::AddProduct { p } => {
+                let (cost, _info) = ctx
+                    .commit(region, |tx| app.add_product(tx, p, self.cfg.initial_stock))
+                    .expect("add product");
+                ("AddProduct", cost, 0)
+            }
         };
 
         OpOutcome {

@@ -2,8 +2,88 @@
 //! strategies.
 
 use crate::twitter::runtime::{Strategy, Twitter};
-use ipa_sim::{ClientInfo, OpOutcome, SimCtx, Workload};
+use ipa_sim::{AppOp, ClientInfo, OpOutcome, SimCtx, Workload};
 use rand::Rng;
+use std::fmt;
+use std::str::FromStr;
+
+/// One decided twitter operation, with fully resolved user and tweet
+/// ids (the recent-tweet pool and the id counter are decide-time state;
+/// replay never touches them).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TwitterOp {
+    Timeline { u: String },
+    Tweet { u: String, id: String },
+    Retweet { u: String, id: String },
+    DelTweet { id: String },
+    Follow { u: String, v: String },
+    Unfollow { u: String, v: String },
+    AddUser { name: String },
+    RemUser { v: String },
+}
+
+impl TwitterOp {
+    /// The metrics label (identical to the pre-split `op()` labels).
+    pub fn label(&self) -> &'static str {
+        match self {
+            TwitterOp::Timeline { .. } => "Timeline",
+            TwitterOp::Tweet { .. } => "Tweet",
+            TwitterOp::Retweet { .. } => "Retweet",
+            TwitterOp::DelTweet { .. } => "Del. Tweet",
+            TwitterOp::Follow { .. } => "Follow",
+            TwitterOp::Unfollow { .. } => "Unfollow",
+            TwitterOp::AddUser { .. } => "Add user",
+            TwitterOp::RemUser { .. } => "Rem user",
+        }
+    }
+}
+
+impl fmt::Display for TwitterOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TwitterOp::Timeline { u } => write!(f, "timeline {u}"),
+            TwitterOp::Tweet { u, id } => write!(f, "tweet {u} {id}"),
+            TwitterOp::Retweet { u, id } => write!(f, "retweet {u} {id}"),
+            TwitterOp::DelTweet { id } => write!(f, "deltweet {id}"),
+            TwitterOp::Follow { u, v } => write!(f, "follow {u} {v}"),
+            TwitterOp::Unfollow { u, v } => write!(f, "unfollow {u} {v}"),
+            TwitterOp::AddUser { name } => write!(f, "adduser {name}"),
+            TwitterOp::RemUser { v } => write!(f, "remuser {v}"),
+        }
+    }
+}
+
+impl FromStr for TwitterOp {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let tok: Vec<&str> = s.split_whitespace().collect();
+        let own = |i: usize| tok[i].to_owned();
+        match (tok.first().copied(), tok.len()) {
+            (Some("timeline"), 2) => Ok(TwitterOp::Timeline { u: own(1) }),
+            (Some("tweet"), 3) => Ok(TwitterOp::Tweet {
+                u: own(1),
+                id: own(2),
+            }),
+            (Some("retweet"), 3) => Ok(TwitterOp::Retweet {
+                u: own(1),
+                id: own(2),
+            }),
+            (Some("deltweet"), 2) => Ok(TwitterOp::DelTweet { id: own(1) }),
+            (Some("follow"), 3) => Ok(TwitterOp::Follow {
+                u: own(1),
+                v: own(2),
+            }),
+            (Some("unfollow"), 3) => Ok(TwitterOp::Unfollow {
+                u: own(1),
+                v: own(2),
+            }),
+            (Some("adduser"), 2) => Ok(TwitterOp::AddUser { name: own(1) }),
+            (Some("remuser"), 2) => Ok(TwitterOp::RemUser { v: own(1) }),
+            _ => Err(format!("bad twitter op {s:?}")),
+        }
+    }
+}
 
 /// Workload parameters.
 #[derive(Clone, Debug)]
@@ -83,16 +163,39 @@ impl Workload for TwitterWorkload {
     }
 
     fn op(&mut self, ctx: &mut SimCtx<'_>, client: ClientInfo) -> OpOutcome {
-        let region = client.region;
+        let op = self.decide_op(ctx);
+        self.execute_op(ctx, client, &op)
+    }
+
+    fn decide(&mut self, ctx: &mut SimCtx<'_>, _client: ClientInfo) -> Option<AppOp> {
+        Some(AppOp::new(self.decide_op(ctx).to_string()))
+    }
+
+    fn execute(&mut self, ctx: &mut SimCtx<'_>, client: ClientInfo, op: &AppOp) -> OpOutcome {
+        let op: TwitterOp = op
+            .as_str()
+            .parse()
+            .unwrap_or_else(|e| panic!("op trace: {e}"));
+        self.execute_op(ctx, client, &op)
+    }
+}
+
+impl TwitterWorkload {
+    /// Draw the next op (actor, target user, op-kind, then per-branch
+    /// target draws — the pre-split order, so probabilistic schedules
+    /// are unchanged).
+    fn decide_op(&mut self, ctx: &mut SimCtx<'_>) -> TwitterOp {
         let u = self.users[ctx.rng().gen_range(0..self.users.len())].clone();
         let v = self.users[ctx.rng().gen_range(0..self.users.len())].clone();
         let x = ctx.rng().gen::<f64>();
-        let app = self.app;
 
         // Mix: timeline-read heavy, like the application it models.
-        let (label, target): (&'static str, Option<String>) = match x {
-            x if x < 0.50 => ("Timeline", None),
-            x if x < 0.70 => ("Tweet", Some(self.fresh_tweet_id())),
+        match x {
+            x if x < 0.50 => TwitterOp::Timeline { u },
+            x if x < 0.70 => TwitterOp::Tweet {
+                u,
+                id: self.fresh_tweet_id(),
+            },
             x if x < 0.80 => {
                 let t = self
                     .recent
@@ -103,40 +206,50 @@ impl Workload for TwitterWorkload {
                     )
                     .cloned();
                 match t {
-                    Some(t) => ("Retweet", Some(t)),
-                    None => ("Timeline", None),
+                    Some(id) => TwitterOp::Retweet { u, id },
+                    None => TwitterOp::Timeline { u },
                 }
             }
-            x if x < 0.85 => {
-                let t = self.recent.pop();
-                match t {
-                    Some(t) => ("Del. Tweet", Some(t)),
-                    None => ("Timeline", None),
-                }
-            }
-            x if x < 0.91 => ("Follow", None),
-            x if x < 0.95 => ("Unfollow", None),
-            x if x < 0.975 => ("Add user", Some(format!("newu{}", self.next_id))),
-            _ => ("Rem user", None),
-        };
+            x if x < 0.85 => match self.recent.pop() {
+                Some(id) => TwitterOp::DelTweet { id },
+                None => TwitterOp::Timeline { u },
+            },
+            x if x < 0.91 => TwitterOp::Follow { u, v },
+            x if x < 0.95 => TwitterOp::Unfollow { u, v },
+            x if x < 0.975 => TwitterOp::AddUser {
+                name: format!("newu{}", self.next_id),
+            },
+            _ => TwitterOp::RemUser { v },
+        }
+    }
+
+    /// Execute a decided (or replayed) op against the store. Pure: all
+    /// ids come resolved in the op.
+    fn execute_op(
+        &mut self,
+        ctx: &mut SimCtx<'_>,
+        client: ClientInfo,
+        op: &TwitterOp,
+    ) -> OpOutcome {
+        let region = client.region;
+        let app = self.app;
+        let label = op.label();
 
         let (cost, _info) = ctx
-            .commit(region, |tx| match label {
-                "Timeline" => app.timeline(tx, &u).map(|(_, c)| c),
-                "Tweet" => app.tweet(tx, &u, target.as_deref().expect("id")),
-                "Retweet" => app.retweet(tx, &u, target.as_deref().expect("id")),
-                "Del. Tweet" => app.del_tweet(tx, target.as_deref().expect("id")),
-                "Follow" => app.follow(tx, &u, &v),
-                "Unfollow" => app.unfollow(tx, &u, &v),
-                "Add user" => app.add_user(tx, target.as_deref().expect("id")),
-                "Rem user" => app.rem_user(tx, &v),
-                _ => unreachable!(),
+            .commit(region, |tx| match op {
+                TwitterOp::Timeline { u } => app.timeline(tx, u).map(|(_, c)| c),
+                TwitterOp::Tweet { u, id } => app.tweet(tx, u, id),
+                TwitterOp::Retweet { u, id } => app.retweet(tx, u, id),
+                TwitterOp::DelTweet { id } => app.del_tweet(tx, id),
+                TwitterOp::Follow { u, v } => app.follow(tx, u, v),
+                TwitterOp::Unfollow { u, v } => app.unfollow(tx, u, v),
+                TwitterOp::AddUser { name } => app.add_user(tx, name),
+                TwitterOp::RemUser { v } => app.rem_user(tx, v),
             })
             .expect("twitter op");
         // Removed users come back so the population stays constant.
-        if label == "Rem user" {
-            let v2 = v.clone();
-            ctx.commit(region, |tx| app.add_user(tx, &v2).map(|_| ()))
+        if let TwitterOp::RemUser { v } = op {
+            ctx.commit(region, |tx| app.add_user(tx, v).map(|_| ()))
                 .expect("re-add user");
         }
 

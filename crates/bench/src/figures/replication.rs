@@ -78,6 +78,13 @@ pub struct Report {
     pub batch_apply_legacy_per_s: f64,
     pub batch_apply_updates_per_batch: usize,
     pub batch_apply_batches: usize,
+    /// Object/kind-table hash lookups the apply path performed for the
+    /// whole delivery run (deterministic, counted by the store): one per
+    /// same-key run of each batch plus one kind touch per creation.
+    pub batch_apply_table_lookups: u64,
+    /// What the pre-cache apply loop paid for the same deliveries: two
+    /// lookups (kinds + objects) per applied update.
+    pub batch_apply_table_lookups_legacy: u64,
 }
 
 /// The pre-optimization structures, reproduced for same-run A/B
@@ -308,19 +315,26 @@ fn measure_key_clone(iters: usize) -> OpRate {
 /// bookkeeping the old data path did per update (String key clone) and
 /// per batch (BTreeMap clock merge + dedup compare), on top of the
 /// current store — an upper bound on what the old constants cost.
-fn measure_batch_apply(batches: usize, updates_per_batch: usize) -> (f64, f64) {
+/// Returns `(new/s, legacy/s, updates per batch, table lookups,
+/// legacy table lookups)`; the update/lookup counts come from the
+/// store's own deterministic stats.
+fn measure_batch_apply(batches: usize, objects_per_batch: usize) -> (f64, f64, usize, u64, u64) {
     // Counters keep the copy-on-write overlay clone O(replicas) per
     // transaction, so the measurement isolates the delivery path instead
-    // of object growth.
+    // of object growth. Two adds per object give every batch same-key
+    // *runs* — the shape application transactions produce (multi-element
+    // set ops, touch-then-update pairs) and the case the per-batch
+    // object-handle cache coalesces.
     let keys = ["t:players", "t:enrolled", "t:matches", "t:budget"];
     let build = |src: &mut Replica| {
         let mut out = Vec::new();
         for i in 0..batches {
             let mut tx = src.begin();
-            for (j, key) in keys.iter().take(updates_per_batch).enumerate() {
+            for (j, key) in keys.iter().take(objects_per_batch).enumerate() {
                 tx.ensure(*key, ObjectKind::PNCounter).unwrap();
-                tx.counter_add(*key, (i * updates_per_batch + j) as i64)
+                tx.counter_add(*key, (i * objects_per_batch + j) as i64)
                     .unwrap();
+                tx.counter_add(*key, 1).unwrap();
             }
             tx.commit();
         }
@@ -378,6 +392,23 @@ fn measure_batch_apply(batches: usize, updates_per_batch: usize) -> (f64, f64) {
         legacy_ns = legacy_ns.min(deliver_legacy(&staged));
     }
 
+    // Deterministic apply-path cost: one untimed delivery pass counts
+    // the object-table lookups the per-batch handle cache performed
+    // (one per same-key run + one kind touch per creation) vs. the
+    // two-per-update the pre-cache loop paid. These counts cannot
+    // flake with runner speed; CI guards the ratio.
+    let (updates_per_batch, lookups, lookups_legacy) = {
+        let mut dst = Replica::new(ReplicaId(1));
+        for b in &staged {
+            dst.receive(std::sync::Arc::clone(b));
+        }
+        (
+            (dst.stats.updates_applied / batches as u64) as usize,
+            dst.stats.apply_table_lookups,
+            2 * dst.stats.updates_applied,
+        )
+    };
+
     let per_s = |ns: u64| {
         if ns == 0 {
             f64::INFINITY
@@ -385,7 +416,13 @@ fn measure_batch_apply(batches: usize, updates_per_batch: usize) -> (f64, f64) {
             batches as f64 * 1e9 / ns as f64
         }
     };
-    (per_s(new_ns), per_s(legacy_ns))
+    (
+        per_s(new_ns),
+        per_s(legacy_ns),
+        updates_per_batch,
+        lookups,
+        lookups_legacy,
+    )
 }
 
 pub fn run(quick: bool) -> Report {
@@ -398,13 +435,13 @@ pub fn run(quick: bool) -> Report {
     let clock_iters = if quick { 200_000 } else { 2_000_000 };
     let clone_iters = if quick { 500_000 } else { 5_000_000 };
     let apply_batches = if quick { 5_000 } else { 40_000 };
-    let updates_per_batch = 4;
+    let objects_per_batch = 4;
 
     let anti_entropy = measure_anti_entropy(log_lens, gap);
     let (clock_merge, clock_le) = measure_clock_ops(clock_iters);
     let key_clone = measure_key_clone(clone_iters);
-    let (batch_apply_per_s, batch_apply_legacy_per_s) =
-        measure_batch_apply(apply_batches, updates_per_batch);
+    let (batch_apply_per_s, batch_apply_legacy_per_s, updates_per_batch, lookups, lookups_legacy) =
+        measure_batch_apply(apply_batches, objects_per_batch);
 
     Report {
         quick,
@@ -416,6 +453,8 @@ pub fn run(quick: bool) -> Report {
         batch_apply_legacy_per_s,
         batch_apply_updates_per_batch: updates_per_batch,
         batch_apply_batches: apply_batches,
+        batch_apply_table_lookups: lookups,
+        batch_apply_table_lookups_legacy: lookups_legacy,
     }
 }
 
@@ -471,6 +510,14 @@ pub fn print(report: &Report) {
         report.batch_apply_legacy_per_s,
         report.batch_apply_per_s / report.batch_apply_legacy_per_s,
     );
+    println!(
+        "  apply-path table lookups (deterministic): {} with the per-batch handle \
+         cache vs {} at two-per-update ({:.2}x fewer)",
+        report.batch_apply_table_lookups,
+        report.batch_apply_table_lookups_legacy,
+        report.batch_apply_table_lookups_legacy as f64
+            / report.batch_apply_table_lookups.max(1) as f64,
+    );
 }
 
 /// Render the report as the machine-readable `BENCH_replication.json`
@@ -525,12 +572,17 @@ pub fn to_json(report: &Report) -> String {
     s.push_str(&format!(
         "  \"batch_apply\": {{\"batches\": {}, \"updates_per_batch\": {}, \
          \"new_batches_per_s\": {:.0}, \"legacy_batches_per_s\": {:.0}, \
-         \"speedup_x\": {:.2}}}\n",
+         \"speedup_x\": {:.2}, \"table_lookups\": {}, \"legacy_table_lookups\": {}, \
+         \"lookup_reduction_x\": {:.2}}}\n",
         report.batch_apply_batches,
         report.batch_apply_updates_per_batch,
         report.batch_apply_per_s,
         report.batch_apply_legacy_per_s,
         report.batch_apply_per_s / report.batch_apply_legacy_per_s,
+        report.batch_apply_table_lookups,
+        report.batch_apply_table_lookups_legacy,
+        report.batch_apply_table_lookups_legacy as f64
+            / report.batch_apply_table_lookups.max(1) as f64,
     ));
     s.push_str("}\n");
     s
@@ -580,6 +632,23 @@ mod tests {
             }
         }
         assert!(report.batch_apply_per_s > 0.0);
+        // The per-batch handle cache must strictly beat two-per-update
+        // bookkeeping. The bench batches issue two counter adds per
+        // object, so every batch has same-key runs of length ≥ 2 by
+        // construction and the reduction must exceed the 2x that the
+        // kinds-map elision alone provides (one lookup per *run*, not
+        // per update).
+        assert!(
+            report.batch_apply_table_lookups * 2 < report.batch_apply_table_lookups_legacy,
+            "handle cache must coalesce same-key runs: {} vs {}",
+            report.batch_apply_table_lookups,
+            report.batch_apply_table_lookups_legacy
+        );
+        assert!(
+            report.batch_apply_updates_per_batch >= 8,
+            "two adds per object: {} updates/batch",
+            report.batch_apply_updates_per_batch
+        );
     }
 
     #[test]
@@ -622,11 +691,15 @@ mod tests {
             batch_apply_legacy_per_s: 1_500_000.0,
             batch_apply_updates_per_batch: 4,
             batch_apply_batches: 5_000,
+            batch_apply_table_lookups: 25_000,
+            batch_apply_table_lookups_legacy: 40_000,
         };
         let json = to_json(&report);
         assert!(json.contains("\"anti_entropy\""));
         assert!(json.contains("\"clock_merge\""));
         assert!(json.contains("\"batch_apply\""));
+        assert!(json.contains("\"table_lookups\": 25000"));
+        assert!(json.contains("\"legacy_table_lookups\": 40000"));
         assert_eq!(
             json.matches('{').count(),
             json.matches('}').count(),

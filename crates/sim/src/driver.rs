@@ -7,13 +7,14 @@ use crate::metrics::Metrics;
 use crate::server::{ServerQueue, ServiceCosts};
 use crate::shrink::{ExplicitPlan, FaultEvent};
 use crate::time::SimTime;
+use crate::trace::{AppOp, OpEvent, OpTrace};
 use ipa_crdt::ReplicaId;
 use ipa_store::{AeCursors, CommitInfo, Replica, StoreError, Transaction, UpdateBatch};
 use rand::rngs::StdRng;
 use rand::Rng;
 use rand::SeedableRng;
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
 use std::sync::Arc;
 
 /// Simulation parameters.
@@ -88,6 +89,26 @@ struct TraceRecorder {
 /// Downtime recorded for a crash whose restart never fired inside the
 /// run window (effectively "down forever" — quiesce restarts everyone).
 const OPEN_ENDED_S: f64 = 1.0e6;
+
+/// Captures every executed client operation (and every staged send's
+/// latency draw), so a failing run's workload can be re-expressed as an
+/// [`OpTrace`] and shrunk alongside its fault plan. Pure observation:
+/// recording draws no RNG and never perturbs the schedule.
+#[derive(Debug, Default)]
+struct OpRecorder {
+    events: Vec<OpEvent>,
+    send_us: Vec<(Region, Region, u64, u64)>,
+}
+
+/// Indexed form of an [`OpTrace`]: per-client FIFO queues of `(fire
+/// time, op)` plus the recorded send-delay table. When installed, every
+/// client fires at its recorded times and executes its recorded ops —
+/// the workload RNG is never drawn.
+#[derive(Debug)]
+struct ExplicitOps {
+    by_client: Vec<VecDeque<(u64, AppOp)>>,
+    sends: HashMap<(Region, Region, u64), u64>,
+}
 
 /// Indexed form of an [`ExplicitPlan`]: when installed, every fault
 /// decision is a table lookup and the nemesis RNG is never drawn — the
@@ -267,14 +288,44 @@ impl OpOutcome {
 }
 
 /// The application under simulation.
+///
+/// The workload layer is decide/execute-split: `decide` draws the next
+/// operation from the workload RNG as serialized text, `execute` runs a
+/// decided (or replayed) operation deterministically. Workloads that
+/// implement the pair are *replayable*: the driver can record every
+/// executed op as an [`OpTrace`] event and later replay the trace with
+/// [`Simulation::set_explicit_ops`] without drawing the workload RNG at
+/// all. `op` is the closed-loop composition; simple test workloads may
+/// implement only `op` and remain non-replayable.
 pub trait Workload {
     /// Execute one client operation: run transactions through
     /// [`SimCtx::commit`], pay coordination delays via
-    /// [`OpOutcome::with_wan`], and report what happened.
+    /// [`OpOutcome::with_wan`], and report what happened. Replayable
+    /// workloads implement this as `decide` + `execute`, preserving the
+    /// exact RNG draw order of the fused version.
     fn op(&mut self, ctx: &mut SimCtx<'_>, client: ClientInfo) -> OpOutcome;
 
     /// One-time setup before clients start (seed data).
     fn setup(&mut self, _ctx: &mut SimCtx<'_>) {}
+
+    /// Draw the next operation for this client from the workload RNG
+    /// *without executing it*, as a serialized [`AppOp`] line. `None`
+    /// means the workload is not replayable ([`Simulation::record_op_trace`]
+    /// refuses to run it).
+    fn decide(&mut self, _ctx: &mut SimCtx<'_>, _client: ClientInfo) -> Option<AppOp> {
+        None
+    }
+
+    /// Execute a decided or replayed operation. Must be a pure function
+    /// of `(op, replica state, workload state)` — no RNG — so that a
+    /// recorded trace replays bit-identically and shrunk traces stay
+    /// deterministic.
+    fn execute(&mut self, _ctx: &mut SimCtx<'_>, _client: ClientInfo, op: &AppOp) -> OpOutcome {
+        panic!(
+            "this workload is not replayable (no execute impl) — cannot run op {:?}",
+            op.as_str()
+        )
+    }
 }
 
 /// The workload's view of the simulation during one operation.
@@ -286,6 +337,10 @@ pub struct SimCtx<'a> {
     /// Replication staged by commits in this op: (dest, arrival, batch).
     /// The payload is `Arc`-shared across destinations.
     staged: Vec<(Region, SimTime, Arc<UpdateBatch>)>,
+    /// Recorded send delays, installed during explicit-op replay:
+    /// staged deliveries use the recorded `(origin, dest, seq)` delay
+    /// (base latency fallback) instead of drawing the workload RNG.
+    replay_sends: Option<&'a HashMap<(Region, Region, u64), u64>>,
 }
 
 impl<'a> SimCtx<'a> {
@@ -305,8 +360,12 @@ impl<'a> SimCtx<'a> {
         &mut self.replicas[region as usize]
     }
 
-    /// Sampled round trip between regions.
+    /// Sampled round trip between regions (jitter-free base during
+    /// explicit-op replay, which never draws the workload RNG).
     pub fn rtt(&mut self, a: Region, b: Region) -> f64 {
+        if self.replay_sends.is_some() {
+            return self.latency.base_rtt(a, b);
+        }
         self.latency.rtt(a, b, self.rng)
     }
 
@@ -342,6 +401,26 @@ impl<'a> SimCtx<'a> {
         for batch in batches {
             for dest in 0..n {
                 if dest == region {
+                    continue;
+                }
+                // Explicit-op replay: the send delay is the recorded one
+                // (exact µs — the seal) or the jitter-free base latency
+                // for batches a shrunk trace re-sequenced; the workload
+                // RNG is never drawn. The partition check stays first so
+                // candidate replays honor *their own* fault plan's cut
+                // windows; the seal is unaffected — a batch recorded
+                // while its link was down recorded this same heal delay.
+                if let Some(sends) = self.replay_sends {
+                    let delay = if !self.latency.link_up(region, dest) {
+                        SimTime::from_secs(3600.0)
+                    } else {
+                        match sends.get(&(region, dest, batch.seq)) {
+                            Some(&us) => SimTime(us),
+                            None => SimTime::from_ms(self.latency.base_rtt(region, dest) / 2.0),
+                        }
+                    };
+                    self.staged
+                        .push((dest, self.now + delay, Arc::clone(&batch)));
                     continue;
                 }
                 if !self.latency.link_up(region, dest) {
@@ -385,16 +464,31 @@ enum Event {
     Audit,
 }
 
+/// Same-microsecond tie-break class. Probabilistic runs schedule
+/// everything at `RANK_DEFAULT`, so their order is `(time, seq)` —
+/// byte-identical to the pre-rank event loop (the digest-stability pins
+/// prove it). Explicit-plan replays schedule their upfront nemesis
+/// windows (cuts, crashes, restarts) at `RANK_WINDOW`, in `(time,
+/// payload)`-sorted insertion order: a stable `(time, class, payload)`
+/// tie-break that mirrors where those events sat in the probabilistic
+/// run's seq order (windows are scheduled upfront or a full flap period
+/// ahead, so they carry the smallest seq at their timestamp) and — being
+/// a pure function of plan *content* — is immune to ddmin reordering.
+const RANK_WINDOW: u8 = 0;
+const RANK_DEFAULT: u8 = 1;
+
 #[derive(Clone, Debug)]
 struct Scheduled {
     at: SimTime,
+    /// Tie-break class at equal `at` (before `seq`).
+    rank: u8,
     seq: u64,
     ev: Event,
 }
 
 impl PartialEq for Scheduled {
     fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
+        self.at == other.at && self.rank == other.rank && self.seq == other.seq
     }
 }
 impl Eq for Scheduled {}
@@ -405,7 +499,7 @@ impl PartialOrd for Scheduled {
 }
 impl Ord for Scheduled {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at, self.seq).cmp(&(other.at, other.seq))
+        (self.at, self.rank, self.seq).cmp(&(other.at, other.rank, other.seq))
     }
 }
 
@@ -437,8 +531,12 @@ pub struct Simulation {
     auditor: Option<(Auditor, f64)>,
     /// Fault-trace recorder (None unless enabled; pure observation).
     trace: Option<TraceRecorder>,
+    /// Op-trace recorder (None unless enabled; pure observation).
+    op_rec: Option<OpRecorder>,
     /// Explicit nemesis replay (None = probabilistic `cfg.faults`).
     explicit: Option<ExplicitNemesis>,
+    /// Explicit workload replay (None = RNG-driven closed-loop clients).
+    explicit_ops: Option<ExplicitOps>,
     /// Anti-entropy round counter (periodic + restart recovery), keying
     /// recorded send latencies and the liveness gap accounting.
     ae_round: u64,
@@ -484,7 +582,9 @@ impl Simulation {
             digest: 0xcbf2_9ce4_8422_2325,
             auditor: None,
             trace: None,
+            op_rec: None,
             explicit: None,
+            explicit_ops: None,
             ae_round: 0,
             gaps: Vec::new(),
             liveness: LivenessStats::default(),
@@ -541,6 +641,52 @@ impl Simulation {
             "explicit replay ignores cfg.faults; configure FaultPlan::none()"
         );
         self.explicit = Some(ExplicitNemesis::index(plan));
+    }
+
+    /// Record every executed client op (and every staged send's latency
+    /// draw) as an explicit event, retrievable after the run via
+    /// [`Simulation::take_op_trace`]. Recording draws no RNG and cannot
+    /// perturb the schedule; it requires a replayable workload
+    /// ([`Workload::decide`] returning `Some`).
+    pub fn record_op_trace(&mut self) {
+        self.op_rec = Some(OpRecorder::default());
+    }
+
+    /// The recorded workload as a replayable [`OpTrace`].
+    pub fn take_op_trace(&mut self) -> OpTrace {
+        let rec = self.op_rec.take().expect("record_op_trace was enabled");
+        OpTrace {
+            events: rec.events,
+            send_us: rec.send_us,
+        }
+    }
+
+    /// Replay a recorded op trace instead of the RNG-driven closed-loop
+    /// clients: every client fires at its recorded virtual times and
+    /// executes its recorded ops through [`Workload::execute`], staged
+    /// sends use recorded (or jitter-free base) latencies, and the
+    /// workload RNG is never drawn — the run is a pure function of
+    /// `(trace, fault schedule)`. Call before [`Simulation::run`].
+    pub fn set_explicit_ops(&mut self, trace: &OpTrace) {
+        let mut by_client: Vec<VecDeque<(u64, AppOp)>> =
+            (0..self.clients.len()).map(|_| VecDeque::new()).collect();
+        for e in &trace.events {
+            assert!(
+                e.client < by_client.len(),
+                "op trace client {} out of range (config has {} clients)",
+                e.client,
+                by_client.len()
+            );
+            by_client[e.client].push_back((e.at_us, e.op.clone()));
+        }
+        self.explicit_ops = Some(ExplicitOps {
+            by_client,
+            sends: trace
+                .send_us
+                .iter()
+                .map(|&(o, d, seq, us)| ((o, d, seq), us))
+                .collect(),
+        });
     }
 
     /// Arm the bounded-liveness oracle: every fault-induced causal gap
@@ -665,9 +811,14 @@ impl Simulation {
     }
 
     fn schedule(&mut self, at: SimTime, ev: Event) {
+        self.schedule_ranked(at, RANK_DEFAULT, ev);
+    }
+
+    fn schedule_ranked(&mut self, at: SimTime, rank: u8, ev: Event) {
         self.seq += 1;
         self.queue.push(Reverse(Scheduled {
             at,
+            rank,
             seq: self.seq,
             ev,
         }));
@@ -899,40 +1050,84 @@ impl Simulation {
     /// Run the workload to completion of the configured window.
     pub fn run(&mut self, workload: &mut dyn Workload) {
         // Setup phase (outside measurements, at t=0).
-        {
+        let staged = {
             let mut ctx = SimCtx {
                 now: self.now,
                 latency: &mut self.latency,
                 replicas: &mut self.replicas,
                 rng: &mut self.rng,
                 staged: Vec::new(),
+                replay_sends: self.explicit_ops.as_ref().map(|x| &x.sends),
             };
             workload.setup(&mut ctx);
-            let staged = std::mem::take(&mut ctx.staged);
-            self.flush_staged(staged);
-        }
+            std::mem::take(&mut ctx.staged)
+        };
+        self.record_staged_sends(&staged);
+        self.flush_staged(staged);
 
-        // Stagger client starts to avoid a synchronized burst.
-        for c in 0..self.clients.len() {
-            let at = SimTime::from_ms(0.1 * c as f64 + 1.0);
-            self.schedule(at, Event::ClientReady(c));
+        if self.explicit_ops.is_some() {
+            // Explicit-op replay: each client fires at its first
+            // recorded op time (in a full trace those are exactly the
+            // stagger times below; in a shrunk trace, the earliest
+            // surviving op).
+            let firsts: Vec<(usize, u64)> = self
+                .explicit_ops
+                .as_ref()
+                .expect("checked")
+                .by_client
+                .iter()
+                .enumerate()
+                .filter_map(|(c, q)| q.front().map(|&(at_us, _)| (c, at_us)))
+                .collect();
+            for (c, at_us) in firsts {
+                self.schedule(SimTime(at_us), Event::ClientReady(c));
+            }
+        } else {
+            // Stagger client starts to avoid a synchronized burst.
+            for c in 0..self.clients.len() {
+                let at = SimTime::from_ms(0.1 * c as f64 + 1.0);
+                self.schedule(at, Event::ClientReady(c));
+            }
         }
         if let Some(gc) = self.cfg.gc_interval_s {
             self.schedule(SimTime::from_secs(gc), Event::Gc);
         }
         // Nemesis schedule: crashes/restarts are fixed points in virtual
         // time; flapping and anti-entropy are periodic. An explicit plan
-        // replaces all three with its own fixed windows.
+        // replaces all three with its own fixed windows, scheduled in
+        // `(time, payload)`-sorted order at the window tie-break rank —
+        // the stable `(time, class, payload)` order that makes same-µs
+        // collisions independent of plan-line order and of where the
+        // probabilistic run's flap chain happened to sit in the seq
+        // stream.
         if let Some(ex) = &self.explicit {
-            let crashes = ex.crashes.clone();
-            let cuts = ex.cuts.clone();
+            let mut crashes = ex.crashes.clone();
+            crashes.sort_by(|x, y| {
+                (x.1, x.0, x.2)
+                    .partial_cmp(&(y.1, y.0, y.2))
+                    .expect("finite times")
+            });
+            let mut cuts = ex.cuts.clone();
+            cuts.sort_by(|x, y| {
+                (x.2, x.0, x.1, x.3)
+                    .partial_cmp(&(y.2, y.0, y.1, y.3))
+                    .expect("finite times")
+            });
             let ae = ex.anti_entropy_s;
             for (region, at_s, down_s) in crashes {
-                self.schedule(SimTime::from_secs(at_s), Event::Crash(region));
-                self.schedule(SimTime::from_secs(at_s + down_s), Event::Restart(region));
+                self.schedule_ranked(SimTime::from_secs(at_s), RANK_WINDOW, Event::Crash(region));
+                self.schedule_ranked(
+                    SimTime::from_secs(at_s + down_s),
+                    RANK_WINDOW,
+                    Event::Restart(region),
+                );
             }
             for (a, b, at_s, outage_s) in cuts {
-                self.schedule(SimTime::from_secs(at_s), Event::Cut(a, b, outage_s));
+                self.schedule_ranked(
+                    SimTime::from_secs(at_s),
+                    RANK_WINDOW,
+                    Event::Cut(a, b, outage_s),
+                );
             }
             if let Some(ae) = ae {
                 self.schedule(SimTime::from_secs(ae), Event::AntiEntropy);
@@ -1099,30 +1294,82 @@ impl Simulation {
                 }
                 Event::ClientReady(c) => {
                     let client = self.clients[c];
+                    // Explicit-op replay: take this client's next
+                    // recorded op off its queue (the chain fires at
+                    // exactly the recorded virtual times).
+                    let replay_op: Option<AppOp> = match &mut self.explicit_ops {
+                        Some(ops) => {
+                            let Some((at_us, op)) = ops.by_client[c].pop_front() else {
+                                continue;
+                            };
+                            debug_assert_eq!(
+                                at_us,
+                                next.at.as_micros(),
+                                "replayed op fired off its recorded schedule"
+                            );
+                            Some(op)
+                        }
+                        None => None,
+                    };
                     if self.crashed[client.region as usize] {
                         // Home replica is down: the op fails fast and the
-                        // client retries after a think-time backoff.
+                        // client retries after a think-time backoff. In
+                        // replay the recorded op is skipped instead (this
+                        // only happens under a *modified* fault plan —
+                        // at record time the op executed, so the region
+                        // was up) and the client jumps to its next
+                        // recorded op.
                         if self.now >= warmup_end {
                             self.metrics.record_failure();
                         }
-                        let think = self.think_time();
-                        let at = self.now + SimTime::from_ms(self.cfg.think_time_ms) + think;
-                        self.schedule(at, Event::ClientReady(c));
+                        if self.explicit_ops.is_some() {
+                            self.schedule_next_replay_op(c);
+                        } else {
+                            let think = self.think_time();
+                            let at = self.now + SimTime::from_ms(self.cfg.think_time_ms) + think;
+                            self.schedule(at, Event::ClientReady(c));
+                        }
                         continue;
                     }
-                    let outcome = {
+                    let (outcome, decided, staged) = {
                         let mut ctx = SimCtx {
                             now: self.now,
                             latency: &mut self.latency,
                             replicas: &mut self.replicas,
                             rng: &mut self.rng,
                             staged: Vec::new(),
+                            replay_sends: self.explicit_ops.as_ref().map(|x| &x.sends),
                         };
-                        let outcome = workload.op(&mut ctx, client);
+                        let (outcome, decided) = match &replay_op {
+                            // Replay: execute the recorded op; no RNG.
+                            Some(op) => (workload.execute(&mut ctx, client, op), None),
+                            // Record: decide (the only RNG draws), then
+                            // execute — same stream as the fused op().
+                            None if self.op_rec.is_some() => {
+                                let op = workload.decide(&mut ctx, client).expect(
+                                    "record_op_trace requires a replayable workload \
+                                     (Workload::decide returning Some)",
+                                );
+                                (workload.execute(&mut ctx, client, &op), Some(op))
+                            }
+                            None => (workload.op(&mut ctx, client), None),
+                        };
                         let staged = std::mem::take(&mut ctx.staged);
-                        self.flush_staged(staged);
-                        outcome
+                        (outcome, decided, staged)
                     };
+                    if let Some(op) = decided {
+                        self.op_rec
+                            .as_mut()
+                            .expect("recording is on")
+                            .events
+                            .push(OpEvent {
+                                client: c,
+                                at_us: next.at.as_micros(),
+                                op,
+                            });
+                    }
+                    self.record_staged_sends(&staged);
+                    self.flush_staged(staged);
                     self.fold_digest([7, next.at.as_micros(), c as u64, u64::from(outcome.ok)]);
                     let region = client.region as usize;
                     let completion = if outcome.ok {
@@ -1149,12 +1396,40 @@ impl Simulation {
                         }
                         self.metrics.record_violations(outcome.violations);
                     }
-                    let think = self.think_time();
-                    self.schedule(completion + think, Event::ClientReady(c));
+                    if self.explicit_ops.is_some() {
+                        // The next recorded op already knows its time;
+                        // the workload RNG is not consulted for think
+                        // times (or anything else) during replay.
+                        self.schedule_next_replay_op(c);
+                    } else {
+                        let think = self.think_time();
+                        self.schedule(completion + think, Event::ClientReady(c));
+                    }
                 }
             }
         }
         self.now = end;
+    }
+
+    /// Chain a replayed client to its next recorded op, if any.
+    fn schedule_next_replay_op(&mut self, c: usize) {
+        let Some(ops) = &self.explicit_ops else {
+            return;
+        };
+        if let Some(&(at_us, _)) = ops.by_client[c].front() {
+            self.schedule(SimTime(at_us), Event::ClientReady(c));
+        }
+    }
+
+    /// Record every staged delivery's send latency (op-trace recording;
+    /// pure observation).
+    fn record_staged_sends(&mut self, staged: &[(Region, SimTime, Arc<UpdateBatch>)]) {
+        let Some(rec) = &mut self.op_rec else { return };
+        let now_us = self.now.as_micros();
+        for (dest, at, batch) in staged {
+            rec.send_us
+                .push((batch.origin.0, *dest, batch.seq, at.as_micros() - now_us));
+        }
     }
 
     fn think_time(&mut self) -> SimTime {

@@ -26,6 +26,7 @@ pub mod scenario;
 pub mod server;
 pub mod shrink;
 pub mod time;
+pub mod trace;
 
 pub use driver::{
     Auditor, ClientInfo, LivenessStats, NemesisStats, OpOutcome, SimConfig, SimCtx, Simulation,
@@ -37,6 +38,8 @@ pub use metrics::{LatencySummary, Metrics};
 pub use scenario::{paper_topology, two_region_topology};
 pub use server::ServerQueue;
 pub use shrink::{
-    shrink_plan, ExplicitPlan, FaultEvent, PlanParseError, RunVerdict, ShrinkBudget, ShrinkOutcome,
+    shrink_joint, shrink_plan, ExplicitPlan, FaultEvent, JointOutcome, PlanParseError, RunVerdict,
+    ShrinkBudget, ShrinkOutcome,
 };
 pub use time::SimTime;
+pub use trace::{AppOp, OpEvent, OpTrace, OP_TRACE_HEADER};

@@ -27,8 +27,15 @@
 //! ([`ExplicitPlan::to_string`] / [`ExplicitPlan::from_str`]) that CI
 //! uploads as an artifact and `tests/nemesis_soak.rs` replays via
 //! `IPA_NEMESIS_REPLAY=<file>`.
+//!
+//! [`shrink_joint`] extends the same discipline to the *workload*: given
+//! a recorded [`OpTrace`] alongside the fault trace, it interleaves a
+//! chunked ddmin over op events with the fault-event ddmin, so the final
+//! counterexample names the two or three client operations that matter,
+//! not just the faults.
 
 use crate::latency::Region;
+use crate::trace::OpTrace;
 use std::fmt;
 use std::str::FromStr;
 
@@ -401,65 +408,35 @@ pub fn shrink_plan(
     // plan is semantically irrelevant (transport faults key on batches,
     // windows and crashes on virtual time), so removing any subsequence
     // is a valid candidate.
-    loop {
-        let before = best.events.len();
-        let mut chunk = before.div_ceil(2).max(1);
-        while chunk >= 1 {
-            let mut i = 0;
-            while i < best.events.len() && runs < budget.max_runs {
-                let mut candidate = best.clone();
-                let end = (i + chunk).min(candidate.events.len());
-                candidate.events.drain(i..end);
-                if let Some(digest) = try_candidate(&candidate, &mut runs) {
-                    best = candidate;
-                    best_digest = digest;
-                    // Re-test the same position: the next chunk slid in.
-                } else {
-                    i += chunk;
-                }
-            }
-            if chunk == 1 {
-                break;
-            }
-            chunk /= 2;
+    {
+        let mut events = std::mem::take(&mut best.events);
+        let (ae, latencies) = (best.anti_entropy_s, best.ae_latency_ms.clone());
+        if let Some(digest) = ddmin_events(
+            &mut events,
+            &mut runs,
+            budget.max_runs,
+            |candidate, runs| {
+                let plan = ExplicitPlan {
+                    events: candidate.clone(),
+                    anti_entropy_s: ae,
+                    ae_latency_ms: latencies.clone(),
+                };
+                try_candidate(&plan, runs)
+            },
+        ) {
+            best_digest = digest;
         }
-        if best.events.len() == before || runs >= budget.max_runs {
-            break;
-        }
-        // Removing events can unlock further removals (a delay only
-        // mattered because a later drop depended on its reordering);
-        // iterate to a fixpoint like the proptest loop does.
+        best.events = events;
     }
 
-    // Phase 2 — per-event field shrinking: halve the surviving events'
-    // magnitudes toward zero while the failure persists (integer-style
-    // halving on floats, cut off once the step stops being meaningful).
-    let mut changed = true;
-    while changed && runs < budget.max_runs {
-        changed = false;
-        for i in 0..best.events.len() {
-            loop {
-                let mut candidate = best.clone();
-                let shrunk = match &mut candidate.events[i] {
-                    FaultEvent::Delay { extra_ms, .. } => halve(extra_ms, 1.0),
-                    FaultEvent::Duplicate { dup_delay_ms, .. } => halve(dup_delay_ms, 1.0),
-                    FaultEvent::Partition { outage_s, .. } => halve(outage_s, 0.01),
-                    FaultEvent::Crash { down_s, .. } => halve(down_s, 0.01),
-                    FaultEvent::Drop { .. } => false,
-                };
-                if !shrunk || runs >= budget.max_runs {
-                    break;
-                }
-                if let Some(digest) = try_candidate(&candidate, &mut runs) {
-                    best = candidate;
-                    best_digest = digest;
-                    changed = true;
-                } else {
-                    break;
-                }
-            }
-        }
-    }
+    // Phase 2 — per-event field shrinking.
+    shrink_fault_fields(
+        &mut best,
+        &mut best_digest,
+        &mut runs,
+        budget.max_runs,
+        &mut try_candidate,
+    );
 
     // Phase 3 — drop the recorded anti-entropy latency table. Its round
     // keys describe the *full* trace; once events are gone the rounds
@@ -483,6 +460,253 @@ pub fn shrink_plan(
         digest: best_digest,
         runs,
         original_events: initial.events.len(),
+    })
+}
+
+/// One chunked-ddmin pass to a fixpoint over `events`: try removing
+/// chunks (halving the chunk size down to 1, restarting from the top
+/// while whole passes make progress), keeping a removal whenever `fails`
+/// still reproduces the target failure on the remainder. Returns the
+/// digest of the last kept candidate, if any was kept. `fails` is
+/// expected to enforce the run budget (via the shared `runs` counter)
+/// exactly like [`shrink_plan`]'s `try_candidate`.
+fn ddmin_events<T: Clone>(
+    events: &mut Vec<T>,
+    runs: &mut usize,
+    max_runs: usize,
+    mut fails: impl FnMut(&Vec<T>, &mut usize) -> Option<u64>,
+) -> Option<u64> {
+    let mut best_digest = None;
+    loop {
+        let before = events.len();
+        let mut chunk = before.div_ceil(2).max(1);
+        while chunk >= 1 {
+            let mut i = 0;
+            while i < events.len() && *runs < max_runs {
+                let mut candidate = events.clone();
+                let end = (i + chunk).min(candidate.len());
+                candidate.drain(i..end);
+                if let Some(digest) = fails(&candidate, runs) {
+                    *events = candidate;
+                    best_digest = Some(digest);
+                    // Re-test the same position: the next chunk slid in.
+                } else {
+                    i += chunk;
+                }
+            }
+            if chunk == 1 {
+                break;
+            }
+            chunk /= 2;
+        }
+        if events.len() == before || *runs >= max_runs {
+            break;
+        }
+        // Removing events can unlock further removals (a delay only
+        // mattered because a later drop depended on its reordering);
+        // iterate to a fixpoint like the proptest loop does.
+    }
+    best_digest
+}
+
+/// Per-event field shrinking: halve the surviving events' magnitudes
+/// toward zero while the failure persists (integer-style halving on
+/// floats, cut off once the step stops being meaningful).
+fn shrink_fault_fields(
+    best: &mut ExplicitPlan,
+    best_digest: &mut u64,
+    runs: &mut usize,
+    max_runs: usize,
+    try_candidate: &mut impl FnMut(&ExplicitPlan, &mut usize) -> Option<u64>,
+) {
+    let mut changed = true;
+    while changed && *runs < max_runs {
+        changed = false;
+        for i in 0..best.events.len() {
+            loop {
+                let mut candidate = best.clone();
+                let shrunk = match &mut candidate.events[i] {
+                    FaultEvent::Delay { extra_ms, .. } => halve(extra_ms, 1.0),
+                    FaultEvent::Duplicate { dup_delay_ms, .. } => halve(dup_delay_ms, 1.0),
+                    FaultEvent::Partition { outage_s, .. } => halve(outage_s, 0.01),
+                    FaultEvent::Crash { down_s, .. } => halve(down_s, 0.01),
+                    FaultEvent::Drop { .. } => false,
+                };
+                if !shrunk || *runs >= max_runs {
+                    break;
+                }
+                if let Some(digest) = try_candidate(&candidate, runs) {
+                    *best = candidate;
+                    *best_digest = digest;
+                    changed = true;
+                } else {
+                    break;
+                }
+            }
+        }
+    }
+}
+
+/// The result of a joint shrink: the minimal `(fault plan, op trace)`
+/// pair found, the check it still fails, and the digest of its sealed
+/// replay.
+#[derive(Clone, Debug)]
+pub struct JointOutcome {
+    pub faults: ExplicitPlan,
+    pub ops: OpTrace,
+    /// The oracle check every kept candidate failed (identical to the
+    /// original failure's).
+    pub check: String,
+    /// Schedule digest of the minimized pair's sealed replay.
+    pub digest: u64,
+    /// Sealed simulations executed (the shrink budget spent).
+    pub runs: usize,
+    pub original_fault_events: usize,
+    pub original_op_events: usize,
+}
+
+impl JointOutcome {
+    pub fn fault_events(&self) -> usize {
+        self.faults.events.len()
+    }
+
+    pub fn op_events(&self) -> usize {
+        self.ops.events.len()
+    }
+}
+
+/// Jointly delta-debug a fault plan *and* the op trace that triggered it
+/// against the caller's sealed runner: a chunked ddmin over op events
+/// interleaved with the fault-event ddmin of [`shrink_plan`], iterated
+/// to a joint fixpoint, then the fault field shrinks and latency-table
+/// drops. Only candidates failing the *same* oracle check as the
+/// initial pair are kept, so the minimized artifact reproduces the
+/// original violation, not a different one.
+///
+/// Op events go first in every round: each removed op makes all later
+/// sealed runs cheaper, and removing ops frequently unlocks fault
+/// removals (a drop keyed to a batch the shrunk trace no longer commits
+/// can finally go) and vice versa — hence the interleaving.
+///
+/// Returns `None` when the initial pair does not fail at all. Fully
+/// deterministic: same inputs + deterministic runner ⇒ same outcome.
+pub fn shrink_joint(
+    initial_faults: &ExplicitPlan,
+    initial_ops: &OpTrace,
+    budget: ShrinkBudget,
+    mut run: impl FnMut(&ExplicitPlan, &OpTrace) -> Option<RunVerdict>,
+) -> Option<JointOutcome> {
+    let mut runs = 1usize;
+    let base = run(initial_faults, initial_ops)?;
+    let target = base.check.clone();
+    let mut best_f = initial_faults.clone();
+    let mut best_o = initial_ops.clone();
+    let mut best_digest = base.digest;
+
+    let mut try_candidate = |f: &ExplicitPlan, o: &OpTrace, runs: &mut usize| -> Option<u64> {
+        if *runs >= budget.max_runs {
+            return None;
+        }
+        *runs += 1;
+        match run(f, o) {
+            Some(v) if v.check == target => Some(v.digest),
+            _ => None,
+        }
+    };
+
+    // Interleaved event minimization to a joint fixpoint.
+    loop {
+        let shape = (best_f.events.len(), best_o.events.len());
+
+        {
+            let mut op_events = std::mem::take(&mut best_o.events);
+            let sends = best_o.send_us.clone();
+            if let Some(digest) = ddmin_events(
+                &mut op_events,
+                &mut runs,
+                budget.max_runs,
+                |candidate, runs| {
+                    let ops = OpTrace {
+                        events: candidate.clone(),
+                        send_us: sends.clone(),
+                    };
+                    try_candidate(&best_f, &ops, runs)
+                },
+            ) {
+                best_digest = digest;
+            }
+            best_o.events = op_events;
+        }
+
+        {
+            let mut fault_events = std::mem::take(&mut best_f.events);
+            let (ae, latencies) = (best_f.anti_entropy_s, best_f.ae_latency_ms.clone());
+            if let Some(digest) = ddmin_events(
+                &mut fault_events,
+                &mut runs,
+                budget.max_runs,
+                |candidate, runs| {
+                    let plan = ExplicitPlan {
+                        events: candidate.clone(),
+                        anti_entropy_s: ae,
+                        ae_latency_ms: latencies.clone(),
+                    };
+                    try_candidate(&plan, &best_o, runs)
+                },
+            ) {
+                best_digest = digest;
+            }
+            best_f.events = fault_events;
+        }
+
+        if (best_f.events.len(), best_o.events.len()) == shape || runs >= budget.max_runs {
+            break;
+        }
+    }
+
+    // Fault field shrinks (delays, outages, downtimes), judged against
+    // the current minimal op trace.
+    {
+        let ops = best_o.clone();
+        let mut fails = |f: &ExplicitPlan, runs: &mut usize| try_candidate(f, &ops, runs);
+        shrink_fault_fields(
+            &mut best_f,
+            &mut best_digest,
+            &mut runs,
+            budget.max_runs,
+            &mut fails,
+        );
+    }
+
+    // Latency-table drops: once events were removed, the recorded tables
+    // describe a schedule that no longer exists (AE rounds shift, batch
+    // sequences re-pack), so try the jitter-free base latencies. The
+    // full-trace case keeps both tables — they are the seal.
+    if best_f.events.len() < initial_faults.events.len() && !best_f.ae_latency_ms.is_empty() {
+        let mut candidate = best_f.clone();
+        candidate.ae_latency_ms.clear();
+        if let Some(digest) = try_candidate(&candidate, &best_o, &mut runs) {
+            best_f = candidate;
+            best_digest = digest;
+        }
+    }
+    if best_o.events.len() < initial_ops.events.len() && !best_o.send_us.is_empty() {
+        let mut candidate = best_o.clone();
+        candidate.send_us.clear();
+        if let Some(digest) = try_candidate(&best_f, &candidate, &mut runs) {
+            best_o = candidate;
+            best_digest = digest;
+        }
+    }
+
+    Some(JointOutcome {
+        faults: best_f,
+        ops: best_o,
+        check: target,
+        digest: best_digest,
+        runs,
+        original_fault_events: initial_faults.events.len(),
+        original_op_events: initial_ops.events.len(),
     })
 }
 
@@ -697,6 +921,125 @@ mod tests {
         assert_eq!(a.plan, b.plan);
         assert_eq!(a.runs, b.runs);
         assert_eq!(a.digest, b.digest);
+    }
+
+    /// A synthetic joint oracle: fails iff the culprit drop AND the
+    /// culprit op are both present (the shape of a real red cell — the
+    /// violating schedule needs the op that commits the batch and the
+    /// fault that loses it).
+    fn joint_culprit_runner(faults: &ExplicitPlan, ops: &OpTrace) -> Option<RunVerdict> {
+        let has_drop = faults.events.iter().any(|e| {
+            matches!(
+                e,
+                FaultEvent::Drop {
+                    origin: 0,
+                    dest: 2,
+                    seq: 17
+                }
+            )
+        });
+        let has_op = ops
+            .events
+            .iter()
+            .any(|e| e.op.as_str() == "enroll p9 t17" && e.client == 4);
+        (has_drop && has_op).then(|| RunVerdict {
+            check: "joint-culprit".into(),
+            digest: (faults.events.len() * 1000 + ops.events.len()) as u64,
+        })
+    }
+
+    fn noisy_joint_inputs() -> (ExplicitPlan, OpTrace) {
+        let mut faults = ExplicitPlan {
+            anti_entropy_s: Some(0.25),
+            ae_latency_ms: vec![(1, 0, 1, 40.5), (2, 1, 2, 39.25)],
+            ..Default::default()
+        };
+        for seq in 0..50u64 {
+            faults.events.push(if seq == 33 {
+                FaultEvent::Drop {
+                    origin: 0,
+                    dest: 2,
+                    seq: 17,
+                }
+            } else {
+                FaultEvent::Delay {
+                    origin: (seq % 3) as Region,
+                    dest: ((seq + 1) % 3) as Region,
+                    seq,
+                    extra_ms: 25.0,
+                }
+            });
+        }
+        let mut ops = OpTrace::default();
+        for i in 0..200u64 {
+            ops.events.push(crate::trace::OpEvent {
+                client: (i % 6) as usize,
+                at_us: 1_000 + i * 97,
+                op: crate::trace::AppOp::new(if i == 117 {
+                    "enroll p9 t17".to_owned()
+                } else {
+                    format!("status t{}", i % 12)
+                }),
+            });
+            if i == 117 {
+                // Fix the culprit's client so the oracle can key on it.
+                ops.events.last_mut().unwrap().client = 4;
+            }
+        }
+        ops.send_us = (0..60).map(|i| (0, 1, i, 40_000 + i)).collect();
+        (faults, ops)
+    }
+
+    #[test]
+    fn joint_shrink_isolates_the_op_and_fault_culprits() {
+        let (faults, ops) = noisy_joint_inputs();
+        let out = shrink_joint(&faults, &ops, ShrinkBudget::default(), joint_culprit_runner)
+            .expect("the full pair fails");
+        assert_eq!(out.check, "joint-culprit");
+        assert_eq!(out.faults.events.len(), 1, "{}", out.faults);
+        assert_eq!(out.ops.events.len(), 1, "{}", out.ops);
+        assert_eq!(out.ops.events[0].op.as_str(), "enroll p9 t17");
+        assert_eq!(out.ops.events[0].client, 4);
+        assert_eq!(out.original_fault_events, 50);
+        assert_eq!(out.original_op_events, 200);
+        // Both recorded latency tables went with the removed events.
+        assert!(out.faults.ae_latency_ms.is_empty());
+        assert!(out.ops.send_us.is_empty());
+        assert!(
+            out.ops.events.len() * 10 <= out.original_op_events,
+            "≤10% of op events survive"
+        );
+    }
+
+    #[test]
+    fn joint_shrink_is_deterministic_and_budgeted() {
+        let (faults, ops) = noisy_joint_inputs();
+        let shrink = |budget| {
+            let out = shrink_joint(&faults, &ops, budget, joint_culprit_runner).unwrap();
+            (
+                out.faults.to_string(),
+                out.ops.to_string(),
+                out.digest,
+                out.runs,
+            )
+        };
+        let a = shrink(ShrinkBudget::default());
+        let b = shrink(ShrinkBudget::default());
+        assert_eq!(a, b, "same inputs ⇒ same minimized pair, digest, cost");
+        let capped = shrink_joint(
+            &faults,
+            &ops,
+            ShrinkBudget { max_runs: 10 },
+            joint_culprit_runner,
+        )
+        .unwrap();
+        assert!(capped.runs <= 10);
+    }
+
+    #[test]
+    fn joint_shrink_refuses_a_passing_pair() {
+        let (faults, ops) = noisy_joint_inputs();
+        assert!(shrink_joint(&faults, &ops, ShrinkBudget::default(), |_, _| None).is_none());
     }
 
     #[test]

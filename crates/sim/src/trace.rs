@@ -1,0 +1,263 @@
+//! Recorded, replayable client-op traces.
+//!
+//! A probabilistic run's workload schedule is an opaque function of
+//! `SimConfig::seed`: the RNG picks every operation, think time, and
+//! link-latency jitter, so a red run's counterexample carries hundreds
+//! of client ops that have nothing to do with the failure. This module
+//! makes the *workload* explicit the same way `shrink::ExplicitPlan`
+//! made the nemesis explicit:
+//!
+//! 1. **Record** — re-run the failing seed pair with
+//!    [`crate::Simulation::record_op_trace`] enabled. Every executed
+//!    client operation is captured as a `(client, virtual-time, app-op)`
+//!    [`OpEvent`], and every staged replication send's latency draw is
+//!    captured keyed by the batch it carried.
+//! 2. **Seal** — replay the trace through
+//!    [`crate::Simulation::set_explicit_ops`]: clients fire at the
+//!    recorded times and execute the recorded ops, sends use the
+//!    recorded latencies, and the workload RNG is never drawn — the run
+//!    is a pure function of `(OpTrace, fault schedule)` and reproduces
+//!    the original `schedule_digest` bit for bit.
+//! 3. **Shrink** — [`crate::shrink_joint`] delta-debugs op events and
+//!    fault events together, keeping only candidates that fail the same
+//!    oracle check.
+//!
+//! The trace serializes to a line-oriented text format
+//! ([`OpTrace::to_string`] / [`OpTrace::from_str`]) that CI uploads as
+//! the `ops-<app>-<seed>.txt` artifact next to the minimized fault plan.
+//! Times and send delays are integer microseconds — [`crate::SimTime`]'s
+//! native unit — so the roundtrip is exact by construction.
+
+use crate::latency::Region;
+use crate::shrink::PlanParseError;
+use std::fmt;
+use std::str::FromStr;
+
+/// First line of every serialized [`OpTrace`] (the replay path sniffs
+/// artifacts by this header to tell op traces from fault plans).
+pub const OP_TRACE_HEADER: &str = "# ipa-nemesis op trace v1";
+
+/// One serialized application operation: a single whitespace-separated
+/// token line produced by the app's op enum `Display` and parsed back by
+/// its `FromStr` (e.g. `enroll p4 t7`). The simulator treats it as
+/// opaque text, which keeps `OpTrace` application-agnostic.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AppOp(String);
+
+impl AppOp {
+    /// Wrap a serialized op. Panics on embedded newlines — an op is one
+    /// trace line by contract.
+    pub fn new(op: impl Into<String>) -> AppOp {
+        let op = op.into();
+        assert!(
+            !op.is_empty() && !op.contains('\n'),
+            "an AppOp is one non-empty trace line: {op:?}"
+        );
+        AppOp(op)
+    }
+
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for AppOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// One executed client operation: who, when (virtual µs), what.
+#[derive(Clone, Debug, PartialEq)]
+pub struct OpEvent {
+    pub client: usize,
+    /// Virtual time the operation executed, in integer microseconds
+    /// (exactly [`crate::SimTime::as_micros`] of the `ClientReady` that
+    /// ran it).
+    pub at_us: u64,
+    pub op: AppOp,
+}
+
+/// The recorded client-op schedule of one run, replayable without the
+/// workload RNG. `events` is in global execution order (per client that
+/// is also time order); `send_us` carries the replication-send latency
+/// of every staged batch delivery, keyed by `(origin, dest, origin
+/// sequence)` — stable across replays because batch sequences are a pure
+/// function of the executed op sequence.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct OpTrace {
+    pub events: Vec<OpEvent>,
+    /// `(origin, dest, seq, delay_us)` per staged delivery (client
+    /// commits and setup). Replay uses the recorded delay when present
+    /// and the jitter-free base link latency otherwise, so a full-trace
+    /// replay reproduces arrival times exactly while shrunk candidates
+    /// stay deterministic.
+    pub send_us: Vec<(Region, Region, u64, u64)>,
+}
+
+impl OpTrace {
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of distinct clients that executed at least one op.
+    pub fn clients(&self) -> usize {
+        let mut seen: Vec<usize> = self.events.iter().map(|e| e.client).collect();
+        seen.sort_unstable();
+        seen.dedup();
+        seen.len()
+    }
+
+    /// One-line description for failure banners.
+    pub fn summary(&self) -> String {
+        if self.events.is_empty() {
+            return "no ops".to_owned();
+        }
+        format!(
+            "{} ops by {} clients ({} recorded sends)",
+            self.events.len(),
+            self.clients(),
+            self.send_us.len()
+        )
+    }
+}
+
+impl fmt::Display for OpTrace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{OP_TRACE_HEADER}")?;
+        for e in &self.events {
+            writeln!(f, "op {} {} {}", e.client, e.at_us, e.op)?;
+        }
+        for &(origin, dest, seq, us) in &self.send_us {
+            writeln!(f, "send {origin}->{dest} {seq} {us}")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromStr for OpTrace {
+    type Err = PlanParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut trace = OpTrace::default();
+        for (i, raw) in s.lines().enumerate() {
+            let line = raw.trim();
+            let err = |message: String| PlanParseError {
+                line: i + 1,
+                message,
+            };
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut tok = line.split_whitespace();
+            let kind = tok.next().unwrap_or_default();
+            match kind {
+                "op" => {
+                    let client = tok.next().ok_or_else(|| err("truncated op".into()))?;
+                    let at = tok.next().ok_or_else(|| err("truncated op".into()))?;
+                    let rest = tok.collect::<Vec<_>>().join(" ");
+                    if rest.is_empty() {
+                        return Err(err("op line has no app-op".into()));
+                    }
+                    trace.events.push(OpEvent {
+                        client: client
+                            .parse()
+                            .map_err(|_| err(format!("bad client {client:?}")))?,
+                        at_us: at.parse().map_err(|_| err(format!("bad time {at:?}")))?,
+                        op: AppOp::new(rest),
+                    });
+                }
+                "send" => {
+                    let link = tok.next().ok_or_else(|| err("truncated send".into()))?;
+                    let (origin, dest) = link
+                        .split_once("->")
+                        .and_then(|(a, b)| Some((a.parse().ok()?, b.parse().ok()?)))
+                        .ok_or_else(|| err(format!("bad link {link:?} (want o->d)")))?;
+                    let seq = tok.next().ok_or_else(|| err("truncated send".into()))?;
+                    let us = tok.next().ok_or_else(|| err("truncated send".into()))?;
+                    trace.send_us.push((
+                        origin,
+                        dest,
+                        seq.parse().map_err(|_| err(format!("bad seq {seq:?}")))?,
+                        us.parse().map_err(|_| err(format!("bad delay {us:?}")))?,
+                    ));
+                }
+                other => return Err(err(format!("unknown directive {other:?}"))),
+            }
+        }
+        Ok(trace)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> OpTrace {
+        OpTrace {
+            events: vec![
+                OpEvent {
+                    client: 0,
+                    at_us: 1_000,
+                    op: AppOp::new("enroll p4 t7"),
+                },
+                OpEvent {
+                    client: 3,
+                    at_us: 1_300,
+                    op: AppOp::new("status t0"),
+                },
+                OpEvent {
+                    client: 0,
+                    at_us: 27_451,
+                    op: AppOp::new("match p1 p2 t7"),
+                },
+            ],
+            send_us: vec![
+                (0, 1, 4, 40_123),
+                (0, 2, 4, 80_001),
+                (2, 0, 9, 3_600_000_000),
+            ],
+        }
+    }
+
+    #[test]
+    fn trace_text_roundtrips_exactly() {
+        let trace = sample();
+        let text = trace.to_string();
+        let back: OpTrace = text.parse().expect("parse");
+        assert_eq!(back, trace, "text:\n{text}");
+        assert_eq!(back.to_string(), text, "rendering is idempotent");
+        assert!(text.starts_with(OP_TRACE_HEADER));
+    }
+
+    #[test]
+    fn summary_counts_ops_and_clients() {
+        assert_eq!(sample().summary(), "3 ops by 2 clients (3 recorded sends)");
+        assert_eq!(OpTrace::default().summary(), "no ops");
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let err = "op 0 100 status t0\nwarp 9".parse::<OpTrace>().unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("warp"), "{err}");
+        let err = "op 0 100".parse::<OpTrace>().unwrap_err();
+        assert_eq!(err.line, 1);
+        let err = "send 0>2 4 10".parse::<OpTrace>().unwrap_err();
+        assert!(err.message.contains("link"), "{err}");
+    }
+
+    #[test]
+    fn multi_token_app_ops_survive() {
+        let trace: OpTrace = "op 11 42 match p1 p2 t3\n".parse().expect("parse");
+        assert_eq!(trace.events[0].op.as_str(), "match p1 p2 t3");
+        assert_eq!(trace.events[0].client, 11);
+        assert_eq!(trace.events[0].at_us, 42);
+    }
+
+    #[test]
+    #[should_panic(expected = "one non-empty trace line")]
+    fn app_ops_reject_newlines() {
+        AppOp::new("a\nb");
+    }
+}

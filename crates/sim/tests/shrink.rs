@@ -266,3 +266,67 @@ fn shrinking_is_deterministic_from_the_seed_pair() {
         a.0
     );
 }
+
+/// Tie-break re-pin: explicit-plan replays schedule their nemesis
+/// windows (cuts, crashes, restarts) at a dedicated same-microsecond
+/// rank, in `(time, payload)`-sorted order — a stable `(time, class,
+/// payload)` tie-break that closed the PR-4 event-queue follow-up.
+/// These digests pin the explicit event loop's output; a future change
+/// to the tie-break (or to explicit scheduling in general) shifts them
+/// and must be re-pinned intentionally.
+#[test]
+fn explicit_plan_digests_stay_pinned() {
+    // A hand-written plan whose windows collide in virtual time: two
+    // cuts and a crash at the same microsecond (1.000000s), plus
+    // transport faults. The stable tie-break orders the windows by
+    // (time, class, payload) regardless of their line order in the
+    // plan, so both permutations must produce the identical digest.
+    let text_a = "ae 0.25\n\
+                  cut 0-1 1.0 0.3\n\
+                  cut 0-2 1.0 0.2\n\
+                  crash 1 1.0 0.5\n\
+                  drop 0->2 5\n\
+                  delay 1->0 7 42.5\n\
+                  dup 2->1 3 40\n";
+    let text_b = "ae 0.25\n\
+                  dup 2->1 3 40\n\
+                  crash 1 1.0 0.5\n\
+                  drop 0->2 5\n\
+                  cut 0-2 1.0 0.2\n\
+                  cut 0-1 1.0 0.3\n\
+                  delay 1->0 7 42.5\n";
+    let run_digest = |text: &str| {
+        let plan: ExplicitPlan = text.parse().expect("parse");
+        let mut sim = run_explicit(11, &plan);
+        sim.quiesce();
+        sim.schedule_digest()
+    };
+    let (a, b) = (run_digest(text_a), run_digest(text_b));
+    assert_eq!(a, b, "window order in the plan text must not matter");
+    assert_eq!(
+        a, 0x391d7a1fa6eb55e0,
+        "explicit collision-plan digest drifted: 0x{a:016x}"
+    );
+
+    // And the recorded-trace seal digests for two probed configs.
+    for (workload_seed, fault_seed, intensity, want) in [
+        (11u64, 11u64, 0.5, 0x9ff24bc21299c571u64),
+        (97, 3007, 1.0, 0xb0c43ed3b7246b09),
+    ] {
+        let plan = FaultPlan::with_intensity(fault_seed, intensity);
+        let mut sim = Simulation::new(paper_topology(), cfg(workload_seed, plan));
+        sim.record_fault_trace();
+        let mut w = Inserter { n: 0 };
+        sim.run(&mut w);
+        sim.quiesce();
+        let trace = sim.take_fault_trace();
+        let mut replay = run_explicit(workload_seed, &trace);
+        replay.quiesce();
+        let got = replay.schedule_digest();
+        assert_eq!(
+            got, want,
+            "sealed-replay digest drifted for ({workload_seed},{fault_seed}): \
+             0x{got:016x} != 0x{want:016x}"
+        );
+    }
+}

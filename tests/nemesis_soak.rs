@@ -1,15 +1,18 @@
 //! Workload-parametric nemesis soak: quick hostile-schedule runs for any
 //! of the four applications across a set of seeds. CI fans this out as
 //! an `application × seed` matrix, one cell per job; any red cell
-//! shrinks its failure to a minimal explicit fault plan, writes it as a
-//! `repro-<app>-<seed>.txt` artifact, and prints the exact command that
-//! replays the identical violation locally:
+//! jointly shrinks its failure — client ops *and* faults — to a minimal
+//! explicit counterexample, writes the paired artifacts
+//! `repro-<app>-<seed>.txt` (fault plan) and `ops-<app>-<seed>.txt` (op
+//! trace), and prints the exact command that replays the identical
+//! violation locally:
 //!
 //! ```text
 //! IPA_NEMESIS_APP=<app> IPA_NEMESIS_SEEDS=<seed> \
 //!     cargo test --release --test nemesis_soak -- --nocapture
-//! # …or, byte-identical from the artifact:
-//! IPA_NEMESIS_APP=<app> IPA_NEMESIS_SEEDS=<seed> IPA_NEMESIS_REPLAY=repro-<app>-<seed>.txt \
+//! # …or, byte-identical from the paired artifacts:
+//! IPA_NEMESIS_APP=<app> IPA_NEMESIS_SEEDS=<seed> \
+//!     IPA_NEMESIS_REPLAY=repro-<app>-<seed>.txt,ops-<app>-<seed>.txt \
 //!     cargo test --release --test nemesis_soak -- --nocapture
 //! ```
 //!
@@ -17,15 +20,19 @@
 //! * `IPA_NEMESIS_APP` — tournament (default) | ticket | tpc | twitter
 //! * `IPA_NEMESIS_SEEDS` — comma-separated workload seeds (default
 //!   `11,23,37` so a plain `cargo test` stays quick)
-//! * `IPA_NEMESIS_REPLAY` — path to a minimized plan: skip the matrix
-//!   and replay exactly that plan under the first seed
+//! * `IPA_NEMESIS_REPLAY` — comma-separated artifact paths (a fault
+//!   plan, an op trace, or both — each file is identified by its header
+//!   line): skip the matrix and replay exactly those artifacts under
+//!   the first seed
 //! * `IPA_NEMESIS_REPRO_DIR` — where red cells write artifacts
 //!   (default `target/nemesis`)
 
 use ipa::apps::oracle::Oracle;
 use ipa::apps::soak::{run_soak, shrink_soak_failure, App, Nemesis};
 use ipa::apps::Mode;
-use ipa::sim::{CrashPlan, ExplicitPlan, FaultPlan, ShrinkBudget};
+use ipa::sim::{
+    CrashPlan, ExplicitPlan, FaultPlan, JointOutcome, OpTrace, ShrinkBudget, OP_TRACE_HEADER,
+};
 use std::path::PathBuf;
 
 fn app() -> App {
@@ -78,8 +85,43 @@ fn repro_dir() -> PathBuf {
         .unwrap_or_else(|_| PathBuf::from("target/nemesis"))
 }
 
-/// Shrink a red cell, write the minimized plan as an artifact, and
-/// build the failure banner with the exact replay command.
+/// Write the paired repro artifacts of a jointly minimized red cell:
+/// the fault plan (`repro-<app>-<seed>.txt`) and the op trace
+/// (`ops-<app>-<seed>.txt`), each carrying the replay command that
+/// names *both* files. Returns `(plan path, ops path)`.
+fn write_repro_artifacts(app: App, seed: u64, outcome: &JointOutcome) -> (PathBuf, PathBuf) {
+    let dir = repro_dir();
+    std::fs::create_dir_all(&dir).expect("create repro dir");
+    let plan_path = dir.join(format!("repro-{app}-{seed}.txt"));
+    let ops_path = dir.join(format!("ops-{app}-{seed}.txt"));
+    let replay_cmd = format!(
+        "IPA_NEMESIS_APP={app} IPA_NEMESIS_SEEDS={seed} IPA_NEMESIS_REPLAY={},{} \
+         cargo test --release --test nemesis_soak -- --nocapture",
+        plan_path.display(),
+        ops_path.display()
+    );
+    let preamble = format!(
+        "# red nemesis soak cell, jointly minimized by ipa-sim::shrink_joint\n\
+         # app={app} workload_seed={seed} check={}\n\
+         # {} of {} fault events and {} of {} op events survive; \
+         replay digest 0x{:016x}\n\
+         # replay: {replay_cmd}\n",
+        outcome.check,
+        outcome.fault_events(),
+        outcome.original_fault_events,
+        outcome.op_events(),
+        outcome.original_op_events,
+        outcome.digest,
+    );
+    std::fs::write(&plan_path, format!("{preamble}{}", outcome.faults))
+        .expect("write repro plan artifact");
+    std::fs::write(&ops_path, format!("{preamble}{}", outcome.ops))
+        .expect("write repro ops artifact");
+    (plan_path, ops_path)
+}
+
+/// Shrink a red cell, write the paired artifacts, and build the failure
+/// banner with the exact replay command.
 fn report_red_cell(app: App, seed: u64, plan: &FaultPlan, failure: &str) -> String {
     let mut banner = format!(
         "nemesis soak RED: {}\n  failed check: {failure}\n",
@@ -87,61 +129,91 @@ fn report_red_cell(app: App, seed: u64, plan: &FaultPlan, failure: &str) -> Stri
     );
     match shrink_soak_failure(app, seed, plan, ShrinkBudget::default()) {
         Some(outcome) => {
-            let dir = repro_dir();
-            std::fs::create_dir_all(&dir).expect("create repro dir");
-            let path = dir.join(format!("repro-{app}-{seed}.txt"));
-            let contents = format!(
-                "# red nemesis soak cell, minimized by ipa-sim::shrink\n\
-                 # app={app} workload_seed={seed} check={}\n\
-                 # {} of {} recorded fault events survive; replay digest 0x{:016x}\n\
-                 # replay: IPA_NEMESIS_APP={app} IPA_NEMESIS_SEEDS={seed} \
-                 IPA_NEMESIS_REPLAY={} cargo test --release --test nemesis_soak -- --nocapture\n\
-                 {}",
-                outcome.check,
-                outcome.shrunk_events(),
-                outcome.original_events,
-                outcome.digest,
-                path.display(),
-                outcome.plan
-            );
-            std::fs::write(&path, &contents).expect("write repro artifact");
+            let (plan_path, ops_path) = write_repro_artifacts(app, seed, &outcome);
             banner.push_str(&format!(
-                "  minimized: {} of {} fault events still fail `{}` ({})\n  \
-                 artifact: {}\n  replay the identical violation:\n    \
-                 IPA_NEMESIS_APP={app} IPA_NEMESIS_SEEDS={seed} IPA_NEMESIS_REPLAY={} \
+                "  minimized: {} of {} fault events and {} of {} op events still fail \
+                 `{}`\n    faults: {}\n    ops: {}\n  artifacts: {} + {}\n  \
+                 replay the identical violation:\n    \
+                 IPA_NEMESIS_APP={app} IPA_NEMESIS_SEEDS={seed} IPA_NEMESIS_REPLAY={},{} \
                  cargo test --release --test nemesis_soak -- --nocapture\n",
-                outcome.shrunk_events(),
-                outcome.original_events,
+                outcome.fault_events(),
+                outcome.original_fault_events,
+                outcome.op_events(),
+                outcome.original_op_events,
                 outcome.check,
-                outcome.plan.summary(),
-                path.display(),
-                path.display(),
+                outcome.faults.summary(),
+                outcome.ops.summary(),
+                plan_path.display(),
+                ops_path.display(),
+                plan_path.display(),
+                ops_path.display(),
             ));
         }
         None => banner.push_str(
-            "  (the shrinker could not reproduce the failure from the recorded trace — \
+            "  (the shrinker could not reproduce the failure from the recorded traces — \
              replay from the seeds above)\n",
         ),
     }
     banner
 }
 
-/// Replay a minimized plan byte-for-byte and resurface its violation.
-fn replay(app: App, seed: u64, path: &str) {
-    let text =
-        std::fs::read_to_string(path).unwrap_or_else(|e| panic!("IPA_NEMESIS_REPLAY={path}: {e}"));
-    let plan: ExplicitPlan = text.parse().unwrap_or_else(|e| panic!("{path}: {e}"));
-    println!("replaying {} against {app} seed {seed}", plan.summary());
-    let run = run_soak(app, seed, Nemesis::Explicit(&plan));
+/// Parse a comma-separated `IPA_NEMESIS_REPLAY` value into its fault
+/// plan and/or op trace, sniffing each file by header line.
+fn parse_replay_artifacts(spec: &str) -> (Option<ExplicitPlan>, Option<OpTrace>) {
+    let mut faults = None;
+    let mut ops = None;
+    for path in spec.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("IPA_NEMESIS_REPLAY={path}: {e}"));
+        let is_ops = text.contains(OP_TRACE_HEADER)
+            || text.lines().any(|l| {
+                let t = l.trim();
+                t.starts_with("op ") || t.starts_with("send ")
+            });
+        if is_ops {
+            let trace: OpTrace = text.parse().unwrap_or_else(|e| panic!("{path}: {e}"));
+            assert!(ops.replace(trace).is_none(), "two op traces in {spec:?}");
+        } else {
+            let plan: ExplicitPlan = text.parse().unwrap_or_else(|e| panic!("{path}: {e}"));
+            assert!(
+                faults.replace(plan).is_none(),
+                "two fault plans in {spec:?}"
+            );
+        }
+    }
+    (faults, ops)
+}
+
+/// Replay minimized artifacts byte-for-byte and resurface the violation.
+fn replay(app: App, seed: u64, spec: &str) {
+    let (faults, ops) = parse_replay_artifacts(spec);
+    assert!(
+        faults.is_some() || ops.is_some(),
+        "IPA_NEMESIS_REPLAY={spec:?} named no artifacts"
+    );
+    match (&faults, &ops) {
+        (Some(f), Some(o)) => println!("replaying {} with {}", f.summary(), o.summary()),
+        (Some(f), None) => println!("replaying {} (seeded workload)", f.summary()),
+        (None, Some(o)) => println!("replaying {} (benign transport)", o.summary()),
+        (None, None) => unreachable!(),
+    }
+    let run = run_soak(
+        app,
+        seed,
+        Nemesis::Explicit {
+            faults: faults.as_ref(),
+            ops: ops.as_ref(),
+        },
+    );
     println!("replay schedule digest: 0x{:016x}", run.digest);
     match run.failure {
-        Some(f) => panic!("replayed violation: {f} ({app} seed {seed}, plan {path})"),
-        None => println!("the plan no longer fails — the violation is fixed"),
+        Some(f) => panic!("replayed violation: {f} ({app} seed {seed}, artifacts {spec})"),
+        None => println!("the artifacts no longer fail — the violation is fixed"),
     }
 }
 
 /// In replay mode every other test in this file is a no-op, so the
-/// documented one-plan replay command runs exactly one simulation.
+/// documented one-shot replay command runs exactly one simulation.
 fn replay_mode() -> bool {
     std::env::var_os("IPA_NEMESIS_REPLAY").is_some()
 }
@@ -150,11 +222,11 @@ fn replay_mode() -> bool {
 fn soak_every_seed_under_quick_fault_configs() {
     let app = app();
     let seeds = seeds();
-    if let Ok(path) = std::env::var("IPA_NEMESIS_REPLAY") {
+    if let Ok(spec) = std::env::var("IPA_NEMESIS_REPLAY") {
         let seed = seeds.first().copied().unwrap_or_else(|| {
             panic!("IPA_NEMESIS_REPLAY needs IPA_NEMESIS_SEEDS=<workload seed> (the seed in the artifact's header)")
         });
-        replay(app, seed, &path);
+        replay(app, seed, &spec);
         return;
     }
     for seed in seeds {
@@ -164,7 +236,8 @@ fn soak_every_seed_under_quick_fault_configs() {
             // IPA: continuous invariants at every audit point,
             // idempotent delivery, all invariants after the final
             // repair, full convergence, bounded-liveness repair. A red
-            // run shrinks itself to a minimal replayable plan.
+            // run shrinks itself — ops and faults jointly — to a
+            // minimal replayable counterexample pair.
             let run = run_soak(
                 app,
                 seed,
@@ -243,12 +316,13 @@ fn soak_causal_still_exhibits_anomalies() {
 }
 
 /// End-to-end red-cell drill: force a failure (a zero liveness bound
-/// flags the first unrepaired anti-entropy round), shrink it, and prove
-/// the acceptance contract — the minimized plan is ≤ 10 % of the
-/// recorded fault events, still fails the same check, and replays to
-/// the identical schedule digest, twice.
+/// flags the first unrepaired anti-entropy round), jointly shrink it,
+/// and prove the acceptance contract — the minimized pair is ≤ 10 % of
+/// the recorded *op* events (and of the fault events), still fails the
+/// same check, writes both paired artifacts, and the artifacts replay
+/// to the identical schedule digest, twice.
 #[test]
-fn forced_red_cell_shrinks_to_a_tiny_replayable_plan() {
+fn forced_red_cell_shrinks_to_a_tiny_replayable_pair() {
     // The drill is app/seed-independent, so CI matrix cells (which set
     // IPA_NEMESIS_APP) skip it — it runs once, in the plain test job.
     if replay_mode() || std::env::var_os("IPA_NEMESIS_APP").is_some() {
@@ -273,19 +347,45 @@ fn forced_red_cell_shrinks_to_a_tiny_replayable_plan() {
     assert_eq!(failure.check, "bounded-liveness");
 
     let outcome = shrink_soak_failure_tuned(app, seed, &plan, ShrinkBudget::default(), tuning)
-        .expect("the recorded trace reproduces the failure");
+        .expect("the recorded traces reproduce the failure");
     assert_eq!(outcome.check, "bounded-liveness");
     assert!(
-        outcome.shrunk_events() * 10 <= outcome.original_events,
-        "{} of {} events is not ≤ 10%",
-        outcome.shrunk_events(),
-        outcome.original_events
+        outcome.op_events() * 10 <= outcome.original_op_events,
+        "{} of {} op events is not ≤ 10%",
+        outcome.op_events(),
+        outcome.original_op_events
+    );
+    assert!(
+        outcome.fault_events() * 10 <= outcome.original_fault_events,
+        "{} of {} fault events is not ≤ 10%",
+        outcome.fault_events(),
+        outcome.original_fault_events
     );
 
-    // The artifact text replays the identical violation, deterministically.
-    let reparsed: ExplicitPlan = outcome.plan.to_string().parse().expect("parse");
+    // Paired-artifact contract: a red cell ships BOTH files, and what
+    // they parse back to is exactly the minimized pair.
+    let (plan_path, ops_path) = write_repro_artifacts(app, seed, &outcome);
+    for p in [&plan_path, &ops_path] {
+        assert!(p.exists(), "missing artifact {}", p.display());
+    }
+    let spec = format!("{},{}", plan_path.display(), ops_path.display());
+    let (parsed_faults, parsed_ops) = parse_replay_artifacts(&spec);
+    let parsed_faults = parsed_faults.expect("plan artifact parses");
+    let parsed_ops = parsed_ops.expect("ops artifact parses");
+    assert_eq!(parsed_faults, outcome.faults);
+    assert_eq!(parsed_ops, outcome.ops);
+
+    // The artifact texts replay the identical violation, twice.
     for _ in 0..2 {
-        let replayed = run_soak_tuned(app, seed, Nemesis::Explicit(&reparsed), tuning);
+        let replayed = run_soak_tuned(
+            app,
+            seed,
+            Nemesis::Explicit {
+                faults: Some(&parsed_faults),
+                ops: Some(&parsed_ops),
+            },
+            tuning,
+        );
         assert_eq!(replayed.digest, outcome.digest, "identical schedule");
         assert_eq!(
             replayed.failure.expect("still fails").check,
@@ -293,4 +393,39 @@ fn forced_red_cell_shrinks_to_a_tiny_replayable_plan() {
             "identical violation"
         );
     }
+}
+
+/// The paired artifacts must also replay through the public env-var
+/// path assumptions: a plan file alone keeps the seeded workload, an
+/// ops file alone keeps the benign transport — both deterministic.
+#[test]
+fn single_artifact_replays_are_deterministic() {
+    if replay_mode() || std::env::var_os("IPA_NEMESIS_APP").is_some() {
+        return;
+    }
+    let (app, seed) = (App::Tournament, 23);
+    let plan = FaultPlan::with_intensity(seed, 0.6);
+    let run = run_soak(
+        app,
+        seed,
+        Nemesis::Plan {
+            faults: &plan,
+            record: true,
+        },
+    );
+    let faults = run.trace.expect("recorded");
+    let ops = run.ops.expect("recorded");
+    let digest = |faults: Option<&ExplicitPlan>, ops: Option<&OpTrace>| {
+        run_soak(app, seed, Nemesis::Explicit { faults, ops }).digest
+    };
+    assert_eq!(
+        digest(None, Some(&ops)),
+        digest(None, Some(&ops)),
+        "ops-only replay is deterministic"
+    );
+    assert_eq!(
+        digest(Some(&faults), None),
+        digest(Some(&faults), None),
+        "plan-only replay is deterministic"
+    );
 }
