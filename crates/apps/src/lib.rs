@@ -26,6 +26,7 @@
 pub mod common;
 pub mod oracle;
 pub mod soak;
+pub mod threaded_soak;
 pub mod ticket;
 pub mod tournament;
 pub mod tpc;

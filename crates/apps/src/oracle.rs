@@ -25,7 +25,7 @@ use crate::violations as v;
 use ipa_sim::{Auditor, Region, Simulation};
 use ipa_store::Replica;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// When a check is required to hold.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -39,8 +39,8 @@ pub enum Phase {
     Liveness,
 }
 
-type CheckFn = Rc<dyn Fn(&Replica) -> u64>;
-type SimCheckFn = Rc<dyn Fn(&Simulation) -> u64>;
+type CheckFn = Arc<dyn Fn(&Replica) -> u64 + Send + Sync>;
+type SimCheckFn = Arc<dyn Fn(&Simulation) -> u64 + Send + Sync>;
 
 /// One named whole-simulation check (the [`Phase::Liveness`] class):
 /// unlike state checks it sees the run itself — round counts, gap
@@ -136,7 +136,7 @@ impl Oracle {
         mut self,
         name: &'static str,
         phase: Phase,
-        f: impl Fn(&Replica) -> u64 + 'static,
+        f: impl Fn(&Replica) -> u64 + Send + Sync + 'static,
     ) -> Oracle {
         assert!(
             phase != Phase::Liveness,
@@ -145,7 +145,7 @@ impl Oracle {
         self.checks.push(Check {
             name,
             phase,
-            f: Rc::new(f),
+            f: Arc::new(f),
         });
         self
     }
@@ -154,11 +154,11 @@ impl Oracle {
     pub fn with_sim_check(
         mut self,
         name: &'static str,
-        f: impl Fn(&Simulation) -> u64 + 'static,
+        f: impl Fn(&Simulation) -> u64 + Send + Sync + 'static,
     ) -> Oracle {
         self.sim_checks.push(SimCheck {
             name,
-            f: Rc::new(f),
+            f: Arc::new(f),
         });
         self
     }

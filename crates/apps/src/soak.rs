@@ -17,7 +17,7 @@ use crate::twitter::runtime::Strategy;
 use crate::twitter::workload::TwitterWorkload;
 use crate::Mode;
 use ipa_sim::{
-    paper_topology, shrink_joint, AppOp, ClientInfo, ExplicitPlan, FaultPlan, JointOutcome,
+    paper_topology, shrink_joint, AppOp, ClientInfo, ExplicitPlan, FaultPlan, JointOutcome, OpCtx,
     OpOutcome, OpTrace, RunVerdict, ShrinkBudget, SimConfig, SimCtx, Simulation, Workload,
 };
 
@@ -62,11 +62,47 @@ impl std::fmt::Display for App {
 /// three Mode-driven apps; the add-wins repair strategy for Twitter
 /// (its rem-wins variant repairs on read instead, which intentionally
 /// violates the continuous referential checks mid-run).
-enum SoakWorkload {
+pub(crate) enum SoakWorkload {
     Tournament(TournamentWorkload),
     Ticket(TicketWorkload),
     Tpc(TpcWorkload),
     Twitter(TwitterWorkload),
+}
+
+impl SoakWorkload {
+    /// Transport-agnostic setup: seeds the app's schema and initial data
+    /// through any [`OpCtx`].
+    pub(crate) fn setup_in<C: OpCtx>(&mut self, ctx: &mut C) {
+        match self {
+            SoakWorkload::Tournament(w) => w.setup_in(ctx),
+            SoakWorkload::Ticket(w) => w.setup_in(ctx),
+            SoakWorkload::Tpc(w) => w.setup_in(ctx),
+            SoakWorkload::Twitter(w) => w.setup_in(ctx),
+        }
+    }
+
+    /// Transport-agnostic op: decide (drawing from the ctx RNG) then
+    /// execute, through any [`OpCtx`].
+    pub(crate) fn op_in<C: OpCtx>(&mut self, ctx: &mut C, client: ClientInfo) -> OpOutcome {
+        match self {
+            SoakWorkload::Tournament(w) => {
+                let op = w.decide_op(ctx, client);
+                w.execute_op(ctx, client, &op)
+            }
+            SoakWorkload::Ticket(w) => {
+                let op = w.decide_op(ctx);
+                w.execute_op(ctx, client, op)
+            }
+            SoakWorkload::Tpc(w) => {
+                let op = w.decide_op(ctx);
+                w.execute_op(ctx, client, &op)
+            }
+            SoakWorkload::Twitter(w) => {
+                let op = w.decide_op(ctx);
+                w.execute_op(ctx, client, &op)
+            }
+        }
+    }
 }
 
 impl Workload for SoakWorkload {
@@ -163,7 +199,7 @@ pub fn soak_config(seed: u64, faults: FaultPlan) -> SimConfig {
     }
 }
 
-fn fresh_workload(app: App) -> SoakWorkload {
+pub(crate) fn fresh_workload(app: App) -> SoakWorkload {
     match app {
         App::Tournament => SoakWorkload::Tournament(TournamentWorkload::with_defaults(Mode::Ipa)),
         App::Ticket => SoakWorkload::Ticket(TicketWorkload::with_defaults(Mode::Ipa)),
@@ -175,7 +211,7 @@ fn fresh_workload(app: App) -> SoakWorkload {
 /// The app's full registry. Ticket's oversell check enumerates event
 /// generations, which only the finished workload knows — hence the
 /// post-run handle.
-fn oracle_for(app: App, w: &SoakWorkload) -> Oracle {
+pub(crate) fn oracle_for(app: App, w: &SoakWorkload) -> Oracle {
     match (app, w) {
         (App::Tournament, _) => Oracle::tournament(),
         (App::Ticket, SoakWorkload::Ticket(w)) => {

@@ -1,0 +1,564 @@
+//! Soak the four applications on the **threaded transport**: real
+//! `std::thread` replicas, wall-clock races, a live fault injector —
+//! and the same oracle suite the deterministic simulator answers to
+//! (continuous invariants, double-apply, final invariants, convergence,
+//! bounded liveness).
+//!
+//! Where `soak::run_soak` is a pure function of `(app, seed, plan)`
+//! and is pinned by schedule digests, a threaded soak is
+//! **quiesce-checked**: nothing about its interleaving is reproducible,
+//! so correctness is judged entirely at (and after) quiescence, plus a
+//! continuous auditor sampling live replicas mid-run. A red cell here
+//! is a real concurrency bug that the deterministic schedule space
+//! missed — see `ARCHITECTURE.md` for the split of guarantees between
+//! the two transports.
+
+use crate::oracle::{Oracle, Phase, DEFAULT_LIVENESS_BOUND};
+use crate::soak::{fresh_workload, oracle_for, App, Failure, SoakWorkload};
+use ipa_crdt::ReplicaId;
+use ipa_sim::{ClientInfo, OpCtx, Region};
+use ipa_store::{CommitInfo, StoreError, ThreadedCluster, ThreadedConfig, Transaction, Transport};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, RwLock};
+use std::time::{Duration, Instant};
+
+/// An [`OpCtx`] over a shared [`ThreadedCluster`]: many client threads
+/// hold one of these each (it is only a borrow plus a private RNG) and
+/// race their commits for real. WAN latency is not modeled — `rtt`
+/// reports zero — and link state comes live from the cluster's matrix,
+/// so partitioned coordination fails fast exactly as it does in the
+/// simulator.
+pub struct ThreadedCtx<'a> {
+    cluster: &'a ThreadedCluster,
+    rng: StdRng,
+}
+
+impl<'a> ThreadedCtx<'a> {
+    /// A context over `cluster` whose decide-path RNG is seeded with
+    /// `seed` (give every client thread a distinct seed).
+    pub fn new(cluster: &'a ThreadedCluster, seed: u64) -> ThreadedCtx<'a> {
+        ThreadedCtx {
+            cluster,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl OpCtx for ThreadedCtx<'_> {
+    fn regions(&self) -> usize {
+        self.cluster.len()
+    }
+
+    fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+
+    fn rtt(&mut self, _a: Region, _b: Region) -> f64 {
+        0.0
+    }
+
+    fn link_up(&self, a: Region, b: Region) -> bool {
+        self.cluster.link_is_up(a, b)
+    }
+
+    fn commit<T>(
+        &mut self,
+        region: Region,
+        f: impl FnOnce(&mut Transaction<'_>) -> Result<T, StoreError>,
+    ) -> Result<(T, CommitInfo), StoreError> {
+        self.cluster.commit_at(region, f)
+    }
+}
+
+/// An [`OpCtx`] over *any* [`Transport`]: commits run on the region's
+/// replica via [`Transport::with_node`] and ship immediately. This is
+/// the bridge that lets one workload driver run unchanged against the
+/// deterministic simulator, the synchronous cluster, and the threaded
+/// cluster — the transport-equivalence tests are built on it. Links are
+/// reported as always up and `rtt` as zero (drive benign runs through
+/// it; fault-aware harnesses use richer contexts).
+pub struct TransportCtx<'a, T: Transport> {
+    transport: &'a mut T,
+    rng: StdRng,
+}
+
+impl<'a, T: Transport> TransportCtx<'a, T> {
+    /// A context over `transport` with a `seed`ed decide-path RNG.
+    pub fn new(transport: &'a mut T, seed: u64) -> TransportCtx<'a, T> {
+        TransportCtx {
+            transport,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The wrapped transport (e.g. to quiesce between ops).
+    pub fn transport(&mut self) -> &mut T {
+        self.transport
+    }
+}
+
+impl<T: Transport> OpCtx for TransportCtx<'_, T> {
+    fn regions(&self) -> usize {
+        self.transport.node_count()
+    }
+
+    fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+
+    fn rtt(&mut self, _a: Region, _b: Region) -> f64 {
+        0.0
+    }
+
+    fn link_up(&self, _a: Region, _b: Region) -> bool {
+        true
+    }
+
+    fn commit<T2>(
+        &mut self,
+        region: Region,
+        f: impl FnOnce(&mut Transaction<'_>) -> Result<T2, StoreError>,
+    ) -> Result<(T2, CommitInfo), StoreError> {
+        let node = ReplicaId(region);
+        let (value, info) = self.transport.with_node(node, |replica| {
+            let mut tx = replica.begin();
+            let value = f(&mut tx)?;
+            let info = tx.commit();
+            Ok::<_, StoreError>((value, info))
+        })?;
+        self.transport.ship(node);
+        Ok((value, info))
+    }
+}
+
+/// Configuration of one threaded soak cell.
+#[derive(Clone, Copy, Debug)]
+pub struct ThreadedSoakConfig {
+    /// Seeds the per-client decide RNGs and the fault injector.
+    pub seed: u64,
+    /// Wall-clock time the client threads run.
+    pub duration: Duration,
+    /// Client threads per replica (threads, not simulated clients).
+    pub clients_per_region: usize,
+    /// Run the live fault injector (crashes + link cuts) alongside the
+    /// clients. Off = benign concurrency soak.
+    pub faults: bool,
+}
+
+impl Default for ThreadedSoakConfig {
+    fn default() -> Self {
+        ThreadedSoakConfig {
+            seed: 1,
+            duration: Duration::from_millis(400),
+            clients_per_region: 2,
+            faults: true,
+        }
+    }
+}
+
+/// Outcome of one threaded soak cell.
+#[derive(Debug)]
+pub struct ThreadedSoakRun {
+    /// First oracle failure, in the same fixed classification order as
+    /// the simulator soak: continuous → double-apply → final →
+    /// convergence → bounded-liveness. `None` = green.
+    pub failure: Option<Failure>,
+    /// Client operations completed across all threads.
+    pub completed: u64,
+    /// Productive anti-entropy rounds the recovery quiesce needed (the
+    /// bounded-liveness oracle's input).
+    pub quiesce_rounds: u64,
+}
+
+/// Run one app on the threaded transport under concurrent clients (and
+/// optionally a live fault injector), then quiesce, repair, and audit
+/// the full oracle suite.
+///
+/// Concurrency structure: client threads race `commit_at` calls against
+/// the delivery threads and the background anti-entropy ticker; a
+/// fault-injector thread crashes nodes and cuts links on live wall
+/// clock; an auditor thread samples continuous invariants on live
+/// replicas. Workload state (op mix counters, escrow/reservation
+/// tables) is one shared [`Mutex`], so the *decide/execute* path is
+/// serialized — exactly like the single-threaded simulator — while
+/// replication races freely underneath it. A [`RwLock`] gate serializes
+/// crashes against in-flight operations so a multi-commit op is never
+/// torn by a crash between its commits (which no schedule the
+/// deterministic transport produces can do either).
+pub fn run_threaded_soak(app: App, cfg: ThreadedSoakConfig) -> ThreadedSoakRun {
+    let cluster = ThreadedCluster::start(ThreadedConfig {
+        nodes: 3,
+        ae_interval: Some(Duration::from_millis(2)),
+    });
+    let mut workload = fresh_workload(app);
+    {
+        let mut ctx = ThreadedCtx::new(&cluster, cfg.seed);
+        workload.setup_in(&mut ctx);
+    }
+    // Spread the seed data everywhere before clients start, like the
+    // simulator's warmup phase does.
+    cluster.quiesce();
+
+    // The event-dependent registries (ticket) have no continuous
+    // checks, so the pre-run registry suffices for the live auditor.
+    let auditor_oracle = match app {
+        App::Tournament => Oracle::tournament(),
+        App::Ticket => Oracle::ticket(Vec::new(), 0),
+        App::Tpc => Oracle::tpc(Vec::new()),
+        App::Twitter => Oracle::twitter(),
+    };
+    let bound = auditor_oracle
+        .liveness_bound()
+        .unwrap_or(DEFAULT_LIVENESS_BOUND);
+
+    let workload = Mutex::new(workload);
+    let crash_gate = RwLock::new(());
+    let stop = AtomicBool::new(false);
+    let completed = AtomicU64::new(0);
+    let continuous_failure: Mutex<Option<Failure>> = Mutex::new(None);
+    let n = cluster.len() as u16;
+
+    std::thread::scope(|s| {
+        for region in 0..n {
+            for c in 0..cfg.clients_per_region {
+                let cluster = &cluster;
+                let workload = &workload;
+                let crash_gate = &crash_gate;
+                let stop = &stop;
+                let completed = &completed;
+                let client = ClientInfo {
+                    id: region as usize * cfg.clients_per_region + c,
+                    region,
+                };
+                let seed = cfg
+                    .seed
+                    .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                    .wrapping_add(client.id as u64);
+                s.spawn(move || {
+                    let mut ctx = ThreadedCtx::new(cluster, seed);
+                    while !stop.load(Ordering::Relaxed) {
+                        let gate = crash_gate.read().unwrap();
+                        if cluster.is_node_down(region) {
+                            drop(gate);
+                            std::thread::sleep(Duration::from_micros(500));
+                            continue;
+                        }
+                        let outcome = {
+                            let mut w = workload.lock().unwrap();
+                            w.op_in(&mut ctx, client)
+                        };
+                        drop(gate);
+                        if outcome.ok {
+                            completed.fetch_add(1, Ordering::Relaxed);
+                        }
+                        // A breath between ops so deliveries and faults
+                        // interleave with the op stream.
+                        std::thread::sleep(Duration::from_micros(100));
+                    }
+                });
+            }
+        }
+
+        if cfg.faults {
+            let cluster = &cluster;
+            let crash_gate = &crash_gate;
+            let stop = &stop;
+            let seed = cfg.seed ^ 0x6e65_6d65_7369_7321; // same tag as the sim nemesis stream
+            s.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(seed);
+                while !stop.load(Ordering::Relaxed) {
+                    std::thread::sleep(Duration::from_millis(rng.gen_range(3..9)));
+                    if rng.gen_bool(0.4) {
+                        // Crash one node briefly. The write gate waits
+                        // out in-flight ops; clients then see the down
+                        // flag and sit out the outage.
+                        let node = rng.gen_range(0..cluster.len()) as u16;
+                        {
+                            let _g = crash_gate.write().unwrap();
+                            cluster.crash_node(node);
+                        }
+                        std::thread::sleep(Duration::from_millis(rng.gen_range(2..7)));
+                        cluster.restart_node(node);
+                    } else {
+                        // Cut a random link; heal after an outage
+                        // window. Ops run through cuts (coordination
+                        // fails fast, commits stay local).
+                        let a = rng.gen_range(0..cluster.len()) as u16;
+                        let b = rng.gen_range(0..cluster.len()) as u16;
+                        if a == b {
+                            continue;
+                        }
+                        cluster.set_link_up(a, b, false);
+                        std::thread::sleep(Duration::from_millis(rng.gen_range(2..7)));
+                        cluster.set_link_up(a, b, true);
+                    }
+                }
+            });
+        }
+
+        {
+            let cluster = &cluster;
+            let stop = &stop;
+            let continuous_failure = &continuous_failure;
+            let oracle = &auditor_oracle;
+            s.spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    std::thread::sleep(Duration::from_millis(2));
+                    for r in 0..cluster.len() as u16 {
+                        if cluster.is_node_down(r) {
+                            continue;
+                        }
+                        let report =
+                            cluster.with_replica(r, |rep| oracle.audit(rep, Phase::Continuous));
+                        if report.total() > 0 {
+                            let mut slot = continuous_failure.lock().unwrap();
+                            if slot.is_none() {
+                                *slot = Some(Failure {
+                                    check: format!("continuous:{}", report.violated()[0]),
+                                    count: report.total(),
+                                });
+                            }
+                        }
+                    }
+                }
+            });
+        }
+
+        let deadline = Instant::now() + cfg.duration;
+        while Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        stop.store(true, Ordering::Relaxed);
+    });
+
+    let quiesce_rounds = cluster.quiesce();
+    let workload = workload.into_inner().unwrap();
+    final_repair_threaded(app, &workload, &cluster);
+    cluster.quiesce();
+
+    let failure = classify_threaded(
+        app,
+        &workload,
+        &cluster,
+        continuous_failure.into_inner().unwrap(),
+        quiesce_rounds,
+        bound,
+    );
+    ThreadedSoakRun {
+        failure,
+        completed: completed.load(Ordering::Relaxed),
+        quiesce_rounds,
+    }
+}
+
+/// Two rounds of "read every entity at every replica, then pull
+/// anti-entropy to a fixpoint": the threaded twin of the simulator's
+/// read-side compensation sweep (reads repair, the fixpoint spreads the
+/// repairs, the second round confirms).
+fn view_sweep_threaded(
+    cluster: &ThreadedCluster,
+    names: &[String],
+    view: impl Fn(&mut Transaction<'_>, &str) -> Result<(), StoreError>,
+) {
+    for _round in 0..2 {
+        for region in 0..cluster.len() as u16 {
+            cluster
+                .commit_at(region, |tx| {
+                    for name in names {
+                        view(tx, name)?;
+                    }
+                    Ok(())
+                })
+                .expect("view sweep");
+        }
+        cluster.quiesce();
+    }
+}
+
+/// Run the read-side compensations to a fixpoint (§3.4) on the threaded
+/// cluster; mirrors `soak`'s per-app repair dispatch.
+fn final_repair_threaded(app: App, w: &SoakWorkload, cluster: &ThreadedCluster) {
+    match (app, w) {
+        (App::Tournament, SoakWorkload::Tournament(w)) => {
+            let app = w.app;
+            view_sweep_threaded(cluster, w.tournaments(), |tx, t| {
+                app.status(tx, t).map(|_| ())
+            });
+        }
+        (App::Ticket, SoakWorkload::Ticket(w)) => {
+            let app = w.app;
+            view_sweep_threaded(cluster, &w.all_event_names(), |tx, e| {
+                app.view(tx, e).map(|_| ())
+            });
+        }
+        (App::Tpc, SoakWorkload::Tpc(w)) => {
+            let app = w.app;
+            view_sweep_threaded(cluster, w.products(), |tx, p| app.view(tx, p).map(|_| ()));
+        }
+        // Add-wins Twitter preserves its invariants in-line; nothing
+        // compensable to sweep.
+        (App::Twitter, _) => {}
+        _ => unreachable!("workload/app mismatch"),
+    }
+}
+
+/// Classify the first failure of a quiesced, repaired threaded run, in
+/// the same fixed order as the simulator soak.
+fn classify_threaded(
+    app: App,
+    w: &SoakWorkload,
+    cluster: &ThreadedCluster,
+    continuous: Option<Failure>,
+    quiesce_rounds: u64,
+    bound: u64,
+) -> Option<Failure> {
+    if let Some(f) = continuous {
+        return Some(f);
+    }
+    for r in 0..cluster.len() as u16 {
+        let consistent = cluster.with_replica(r, |rep| rep.applied_consistent());
+        if !consistent {
+            return Some(Failure {
+                check: "double-apply".into(),
+                count: 1,
+            });
+        }
+    }
+    let oracle = oracle_for(app, w);
+    for r in 0..cluster.len() as u16 {
+        let report = cluster.with_replica(r, |rep| oracle.audit(rep, Phase::Final));
+        if report.total() > 0 {
+            return Some(Failure {
+                check: format!("final:{}", report.violated()[0]),
+                count: report.total(),
+            });
+        }
+    }
+    if !cluster.is_converged() {
+        return Some(Failure {
+            check: "convergence".into(),
+            count: 1,
+        });
+    }
+    if quiesce_rounds > bound {
+        return Some(Failure {
+            check: "bounded-liveness".into(),
+            count: quiesce_rounds - bound,
+        });
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipa_crdt::VClock;
+    use ipa_sim::{paper_topology, SimConfig, Simulation};
+    use ipa_store::{Cluster, UpdateBatch};
+    use std::sync::Arc;
+
+    /// Drive `nops` ops of `app` through any transport, quiescing after
+    /// every op so each transport sees the same fully-converged state at
+    /// each decision point (and therefore executes the identical op
+    /// sequence — the decide RNG streams are identical).
+    fn drive<T: Transport>(app: App, seed: u64, nops: usize, transport: &mut T) -> SoakWorkload {
+        let mut w = fresh_workload(app);
+        let mut ctx = TransportCtx::new(transport, seed);
+        w.setup_in(&mut ctx);
+        ctx.transport().quiesce_transport();
+        let regions = ctx.regions() as u16;
+        for k in 0..nops {
+            let client = ClientInfo {
+                id: k % 6,
+                region: (k % regions as usize) as u16,
+            };
+            w.op_in(&mut ctx, client);
+            ctx.transport().quiesce_transport();
+        }
+        w
+    }
+
+    /// Canonical per-node log: every batch ever applied, sorted by
+    /// (origin, seq). Two transports that applied the same history
+    /// produce equal fingerprints ([`UpdateBatch`] is `PartialEq`).
+    fn fingerprint<T: Transport>(t: &mut T) -> Vec<Vec<Arc<UpdateBatch>>> {
+        t.quiesce_transport();
+        assert!(t.converged(), "fingerprint requires convergence");
+        (0..t.node_count())
+            .map(|i| {
+                t.with_node(ReplicaId(i as u16), |r| {
+                    let mut log = r.batches_since(&VClock::default());
+                    log.sort_by_key(|b| (b.origin, b.seq));
+                    log
+                })
+            })
+            .collect()
+    }
+
+    /// The transport-equivalence matrix: for every app, the same seeded
+    /// op stream driven through the deterministic simulator (as a
+    /// transport), the synchronous cluster, and the threaded cluster
+    /// converges to the identical batch-for-batch final state, and the
+    /// final oracles are green on all three.
+    #[test]
+    fn all_transports_converge_to_identical_state_for_every_app() {
+        for app in App::all() {
+            let seed = 7;
+            let nops = 60;
+
+            let mut sim = Simulation::new(
+                paper_topology(),
+                SimConfig {
+                    seed,
+                    ..Default::default()
+                },
+            );
+            let w_sim = drive(app, seed, nops, &mut sim);
+            let fp_sim = fingerprint(&mut sim);
+
+            let mut cluster = Cluster::new(3);
+            let w_cluster = drive(app, seed, nops, &mut cluster);
+            let fp_cluster = fingerprint(&mut cluster);
+
+            let mut threaded = ThreadedCluster::start(ThreadedConfig {
+                nodes: 3,
+                ae_interval: None,
+            });
+            let w_threaded = drive(app, seed, nops, &mut threaded);
+            let fp_threaded = fingerprint(&mut threaded);
+
+            assert_eq!(fp_sim, fp_cluster, "{app}: sim vs cluster state");
+            assert_eq!(fp_sim, fp_threaded, "{app}: sim vs threaded state");
+
+            // Final oracles green on every transport.
+            let oracle = oracle_for(app, &w_sim);
+            for r in 0..3u16 {
+                let rep_sim = oracle.audit(sim.replica(r), Phase::Final);
+                assert_eq!(rep_sim.total(), 0, "{app}: sim final oracle at {r}");
+                let rep_thr =
+                    threaded.with_replica(r, |rep| oracle.audit(rep, Phase::Final).total());
+                assert_eq!(rep_thr, 0, "{app}: threaded final oracle at {r}");
+            }
+            let _ = (w_cluster, w_threaded);
+        }
+    }
+
+    #[test]
+    fn benign_threaded_soak_is_green_for_every_app() {
+        for app in App::all() {
+            let run = run_threaded_soak(
+                app,
+                ThreadedSoakConfig {
+                    seed: 11,
+                    duration: Duration::from_millis(150),
+                    clients_per_region: 2,
+                    faults: false,
+                },
+            );
+            assert_eq!(run.failure, None, "{app}: {:?}", run.failure);
+            assert!(run.completed > 20, "{app}: clients actually ran");
+        }
+    }
+}

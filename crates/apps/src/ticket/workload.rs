@@ -5,7 +5,7 @@ use crate::common::Mode;
 use crate::ticket::runtime::{pool_key, TicketApp};
 use ipa_coord::escrow::EscrowOutcome;
 use ipa_coord::EscrowTable;
-use ipa_sim::{AppOp, ClientInfo, OpOutcome, SimCtx, Workload};
+use ipa_sim::{AppOp, ClientInfo, OpCtx, OpOutcome, SimCtx, Workload};
 use rand::Rng;
 use std::collections::HashSet;
 use std::fmt;
@@ -72,7 +72,7 @@ impl Default for TicketConfig {
 /// Simulator workload for one mode.
 ///
 /// [`Mode::Indigo`] runs the escrow alternative the paper cites for
-/// numeric invariants (§5.1.1, refs [11]/[27]/[35]): ticket rights are
+/// numeric invariants (§5.1.1, refs \[11\]/\[27\]/\[35\]): ticket rights are
 /// split across regions and a purchase must consume a local right, so
 /// overselling is *prevented* rather than compensated — at the cost of a
 /// WAN fetch when local rights run out.
@@ -120,8 +120,10 @@ impl TicketWorkload {
     }
 }
 
-impl Workload for TicketWorkload {
-    fn setup(&mut self, ctx: &mut SimCtx<'_>) {
+impl TicketWorkload {
+    /// Transport-agnostic setup body; [`Workload::setup`] and the
+    /// threaded harness both call it.
+    pub(crate) fn setup_in<C: OpCtx>(&mut self, ctx: &mut C) {
         let app = self.app;
         let events: Vec<String> = (0..self.cfg.num_events)
             .map(|s| self.event_name(s))
@@ -140,6 +142,12 @@ impl Workload for TicketWorkload {
                     .grant_evenly(e.clone(), regions, self.cfg.capacity as i64);
             }
         }
+    }
+}
+
+impl Workload for TicketWorkload {
+    fn setup(&mut self, ctx: &mut SimCtx<'_>) {
+        self.setup_in(ctx);
     }
 
     fn op(&mut self, ctx: &mut SimCtx<'_>, client: ClientInfo) -> OpOutcome {
@@ -163,7 +171,7 @@ impl Workload for TicketWorkload {
 impl TicketWorkload {
     /// Draw the next op (slot, then buy-vs-view — the pre-split order,
     /// so probabilistic schedules are unchanged).
-    fn decide_op(&mut self, ctx: &mut SimCtx<'_>) -> TicketOp {
+    pub(crate) fn decide_op<C: OpCtx>(&mut self, ctx: &mut C) -> TicketOp {
         let slot = ctx.rng().gen_range(0..self.cfg.num_events);
         let is_buy = ctx.rng().gen::<f64>() < self.cfg.buy_fraction;
         if is_buy {
@@ -176,7 +184,12 @@ impl TicketWorkload {
     /// Execute a decided (or replayed) op. User ids and generation rolls
     /// are execute-time state, so a replayed trace regenerates them
     /// identically.
-    fn execute_op(&mut self, ctx: &mut SimCtx<'_>, client: ClientInfo, op: TicketOp) -> OpOutcome {
+    pub(crate) fn execute_op<C: OpCtx>(
+        &mut self,
+        ctx: &mut C,
+        client: ClientInfo,
+        op: TicketOp,
+    ) -> OpOutcome {
         let region = client.region;
         let (slot, is_buy) = match op {
             TicketOp::Buy { slot } => (slot, true),

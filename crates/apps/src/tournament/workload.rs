@@ -4,7 +4,7 @@
 use crate::common::{pick_local, Mode};
 use crate::tournament::runtime::{OpCost, Tournament};
 use ipa_coord::{IndigoCoordinator, Mode as ResMode, StrongCoordinator};
-use ipa_sim::{AppOp, ClientInfo, OpOutcome, SimCtx, Workload};
+use ipa_sim::{AppOp, ClientInfo, OpCtx, OpOutcome, SimCtx, Workload};
 use rand::Rng;
 use std::fmt;
 use std::str::FromStr;
@@ -137,6 +137,12 @@ impl TournamentWorkload {
         self.app.mode
     }
 
+    /// The tournament entity names this workload operates on (the
+    /// final-repair status sweep iterates them).
+    pub fn tournaments(&self) -> &[String] {
+        &self.tournaments
+    }
+
     /// Run the read-side compensations to a fixpoint after a simulation:
     /// every replica performs a `status` read of every tournament (reads
     /// repair observed capacity violations, §3.4/§4.2.2), replicating the
@@ -158,9 +164,9 @@ impl TournamentWorkload {
 
     /// Acquire the Indigo reservations an operation needs; `None` when a
     /// holder is unreachable.
-    fn indigo_cost(
+    fn indigo_cost<C: OpCtx>(
         &mut self,
-        ctx: &mut SimCtx<'_>,
+        ctx: &mut C,
         region: u16,
         label: &'static str,
         t: &str,
@@ -180,7 +186,7 @@ impl TournamentWorkload {
     /// tournament, player, write-kind) is exactly the pre-split `op()`'s,
     /// so probabilistic schedules — and their digest pins — are
     /// unchanged.
-    fn decide_op(&mut self, ctx: &mut SimCtx<'_>, client: ClientInfo) -> TournamentOp {
+    pub(crate) fn decide_op<C: OpCtx>(&mut self, ctx: &mut C, client: ClientInfo) -> TournamentOp {
         let regions = ctx.regions();
         let region = client.region;
         let is_write = ctx.rng().gen::<f64>() < self.cfg.write_fraction;
@@ -216,9 +222,9 @@ impl TournamentWorkload {
     /// Execute a decided (or replayed) op. Deterministic: the only
     /// context draws are the commit-staging latencies, which replay from
     /// the recorded op trace.
-    fn execute_op(
+    pub(crate) fn execute_op<C: OpCtx>(
         &mut self,
-        ctx: &mut SimCtx<'_>,
+        ctx: &mut C,
         client: ClientInfo,
         op: &TournamentOp,
     ) -> OpOutcome {
@@ -316,8 +322,11 @@ impl TournamentWorkload {
     }
 }
 
-impl Workload for TournamentWorkload {
-    fn setup(&mut self, ctx: &mut SimCtx<'_>) {
+impl TournamentWorkload {
+    /// Transport-agnostic setup body (seed data + initial reservation
+    /// placement); [`Workload::setup`] and the threaded harness both
+    /// call it.
+    pub(crate) fn setup_in<C: OpCtx>(&mut self, ctx: &mut C) {
         let app = self.app;
         let players = self.players.clone();
         let tournaments = self.tournaments.clone();
@@ -342,6 +351,12 @@ impl Workload for TournamentWorkload {
                 ResMode::Shared,
             );
         }
+    }
+}
+
+impl Workload for TournamentWorkload {
+    fn setup(&mut self, ctx: &mut SimCtx<'_>) {
+        self.setup_in(ctx);
     }
 
     fn op(&mut self, ctx: &mut SimCtx<'_>, client: ClientInfo) -> OpOutcome {

@@ -3,7 +3,7 @@
 
 use crate::common::Mode;
 use crate::tpc::runtime::TpcApp;
-use ipa_sim::{AppOp, ClientInfo, OpOutcome, SimCtx, Workload};
+use ipa_sim::{AppOp, ClientInfo, OpCtx, OpOutcome, SimCtx, Workload};
 use rand::Rng;
 use std::fmt;
 use std::str::FromStr;
@@ -96,8 +96,10 @@ impl TpcWorkload {
     }
 }
 
-impl Workload for TpcWorkload {
-    fn setup(&mut self, ctx: &mut SimCtx<'_>) {
+impl TpcWorkload {
+    /// Transport-agnostic setup body; [`Workload::setup`] and the
+    /// threaded harness both call it.
+    pub(crate) fn setup_in<C: OpCtx>(&mut self, ctx: &mut C) {
         let app = self.app;
         let products = self.products.clone();
         let stock = self.cfg.initial_stock;
@@ -108,6 +110,12 @@ impl Workload for TpcWorkload {
             Ok(())
         })
         .expect("seed products");
+    }
+}
+
+impl Workload for TpcWorkload {
+    fn setup(&mut self, ctx: &mut SimCtx<'_>) {
+        self.setup_in(ctx);
     }
 
     fn op(&mut self, ctx: &mut SimCtx<'_>, client: ClientInfo) -> OpOutcome {
@@ -130,7 +138,7 @@ impl Workload for TpcWorkload {
 
 impl TpcWorkload {
     /// Draw the next op (product, then op-kind — the pre-split order).
-    fn decide_op(&mut self, ctx: &mut SimCtx<'_>) -> TpcOp {
+    pub(crate) fn decide_op<C: OpCtx>(&mut self, ctx: &mut C) -> TpcOp {
         let p = self.products[ctx.rng().gen_range(0..self.products.len())].clone();
         let x = ctx.rng().gen::<f64>();
         if x < 0.45 {
@@ -148,7 +156,12 @@ impl TpcWorkload {
 
     /// Execute a decided (or replayed) op. Order ids are execute-time
     /// state, so replays regenerate the identical order stream.
-    fn execute_op(&mut self, ctx: &mut SimCtx<'_>, client: ClientInfo, op: &TpcOp) -> OpOutcome {
+    pub(crate) fn execute_op<C: OpCtx>(
+        &mut self,
+        ctx: &mut C,
+        client: ClientInfo,
+        op: &TpcOp,
+    ) -> OpOutcome {
         let region = client.region;
         let app = self.app;
 

@@ -2,7 +2,7 @@
 //! strategies.
 
 use crate::twitter::runtime::{Strategy, Twitter};
-use ipa_sim::{AppOp, ClientInfo, OpOutcome, SimCtx, Workload};
+use ipa_sim::{AppOp, ClientInfo, OpCtx, OpOutcome, SimCtx, Workload};
 use rand::Rng;
 use std::fmt;
 use std::str::FromStr;
@@ -141,8 +141,10 @@ impl TwitterWorkload {
     }
 }
 
-impl Workload for TwitterWorkload {
-    fn setup(&mut self, ctx: &mut SimCtx<'_>) {
+impl TwitterWorkload {
+    /// Transport-agnostic setup body; [`Workload::setup`] and the
+    /// threaded harness both call it.
+    pub(crate) fn setup_in<C: OpCtx>(&mut self, ctx: &mut C) {
         let app = self.app;
         let users = self.users.clone();
         let fpu = self.cfg.follows_per_user;
@@ -160,6 +162,12 @@ impl Workload for TwitterWorkload {
             Ok(())
         })
         .expect("seed twitter");
+    }
+}
+
+impl Workload for TwitterWorkload {
+    fn setup(&mut self, ctx: &mut SimCtx<'_>) {
+        self.setup_in(ctx);
     }
 
     fn op(&mut self, ctx: &mut SimCtx<'_>, client: ClientInfo) -> OpOutcome {
@@ -184,7 +192,7 @@ impl TwitterWorkload {
     /// Draw the next op (actor, target user, op-kind, then per-branch
     /// target draws — the pre-split order, so probabilistic schedules
     /// are unchanged).
-    fn decide_op(&mut self, ctx: &mut SimCtx<'_>) -> TwitterOp {
+    pub(crate) fn decide_op<C: OpCtx>(&mut self, ctx: &mut C) -> TwitterOp {
         let u = self.users[ctx.rng().gen_range(0..self.users.len())].clone();
         let v = self.users[ctx.rng().gen_range(0..self.users.len())].clone();
         let x = ctx.rng().gen::<f64>();
@@ -225,9 +233,9 @@ impl TwitterWorkload {
 
     /// Execute a decided (or replayed) op against the store. Pure: all
     /// ids come resolved in the op.
-    fn execute_op(
+    pub(crate) fn execute_op<C: OpCtx>(
         &mut self,
-        ctx: &mut SimCtx<'_>,
+        ctx: &mut C,
         client: ClientInfo,
         op: &TwitterOp,
     ) -> OpOutcome {

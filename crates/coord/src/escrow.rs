@@ -1,5 +1,5 @@
 //! Escrow reservations (Indigo's numeric reservations; O'Neil's escrow
-//! method [35], Balegas et al. SRDS'15 [11]).
+//! method \[35\], Balegas et al. SRDS'15 \[11\]).
 //!
 //! Rights to decrement a bounded quantity (stock, remaining tickets) are
 //! partitioned among replicas. A replica consumes local rights for free;
@@ -7,7 +7,7 @@
 //! round trip. When no rights remain anywhere the operation correctly
 //! fails (the bound is truly exhausted).
 
-use ipa_sim::{Region, SimCtx};
+use ipa_sim::{OpCtx, Region};
 use std::collections::{BTreeMap, HashMap};
 
 /// Outcome of an escrow acquisition.
@@ -72,10 +72,12 @@ impl EscrowTable {
 
     /// Consume `n` rights at `region`, fetching from the richest
     /// reachable peer when short. Fetches move half the donor's rights
-    /// (amortizing future requests, as Indigo does).
-    pub fn acquire(
+    /// (amortizing future requests, as Indigo does). Generic over
+    /// [`OpCtx`]: the same logic runs under the deterministic sim and
+    /// the threaded transport.
+    pub fn acquire<C: OpCtx>(
         &mut self,
-        ctx: &mut SimCtx<'_>,
+        ctx: &mut C,
         res: &str,
         region: Region,
         n: i64,
@@ -119,7 +121,9 @@ impl EscrowTable {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ipa_sim::{two_region_topology, ClientInfo, OpOutcome, SimConfig, Simulation, Workload};
+    use ipa_sim::{
+        two_region_topology, ClientInfo, OpOutcome, SimConfig, SimCtx, Simulation, Workload,
+    };
 
     struct Driver<F: FnMut(&mut SimCtx<'_>)> {
         f: F,

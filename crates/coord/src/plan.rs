@@ -4,7 +4,7 @@
 //! offending operations."
 //!
 //! This module closes that loop mechanically: it converts the analysis'
-//! [`FlaggedConflict`]s into a reservation plan — one exclusive
+//! [`FlaggedConflict`](ipa_core::FlaggedConflict)s into a reservation plan — one exclusive
 //! reservation per flagged pair, keyed by the entity sorts the two
 //! operations share, acquirable through [`crate::ReservationTable`].
 

@@ -1,4 +1,4 @@
-//! Indigo-style reservations (§5.2.1, §5.2.5 and reference [10]).
+//! Indigo-style reservations (§5.2.1, §5.2.5 and reference \[10\]).
 //!
 //! "In Indigo, a conflicting operation needs to possess or acquire the
 //! reservations needed for safe execution under concurrency. Reservations
@@ -19,7 +19,7 @@
 //!   reservation ... becomes unavailable, the operation cannot be
 //!   executed").
 
-use ipa_sim::{Region, SimCtx};
+use ipa_sim::{OpCtx, Region};
 use std::collections::{BTreeSet, HashMap};
 
 /// Reservation acquisition mode (Indigo's multi-level locks, reduced to
@@ -68,10 +68,12 @@ impl ReservationTable {
     }
 
     /// Acquire `res` at `region` in `mode`; returns the extra WAN delay in
-    /// ms, or `None` when every holder is unreachable.
-    pub fn acquire(
+    /// ms, or `None` when every holder is unreachable. Generic over
+    /// [`OpCtx`]: the same logic runs under the deterministic sim and
+    /// the threaded transport.
+    pub fn acquire<C: OpCtx>(
         &mut self,
-        ctx: &mut SimCtx<'_>,
+        ctx: &mut C,
         res: &str,
         region: Region,
         mode: Mode,
@@ -167,7 +169,9 @@ impl IndigoCoordinator {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ipa_sim::{two_region_topology, ClientInfo, OpOutcome, SimConfig, Simulation, Workload};
+    use ipa_sim::{
+        two_region_topology, ClientInfo, OpOutcome, SimConfig, SimCtx, Simulation, Workload,
+    };
 
     /// Drives acquire() from inside a simulation so RTTs are sampled.
     struct Driver<F: FnMut(&mut SimCtx<'_>, Region)> {

@@ -2,7 +2,7 @@
 //! operations are forwarded to a single server to enforce serialization.
 //! We use the US-EAST replica").
 
-use ipa_sim::{Region, SimCtx};
+use ipa_sim::{OpCtx, Region};
 
 /// Primary-forwarding coordinator.
 #[derive(Clone, Copy, Debug)]
@@ -21,8 +21,8 @@ impl StrongCoordinator {
 
     /// The WAN delay an update from `from` pays to reach the primary and
     /// return. `None` when the link is partitioned (update unavailable —
-    /// the price of strong consistency).
-    pub fn forward_cost(&self, ctx: &mut SimCtx<'_>, from: Region) -> Option<f64> {
+    /// the price of strong consistency). Generic over [`OpCtx`].
+    pub fn forward_cost<C: OpCtx>(&self, ctx: &mut C, from: Region) -> Option<f64> {
         if from == self.primary {
             return Some(0.0);
         }
@@ -36,7 +36,7 @@ impl StrongCoordinator {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ipa_sim::{paper_topology, ClientInfo, OpOutcome, SimConfig, Simulation, Workload};
+    use ipa_sim::{paper_topology, ClientInfo, OpOutcome, SimConfig, SimCtx, Simulation, Workload};
 
     struct Probe {
         coord: StrongCoordinator,

@@ -23,7 +23,7 @@
 //!   runtime ([`numeric`], [`compensation`]).
 //! * **Pipeline** (the `IPA` main loop, Alg. 1 lines 1–6): iterate until no
 //!   conflicting pair remains, flagging unsolvable pairs ([`pipeline`]).
-//! * **Classification** ([`classify`]): structural classification of
+//! * **Classification** ([`mod@classify`]): structural classification of
 //!   invariant clauses into the paper's Table 1 rows.
 
 pub mod classify;

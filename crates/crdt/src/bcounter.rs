@@ -1,5 +1,5 @@
 //! Escrow-based bounded counter (Balegas et al., SRDS'15 — the paper's
-//! reference [11] for maintaining numeric invariants under weak
+//! reference \[11\] for maintaining numeric invariants under weak
 //! consistency).
 //!
 //! The counter maintains `value() >= floor` without coordination by

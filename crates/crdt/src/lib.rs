@@ -16,7 +16,8 @@
 //!   implementing effects like `enrolled(*, t) := false` without knowing the
 //!   affected elements in advance.
 //! * **`touch`** (§4.2.1): an add that restores an element's *presence*
-//!   while preserving the payload associated with it ([`AWMap::touch`]).
+//!   while preserving the payload associated with it
+//!   ([`AWMap::prepare_touch`]).
 //! * [`CompensationSet`] (§4.2.2): a set with an attached aggregation
 //!   constraint whose violation is repaired *on read* by a deterministic,
 //!   commutative, idempotent compensation.

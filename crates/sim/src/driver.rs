@@ -9,7 +9,10 @@ use crate::shrink::{ExplicitPlan, FaultEvent};
 use crate::time::SimTime;
 use crate::trace::{AppOp, OpEvent, OpTrace};
 use ipa_crdt::ReplicaId;
-use ipa_store::{AeCursors, CommitInfo, Replica, StoreError, Transaction, UpdateBatch};
+use ipa_store::{
+    anti_entropy_fixpoint_nodes, AeCursors, CommitInfo, Node, Replica, StoreError, Transaction,
+    Transport, UpdateBatch,
+};
 use rand::rngs::StdRng;
 use rand::Rng;
 use rand::SeedableRng;
@@ -332,7 +335,7 @@ pub trait Workload {
 pub struct SimCtx<'a> {
     now: SimTime,
     latency: &'a mut LatencyModel,
-    replicas: &'a mut [Replica],
+    nodes: &'a mut [Node],
     rng: &'a mut StdRng,
     /// Replication staged by commits in this op: (dest, arrival, batch).
     /// The payload is `Arc`-shared across destinations.
@@ -349,7 +352,7 @@ impl<'a> SimCtx<'a> {
     }
 
     pub fn regions(&self) -> usize {
-        self.replicas.len()
+        self.nodes.len()
     }
 
     pub fn rng(&mut self) -> &mut StdRng {
@@ -357,7 +360,7 @@ impl<'a> SimCtx<'a> {
     }
 
     pub fn replica(&mut self, region: Region) -> &mut Replica {
-        &mut self.replicas[region as usize]
+        self.nodes[region as usize].replica_mut()
     }
 
     /// Sampled round trip between regions (jitter-free base during
@@ -390,14 +393,14 @@ impl<'a> SimCtx<'a> {
         f: impl FnOnce(&mut Transaction<'_>) -> Result<T, StoreError>,
     ) -> Result<(T, CommitInfo), StoreError> {
         let (value, info) = {
-            let replica = &mut self.replicas[region as usize];
+            let replica = self.nodes[region as usize].replica_mut();
             let mut tx = replica.begin();
             let value = f(&mut tx)?;
             (value, tx.commit())
         };
         // Stage replication of everything committed at this replica.
-        let batches = self.replicas[region as usize].take_outbox();
-        let n = self.replicas.len() as u16;
+        let batches = self.nodes[region as usize].replica_mut().take_outbox();
+        let n = self.nodes.len() as u16;
         for batch in batches {
             for dest in 0..n {
                 if dest == region {
@@ -437,6 +440,63 @@ impl<'a> SimCtx<'a> {
             }
         }
         Ok((value, info))
+    }
+}
+
+/// The operation surface an application needs from its host transport —
+/// exactly what the four IPA workloads and the coordination layer
+/// (escrow, reservations, strong ops) consume per operation. [`SimCtx`]
+/// implements it for the deterministic simulation; the threaded harness
+/// in `ipa-apps` implements it over a live [`ipa_store::ThreadedCluster`].
+/// Code written against `OpCtx` runs unmodified on either transport.
+pub trait OpCtx {
+    /// Number of regions (= replicas) in the deployment.
+    fn regions(&self) -> usize;
+
+    /// The workload RNG. Only `decide` paths may draw from it —
+    /// `execute` must stay RNG-free so recorded traces replay exactly.
+    fn rng(&mut self) -> &mut StdRng;
+
+    /// Sampled round trip between two regions in milliseconds (zero on
+    /// transports that don't model WAN latency).
+    fn rtt(&mut self, a: Region, b: Region) -> f64;
+
+    /// Is the link between the two regions currently usable? Partitioned
+    /// coordination must fail fast rather than block.
+    fn link_up(&self, a: Region, b: Region) -> bool;
+
+    /// Run a transaction on a region's replica and hand its batch to the
+    /// transport for asynchronous replication.
+    fn commit<T>(
+        &mut self,
+        region: Region,
+        f: impl FnOnce(&mut Transaction<'_>) -> Result<T, StoreError>,
+    ) -> Result<(T, CommitInfo), StoreError>;
+}
+
+impl OpCtx for SimCtx<'_> {
+    fn regions(&self) -> usize {
+        SimCtx::regions(self)
+    }
+
+    fn rng(&mut self) -> &mut StdRng {
+        SimCtx::rng(self)
+    }
+
+    fn rtt(&mut self, a: Region, b: Region) -> f64 {
+        SimCtx::rtt(self, a, b)
+    }
+
+    fn link_up(&self, a: Region, b: Region) -> bool {
+        SimCtx::link_up(self, a, b)
+    }
+
+    fn commit<T>(
+        &mut self,
+        region: Region,
+        f: impl FnOnce(&mut Transaction<'_>) -> Result<T, StoreError>,
+    ) -> Result<(T, CommitInfo), StoreError> {
+        SimCtx::commit(self, region, f)
     }
 }
 
@@ -507,7 +567,7 @@ impl Ord for Scheduled {
 pub struct Simulation {
     cfg: SimConfig,
     latency: LatencyModel,
-    replicas: Vec<Replica>,
+    nodes: Vec<Node>,
     servers: Vec<ServerQueue>,
     clients: Vec<ClientInfo>,
     queue: BinaryHeap<Reverse<Scheduled>>,
@@ -518,7 +578,6 @@ pub struct Simulation {
     /// workload's RNG, so the same `cfg.seed` drives the same client
     /// schedule under any fault plan.
     nemesis_rng: StdRng,
-    crashed: Vec<bool>,
     /// Per-peer anti-entropy cursors carried across periodic rounds and
     /// the quiesce fixpoint: pairs whose last pull drained and whose
     /// inputs (peer clock, source log version) are unchanged skip the
@@ -550,7 +609,7 @@ pub struct Simulation {
 impl Simulation {
     pub fn new(latency: LatencyModel, cfg: SimConfig) -> Simulation {
         let regions = latency.regions() as u16;
-        let replicas: Vec<Replica> = (0..regions).map(|r| Replica::new(ReplicaId(r))).collect();
+        let nodes: Vec<Node> = (0..regions).map(|r| Node::new(ReplicaId(r))).collect();
         let servers = (0..regions).map(|_| ServerQueue::new()).collect();
         let mut clients = Vec::with_capacity(cfg.clients_per_region * regions as usize);
         for region in 0..regions {
@@ -565,11 +624,10 @@ impl Simulation {
         let nemesis_rng = StdRng::seed_from_u64(cfg.faults.seed ^ 0x6e65_6d65_7369_7321);
         let mut metrics = Metrics::new();
         metrics.set_window(cfg.warmup_s, cfg.warmup_s + cfg.duration_s);
-        let crashed = vec![false; replicas.len()];
         Simulation {
             cfg,
             latency,
-            replicas,
+            nodes,
             servers,
             clients,
             queue: BinaryHeap::new(),
@@ -577,7 +635,6 @@ impl Simulation {
             now: SimTime::ZERO,
             rng,
             nemesis_rng,
-            crashed,
             ae_cursors: AeCursors::new(),
             digest: 0xcbf2_9ce4_8422_2325,
             auditor: None,
@@ -722,9 +779,9 @@ impl Simulation {
             return 0;
         };
         let mut violations = 0;
-        for (r, replica) in self.replicas.iter().enumerate() {
-            if !self.crashed[r] {
-                violations += auditor(r as Region, replica);
+        for (r, node) in self.nodes.iter().enumerate() {
+            if !node.is_down() {
+                violations += auditor(r as Region, node.replica());
             }
         }
         self.metrics.record_audit(violations, self.now.as_ms());
@@ -733,7 +790,7 @@ impl Simulation {
 
     /// Is the replica currently crashed by the nemesis?
     pub fn is_down(&self, region: Region) -> bool {
-        self.crashed[region as usize]
+        self.nodes[region as usize].is_down()
     }
 
     /// Deterministic digest of the processed event schedule. Equal seeds
@@ -755,17 +812,17 @@ impl Simulation {
     }
 
     pub fn replica(&self, region: Region) -> &Replica {
-        &self.replicas[region as usize]
+        self.nodes[region as usize].replica()
     }
 
     /// Direct mutable access for post-run maintenance (e.g. running the
     /// applications' read-side compensations to a fixpoint).
     pub fn replica_mut(&mut self, region: Region) -> &mut Replica {
-        &mut self.replicas[region as usize]
+        self.nodes[region as usize].replica_mut()
     }
 
     pub fn regions(&self) -> usize {
-        self.replicas.len()
+        self.nodes.len()
     }
 
     /// Drain every outbox and deliver all batches instantly (post-run
@@ -773,12 +830,12 @@ impl Simulation {
     pub fn sync_all(&mut self) {
         loop {
             let mut moved = false;
-            for i in 0..self.replicas.len() {
-                let batches = self.replicas[i].take_outbox();
+            for i in 0..self.nodes.len() {
+                let batches = self.nodes[i].replica_mut().take_outbox();
                 for batch in batches {
-                    for d in 0..self.replicas.len() {
+                    for d in 0..self.nodes.len() {
                         if d != i {
-                            self.replicas[d].receive(Arc::clone(&batch));
+                            self.nodes[d].replica_mut().receive(Arc::clone(&batch));
                             moved = true;
                         }
                     }
@@ -795,7 +852,7 @@ impl Simulation {
     /// Records the productive round count for the liveness oracle.
     fn anti_entropy_fixpoint(&mut self) {
         self.liveness.quiesce_rounds =
-            ipa_store::anti_entropy_fixpoint_with(&mut self.replicas, &mut self.ae_cursors);
+            anti_entropy_fixpoint_nodes(&mut self.nodes, &mut self.ae_cursors);
     }
 
     /// The periodic anti-entropy interval for this run's nemesis mode.
@@ -830,6 +887,13 @@ impl Simulation {
     /// Under an explicit plan the same faults come from per-batch table
     /// lookups instead of the nemesis RNG.
     fn flush_staged(&mut self, staged: Vec<(Region, SimTime, Arc<UpdateBatch>)>) {
+        // A send that survives the fault table is *promised* to its
+        // destination until it lands: the destination's in-flight window
+        // keeps anti-entropy from re-shipping it meanwhile. Dropped
+        // batches and partition-stalled sends (the 3600 s heal delay)
+        // are deliberately NOT promised — those are exactly the sends
+        // anti-entropy must repair.
+        let stall = self.now + SimTime::from_secs(3600.0);
         for (dest, at, batch) in staged {
             let origin = batch.origin.0;
             let seq = batch.seq;
@@ -854,6 +918,13 @@ impl Simulation {
                             dest,
                             batch: Arc::clone(&batch),
                         },
+                    );
+                }
+                if at < stall {
+                    self.nodes[dest as usize].note_inflight_single(
+                        batch.origin,
+                        seq,
+                        at.as_micros(),
                     );
                 }
                 self.schedule(at, Event::BatchArrive { dest, batch });
@@ -902,6 +973,9 @@ impl Simulation {
                     );
                 }
             }
+            if at < stall {
+                self.nodes[dest as usize].note_inflight_single(batch.origin, seq, at.as_micros());
+            }
             self.schedule(at, Event::BatchArrive { dest, batch });
         }
     }
@@ -924,7 +998,8 @@ impl Simulation {
         let mut i = 0;
         while i < self.gaps.len() {
             let g = self.gaps[i];
-            if self.replicas[g.dest as usize]
+            if self.nodes[g.dest as usize]
+                .replica()
                 .clock()
                 .get(ReplicaId(g.origin))
                 >= g.seq
@@ -939,8 +1014,8 @@ impl Simulation {
             // dest cannot pull) or the direct link is cut. (Relay repair
             // via a third replica can still happen — this only pauses
             // the countdown, keeping the oracle free of false alarms.)
-            if self.crashed[g.dest as usize]
-                || self.crashed[g.origin as usize]
+            if self.nodes[g.dest as usize].is_down()
+                || self.nodes[g.origin as usize].is_down()
                 || !self.latency.link_up(g.origin, g.dest)
             {
                 i += 1;
@@ -972,11 +1047,11 @@ impl Simulation {
     /// it was down: one liveness gap per origin, up to the highest
     /// component any peer has durably logged.
     fn note_restart_obligations(&mut self, region: Region) {
-        let own = self.replicas[region as usize].clock().clone();
+        let own = self.nodes[region as usize].replica().clock().clone();
         let mut target = ipa_crdt::VClock::new();
-        for (i, r) in self.replicas.iter().enumerate() {
-            if i != region as usize && !self.crashed[i] {
-                target.merge(r.clock());
+        for (i, node) in self.nodes.iter().enumerate() {
+            if i != region as usize && !node.is_down() {
+                target.merge(node.replica().clock());
             }
         }
         for (origin, seq) in target.iter() {
@@ -990,29 +1065,42 @@ impl Simulation {
     /// every live replica pulls what it is missing from every live,
     /// reachable peer's durable log, paying one-way link latency. Under
     /// an explicit plan the latency is the recorded one (or jitter-free
-    /// base) instead of a nemesis-RNG draw.
-    fn anti_entropy_round(&mut self) {
+    /// base) instead of a nemesis-RNG draw. Returns the number of
+    /// batches put on the wire.
+    ///
+    /// The pull's `since` frontier is the destination's applied clock
+    /// joined with its [`InFlightWindow`](ipa_store::InFlightWindow) —
+    /// batches already on the wire toward it (from client replication or
+    /// an earlier round) are *promised* and not re-sent. Without the
+    /// window, any round firing while sends were still in flight
+    /// (AE interval < one-way latency) re-shipped the same batches every
+    /// tick; the receiver deduplicated them, so the bug was invisible to
+    /// every state oracle and only showed up as inflated
+    /// `anti_entropy_batches` counts and wasted simulated bandwidth.
+    fn anti_entropy_round(&mut self) -> usize {
         self.ae_round += 1;
         let round = self.ae_round;
-        let n = self.replicas.len();
+        let now_us = self.now.as_micros();
+        let mut sent = 0;
+        let n = self.nodes.len();
         for dst in 0..n {
-            if self.crashed[dst] {
+            if self.nodes[dst].is_down() {
                 continue;
             }
             for src in 0..n {
-                if src == dst || self.crashed[src] {
+                if src == dst || self.nodes[src].is_down() {
                     continue;
                 }
                 if !self.latency.link_up(src as Region, dst as Region) {
                     continue;
                 }
-                let since = self.replicas[dst].clock().clone();
-                let version = self.replicas[src].log_version();
-                let (d, s) = (self.replicas[dst].id(), self.replicas[src].id());
+                let since = self.nodes[dst].ae_since(now_us);
+                let version = self.nodes[src].replica().log_version();
+                let (d, s) = (self.nodes[dst].id(), self.nodes[src].id());
                 if !self.ae_cursors.should_pull(d, s, &since, version) {
                     continue;
                 }
-                let missing = self.replicas[src].batches_since(&since);
+                let missing = self.nodes[src].replica_mut().batches_since(&since);
                 self.ae_cursors
                     .record(d, s, since, version, missing.is_empty());
                 if missing.is_empty() {
@@ -1032,8 +1120,20 @@ impl Simulation {
                     ow
                 };
                 let at = self.now + SimTime::from_ms(ow);
+                // Promise this burst to the destination until it lands:
+                // later rounds pull relative to the promised frontier.
+                // (Joining full batch clocks is sound for a *burst* —
+                // every causal predecessor of a logged batch is either
+                // already applied at dst, in this same burst, or promised
+                // earlier.)
+                let mut promised = ipa_crdt::VClock::new();
+                for batch in &missing {
+                    promised.merge(&batch.clock);
+                }
+                self.nodes[dst].note_inflight_burst(promised, at.as_micros());
                 for batch in missing {
                     self.nemesis.anti_entropy_batches += 1;
+                    sent += 1;
                     self.schedule(
                         at,
                         Event::BatchArrive {
@@ -1045,6 +1145,7 @@ impl Simulation {
             }
         }
         self.liveness_probe();
+        sent
     }
 
     /// Run the workload to completion of the configured window.
@@ -1054,7 +1155,7 @@ impl Simulation {
             let mut ctx = SimCtx {
                 now: self.now,
                 latency: &mut self.latency,
-                replicas: &mut self.replicas,
+                nodes: &mut self.nodes,
                 rng: &mut self.rng,
                 staged: Vec::new(),
                 replay_sends: self.explicit_ops.as_ref().map(|x| &x.sends),
@@ -1166,21 +1267,22 @@ impl Simulation {
             match next.ev {
                 Event::BatchArrive { dest, batch } => {
                     self.fold_digest([1, next.at.as_micros(), u64::from(dest), batch.seq]);
-                    if self.crashed[dest as usize] {
+                    let node = &mut self.nodes[dest as usize];
+                    if node.is_down() {
                         // A down replica refuses traffic; anti-entropy
                         // re-sends after the restart. (No gap is noted
                         // here: the restart registers one obligation per
                         // origin covering everything missed while down.)
                         self.nemesis.batches_refused_down += 1;
                     } else {
-                        self.replicas[dest as usize].receive(batch);
+                        node.replica_mut().receive(batch);
                     }
                 }
                 Event::Gc => {
-                    let ids: Vec<ReplicaId> = self.replicas.iter().map(Replica::id).collect();
-                    for (i, r) in self.replicas.iter_mut().enumerate() {
-                        if !self.crashed[i] {
-                            r.run_gc(&ids);
+                    let ids: Vec<ReplicaId> = self.nodes.iter().map(Node::id).collect();
+                    for node in &mut self.nodes {
+                        if !node.is_down() {
+                            node.replica_mut().run_gc(&ids);
                         }
                     }
                     if let Some(gc) = self.cfg.gc_interval_s {
@@ -1190,7 +1292,7 @@ impl Simulation {
                 }
                 Event::Flap => {
                     let flap = self.cfg.faults.flap.expect("flap event without plan");
-                    let n = self.replicas.len() as u16;
+                    let n = self.nodes.len() as u16;
                     if n >= 2 {
                         let a = self.nemesis_rng.gen_range(0..n);
                         let mut b = self.nemesis_rng.gen_range(0..n - 1);
@@ -1245,8 +1347,11 @@ impl Simulation {
                     self.reset_gap_windows();
                 }
                 Event::Crash(region) => {
-                    let lost = self.replicas[region as usize].crash();
-                    self.crashed[region as usize] = true;
+                    // Node-level crash: wipes volatile replica state AND
+                    // voids the in-flight window (promised batches will
+                    // be refused while down — anti-entropy must re-earn
+                    // them after the restart).
+                    let lost = self.nodes[region as usize].crash();
                     self.nemesis.crashes += 1;
                     self.nemesis.batches_lost_in_crash += lost as u64;
                     self.fold_digest([4, next.at.as_micros(), u64::from(region), lost as u64]);
@@ -1258,7 +1363,7 @@ impl Simulation {
                     self.gaps.retain(|g| g.dest != region);
                 }
                 Event::Restart(region) => {
-                    self.crashed[region as usize] = false;
+                    self.nodes[region as usize].restart();
                     self.fold_digest([5, next.at.as_micros(), u64::from(region), 0]);
                     if let Some(tr) = &mut self.trace {
                         if let Some(pos) = tr.open_crashes.iter().position(|&(r, _)| r == region) {
@@ -1311,7 +1416,7 @@ impl Simulation {
                         }
                         None => None,
                     };
-                    if self.crashed[client.region as usize] {
+                    if self.nodes[client.region as usize].is_down() {
                         // Home replica is down: the op fails fast and the
                         // client retries after a think-time backoff. In
                         // replay the recorded op is skipped instead (this
@@ -1335,7 +1440,7 @@ impl Simulation {
                         let mut ctx = SimCtx {
                             now: self.now,
                             latency: &mut self.latency,
-                            replicas: &mut self.replicas,
+                            nodes: &mut self.nodes,
                             rng: &mut self.rng,
                             staged: Vec::new(),
                             replay_sends: self.explicit_ops.as_ref().map(|x| &x.sends),
@@ -1447,12 +1552,14 @@ impl Simulation {
     /// (ignoring link latency), repairs nemesis losses through instant
     /// anti-entropy, and runs one final oracle audit.
     pub fn quiesce(&mut self) {
-        self.crashed.fill(false);
+        for node in &mut self.nodes {
+            node.restart();
+        }
         let mut remaining: Vec<Scheduled> = self.queue.drain().map(|Reverse(s)| s).collect();
         remaining.sort();
         for s in remaining {
             if let Event::BatchArrive { dest, batch } = s.ev {
-                self.replicas[dest as usize].receive(batch);
+                self.nodes[dest as usize].replica_mut().receive(batch);
             }
         }
         self.anti_entropy_fixpoint();
@@ -1463,12 +1570,87 @@ impl Simulation {
     /// have double-applied any batch at any replica. Returns the regions
     /// violating the oracle (empty = consistent).
     pub fn double_apply_violations(&self) -> Vec<Region> {
-        self.replicas
+        self.nodes
             .iter()
             .enumerate()
-            .filter(|(_, r)| !r.applied_consistent())
+            .filter(|(_, n)| !n.replica().applied_consistent())
             .map(|(i, _)| i as Region)
             .collect()
+    }
+}
+
+/// The deterministic discrete-event simulation as a [`Transport`]
+/// implementation — the reference member of the transport matrix. It
+/// additionally guarantees what the contract does not require:
+/// bit-identical schedules per seed ([`Simulation::schedule_digest`]).
+///
+/// Sends made through this impl (ship, anti-entropy) use jitter-free
+/// base link latency so they stay off the workload and nemesis RNG
+/// streams; driving the sim through [`Simulation::run`] is unaffected.
+impl Transport for Simulation {
+    fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    fn with_node<R>(&mut self, node: ReplicaId, f: impl FnOnce(&mut Replica) -> R) -> R {
+        f(self.nodes[node.0 as usize].replica_mut())
+    }
+
+    fn ship(&mut self, node: ReplicaId) {
+        let origin = node.0;
+        let batches = self.nodes[origin as usize].replica_mut().take_outbox();
+        let n = self.nodes.len() as u16;
+        let now = self.now;
+        let mut staged = Vec::new();
+        for batch in batches {
+            for dest in 0..n {
+                if dest == origin {
+                    continue;
+                }
+                let delay = if self.latency.link_up(origin, dest) {
+                    SimTime::from_ms(self.latency.base_rtt(origin, dest) / 2.0)
+                } else {
+                    SimTime::from_secs(3600.0)
+                };
+                staged.push((dest, now + delay, Arc::clone(&batch)));
+            }
+        }
+        self.flush_staged(staged);
+    }
+
+    fn set_link(&mut self, a: ReplicaId, b: ReplicaId, up: bool) {
+        self.latency.set_link(a.0, b.0, up);
+    }
+
+    fn crash(&mut self, node: ReplicaId) {
+        let lost = self.nodes[node.0 as usize].crash();
+        self.nemesis.crashes += 1;
+        self.nemesis.batches_lost_in_crash += lost as u64;
+        self.gaps.retain(|g| g.dest != node.0);
+    }
+
+    fn restart(&mut self, node: ReplicaId) {
+        self.nodes[node.0 as usize].restart();
+        self.note_restart_obligations(node.0);
+        self.reset_gap_windows();
+    }
+
+    fn anti_entropy(&mut self) -> usize {
+        self.anti_entropy_round()
+    }
+
+    fn quiesce_transport(&mut self) -> u64 {
+        self.quiesce();
+        self.liveness.quiesce_rounds
+    }
+
+    fn converged(&mut self) -> bool {
+        let in_flight = self
+            .queue
+            .iter()
+            .any(|Reverse(s)| matches!(s.ev, Event::BatchArrive { .. }));
+        let first = self.nodes[0].replica().clock();
+        !in_flight && self.nodes.iter().all(|n| n.replica().clock() == first)
     }
 }
 

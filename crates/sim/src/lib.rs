@@ -29,8 +29,8 @@ pub mod time;
 pub mod trace;
 
 pub use driver::{
-    Auditor, ClientInfo, LivenessStats, NemesisStats, OpOutcome, SimConfig, SimCtx, Simulation,
-    Workload,
+    Auditor, ClientInfo, LivenessStats, NemesisStats, OpCtx, OpOutcome, SimConfig, SimCtx,
+    Simulation, Workload,
 };
 pub use fault::{CrashPlan, FaultPlan, FlapPlan, LinkFaults};
 pub use latency::{LatencyModel, Region};

@@ -24,7 +24,8 @@
 //!    check.
 //!
 //! The minimized plan serializes to a line-oriented text format
-//! ([`ExplicitPlan::to_string`] / [`ExplicitPlan::from_str`]) that CI
+//! (`ExplicitPlan::to_string` via [`Display`](std::fmt::Display) /
+//! [`ExplicitPlan::from_str`]) that CI
 //! uploads as an artifact and `tests/nemesis_soak.rs` replays via
 //! `IPA_NEMESIS_REPLAY=<file>`.
 //!

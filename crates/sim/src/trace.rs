@@ -23,7 +23,8 @@
 //!    oracle check.
 //!
 //! The trace serializes to a line-oriented text format
-//! ([`OpTrace::to_string`] / [`OpTrace::from_str`]) that CI uploads as
+//! (`OpTrace::to_string` via [`Display`](std::fmt::Display) /
+//! [`OpTrace::from_str`]) that CI uploads as
 //! the `ops-<app>-<seed>.txt` artifact next to the minimized fault plan.
 //! Times and send delays are integer microseconds — [`crate::SimTime`]'s
 //! native unit — so the roundtrip is exact by construction.

@@ -4,13 +4,17 @@
 
 use crate::batch::UpdateBatch;
 use crate::replica::{AeCursors, Replica};
+use crate::transport::{Node, Transport};
 use ipa_crdt::ReplicaId;
 use std::sync::Arc;
 
-/// A set of replicas plus an in-memory transport.
+/// A set of replica [`Node`]s plus an in-memory transport. Implements
+/// [`Transport`] (synchronous, zero-latency): sends toward a cut link
+/// or a crashed node are dropped at pickup — anti-entropy repairs them,
+/// exactly like the latency-accurate transports.
 #[derive(Debug)]
 pub struct Cluster {
-    replicas: Vec<Replica>,
+    nodes: Vec<Node>,
     /// Batches picked up from outboxes but not yet delivered:
     /// `(destination, batch)`. The payload is shared — fan-out to `n`
     /// destinations costs `n` `Arc` clones, not `n` deep copies.
@@ -18,49 +22,64 @@ pub struct Cluster {
     /// Per-peer anti-entropy cursors carried across rounds: converged
     /// pairs are skipped without probing the source log.
     ae_cursors: AeCursors,
+    /// `true` when the (symmetric) link is cut; indexed `a * n + b`.
+    link_down: Vec<bool>,
 }
 
 impl Cluster {
     /// `n` replicas with ids `0..n`.
     pub fn new(n: u16) -> Cluster {
         Cluster {
-            replicas: (0..n).map(|i| Replica::new(ReplicaId(i))).collect(),
+            nodes: (0..n).map(|i| Node::new(ReplicaId(i))).collect(),
             in_flight: Vec::new(),
             ae_cursors: AeCursors::new(),
+            link_down: vec![false; n as usize * n as usize],
         }
     }
 
     pub fn len(&self) -> usize {
-        self.replicas.len()
+        self.nodes.len()
     }
 
     pub fn is_empty(&self) -> bool {
-        self.replicas.is_empty()
+        self.nodes.is_empty()
     }
 
     pub fn replica_ids(&self) -> Vec<ReplicaId> {
-        self.replicas.iter().map(Replica::id).collect()
+        self.nodes.iter().map(Node::id).collect()
     }
 
     pub fn replica(&self, id: ReplicaId) -> &Replica {
-        &self.replicas[id.0 as usize]
+        self.nodes[id.0 as usize].replica()
     }
 
     pub fn replica_mut(&mut self, id: ReplicaId) -> &mut Replica {
-        &mut self.replicas[id.0 as usize]
+        self.nodes[id.0 as usize].replica_mut()
+    }
+
+    /// Is the pair's link currently usable?
+    pub fn link_is_up(&self, a: ReplicaId, b: ReplicaId) -> bool {
+        !self.link_down[a.0 as usize * self.nodes.len() + b.0 as usize]
     }
 
     /// Move committed batches from every outbox into the in-flight queue
-    /// (fan-out to all other replicas; `Arc` clones only).
+    /// (fan-out to all other replicas; `Arc` clones only). Sends toward
+    /// a cut link or a down node are dropped (anti-entropy repairs).
     pub fn collect_outboxes(&mut self) {
-        let n = self.replicas.len() as u16;
+        let n = self.nodes.len() as u16;
         let mut staged = Vec::new();
-        for r in &mut self.replicas {
-            for batch in r.take_outbox() {
+        for i in 0..self.nodes.len() {
+            for batch in self.nodes[i].replica_mut().take_outbox() {
                 for dest in 0..n {
-                    if ReplicaId(dest) != batch.origin {
-                        staged.push((ReplicaId(dest), Arc::clone(&batch)));
+                    if ReplicaId(dest) == batch.origin {
+                        continue;
                     }
+                    if !self.link_is_up(batch.origin, ReplicaId(dest))
+                        || self.nodes[dest as usize].is_down()
+                    {
+                        continue;
+                    }
+                    staged.push((ReplicaId(dest), Arc::clone(&batch)));
                 }
             }
         }
@@ -95,11 +114,15 @@ impl Cluster {
     }
 
     /// Deliver the in-flight batch at `idx` to its destination. Returns
-    /// the number of batches the destination applied (0 when buffered or
-    /// deduplicated).
+    /// the number of batches the destination applied (0 when buffered,
+    /// deduplicated, or refused while down).
     pub fn deliver_in_flight(&mut self, idx: usize) -> usize {
         let (dest, batch) = self.in_flight.swap_remove(idx);
-        self.replicas[dest.0 as usize].receive(batch)
+        let node = &mut self.nodes[dest.0 as usize];
+        if node.is_down() {
+            return 0;
+        }
+        node.replica_mut().receive(batch)
     }
 
     /// Destination, origin, and origin-sequence of the in-flight batch
@@ -110,11 +133,15 @@ impl Cluster {
             .map(|(dest, b)| (*dest, b.origin, b.seq))
     }
 
-    /// Deliver every in-flight batch (in queue order).
+    /// Deliver every in-flight batch (in queue order); down nodes
+    /// refuse theirs.
     pub fn deliver_all(&mut self) {
         let batches = std::mem::take(&mut self.in_flight);
         for (dest, batch) in batches {
-            self.replicas[dest.0 as usize].receive(batch);
+            let node = &mut self.nodes[dest.0 as usize];
+            if !node.is_down() {
+                node.replica_mut().receive(batch);
+            }
         }
     }
 
@@ -135,7 +162,13 @@ impl Cluster {
     /// (and crash-lost outboxes) as long as some replica still logs the
     /// batch. Returns the number of batches applied cluster-wide.
     pub fn anti_entropy(&mut self) -> usize {
-        crate::replica::anti_entropy_round_with(&mut self.replicas, &mut self.ae_cursors)
+        let n = self.nodes.len();
+        let link_down = &self.link_down;
+        crate::transport::anti_entropy_round_nodes_with_links(
+            &mut self.nodes,
+            &mut self.ae_cursors,
+            |src, dst| !link_down[src.0 as usize * n + dst.0 as usize],
+        )
     }
 
     /// Pump anti-entropy rounds until no replica learns anything new.
@@ -146,15 +179,93 @@ impl Cluster {
     /// Run stability GC on every replica.
     pub fn run_gc(&mut self) {
         let ids = self.replica_ids();
-        for r in &mut self.replicas {
-            r.run_gc(&ids);
+        for node in &mut self.nodes {
+            node.replica_mut().run_gc(&ids);
         }
     }
 
     /// Are all replica clocks equal (converged)?
     pub fn converged(&self) -> bool {
-        let first = self.replicas[0].clock();
-        self.replicas.iter().all(|r| r.clock() == first) && self.in_flight.is_empty()
+        let first = self.nodes[0].replica().clock();
+        self.nodes.iter().all(|n| n.replica().clock() == first) && self.in_flight.is_empty()
+    }
+
+    /// Is the node currently down (crashed by fault injection)?
+    pub fn is_node_down(&self, id: ReplicaId) -> bool {
+        self.nodes[id.0 as usize].is_down()
+    }
+
+    /// Cut or heal the (symmetric) link between `a` and `b`.
+    pub fn set_link_up(&mut self, a: ReplicaId, b: ReplicaId, up: bool) {
+        let n = self.nodes.len();
+        self.link_down[a.0 as usize * n + b.0 as usize] = !up;
+        self.link_down[b.0 as usize * n + a.0 as usize] = !up;
+    }
+
+    /// Crash the node: it loses its outbox and receive buffer, and
+    /// refuses sends/pulls until restarted. Returns the number of
+    /// batches lost. In-flight batches already addressed to it are
+    /// refused at delivery.
+    pub fn crash_node(&mut self, id: ReplicaId) -> usize {
+        self.nodes[id.0 as usize].crash()
+    }
+
+    /// Bring a crashed node back (durable log intact; anti-entropy
+    /// repairs whatever it missed).
+    pub fn restart_node(&mut self, id: ReplicaId) {
+        self.nodes[id.0 as usize].restart();
+    }
+}
+
+impl Transport for Cluster {
+    fn node_count(&self) -> usize {
+        self.len()
+    }
+
+    fn with_node<R>(&mut self, node: ReplicaId, f: impl FnOnce(&mut Replica) -> R) -> R {
+        f(self.replica_mut(node))
+    }
+
+    fn ship(&mut self, _node: ReplicaId) {
+        // Zero-latency: pick up every outbox and deliver immediately.
+        self.collect_outboxes();
+        self.deliver_all();
+    }
+
+    fn set_link(&mut self, a: ReplicaId, b: ReplicaId, up: bool) {
+        self.set_link_up(a, b, up);
+    }
+
+    fn crash(&mut self, node: ReplicaId) {
+        self.crash_node(node);
+    }
+
+    fn restart(&mut self, node: ReplicaId) {
+        self.restart_node(node);
+    }
+
+    fn anti_entropy(&mut self) -> usize {
+        Cluster::anti_entropy(self)
+    }
+
+    fn quiesce_transport(&mut self) -> u64 {
+        // Heal every fault signal, flush the network, then pump
+        // anti-entropy to fixpoint, counting productive rounds.
+        for i in 0..self.nodes.len() {
+            self.nodes[i].restart();
+        }
+        self.link_down.fill(false);
+        self.collect_outboxes();
+        self.deliver_all();
+        let mut rounds = 0;
+        while Cluster::anti_entropy(self) > 0 {
+            rounds += 1;
+        }
+        rounds
+    }
+
+    fn converged(&mut self) -> bool {
+        Cluster::converged(self)
     }
 }
 

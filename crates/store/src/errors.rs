@@ -1,6 +1,7 @@
 //! Store errors.
 
 use crate::key::Key;
+use ipa_crdt::ReplicaId;
 use std::fmt;
 
 /// Errors surfaced by the store and transaction layers.
@@ -15,6 +16,9 @@ pub enum StoreError {
     /// An escrow decrement exceeded the replica's local rights
     /// (bounded counter / reservation path).
     InsufficientRights { key: Key },
+    /// The replica is down (crashed by fault injection) and refuses
+    /// transactions until restarted.
+    Unavailable(ReplicaId),
 }
 
 impl fmt::Display for StoreError {
@@ -30,6 +34,7 @@ impl fmt::Display for StoreError {
             StoreError::InsufficientRights { key } => {
                 write!(f, "insufficient escrow rights on {key}")
             }
+            StoreError::Unavailable(r) => write!(f, "replica {} is down", r.0),
         }
     }
 }

@@ -27,6 +27,8 @@ pub mod key;
 pub mod replica;
 pub mod schedule;
 pub mod shared;
+pub mod threaded;
+pub mod transport;
 pub mod txn;
 
 pub use batch::UpdateBatch;
@@ -38,4 +40,9 @@ pub use replica::{
 };
 pub use schedule::{CausalItem, DeliveryFaults, Schedule, ScheduleReport};
 pub use shared::SharedReplica;
+pub use threaded::{ThreadedCluster, ThreadedConfig, ThreadedStats};
+pub use transport::{
+    anti_entropy_fixpoint_nodes, anti_entropy_round_nodes, anti_entropy_round_nodes_with_links,
+    InFlightWindow, Node, Transport,
+};
 pub use txn::{CommitInfo, Transaction};

@@ -398,6 +398,13 @@ impl Replica {
         self.pending_order.len()
     }
 
+    /// `(origin, seq)` ids of every buffered batch awaiting causal
+    /// predecessors. Anti-entropy frontiers fold these in: a batch the
+    /// replica already holds never needs re-shipping.
+    pub fn pending_ids(&self) -> &[(ReplicaId, u64)] {
+        &self.pending_order
+    }
+
     // ------------------------------------------------------------------
     // Crash / recovery (nemesis support)
     // ------------------------------------------------------------------

@@ -1,0 +1,643 @@
+//! A **threaded in-process transport**: one `std::thread` actor per
+//! replica, `mpsc` channels for delivery, wall-clock time, and real
+//! races — the second [`Transport`] implementation, complementing the
+//! deterministic discrete-event simulator.
+//!
+//! Each node is a [`Node`] behind a mutex, serviced by a dedicated
+//! delivery thread draining that node's channel. Commits happen on the
+//! *caller's* thread ([`ThreadedCluster::commit_at`] locks the shard,
+//! runs the transaction, then ships the outbox over the channels), so
+//! concurrent clients at different regions genuinely race their
+//! commits, deliveries interleave with transactions, and an optional
+//! background anti-entropy ticker repairs losses while the workload
+//! runs. Nothing here is deterministic; correctness is checked at
+//! quiescence (convergence, invariants, idempotence, bounded liveness)
+//! — see the [`Transport`] contract and `ARCHITECTURE.md`.
+//!
+//! Fault signals are live: [`ThreadedCluster::crash_node`] wipes the
+//! shard's volatile state and makes it refuse traffic,
+//! [`ThreadedCluster::set_link_up`] drops sends between a pair (repair
+//! flows through anti-entropy, exactly like a lossy network).
+
+use crate::batch::UpdateBatch;
+use crate::errors::StoreError;
+use crate::replica::Replica;
+use crate::transport::{Node, Transport};
+use crate::txn::{CommitInfo, Transaction};
+use ipa_crdt::{ReplicaId, VClock};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Messages a node's delivery thread services.
+enum Msg {
+    /// A replicated batch to feed into causal delivery.
+    Deliver(Arc<UpdateBatch>),
+    /// Anti-entropy pull: reply with every logged batch `since` misses.
+    Pull {
+        since: VClock,
+        reply: mpsc::Sender<Vec<Arc<UpdateBatch>>>,
+    },
+    /// FIFO barrier: reply once every earlier message is processed.
+    Barrier(mpsc::Sender<()>),
+    Stop,
+}
+
+/// One replica shard: the actor state plus its crash flag. The flag is
+/// atomic (not under the mutex) so fault injection and down-checks
+/// never wait on an in-progress transaction.
+struct Shard {
+    node: Mutex<Node>,
+    down: AtomicBool,
+}
+
+/// Pairwise link state, symmetric, lock-free.
+struct LinkMatrix {
+    n: usize,
+    up: Vec<AtomicBool>,
+}
+
+impl LinkMatrix {
+    fn new(n: usize) -> LinkMatrix {
+        LinkMatrix {
+            n,
+            up: (0..n * n).map(|_| AtomicBool::new(true)).collect(),
+        }
+    }
+
+    fn is_up(&self, a: u16, b: u16) -> bool {
+        self.up[a as usize * self.n + b as usize].load(Ordering::Relaxed)
+    }
+
+    fn set(&self, a: u16, b: u16, up: bool) {
+        self.up[a as usize * self.n + b as usize].store(up, Ordering::Relaxed);
+        self.up[b as usize * self.n + a as usize].store(up, Ordering::Relaxed);
+    }
+}
+
+/// Observability counters for a threaded run (all monotonic).
+#[derive(Debug, Default)]
+pub struct ThreadedStats {
+    /// Sends dropped because the pair's link was cut.
+    pub dropped_partitioned: AtomicU64,
+    /// Deliveries refused because the destination was down.
+    pub refused_down: AtomicU64,
+    /// Batches lost to crashes (volatile outbox + pending).
+    pub lost_in_crash: AtomicU64,
+    /// Commits refused because the origin shard was down.
+    pub commits_refused: AtomicU64,
+}
+
+/// Configuration for [`ThreadedCluster::start`].
+#[derive(Clone, Copy, Debug)]
+pub struct ThreadedConfig {
+    /// Number of replica actors.
+    pub nodes: u16,
+    /// Background anti-entropy period (`None` = repair only happens at
+    /// explicit [`Transport::anti_entropy`] / quiesce calls).
+    pub ae_interval: Option<Duration>,
+}
+
+impl Default for ThreadedConfig {
+    fn default() -> Self {
+        ThreadedConfig {
+            nodes: 3,
+            ae_interval: Some(Duration::from_millis(5)),
+        }
+    }
+}
+
+/// The threaded transport: `n` replica actors, each a mutex-guarded
+/// [`Node`] with a dedicated delivery thread, plus an optional
+/// anti-entropy ticker. All run-time methods take `&self` so client
+/// threads can share the cluster through a plain borrow
+/// (`std::thread::scope`) or an `Arc`.
+pub struct ThreadedCluster {
+    shards: Vec<Arc<Shard>>,
+    senders: Vec<mpsc::Sender<Msg>>,
+    links: Arc<LinkMatrix>,
+    stats: Arc<ThreadedStats>,
+    threads: Vec<JoinHandle<()>>,
+    ticker_stop: Arc<AtomicBool>,
+    ticker: Option<JoinHandle<()>>,
+}
+
+/// How long coordinator-side pulls and barriers wait for a node thread
+/// before giving up (a node thread only stalls if wedged; the timeout
+/// turns a deadlock into a visible test failure).
+const REPLY_TIMEOUT: Duration = Duration::from_secs(10);
+
+impl ThreadedCluster {
+    /// Spawn the actors (and the anti-entropy ticker, if configured).
+    pub fn start(cfg: ThreadedConfig) -> ThreadedCluster {
+        let n = cfg.nodes;
+        let links = Arc::new(LinkMatrix::new(n as usize));
+        let stats = Arc::new(ThreadedStats::default());
+        let mut shards = Vec::with_capacity(n as usize);
+        let mut senders = Vec::with_capacity(n as usize);
+        let mut threads = Vec::with_capacity(n as usize);
+        let mut receivers = Vec::with_capacity(n as usize);
+        for i in 0..n {
+            let (tx, rx) = mpsc::channel();
+            shards.push(Arc::new(Shard {
+                node: Mutex::new(Node::new(ReplicaId(i))),
+                down: AtomicBool::new(false),
+            }));
+            senders.push(tx);
+            receivers.push(rx);
+        }
+        for (i, rx) in receivers.into_iter().enumerate() {
+            let shard = Arc::clone(&shards[i]);
+            let stats = Arc::clone(&stats);
+            threads.push(std::thread::spawn(move || node_loop(shard, stats, rx)));
+        }
+        let ticker_stop = Arc::new(AtomicBool::new(false));
+        let ticker = cfg.ae_interval.map(|period| {
+            let shards = shards.clone();
+            let senders = senders.clone();
+            let links = Arc::clone(&links);
+            let stop = Arc::clone(&ticker_stop);
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    std::thread::sleep(period);
+                    ae_round_over_channels(&shards, &senders, &links);
+                }
+            })
+        });
+        ThreadedCluster {
+            shards,
+            senders,
+            links,
+            stats,
+            threads,
+            ticker_stop,
+            ticker,
+        }
+    }
+
+    /// Number of replica actors.
+    pub fn len(&self) -> usize {
+        self.shards.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.shards.is_empty()
+    }
+
+    /// Run-time fault/delivery counters.
+    pub fn stats(&self) -> &ThreadedStats {
+        &self.stats
+    }
+
+    /// Is the node currently crashed?
+    pub fn is_node_down(&self, node: u16) -> bool {
+        self.shards[node as usize].down.load(Ordering::Relaxed)
+    }
+
+    /// Is the pair's link currently usable?
+    pub fn link_is_up(&self, a: u16, b: u16) -> bool {
+        self.links.is_up(a, b)
+    }
+
+    /// Cut or heal a pair's link (both directions). While cut, sends
+    /// between the pair are dropped and counted; anti-entropy repairs
+    /// after the heal (or through a third replica meanwhile).
+    pub fn set_link_up(&self, a: u16, b: u16, up: bool) {
+        self.links.set(a, b, up);
+    }
+
+    /// Crash a node on the caller's thread: refuse traffic, then wipe
+    /// volatile state under the shard lock (an in-progress transaction
+    /// finishes first — a crash never tears a commit).
+    pub fn crash_node(&self, node: u16) {
+        let shard = &self.shards[node as usize];
+        shard.down.store(true, Ordering::Relaxed);
+        let lost = shard.node.lock().crash();
+        self.stats
+            .lost_in_crash
+            .fetch_add(lost as u64, Ordering::Relaxed);
+    }
+
+    /// Restart a crashed node; catch-up flows through anti-entropy.
+    pub fn restart_node(&self, node: u16) {
+        self.shards[node as usize].node.lock().restart();
+        self.shards[node as usize]
+            .down
+            .store(false, Ordering::Relaxed);
+    }
+
+    /// Run `f` with the shard locked (reads, oracle audits, repairs).
+    pub fn with_replica<R>(&self, node: u16, f: impl FnOnce(&mut Replica) -> R) -> R {
+        f(self.shards[node as usize].node.lock().replica_mut())
+    }
+
+    /// Run a transaction at `region` on the **caller's** thread and
+    /// ship the committed batches to every peer over the delivery
+    /// channels. Returns [`StoreError::Unavailable`] while the shard is
+    /// down. This is the client entry point: concurrent callers at
+    /// different regions race their commits and deliveries for real.
+    pub fn commit_at<T>(
+        &self,
+        region: u16,
+        f: impl FnOnce(&mut Transaction<'_>) -> Result<T, StoreError>,
+    ) -> Result<(T, CommitInfo), StoreError> {
+        let shard = &self.shards[region as usize];
+        let (value, info, batches) = {
+            let mut node = shard.node.lock();
+            if shard.down.load(Ordering::Relaxed) {
+                self.stats.commits_refused.fetch_add(1, Ordering::Relaxed);
+                return Err(StoreError::Unavailable(ReplicaId(region)));
+            }
+            let mut tx = node.replica_mut().begin();
+            let value = f(&mut tx)?;
+            let info = tx.commit();
+            let batches = node.replica_mut().take_outbox();
+            (value, info, batches)
+        };
+        // Ship outside the lock: delivery threads may already be
+        // applying these batches while the committer moves on.
+        for batch in batches {
+            self.send_batch(region, batch);
+        }
+        Ok((value, info))
+    }
+
+    /// Fan a batch out toward every peer, dropping cut links.
+    fn send_batch(&self, origin: u16, batch: Arc<UpdateBatch>) {
+        for dest in 0..self.shards.len() as u16 {
+            if dest == origin {
+                continue;
+            }
+            if !self.links.is_up(origin, dest) {
+                self.stats
+                    .dropped_partitioned
+                    .fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+            // A send can only fail if the node thread stopped (Drop).
+            let _ = self.senders[dest as usize].send(Msg::Deliver(Arc::clone(&batch)));
+        }
+    }
+
+    /// FIFO barrier: returns once every node thread has processed all
+    /// messages sent before this call.
+    pub fn barrier(&self) {
+        let mut waits = Vec::with_capacity(self.senders.len());
+        for s in &self.senders {
+            let (tx, rx) = mpsc::channel();
+            if s.send(Msg::Barrier(tx)).is_ok() {
+                waits.push(rx);
+            }
+        }
+        for rx in waits {
+            rx.recv_timeout(REPLY_TIMEOUT)
+                .expect("node thread wedged at barrier");
+        }
+    }
+
+    /// One coordinator-driven anti-entropy round: every live node pulls
+    /// what it is missing from every live, reachable peer (pulls go
+    /// through the peer's delivery thread; applications happen under
+    /// the puller's shard lock). Returns batches applied cluster-wide.
+    pub fn anti_entropy_round(&self) -> usize {
+        let mut applied = 0;
+        let n = self.shards.len() as u16;
+        for dst in 0..n {
+            if self.is_node_down(dst) {
+                continue;
+            }
+            for src in 0..n {
+                if src == dst || self.is_node_down(src) || !self.links.is_up(src, dst) {
+                    continue;
+                }
+                let since = self.shards[dst as usize]
+                    .node
+                    .lock()
+                    .replica()
+                    .clock()
+                    .clone();
+                let (tx, rx) = mpsc::channel();
+                if self.senders[src as usize]
+                    .send(Msg::Pull { since, reply: tx })
+                    .is_err()
+                {
+                    continue;
+                }
+                let Ok(missing) = rx.recv_timeout(REPLY_TIMEOUT) else {
+                    continue;
+                };
+                if missing.is_empty() {
+                    continue;
+                }
+                let mut node = self.shards[dst as usize].node.lock();
+                for b in missing {
+                    applied += node.replica_mut().receive(b);
+                }
+            }
+        }
+        applied
+    }
+
+    /// Quiesce: restart every node, heal every link, drain the
+    /// channels, and pull anti-entropy to its fixpoint. Returns the
+    /// number of productive rounds — the bounded-liveness oracle's
+    /// input (a healthy cluster converges within its configured bound).
+    pub fn quiesce(&self) -> u64 {
+        let n = self.shards.len() as u16;
+        for i in 0..n {
+            self.restart_node(i);
+            for j in 0..n {
+                self.links.set(i, j, true);
+            }
+        }
+        let mut rounds = 0;
+        loop {
+            self.barrier();
+            let applied = self.anti_entropy_round();
+            if applied > 0 {
+                rounds += 1;
+                continue;
+            }
+            // Nothing moved and the inboxes are drained: done. (A
+            // second barrier guards against deliveries that raced the
+            // unproductive round.)
+            self.barrier();
+            if self.anti_entropy_round() == 0 {
+                break;
+            }
+            rounds += 1;
+        }
+        rounds
+    }
+
+    /// Equal clocks and empty causal buffers everywhere? Meaningful
+    /// after [`ThreadedCluster::quiesce`].
+    pub fn is_converged(&self) -> bool {
+        let first = self.shards[0].node.lock().replica().clock().clone();
+        self.shards.iter().all(|s| {
+            let node = s.node.lock();
+            *node.replica().clock() == first && node.replica().pending_count() == 0
+        })
+    }
+}
+
+impl Drop for ThreadedCluster {
+    fn drop(&mut self) {
+        self.ticker_stop.store(true, Ordering::Relaxed);
+        if let Some(t) = self.ticker.take() {
+            let _ = t.join();
+        }
+        for s in &self.senders {
+            let _ = s.send(Msg::Stop);
+        }
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Transport for ThreadedCluster {
+    fn node_count(&self) -> usize {
+        self.len()
+    }
+
+    fn with_node<R>(&mut self, node: ReplicaId, f: impl FnOnce(&mut Replica) -> R) -> R {
+        self.with_replica(node.0, f)
+    }
+
+    fn ship(&mut self, node: ReplicaId) {
+        let batches = self.with_replica(node.0, |r| r.take_outbox());
+        for b in batches {
+            self.send_batch(node.0, b);
+        }
+    }
+
+    fn set_link(&mut self, a: ReplicaId, b: ReplicaId, up: bool) {
+        self.set_link_up(a.0, b.0, up);
+    }
+
+    fn crash(&mut self, node: ReplicaId) {
+        self.crash_node(node.0);
+    }
+
+    fn restart(&mut self, node: ReplicaId) {
+        self.restart_node(node.0);
+    }
+
+    fn anti_entropy(&mut self) -> usize {
+        self.anti_entropy_round()
+    }
+
+    fn quiesce_transport(&mut self) -> u64 {
+        self.quiesce()
+    }
+
+    fn converged(&mut self) -> bool {
+        self.is_converged()
+    }
+}
+
+/// The delivery-thread body: drain the channel, feeding batches into
+/// causal delivery under the shard lock. A down shard refuses
+/// deliveries (counted) and serves empty pulls, like a dead process.
+fn node_loop(shard: Arc<Shard>, stats: Arc<ThreadedStats>, rx: mpsc::Receiver<Msg>) {
+    for msg in rx {
+        match msg {
+            Msg::Deliver(batch) => {
+                if shard.down.load(Ordering::Relaxed) {
+                    stats.refused_down.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    shard.node.lock().replica_mut().receive(batch);
+                }
+            }
+            Msg::Pull { since, reply } => {
+                let batches = if shard.down.load(Ordering::Relaxed) {
+                    Vec::new()
+                } else {
+                    shard.node.lock().replica_mut().batches_since(&since)
+                };
+                let _ = reply.send(batches);
+            }
+            Msg::Barrier(reply) => {
+                let _ = reply.send(());
+            }
+            Msg::Stop => break,
+        }
+    }
+}
+
+/// One background anti-entropy round over the delivery channels (the
+/// ticker's body): pulls race with live commits, so a node may receive
+/// a batch twice — causal delivery deduplicates, and the double-apply
+/// oracle checks that it did.
+fn ae_round_over_channels(
+    shards: &[Arc<Shard>],
+    senders: &[mpsc::Sender<Msg>],
+    links: &LinkMatrix,
+) {
+    let n = shards.len() as u16;
+    for dst in 0..n {
+        if shards[dst as usize].down.load(Ordering::Relaxed) {
+            continue;
+        }
+        for src in 0..n {
+            if src == dst
+                || shards[src as usize].down.load(Ordering::Relaxed)
+                || !links.is_up(src, dst)
+            {
+                continue;
+            }
+            let since = shards[dst as usize].node.lock().replica().clock().clone();
+            let (tx, rx) = mpsc::channel();
+            if senders[src as usize]
+                .send(Msg::Pull { since, reply: tx })
+                .is_err()
+            {
+                continue;
+            }
+            let Ok(missing) = rx.recv_timeout(REPLY_TIMEOUT) else {
+                continue;
+            };
+            for b in missing {
+                let _ = senders[dst as usize].send(Msg::Deliver(b));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipa_crdt::{ObjectKind, Val};
+
+    fn no_ticker(n: u16) -> ThreadedCluster {
+        ThreadedCluster::start(ThreadedConfig {
+            nodes: n,
+            ae_interval: None,
+        })
+    }
+
+    #[test]
+    fn concurrent_commits_converge() {
+        let cluster = no_ticker(3);
+        std::thread::scope(|s| {
+            for region in 0..3u16 {
+                let cluster = &cluster;
+                s.spawn(move || {
+                    for k in 0..20 {
+                        cluster
+                            .commit_at(region, |tx| {
+                                tx.ensure("set", ObjectKind::AWSet)?;
+                                tx.aw_add("set", Val::str(format!("r{region}-{k}")))
+                            })
+                            .expect("commit");
+                    }
+                });
+            }
+        });
+        cluster.quiesce();
+        assert!(cluster.is_converged());
+        for r in 0..3u16 {
+            let len = cluster.with_replica(r, |rep| {
+                rep.object(&"set".into()).unwrap().as_awset().unwrap().len()
+            });
+            assert_eq!(len, 60, "replica {r} sees every insert");
+            assert!(
+                cluster.with_replica(r, |rep| rep.applied_consistent()),
+                "no double-apply at replica {r}"
+            );
+        }
+    }
+
+    #[test]
+    fn crash_loses_volatile_state_and_anti_entropy_repairs() {
+        let cluster = no_ticker(2);
+        cluster
+            .commit_at(0, |tx| {
+                tx.ensure("c", ObjectKind::PNCounter)?;
+                tx.counter_add("c", 5)
+            })
+            .expect("commit");
+        cluster.barrier();
+        cluster.crash_node(1);
+        assert!(cluster.is_node_down(1));
+        assert!(matches!(
+            cluster.commit_at(1, |tx| tx.counter_add("c", 1)),
+            Err(StoreError::Unavailable(_))
+        ));
+        // Commits toward the crashed node are refused and must be
+        // repaired by anti-entropy after the restart.
+        cluster
+            .commit_at(0, |tx| tx.counter_add("c", 2))
+            .expect("commit");
+        cluster.barrier();
+        cluster.restart_node(1);
+        cluster.quiesce();
+        assert!(cluster.is_converged());
+        let v = cluster.with_replica(1, |r| {
+            r.object(&"c".into())
+                .unwrap()
+                .as_pncounter()
+                .unwrap()
+                .value()
+        });
+        assert_eq!(v, 7);
+    }
+
+    #[test]
+    fn partitioned_sends_drop_and_heal_via_anti_entropy() {
+        let cluster = no_ticker(3);
+        cluster.set_link_up(0, 1, false);
+        cluster
+            .commit_at(0, |tx| {
+                tx.ensure("c", ObjectKind::PNCounter)?;
+                tx.counter_add("c", 3)
+            })
+            .expect("commit");
+        cluster.barrier();
+        assert!(cluster.stats().dropped_partitioned.load(Ordering::Relaxed) >= 1);
+        cluster.set_link_up(0, 1, true);
+        cluster.quiesce();
+        assert!(cluster.is_converged());
+        let v = cluster.with_replica(1, |r| {
+            r.object(&"c".into())
+                .unwrap()
+                .as_pncounter()
+                .unwrap()
+                .value()
+        });
+        assert_eq!(v, 3);
+    }
+
+    #[test]
+    fn background_ticker_repairs_without_explicit_rounds() {
+        let cluster = ThreadedCluster::start(ThreadedConfig {
+            nodes: 2,
+            ae_interval: Some(Duration::from_millis(1)),
+        });
+        // Cut the only link: the commit's direct send drops, so only
+        // the ticker can repair once healed.
+        cluster.set_link_up(0, 1, false);
+        cluster
+            .commit_at(0, |tx| {
+                tx.ensure("c", ObjectKind::PNCounter)?;
+                tx.counter_add("c", 1)
+            })
+            .expect("commit");
+        cluster.set_link_up(0, 1, true);
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        loop {
+            let caught_up = cluster.with_replica(1, |r| r.clock().get(ReplicaId(0)) == 1);
+            if caught_up {
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "ticker never repaired the dropped batch"
+            );
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+}

@@ -49,39 +49,47 @@ fn plans(fault_seed: u64) -> Vec<(&'static str, FaultPlan)> {
 
 /// (sim seed, fault seed, plan name, mode as index {0: Causal, 1: Ipa},
 /// pinned digest).
+///
+/// Re-pinned once for the in-flight send-window fix (the `Node`
+/// anti-entropy frontier): periodic anti-entropy no longer re-ships
+/// batches whose normal delivery is still in flight or already buffered
+/// awaiting causal predecessors, so every cell whose plan runs
+/// anti-entropy ("mid", "hot", "crashy") schedules fewer re-sends and
+/// its digest changed. The benign "none" cells are bit-identical to the
+/// pre-fix pins — the transport refactor itself is schedule-neutral.
 const PINNED: &[(u64, u64, &str, usize, u64)] = &[
     (11, 11, "none", 0, 0xc01e61a063635644),
     (11, 11, "none", 1, 0x0c2678d401ef2ee4),
-    (11, 11, "mid", 0, 0x6c6c84d785f18865),
-    (11, 11, "mid", 1, 0x98151352c9de5fbf),
-    (11, 11, "hot", 0, 0x085bc14d13921d66),
-    (11, 11, "hot", 1, 0x869395e6a48dcf2d),
-    (11, 11, "crashy", 0, 0x2f27609cd7501a4a),
-    (11, 11, "crashy", 1, 0xf3a634ac3817ef2c),
+    (11, 11, "mid", 0, 0x2446e3aaa696e722),
+    (11, 11, "mid", 1, 0x1da7d26f39cfb611),
+    (11, 11, "hot", 0, 0x19a1dbe8a6471a1f),
+    (11, 11, "hot", 1, 0x6dd0fe8db00f3123),
+    (11, 11, "crashy", 0, 0x53a37329415611d7),
+    (11, 11, "crashy", 1, 0x143624ca28fb1ace),
     (23, 713, "none", 0, 0xb9666ce0fb916629),
     (23, 713, "none", 1, 0xcba2e59fedff374e),
-    (23, 713, "mid", 0, 0x14b40dd5a2c8681a),
-    (23, 713, "mid", 1, 0x72e819b03f1d8e36),
-    (23, 713, "hot", 0, 0x31de0edc66a2ccc9),
-    (23, 713, "hot", 1, 0xf2b542df245b14ce),
-    (23, 713, "crashy", 0, 0x0d69d7c916196ae8),
-    (23, 713, "crashy", 1, 0x9a0b5a974646f341),
+    (23, 713, "mid", 0, 0x8fc7bfb311d0cf5c),
+    (23, 713, "mid", 1, 0xfe47554108566c6e),
+    (23, 713, "hot", 0, 0xc6408ede248dd777),
+    (23, 713, "hot", 1, 0xbb3c3213707b6fcb),
+    (23, 713, "crashy", 0, 0x308193cabba6dfe6),
+    (23, 713, "crashy", 1, 0x6fd4d950c07c1a46),
     (37, 37, "none", 0, 0x45918b9abc6db1e5),
     (37, 37, "none", 1, 0x10ef1d3b2e8cb2ba),
-    (37, 37, "mid", 0, 0x3cab3d49c2049099),
-    (37, 37, "mid", 1, 0x3cb3f57846d5b7b7),
-    (37, 37, "hot", 0, 0xb6e4f44c7b8c8882),
-    (37, 37, "hot", 1, 0x9cdeee4c5fa760a7),
-    (37, 37, "crashy", 0, 0x93c96f11b04b0873),
-    (37, 37, "crashy", 1, 0x724a1cf3ca865531),
+    (37, 37, "mid", 0, 0x0935ebc29161910c),
+    (37, 37, "mid", 1, 0x651e83df43fb3b6a),
+    (37, 37, "hot", 0, 0x6e10222290b5f026),
+    (37, 37, "hot", 1, 0x602f42ddcb72ad15),
+    (37, 37, "crashy", 0, 0xab1a5d900d432a07),
+    (37, 37, "crashy", 1, 0xe76152a63e54c0b4),
     (97, 3007, "none", 0, 0x21836fd632305359),
     (97, 3007, "none", 1, 0xbefa284938aaa1f6),
-    (97, 3007, "mid", 0, 0x4c19d92ab5e22cee),
-    (97, 3007, "mid", 1, 0xf0333daed570938c),
-    (97, 3007, "hot", 0, 0xe2922a5c483ff973),
-    (97, 3007, "hot", 1, 0x23323149c817aedb),
-    (97, 3007, "crashy", 0, 0x9a162ebbb37f25cb),
-    (97, 3007, "crashy", 1, 0x31030f1b82f4212b),
+    (97, 3007, "mid", 0, 0x9f5629e27b7113ed),
+    (97, 3007, "mid", 1, 0x6849a46275ff427a),
+    (97, 3007, "hot", 0, 0xb6320a91656c42ed),
+    (97, 3007, "hot", 1, 0xa432f8ed24a2bcd6),
+    (97, 3007, "crashy", 0, 0x5019e3fb0a512cc3),
+    (97, 3007, "crashy", 1, 0xc2cebeb5c304a703),
 ];
 
 #[test]

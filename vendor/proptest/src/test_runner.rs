@@ -49,7 +49,8 @@ pub fn run_cases<S: crate::strategy::Strategy>(
 }
 
 /// Greedy shrink loop: starting from a known-failing `initial` value,
-/// repeatedly adopt the first [`Strategy::shrink`] candidate that still
+/// repeatedly adopt the first [`Strategy::shrink`](crate::strategy::Strategy::shrink)
+/// candidate that still
 /// fails, until no candidate fails (a local minimum) or the step budget
 /// runs out. Returns the minimized value, its failure, and the number of
 /// shrink steps taken.
