@@ -191,6 +191,7 @@ pub fn run_threaded_soak(app: App, cfg: ThreadedSoakConfig) -> ThreadedSoakRun {
     let cluster = ThreadedCluster::start(ThreadedConfig {
         nodes: 3,
         ae_interval: Some(Duration::from_millis(2)),
+        ..Default::default()
     });
     let mut workload = fresh_workload(app);
     {
@@ -525,6 +526,7 @@ mod tests {
             let mut threaded = ThreadedCluster::start(ThreadedConfig {
                 nodes: 3,
                 ae_interval: None,
+                ..Default::default()
             });
             let w_threaded = drive(app, seed, nops, &mut threaded);
             let fp_threaded = fingerprint(&mut threaded);

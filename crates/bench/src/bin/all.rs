@@ -27,4 +27,6 @@ fn main() {
     ipa_bench::figures::nemesis::print(&nem);
     println!();
     ipa_bench::figures::replication::regenerate(quick);
+    println!();
+    ipa_bench::figures::load::regenerate(quick);
 }

@@ -1,0 +1,10 @@
+//! Regenerate the open-loop load sweep and write the tracked
+//! `BENCH_load.json` at the repo root.
+//!
+//! ```text
+//! cargo run -p ipa-bench --release --bin load [-- --quick]
+//! ```
+
+fn main() {
+    ipa_bench::figures::load::regenerate(ipa_bench::quick_flag());
+}

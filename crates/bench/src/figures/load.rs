@@ -1,0 +1,464 @@
+//! **Open-loop load sweep** (beyond the paper): latency percentiles and
+//! saturation throughput under arrival-rate-driven load.
+//!
+//! The paper's figures drive closed-loop clients — each waits for its
+//! previous op before issuing the next — which caps queueing and hides
+//! the latency cliff near saturation (coordinated omission). This sweep
+//! is open-loop: arrivals are a Poisson process at a fixed offered rate
+//! per region, issued at their scheduled times whether or not earlier
+//! ops completed, so queue wait is charged to the op that suffered it.
+//!
+//! The generator synthesizes an explicit op trace — exponential
+//! inter-arrivals, Zipfian keys, a large virtual-user population
+//! multiplexed onto the simulator's client slots — and replays it
+//! through the same sealed-trace machinery the nemesis shrinker uses
+//! (`Simulation::set_explicit_ops`): replay fires each op at its
+//! recorded microsecond regardless of completion, which *is* open-loop
+//! injection. Reported latency is arrival-to-completion (queue wait +
+//! service + client RTT), summarized as p50/p99/p999 per offered rate.
+//!
+//! Alongside the wall-free latency model, the sweep reports the store's
+//! deterministic apply-path counters at the heaviest point: per-shard
+//! applied-update counts (the shard balance CI guards) and object-table
+//! lookups (the handle-cache bound: at most one lookup per update).
+//! Results land in `BENCH_load.json` at the repo root.
+
+use ipa_crdt::{ObjectKind, Val};
+use ipa_sim::{
+    paper_topology, AppOp, ClientInfo, FaultPlan, OpEvent, OpOutcome, OpTrace, SimConfig, SimCtx,
+    Simulation, Workload,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Distinct hot keys the Zipfian distribution ranges over.
+const KEYS: usize = 1024;
+/// Zipf exponent (YCSB's default skew).
+const ZIPF_S: f64 = 0.99;
+/// Client slots per region the virtual users are multiplexed onto.
+const SLOTS_PER_REGION: usize = 8;
+const REGIONS: usize = 3;
+/// A point is saturated when its p50 exceeds this multiple of the
+/// lightest point's p50: the median is then queue backlog, not service.
+const SATURATION_X: f64 = 5.0;
+
+/// One swept offered rate.
+#[derive(Clone, Debug)]
+pub struct LoadPoint {
+    /// Offered arrival rate, cluster-wide (ops/s across all regions).
+    pub offered_ops_s: f64,
+    /// Ops admitted inside the measurement window per second. Open
+    /// loop: this tracks the offered rate even past saturation (the
+    /// backlog shows up in the percentiles, not here).
+    pub admitted_ops_s: f64,
+    pub completed: u64,
+    pub failed: u64,
+    pub p50_ms: f64,
+    pub p99_ms: f64,
+    pub p999_ms: f64,
+}
+
+/// Deterministic apply-path counters of one replica after the heaviest
+/// sweep point (from [`ipa_store::ShardStats`] — no wall clock).
+#[derive(Clone, Debug)]
+pub struct ReplicaCounters {
+    pub region: u16,
+    /// Updates applied per shard, in shard order.
+    pub shard_updates: Vec<u64>,
+    /// Object/kind-table lookups per shard.
+    pub shard_lookups: Vec<u64>,
+}
+
+#[derive(Clone, Debug)]
+pub struct Report {
+    pub quick: bool,
+    /// Virtual users the arrival stream is drawn from (each op carries
+    /// its user id; users share the simulator's client slots).
+    pub virtual_users: u64,
+    pub keys: usize,
+    pub zipf_s: f64,
+    pub shards: usize,
+    pub points: Vec<LoadPoint>,
+    /// Admitted throughput at the knee — the highest rate the cluster
+    /// sustained with stable latency (ops/s).
+    pub saturation_ops_s: f64,
+    /// Highest offered rate whose p50 stayed under [`SATURATION_X`]×
+    /// the lightest point's p50 (ops/s); past it the queue grows
+    /// without bound and the median is backlog, not service.
+    pub knee_ops_s: f64,
+    /// Apply-path counters at the heaviest point, one entry per region.
+    pub per_replica: Vec<ReplicaCounters>,
+}
+
+/// Zipfian sampler over `0..n` via the precomputed CDF; rank 0 is the
+/// hottest key.
+struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    fn new(n: usize, s: f64) -> Zipf {
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Zipf { cdf }
+    }
+
+    fn sample(&self, rng: &mut StdRng) -> usize {
+        let u: f64 = rng.gen();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+/// The replay-side workload: executes synthesized `post` ops (one
+/// add-wins insert on the op's Zipfian key). Pure replay — `op` is
+/// never called because every run is driven by an explicit trace.
+struct PostWorkload;
+
+impl Workload for PostWorkload {
+    fn op(&mut self, _ctx: &mut SimCtx<'_>, _client: ClientInfo) -> OpOutcome {
+        unreachable!("the load sweep only replays synthesized traces")
+    }
+
+    fn execute(&mut self, ctx: &mut SimCtx<'_>, client: ClientInfo, op: &AppOp) -> OpOutcome {
+        // `post k<key> u<user>:<n>` — insert element u… into key k….
+        let mut tok = op.as_str().split_whitespace();
+        assert_eq!(tok.next(), Some("post"), "bad load op {:?}", op.as_str());
+        let key = tok.next().expect("key token").to_owned();
+        let elem = tok.next().expect("element token").to_owned();
+        ctx.commit(client.region, |tx| {
+            tx.ensure(key.as_str(), ObjectKind::AWSet)?;
+            tx.aw_add(key.as_str(), Val::str(elem))
+        })
+        .expect("commit");
+        OpOutcome::ok("post", 1, 1)
+    }
+}
+
+/// Synthesize the open-loop arrival trace for one offered rate: a
+/// Poisson process per region over `[0, horizon_s)`, each arrival drawn
+/// from `users` virtual users and multiplexed onto that region's client
+/// slots by `user % slots` (arrivals are generated in time order, so
+/// every slot's queue stays time-sorted, which replay requires).
+fn synthesize(rate_per_region: f64, horizon_s: f64, users: u64, seed: u64) -> OpTrace {
+    let zipf = Zipf::new(KEYS, ZIPF_S);
+    let mut events = Vec::new();
+    let mut n = 0u64;
+    for region in 0..REGIONS {
+        let mut rng = StdRng::seed_from_u64(seed ^ (0x10ad << 16) ^ region as u64);
+        let mut t_s = 0.0f64;
+        loop {
+            // Exponential inter-arrival at the offered rate.
+            let u: f64 = rng.gen::<f64>().max(1e-12);
+            t_s += -u.ln() / rate_per_region;
+            if t_s >= horizon_s {
+                break;
+            }
+            let user = rng.gen_range(0..users);
+            let key = zipf.sample(&mut rng);
+            n += 1;
+            let slot = region * SLOTS_PER_REGION + (user as usize % SLOTS_PER_REGION);
+            events.push(OpEvent {
+                client: slot,
+                at_us: (t_s * 1e6) as u64,
+                op: AppOp::new(format!("post k{key} u{user}:{n}")),
+            });
+        }
+    }
+    // Replay queues are per client; each client's events must be
+    // time-ordered. Regions are generated independently, so sort the
+    // whole stream by (client, time) — a stable global order that also
+    // keeps the trace deterministic.
+    events.sort_by_key(|e| (e.client, e.at_us));
+    OpTrace {
+        events,
+        sends: Vec::new(),
+    }
+}
+
+/// Replay one offered rate; returns the point and the quiesced sim.
+fn run_point(rate_per_region: f64, users: u64, quick: bool, seed: u64) -> (LoadPoint, Simulation) {
+    let (warmup_s, duration_s) = if quick { (0.3, 1.5) } else { (1.0, 8.0) };
+    let trace = synthesize(rate_per_region, warmup_s + duration_s, users, seed);
+    let cfg = SimConfig {
+        clients_per_region: SLOTS_PER_REGION,
+        warmup_s,
+        duration_s,
+        seed,
+        faults: FaultPlan::none(),
+        ..Default::default()
+    };
+    let mut sim = Simulation::new(paper_topology(), cfg);
+    sim.set_explicit_ops(&trace);
+    let mut w = PostWorkload;
+    sim.run(&mut w);
+    sim.quiesce();
+    let overall = sim.metrics.overall();
+    let point = LoadPoint {
+        offered_ops_s: rate_per_region * REGIONS as f64,
+        admitted_ops_s: sim.metrics.throughput(),
+        completed: sim.metrics.completed,
+        failed: sim.metrics.failed,
+        p50_ms: overall.as_ref().map_or(0.0, |s| s.p50_ms),
+        p99_ms: overall.as_ref().map_or(0.0, |s| s.p99_ms),
+        p999_ms: overall.as_ref().map_or(0.0, |s| s.p999_ms),
+    };
+    (point, sim)
+}
+
+pub fn run(quick: bool) -> Report {
+    // Per-region offered rates bracketing the service capacity
+    // (`ServiceCosts::base_ms` = 2.8 ms ⇒ ≈357 ops/s per region).
+    let rates: &[f64] = if quick {
+        &[120.0, 280.0, 440.0]
+    } else {
+        &[60.0, 120.0, 200.0, 280.0, 340.0, 400.0, 480.0]
+    };
+    let users: u64 = if quick { 200_000 } else { 2_000_000 };
+    let seed = 42;
+
+    let mut points = Vec::new();
+    let mut last_sim = None;
+    for &rate in rates {
+        let (point, sim) = run_point(rate, users, quick, seed);
+        points.push(point);
+        last_sim = Some(sim);
+    }
+    let heaviest = last_sim.expect("at least one rate");
+    let per_replica = (0..REGIONS as u16)
+        .map(|r| {
+            let stats = heaviest.replica(r).shard_stats();
+            ReplicaCounters {
+                region: r,
+                shard_updates: stats.iter().map(|s| s.updates_applied).collect(),
+                shard_lookups: stats.iter().map(|s| s.table_lookups).collect(),
+            }
+        })
+        .collect();
+    let base_p50 = points.first().map_or(0.0, |p| p.p50_ms);
+    let knee = points
+        .iter()
+        .filter(|p| p.p50_ms <= SATURATION_X * base_p50)
+        .max_by(|a, b| a.offered_ops_s.total_cmp(&b.offered_ops_s));
+    let saturation_ops_s = knee.map_or(0.0, |p| p.admitted_ops_s);
+    let knee_ops_s = knee.map_or(0.0, |p| p.offered_ops_s);
+
+    Report {
+        quick,
+        virtual_users: users,
+        keys: KEYS,
+        zipf_s: ZIPF_S,
+        shards: ipa_store::DEFAULT_SHARDS,
+        points,
+        saturation_ops_s,
+        knee_ops_s,
+        per_replica,
+    }
+}
+
+pub fn print(report: &Report) {
+    println!(
+        "Open-loop load sweep: {} virtual users, {} Zipf({}) keys, {} shards.",
+        report.virtual_users, report.keys, report.zipf_s, report.shards
+    );
+    println!(
+        "{:>12} {:>12} {:>10} {:>8} {:>10} {:>10} {:>10}",
+        "offered/s", "admitted/s", "completed", "failed", "p50 [ms]", "p99 [ms]", "p999 [ms]"
+    );
+    for p in &report.points {
+        println!(
+            "{:>12.0} {:>12.1} {:>10} {:>8} {:>10.1} {:>10.1} {:>10.1}",
+            p.offered_ops_s, p.admitted_ops_s, p.completed, p.failed, p.p50_ms, p.p99_ms, p.p999_ms
+        );
+    }
+    println!(
+        "saturation throughput: {:.0} ops/s — the knee ({:.0} ops/s offered) is the \
+         last point whose p50 stays under {}x the unloaded median",
+        report.saturation_ops_s, report.knee_ops_s, SATURATION_X
+    );
+    for rc in &report.per_replica {
+        println!(
+            "  region {}: per-shard updates {:?}, table lookups {:?} (deterministic)",
+            rc.region, rc.shard_updates, rc.shard_lookups
+        );
+    }
+}
+
+/// Render the machine-readable `BENCH_load.json` payload.
+pub fn to_json(report: &Report) -> String {
+    let list = |v: &[u64]| v.iter().map(u64::to_string).collect::<Vec<_>>().join(", ");
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"figure\": \"load\",\n");
+    s.push_str(&format!("  \"quick\": {},\n", report.quick));
+    s.push_str(&format!(
+        "  \"virtual_users\": {},\n  \"keys\": {},\n  \"zipf_s\": {},\n  \"shards\": {},\n",
+        report.virtual_users, report.keys, report.zipf_s, report.shards
+    ));
+    s.push_str("  \"points\": [\n");
+    for (i, p) in report.points.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"offered_ops_s\": {:.0}, \"admitted_ops_s\": {:.1}, \
+             \"completed\": {}, \"failed\": {}, \"p50_ms\": {:.2}, \
+             \"p99_ms\": {:.2}, \"p999_ms\": {:.2}}}{}\n",
+            p.offered_ops_s,
+            p.admitted_ops_s,
+            p.completed,
+            p.failed,
+            p.p50_ms,
+            p.p99_ms,
+            p.p999_ms,
+            if i + 1 < report.points.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ],\n");
+    s.push_str(&format!(
+        "  \"saturation_ops_s\": {:.1},\n  \"knee_ops_s\": {:.0},\n",
+        report.saturation_ops_s, report.knee_ops_s
+    ));
+    s.push_str("  \"per_replica\": [\n");
+    for (i, rc) in report.per_replica.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"region\": {}, \"shard_updates\": [{}], \"shard_lookups\": [{}]}}{}\n",
+            rc.region,
+            list(&rc.shard_updates),
+            list(&rc.shard_lookups),
+            if i + 1 < report.per_replica.len() {
+                ","
+            } else {
+                ""
+            }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// Canonical location of the tracked JSON: the repo root.
+pub fn json_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_load.json")
+}
+
+/// Run the sweep, print the table, and (re)write the tracked JSON.
+pub fn regenerate(quick: bool) {
+    let report = run(quick);
+    print(&report);
+    let path = json_path();
+    std::fs::write(&path, to_json(&report)).expect("write BENCH_load.json");
+    println!("\nwrote {}", path.display());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_sweep_saturates_and_balances() {
+        let report = run(true);
+        assert_eq!(report.points.len(), 3);
+        // Under capacity the cluster keeps up; the heaviest point
+        // (440/region ≫ 357/region capacity) must fall behind.
+        let light = &report.points[0];
+        let heavy = report.points.last().unwrap();
+        assert!(
+            light.admitted_ops_s >= 0.9 * light.offered_ops_s,
+            "open loop admits the offered rate: {light:?}"
+        );
+        assert!(
+            light.p50_ms < 10.0,
+            "under capacity the median is service-bound: {light:?}"
+        );
+        assert!(
+            heavy.p50_ms > SATURATION_X * light.p50_ms,
+            "past capacity the median is backlog: {heavy:?} vs {light:?}"
+        );
+        assert!(
+            heavy.p999_ms > heavy.p99_ms && heavy.p99_ms > heavy.p50_ms,
+            "percentiles are ordered: {heavy:?}"
+        );
+        assert!(report.saturation_ops_s > 0.0);
+        assert!(report.knee_ops_s >= light.offered_ops_s);
+        assert!(
+            report.knee_ops_s < heavy.offered_ops_s,
+            "the heaviest point must sit past the knee"
+        );
+
+        // Deterministic counters: every region applied work on every
+        // shard, lookups obey the handle-cache bound (≤ one per
+        // update), and the Zipfian skew stays within the balance bound
+        // the CI smoke guards (busiest shard ≤ 2× the mean).
+        assert_eq!(report.per_replica.len(), 3);
+        for rc in &report.per_replica {
+            assert_eq!(rc.shard_updates.len(), report.shards);
+            let total: u64 = rc.shard_updates.iter().sum();
+            let max = *rc.shard_updates.iter().max().unwrap();
+            assert!(total > 0, "region {} applied nothing", rc.region);
+            assert!(rc.shard_updates.iter().all(|&u| u > 0));
+            assert!(
+                (max as f64) <= 2.0 * (total as f64 / report.shards as f64),
+                "shard imbalance in region {}: {:?}",
+                rc.region,
+                rc.shard_updates
+            );
+            let lookups: u64 = rc.shard_lookups.iter().sum();
+            assert!(lookups > 0);
+            assert!(
+                lookups <= total + 2 * KEYS as u64,
+                "handle cache bound: {lookups} lookups for {total} updates"
+            );
+        }
+    }
+
+    #[test]
+    fn the_sweep_is_deterministic() {
+        let a = run(true);
+        let b = run(true);
+        for (x, y) in a.points.iter().zip(&b.points) {
+            assert_eq!(x.completed, y.completed);
+            assert_eq!(x.p99_ms, y.p99_ms);
+        }
+        for (x, y) in a.per_replica.iter().zip(&b.per_replica) {
+            assert_eq!(x.shard_updates, y.shard_updates);
+            assert_eq!(x.shard_lookups, y.shard_lookups);
+        }
+    }
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let report = Report {
+            quick: true,
+            virtual_users: 200_000,
+            keys: 1024,
+            zipf_s: 0.99,
+            shards: 4,
+            points: vec![LoadPoint {
+                offered_ops_s: 360.0,
+                admitted_ops_s: 355.2,
+                completed: 533,
+                failed: 0,
+                p50_ms: 6.1,
+                p99_ms: 14.9,
+                p999_ms: 21.3,
+            }],
+            saturation_ops_s: 355.2,
+            knee_ops_s: 360.0,
+            per_replica: vec![ReplicaCounters {
+                region: 0,
+                shard_updates: vec![200, 150, 120, 63],
+                shard_lookups: vec![180, 140, 110, 60],
+            }],
+        };
+        let json = to_json(&report);
+        assert!(json.contains("\"figure\": \"load\""));
+        assert!(json.contains("\"shard_updates\": [200, 150, 120, 63]"));
+        assert!(json.contains("\"saturation_ops_s\": 355.2"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+}

@@ -6,6 +6,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod load;
 pub mod nemesis;
 pub mod replication;
 pub mod table1;

@@ -85,6 +85,50 @@ pub struct Report {
     /// What the pre-cache apply loop paid for the same deliveries: two
     /// lookups (kinds + objects) per applied update.
     pub batch_apply_table_lookups_legacy: u64,
+    /// Sharded parallel apply vs. the single-shard sequential oracle.
+    pub parallel_apply: ParallelApply,
+}
+
+/// Sharded parallel apply, single-shard sequential oracle vs. the
+/// multi-shard path with scoped worker threads.
+#[derive(Clone, Debug)]
+pub struct ParallelApply {
+    pub batches: usize,
+    pub updates_per_batch: usize,
+    pub shards: usize,
+    /// Wall throughput of the single-shard sequential apply (batches/s).
+    pub single_shard_per_s: f64,
+    /// Wall throughput of the sharded parallel apply (batches/s). On a
+    /// single-core runner this is ≈1x the sequential figure (threads
+    /// cannot overlap); the span speedup below is the tracked metric.
+    pub parallel_per_s: f64,
+    /// Updates applied across all shards (deterministic, from
+    /// [`ipa_store::ShardStats`]).
+    pub total_updates: u64,
+    /// Updates applied by the busiest shard — the critical path of the
+    /// parallel apply.
+    pub max_shard_updates: u64,
+    /// Per-shard update counts, in shard order (deterministic).
+    pub shard_updates: Vec<u64>,
+}
+
+impl ParallelApply {
+    /// Wall-clock speedup — machine-dependent, ≈1x on one core.
+    pub fn wall_speedup(&self) -> f64 {
+        if self.single_shard_per_s > 0.0 {
+            self.parallel_per_s / self.single_shard_per_s
+        } else {
+            0.0
+        }
+    }
+
+    /// Critical-path (span) speedup of the sharded apply: total update
+    /// work over the busiest shard's share. Deterministic — a function
+    /// of the key hash and the workload, not of the runner — and the
+    /// throughput bound the threaded path reaches with ≥`shards` cores.
+    pub fn span_speedup(&self) -> f64 {
+        self.total_updates as f64 / self.max_shard_updates.max(1) as f64
+    }
 }
 
 /// The pre-optimization structures, reproduced for same-run A/B
@@ -425,6 +469,76 @@ fn measure_batch_apply(batches: usize, objects_per_batch: usize) -> (f64, f64, u
     )
 }
 
+/// Sharded parallel apply vs. the single-shard oracle on wide batches.
+/// Each batch touches `keys` distinct keys (one counter add per key), so
+/// the shard splitter gets `keys` independent runs well above the
+/// `PARALLEL_APPLY_MIN_UPDATES` threshold, spread by the key hash.
+fn measure_parallel_apply(batches: usize, keys: usize, shards: usize) -> ParallelApply {
+    let mut src = Replica::with_shards(ReplicaId(0), 1);
+    let key_names: Vec<String> = (0..keys).map(|i| format!("p:k{i}")).collect();
+    for i in 0..batches {
+        let mut tx = src.begin();
+        for (j, key) in key_names.iter().enumerate() {
+            tx.ensure(key.as_str(), ObjectKind::PNCounter).unwrap();
+            tx.counter_add(key.as_str(), (i + j) as i64).unwrap();
+        }
+        tx.commit();
+    }
+    let staged = src.take_outbox();
+
+    let deliver = |shards: usize, parallel: bool| -> (Replica, u64) {
+        let mut dst = Replica::with_shards(ReplicaId(1), shards);
+        dst.set_parallel_apply(parallel);
+        let t = Instant::now();
+        for b in &staged {
+            dst.receive(std::sync::Arc::clone(b));
+        }
+        let ns = t.elapsed().as_nanos() as u64;
+        assert_eq!(dst.stats.batches_applied as usize, batches);
+        (dst, ns)
+    };
+
+    // Warm-up pass each, then best-of-three per side.
+    deliver(1, false);
+    deliver(shards, true);
+    let mut single_ns = u64::MAX;
+    let mut parallel_ns = u64::MAX;
+    let mut sharded = None;
+    for _ in 0..3 {
+        single_ns = single_ns.min(deliver(1, false).1);
+        let (dst, ns) = deliver(shards, true);
+        parallel_ns = parallel_ns.min(ns);
+        sharded = Some(dst);
+    }
+    let sharded = sharded.expect("measured");
+    let shard_updates: Vec<u64> = sharded
+        .shard_stats()
+        .iter()
+        .map(|s| s.updates_applied)
+        .collect();
+    let total_updates: u64 = shard_updates.iter().sum();
+    let max_shard_updates = shard_updates.iter().copied().max().unwrap_or(0);
+    assert_eq!(total_updates as usize, batches * keys);
+
+    let per_s = |ns: u64| {
+        if ns == 0 {
+            f64::INFINITY
+        } else {
+            batches as f64 * 1e9 / ns as f64
+        }
+    };
+    ParallelApply {
+        batches,
+        updates_per_batch: keys,
+        shards,
+        single_shard_per_s: per_s(single_ns),
+        parallel_per_s: per_s(parallel_ns),
+        total_updates,
+        max_shard_updates,
+        shard_updates,
+    }
+}
+
 pub fn run(quick: bool) -> Report {
     let log_lens: &[usize] = if quick {
         &[250, 1000, 4000]
@@ -442,6 +556,11 @@ pub fn run(quick: bool) -> Report {
     let key_clone = measure_key_clone(clone_iters);
     let (batch_apply_per_s, batch_apply_legacy_per_s, updates_per_batch, lookups, lookups_legacy) =
         measure_batch_apply(apply_batches, objects_per_batch);
+    let parallel_apply = measure_parallel_apply(
+        if quick { 16 } else { 128 },
+        1024,
+        ipa_store::DEFAULT_SHARDS,
+    );
 
     Report {
         quick,
@@ -455,6 +574,7 @@ pub fn run(quick: bool) -> Report {
         batch_apply_batches: apply_batches,
         batch_apply_table_lookups: lookups,
         batch_apply_table_lookups_legacy: lookups_legacy,
+        parallel_apply,
     }
 }
 
@@ -518,6 +638,26 @@ pub fn print(report: &Report) {
         report.batch_apply_table_lookups_legacy as f64
             / report.batch_apply_table_lookups.max(1) as f64,
     );
+    let p = &report.parallel_apply;
+    println!(
+        "\nSharded parallel apply ({} batches × {} updates, {} shards): \
+         {:.0}/s single-shard, {:.0}/s sharded+threads ({:.2}x wall)",
+        p.batches,
+        p.updates_per_batch,
+        p.shards,
+        p.single_shard_per_s,
+        p.parallel_per_s,
+        p.wall_speedup(),
+    );
+    println!(
+        "  critical path (deterministic): busiest shard applied {} of {} updates \
+         → {:.2}x span speedup with ≥{} cores (per-shard: {:?})",
+        p.max_shard_updates,
+        p.total_updates,
+        p.span_speedup(),
+        p.shards,
+        p.shard_updates,
+    );
 }
 
 /// Render the report as the machine-readable `BENCH_replication.json`
@@ -573,7 +713,7 @@ pub fn to_json(report: &Report) -> String {
         "  \"batch_apply\": {{\"batches\": {}, \"updates_per_batch\": {}, \
          \"new_batches_per_s\": {:.0}, \"legacy_batches_per_s\": {:.0}, \
          \"speedup_x\": {:.2}, \"table_lookups\": {}, \"legacy_table_lookups\": {}, \
-         \"lookup_reduction_x\": {:.2}}}\n",
+         \"lookup_reduction_x\": {:.2}}},\n",
         report.batch_apply_batches,
         report.batch_apply_updates_per_batch,
         report.batch_apply_per_s,
@@ -583,6 +723,28 @@ pub fn to_json(report: &Report) -> String {
         report.batch_apply_table_lookups_legacy,
         report.batch_apply_table_lookups_legacy as f64
             / report.batch_apply_table_lookups.max(1) as f64,
+    ));
+    let p = &report.parallel_apply;
+    s.push_str(&format!(
+        "  \"parallel_apply\": {{\"batches\": {}, \"updates_per_batch\": {}, \
+         \"shards\": {}, \"single_shard_batches_per_s\": {:.0}, \
+         \"parallel_batches_per_s\": {:.0}, \"wall_speedup_x\": {:.2}, \
+         \"total_updates\": {}, \"max_shard_updates\": {}, \
+         \"shard_updates\": [{}], \"speedup_x\": {:.2}}}\n",
+        p.batches,
+        p.updates_per_batch,
+        p.shards,
+        p.single_shard_per_s,
+        p.parallel_per_s,
+        p.wall_speedup(),
+        p.total_updates,
+        p.max_shard_updates,
+        p.shard_updates
+            .iter()
+            .map(u64::to_string)
+            .collect::<Vec<_>>()
+            .join(", "),
+        p.span_speedup(),
     ));
     s.push_str("}\n");
     s
@@ -649,6 +811,19 @@ mod tests {
             "two adds per object: {} updates/batch",
             report.batch_apply_updates_per_batch
         );
+        // The sharded apply's critical path must be at least 1.5x
+        // shorter than the sequential one — deterministic (a property of
+        // the key hash spread, not the runner), so CI can hold the line.
+        let p = &report.parallel_apply;
+        assert_eq!(p.shard_updates.len(), p.shards);
+        assert_eq!(p.shard_updates.iter().sum::<u64>(), p.total_updates);
+        assert!(
+            p.span_speedup() >= 1.5,
+            "sharded critical path too long: {:.2}x ({:?})",
+            p.span_speedup(),
+            p.shard_updates
+        );
+        assert!(p.single_shard_per_s > 0.0 && p.parallel_per_s > 0.0);
     }
 
     #[test]
@@ -693,6 +868,16 @@ mod tests {
             batch_apply_batches: 5_000,
             batch_apply_table_lookups: 25_000,
             batch_apply_table_lookups_legacy: 40_000,
+            parallel_apply: ParallelApply {
+                batches: 16,
+                updates_per_batch: 1024,
+                shards: 4,
+                single_shard_per_s: 1_000.0,
+                parallel_per_s: 950.0,
+                total_updates: 16_384,
+                max_shard_updates: 4_200,
+                shard_updates: vec![4_200, 4_100, 4_044, 4_040],
+            },
         };
         let json = to_json(&report);
         assert!(json.contains("\"anti_entropy\""));
@@ -700,6 +885,9 @@ mod tests {
         assert!(json.contains("\"batch_apply\""));
         assert!(json.contains("\"table_lookups\": 25000"));
         assert!(json.contains("\"legacy_table_lookups\": 40000"));
+        assert!(json.contains("\"parallel_apply\""));
+        assert!(json.contains("\"shard_updates\": [4200, 4100, 4044, 4040]"));
+        assert!(json.contains("\"speedup_x\": 3.90"));
         assert_eq!(
             json.matches('{').count(),
             json.matches('}').count(),

@@ -7,7 +7,7 @@ use crate::metrics::Metrics;
 use crate::server::{ServerQueue, ServiceCosts};
 use crate::shrink::{ExplicitPlan, FaultEvent};
 use crate::time::SimTime;
-use crate::trace::{AppOp, OpEvent, OpTrace};
+use crate::trace::{AppOp, OpEvent, OpTrace, SendRec, SETUP_CLIENT};
 use ipa_crdt::ReplicaId;
 use ipa_store::{
     anti_entropy_fixpoint_nodes, AeCursors, CommitInfo, Node, Replica, StoreError, Transaction,
@@ -40,6 +40,11 @@ pub struct SimConfig {
     /// Nemesis schedule: transport faults, flapping partitions, replica
     /// crashes. [`FaultPlan::none`] reproduces the benign transport.
     pub faults: FaultPlan,
+    /// Shard count for every replica's object table (key space is
+    /// hash-partitioned; see `ipa_store::DEFAULT_SHARDS`). The
+    /// simulation applies shards in fixed index order, so the event
+    /// schedule — and every digest pin — is shard-count-invariant.
+    pub shards: usize,
 }
 
 impl Default for SimConfig {
@@ -54,6 +59,7 @@ impl Default for SimConfig {
             costs: ServiceCosts::default(),
             gc_interval_s: Some(1.0),
             faults: FaultPlan::none(),
+            shards: ipa_store::DEFAULT_SHARDS,
         }
     }
 }
@@ -100,17 +106,18 @@ const OPEN_ENDED_S: f64 = 1.0e6;
 #[derive(Debug, Default)]
 struct OpRecorder {
     events: Vec<OpEvent>,
-    send_us: Vec<(Region, Region, u64, u64)>,
+    sends: Vec<SendRec>,
 }
 
 /// Indexed form of an [`OpTrace`]: per-client FIFO queues of `(fire
-/// time, op)` plus the recorded send-delay table. When installed, every
-/// client fires at its recorded times and executes its recorded ops —
-/// the workload RNG is never drawn.
+/// time, op)` plus the recorded send-delay table keyed by staging op
+/// event (`(client, fire µs, ordinal)`). When installed, every client
+/// fires at its recorded times and executes its recorded ops — the
+/// workload RNG is never drawn.
 #[derive(Debug)]
 struct ExplicitOps {
     by_client: Vec<VecDeque<(u64, AppOp)>>,
-    sends: HashMap<(Region, Region, u64), u64>,
+    sends: HashMap<(u64, u64, u32), u64>,
 }
 
 /// Indexed form of an [`ExplicitPlan`]: when installed, every fault
@@ -341,9 +348,15 @@ pub struct SimCtx<'a> {
     /// The payload is `Arc`-shared across destinations.
     staged: Vec<(Region, SimTime, Arc<UpdateBatch>)>,
     /// Recorded send delays, installed during explicit-op replay:
-    /// staged deliveries use the recorded `(origin, dest, seq)` delay
-    /// (base latency fallback) instead of drawing the workload RNG.
-    replay_sends: Option<&'a HashMap<(Region, Region, u64), u64>>,
+    /// staged deliveries use the recorded `(client, fire µs, ordinal)`
+    /// delay (base latency fallback) instead of drawing the workload
+    /// RNG. Keying by staging op — not by the batch's `(origin, dest,
+    /// seq)` — keeps delays glued to their op when a shrunk trace
+    /// re-packs batch sequences.
+    replay_sends: Option<&'a HashMap<(u64, u64, u32), u64>>,
+    /// The executing client ([`SETUP_CLIENT`] during `Workload::setup`);
+    /// with `self.now`, the send-table key prefix for this op.
+    replay_client: u64,
 }
 
 impl<'a> SimCtx<'a> {
@@ -408,16 +421,22 @@ impl<'a> SimCtx<'a> {
                 }
                 // Explicit-op replay: the send delay is the recorded one
                 // (exact µs — the seal) or the jitter-free base latency
-                // for batches a shrunk trace re-sequenced; the workload
-                // RNG is never drawn. The partition check stays first so
-                // candidate replays honor *their own* fault plan's cut
-                // windows; the seal is unaffected — a batch recorded
-                // while its link was down recorded this same heal delay.
+                // for sends a shrunk trace no longer records; the
+                // workload RNG is never drawn. The partition check stays
+                // first so candidate replays honor *their own* fault
+                // plan's cut windows; the seal is unaffected — a batch
+                // recorded while its link was down recorded this same
+                // heal delay.
                 if let Some(sends) = self.replay_sends {
+                    let key = (
+                        self.replay_client,
+                        self.now.as_micros(),
+                        self.staged.len() as u32,
+                    );
                     let delay = if !self.latency.link_up(region, dest) {
                         SimTime::from_secs(3600.0)
                     } else {
-                        match sends.get(&(region, dest, batch.seq)) {
+                        match sends.get(&key) {
                             Some(&us) => SimTime(us),
                             None => SimTime::from_ms(self.latency.base_rtt(region, dest) / 2.0),
                         }
@@ -609,7 +628,9 @@ pub struct Simulation {
 impl Simulation {
     pub fn new(latency: LatencyModel, cfg: SimConfig) -> Simulation {
         let regions = latency.regions() as u16;
-        let nodes: Vec<Node> = (0..regions).map(|r| Node::new(ReplicaId(r))).collect();
+        let nodes: Vec<Node> = (0..regions)
+            .map(|r| Node::with_shards(ReplicaId(r), cfg.shards))
+            .collect();
         let servers = (0..regions).map(|_| ServerQueue::new()).collect();
         let mut clients = Vec::with_capacity(cfg.clients_per_region * regions as usize);
         for region in 0..regions {
@@ -714,7 +735,7 @@ impl Simulation {
         let rec = self.op_rec.take().expect("record_op_trace was enabled");
         OpTrace {
             events: rec.events,
-            send_us: rec.send_us,
+            sends: rec.sends,
         }
     }
 
@@ -739,9 +760,9 @@ impl Simulation {
         self.explicit_ops = Some(ExplicitOps {
             by_client,
             sends: trace
-                .send_us
+                .sends
                 .iter()
-                .map(|&(o, d, seq, us)| ((o, d, seq), us))
+                .map(|s| ((s.client, s.at_us, s.ordinal), s.delay_us))
                 .collect(),
         });
     }
@@ -1009,15 +1030,14 @@ impl Simulation {
                 self.gaps.swap_remove(i);
                 continue;
             }
-            // No repair opportunity this round: either endpoint is down
-            // (a crashed origin cannot serve its durable copy; a crashed
-            // dest cannot pull) or the direct link is cut. (Relay repair
-            // via a third replica can still happen — this only pauses
-            // the countdown, keeping the oracle free of false alarms.)
-            if self.nodes[g.dest as usize].is_down()
-                || self.nodes[g.origin as usize].is_down()
-                || !self.latency.link_up(g.origin, g.dest)
-            {
+            // No repair opportunity this round: the countdown only
+            // pauses when *no* up-path from any live holder of the
+            // batch reaches the destination. Pausing on the direct
+            // link alone let relay-reachable gaps (origin—dest cut,
+            // but origin→relay→dest fully up) idle forever without
+            // tripping the bound — anti-entropy is pairwise, so a
+            // two-hop repair is exactly what the oracle must time.
+            if !self.repair_opportunity(&g) {
                 i += 1;
                 continue;
             }
@@ -1033,6 +1053,47 @@ impl Simulation {
             }
             i += 1;
         }
+    }
+
+    /// Does `g.dest` have any usable repair path this round? True when
+    /// some live replica whose applied clock durably covers the missing
+    /// batch (`clock[origin] >= seq`) can reach `dest` transitively
+    /// through up links and live relays — pairwise anti-entropy moves
+    /// the batch one hop per round along exactly such a path. False
+    /// when the destination is down, no live replica holds the batch,
+    /// or every path is severed (then the countdown pauses: repair is
+    /// genuinely impossible, not merely slow).
+    fn repair_opportunity(&self, g: &Gap) -> bool {
+        let dest = g.dest as usize;
+        if self.nodes[dest].is_down() {
+            return false;
+        }
+        let n = self.nodes.len();
+        // Multi-source BFS from every live holder of the batch.
+        let mut reached = vec![false; n];
+        let mut frontier: VecDeque<usize> = VecDeque::new();
+        for (i, node) in self.nodes.iter().enumerate() {
+            if i != dest
+                && !node.is_down()
+                && node.replica().clock().get(ReplicaId(g.origin)) >= g.seq
+            {
+                reached[i] = true;
+                frontier.push_back(i);
+            }
+        }
+        while let Some(i) = frontier.pop_front() {
+            for (j, node) in self.nodes.iter().enumerate() {
+                if reached[j] || node.is_down() || !self.latency.link_up(i as Region, j as Region) {
+                    continue;
+                }
+                if j == dest {
+                    return true;
+                }
+                reached[j] = true;
+                frontier.push_back(j);
+            }
+        }
+        false
     }
 
     /// Every gap gets a fresh repair window when the network transitions
@@ -1159,11 +1220,12 @@ impl Simulation {
                 rng: &mut self.rng,
                 staged: Vec::new(),
                 replay_sends: self.explicit_ops.as_ref().map(|x| &x.sends),
+                replay_client: SETUP_CLIENT,
             };
             workload.setup(&mut ctx);
             std::mem::take(&mut ctx.staged)
         };
-        self.record_staged_sends(&staged);
+        self.record_staged_sends(&staged, SETUP_CLIENT);
         self.flush_staged(staged);
 
         if self.explicit_ops.is_some() {
@@ -1419,16 +1481,29 @@ impl Simulation {
                     if self.nodes[client.region as usize].is_down() {
                         // Home replica is down: the op fails fast and the
                         // client retries after a think-time backoff. In
-                        // replay the recorded op is skipped instead (this
-                        // only happens under a *modified* fault plan —
-                        // at record time the op executed, so the region
-                        // was up) and the client jumps to its next
-                        // recorded op.
+                        // replay (this only happens under a *modified*
+                        // fault plan — at record time the op executed, so
+                        // the region was up) the recorded op *defers to
+                        // the restart* when the crash window closes
+                        // inside the run: dropping it silently deleted
+                        // writes from shrink candidates, so ddmin kept
+                        // "minimal" plans that only failed because the
+                        // workload lost ops, not because of the fault
+                        // under test. With no restart scheduled the op is
+                        // skipped as before (the region never comes back).
                         if self.now >= warmup_end {
                             self.metrics.record_failure();
                         }
                         if self.explicit_ops.is_some() {
-                            self.schedule_next_replay_op(c);
+                            if let (Some(op), Some(restart_at)) =
+                                (replay_op, self.next_restart_after(client.region))
+                            {
+                                let ops = self.explicit_ops.as_mut().expect("checked");
+                                ops.by_client[c].push_front((restart_at.as_micros(), op));
+                                self.schedule(restart_at, Event::ClientReady(c));
+                            } else {
+                                self.schedule_next_replay_op(c);
+                            }
                         } else {
                             let think = self.think_time();
                             let at = self.now + SimTime::from_ms(self.cfg.think_time_ms) + think;
@@ -1444,6 +1519,7 @@ impl Simulation {
                             rng: &mut self.rng,
                             staged: Vec::new(),
                             replay_sends: self.explicit_ops.as_ref().map(|x| &x.sends),
+                            replay_client: c as u64,
                         };
                         let (outcome, decided) = match &replay_op {
                             // Replay: execute the recorded op; no RNG.
@@ -1473,7 +1549,7 @@ impl Simulation {
                                 op,
                             });
                     }
-                    self.record_staged_sends(&staged);
+                    self.record_staged_sends(&staged, c as u64);
                     self.flush_staged(staged);
                     self.fold_digest([7, next.at.as_micros(), c as u64, u64::from(outcome.ok)]);
                     let region = client.region as usize;
@@ -1516,24 +1592,52 @@ impl Simulation {
         self.now = end;
     }
 
-    /// Chain a replayed client to its next recorded op, if any.
+    /// Chain a replayed client to its next recorded op, if any. A
+    /// deferred op can leave the client past later recorded times; the
+    /// serial client then fires them as soon as it is free (never
+    /// scheduling into the past). Sealed full-trace replays never
+    /// defer, so there the recorded times are used verbatim.
     fn schedule_next_replay_op(&mut self, c: usize) {
-        let Some(ops) = &self.explicit_ops else {
+        let now = self.now;
+        let Some(ops) = &mut self.explicit_ops else {
             return;
         };
-        if let Some(&(at_us, _)) = ops.by_client[c].front() {
-            self.schedule(SimTime(at_us), Event::ClientReady(c));
+        if let Some(front) = ops.by_client[c].front_mut() {
+            if SimTime(front.0) < now {
+                front.0 = now.as_micros();
+            }
+            let at = SimTime(front.0);
+            self.schedule(at, Event::ClientReady(c));
         }
     }
 
-    /// Record every staged delivery's send latency (op-trace recording;
-    /// pure observation).
-    fn record_staged_sends(&mut self, staged: &[(Region, SimTime, Arc<UpdateBatch>)]) {
+    /// The earliest pending restart of `region` in the event queue
+    /// (None when the region stays down for the rest of the run).
+    fn next_restart_after(&self, region: Region) -> Option<SimTime> {
+        self.queue
+            .iter()
+            .filter_map(|Reverse(s)| match s.ev {
+                Event::Restart(r) if r == region => Some(s.at),
+                _ => None,
+            })
+            .min()
+    }
+
+    /// Record every staged delivery's send latency, keyed by the op
+    /// that staged it (op-trace recording; pure observation). The
+    /// ordinal is the send's index within this op's staged vector —
+    /// replay stages the same sends in the same order, so the key is
+    /// reconstructed exactly.
+    fn record_staged_sends(&mut self, staged: &[(Region, SimTime, Arc<UpdateBatch>)], client: u64) {
         let Some(rec) = &mut self.op_rec else { return };
         let now_us = self.now.as_micros();
-        for (dest, at, batch) in staged {
-            rec.send_us
-                .push((batch.origin.0, *dest, batch.seq, at.as_micros() - now_us));
+        for (ordinal, (_dest, at, _batch)) in staged.iter().enumerate() {
+            rec.sends.push(SendRec {
+                client,
+                at_us: now_us,
+                ordinal: ordinal as u32,
+                delay_us: at.as_micros() - now_us,
+            });
         }
     }
 

@@ -42,4 +42,4 @@ pub use shrink::{
     ShrinkBudget, ShrinkOutcome,
 };
 pub use time::SimTime;
-pub use trace::{AppOp, OpEvent, OpTrace, OP_TRACE_HEADER};
+pub use trace::{AppOp, OpEvent, OpTrace, SendRec, OP_TRACE_HEADER, SETUP_CLIENT};

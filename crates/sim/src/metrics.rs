@@ -11,6 +11,9 @@ pub struct LatencySummary {
     pub p50_ms: f64,
     pub p95_ms: f64,
     pub p99_ms: f64,
+    /// 99.9th percentile — the open-loop load sweep's tail metric
+    /// (meaningful only with thousands of samples per point).
+    pub p999_ms: f64,
     pub std_ms: f64,
 }
 
@@ -143,6 +146,7 @@ fn summarize_sorted(sorted: &[f64]) -> Option<LatencySummary> {
         p50_ms: pct(0.50),
         p95_ms: pct(0.95),
         p99_ms: pct(0.99),
+        p999_ms: pct(0.999),
         std_ms: var.sqrt(),
     })
 }
@@ -174,6 +178,7 @@ mod tests {
         assert_eq!(s.p50_ms, 50.0);
         assert_eq!(s.p95_ms, 95.0);
         assert_eq!(s.p99_ms, 99.0);
+        assert_eq!(s.p999_ms, 99.0, "floor((n-1)·0.999) with n=100");
         assert!(s.std_ms > 28.0 && s.std_ms < 30.0);
         assert_eq!(m.throughput(), 10.0);
     }

@@ -621,7 +621,7 @@ pub fn shrink_joint(
 
         {
             let mut op_events = std::mem::take(&mut best_o.events);
-            let sends = best_o.send_us.clone();
+            let sends = best_o.sends.clone();
             if let Some(digest) = ddmin_events(
                 &mut op_events,
                 &mut runs,
@@ -629,7 +629,7 @@ pub fn shrink_joint(
                 |candidate, runs| {
                     let ops = OpTrace {
                         events: candidate.clone(),
-                        send_us: sends.clone(),
+                        sends: sends.clone(),
                     };
                     try_candidate(&best_f, &ops, runs)
                 },
@@ -691,9 +691,9 @@ pub fn shrink_joint(
             best_digest = digest;
         }
     }
-    if best_o.events.len() < initial_ops.events.len() && !best_o.send_us.is_empty() {
+    if best_o.events.len() < initial_ops.events.len() && !best_o.sends.is_empty() {
         let mut candidate = best_o.clone();
-        candidate.send_us.clear();
+        candidate.sends.clear();
         if let Some(digest) = try_candidate(&best_f, &candidate, &mut runs) {
             best_o = candidate;
             best_digest = digest;
@@ -987,7 +987,14 @@ mod tests {
                 ops.events.last_mut().unwrap().client = 4;
             }
         }
-        ops.send_us = (0..60).map(|i| (0, 1, i, 40_000 + i)).collect();
+        ops.sends = (0..60)
+            .map(|i| crate::trace::SendRec {
+                client: i % 6,
+                at_us: 1_000 + i * 97,
+                ordinal: 0,
+                delay_us: 40_000 + i,
+            })
+            .collect();
         (faults, ops)
     }
 
@@ -1005,7 +1012,7 @@ mod tests {
         assert_eq!(out.original_op_events, 200);
         // Both recorded latency tables went with the removed events.
         assert!(out.faults.ae_latency_ms.is_empty());
-        assert!(out.ops.send_us.is_empty());
+        assert!(out.ops.sends.is_empty());
         assert!(
             out.ops.events.len() * 10 <= out.original_op_events,
             "≤10% of op events survive"

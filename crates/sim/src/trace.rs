@@ -11,7 +11,7 @@
 //!    [`crate::Simulation::record_op_trace`] enabled. Every executed
 //!    client operation is captured as a `(client, virtual-time, app-op)`
 //!    [`OpEvent`], and every staged replication send's latency draw is
-//!    captured keyed by the batch it carried.
+//!    captured keyed by the op that staged it.
 //! 2. **Seal** — replay the trace through
 //!    [`crate::Simulation::set_explicit_ops`]: clients fire at the
 //!    recorded times and execute the recorded ops, sends use the
@@ -29,14 +29,21 @@
 //! Times and send delays are integer microseconds — [`crate::SimTime`]'s
 //! native unit — so the roundtrip is exact by construction.
 
-use crate::latency::Region;
 use crate::shrink::PlanParseError;
 use std::fmt;
 use std::str::FromStr;
 
 /// First line of every serialized [`OpTrace`] (the replay path sniffs
-/// artifacts by this header to tell op traces from fault plans).
-pub const OP_TRACE_HEADER: &str = "# ipa-nemesis op trace v1";
+/// artifacts by this header to tell op traces from fault plans). v2
+/// keys recorded sends by the staging op event instead of the batch's
+/// `(origin, dest, seq)` — batch sequences re-pack when a shrunk trace
+/// removes commits, which silently re-assigned recorded latencies to
+/// the wrong batches.
+pub const OP_TRACE_HEADER: &str = "# ipa-nemesis op trace v2";
+
+/// Sentinel client id keying sends staged by [`crate::Workload::setup`]
+/// (which runs once, before any client exists).
+pub const SETUP_CLIENT: u64 = u64::MAX;
 
 /// One serialized application operation: a single whitespace-separated
 /// token line produced by the app's op enum `Display` and parsed back by
@@ -79,21 +86,35 @@ pub struct OpEvent {
     pub op: AppOp,
 }
 
+/// One recorded replication-send latency, keyed by the op event that
+/// staged it: `(client, op fire time, ordinal within that op's staged
+/// sends)`. The key survives trace shrinking — unlike the batch's
+/// origin sequence, which re-packs when earlier commits are removed —
+/// so a surviving op always replays with its *own* recorded delays.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SendRec {
+    /// Executing client ([`SETUP_CLIENT`] for workload setup).
+    pub client: u64,
+    /// Fire time of the staging op, integer µs (0 for setup).
+    pub at_us: u64,
+    /// Index of this send among everything the op staged.
+    pub ordinal: u32,
+    /// Recorded delay from staging to arrival, integer µs.
+    pub delay_us: u64,
+}
+
 /// The recorded client-op schedule of one run, replayable without the
 /// workload RNG. `events` is in global execution order (per client that
-/// is also time order); `send_us` carries the replication-send latency
-/// of every staged batch delivery, keyed by `(origin, dest, origin
-/// sequence)` — stable across replays because batch sequences are a pure
-/// function of the executed op sequence.
+/// is also time order); `sends` carries the replication-send latency
+/// of every staged batch delivery, keyed by the staging op event.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct OpTrace {
     pub events: Vec<OpEvent>,
-    /// `(origin, dest, seq, delay_us)` per staged delivery (client
-    /// commits and setup). Replay uses the recorded delay when present
-    /// and the jitter-free base link latency otherwise, so a full-trace
-    /// replay reproduces arrival times exactly while shrunk candidates
-    /// stay deterministic.
-    pub send_us: Vec<(Region, Region, u64, u64)>,
+    /// Per staged delivery (client commits and setup). Replay uses the
+    /// recorded delay when present and the jitter-free base link
+    /// latency otherwise, so a full-trace replay reproduces arrival
+    /// times exactly while shrunk candidates stay deterministic.
+    pub sends: Vec<SendRec>,
 }
 
 impl OpTrace {
@@ -118,7 +139,7 @@ impl OpTrace {
             "{} ops by {} clients ({} recorded sends)",
             self.events.len(),
             self.clients(),
-            self.send_us.len()
+            self.sends.len()
         )
     }
 }
@@ -129,8 +150,16 @@ impl fmt::Display for OpTrace {
         for e in &self.events {
             writeln!(f, "op {} {} {}", e.client, e.at_us, e.op)?;
         }
-        for &(origin, dest, seq, us) in &self.send_us {
-            writeln!(f, "send {origin}->{dest} {seq} {us}")?;
+        for s in &self.sends {
+            if s.client == SETUP_CLIENT {
+                writeln!(f, "send setup {} {} {}", s.at_us, s.ordinal, s.delay_us)?;
+            } else {
+                writeln!(
+                    f,
+                    "send {} {} {} {}",
+                    s.client, s.at_us, s.ordinal, s.delay_us
+                )?;
+            }
         }
         Ok(())
     }
@@ -169,19 +198,25 @@ impl FromStr for OpTrace {
                     });
                 }
                 "send" => {
-                    let link = tok.next().ok_or_else(|| err("truncated send".into()))?;
-                    let (origin, dest) = link
-                        .split_once("->")
-                        .and_then(|(a, b)| Some((a.parse().ok()?, b.parse().ok()?)))
-                        .ok_or_else(|| err(format!("bad link {link:?} (want o->d)")))?;
-                    let seq = tok.next().ok_or_else(|| err("truncated send".into()))?;
+                    let client = tok.next().ok_or_else(|| err("truncated send".into()))?;
+                    let client = if client == "setup" {
+                        SETUP_CLIENT
+                    } else {
+                        client
+                            .parse()
+                            .map_err(|_| err(format!("bad send client {client:?}")))?
+                    };
+                    let at = tok.next().ok_or_else(|| err("truncated send".into()))?;
+                    let ordinal = tok.next().ok_or_else(|| err("truncated send".into()))?;
                     let us = tok.next().ok_or_else(|| err("truncated send".into()))?;
-                    trace.send_us.push((
-                        origin,
-                        dest,
-                        seq.parse().map_err(|_| err(format!("bad seq {seq:?}")))?,
-                        us.parse().map_err(|_| err(format!("bad delay {us:?}")))?,
-                    ));
+                    trace.sends.push(SendRec {
+                        client,
+                        at_us: at.parse().map_err(|_| err(format!("bad time {at:?}")))?,
+                        ordinal: ordinal
+                            .parse()
+                            .map_err(|_| err(format!("bad ordinal {ordinal:?}")))?,
+                        delay_us: us.parse().map_err(|_| err(format!("bad delay {us:?}")))?,
+                    });
                 }
                 other => return Err(err(format!("unknown directive {other:?}"))),
             }
@@ -213,10 +248,25 @@ mod tests {
                     op: AppOp::new("match p1 p2 t7"),
                 },
             ],
-            send_us: vec![
-                (0, 1, 4, 40_123),
-                (0, 2, 4, 80_001),
-                (2, 0, 9, 3_600_000_000),
+            sends: vec![
+                SendRec {
+                    client: SETUP_CLIENT,
+                    at_us: 0,
+                    ordinal: 0,
+                    delay_us: 40_123,
+                },
+                SendRec {
+                    client: 0,
+                    at_us: 1_000,
+                    ordinal: 1,
+                    delay_us: 80_001,
+                },
+                SendRec {
+                    client: 3,
+                    at_us: 1_300,
+                    ordinal: 0,
+                    delay_us: 3_600_000_000,
+                },
             ],
         }
     }
@@ -229,6 +279,7 @@ mod tests {
         assert_eq!(back, trace, "text:\n{text}");
         assert_eq!(back.to_string(), text, "rendering is idempotent");
         assert!(text.starts_with(OP_TRACE_HEADER));
+        assert!(text.contains("send setup 0 0 40123"), "text:\n{text}");
     }
 
     #[test]
@@ -244,8 +295,10 @@ mod tests {
         assert!(err.message.contains("warp"), "{err}");
         let err = "op 0 100".parse::<OpTrace>().unwrap_err();
         assert_eq!(err.line, 1);
-        let err = "send 0>2 4 10".parse::<OpTrace>().unwrap_err();
-        assert!(err.message.contains("link"), "{err}");
+        let err = "send x 4 0 10".parse::<OpTrace>().unwrap_err();
+        assert!(err.message.contains("client"), "{err}");
+        let err = "send 0 4 0".parse::<OpTrace>().unwrap_err();
+        assert!(err.message.contains("truncated"), "{err}");
     }
 
     #[test]

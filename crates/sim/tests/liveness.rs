@@ -128,6 +128,67 @@ fn liveness_accounting_never_perturbs_the_schedule() {
     assert_eq!(prob(None), prob(Some(3)));
 }
 
+/// The drop plan plus a whole-run cut of the direct 0–2 link; the
+/// relay path 0→1→2 stays up.
+fn relay_partition_plan() -> ExplicitPlan {
+    let mut plan = dropped_batch_plan(Some(0.25));
+    plan.events.push(FaultEvent::Partition {
+        a: 0,
+        b: 2,
+        at_s: 0.01,
+        outage_s: 1.0e6,
+    });
+    plan
+}
+
+#[test]
+fn relay_reachable_gaps_count_against_the_bound() {
+    // Pairwise anti-entropy repairs the dropped batch through replica 1
+    // even with the direct link cut, and the oracle must *time* that
+    // repair: rounds advance whenever any up-path from a live holder
+    // reaches the destination. (The old accounting paused the countdown
+    // whenever the direct origin–dest link was down, so relay-reachable
+    // gaps could idle forever without tripping any bound.)
+    let sim = run(&relay_partition_plan(), Some(12));
+    let l = sim.liveness();
+    assert_eq!(l.tracked_gaps, 1, "{l:?}");
+    assert_eq!(l.repaired_gaps, 1, "relay repair closed it mid-run: {l:?}");
+    assert!(
+        l.max_gap_rounds >= 1,
+        "rounds advance while the relay path is up: {l:?}"
+    );
+    assert_eq!(sim.liveness_violations(), 0);
+
+    // Bound 0 now breaches mid-run: the first round after the drop has
+    // a live relay path, so the open gap is charged — under direct-link
+    // accounting rounds stayed 0 and no mid-run breach ever fired.
+    let sim = run(&relay_partition_plan(), Some(0));
+    assert!(sim.liveness().run_breaches >= 1, "{:?}", sim.liveness());
+}
+
+#[test]
+fn unreachable_gaps_still_pause_the_countdown() {
+    // Cut both 0–2 and 1–2: no live holder can reach replica 2 at all,
+    // so repair is genuinely impossible and the countdown must pause —
+    // no false alarm even at bound 0 (quiesce repair still counts).
+    let mut plan = dropped_batch_plan(Some(0.25));
+    for a in [0u16, 1] {
+        plan.events.push(FaultEvent::Partition {
+            a,
+            b: 2,
+            at_s: 0.01,
+            outage_s: 1.0e6,
+        });
+    }
+    let sim = run(&plan, Some(0));
+    let l = sim.liveness();
+    assert_eq!(
+        l.run_breaches, 0,
+        "isolated dest pauses the countdown: {l:?}"
+    );
+    assert_eq!(l.max_gap_rounds, 0, "{l:?}");
+}
+
 #[test]
 fn crash_recovery_is_tracked_as_restart_obligations() {
     let mut plan = ExplicitPlan {

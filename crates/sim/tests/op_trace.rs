@@ -124,7 +124,7 @@ fn recording_never_perturbs_the_schedule() {
             );
             let (_, ops) = traces.expect("recorded");
             assert!(!ops.events.is_empty());
-            assert!(!ops.send_us.is_empty());
+            assert!(!ops.sends.is_empty());
         }
     }
 }

@@ -37,6 +37,7 @@ pub use errors::StoreError;
 pub use key::Key;
 pub use replica::{
     anti_entropy_fixpoint_with, anti_entropy_round, anti_entropy_round_with, AeCursors, Replica,
+    ReplicaStats, ShardStats, DEFAULT_SHARDS,
 };
 pub use schedule::{CausalItem, DeliveryFaults, Schedule, ScheduleReport};
 pub use shared::SharedReplica;

@@ -8,6 +8,15 @@
 //! the whole log. The pending (not-yet-deliverable) buffer is likewise
 //! indexed by `(origin, seq)`, making duplicate detection O(1) and the
 //! delivery drain O(origins) per applied batch.
+//!
+//! Object storage is **sharded**: the key space is partitioned by a
+//! stable hash ([`DEFAULT_SHARDS`] ways by default) and each shard owns
+//! its own object map, kind map, and apply counters. `apply_batch`
+//! splits a batch into per-shard same-key runs; deterministic transports
+//! apply shards in fixed index order, the threaded transport applies
+//! them on concurrent scoped threads ([`Replica::set_parallel_apply`]) —
+//! both produce identical state, logs, and counters, because shards are
+//! disjoint by construction.
 
 use crate::batch::UpdateBatch;
 use crate::errors::StoreError;
@@ -40,6 +49,95 @@ pub struct ReplicaStats {
     /// key clones per *update*; the benchmark tracks the ratio against
     /// `2 × updates_applied`.
     pub apply_table_lookups: u64,
+    /// Stability-frontier folds actually computed by [`Replica::run_gc`].
+    /// The fold is event-driven: it only runs when a clock advanced since
+    /// the last GC (or the replica set changed), so on an idle replica
+    /// `gc_runs` keeps counting while this counter stands still.
+    pub frontier_folds: u64,
+}
+
+/// Per-shard apply counters: deterministic functions of the delivered
+/// batch sequence, independent of shard count and of the
+/// sequential-vs-parallel apply path — CI guards these, never wall-clock.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ShardStats {
+    /// Same-key runs applied on this shard (one object resolution each).
+    pub runs_applied: u64,
+    /// Individual updates applied on this shard.
+    pub updates_applied: u64,
+    /// Object/kind-map hash lookups on this shard.
+    pub table_lookups: u64,
+    /// Most same-key runs a single batch ever queued on this shard — the
+    /// per-batch apply-queue depth high-water mark.
+    pub max_batch_runs: u64,
+}
+
+/// One key-space partition: the object map, kind map, and apply counters
+/// owned exclusively by that shard. `apply_batch` splits every batch into
+/// per-shard runs, so two shards are never touched by the same update and
+/// the threaded transport may apply them on concurrent scoped threads.
+#[derive(Debug, Default)]
+struct ShardTable {
+    objects: HashMap<Key, Object>,
+    /// The declared kind of each key (shipped with updates so receivers
+    /// can instantiate missing objects deterministically).
+    kinds: HashMap<Key, ObjectKind>,
+    stats: ShardStats,
+}
+
+/// Default number of key-space shards per replica.
+pub const DEFAULT_SHARDS: usize = 4;
+
+/// Batches below this update count apply sequentially even when parallel
+/// apply is enabled: scoped-thread spawn/join costs tens of microseconds,
+/// which only amortizes over large (anti-entropy catch-up, bulk-ingest)
+/// batches.
+const PARALLEL_APPLY_MIN_UPDATES: usize = 256;
+
+/// Deterministic shard assignment: FNV-1a over the key bytes. `HashMap`'s
+/// SipHash is randomly seeded per process, so it cannot place keys — the
+/// shard of a key must be a pure function of the key for the sim's
+/// schedule digests and the cross-transport equivalence tests to hold.
+fn shard_of(key: &Key, shards: usize) -> usize {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in key.as_str().bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    (h % shards as u64) as usize
+}
+
+/// Apply one same-key run of `updates[start..start + len]` to its shard.
+/// Resolves the object once per run and touches the kind map only on
+/// creation (the handle-cache discipline the PR-5 benchmark pinned).
+fn apply_run(
+    table: &mut ShardTable,
+    updates: &[(Key, ObjectKind, ipa_crdt::ObjectOp)],
+    start: usize,
+    len: usize,
+) {
+    let (key, kind, _) = &updates[start];
+    table.stats.runs_applied += 1;
+    table.stats.table_lookups += 1;
+    let obj = match table.objects.entry(key.clone()) {
+        std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+        std::collections::hash_map::Entry::Vacant(e) => {
+            table.stats.table_lookups += 1;
+            table.kinds.entry(key.clone()).or_insert(*kind);
+            e.insert(Object::new(*kind, creation_owner()))
+        }
+    };
+    for u in &updates[start..start + len] {
+        match obj.apply(&u.2) {
+            Ok(()) => table.stats.updates_applied += 1,
+            Err(e) => {
+                // Type mismatches indicate an application bug; a real
+                // store would reject the write at the origin. Surface
+                // loudly in debug builds, skip in release.
+                debug_assert!(false, "object {key}: {e}");
+            }
+        }
+    }
 }
 
 /// One origin's contiguous run of logged batches. Causal delivery (and
@@ -88,10 +186,21 @@ pub struct Replica {
     lamport: u64,
     /// Monotonic unique-tag allocator.
     next_tag: u64,
-    objects: HashMap<Key, Object>,
-    /// The declared kind of each key (shipped with updates so receivers
-    /// can instantiate missing objects deterministically).
-    kinds: HashMap<Key, ObjectKind>,
+    /// Key-space partitions: shard `shard_of(key, shards.len())` owns the
+    /// object. Every accessor routes through the hash; `apply_batch`
+    /// splits batches into per-shard runs and applies shards in fixed
+    /// index order (or in parallel on the threaded transport — the shards
+    /// are disjoint, so the final state is order-independent).
+    shards: Vec<ShardTable>,
+    /// Per-batch run split scratch: `(shard, start, len)` per same-key
+    /// run. Reused across batches to keep the hot path allocation-free.
+    run_scratch: Vec<(u32, u32, u32)>,
+    /// Per-batch runs-per-shard scratch (the apply-queue depths).
+    shard_run_counts: Vec<u32>,
+    /// Apply disjoint shards on scoped threads for large batches. Only
+    /// the threaded transport enables this; the deterministic sim and the
+    /// sync cluster keep the fixed sequential shard order.
+    parallel_apply: bool,
     /// Remote batches waiting for causal predecessors, indexed by
     /// `(origin, seq)` for O(1) duplicate detection. `pending_order`
     /// preserves the buffer's positional order (deliveries use
@@ -121,18 +230,36 @@ pub struct Replica {
     /// Latest received clock per origin (incl. self) — the causal
     /// stability inputs.
     last_from: BTreeMap<ReplicaId, VClock>,
+    /// Has any `last_from` clock advanced since the last frontier fold?
+    /// `stability_frontier` is a pure function of `last_from`, so while
+    /// this is false [`Replica::run_gc`] can reuse its cached frontier
+    /// instead of re-folding every clock each round.
+    frontier_dirty: bool,
+    /// `(replica set, frontier)` of the last fold `run_gc` computed.
+    gc_cache: Option<(Vec<ReplicaId>, VClock)>,
     pub stats: ReplicaStats,
 }
 
 impl Replica {
     pub fn new(id: ReplicaId) -> Replica {
+        Replica::with_shards(id, DEFAULT_SHARDS)
+    }
+
+    /// A replica with an explicit shard count (≥ 1). Shard count is a
+    /// local layout choice: it never changes the replication protocol,
+    /// the durable log, or any observable state — the equivalence tests
+    /// pin exactly that.
+    pub fn with_shards(id: ReplicaId, shards: usize) -> Replica {
+        assert!(shards >= 1, "a replica needs at least one shard");
         Replica {
             id,
             clock: VClock::new(),
             lamport: 0,
             next_tag: 0,
-            objects: HashMap::new(),
-            kinds: HashMap::new(),
+            shards: (0..shards).map(|_| ShardTable::default()).collect(),
+            run_scratch: Vec::new(),
+            shard_run_counts: vec![0; shards],
+            parallel_apply: false,
             pending: HashMap::new(),
             pending_order: Vec::new(),
             pending_per_origin: Vec::new(),
@@ -142,12 +269,38 @@ impl Replica {
             apply_idx: 0,
             log_version: 0,
             last_from: BTreeMap::new(),
+            frontier_dirty: true,
+            gc_cache: None,
             stats: ReplicaStats::default(),
         }
     }
 
     pub fn id(&self) -> ReplicaId {
         self.id
+    }
+
+    /// Number of key-space shards (a local layout choice; see
+    /// [`Replica::with_shards`]).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard owning `key`.
+    pub fn shard_of_key(&self, key: &Key) -> usize {
+        shard_of(key, self.shards.len())
+    }
+
+    /// Per-shard apply counters (deterministic; see [`ShardStats`]).
+    pub fn shard_stats(&self) -> Vec<ShardStats> {
+        self.shards.iter().map(|s| s.stats).collect()
+    }
+
+    /// Enable or disable the scoped-thread parallel apply path for large
+    /// batches. Only the threaded transport turns this on; deterministic
+    /// transports keep the fixed sequential shard order. Either way the
+    /// resulting state and counters are identical — shards are disjoint.
+    pub fn set_parallel_apply(&mut self, on: bool) {
+        self.parallel_apply = on;
     }
 
     pub fn clock(&self) -> &VClock {
@@ -161,21 +314,28 @@ impl Replica {
     /// Read an object (committed state only; in-transaction reads go
     /// through the transaction's overlay).
     pub fn object(&self, key: &Key) -> Option<&Object> {
-        self.objects.get(key)
+        self.shards[shard_of(key, self.shards.len())]
+            .objects
+            .get(key)
     }
 
     pub(crate) fn insert_object(&mut self, key: Key, kind: ObjectKind, obj: Object) {
-        self.kinds.insert(key.clone(), kind);
-        self.objects.insert(key, obj);
+        let s = shard_of(&key, self.shards.len());
+        let shard = &mut self.shards[s];
+        shard.kinds.insert(key.clone(), kind);
+        shard.objects.insert(key, obj);
     }
 
     /// The declared kind of a key, if known.
     pub fn kind_of(&self, key: &Key) -> Option<ObjectKind> {
-        self.kinds.get(key).copied()
+        self.shards[shard_of(key, self.shards.len())]
+            .kinds
+            .get(key)
+            .copied()
     }
 
     pub fn object_count(&self) -> usize {
-        self.objects.len()
+        self.shards.iter().map(|s| s.objects.len()).sum()
     }
 
     /// Allocate a fresh unique tag.
@@ -202,6 +362,7 @@ impl Replica {
         self.apply_batch(&batch);
         self.lamport = self.lamport.max(batch.lamport);
         self.last_from.insert(self.id, batch.clock.clone());
+        self.frontier_dirty = true;
         self.log_append(Arc::clone(&batch));
         self.outbox.push(batch);
         self.stats.commits += 1;
@@ -245,6 +406,7 @@ impl Replica {
                 .entry(batch.origin)
                 .and_modify(|c| c.merge(&batch.clock))
                 .or_insert_with(|| batch.clock.clone());
+            self.frontier_dirty = true;
             self.log_append(batch);
             return 1;
         }
@@ -319,6 +481,7 @@ impl Replica {
                 .entry(batch.origin)
                 .and_modify(|c| c.merge(&batch.clock))
                 .or_insert_with(|| batch.clock.clone());
+            self.frontier_dirty = true;
             self.log_append(batch);
             applied += 1;
         }
@@ -351,46 +514,81 @@ impl Replica {
     }
 
     fn apply_batch(&mut self, batch: &UpdateBatch) {
-        // Per-batch object-handle cache: resolve the object once per
-        // same-key *run* of updates and reuse the handle across the run,
-        // and touch the kind map only when the object is actually
-        // created (creation is the only reader that needs it — every
-        // insertion path pairs the two maps). The naive loop this
-        // replaces paid two hash lookups and two key clones per update;
-        // transactions batch consecutive updates against the same
-        // object (multi-element set ops, touch-then-update pairs), so
-        // runs are common in application batches.
+        // Split the batch into same-key *runs* (the per-batch
+        // object-handle cache: one object resolution per run, kind-map
+        // touch only on creation) and route each run to the shard that
+        // owns its key. A run's updates share one key, so a run never
+        // straddles shards, and distinct keys are independent objects —
+        // shards can therefore apply in any order (fixed index order
+        // here; concurrently on the threaded transport) and produce the
+        // identical state and identical counters.
         let updates = &batch.updates;
+        let nshards = self.shards.len();
+        self.run_scratch.clear();
+        self.shard_run_counts.fill(0);
         let mut i = 0;
         while i < updates.len() {
-            let (key, kind, _) = &updates[i];
-            self.stats.apply_table_lookups += 1;
-            let obj = match self.objects.entry(key.clone()) {
-                std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
-                std::collections::hash_map::Entry::Vacant(e) => {
-                    self.stats.apply_table_lookups += 1;
-                    self.kinds.entry(key.clone()).or_insert(*kind);
-                    e.insert(Object::new(*kind, creation_owner()))
-                }
-            };
-            let mut j = i;
+            let key = &updates[i].0;
+            let mut j = i + 1;
             while j < updates.len() && updates[j].0 == *key {
-                match obj.apply(&updates[j].2) {
-                    Ok(()) => self.stats.updates_applied += 1,
-                    Err(e) => {
-                        // Type mismatches indicate an application bug; a
-                        // real store would reject the write at the
-                        // origin. Surface loudly in debug builds, skip
-                        // in release.
-                        debug_assert!(false, "object {key}: {e}");
-                    }
-                }
                 j += 1;
             }
+            let shard = shard_of(key, nshards);
+            self.shard_run_counts[shard] += 1;
+            self.run_scratch
+                .push((shard as u32, i as u32, (j - i) as u32));
             i = j;
         }
+        // Per-batch apply-queue depth high-water mark, recorded before
+        // dispatch (the parallel path must not race on shard stats).
+        for (shard, &queued) in self.shards.iter_mut().zip(&self.shard_run_counts) {
+            if u64::from(queued) > shard.stats.max_batch_runs {
+                shard.stats.max_batch_runs = u64::from(queued);
+            }
+        }
+        let before = self.shard_totals();
+        let runs = &self.run_scratch;
+        let counts = &self.shard_run_counts;
+        if self.parallel_apply && nshards > 1 && updates.len() >= PARALLEL_APPLY_MIN_UPDATES {
+            std::thread::scope(|scope| {
+                for (s, shard) in self.shards.iter_mut().enumerate() {
+                    if counts[s] == 0 {
+                        continue;
+                    }
+                    scope.spawn(move || {
+                        for &(rs, start, len) in runs {
+                            if rs as usize == s {
+                                apply_run(shard, updates, start as usize, len as usize);
+                            }
+                        }
+                    });
+                }
+            });
+        } else {
+            for (s, shard) in self.shards.iter_mut().enumerate() {
+                if counts[s] == 0 {
+                    continue;
+                }
+                for &(rs, start, len) in runs {
+                    if rs as usize == s {
+                        apply_run(shard, updates, start as usize, len as usize);
+                    }
+                }
+            }
+        }
+        let after = self.shard_totals();
+        self.stats.apply_table_lookups += after.0 - before.0;
+        self.stats.updates_applied += after.1 - before.1;
         self.clock.merge(&batch.clock);
         self.stats.batches_applied += 1;
+    }
+
+    /// `(table_lookups, updates_applied)` summed over shards — the global
+    /// stat deltas `apply_batch` folds back after dispatch.
+    fn shard_totals(&self) -> (u64, u64) {
+        self.shards.iter().fold((0, 0), |(l, u), s| {
+            (l + s.stats.table_lookups, u + s.stats.updates_applied)
+        })
     }
 
     /// Number of buffered (not yet causally deliverable) batches.
@@ -567,13 +765,39 @@ impl Replica {
 
     /// Compact every object's causal metadata under the stability
     /// frontier.
+    ///
+    /// The frontier fold is **event-driven**: `stability_frontier` is a
+    /// pure function of `last_from`, and `last_from` only moves when a
+    /// batch applies. If nothing applied since the last `run_gc` over the
+    /// same replica set, the frontier is unchanged *and* the store state
+    /// is unchanged, so compaction under the cached frontier would be an
+    /// exact no-op — the call preserves the old observable behaviour
+    /// (including `gc_runs` accounting) without re-folding every clock.
     pub fn run_gc(&mut self, replicas: &[ReplicaId]) {
+        if !self.frontier_dirty {
+            if let Some((set, frontier)) = &self.gc_cache {
+                if set == replicas {
+                    if frontier.is_empty() {
+                        return;
+                    }
+                    // Old behaviour: a non-empty frontier compacts (here
+                    // idempotently, on unchanged state) and counts a run.
+                    self.stats.gc_runs += 1;
+                    return;
+                }
+            }
+        }
         let frontier = self.stability_frontier(replicas);
+        self.stats.frontier_folds += 1;
+        self.frontier_dirty = false;
+        self.gc_cache = Some((replicas.to_vec(), frontier.clone()));
         if frontier.is_empty() {
             return;
         }
-        for obj in self.objects.values_mut() {
-            obj.compact(&frontier);
+        for shard in &mut self.shards {
+            for obj in shard.objects.values_mut() {
+                obj.compact(&frontier);
+            }
         }
         // Causally stable batches have been received everywhere, so no
         // anti-entropy pull can ever need them again — compact the log.
@@ -602,7 +826,9 @@ impl Replica {
     /// Ensure an object of the given kind exists (no-op if present).
     /// Errors if the key exists with a different kind.
     pub fn ensure_object(&mut self, key: &Key, kind: ObjectKind) -> Result<(), StoreError> {
-        match self.objects.get(key) {
+        let s = shard_of(key, self.shards.len());
+        let shard = &mut self.shards[s];
+        match shard.objects.get(key) {
             Some(existing) => {
                 let fresh = Object::new(kind, creation_owner());
                 if std::mem::discriminant(existing) != std::mem::discriminant(&fresh) {
@@ -614,8 +840,9 @@ impl Replica {
                 Ok(())
             }
             None => {
-                self.kinds.insert(key.clone(), kind);
-                self.objects
+                shard.kinds.insert(key.clone(), kind);
+                shard
+                    .objects
                     .insert(key.clone(), Object::new(kind, creation_owner()));
                 Ok(())
             }
@@ -1066,6 +1293,154 @@ mod tests {
         tx.counter_add("c", 1).unwrap();
         tx.commit();
         assert_eq!(anti_entropy_round_with(&mut replicas, &mut cursors), 1);
+    }
+
+    #[test]
+    fn gc_frontier_fold_is_event_driven() {
+        let replicas = [r(0), r(1)];
+        let mut a = Replica::new(r(0));
+        let mut b = Replica::new(r(1));
+        let mut tx = a.begin();
+        tx.ensure("rw", ObjectKind::RWSet).unwrap();
+        tx.rw_add("rw", Val::str("x")).unwrap();
+        tx.commit();
+        for batch in a.take_outbox() {
+            b.receive(batch);
+        }
+        let mut tx = b.begin();
+        tx.ensure("ack", ObjectKind::PNCounter).unwrap();
+        tx.counter_add("ack", 1).unwrap();
+        tx.commit();
+        for batch in b.take_outbox() {
+            a.receive(batch);
+        }
+        a.run_gc(&replicas);
+        assert_eq!(a.stats.gc_runs, 1);
+        assert_eq!(a.stats.frontier_folds, 1);
+        // Idle repeats keep the old gc_runs accounting but never re-fold:
+        // no clock advanced, so the frontier cannot have moved.
+        a.run_gc(&replicas);
+        a.run_gc(&replicas);
+        assert_eq!(a.stats.gc_runs, 3);
+        assert_eq!(a.stats.frontier_folds, 1);
+        // A different replica set is a different fold input.
+        a.run_gc(&[r(0)]);
+        assert_eq!(a.stats.frontier_folds, 2);
+        // A new delivery advances a clock and re-arms the fold.
+        let mut tx = b.begin();
+        tx.counter_add("ack", 1).unwrap();
+        tx.commit();
+        for batch in b.take_outbox() {
+            a.receive(batch);
+        }
+        a.run_gc(&replicas);
+        assert_eq!(a.stats.frontier_folds, 3);
+    }
+
+    #[test]
+    fn shard_layout_is_state_invariant() {
+        // The same batch stream delivered to a 1-shard and an 8-shard
+        // replica must produce identical objects, clocks, durable logs,
+        // and global counters — shard count is pure layout.
+        let keys: Vec<String> = (0..24).map(|i| format!("obj-{i}")).collect();
+        let mut origin = Replica::new(r(0));
+        for round in 0..3i64 {
+            for (i, key) in keys.iter().enumerate() {
+                let mut tx = origin.begin();
+                match i % 4 {
+                    0 => {
+                        tx.ensure(key.as_str(), ObjectKind::AWSet).unwrap();
+                        tx.aw_add(key.as_str(), Val::int(round)).unwrap();
+                        tx.aw_add(key.as_str(), Val::int(round + 10)).unwrap();
+                    }
+                    1 => {
+                        tx.ensure(key.as_str(), ObjectKind::PNCounter).unwrap();
+                        tx.counter_add(key.as_str(), round + 1).unwrap();
+                    }
+                    2 => {
+                        tx.ensure(key.as_str(), ObjectKind::RWSet).unwrap();
+                        tx.rw_add(key.as_str(), Val::int(round)).unwrap();
+                    }
+                    _ => {
+                        tx.ensure(key.as_str(), ObjectKind::LWW).unwrap();
+                        tx.lww_write(key.as_str(), Val::int(round)).unwrap();
+                    }
+                }
+                tx.commit();
+            }
+        }
+        let batches = origin.take_outbox();
+        let mut one = Replica::with_shards(r(1), 1);
+        let mut eight = Replica::with_shards(r(1), 8);
+        for b in &batches {
+            one.receive(Arc::clone(b));
+            eight.receive(Arc::clone(b));
+        }
+        assert_eq!(one.clock(), eight.clock());
+        assert_eq!(one.object_count(), eight.object_count());
+        for key in &keys {
+            let k: Key = key.as_str().into();
+            assert_eq!(
+                format!("{:?}", one.object(&k)),
+                format!("{:?}", eight.object(&k)),
+                "object {key} diverged across shard counts"
+            );
+            assert_eq!(one.kind_of(&k), eight.kind_of(&k));
+        }
+        assert_eq!(one.stats.updates_applied, eight.stats.updates_applied);
+        assert_eq!(
+            one.stats.apply_table_lookups, eight.stats.apply_table_lookups,
+            "lookup counts are shard-count invariant (same-key runs never straddle shards)"
+        );
+        let (la, lb) = (one.log_snapshot(), eight.log_snapshot());
+        assert_eq!(la.len(), lb.len());
+        for (x, y) in la.iter().zip(&lb) {
+            assert_eq!(**x, **y, "durable logs must agree batch-for-batch");
+        }
+        // Per-shard counters decompose the global ones exactly.
+        let per: u64 = eight.shard_stats().iter().map(|s| s.updates_applied).sum();
+        assert_eq!(per, eight.stats.updates_applied);
+        let lk: u64 = eight.shard_stats().iter().map(|s| s.table_lookups).sum();
+        assert_eq!(lk, eight.stats.apply_table_lookups);
+    }
+
+    #[test]
+    fn parallel_apply_matches_sequential() {
+        // One bulk batch above the parallel threshold, spread over many
+        // keys: the scoped-thread path must be observably identical to
+        // the fixed sequential order.
+        let keys: Vec<String> = (0..200).map(|i| format!("bulk-{i}")).collect();
+        let mut origin = Replica::new(r(0));
+        let mut tx = origin.begin();
+        for (i, key) in keys.iter().enumerate() {
+            tx.ensure(key.as_str(), ObjectKind::PNCounter).unwrap();
+            tx.counter_add(key.as_str(), i as i64).unwrap();
+            tx.counter_add(key.as_str(), 1).unwrap();
+        }
+        tx.commit();
+        let batch = origin.take_outbox().pop().unwrap();
+        assert!(batch.updates.len() >= super::PARALLEL_APPLY_MIN_UPDATES);
+        let mut seq = Replica::with_shards(r(1), 4);
+        let mut par = Replica::with_shards(r(1), 4);
+        par.set_parallel_apply(true);
+        seq.receive(Arc::clone(&batch));
+        par.receive(batch);
+        assert_eq!(seq.clock(), par.clock());
+        assert_eq!(seq.stats.updates_applied, par.stats.updates_applied);
+        assert_eq!(seq.stats.apply_table_lookups, par.stats.apply_table_lookups);
+        for key in &keys {
+            let k: Key = key.as_str().into();
+            assert_eq!(
+                format!("{:?}", seq.object(&k)),
+                format!("{:?}", par.object(&k))
+            );
+        }
+        for (a, b) in seq.shard_stats().iter().zip(par.shard_stats()) {
+            assert_eq!(a.runs_applied, b.runs_applied);
+            assert_eq!(a.updates_applied, b.updates_applied);
+            assert_eq!(a.table_lookups, b.table_lookups);
+            assert_eq!(a.max_batch_runs, b.max_batch_runs);
+        }
     }
 
     #[test]

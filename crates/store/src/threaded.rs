@@ -98,6 +98,10 @@ pub struct ThreadedConfig {
     /// Background anti-entropy period (`None` = repair only happens at
     /// explicit [`Transport::anti_entropy`] / quiesce calls).
     pub ae_interval: Option<Duration>,
+    /// Key-space shards per replica. Large batches (anti-entropy
+    /// catch-up bursts) apply their disjoint shards on concurrent scoped
+    /// threads; shard count never changes observable state.
+    pub shards: usize,
 }
 
 impl Default for ThreadedConfig {
@@ -105,6 +109,7 @@ impl Default for ThreadedConfig {
         ThreadedConfig {
             nodes: 3,
             ae_interval: Some(Duration::from_millis(5)),
+            shards: crate::replica::DEFAULT_SHARDS,
         }
     }
 }
@@ -141,8 +146,13 @@ impl ThreadedCluster {
         let mut receivers = Vec::with_capacity(n as usize);
         for i in 0..n {
             let (tx, rx) = mpsc::channel();
+            // The threaded transport is the one place parallel apply is
+            // on: real threads, no schedule digests, large anti-entropy
+            // bursts worth splitting across shards.
+            let mut node = Node::with_shards(ReplicaId(i), cfg.shards);
+            node.replica_mut().set_parallel_apply(true);
             shards.push(Arc::new(Shard {
-                node: Mutex::new(Node::new(ReplicaId(i))),
+                node: Mutex::new(node),
                 down: AtomicBool::new(false),
             }));
             senders.push(tx);
@@ -516,6 +526,7 @@ mod tests {
         ThreadedCluster::start(ThreadedConfig {
             nodes: n,
             ae_interval: None,
+            ..Default::default()
         })
     }
 
@@ -616,6 +627,7 @@ mod tests {
         let cluster = ThreadedCluster::start(ThreadedConfig {
             nodes: 2,
             ae_interval: Some(Duration::from_millis(1)),
+            ..Default::default()
         });
         // Cut the only link: the commit's direct send drops, so only
         // the ticker can repair once healed.

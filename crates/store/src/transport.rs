@@ -175,6 +175,16 @@ impl Node {
         }
     }
 
+    /// A node whose replica uses an explicit shard count (see
+    /// [`Replica::with_shards`]).
+    pub fn with_shards(id: ReplicaId, shards: usize) -> Node {
+        Node {
+            replica: Replica::with_shards(id, shards),
+            down: false,
+            inflight: InFlightWindow::new(),
+        }
+    }
+
     pub fn id(&self) -> ReplicaId {
         self.replica.id()
     }
