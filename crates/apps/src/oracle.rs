@@ -27,6 +27,65 @@ use ipa_store::Replica;
 use std::fmt;
 use std::sync::Arc;
 
+/// A positively named consistency anomaly — what a violated check
+/// *means* in application terms, not just which predicate tripped. The
+/// causal (unrepaired) soak axis runs the unpatched applications and
+/// **expects** one of these; a hostile run that produces none is the
+/// failure there, and gets shrunk to the minimal run that stays
+/// anomaly-free.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Anomaly {
+    /// A write observed, then silently unobserved (the default bucket
+    /// for transient audit violations that no named check still owns).
+    LostUpdate,
+    /// A numeric cap exceeded: ticket oversell, tournament
+    /// over-capacity, negative TPC stock.
+    Oversell,
+    /// A reference to an entity that no longer (or never) exists.
+    ReferentialOrphan,
+    /// A match stranded against the tournament phase machine
+    /// (phase-exclusion or match-phase broken).
+    StrandedMatch,
+}
+
+impl Anomaly {
+    pub fn all() -> [Anomaly; 4] {
+        [
+            Anomaly::LostUpdate,
+            Anomaly::Oversell,
+            Anomaly::ReferentialOrphan,
+            Anomaly::StrandedMatch,
+        ]
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Anomaly::LostUpdate => "lost-update",
+            Anomaly::Oversell => "oversell",
+            Anomaly::ReferentialOrphan => "referential-orphan",
+            Anomaly::StrandedMatch => "stranded-match",
+        }
+    }
+
+    /// Classify a violated check identifier (with or without its
+    /// `continuous:`/`final:` phase prefix) into a named anomaly.
+    pub fn classify(check: &str) -> Anomaly {
+        let base = check.rsplit(':').next().unwrap_or(check);
+        match base {
+            "capacity" | "oversell" | "stock-nonnegative" => Anomaly::Oversell,
+            "phase-exclusion" | "match-phase" => Anomaly::StrandedMatch,
+            n if n.ends_with("referential") => Anomaly::ReferentialOrphan,
+            _ => Anomaly::LostUpdate,
+        }
+    }
+}
+
+impl fmt::Display for Anomaly {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// When a check is required to hold.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Phase {
@@ -297,6 +356,42 @@ mod tests {
     use super::*;
     use crate::tournament::runtime as tourn;
     use ipa_crdt::{ObjectKind, ReplicaId, Val};
+
+    #[test]
+    fn every_registered_check_classifies_to_a_named_anomaly() {
+        // Each registry check name maps to the anomaly the paper
+        // attributes to it; the mapping is total (no panic, no honest
+        // check silently landing in the default bucket unintentionally).
+        let expect = |check: &str, anomaly: Anomaly| {
+            assert_eq!(Anomaly::classify(check), anomaly, "{check}");
+            // Phase prefixes never change the classification.
+            assert_eq!(
+                Anomaly::classify(&format!("continuous:{check}")),
+                anomaly,
+                "continuous:{check}"
+            );
+            assert_eq!(
+                Anomaly::classify(&format!("final:{check}")),
+                anomaly,
+                "final:{check}"
+            );
+        };
+        expect("enrollment-referential", Anomaly::ReferentialOrphan);
+        expect("match-referential", Anomaly::ReferentialOrphan);
+        expect("timeline-referential", Anomaly::ReferentialOrphan);
+        expect("follow-referential", Anomaly::ReferentialOrphan);
+        expect("order-referential", Anomaly::ReferentialOrphan);
+        expect("phase-exclusion", Anomaly::StrandedMatch);
+        expect("match-phase", Anomaly::StrandedMatch);
+        expect("capacity", Anomaly::Oversell);
+        expect("oversell", Anomaly::Oversell);
+        expect("stock-nonnegative", Anomaly::Oversell);
+        expect("transient", Anomaly::LostUpdate);
+        assert_eq!(Anomaly::classify("convergence"), Anomaly::LostUpdate);
+        for a in Anomaly::all() {
+            assert!(!a.name().is_empty());
+        }
+    }
 
     #[test]
     fn clean_replica_passes_every_registry() {

@@ -9,7 +9,7 @@
 //! `IPA_NEMESIS_APP=tournament|ticket|tpc|twitter`; CI fans the product
 //! `application × seed` out one cell per job.
 
-use crate::oracle::{Oracle, Phase};
+use crate::oracle::{Anomaly, Oracle, Phase};
 use crate::ticket::workload::TicketWorkload;
 use crate::tournament::workload::TournamentWorkload;
 use crate::tpc::workload::TpcWorkload;
@@ -17,8 +17,8 @@ use crate::twitter::runtime::Strategy;
 use crate::twitter::workload::TwitterWorkload;
 use crate::Mode;
 use ipa_sim::{
-    paper_topology, shrink_joint, AppOp, ClientInfo, ExplicitPlan, FaultPlan, JointOutcome, OpCtx,
-    OpOutcome, OpTrace, RunVerdict, ShrinkBudget, SimConfig, SimCtx, Simulation, Workload,
+    paper_topology, shrink_joint_with, AppOp, ClientInfo, ExplicitPlan, FaultPlan, JointOutcome,
+    OpCtx, OpOutcome, OpTrace, RunVerdict, ShrinkBudget, SimConfig, SimCtx, Simulation, Workload,
 };
 
 /// One of the paper's four applications, as a soak-matrix coordinate.
@@ -53,6 +53,44 @@ impl App {
 }
 
 impl std::fmt::Display for App {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Which repair discipline the soak cell exercises
+/// (`IPA_NEMESIS_MODE=ipa|causal`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SoakMode {
+    /// The invariant-preserving apps: every oracle must stay green.
+    #[default]
+    Ipa,
+    /// The *unrepaired* apps over plain causal delivery: the oracles
+    /// are anomaly detectors, and a hostile run is **expected** to
+    /// exhibit a named [`Anomaly`]. A run that stays clean is the
+    /// failure on this axis.
+    Causal,
+}
+
+impl SoakMode {
+    pub fn name(self) -> &'static str {
+        match self {
+            SoakMode::Ipa => "ipa",
+            SoakMode::Causal => "causal",
+        }
+    }
+
+    /// Parse an `IPA_NEMESIS_MODE` value.
+    pub fn parse(s: &str) -> Option<SoakMode> {
+        match s.trim().to_lowercase().as_str() {
+            "ipa" => Some(SoakMode::Ipa),
+            "causal" => Some(SoakMode::Causal),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for SoakMode {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str(self.name())
     }
@@ -153,9 +191,23 @@ pub struct Failure {
     pub count: u64,
 }
 
+impl Failure {
+    /// The named anomaly this failure exhibits (the causal axis'
+    /// positive expectation).
+    pub fn anomaly(&self) -> Anomaly {
+        Anomaly::classify(&self.check)
+    }
+}
+
 impl std::fmt::Display for Failure {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{} ({} violations)", self.check, self.count)
+        write!(
+            f,
+            "{} ({} violations; anomaly: {})",
+            self.check,
+            self.count,
+            self.anomaly()
+        )
     }
 }
 
@@ -200,11 +252,26 @@ pub fn soak_config(seed: u64, faults: FaultPlan) -> SimConfig {
 }
 
 pub(crate) fn fresh_workload(app: App) -> SoakWorkload {
+    fresh_workload_mode(app, SoakMode::Ipa)
+}
+
+/// The workload for one soak-mode axis: the IPA-patched apps (add-wins
+/// Twitter), or the unrepaired originals (rem-wins Twitter, whose
+/// read-side repair intentionally leaves the continuous referential
+/// checks violated mid-run — the Twitter-shaped causal anomaly).
+pub(crate) fn fresh_workload_mode(app: App, mode: SoakMode) -> SoakWorkload {
+    let app_mode = match mode {
+        SoakMode::Ipa => Mode::Ipa,
+        SoakMode::Causal => Mode::Causal,
+    };
     match app {
-        App::Tournament => SoakWorkload::Tournament(TournamentWorkload::with_defaults(Mode::Ipa)),
-        App::Ticket => SoakWorkload::Ticket(TicketWorkload::with_defaults(Mode::Ipa)),
-        App::Tpc => SoakWorkload::Tpc(TpcWorkload::with_defaults(Mode::Ipa)),
-        App::Twitter => SoakWorkload::Twitter(TwitterWorkload::with_defaults(Strategy::AddWins)),
+        App::Tournament => SoakWorkload::Tournament(TournamentWorkload::with_defaults(app_mode)),
+        App::Ticket => SoakWorkload::Ticket(TicketWorkload::with_defaults(app_mode)),
+        App::Tpc => SoakWorkload::Tpc(TpcWorkload::with_defaults(app_mode)),
+        App::Twitter => SoakWorkload::Twitter(TwitterWorkload::with_defaults(match mode {
+            SoakMode::Ipa => Strategy::AddWins,
+            SoakMode::Causal => Strategy::RemWins,
+        })),
     }
 }
 
@@ -336,6 +403,8 @@ fn classify(app: App, w: &SoakWorkload, sim: &Simulation) -> Option<Failure> {
 pub struct SoakTuning {
     /// Override the registry's bounded-liveness rounds.
     pub liveness_bound: Option<u64>,
+    /// Which repair-discipline axis to run (default: IPA).
+    pub mode: SoakMode,
 }
 
 /// One full soak cell: run the app under the nemesis, quiesce, repair,
@@ -351,7 +420,7 @@ pub fn run_soak_tuned(app: App, seed: u64, nemesis: Nemesis<'_>, tuning: SoakTun
         Nemesis::Explicit { .. } => FaultPlan::none(),
     };
     let mut sim = Simulation::new(paper_topology(), soak_config(seed, faults));
-    let mut workload = fresh_workload(app);
+    let mut workload = fresh_workload_mode(app, tuning.mode);
     // Continuous checks audited every 250 ms of simulated time; the
     // event-dependent registries (ticket) have no continuous checks, so
     // the pre-run registry is always sufficient for the auditor.
@@ -397,11 +466,42 @@ pub fn run_soak_tuned(app: App, seed: u64, nemesis: Nemesis<'_>, tuning: SoakTun
     }
 }
 
+/// Per-app op weakening lattice for the joint shrinker: strictly weaker
+/// replacements for an op line, strongest candidate first. "Weaker"
+/// means fewer or smaller writes — every write descends toward its
+/// read-only counterpart (which commits nothing, but keeps the client's
+/// slot in the schedule), and multi-entity writes drop entities first
+/// (`match p q t` → `enroll p t`). The shrinker keeps a replacement only
+/// while the original oracle check still fails, so a surviving `match`
+/// in a minimized trace *means* the match semantics were necessary.
+pub fn weaken_op(app: App, op: &str) -> Vec<String> {
+    let t: Vec<&str> = op.split_whitespace().collect();
+    match (app, t.as_slice()) {
+        (App::Tournament, ["match", p, q, t]) => {
+            vec![format!("enroll {p} {t}"), format!("enroll {q} {t}")]
+        }
+        (App::Tournament, ["enroll" | "disenroll", _, t]) => vec![format!("status {t}")],
+        (App::Tournament, ["begin" | "finish" | "remove", t]) => vec![format!("status {t}")],
+        (App::Ticket, ["buy", slot]) => vec![format!("view {slot}")],
+        (App::Tpc, ["purchase" | "restock" | "remproduct" | "addproduct", p]) => {
+            vec![format!("view {p}")]
+        }
+        (App::Twitter, ["retweet", u, id]) => {
+            vec![format!("tweet {u} {id}"), format!("timeline {u}")]
+        }
+        (App::Twitter, ["tweet" | "follow" | "unfollow", u, _]) => vec![format!("timeline {u}")],
+        (App::Twitter, ["adduser" | "remuser" | "deltweet", _]) => Vec::new(),
+        _ => Vec::new(),
+    }
+}
+
 /// Shrink a red `(app, workload seed, fault plan)` cell to a minimal
 /// explicit counterexample: record the failing run's fault trace *and*
 /// op trace, seal the pair, and jointly delta-debug both against the
 /// same classifier — the minimized artifact names the few client ops
-/// that matter alongside the few faults. `None` when the probabilistic
+/// that matter alongside the few faults (op events additionally descend
+/// the [`weaken_op`] lattice, so surviving ops are as weak as the
+/// violation allows). `None` when the probabilistic
 /// run doesn't fail, or when its sealed trace pair no longer reproduces
 /// any failure (never observed — the seal is exact — but the shrinker
 /// refuses to "minimize" a green run rather than lie).
@@ -435,21 +535,103 @@ pub fn shrink_soak_failure_tuned(
     recorded.failure.as_ref()?;
     let trace = recorded.trace.expect("recording was on");
     let ops = recorded.ops.expect("recording was on");
-    shrink_joint(&trace, &ops, budget, |cand_faults, cand_ops| {
-        let run = run_soak_tuned(
-            app,
-            seed,
-            Nemesis::Explicit {
-                faults: Some(cand_faults),
-                ops: Some(cand_ops),
-            },
-            tuning,
-        );
-        run.failure.map(|f| RunVerdict {
-            check: f.check,
-            digest: run.digest,
-        })
-    })
+    shrink_joint_with(
+        &trace,
+        &ops,
+        budget,
+        |op| weaken_op(app, op),
+        |cand_faults, cand_ops| {
+            let run = run_soak_tuned(
+                app,
+                seed,
+                Nemesis::Explicit {
+                    faults: Some(cand_faults),
+                    ops: Some(cand_ops),
+                },
+                tuning,
+            );
+            run.failure.map(|f| RunVerdict {
+                check: f.check,
+                digest: run.digest,
+            })
+        },
+    )
+}
+
+/// One causal-axis cell: run the *unrepaired* app under the nemesis and
+/// report the named anomaly it exhibited (`None` = the run stayed clean,
+/// which is the failure on this axis).
+pub fn run_causal_cell(app: App, seed: u64, faults: &FaultPlan) -> (Option<Anomaly>, SoakRun) {
+    let tuning = SoakTuning {
+        mode: SoakMode::Causal,
+        ..SoakTuning::default()
+    };
+    let run = run_soak_tuned(
+        app,
+        seed,
+        Nemesis::Plan {
+            faults,
+            record: false,
+        },
+        tuning,
+    );
+    (run.failure.as_ref().map(Failure::anomaly), run)
+}
+
+/// The causal axis' shrinker, with the verdict inverted: when the
+/// unrepaired app *fails to produce* a named anomaly under a hostile
+/// schedule, minimize the run that stays clean — the artifact names the
+/// few ops and faults under which the expected anomaly is still absent,
+/// which is exactly what a triager needs to see why the nemesis lost its
+/// teeth. `None` when the recorded causal run did anomalize after all
+/// (nothing to shrink — the axis is healthy).
+pub fn shrink_missing_anomaly(
+    app: App,
+    seed: u64,
+    faults: &FaultPlan,
+    budget: ShrinkBudget,
+) -> Option<JointOutcome> {
+    let tuning = SoakTuning {
+        mode: SoakMode::Causal,
+        ..SoakTuning::default()
+    };
+    let recorded = run_soak_tuned(
+        app,
+        seed,
+        Nemesis::Plan {
+            faults,
+            record: true,
+        },
+        tuning,
+    );
+    if recorded.failure.is_some() {
+        return None;
+    }
+    let trace = recorded.trace.expect("recording was on");
+    let ops = recorded.ops.expect("recording was on");
+    shrink_joint_with(
+        &trace,
+        &ops,
+        budget,
+        |op| weaken_op(app, op),
+        |cand_faults, cand_ops| {
+            let run = run_soak_tuned(
+                app,
+                seed,
+                Nemesis::Explicit {
+                    faults: Some(cand_faults),
+                    ops: Some(cand_ops),
+                },
+                tuning,
+            );
+            // Inverted verdict: a candidate "fails" (is kept) when it still
+            // produces NO anomaly.
+            run.failure.is_none().then(|| RunVerdict {
+                check: "no-anomaly".into(),
+                digest: run.digest,
+            })
+        },
+    )
 }
 
 #[cfg(test)]
@@ -572,6 +754,114 @@ mod tests {
                     "{app} seed {seed}: full seal must be bit-exact"
                 );
                 assert_eq!(sealed.failure, run.failure);
+            }
+        }
+    }
+
+    /// The causal axis as the CI matrix runs it: each unrepaired app at
+    /// the canonical first seed must name its signature anomaly.
+    #[test]
+    fn causal_cell_names_the_expected_anomaly_per_app() {
+        let expect = [
+            (App::Tournament, Anomaly::ReferentialOrphan),
+            (App::Ticket, Anomaly::Oversell),
+            (App::Tpc, Anomaly::ReferentialOrphan),
+            (App::Twitter, Anomaly::LostUpdate),
+        ];
+        for (app, want) in expect {
+            let plan = FaultPlan::with_intensity(11, 0.5);
+            let (got, run) = run_causal_cell(app, 11, &plan);
+            assert_eq!(
+                got,
+                Some(want),
+                "{app} causal cell: failure {:?}",
+                run.failure
+            );
+        }
+    }
+
+    /// The inverted shrink: a causal cell that stays clean minimizes the
+    /// *clean* run (verdict `no-anomaly`), so the report names the
+    /// smallest schedule under which the nemesis lost its teeth.
+    #[test]
+    fn clean_causal_cell_shrinks_to_a_minimal_no_anomaly_run() {
+        let plan = FaultPlan::with_intensity(1, 0.0);
+        let (a, _) = run_causal_cell(App::Twitter, 1, &plan);
+        assert_eq!(a, None, "benign twitter causal cell at seed 1 is clean");
+        let outcome = shrink_missing_anomaly(App::Twitter, 1, &plan, ShrinkBudget::default())
+            .expect("the clean run reproduces from its recorded traces");
+        assert_eq!(outcome.check, "no-anomaly");
+        assert!(outcome.op_events() <= outcome.original_op_events);
+    }
+
+    /// Every lattice row must (a) parse under its app's op grammar and
+    /// (b) terminate: repeated weakening reaches a fixpoint (no cycles).
+    #[test]
+    fn weakening_lattice_rows_parse_and_terminate() {
+        use crate::ticket::workload::TicketOp;
+        use crate::tournament::workload::TournamentOp;
+        use crate::tpc::workload::TpcOp;
+        use crate::twitter::workload::TwitterOp;
+        let samples: [(App, &[&str]); 4] = [
+            (
+                App::Tournament,
+                &[
+                    "match p1 p2 t3",
+                    "enroll p1 t3",
+                    "disenroll p1 t3",
+                    "begin t3",
+                    "finish t3",
+                    "remove t3",
+                    "status t3",
+                ],
+            ),
+            (App::Ticket, &["buy 1", "view 1"]),
+            (
+                App::Tpc,
+                &[
+                    "purchase p1",
+                    "restock p1",
+                    "remproduct p1",
+                    "addproduct p1",
+                    "view p1",
+                ],
+            ),
+            (
+                App::Twitter,
+                &[
+                    "tweet u1 5",
+                    "retweet u2 5",
+                    "deltweet 5",
+                    "follow u1 u2",
+                    "unfollow u1 u2",
+                    "adduser u9",
+                    "remuser u1",
+                    "timeline u1",
+                ],
+            ),
+        ];
+        let parses = |app: App, op: &str| match app {
+            App::Tournament => op.parse::<TournamentOp>().map(|_| ()),
+            App::Ticket => op.parse::<TicketOp>().map(|_| ()),
+            App::Tpc => op.parse::<TpcOp>().map(|_| ()),
+            App::Twitter => op.parse::<TwitterOp>().map(|_| ()),
+        };
+        for (app, ops) in samples {
+            for &op in ops {
+                // BFS the whole lattice below `op`, bounded to prove
+                // termination.
+                let mut frontier = vec![op.to_owned()];
+                let mut steps = 0;
+                while let Some(cur) = frontier.pop() {
+                    steps += 1;
+                    assert!(steps < 64, "{app}: lattice under {op:?} does not terminate");
+                    for w in weaken_op(app, &cur) {
+                        parses(app, &w).unwrap_or_else(|e| {
+                            panic!("{app}: weakening {cur:?} produced invalid op {w:?}: {e}")
+                        });
+                        frontier.push(w);
+                    }
+                }
             }
         }
     }

@@ -82,7 +82,7 @@ pub struct Report {
     /// Admitted throughput at the knee — the highest rate the cluster
     /// sustained with stable latency (ops/s).
     pub saturation_ops_s: f64,
-    /// Highest offered rate whose p50 stayed under [`SATURATION_X`]×
+    /// Highest offered rate whose p50 stayed under `SATURATION_X`×
     /// the lightest point's p50 (ops/s); past it the queue grows
     /// without bound and the median is backlog, not service.
     pub knee_ops_s: f64,

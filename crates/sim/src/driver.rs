@@ -79,6 +79,9 @@ pub struct NemesisStats {
     pub link_flaps: u64,
     /// Batches re-sent by periodic / restart anti-entropy.
     pub anti_entropy_batches: u64,
+    /// Batches delivered corrupted (bit-flipped, truncated, forged, or
+    /// mutated duplicates). Zero unless the plan arms corruption.
+    pub batches_corrupted: u64,
 }
 
 /// Captures every fault the nemesis RNG materializes, so a failing
@@ -128,10 +131,18 @@ struct ExplicitNemesis {
     drops: HashSet<(Region, Region, u64)>,
     delays: HashMap<(Region, Region, u64), f64>,
     dups: HashMap<(Region, Region, u64), f64>,
+    /// Adversarial per-batch corruption: bit-flips, truncations, forged
+    /// sequence numbers, mutated duplicates.
+    flips: HashSet<(Region, Region, u64)>,
+    truncs: HashMap<(Region, Region, u64), u64>,
+    forges: HashMap<(Region, Region, u64), u64>,
+    mutdups: HashMap<(Region, Region, u64), f64>,
     cuts: Vec<(Region, Region, f64, f64)>,
     crashes: Vec<(Region, f64, f64)>,
     ae_latency_ms: HashMap<(u64, Region, Region), f64>,
     anti_entropy_s: Option<f64>,
+    /// Per-origin honest clock drift in milliseconds.
+    skew_ms: Vec<(Region, f64)>,
 }
 
 impl ExplicitNemesis {
@@ -140,6 +151,10 @@ impl ExplicitNemesis {
             drops: HashSet::new(),
             delays: HashMap::new(),
             dups: HashMap::new(),
+            flips: HashSet::new(),
+            truncs: HashMap::new(),
+            forges: HashMap::new(),
+            mutdups: HashMap::new(),
             cuts: Vec::new(),
             crashes: Vec::new(),
             ae_latency_ms: plan
@@ -148,6 +163,7 @@ impl ExplicitNemesis {
                 .map(|&(r, s, d, ms)| ((r, s, d), ms))
                 .collect(),
             anti_entropy_s: plan.anti_entropy_s,
+            skew_ms: plan.skew_ms.clone(),
         };
         for e in &plan.events {
             match *e {
@@ -184,6 +200,33 @@ impl ExplicitNemesis {
                     down_s,
                 } => {
                     ex.crashes.push((region, at_s, down_s));
+                }
+                FaultEvent::Flip { origin, dest, seq } => {
+                    ex.flips.insert((origin, dest, seq));
+                }
+                FaultEvent::Truncate {
+                    origin,
+                    dest,
+                    seq,
+                    keep,
+                } => {
+                    ex.truncs.insert((origin, dest, seq), keep);
+                }
+                FaultEvent::Forge {
+                    origin,
+                    dest,
+                    seq,
+                    back,
+                } => {
+                    ex.forges.insert((origin, dest, seq), back);
+                }
+                FaultEvent::MutDup {
+                    origin,
+                    dest,
+                    seq,
+                    dup_delay_ms,
+                } => {
+                    ex.mutdups.insert((origin, dest, seq), dup_delay_ms);
                 }
             }
         }
@@ -704,6 +747,7 @@ impl Simulation {
             events,
             anti_entropy_s: self.cfg.faults.effective_anti_entropy_s(),
             ae_latency_ms: tr.ae_latency_ms,
+            skew_ms: self.cfg.faults.skew_ms.clone(),
         }
     }
 
@@ -904,7 +948,9 @@ impl Simulation {
 
     /// Schedule staged deliveries, applying per-link nemesis faults:
     /// drops vanish (repaired later by anti-entropy), duplicates arrive
-    /// twice, delayed batches arrive out of order into the causal buffer.
+    /// twice, delayed batches arrive out of order into the causal buffer,
+    /// and — when the plan arms corruption — batches arrive bit-flipped,
+    /// truncated, seq-forged, or shadowed by a mutated duplicate.
     /// Under an explicit plan the same faults come from per-batch table
     /// lookups instead of the nemesis RNG.
     fn flush_staged(&mut self, staged: Vec<(Region, SimTime, Arc<UpdateBatch>)>) {
@@ -913,25 +959,60 @@ impl Simulation {
         // keeps anti-entropy from re-shipping it meanwhile. Dropped
         // batches and partition-stalled sends (the 3600 s heal delay)
         // are deliberately NOT promised — those are exactly the sends
-        // anti-entropy must repair.
+        // anti-entropy must repair. A corrupted main delivery joins that
+        // set: the bytes arrive but the receiver quarantines them, so
+        // for promise and liveness accounting the send *is* a drop.
         let stall = self.now + SimTime::from_secs(3600.0);
         for (dest, at, batch) in staged {
             let origin = batch.origin.0;
             let seq = batch.seq;
+            // Honest per-origin clock skew: the origin's drift shifts
+            // both its batch timestamp and the virtual send time, and
+            // the origin reseals — a skewed batch is never quarantined.
+            // Observation-free (no clone, no RNG) when no skew is armed.
+            let skew = match &self.explicit {
+                Some(ex) => ex
+                    .skew_ms
+                    .iter()
+                    .find(|&&(r, _)| r == origin)
+                    .map_or(0.0, |&(_, ms)| ms),
+                None => self.cfg.faults.skew_of(origin),
+            };
+            let (batch, at) = if skew != 0.0 {
+                let mut b = UpdateBatch::clone(&batch);
+                let shift_us = (skew * 1000.0) as i64;
+                b.lamport = if shift_us >= 0 {
+                    b.lamport.saturating_add(shift_us as u64)
+                } else {
+                    b.lamport.saturating_sub(shift_us.unsigned_abs())
+                };
+                b.reseal();
+                let at_us = at.as_micros() as i64 + shift_us;
+                let floor = self.now.as_micros() as i64;
+                (Arc::new(b), SimTime(at_us.max(floor) as u64))
+            } else {
+                (batch, at)
+            };
             if self.explicit.is_some() {
                 let key = (origin, dest, seq);
                 let ex = self.explicit.as_ref().expect("checked");
-                let mut at = at;
                 if ex.drops.contains(&key) {
                     self.nemesis.batches_dropped += 1;
                     self.note_gap(dest, origin, seq);
                     continue;
                 }
-                if let Some(&extra) = ex.delays.get(&key) {
+                let delay = ex.delays.get(&key).copied();
+                let dup = ex.dups.get(&key).copied();
+                let flip = ex.flips.contains(&key);
+                let trunc = ex.truncs.get(&key).copied();
+                let forge = ex.forges.get(&key).copied();
+                let mutdup = ex.mutdups.get(&key).copied();
+                let mut at = at;
+                if let Some(extra) = delay {
                     at += SimTime::from_ms(extra);
                     self.nemesis.batches_delayed += 1;
                 }
-                if let Some(&dup_delay) = ex.dups.get(&key) {
+                if let Some(dup_delay) = dup {
                     self.nemesis.batches_duplicated += 1;
                     self.schedule(
                         at + SimTime::from_ms(dup_delay),
@@ -940,6 +1021,27 @@ impl Simulation {
                             batch: Arc::clone(&batch),
                         },
                     );
+                }
+                if let Some(dup_delay) = mutdup {
+                    // The clean delivery below keeps its promise; only
+                    // the mutated shadow copy is extra.
+                    self.deliver_corrupted(
+                        dest,
+                        at + SimTime::from_ms(dup_delay),
+                        Arc::new(Self::bitflip(&batch)),
+                    );
+                }
+                if flip || trunc.is_some() || forge.is_some() {
+                    let corrupted = if flip {
+                        Self::bitflip(&batch)
+                    } else if let Some(keep) = trunc {
+                        Self::truncate_updates(&batch, keep)
+                    } else {
+                        Self::forge_seq(&batch, forge.expect("checked"))
+                    };
+                    self.deliver_corrupted(dest, at, Arc::new(corrupted));
+                    self.note_gap(dest, origin, seq);
+                    continue;
                 }
                 if at < stall {
                     self.nodes[dest as usize].note_inflight_single(
@@ -994,11 +1096,110 @@ impl Simulation {
                     );
                 }
             }
+            // Adversarial corruption draws: strictly gated behind
+            // `corruption_armed()` so benign plans never touch the
+            // nemesis RNG stream here (every digest pin depends on it).
+            if self.cfg.faults.corruption_armed() {
+                let c = self.cfg.faults.corruption;
+                let flip = self.nemesis_rng.gen_bool(c.flip_p);
+                let trunc = self.nemesis_rng.gen_bool(c.truncate_p);
+                let forge = self.nemesis_rng.gen_bool(c.forge_seq_p);
+                let mutdup = self.nemesis_rng.gen_bool(c.mutate_dup_p);
+                if mutdup {
+                    if let Some(tr) = &mut self.trace {
+                        tr.events.push(FaultEvent::MutDup {
+                            origin,
+                            dest,
+                            seq,
+                            dup_delay_ms: c.mutate_dup_delay_ms,
+                        });
+                    }
+                    self.deliver_corrupted(
+                        dest,
+                        at + SimTime::from_ms(c.mutate_dup_delay_ms),
+                        Arc::new(Self::bitflip(&batch)),
+                    );
+                }
+                if flip || trunc || forge {
+                    // First class drawn wins the main delivery; the true
+                    // payload is lost on this link (drop-equivalent for
+                    // promise + liveness accounting), anti-entropy repairs.
+                    let corrupted = if flip {
+                        if let Some(tr) = &mut self.trace {
+                            tr.events.push(FaultEvent::Flip { origin, dest, seq });
+                        }
+                        Self::bitflip(&batch)
+                    } else if trunc {
+                        let keep = (batch.updates.len() / 2) as u64;
+                        if let Some(tr) = &mut self.trace {
+                            tr.events.push(FaultEvent::Truncate {
+                                origin,
+                                dest,
+                                seq,
+                                keep,
+                            });
+                        }
+                        Self::truncate_updates(&batch, keep)
+                    } else {
+                        let back = self.nemesis_rng.gen_range(1..=4u64);
+                        if let Some(tr) = &mut self.trace {
+                            tr.events.push(FaultEvent::Forge {
+                                origin,
+                                dest,
+                                seq,
+                                back,
+                            });
+                        }
+                        Self::forge_seq(&batch, back)
+                    };
+                    self.deliver_corrupted(dest, at, Arc::new(corrupted));
+                    self.note_gap(dest, origin, seq);
+                    continue;
+                }
+            }
             if at < stall {
                 self.nodes[dest as usize].note_inflight_single(batch.origin, seq, at.as_micros());
             }
             self.schedule(at, Event::BatchArrive { dest, batch });
         }
+    }
+
+    /// Schedule a corrupted delivery: counted, folded into the digest as
+    /// its own event class (8), never promised to the destination's
+    /// in-flight window. Only reachable when a plan arms corruption, so
+    /// benign digests are untouched.
+    fn deliver_corrupted(&mut self, dest: Region, at: SimTime, batch: Arc<UpdateBatch>) {
+        self.nemesis.batches_corrupted += 1;
+        self.fold_digest([8, at.as_micros(), u64::from(dest), batch.seq]);
+        self.schedule(at, Event::BatchArrive { dest, batch });
+    }
+
+    /// Adversarial bit-flip: mutate a checksummed envelope field without
+    /// resealing, so the stored seal no longer matches and the receiver
+    /// quarantines on the integrity check.
+    fn bitflip(batch: &UpdateBatch) -> UpdateBatch {
+        let mut b = batch.clone();
+        b.lamport ^= 1;
+        b
+    }
+
+    /// Adversarial truncation: lose the tail of the update list without
+    /// resealing (the seal covers the update count and keys).
+    fn truncate_updates(batch: &UpdateBatch, keep: u64) -> UpdateBatch {
+        let mut b = batch.clone();
+        b.updates.truncate(keep as usize);
+        b
+    }
+
+    /// Forged (stale) sequence number. The forger reseals consistently —
+    /// a non-equivocating adversary — so the checksum passes and the
+    /// batch is caught by the structural well-formedness check instead
+    /// (its own clock still names the original commit number).
+    fn forge_seq(batch: &UpdateBatch, back: u64) -> UpdateBatch {
+        let mut b = batch.clone();
+        b.seq = b.seq.saturating_sub(back);
+        b.reseal();
+        b
     }
 
     /// Register a fault-induced causal gap for liveness accounting.
@@ -1873,6 +2074,117 @@ mod tests {
             ms_high > ms_low * 3.0,
             "queueing delay appears under saturation: {ms_low} vs {ms_high}"
         );
+    }
+
+    #[test]
+    fn adversarial_faults_quarantine_but_never_diverge() {
+        let cfg = SimConfig {
+            faults: FaultPlan::adversarial(9, 1.0),
+            ..small_cfg(9)
+        };
+        let mut sim = Simulation::new(paper_topology(), cfg);
+        let mut w = Inserter { n: 0 };
+        sim.run(&mut w);
+        sim.quiesce();
+        assert!(
+            sim.nemesis.batches_corrupted > 0,
+            "adversarial plan injected corruption"
+        );
+        let quarantined: u64 = (0..3u16)
+            .map(|r| sim.replica(r).stats.batches_quarantined)
+            .sum();
+        assert!(quarantined > 0, "receivers quarantined corrupt input");
+        for r in 0..3u16 {
+            assert_eq!(
+                sim.replica(r).unrepaired_quarantine(),
+                0,
+                "quiesce repaired every quarantined slot at replica {r}"
+            );
+        }
+        // Convergence despite corruption: every insert survives because
+        // a corrupted delivery is drop-equivalent and anti-entropy
+        // re-ships the clean copy from the origin's durable log.
+        let sizes: Vec<usize> = (0..3u16)
+            .map(|r| {
+                sim.replica(r)
+                    .object(&"set".into())
+                    .unwrap()
+                    .as_awset()
+                    .unwrap()
+                    .len()
+            })
+            .collect();
+        assert_eq!(sizes[0], sizes[1]);
+        assert_eq!(sizes[1], sizes[2]);
+        assert_eq!(sizes[0] as u64, w.n);
+    }
+
+    #[test]
+    fn honest_skew_is_never_quarantined_and_still_converges() {
+        let faults = FaultPlan {
+            skew_ms: vec![(0, 25.0), (2, -10.0)],
+            ..FaultPlan::none()
+        };
+        assert!(faults.is_none(), "skew alone is not hostile");
+        let cfg = SimConfig {
+            faults,
+            ..small_cfg(4)
+        };
+        let mut sim = Simulation::new(paper_topology(), cfg);
+        let mut w = Inserter { n: 0 };
+        sim.run(&mut w);
+        sim.quiesce();
+        assert_eq!(sim.nemesis.batches_corrupted, 0);
+        for r in 0..3u16 {
+            assert_eq!(
+                sim.replica(r).stats.batches_quarantined,
+                0,
+                "skewed batches reseal and pass the integrity gate"
+            );
+        }
+        let sizes: Vec<usize> = (0..3u16)
+            .map(|r| {
+                sim.replica(r)
+                    .object(&"set".into())
+                    .unwrap()
+                    .as_awset()
+                    .unwrap()
+                    .len()
+            })
+            .collect();
+        assert_eq!(sizes[0] as u64, w.n);
+        assert_eq!(sizes[1] as u64, w.n);
+        assert_eq!(sizes[2] as u64, w.n);
+    }
+
+    #[test]
+    fn recorded_adversarial_trace_replays_with_identical_corruption() {
+        let cfg = SimConfig {
+            faults: FaultPlan::adversarial(11, 1.0),
+            ..small_cfg(11)
+        };
+        let mut sim = Simulation::new(paper_topology(), cfg);
+        sim.record_fault_trace();
+        let mut w = Inserter { n: 0 };
+        sim.run(&mut w);
+        let corrupted = sim.nemesis.batches_corrupted;
+        assert!(corrupted > 0, "adversarial plan fired");
+        let plan = sim.take_fault_trace();
+        assert!(!plan.skew_ms.is_empty(), "recorded plan carries the skew");
+
+        // The v3 plan text round-trips the new event classes.
+        let parsed: ExplicitPlan = plan.to_string().parse().expect("v3 plan parses");
+        assert_eq!(parsed.events.len(), plan.events.len());
+        assert_eq!(parsed.skew_ms.len(), plan.skew_ms.len());
+
+        // Replaying the sealed plan reproduces the same corruption
+        // without ever drawing the nemesis RNG.
+        let mut replay = Simulation::new(paper_topology(), small_cfg(11));
+        replay.set_explicit_faults(&parsed);
+        let mut w = Inserter { n: 0 };
+        replay.run(&mut w);
+        assert_eq!(replay.nemesis.batches_corrupted, corrupted);
+        assert_eq!(replay.nemesis.batches_dropped, sim.nemesis.batches_dropped);
     }
 
     #[test]

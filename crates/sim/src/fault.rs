@@ -63,6 +63,48 @@ impl Default for LinkFaults {
     }
 }
 
+/// Adversarial (but non-equivocating) corruption faults, applied
+/// per-batch on top of the honest link faults. Every class mutates a
+/// batch *without* resealing its integrity checksum, so a healthy
+/// replica quarantines it on receipt; the honest copy of the data stays
+/// in the origin's durable log and anti-entropy repairs the gap.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CorruptionFaults {
+    /// Probability a batch's payload is bit-flipped in flight.
+    pub flip_p: f64,
+    /// Probability a batch's update vector is truncated in flight.
+    pub truncate_p: f64,
+    /// Probability a batch's sequence number is forged to a stale value.
+    pub forge_seq_p: f64,
+    /// Probability a *mutated* duplicate is delivered alongside the
+    /// clean batch, `mutate_dup_delay_ms` later.
+    pub mutate_dup_p: f64,
+    pub mutate_dup_delay_ms: f64,
+}
+
+impl CorruptionFaults {
+    pub const NONE: CorruptionFaults = CorruptionFaults {
+        flip_p: 0.0,
+        truncate_p: 0.0,
+        forge_seq_p: 0.0,
+        mutate_dup_p: 0.0,
+        mutate_dup_delay_ms: 40.0,
+    };
+
+    pub fn is_none(&self) -> bool {
+        self.flip_p <= 0.0
+            && self.truncate_p <= 0.0
+            && self.forge_seq_p <= 0.0
+            && self.mutate_dup_p <= 0.0
+    }
+}
+
+impl Default for CorruptionFaults {
+    fn default() -> Self {
+        CorruptionFaults::NONE
+    }
+}
+
 /// Flapping-partition nemesis: every `period_s` cut one random link for
 /// `outage_s` simulated seconds.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -95,6 +137,15 @@ pub struct FaultPlan {
     /// Periodic anti-entropy interval (repairs drops and crash losses).
     /// Defaults on whenever any fault is configured.
     pub anti_entropy_s: Option<f64>,
+    /// Adversarial corruption faults (off on every honest plan; arming
+    /// any class makes the run hostile and default-enables anti-entropy,
+    /// which is what repairs quarantined input).
+    pub corruption: CorruptionFaults,
+    /// Per-replica clock skew: `(region, offset_ms)` — bounded drift
+    /// applied to the region's outbound batch timestamps and arrival
+    /// times. Skew is *honest* (the skewed replica reseals what it
+    /// sends), so skewed batches must never be quarantined.
+    pub skew_ms: Vec<(Region, f64)>,
 }
 
 impl FaultPlan {
@@ -107,6 +158,8 @@ impl FaultPlan {
             flap: None,
             crashes: Vec::new(),
             anti_entropy_s: None,
+            corruption: CorruptionFaults::NONE,
+            skew_ms: Vec::new(),
         }
     }
 
@@ -134,15 +187,62 @@ impl FaultPlan {
             }),
             crashes: Vec::new(),
             anti_entropy_s: Some(0.25),
+            corruption: CorruptionFaults::NONE,
+            skew_ms: Vec::new(),
         }
     }
 
-    /// Do any transport faults, flaps, or crashes apply?
+    /// A canonical *adversarial* plan: the honest faults of
+    /// [`FaultPlan::with_intensity`] plus every corruption class armed at
+    /// `intensity`-scaled probabilities and a bounded per-replica clock
+    /// skew. This is the plan the adversarial soak cells and the
+    /// corruption proptests run.
+    pub fn adversarial(seed: u64, intensity: f64) -> FaultPlan {
+        let i = intensity.clamp(0.0, 1.0);
+        let mut plan = FaultPlan::with_intensity(seed, i);
+        plan.seed = seed;
+        plan.corruption = CorruptionFaults {
+            flip_p: 0.10 * i,
+            truncate_p: 0.05 * i,
+            forge_seq_p: 0.05 * i,
+            mutate_dup_p: 0.05 * i,
+            mutate_dup_delay_ms: 40.0,
+        };
+        // Bounded drift: region 1 runs ~15·i ms fast, region 2 ~10·i ms
+        // slow (clamped to zero delay on arrival; lamport shifts track
+        // the fast clock).
+        plan.skew_ms = vec![(1, 15.0 * i), (2, -10.0 * i)];
+        if plan.anti_entropy_s.is_none() {
+            plan.anti_entropy_s = Some(0.25);
+        }
+        plan
+    }
+
+    /// Do any transport faults, flaps, crashes, or corruption apply?
+    /// (Clock skew alone does not make a plan hostile: it loses nothing,
+    /// so it needs no anti-entropy default.)
     pub fn is_none(&self) -> bool {
         self.link_defaults.is_none()
             && self.per_link.iter().all(|(_, _, f)| f.is_none())
             && self.flap.is_none()
             && self.crashes.is_empty()
+            && self.corruption.is_none()
+    }
+
+    /// Is any corruption class armed? The driver's injection draws are
+    /// strictly gated on this, so benign plans leave the nemesis RNG
+    /// stream — and with it every schedule digest — untouched.
+    pub fn corruption_armed(&self) -> bool {
+        !self.corruption.is_none()
+    }
+
+    /// The clock-skew offset for `region` (0 when unlisted).
+    pub fn skew_of(&self, region: Region) -> f64 {
+        self.skew_ms
+            .iter()
+            .find(|&&(r, _)| r == region)
+            .map(|&(_, ms)| ms)
+            .unwrap_or(0.0)
     }
 
     /// The faults on link `a → b` (symmetric; last matching override
@@ -193,6 +293,17 @@ impl fmt::Display for FaultPlan {
         for c in &self.crashes {
             write!(f, " crash(r{}@{}s+{}s)", c.region, c.at_s, c.down_s)?;
         }
+        if !self.corruption.is_none() {
+            let c = self.corruption;
+            write!(
+                f,
+                " corrupt(flip={:.3} trunc={:.3} forge={:.3} mutdup={:.3})",
+                c.flip_p, c.truncate_p, c.forge_seq_p, c.mutate_dup_p
+            )?;
+        }
+        for &(r, ms) in &self.skew_ms {
+            write!(f, " skew(r{r}{ms:+}ms)")?;
+        }
         if let Some(ae) = self.effective_anti_entropy_s() {
             write!(f, " ae={ae}s")?;
         }
@@ -233,6 +344,28 @@ mod tests {
         assert_eq!(plan.link(0, 1).drop_p, 0.5);
         assert_eq!(plan.link(1, 0).drop_p, 0.5);
         assert_eq!(plan.link(0, 2).drop_p, 0.0);
+    }
+
+    #[test]
+    fn adversarial_plans_arm_corruption_and_skew() {
+        assert!(!FaultPlan::none().corruption_armed());
+        assert!(!FaultPlan::with_intensity(7, 0.8).corruption_armed());
+        let plan = FaultPlan::adversarial(7, 0.8);
+        assert!(plan.corruption_armed());
+        assert!(!plan.is_none(), "armed corruption is hostile");
+        assert_eq!(plan.effective_anti_entropy_s(), Some(0.25));
+        assert!(plan.skew_of(1) > 0.0);
+        assert!(plan.skew_of(2) < 0.0);
+        assert_eq!(plan.skew_of(0), 0.0);
+        let s = plan.to_string();
+        assert!(s.contains("corrupt(flip="), "{s}");
+        assert!(s.contains("skew(r1+12ms)"), "{s}");
+
+        // Corruption alone (no honest link faults) still counts hostile.
+        let mut only = FaultPlan::none();
+        only.corruption.flip_p = 0.1;
+        assert!(!only.is_none());
+        assert_eq!(only.effective_anti_entropy_s(), Some(0.25));
     }
 
     #[test]

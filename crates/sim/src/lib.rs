@@ -32,14 +32,14 @@ pub use driver::{
     Auditor, ClientInfo, LivenessStats, NemesisStats, OpCtx, OpOutcome, SimConfig, SimCtx,
     Simulation, Workload,
 };
-pub use fault::{CrashPlan, FaultPlan, FlapPlan, LinkFaults};
+pub use fault::{CorruptionFaults, CrashPlan, FaultPlan, FlapPlan, LinkFaults};
 pub use latency::{LatencyModel, Region};
 pub use metrics::{LatencySummary, Metrics};
 pub use scenario::{paper_topology, two_region_topology};
 pub use server::ServerQueue;
 pub use shrink::{
-    shrink_joint, shrink_plan, ExplicitPlan, FaultEvent, JointOutcome, PlanParseError, RunVerdict,
-    ShrinkBudget, ShrinkOutcome,
+    shrink_joint, shrink_joint_with, shrink_plan, ExplicitPlan, FaultEvent, JointOutcome,
+    PlanParseError, RunVerdict, ShrinkBudget, ShrinkOutcome,
 };
 pub use time::SimTime;
 pub use trace::{AppOp, OpEvent, OpTrace, SendRec, OP_TRACE_HEADER, SETUP_CLIENT};

@@ -80,6 +80,37 @@ pub enum FaultEvent {
         at_s: f64,
         down_s: f64,
     },
+    /// The batch's payload is bit-flipped in flight (lamport corrupted,
+    /// seal not recomputed) — the receiver quarantines it.
+    Flip {
+        origin: Region,
+        dest: Region,
+        seq: u64,
+    },
+    /// The batch's update vector is truncated to its first `keep`
+    /// updates in flight.
+    Truncate {
+        origin: Region,
+        dest: Region,
+        seq: u64,
+        keep: u64,
+    },
+    /// The batch's sequence number is forged `back` steps stale (and the
+    /// forgery resealed — caught structurally, not by checksum).
+    Forge {
+        origin: Region,
+        dest: Region,
+        seq: u64,
+        back: u64,
+    },
+    /// A *mutated* duplicate of the batch arrives `dup_delay_ms` after
+    /// the clean copy.
+    MutDup {
+        origin: Region,
+        dest: Region,
+        seq: u64,
+        dup_delay_ms: f64,
+    },
 }
 
 impl FaultEvent {
@@ -91,6 +122,10 @@ impl FaultEvent {
             FaultEvent::Duplicate { .. } => "dup",
             FaultEvent::Partition { .. } => "cut",
             FaultEvent::Crash { .. } => "crash",
+            FaultEvent::Flip { .. } => "flip",
+            FaultEvent::Truncate { .. } => "trunc",
+            FaultEvent::Forge { .. } => "forge",
+            FaultEvent::MutDup { .. } => "mutdup",
         }
     }
 }
@@ -126,6 +161,25 @@ impl fmt::Display for FaultEvent {
             } => {
                 write!(f, "crash {region} {at_s} {down_s}")
             }
+            FaultEvent::Flip { origin, dest, seq } => write!(f, "flip {origin}->{dest} {seq}"),
+            FaultEvent::Truncate {
+                origin,
+                dest,
+                seq,
+                keep,
+            } => write!(f, "trunc {origin}->{dest} {seq} {keep}"),
+            FaultEvent::Forge {
+                origin,
+                dest,
+                seq,
+                back,
+            } => write!(f, "forge {origin}->{dest} {seq} {back}"),
+            FaultEvent::MutDup {
+                origin,
+                dest,
+                seq,
+                dup_delay_ms,
+            } => write!(f, "mutdup {origin}->{dest} {seq} {dup_delay_ms}"),
         }
     }
 }
@@ -145,6 +199,10 @@ pub struct ExplicitPlan {
     /// full-trace replay reproduces the original arrival times exactly
     /// while shrunk candidates stay deterministic.
     pub ae_latency_ms: Vec<(u64, Region, Region, f64)>,
+    /// Per-replica clock skew table `(region, offset_ms)` — plan-level
+    /// (not an event: skew is a property of a replica's clock for the
+    /// whole run, mirrored from [`crate::FaultPlan::skew_ms`]).
+    pub skew_ms: Vec<(Region, f64)>,
 }
 
 impl ExplicitPlan {
@@ -154,12 +212,16 @@ impl ExplicitPlan {
 
     /// Events per class, for failure banners.
     pub fn summary(&self) -> String {
-        let mut counts: [(&str, usize); 5] = [
+        let mut counts: [(&str, usize); 9] = [
             ("drop", 0),
             ("delay", 0),
             ("dup", 0),
             ("cut", 0),
             ("crash", 0),
+            ("flip", 0),
+            ("trunc", 0),
+            ("forge", 0),
+            ("mutdup", 0),
         ];
         for e in &self.events {
             let c = e.class();
@@ -184,10 +246,13 @@ impl ExplicitPlan {
 
 impl fmt::Display for ExplicitPlan {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "# ipa-nemesis explicit fault plan v1")?;
+        writeln!(f, "# ipa-nemesis explicit fault plan v3")?;
         match self.anti_entropy_s {
             Some(s) => writeln!(f, "ae {s}")?,
             None => writeln!(f, "ae off")?,
+        }
+        for &(region, ms) in &self.skew_ms {
+            writeln!(f, "skew {region} {ms}")?;
         }
         for e in &self.events {
             writeln!(f, "{e}")?;
@@ -248,7 +313,7 @@ impl FromStr for ExplicitPlan {
                         )
                     };
                 }
-                "drop" | "delay" | "dup" => {
+                "drop" | "delay" | "dup" | "flip" | "trunc" | "forge" | "mutdup" => {
                     let link = next()?;
                     let (origin, dest) = parse_link(link, "->")
                         .ok_or_else(|| err(format!("bad link {link:?} (want o->d)")))?;
@@ -256,6 +321,7 @@ impl FromStr for ExplicitPlan {
                     let seq = seq.parse().map_err(|_| err(format!("bad seq {seq:?}")))?;
                     plan.events.push(match kind {
                         "drop" => FaultEvent::Drop { origin, dest, seq },
+                        "flip" => FaultEvent::Flip { origin, dest, seq },
                         "delay" => {
                             let ms = next()?;
                             FaultEvent::Delay {
@@ -263,6 +329,39 @@ impl FromStr for ExplicitPlan {
                                 dest,
                                 seq,
                                 extra_ms: ms.parse().map_err(|_| err(format!("bad ms {ms:?}")))?,
+                            }
+                        }
+                        "trunc" => {
+                            let keep = next()?;
+                            FaultEvent::Truncate {
+                                origin,
+                                dest,
+                                seq,
+                                keep: keep
+                                    .parse()
+                                    .map_err(|_| err(format!("bad keep {keep:?}")))?,
+                            }
+                        }
+                        "forge" => {
+                            let back = next()?;
+                            FaultEvent::Forge {
+                                origin,
+                                dest,
+                                seq,
+                                back: back
+                                    .parse()
+                                    .map_err(|_| err(format!("bad back {back:?}")))?,
+                            }
+                        }
+                        "mutdup" => {
+                            let ms = next()?;
+                            FaultEvent::MutDup {
+                                origin,
+                                dest,
+                                seq,
+                                dup_delay_ms: ms
+                                    .parse()
+                                    .map_err(|_| err(format!("bad ms {ms:?}")))?,
                             }
                         }
                         _ => {
@@ -277,6 +376,16 @@ impl FromStr for ExplicitPlan {
                             }
                         }
                     });
+                }
+                "skew" => {
+                    let region = next()?;
+                    let ms = next()?;
+                    plan.skew_ms.push((
+                        region
+                            .parse()
+                            .map_err(|_| err(format!("bad region {region:?}")))?,
+                        ms.parse().map_err(|_| err(format!("bad ms {ms:?}")))?,
+                    ));
                 }
                 "cut" => {
                     let link = next()?;
@@ -412,6 +521,7 @@ pub fn shrink_plan(
     {
         let mut events = std::mem::take(&mut best.events);
         let (ae, latencies) = (best.anti_entropy_s, best.ae_latency_ms.clone());
+        let skew = best.skew_ms.clone();
         if let Some(digest) = ddmin_events(
             &mut events,
             &mut runs,
@@ -421,6 +531,7 @@ pub fn shrink_plan(
                     events: candidate.clone(),
                     anti_entropy_s: ae,
                     ae_latency_ms: latencies.clone(),
+                    skew_ms: skew.clone(),
                 };
                 try_candidate(&plan, runs)
             },
@@ -531,7 +642,10 @@ fn shrink_fault_fields(
                     FaultEvent::Duplicate { dup_delay_ms, .. } => halve(dup_delay_ms, 1.0),
                     FaultEvent::Partition { outage_s, .. } => halve(outage_s, 0.01),
                     FaultEvent::Crash { down_s, .. } => halve(down_s, 0.01),
-                    FaultEvent::Drop { .. } => false,
+                    FaultEvent::Drop { .. } | FaultEvent::Flip { .. } => false,
+                    FaultEvent::Truncate { keep, .. } => halve_u64(keep, 0),
+                    FaultEvent::Forge { back, .. } => halve_u64(back, 1),
+                    FaultEvent::MutDup { dup_delay_ms, .. } => halve(dup_delay_ms, 1.0),
                 };
                 if !shrunk || *runs >= max_runs {
                     break;
@@ -595,6 +709,29 @@ pub fn shrink_joint(
     initial_faults: &ExplicitPlan,
     initial_ops: &OpTrace,
     budget: ShrinkBudget,
+    run: impl FnMut(&ExplicitPlan, &OpTrace) -> Option<RunVerdict>,
+) -> Option<JointOutcome> {
+    shrink_joint_with(initial_faults, initial_ops, budget, |_| Vec::new(), run)
+}
+
+/// [`shrink_joint`] plus a *field-level weakening lattice* over op
+/// events: `weaken(op)` returns strictly weaker replacement ops (fewer
+/// or smaller writes — e.g. tournament's `match p q t` weakens to
+/// `enroll p t`, any write weakens to its read-only counterpart), tried
+/// in order whenever whole-event removal has hit its fixpoint. A kept
+/// weakening often unlocks further event removals (the batch a fault was
+/// keyed to no longer exists), so weakening is interleaved with the
+/// ddmin rounds until the pair is jointly stable.
+///
+/// The lattice lives with the caller because the op grammar is
+/// app-specific; the shrinker only requires that replacements parse as
+/// valid trace lines and are *weaker* (so the minimized counterexample
+/// never gains behavior the original schedule lacked).
+pub fn shrink_joint_with(
+    initial_faults: &ExplicitPlan,
+    initial_ops: &OpTrace,
+    budget: ShrinkBudget,
+    weaken: impl Fn(&str) -> Vec<String>,
     mut run: impl FnMut(&ExplicitPlan, &OpTrace) -> Option<RunVerdict>,
 ) -> Option<JointOutcome> {
     let mut runs = 1usize;
@@ -642,6 +779,7 @@ pub fn shrink_joint(
         {
             let mut fault_events = std::mem::take(&mut best_f.events);
             let (ae, latencies) = (best_f.anti_entropy_s, best_f.ae_latency_ms.clone());
+            let skew = best_f.skew_ms.clone();
             if let Some(digest) = ddmin_events(
                 &mut fault_events,
                 &mut runs,
@@ -651,6 +789,7 @@ pub fn shrink_joint(
                         events: candidate.clone(),
                         anti_entropy_s: ae,
                         ae_latency_ms: latencies.clone(),
+                        skew_ms: skew.clone(),
                     };
                     try_candidate(&plan, &best_o, runs)
                 },
@@ -660,7 +799,37 @@ pub fn shrink_joint(
             best_f.events = fault_events;
         }
 
-        if (best_f.events.len(), best_o.events.len()) == shape || runs >= budget.max_runs {
+        // Weakening pass: replace surviving ops with lattice-weaker
+        // variants while the same check still fails. A weakened op can
+        // itself weaken further (`match` → `enroll` → `status`), so each
+        // slot descends its chain to a fixpoint.
+        let mut weakened = false;
+        for i in 0..best_o.events.len() {
+            loop {
+                let mut descended = false;
+                for w in weaken(best_o.events[i].op.as_str()) {
+                    if runs >= budget.max_runs {
+                        break;
+                    }
+                    let mut candidate = best_o.clone();
+                    candidate.events[i].op = crate::trace::AppOp::new(w);
+                    if let Some(digest) = try_candidate(&best_f, &candidate, &mut runs) {
+                        best_o = candidate;
+                        best_digest = digest;
+                        descended = true;
+                        weakened = true;
+                        break;
+                    }
+                }
+                if !descended {
+                    break;
+                }
+            }
+        }
+
+        if ((best_f.events.len(), best_o.events.len()) == shape && !weakened)
+            || runs >= budget.max_runs
+        {
             break;
         }
     }
@@ -724,6 +893,19 @@ fn halve(v: &mut f64, floor: f64) -> bool {
     true
 }
 
+/// Integer halving toward `floor` (truncation keep-counts, forgery
+/// distances).
+fn halve_u64(v: &mut u64, floor: u64) -> bool {
+    if *v <= floor {
+        return false;
+    }
+    *v /= 2;
+    if *v < floor {
+        *v = floor;
+    }
+    true
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -759,9 +941,33 @@ mod tests {
                     at_s: 0.9,
                     down_s: 0.8,
                 },
+                FaultEvent::Flip {
+                    origin: 2,
+                    dest: 0,
+                    seq: 4,
+                },
+                FaultEvent::Truncate {
+                    origin: 1,
+                    dest: 2,
+                    seq: 6,
+                    keep: 3,
+                },
+                FaultEvent::Forge {
+                    origin: 0,
+                    dest: 1,
+                    seq: 11,
+                    back: 4,
+                },
+                FaultEvent::MutDup {
+                    origin: 2,
+                    dest: 1,
+                    seq: 8,
+                    dup_delay_ms: 25.5,
+                },
             ],
             anti_entropy_s: Some(0.25),
             ae_latency_ms: vec![(3, 0, 2, 40.125)],
+            skew_ms: vec![(1, 15.0), (2, -10.0)],
         }
     }
 
@@ -796,9 +1002,56 @@ mod tests {
     fn summary_counts_classes() {
         assert_eq!(
             sample_plan().summary(),
-            "5 events: 1 drop, 1 delay, 1 dup, 1 cut, 1 crash"
+            "9 events: 1 drop, 1 delay, 1 dup, 1 cut, 1 crash, 1 flip, 1 trunc, 1 forge, 1 mutdup"
         );
         assert_eq!(ExplicitPlan::default().summary(), "no faults");
+    }
+
+    #[test]
+    fn corruption_field_shrinking_halves_keep_and_back() {
+        // Oracle: fails while a trunc keeps ≥ 1 update and the forge
+        // reaches ≥ 2 back — both fields must shrink to their smallest
+        // failing values (keep 1, back 2).
+        let plan = ExplicitPlan {
+            events: vec![
+                FaultEvent::Truncate {
+                    origin: 0,
+                    dest: 1,
+                    seq: 3,
+                    keep: 16,
+                },
+                FaultEvent::Forge {
+                    origin: 1,
+                    dest: 2,
+                    seq: 9,
+                    back: 8,
+                },
+            ],
+            ..Default::default()
+        };
+        let out = shrink_plan(&plan, ShrinkBudget::default(), |p| {
+            let t = p
+                .events
+                .iter()
+                .any(|e| matches!(e, FaultEvent::Truncate { keep, .. } if *keep >= 1));
+            let g = p
+                .events
+                .iter()
+                .any(|e| matches!(e, FaultEvent::Forge { back, .. } if *back >= 2));
+            (t && g).then(|| RunVerdict {
+                check: "corrupt".into(),
+                digest: 1,
+            })
+        })
+        .expect("fails");
+        let FaultEvent::Truncate { keep, .. } = out.plan.events[0] else {
+            panic!("trunc survived: {}", out.plan);
+        };
+        let FaultEvent::Forge { back, .. } = out.plan.events[1] else {
+            panic!("forge survived: {}", out.plan);
+        };
+        assert_eq!(keep, 1, "16 → 8 → 4 → 2 → 1, then stuck");
+        assert_eq!(back, 2, "8 → 4 → 2, then stuck");
     }
 
     /// A synthetic "oracle": fails iff the plan still contains the
@@ -878,8 +1131,7 @@ mod tests {
                 seq: 5,
                 extra_ms: 64.0,
             }],
-            anti_entropy_s: None,
-            ae_latency_ms: Vec::new(),
+            ..Default::default()
         };
         let out = shrink_plan(&plan, ShrinkBudget::default(), |p| {
             let failing = p
@@ -1042,6 +1294,57 @@ mod tests {
         )
         .unwrap();
         assert!(capped.runs <= 10);
+    }
+
+    #[test]
+    fn weakening_lattice_descends_ops_to_their_weakest_failing_form() {
+        // Synthetic oracle: the violation needs p9 *enrolled* in t17 —
+        // `match p9 q1 t17` is sufficient but stronger than necessary,
+        // `status t17` is too weak. The lattice mirrors the tournament
+        // app's: match → enroll (per entity) → status.
+        let weaken = |op: &str| -> Vec<String> {
+            match op.split_whitespace().collect::<Vec<_>>().as_slice() {
+                ["match", p, q, t] => vec![format!("enroll {p} {t}"), format!("enroll {q} {t}")],
+                ["enroll", _, t] => vec![format!("status {t}")],
+                _ => Vec::new(),
+            }
+        };
+        let fails = |_: &ExplicitPlan, ops: &OpTrace| -> Option<RunVerdict> {
+            ops.events
+                .iter()
+                .any(|e| matches!(e.op.as_str(), "match p9 q1 t17" | "enroll p9 t17"))
+                .then(|| RunVerdict {
+                    check: "needs-p9".into(),
+                    digest: ops.events.len() as u64,
+                })
+        };
+        let mut ops = OpTrace::default();
+        for i in 0..24u64 {
+            ops.events.push(crate::trace::OpEvent {
+                client: (i % 6) as usize,
+                at_us: 1_000 + i * 97,
+                op: crate::trace::AppOp::new(if i == 13 {
+                    "match p9 q1 t17".to_owned()
+                } else {
+                    format!("status t{}", i % 4)
+                }),
+            });
+        }
+        let out = shrink_joint_with(
+            &ExplicitPlan::default(),
+            &ops,
+            ShrinkBudget::default(),
+            weaken,
+            fails,
+        )
+        .expect("the full pair fails");
+        assert_eq!(out.ops.events.len(), 1, "{}", out.ops);
+        assert_eq!(
+            out.ops.events[0].op.as_str(),
+            "enroll p9 t17",
+            "match weakened one rung (enroll q1 and status are too weak)"
+        );
+        assert_eq!(out.check, "needs-p9");
     }
 
     #[test]

@@ -45,6 +45,7 @@ fn dropped_batch_plan(anti_entropy_s: Option<f64>) -> ExplicitPlan {
         }],
         anti_entropy_s,
         ae_latency_ms: Vec::new(),
+        skew_ms: Vec::new(),
     }
 }
 
@@ -187,6 +188,52 @@ fn unreachable_gaps_still_pause_the_countdown() {
         "isolated dest pauses the countdown: {l:?}"
     );
     assert_eq!(l.max_gap_rounds, 0, "{l:?}");
+}
+
+/// A corrupted delivery is a *drop* for promise accounting: the batch
+/// arrives, fails the integrity gate, and is quarantined — but the
+/// transport must not count it as delivered (no in-flight promise), or
+/// the bounded-liveness oracle would wait forever on a repair the
+/// anti-entropy cursors believe already happened. Regression: the first
+/// corruption implementation promised the delivery before corrupting
+/// it, silently poisoning `AeCursors`.
+#[test]
+fn corrupt_delivery_is_a_tracked_gap_and_anti_entropy_repairs_it() {
+    for event in [
+        FaultEvent::Flip {
+            origin: 0,
+            dest: 2,
+            seq: 10,
+        },
+        // keep: 0 guarantees the truncation mutates the batch (a
+        // truncation to the batch's own length is byte-identical, so
+        // the seal stays valid and nothing is quarantined).
+        FaultEvent::Truncate {
+            origin: 0,
+            dest: 2,
+            seq: 10,
+            keep: 0,
+        },
+    ] {
+        let plan = ExplicitPlan {
+            events: vec![event],
+            anti_entropy_s: Some(0.25),
+            ae_latency_ms: Vec::new(),
+            skew_ms: Vec::new(),
+        };
+        let sim = run(&plan, Some(12));
+        let l = sim.liveness();
+        assert_eq!(sim.nemesis.batches_corrupted, 1, "{event}");
+        assert_eq!(l.tracked_gaps, 1, "corruption opened one gap: {l:?}");
+        assert_eq!(l.repaired_gaps, 1, "anti-entropy re-sent clean: {l:?}");
+        assert_eq!(sim.liveness_violations(), 0, "{event}: {l:?}");
+        // The corrupt bytes still arrived: the destination quarantined
+        // them, and the clean anti-entropy copy closed the slot.
+        let dest = sim.replica(2);
+        assert_eq!(dest.stats.batches_quarantined, 1, "{event}");
+        assert_eq!(dest.stats.quarantine_repaired, 1, "{event}");
+        assert_eq!(dest.unrepaired_quarantine(), 0, "{event}");
+    }
 }
 
 #[test]

@@ -234,6 +234,7 @@ fn joint_shrink_isolates_the_dropped_batch_and_its_op() {
         events: vec![culprit],
         anti_entropy_s: Some(0.25),
         ae_latency_ms: Vec::new(),
+        skew_ms: Vec::new(),
     };
 
     // The bounded-liveness oracle at bound 0 is the check: a gap is

@@ -110,6 +110,7 @@ fn crashed_home_ops_defer_to_the_restart() {
         }],
         anti_entropy_s: Some(0.25),
         ae_latency_ms: Vec::new(),
+        skew_ms: Vec::new(),
     };
     let run = || {
         let mut sim = Simulation::new(paper_topology(), cfg(11));
@@ -158,6 +159,7 @@ fn ops_stay_skipped_when_the_region_never_restarts() {
         }],
         anti_entropy_s: Some(0.25),
         ae_latency_ms: Vec::new(),
+        skew_ms: Vec::new(),
     };
     let mut sim = Simulation::new(paper_topology(), cfg(11));
     sim.set_explicit_faults(&crash);

@@ -19,9 +19,114 @@ pub struct UpdateBatch {
     /// The object updates; the [`ObjectKind`] lets receivers instantiate
     /// missing objects deterministically.
     pub updates: Vec<(Key, ObjectKind, ObjectOp)>,
+    /// Integrity checksum sealed at the origin over the batch envelope
+    /// (origin, seq, clock, lamport, update keys/kinds). A *stored*
+    /// field, not recomputed on read: a batch mutated in flight keeps
+    /// the origin's seal and fails [`UpdateBatch::integrity_ok`].
+    pub check: u64,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x100_0000_01b3;
+
+fn fnv_word(mut h: u64, word: u64) -> u64 {
+    for byte in word.to_le_bytes() {
+        h = (h ^ byte as u64).wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+fn fnv_bytes(mut h: u64, bytes: &[u8]) -> u64 {
+    for &byte in bytes {
+        h = (h ^ byte as u64).wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// A structural fingerprint of an [`ObjectKind`], folded into the batch
+/// checksum so a kind swapped in flight is detected.
+fn kind_fingerprint(kind: &ObjectKind) -> u64 {
+    match *kind {
+        ObjectKind::AWSet => 1,
+        ObjectKind::RWSet => 2,
+        ObjectKind::AWMap => 3,
+        ObjectKind::PNCounter => 4,
+        ObjectKind::BCounter { floor, initial } => {
+            fnv_word(fnv_word(5, floor as u64), initial as u64)
+        }
+        ObjectKind::LWW => 6,
+        ObjectKind::MV => 7,
+        ObjectKind::CompSet { capacity } => fnv_word(8, capacity as u64),
+    }
 }
 
 impl UpdateBatch {
+    /// Construct and seal a batch in one step (the only path the store's
+    /// commit pipeline uses).
+    pub fn sealed(
+        origin: ReplicaId,
+        seq: u64,
+        clock: VClock,
+        lamport: u64,
+        updates: Vec<(Key, ObjectKind, ObjectOp)>,
+    ) -> UpdateBatch {
+        let mut b = UpdateBatch {
+            origin,
+            seq,
+            clock,
+            lamport,
+            updates,
+            check: 0,
+        };
+        b.reseal();
+        b
+    }
+
+    /// The envelope checksum: FNV-1a over origin, seq, lamport, the
+    /// clock's entries, and each update's key bytes + kind fingerprint.
+    /// Cheap (no op payload walk) but sensitive to every corruption
+    /// class the adversarial nemesis injects: bit-flips on seq/lamport,
+    /// truncated update vectors, forged sequence numbers, and mutated
+    /// duplicate payload keys.
+    pub fn envelope_check(&self) -> u64 {
+        let mut h = FNV_OFFSET;
+        h = fnv_word(h, self.origin.0 as u64);
+        h = fnv_word(h, self.seq);
+        h = fnv_word(h, self.lamport);
+        for (r, v) in self.clock.iter() {
+            h = fnv_word(h, r.0 as u64);
+            h = fnv_word(h, v);
+        }
+        h = fnv_word(h, self.updates.len() as u64);
+        for (key, kind, _) in &self.updates {
+            h = fnv_bytes(h, key.as_str().as_bytes());
+            h = fnv_word(h, kind_fingerprint(kind));
+        }
+        h
+    }
+
+    /// Re-seal after a *legitimate* envelope change (e.g. the simulator's
+    /// honest-but-skewed clock model shifting `lamport`). Adversarial
+    /// mutation deliberately does NOT reseal — that is what makes it
+    /// detectable.
+    pub fn reseal(&mut self) {
+        self.check = self.envelope_check();
+    }
+
+    /// Does the stored seal match the envelope as received?
+    pub fn integrity_ok(&self) -> bool {
+        self.check == self.envelope_check()
+    }
+
+    /// Structural soundness independent of the seal: the origin sequence
+    /// must be positive and agree with the batch's own clock. A forged
+    /// seq that was *also* resealed would pass `integrity_ok` but trips
+    /// here (non-equivocating adversary: it cannot forge a consistent
+    /// clock without being a new, valid batch).
+    pub fn well_formed(&self) -> bool {
+        self.seq >= 1 && self.clock.get(self.origin) == self.seq
+    }
+
     /// Is this batch deliverable at a replica whose applied-clock is
     /// `at`? Standard causal-delivery condition (one dense scan).
     pub fn deliverable_at(&self, at: &VClock) -> bool {
@@ -45,13 +150,7 @@ mod tests {
 
     #[test]
     fn deliverability_conditions() {
-        let b = UpdateBatch {
-            origin: ReplicaId(1),
-            seq: 2,
-            clock: clock(&[(0, 3), (1, 2)]),
-            lamport: 9,
-            updates: vec![],
-        };
+        let b = UpdateBatch::sealed(ReplicaId(1), 2, clock(&[(0, 3), (1, 2)]), 9, vec![]);
         // Needs r1's first batch and r0 up to 3.
         assert!(!b.deliverable_at(&clock(&[(0, 3)])));
         assert!(!b.deliverable_at(&clock(&[(0, 2), (1, 1)])));
@@ -68,13 +167,48 @@ mod tests {
 
     #[test]
     fn encoded_len_scales_with_updates() {
-        let empty = UpdateBatch {
-            origin: ReplicaId(0),
-            seq: 1,
-            clock: clock(&[(0, 1)]),
-            lamport: 1,
-            updates: vec![],
-        };
+        let empty = UpdateBatch::sealed(ReplicaId(0), 1, clock(&[(0, 1)]), 1, vec![]);
         assert!(empty.encoded_len() >= 64);
+    }
+
+    #[test]
+    fn seal_detects_envelope_mutation() {
+        let mut b = UpdateBatch::sealed(ReplicaId(1), 2, clock(&[(0, 3), (1, 2)]), 9, vec![]);
+        assert!(b.integrity_ok());
+        assert!(b.well_formed());
+
+        // Bit-flip the lamport in flight: the origin's seal no longer
+        // matches.
+        b.lamport ^= 1 << 7;
+        assert!(!b.integrity_ok());
+        // An honest reseal (the skew model) restores integrity.
+        b.reseal();
+        assert!(b.integrity_ok());
+
+        // Forge the seq without touching the clock: resealing cannot
+        // save it — structural soundness fails.
+        b.seq = 7;
+        b.reseal();
+        assert!(b.integrity_ok());
+        assert!(!b.well_formed());
+    }
+
+    #[test]
+    fn seal_detects_truncated_updates() {
+        use ipa_crdt::PNCounterOp;
+        let op = |delta| {
+            ObjectOp::PNCounter(PNCounterOp {
+                origin: ReplicaId(0),
+                delta,
+            })
+        };
+        let updates = vec![
+            (Key::from("a"), ObjectKind::PNCounter, op(1)),
+            (Key::from("b"), ObjectKind::PNCounter, op(2)),
+        ];
+        let mut b = UpdateBatch::sealed(ReplicaId(0), 1, clock(&[(0, 1)]), 3, updates);
+        assert!(b.integrity_ok());
+        b.updates.truncate(1);
+        assert!(!b.integrity_ok(), "truncated batch must fail the seal");
     }
 }

@@ -424,13 +424,13 @@ impl<'a> Transaction<'a> {
                 compensations,
             };
         }
-        let batch = UpdateBatch {
-            origin: replica.id(),
-            seq: commit_clock.get(replica.id()),
-            clock: commit_clock.clone(),
-            lamport: ts,
+        let batch = UpdateBatch::sealed(
+            replica.id(),
+            commit_clock.get(replica.id()),
+            commit_clock.clone(),
+            ts,
             updates,
-        };
+        );
         let n = batch.updates.len();
         // Install ensured-but-unwritten objects (local only). Keys written
         // by this transaction are NOT installed from the overlay: the batch

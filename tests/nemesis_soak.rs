@@ -18,6 +18,12 @@
 //!
 //! Environment:
 //! * `IPA_NEMESIS_APP` — tournament (default) | ticket | tpc | twitter
+//! * `IPA_NEMESIS_MODE` — ipa (default) | causal. The causal axis runs
+//!   the *unrepaired* applications and inverts the expectation: every
+//!   seeded cell must exhibit a positively named anomaly (lost update,
+//!   oversell, referential orphan, stranded match); a hostile run that
+//!   stays clean is the failure, and shrinks to the minimal run under
+//!   which the nemesis lost its teeth.
 //! * `IPA_NEMESIS_SEEDS` — comma-separated workload seeds (default
 //!   `11,23,37` so a plain `cargo test` stays quick)
 //! * `IPA_NEMESIS_REPLAY` — comma-separated artifact paths (a fault
@@ -26,9 +32,16 @@
 //!   the first seed
 //! * `IPA_NEMESIS_REPRO_DIR` — where red cells write artifacts
 //!   (default `target/nemesis`)
+//!
+//! `tests/corpus/` holds one jointly minimized causal counterexample
+//! per named anomaly class; `corpus_replays_reproduce_their_named_anomaly`
+//! replays each pair as a regression seed.
 
-use ipa::apps::oracle::Oracle;
-use ipa::apps::soak::{run_soak, shrink_soak_failure, App, Nemesis};
+use ipa::apps::oracle::{Anomaly, Oracle};
+use ipa::apps::soak::{
+    run_causal_cell, run_soak, run_soak_tuned, shrink_missing_anomaly, shrink_soak_failure, App,
+    Nemesis, SoakMode, SoakTuning,
+};
 use ipa::apps::Mode;
 use ipa::sim::{
     CrashPlan, ExplicitPlan, FaultPlan, JointOutcome, OpTrace, ShrinkBudget, OP_TRACE_HEADER,
@@ -41,6 +54,14 @@ fn app() -> App {
             panic!("bad IPA_NEMESIS_APP {s:?}: want tournament|ticket|tpc|twitter")
         }),
         Err(_) => App::Tournament,
+    }
+}
+
+fn mode() -> SoakMode {
+    match std::env::var("IPA_NEMESIS_MODE") {
+        Ok(s) => SoakMode::parse(&s)
+            .unwrap_or_else(|| panic!("bad IPA_NEMESIS_MODE {s:?}: want ipa|causal")),
+        Err(_) => SoakMode::Ipa,
     }
 }
 
@@ -218,8 +239,48 @@ fn replay_mode() -> bool {
     std::env::var_os("IPA_NEMESIS_REPLAY").is_some()
 }
 
+/// Per-replica corruption/quarantine counters, printed on red cells and
+/// archived by CI (the first thing a triager needs to tell "the oracle
+/// caught an app bug" from "the transport fed the app garbage").
+fn quarantine_summary(run: &ipa::apps::soak::SoakRun) -> String {
+    let mut s = format!(
+        "  nemesis: {} corrupted, {} dropped, {} dup'd\n",
+        run.sim.nemesis.batches_corrupted,
+        run.sim.nemesis.batches_dropped,
+        run.sim.nemesis.batches_duplicated
+    );
+    for r in 0..run.sim.regions() as u16 {
+        let st = &run.sim.replica(r).stats;
+        s.push_str(&format!(
+            "  replica {r}: quarantined {} (checksum {}, malformed {}), repaired {}, \
+             unrepaired {}\n",
+            st.batches_quarantined,
+            st.quarantine_checksum,
+            st.quarantine_malformed,
+            st.quarantine_repaired,
+            run.sim.replica(r).unrepaired_quarantine()
+        ));
+    }
+    s
+}
+
+/// Persist a red cell's quarantine/corruption counters next to the
+/// repro artifacts so CI can upload them alongside the minimized pair.
+fn write_quarantine_stats(app: App, seed: u64, run: &ipa::apps::soak::SoakRun) -> PathBuf {
+    let dir = repro_dir();
+    std::fs::create_dir_all(&dir).expect("create repro dir");
+    let path = dir.join(format!("stats-{app}-{seed}.txt"));
+    std::fs::write(&path, quarantine_summary(run)).expect("write quarantine stats");
+    path
+}
+
 #[test]
 fn soak_every_seed_under_quick_fault_configs() {
+    if mode() == SoakMode::Causal {
+        // The causal axis inverts the expectation; its cells run in
+        // `causal_mode_soak_expects_named_anomalies` instead.
+        return;
+    }
     let app = app();
     let seeds = seeds();
     if let Ok(spec) = std::env::var("IPA_NEMESIS_REPLAY") {
@@ -247,9 +308,11 @@ fn soak_every_seed_under_quick_fault_configs() {
                 },
             );
             if let Some(failure) = &run.failure {
+                write_quarantine_stats(app, seed, &run);
                 panic!(
-                    "{}",
-                    report_red_cell(app, seed, &plan, &failure.to_string())
+                    "{}{}",
+                    report_red_cell(app, seed, &plan, &failure.to_string()),
+                    quarantine_summary(&run)
                 );
             }
             let liveness = run.sim.liveness();
@@ -315,6 +378,182 @@ fn soak_causal_still_exhibits_anomalies() {
     assert!(total > 0, "causal soak lost the expected anomalies");
 }
 
+/// `IPA_NEMESIS_MODE=causal` matrix axis: every cell runs the
+/// *unrepaired* application under the seeded hostile schedule and must
+/// produce a positively named anomaly — the experimental control that
+/// proves the oracle catches real weak-consistency damage, not noise.
+/// A cell that stays clean is the red outcome here, and shrinks itself
+/// to the minimal run under which the nemesis lost its teeth.
+#[test]
+fn causal_mode_soak_expects_named_anomalies() {
+    if mode() != SoakMode::Causal || replay_mode() {
+        return;
+    }
+    let app = app();
+    for seed in seeds() {
+        for plan in quick_plans(seed) {
+            println!("causal cell {}", repro(app, seed, &plan));
+            let (anomaly, run) = run_causal_cell(app, seed, &plan);
+            match anomaly {
+                Some(a) => {
+                    let check = run
+                        .failure
+                        .as_ref()
+                        .map(|f| f.check.as_str())
+                        .unwrap_or("final-state");
+                    println!(
+                        "  anomaly as expected: {a} (via `{check}`), digest 0x{:016x}",
+                        run.digest
+                    );
+                }
+                None => {
+                    write_quarantine_stats(app, seed, &run);
+                    let mut banner = format!(
+                        "causal soak CLEAN (expected a named anomaly): {}\n{}",
+                        repro(app, seed, &plan),
+                        quarantine_summary(&run)
+                    );
+                    match shrink_missing_anomaly(app, seed, &plan, ShrinkBudget::default()) {
+                        Some(outcome) => banner.push_str(&format!(
+                            "  minimized no-anomaly run: {} of {} fault events and {} of \
+                             {} op events still stay clean\n    faults: {}\n    ops: {}\n",
+                            outcome.fault_events(),
+                            outcome.original_fault_events,
+                            outcome.op_events(),
+                            outcome.original_op_events,
+                            outcome.faults.summary(),
+                            outcome.ops.summary(),
+                        )),
+                        None => banner.push_str(
+                            "  (shrinker could not reproduce the clean run from the \
+                             recorded traces)\n",
+                        ),
+                    }
+                    panic!("{banner}");
+                }
+            }
+        }
+    }
+}
+
+/// One header line of a `tests/corpus/` regression seed.
+struct CorpusHeader {
+    anomaly: Anomaly,
+    app: App,
+    seed: u64,
+    check: String,
+}
+
+fn parse_corpus_header(text: &str, path: &std::path::Path) -> CorpusHeader {
+    let line = text
+        .lines()
+        .find(|l| l.trim_start_matches(['#', ' ']).starts_with("anomaly="))
+        .unwrap_or_else(|| panic!("{}: missing `# anomaly=…` corpus header", path.display()));
+    let (mut anomaly, mut app, mut seed, mut check) = (None, None, None, None);
+    for field in line.trim_start_matches('#').split_whitespace() {
+        match field.split_once('=') {
+            Some(("anomaly", v)) => {
+                anomaly = Anomaly::all().into_iter().find(|a| a.name() == v);
+            }
+            Some(("app", v)) => app = App::parse(v),
+            Some(("workload_seed", v)) => seed = v.parse().ok(),
+            Some(("check", v)) => check = Some(v.to_string()),
+            _ => {}
+        }
+    }
+    fn bad(path: &std::path::Path, k: &str) -> ! {
+        panic!("{}: bad/missing `{k}` in corpus header", path.display())
+    }
+    CorpusHeader {
+        anomaly: anomaly.unwrap_or_else(|| bad(path, "anomaly")),
+        app: app.unwrap_or_else(|| bad(path, "app")),
+        seed: seed.unwrap_or_else(|| bad(path, "workload_seed")),
+        check: check.unwrap_or_else(|| bad(path, "check")),
+    }
+}
+
+/// Regression corpus: every jointly minimized counterexample pair under
+/// `tests/corpus/` replays as a causal-mode seed and must still violate
+/// the check its header names, classified to the same named anomaly.
+/// Together the entries cover all four anomaly classes, so a
+/// classification or replay regression in any one of them turns this red.
+#[test]
+fn corpus_replays_reproduce_their_named_anomaly() {
+    if replay_mode() || std::env::var_os("IPA_NEMESIS_APP").is_some() {
+        return;
+    }
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/corpus");
+    let mut plans: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("{}: {e}", dir.display()))
+        .map(|e| e.expect("corpus dir entry").path())
+        .filter(|p| p.to_string_lossy().ends_with(".plan.txt"))
+        .collect();
+    plans.sort();
+    let mut covered = std::collections::HashSet::new();
+    for plan_path in plans {
+        let plan_text = std::fs::read_to_string(&plan_path)
+            .unwrap_or_else(|e| panic!("{}: {e}", plan_path.display()));
+        let ops_path = PathBuf::from(plan_path.to_string_lossy().replace(".plan.txt", ".ops.txt"));
+        let ops_text = std::fs::read_to_string(&ops_path)
+            .unwrap_or_else(|e| panic!("{}: {e}", ops_path.display()));
+        let header = parse_corpus_header(&plan_text, &plan_path);
+        let faults: ExplicitPlan = plan_text
+            .parse()
+            .unwrap_or_else(|e| panic!("{}: {e}", plan_path.display()));
+        let ops: OpTrace = ops_text
+            .parse()
+            .unwrap_or_else(|e| panic!("{}: {e}", ops_path.display()));
+        let run = run_soak_tuned(
+            header.app,
+            header.seed,
+            Nemesis::Explicit {
+                faults: Some(&faults),
+                ops: Some(&ops),
+            },
+            SoakTuning {
+                mode: SoakMode::Causal,
+                ..SoakTuning::default()
+            },
+        );
+        let failure = run.failure.unwrap_or_else(|| {
+            panic!(
+                "corpus seed {} went stale: the minimized {} counterexample no longer \
+                 violates anything",
+                plan_path.display(),
+                header.anomaly
+            )
+        });
+        assert_eq!(
+            failure.check,
+            header.check,
+            "corpus seed {} now violates `{}` instead of `{}`",
+            plan_path.display(),
+            failure.check,
+            header.check
+        );
+        assert_eq!(
+            failure.anomaly(),
+            header.anomaly,
+            "corpus seed {} reclassified",
+            plan_path.display()
+        );
+        println!(
+            "corpus {} → {} via `{}` ({} violations)",
+            plan_path.file_name().unwrap().to_string_lossy(),
+            header.anomaly,
+            failure.check,
+            failure.count
+        );
+        covered.insert(header.anomaly);
+    }
+    for a in Anomaly::all() {
+        assert!(
+            covered.contains(&a),
+            "tests/corpus/ has no regression seed for anomaly class `{a}`"
+        );
+    }
+}
+
 /// End-to-end red-cell drill: force a failure (a zero liveness bound
 /// flags the first unrepaired anti-entropy round), jointly shrink it,
 /// and prove the acceptance contract — the minimized pair is ≤ 10 % of
@@ -333,6 +572,7 @@ fn forced_red_cell_shrinks_to_a_tiny_replayable_pair() {
     let plan = FaultPlan::with_intensity(seed, 0.5);
     let tuning = SoakTuning {
         liveness_bound: Some(0),
+        ..SoakTuning::default()
     };
     let red = run_soak_tuned(
         app,
