@@ -337,6 +337,20 @@ impl Oracle {
             .with_liveness(DEFAULT_LIVENESS_BOUND)
     }
 
+    /// Escrow-sharded ticket sale: rights are consumed *before* a
+    /// purchase commits, so the per-event capacity bound holds in every
+    /// causal replica state — a continuous check, the strongest claim in
+    /// the registry (compare [`Oracle::ticket`], whose compensation-based
+    /// bound is final-phase only). On the causal axis the same check is
+    /// the oversell anomaly detector.
+    pub fn ticket_escrow(events: Vec<(String, usize)>) -> Oracle {
+        Oracle::new("ticket-escrow")
+            .with_check("oversell", Phase::Continuous, move |r| {
+                v::sale_violations(r, &events)
+            })
+            .with_liveness(DEFAULT_LIVENESS_BOUND)
+    }
+
     /// TPC subset: order referential integrity holds continuously;
     /// stock non-negativity is restocked by compensation.
     pub fn tpc(items: Vec<String>) -> Oracle {
@@ -400,6 +414,7 @@ mod tests {
             Oracle::tournament(),
             Oracle::twitter(),
             Oracle::ticket(vec!["e0".into()], 10),
+            Oracle::ticket_escrow(vec![("s0".into(), 10)]),
             Oracle::tpc(vec!["i0".into()]),
         ] {
             assert_eq!(oracle.final_violations(&r), 0, "{}", oracle.app);
@@ -463,6 +478,7 @@ mod tests {
             Oracle::tournament(),
             Oracle::twitter(),
             Oracle::ticket(vec!["e0".into()], 10),
+            Oracle::ticket_escrow(vec![("s0".into(), 10)]),
             Oracle::tpc(vec!["i0".into()]),
         ] {
             assert_eq!(

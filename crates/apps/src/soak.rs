@@ -10,6 +10,7 @@
 //! `application × seed` out one cell per job.
 
 use crate::oracle::{Anomaly, Oracle, Phase};
+use crate::ticket::sale::{SaleBackend, SaleWorkload};
 use crate::ticket::workload::TicketWorkload;
 use crate::tournament::workload::TournamentWorkload;
 use crate::tpc::workload::TpcWorkload;
@@ -26,19 +27,30 @@ use ipa_sim::{
 pub enum App {
     Tournament,
     Ticket,
+    /// The escrow-sharded ticket sale (`ticket::sale`): bounded counters
+    /// whose rights are replicated store state; IPA mode runs the escrow
+    /// backend, causal mode the uncoordinated one.
+    TicketEscrow,
     Tpc,
     Twitter,
 }
 
 impl App {
-    pub fn all() -> [App; 4] {
-        [App::Tournament, App::Ticket, App::Tpc, App::Twitter]
+    pub fn all() -> [App; 5] {
+        [
+            App::Tournament,
+            App::Ticket,
+            App::TicketEscrow,
+            App::Tpc,
+            App::Twitter,
+        ]
     }
 
     pub fn name(self) -> &'static str {
         match self {
             App::Tournament => "tournament",
             App::Ticket => "ticket",
+            App::TicketEscrow => "ticket-escrow",
             App::Tpc => "tpc",
             App::Twitter => "twitter",
         }
@@ -103,6 +115,7 @@ impl std::fmt::Display for SoakMode {
 pub(crate) enum SoakWorkload {
     Tournament(TournamentWorkload),
     Ticket(TicketWorkload),
+    Sale(SaleWorkload),
     Tpc(TpcWorkload),
     Twitter(TwitterWorkload),
 }
@@ -114,6 +127,7 @@ impl SoakWorkload {
         match self {
             SoakWorkload::Tournament(w) => w.setup_in(ctx),
             SoakWorkload::Ticket(w) => w.setup_in(ctx),
+            SoakWorkload::Sale(w) => w.setup_in(ctx),
             SoakWorkload::Tpc(w) => w.setup_in(ctx),
             SoakWorkload::Twitter(w) => w.setup_in(ctx),
         }
@@ -131,6 +145,7 @@ impl SoakWorkload {
                 let op = w.decide_op(ctx);
                 w.execute_op(ctx, client, op)
             }
+            SoakWorkload::Sale(w) => w.op_in(ctx, client),
             SoakWorkload::Tpc(w) => {
                 let op = w.decide_op(ctx);
                 w.execute_op(ctx, client, &op)
@@ -148,6 +163,7 @@ impl Workload for SoakWorkload {
         match self {
             SoakWorkload::Tournament(w) => w.setup(ctx),
             SoakWorkload::Ticket(w) => w.setup(ctx),
+            SoakWorkload::Sale(w) => w.setup(ctx),
             SoakWorkload::Tpc(w) => w.setup(ctx),
             SoakWorkload::Twitter(w) => w.setup(ctx),
         }
@@ -157,6 +173,7 @@ impl Workload for SoakWorkload {
         match self {
             SoakWorkload::Tournament(w) => w.op(ctx, client),
             SoakWorkload::Ticket(w) => w.op(ctx, client),
+            SoakWorkload::Sale(w) => w.op(ctx, client),
             SoakWorkload::Tpc(w) => w.op(ctx, client),
             SoakWorkload::Twitter(w) => w.op(ctx, client),
         }
@@ -166,6 +183,7 @@ impl Workload for SoakWorkload {
         match self {
             SoakWorkload::Tournament(w) => w.decide(ctx, client),
             SoakWorkload::Ticket(w) => w.decide(ctx, client),
+            SoakWorkload::Sale(w) => w.decide(ctx, client),
             SoakWorkload::Tpc(w) => w.decide(ctx, client),
             SoakWorkload::Twitter(w) => w.decide(ctx, client),
         }
@@ -175,6 +193,7 @@ impl Workload for SoakWorkload {
         match self {
             SoakWorkload::Tournament(w) => w.execute(ctx, client, op),
             SoakWorkload::Ticket(w) => w.execute(ctx, client, op),
+            SoakWorkload::Sale(w) => w.execute(ctx, client, op),
             SoakWorkload::Tpc(w) => w.execute(ctx, client, op),
             SoakWorkload::Twitter(w) => w.execute(ctx, client, op),
         }
@@ -267,6 +286,10 @@ pub(crate) fn fresh_workload_mode(app: App, mode: SoakMode) -> SoakWorkload {
     match app {
         App::Tournament => SoakWorkload::Tournament(TournamentWorkload::with_defaults(app_mode)),
         App::Ticket => SoakWorkload::Ticket(TicketWorkload::with_defaults(app_mode)),
+        App::TicketEscrow => SoakWorkload::Sale(SaleWorkload::with_defaults(match mode {
+            SoakMode::Ipa => SaleBackend::Escrow,
+            SoakMode::Causal => SaleBackend::Causal,
+        })),
         App::Tpc => SoakWorkload::Tpc(TpcWorkload::with_defaults(app_mode)),
         App::Twitter => SoakWorkload::Twitter(TwitterWorkload::with_defaults(match mode {
             SoakMode::Ipa => Strategy::AddWins,
@@ -284,6 +307,7 @@ pub(crate) fn oracle_for(app: App, w: &SoakWorkload) -> Oracle {
         (App::Ticket, SoakWorkload::Ticket(w)) => {
             Oracle::ticket(w.all_event_names(), w.app.capacity)
         }
+        (App::TicketEscrow, SoakWorkload::Sale(w)) => Oracle::ticket_escrow(w.event_capacities()),
         (App::Tpc, SoakWorkload::Tpc(w)) => Oracle::tpc(w.products().to_vec()),
         (App::Twitter, _) => Oracle::twitter(),
         _ => unreachable!("workload/app mismatch"),
@@ -329,9 +353,10 @@ fn final_repair(app: App, w: &SoakWorkload, sim: &mut Simulation) {
                 app.view(tx, p).expect("view sweep");
             });
         }
-        // Add-wins Twitter preserves its invariants in-line; there is
-        // nothing compensable to sweep.
-        (App::Twitter, _) => {}
+        // Add-wins Twitter preserves its invariants in-line, and the
+        // escrow sale's bound is continuous by construction; neither has
+        // anything compensable to sweep.
+        (App::Twitter, _) | (App::TicketEscrow, _) => {}
         _ => unreachable!("workload/app mismatch"),
     }
 }
@@ -422,11 +447,13 @@ pub fn run_soak_tuned(app: App, seed: u64, nemesis: Nemesis<'_>, tuning: SoakTun
     let mut sim = Simulation::new(paper_topology(), soak_config(seed, faults));
     let mut workload = fresh_workload_mode(app, tuning.mode);
     // Continuous checks audited every 250 ms of simulated time; the
-    // event-dependent registries (ticket) have no continuous checks, so
-    // the pre-run registry is always sufficient for the auditor.
+    // event-dependent registries (ticket) have no continuous checks, and
+    // the escrow sale's events are static, so the pre-run registry is
+    // always sufficient for the auditor.
     let auditor = match app {
         App::Tournament => Oracle::tournament(),
         App::Ticket => Oracle::ticket(Vec::new(), 0),
+        App::TicketEscrow => Oracle::ticket_escrow(crate::ticket::sale::default_event_capacities()),
         App::Tpc => Oracle::tpc(Vec::new()),
         App::Twitter => Oracle::twitter(),
     };
@@ -482,7 +509,7 @@ pub fn weaken_op(app: App, op: &str) -> Vec<String> {
         }
         (App::Tournament, ["enroll" | "disenroll", _, t]) => vec![format!("status {t}")],
         (App::Tournament, ["begin" | "finish" | "remove", t]) => vec![format!("status {t}")],
-        (App::Ticket, ["buy", slot]) => vec![format!("view {slot}")],
+        (App::Ticket | App::TicketEscrow, ["buy", slot]) => vec![format!("view {slot}")],
         (App::Tpc, ["purchase" | "restock" | "remproduct" | "addproduct", p]) => {
             vec![format!("view {p}")]
         }
@@ -719,6 +746,9 @@ mod tests {
                 let auditor = match app {
                     App::Tournament => Oracle::tournament(),
                     App::Ticket => Oracle::ticket(Vec::new(), 0),
+                    App::TicketEscrow => {
+                        Oracle::ticket_escrow(crate::ticket::sale::default_event_capacities())
+                    }
                     App::Tpc => Oracle::tpc(Vec::new()),
                     App::Twitter => Oracle::twitter(),
                 };
@@ -765,6 +795,7 @@ mod tests {
         let expect = [
             (App::Tournament, Anomaly::ReferentialOrphan),
             (App::Ticket, Anomaly::Oversell),
+            (App::TicketEscrow, Anomaly::Oversell),
             (App::Tpc, Anomaly::ReferentialOrphan),
             (App::Twitter, Anomaly::LostUpdate),
         ];
@@ -802,7 +833,7 @@ mod tests {
         use crate::tournament::workload::TournamentOp;
         use crate::tpc::workload::TpcOp;
         use crate::twitter::workload::TwitterOp;
-        let samples: [(App, &[&str]); 4] = [
+        let samples: [(App, &[&str]); 5] = [
             (
                 App::Tournament,
                 &[
@@ -816,6 +847,7 @@ mod tests {
                 ],
             ),
             (App::Ticket, &["buy 1", "view 1"]),
+            (App::TicketEscrow, &["buy 0", "view 0"]),
             (
                 App::Tpc,
                 &[
@@ -842,7 +874,7 @@ mod tests {
         ];
         let parses = |app: App, op: &str| match app {
             App::Tournament => op.parse::<TournamentOp>().map(|_| ()),
-            App::Ticket => op.parse::<TicketOp>().map(|_| ()),
+            App::Ticket | App::TicketEscrow => op.parse::<TicketOp>().map(|_| ()),
             App::Tpc => op.parse::<TpcOp>().map(|_| ()),
             App::Twitter => op.parse::<TwitterOp>().map(|_| ()),
         };

@@ -63,6 +63,10 @@ impl OpCtx for ThreadedCtx<'_> {
         self.cluster.link_is_up(a, b)
     }
 
+    fn node_up(&self, region: Region) -> bool {
+        !self.cluster.is_node_down(region)
+    }
+
     fn commit<T>(
         &mut self,
         region: Region,
@@ -207,6 +211,7 @@ pub fn run_threaded_soak(app: App, cfg: ThreadedSoakConfig) -> ThreadedSoakRun {
     let auditor_oracle = match app {
         App::Tournament => Oracle::tournament(),
         App::Ticket => Oracle::ticket(Vec::new(), 0),
+        App::TicketEscrow => Oracle::ticket_escrow(crate::ticket::sale::default_event_capacities()),
         App::Tpc => Oracle::tpc(Vec::new()),
         App::Twitter => Oracle::twitter(),
     };
@@ -398,9 +403,10 @@ fn final_repair_threaded(app: App, w: &SoakWorkload, cluster: &ThreadedCluster) 
             let app = w.app;
             view_sweep_threaded(cluster, w.products(), |tx, p| app.view(tx, p).map(|_| ()));
         }
-        // Add-wins Twitter preserves its invariants in-line; nothing
-        // compensable to sweep.
-        (App::Twitter, _) => {}
+        // Add-wins Twitter preserves its invariants in-line, and the
+        // escrow sale's bound is continuous by construction; neither has
+        // anything compensable to sweep.
+        (App::Twitter, _) | (App::TicketEscrow, _) => {}
         _ => unreachable!("workload/app mismatch"),
     }
 }
@@ -455,10 +461,10 @@ fn classify_threaded(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ipa_crdt::VClock;
+    use ipa_crdt::{Object, ObjectKind, ObjectOp, VClock};
     use ipa_sim::{paper_topology, SimConfig, Simulation};
-    use ipa_store::{Cluster, UpdateBatch};
-    use std::sync::Arc;
+    use ipa_store::{Cluster, Key, UpdateBatch};
+    use std::collections::BTreeMap;
 
     /// Drive `nops` ops of `app` through any transport, quiescing after
     /// every op so each transport sees the same fully-converged state at
@@ -481,18 +487,43 @@ mod tests {
         w
     }
 
-    /// Canonical per-node log: every batch ever applied, sorted by
-    /// (origin, seq). Two transports that applied the same history
-    /// produce equal fingerprints ([`UpdateBatch`] is `PartialEq`).
-    fn fingerprint<T: Transport>(t: &mut T) -> Vec<Vec<Arc<UpdateBatch>>> {
+    /// One batch's transport-independent identity: origin, seq, and
+    /// updates. The `clock` snapshot, `lamport`, and `check` (sealed
+    /// over both) are deliberately excluded — ops that commit at more
+    /// than one node (the escrow borrow path) make them depend on
+    /// intra-op delivery timing, which the [`Transport`] contract
+    /// leaves to the implementation ("check quiescent properties,
+    /// never schedules"). Semantic equivalence of the causal metadata
+    /// is covered by the converged-state half of [`fingerprint`].
+    type BatchKey = (ReplicaId, u64, Vec<(Key, ObjectKind, ObjectOp)>);
+
+    fn batch_key(b: &UpdateBatch) -> BatchKey {
+        (b.origin, b.seq, b.updates.clone())
+    }
+
+    /// Canonical per-node view of a quiesced transport: every batch
+    /// ever applied (projected to its [`BatchKey`], sorted by
+    /// (origin, seq)) plus the materialized state of every object any
+    /// batch touched. Two transports that applied the same history
+    /// produce equal fingerprints.
+    fn fingerprint<T: Transport>(t: &mut T) -> Vec<(Vec<BatchKey>, BTreeMap<Key, Object>)> {
         t.quiesce_transport();
         assert!(t.converged(), "fingerprint requires convergence");
         (0..t.node_count())
             .map(|i| {
                 t.with_node(ReplicaId(i as u16), |r| {
-                    let mut log = r.batches_since(&VClock::default());
-                    log.sort_by_key(|b| (b.origin, b.seq));
-                    log
+                    let mut log: Vec<BatchKey> = r
+                        .batches_since(&VClock::default())
+                        .iter()
+                        .map(|b| batch_key(b))
+                        .collect();
+                    log.sort_by_key(|b| (b.0, b.1));
+                    let state: BTreeMap<Key, Object> = log
+                        .iter()
+                        .flat_map(|(_, _, ups)| ups.iter().map(|(k, _, _)| k.clone()))
+                        .filter_map(|k| r.object(&k).cloned().map(|o| (k, o)))
+                        .collect();
+                    (log, state)
                 })
             })
             .collect()

@@ -3,9 +3,11 @@
 //! compensation (cancel + reimburse) in IPA, and violated under Causal.
 
 pub mod runtime;
+pub mod sale;
 pub mod spec;
 pub mod workload;
 
 pub use runtime::TicketApp;
+pub use sale::{SaleBackend, SaleConfig, SaleWorkload};
 pub use spec::ticket_spec;
 pub use workload::TicketWorkload;

@@ -3,7 +3,7 @@
 
 use crate::common::{pick_local, Mode};
 use crate::tournament::runtime::{OpCost, Tournament};
-use ipa_coord::{IndigoCoordinator, Mode as ResMode, StrongCoordinator};
+use ipa_coord::{CoordBackend, LockMode, ReservationTable, StrongCoordinator};
 use ipa_sim::{AppOp, ClientInfo, OpCtx, OpOutcome, SimCtx, Workload};
 use rand::Rng;
 use std::fmt;
@@ -109,7 +109,7 @@ pub struct TournamentWorkload {
     cfg: TournamentConfig,
     players: Vec<String>,
     tournaments: Vec<String>,
-    coord: IndigoCoordinator,
+    reservations: ReservationTable,
     strong: StrongCoordinator,
     next_id: u64,
 }
@@ -123,7 +123,7 @@ impl TournamentWorkload {
             cfg,
             players,
             tournaments,
-            coord: IndigoCoordinator::new(),
+            reservations: ReservationTable::new(),
             strong: StrongCoordinator::new(0),
             next_id: 0,
         }
@@ -162,22 +162,20 @@ impl TournamentWorkload {
         }
     }
 
-    /// Acquire the Indigo reservations an operation needs; `None` when a
-    /// holder is unreachable.
-    fn indigo_cost<C: OpCtx>(
-        &mut self,
-        ctx: &mut C,
-        region: u16,
-        label: &'static str,
-        t: &str,
-    ) -> Option<f64> {
-        let (res, mode) = match label {
-            // Structural ops need the exclusive tournament reservation.
-            "Remove" => (format!("tourn:{t}"), ResMode::Exclusive),
-            // Everything else shares it (the paper protects every pair).
-            _ => (format!("tourn:{t}"), ResMode::Shared),
-        };
-        self.coord.table.acquire(ctx, &res, region, mode)
+    /// The typed coordination mechanism guarding one op label under this
+    /// workload's mode — the per-op analogue of what
+    /// [`ipa_coord::coordination_plan`] emits per flagged pair. Reads
+    /// coordinate with nobody; Indigo writes take the per-tournament
+    /// reservation (exclusive for structural removal, shared otherwise);
+    /// Strong writes forward to the primary.
+    pub fn op_backend(&self, label: &str) -> CoordBackend {
+        match (self.mode(), label) {
+            (_, "Status") => CoordBackend::None,
+            (Mode::Indigo, "Remove") => CoordBackend::Reservation(LockMode::Exclusive),
+            (Mode::Indigo, _) => CoordBackend::Reservation(LockMode::Shared),
+            (Mode::Strong, _) => CoordBackend::Strong,
+            _ => CoordBackend::None,
+        }
     }
 }
 
@@ -240,24 +238,30 @@ impl TournamentWorkload {
             | TournamentOp::Remove { t } => t.clone(),
         };
 
-        // Coordination cost first (Indigo / Strong pay before executing).
+        // Coordination cost first (reservations / the primary forward are
+        // paid before executing), dispatched on the op's typed backend.
         let mut extra_wan = 0.0;
-        let exec_region: u16 = match self.mode() {
-            Mode::Indigo if label != "Status" => match self.indigo_cost(ctx, region, label, &t) {
-                Some(c) => {
-                    extra_wan += c;
-                    region
+        let exec_region: u16 = match self.op_backend(label) {
+            CoordBackend::Reservation(mode) => {
+                match self
+                    .reservations
+                    .acquire(ctx, &format!("tourn:{t}"), region, mode)
+                {
+                    Some(c) => {
+                        extra_wan += c;
+                        region
+                    }
+                    None => return OpOutcome::unavailable(label),
                 }
-                None => return OpOutcome::unavailable(label),
-            },
-            Mode::Strong if label != "Status" => match self.strong.forward_cost(ctx, region) {
+            }
+            CoordBackend::Strong => match self.strong.forward_cost(ctx, region) {
                 Some(c) => {
                     extra_wan += c;
                     self.strong.primary()
                 }
                 None => return OpOutcome::unavailable(label),
             },
-            _ => region,
+            CoordBackend::None | CoordBackend::Escrow => region,
         };
 
         let app = self.app;
@@ -345,10 +349,10 @@ impl TournamentWorkload {
         // Indigo: tournament reservations start at their home region.
         let regions = ctx.regions() as u16;
         for (i, t) in self.tournaments.iter().enumerate() {
-            self.coord.table.grant(
+            self.reservations.grant(
                 format!("tourn:{t}"),
                 (i % regions as usize) as u16,
-                ResMode::Shared,
+                LockMode::Shared,
             );
         }
     }

@@ -155,6 +155,22 @@ pub fn ticket_violations(replica: &Replica, events: &[String], capacity: usize) 
     v
 }
 
+/// Count oversold events in the escrow ticket-sale app, where each
+/// event carries its own capacity (one contended hot event plus a cheap
+/// tail). Unlike [`ticket_violations`] this is a *continuous* invariant
+/// for the escrow backend: rights are consumed before a purchase
+/// commits, so no causal replica state may ever exceed a capacity.
+pub fn sale_violations(replica: &Replica, events: &[(String, usize)]) -> u64 {
+    let mut v = 0;
+    for (e, cap) in events {
+        let key = format!("ticket/sold/{e}");
+        if set_members(replica, &key).len() > *cap {
+            v += 1;
+        }
+    }
+    v
+}
+
 /// Timeline entries whose tweet no longer exists.
 pub fn twitter_timeline_referential(replica: &Replica) -> u64 {
     let mut v = 0;

@@ -29,4 +29,6 @@ fn main() {
     ipa_bench::figures::replication::regenerate(quick);
     println!();
     ipa_bench::figures::load::regenerate(quick);
+    println!();
+    ipa_bench::figures::escrow::regenerate(quick);
 }

@@ -1,0 +1,10 @@
+//! Regenerate the escrow-vs-strong ticket-sale comparison and write the
+//! tracked `BENCH_escrow.json` at the repo root.
+//!
+//! ```text
+//! cargo run -p ipa-bench --release --bin escrow [-- --quick]
+//! ```
+
+fn main() {
+    ipa_bench::figures::escrow::regenerate(ipa_bench::quick_flag());
+}

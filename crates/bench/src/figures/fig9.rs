@@ -5,7 +5,7 @@
 //! all).
 
 use ipa_apps::Mode;
-use ipa_coord::{Mode as ResMode, ReservationTable};
+use ipa_coord::{LockMode as ResMode, ReservationTable};
 use ipa_crdt::ObjectKind;
 use ipa_sim::{
     two_region_topology, ClientInfo, OpOutcome, SimConfig, SimCtx, Simulation, Workload,

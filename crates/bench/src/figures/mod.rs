@@ -1,5 +1,6 @@
 //! One module per table / figure of the paper's evaluation (§5).
 
+pub mod escrow;
 pub mod fig4;
 pub mod fig5;
 pub mod fig6;

@@ -1,30 +1,50 @@
-//! # ipa-coord — coordination baselines for the IPA evaluation
+//! # ipa-coord — the coordination layer of the IPA evaluation
 //!
-//! The two comparison systems of §5.2.1, rebuilt on the simulator:
+//! Everything an application uses when invariant repair alone is not
+//! enough (§3 Step 3, §5.2.1), behind one typed surface:
 //!
-//! * **Strong consistency** ([`StrongCoordinator`]): every update is
-//!   forwarded to a single primary replica (US-EAST in the paper) and
-//!   serialized there. Remote clients pay a WAN round trip per update;
-//!   a partition between a client's region and the primary makes updates
-//!   unavailable.
-//! * **Indigo-style reservations** ([`IndigoCoordinator`]): conflicting
-//!   operations must hold a *reservation* before executing. Reservations
-//!   live at replicas and are exchanged pairwise and asynchronously
-//!   (§5.2.5): an operation whose reservation is resident executes at
-//!   local latency; otherwise it pays a round trip to the current holder.
-//!   Shared/exclusive modes model Indigo's multi-level locks and
-//!   [`EscrowTable`] models its escrow (numeric) reservations.
+//! * [`BoundedCounter`] — the numeric-invariant trait (acquire /
+//!   decrement / transfer / rights), implemented by three backends:
+//!   * [`EscrowShard`]: escrow-sharded bounded counters whose rights are
+//!     **replicated store state** — local decrements while rights last,
+//!     asynchronous rights transfers riding ordinary update batches
+//!     (droppable/delayable/corruptible by the nemesis, repaired by
+//!     anti-entropy), pluggable [`ProvisioningPolicy`].
+//!   * [`ReservationCounter`]: the Indigo-style coordinator-level escrow
+//!     oracle ([`EscrowTable`]) — rights bookkeeping as a shared table
+//!     whose exchange latencies are charged to operations.
+//!   * [`StrongCounter`]: every right at one primary; each decrement
+//!     pays the WAN round trip [`StrongCoordinator`] models.
+//! * [`CoordConfig`] — the builder turning a deployment shape and a
+//!   [`CoordBackend`] policy choice into a running backend.
+//! * [`CoordError`] — the shared failure vocabulary
+//!   (`InsufficientRights` / `WouldOversell` / `PeerUnreachable`).
+//! * [`LockMode`] + [`ReservationTable`] — Indigo's multi-level
+//!   lock-style reservations, and [`coordination_plan`] mapping static
+//!   analysis output 1:1 onto typed backend selections.
 //!
-//! Both coordinators are *workload-layer* components: the application
-//! calls them to learn the extra WAN delay (or unavailability) an
-//! operation incurs, then executes its transaction through `ipa-sim`.
+//! The pre-redesign names (`IndigoCoordinator`, `reservation::Mode`)
+//! remain as `#[deprecated]` shims for this release.
 
+pub mod counter;
+pub mod error;
 pub mod escrow;
+pub mod escrow_shard;
 pub mod plan;
+pub mod policy;
 pub mod reservation;
 pub mod strong;
 
-pub use escrow::EscrowTable;
+pub use counter::{
+    rights_key, Acquired, BoundedCounter, CounterBackend, ReservationCounter, StrongCounter,
+};
+pub use error::CoordError;
+pub use escrow::{EscrowOutcome, EscrowTable};
+pub use escrow_shard::{EscrowShard, EscrowShardStats};
 pub use plan::{coordination_plan, PlanEntry, ReservationPlan};
-pub use reservation::{IndigoCoordinator, Mode, ReservationTable};
+pub use policy::{CoordBackend, CoordConfig, LockMode, ProvisioningPolicy};
+pub use reservation::ReservationTable;
 pub use strong::StrongCoordinator;
+
+#[allow(deprecated)]
+pub use reservation::{IndigoCoordinator, Mode};

@@ -8,6 +8,7 @@
 //! reservation per flagged pair, keyed by the entity sorts the two
 //! operations share, acquirable through [`crate::ReservationTable`].
 
+use crate::policy::{CoordBackend, LockMode};
 use ipa_core::pipeline::AnalysisReport;
 use ipa_spec::{Sort, Symbol};
 use std::fmt;
@@ -22,6 +23,11 @@ pub struct PlanEntry {
     pub shared_sorts: Vec<Sort>,
     /// Resource-name prefix (`prefix:arg1:arg2` at runtime).
     pub resource_prefix: String,
+    /// The typed mechanism that enforces this entry — what the runtime
+    /// hands to [`CoordConfig::build`](crate::CoordConfig::build) or
+    /// [`crate::ReservationTable::acquire`]. The analysis flags pairs it
+    /// cannot repair, so the default is an exclusive reservation.
+    pub backend: CoordBackend,
 }
 
 impl PlanEntry {
@@ -55,7 +61,8 @@ impl fmt::Display for PlanEntry {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "exclusive reservation `{}` (per {}) serializes {} ∥ {}",
+            "{} `{}` (per {}) serializes {} ∥ {}",
+            self.backend,
             self.resource_prefix,
             if self.shared_sorts.is_empty() {
                 "application".to_owned()
@@ -128,6 +135,7 @@ pub fn coordination_plan(report: &AnalysisReport) -> ReservationPlan {
                 op2: flag.op2.clone(),
                 resource_prefix: format!("coord:{}+{}", flag.op1, flag.op2),
                 shared_sorts,
+                backend: CoordBackend::Reservation(LockMode::Exclusive),
             }
         })
         .collect();
@@ -172,6 +180,7 @@ mod tests {
         let plan = coordination_plan(&report);
         assert_eq!(plan.entries.len(), report.flagged.len());
         let e = &plan.entries[0];
+        assert_eq!(e.backend, CoordBackend::Reservation(LockMode::Exclusive));
         assert_eq!(e.shared_sorts, vec![ipa_spec::Sort::new("Tournament")]);
         assert_eq!(e.resource(&["t1"]), format!("{}:t1", e.resource_prefix));
         assert!(
@@ -188,6 +197,7 @@ mod tests {
             op2: ipa_spec::Symbol::new("b"),
             shared_sorts: vec![ipa_spec::Sort::new("T")],
             resource_prefix: "coord:a+b".into(),
+            backend: CoordBackend::Reservation(LockMode::Exclusive),
         };
         assert_ne!(e.resource(&["t1"]), e.resource(&["t2"]));
         let global = PlanEntry {

@@ -22,19 +22,15 @@
 use ipa_sim::{OpCtx, Region};
 use std::collections::{BTreeSet, HashMap};
 
-/// Reservation acquisition mode (Indigo's multi-level locks, reduced to
-/// the two levels its evaluation exercises).
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum Mode {
-    /// Many replicas may hold simultaneously (e.g. "may enroll players").
-    Shared,
-    /// A single replica holds (e.g. "may remove tournament t").
-    Exclusive,
-}
+pub use crate::policy::LockMode;
+
+/// Old name of [`LockMode`], kept for one PR.
+#[deprecated(note = "renamed to `LockMode` (see `ipa_coord::policy`)")]
+pub type Mode = LockMode;
 
 #[derive(Clone, Debug)]
 struct ResState {
-    mode: Mode,
+    mode: LockMode,
     holders: BTreeSet<Region>,
 }
 
@@ -57,7 +53,7 @@ impl ReservationTable {
     }
 
     /// Pre-grant a reservation to a replica (initial placement).
-    pub fn grant(&mut self, res: impl Into<String>, region: Region, mode: Mode) {
+    pub fn grant(&mut self, res: impl Into<String>, region: Region, mode: LockMode) {
         self.reservations.insert(
             res.into(),
             ResState {
@@ -76,7 +72,7 @@ impl ReservationTable {
         ctx: &mut C,
         res: &str,
         region: Region,
-        mode: Mode,
+        mode: LockMode,
     ) -> Option<f64> {
         let state = self
             .reservations
@@ -88,7 +84,7 @@ impl ReservationTable {
         let compatible = state.mode == mode || state.holders.is_empty();
         if compatible
             && state.holders.contains(&region)
-            && (mode == Mode::Shared || state.holders.len() == 1)
+            && (mode == LockMode::Shared || state.holders.len() == 1)
         {
             self.local_hits += 1;
             return Some(0.0);
@@ -109,7 +105,7 @@ impl ReservationTable {
         // Reachability: every holder we must revoke (exclusive) or any
         // holder we can copy from (shared) must be reachable.
         let cost = match mode {
-            Mode::Shared => {
+            LockMode::Shared => {
                 let reachable: Vec<Region> = others
                     .iter()
                     .copied()
@@ -117,14 +113,14 @@ impl ReservationTable {
                     .collect();
                 let &src = reachable.first()?;
                 let c = ctx.rtt(region, src);
-                if state.mode == Mode::Exclusive {
+                if state.mode == LockMode::Exclusive {
                     // Downgrade: the exclusive holder shares with us.
-                    state.mode = Mode::Shared;
+                    state.mode = LockMode::Shared;
                 }
                 state.holders.insert(region);
                 c
             }
-            Mode::Exclusive => {
+            LockMode::Exclusive => {
                 if others.iter().any(|&h| !ctx.link_up(region, h)) {
                     return None; // cannot revoke an unreachable holder
                 }
@@ -134,7 +130,7 @@ impl ReservationTable {
                 for &h in &others {
                     worst = worst.max(ctx.rtt(region, h));
                 }
-                state.mode = Mode::Exclusive;
+                state.mode = LockMode::Exclusive;
                 state.holders.clear();
                 state.holders.insert(region);
                 worst
@@ -154,12 +150,15 @@ impl ReservationTable {
 }
 
 /// Indigo coordinator: lock-style reservations plus escrow counters.
+#[deprecated(note = "hold a `ReservationTable`/`EscrowTable` directly, or build a \
+            `BoundedCounter` backend via `CoordConfig`")]
 #[derive(Clone, Debug, Default)]
 pub struct IndigoCoordinator {
     pub table: ReservationTable,
     pub escrow: crate::escrow::EscrowTable,
 }
 
+#[allow(deprecated)]
 impl IndigoCoordinator {
     pub fn new() -> Self {
         Self::default()
@@ -205,8 +204,8 @@ mod tests {
     fn resident_reservation_is_free() {
         drive(|ctx, _| {
             let mut t = ReservationTable::new();
-            t.grant("enroll:t1", 0, Mode::Shared);
-            assert_eq!(t.acquire(ctx, "enroll:t1", 0, Mode::Shared), Some(0.0));
+            t.grant("enroll:t1", 0, LockMode::Shared);
+            assert_eq!(t.acquire(ctx, "enroll:t1", 0, LockMode::Shared), Some(0.0));
             assert_eq!(t.local_hits, 1);
             assert_eq!(t.exchanges, 0);
         });
@@ -216,12 +215,12 @@ mod tests {
     fn fetching_a_remote_reservation_costs_an_rtt() {
         drive(|ctx, _| {
             let mut t = ReservationTable::new();
-            t.grant("rem:t1", 0, Mode::Exclusive);
-            let cost = t.acquire(ctx, "rem:t1", 1, Mode::Exclusive).unwrap();
+            t.grant("rem:t1", 0, LockMode::Exclusive);
+            let cost = t.acquire(ctx, "rem:t1", 1, LockMode::Exclusive).unwrap();
             assert!((72.0..=88.0).contains(&cost), "{cost}");
             assert_eq!(t.holders("rem:t1"), vec![1]);
             // Now resident: free.
-            assert_eq!(t.acquire(ctx, "rem:t1", 1, Mode::Exclusive), Some(0.0));
+            assert_eq!(t.acquire(ctx, "rem:t1", 1, LockMode::Exclusive), Some(0.0));
         });
     }
 
@@ -229,12 +228,12 @@ mod tests {
     fn shared_mode_spreads_to_both_regions() {
         drive(|ctx, _| {
             let mut t = ReservationTable::new();
-            t.grant("enroll:t1", 0, Mode::Shared);
-            let cost = t.acquire(ctx, "enroll:t1", 1, Mode::Shared).unwrap();
+            t.grant("enroll:t1", 0, LockMode::Shared);
+            let cost = t.acquire(ctx, "enroll:t1", 1, LockMode::Shared).unwrap();
             assert!(cost > 0.0);
             // Both hold it now: both acquire for free.
-            assert_eq!(t.acquire(ctx, "enroll:t1", 0, Mode::Shared), Some(0.0));
-            assert_eq!(t.acquire(ctx, "enroll:t1", 1, Mode::Shared), Some(0.0));
+            assert_eq!(t.acquire(ctx, "enroll:t1", 0, LockMode::Shared), Some(0.0));
+            assert_eq!(t.acquire(ctx, "enroll:t1", 1, LockMode::Shared), Some(0.0));
             assert_eq!(t.holders("enroll:t1"), vec![0, 1]);
         });
     }
@@ -243,9 +242,9 @@ mod tests {
     fn exclusive_revokes_shared_holders() {
         drive(|ctx, _| {
             let mut t = ReservationTable::new();
-            t.grant("x", 0, Mode::Shared);
-            t.acquire(ctx, "x", 1, Mode::Shared).unwrap();
-            let cost = t.acquire(ctx, "x", 0, Mode::Exclusive).unwrap();
+            t.grant("x", 0, LockMode::Shared);
+            t.acquire(ctx, "x", 1, LockMode::Shared).unwrap();
+            let cost = t.acquire(ctx, "x", 0, LockMode::Exclusive).unwrap();
             assert!(cost > 0.0, "must revoke region 1's copy");
             assert_eq!(t.holders("x"), vec![0]);
         });
@@ -255,11 +254,11 @@ mod tests {
     fn partition_makes_exclusive_unavailable() {
         drive(|ctx, _| {
             let mut t = ReservationTable::new();
-            t.grant("x", 0, Mode::Exclusive);
+            t.grant("x", 0, LockMode::Exclusive);
             ctx.set_link(0, 1, false);
-            assert_eq!(t.acquire(ctx, "x", 1, Mode::Exclusive), None);
+            assert_eq!(t.acquire(ctx, "x", 1, LockMode::Exclusive), None);
             ctx.set_link(0, 1, true);
-            assert!(t.acquire(ctx, "x", 1, Mode::Exclusive).is_some());
+            assert!(t.acquire(ctx, "x", 1, LockMode::Exclusive).is_some());
         });
     }
 
@@ -267,7 +266,7 @@ mod tests {
     fn unknown_reservation_auto_grants_locally() {
         drive(|ctx, _| {
             let mut t = ReservationTable::new();
-            assert_eq!(t.acquire(ctx, "fresh", 1, Mode::Exclusive), Some(0.0));
+            assert_eq!(t.acquire(ctx, "fresh", 1, LockMode::Exclusive), Some(0.0));
             assert_eq!(t.holders("fresh"), vec![1]);
         });
     }

@@ -527,6 +527,23 @@ pub trait OpCtx {
     /// coordination must fail fast rather than block.
     fn link_up(&self, a: Region, b: Region) -> bool;
 
+    /// Is the region's replica accepting transactions? Crashed replicas
+    /// must be skipped by remote coordination (escrow donor selection,
+    /// strong forwarding) — committing "at" a crashed replica would leak
+    /// state into its downtime. Transports without a fault injector keep
+    /// the default (always up).
+    fn node_up(&self, _region: Region) -> bool {
+        true
+    }
+
+    /// Simulated time of the executing operation in microseconds (zero
+    /// on transports without a virtual clock). Provisioning policies key
+    /// their proactive-rebalance windows off this, which keeps them
+    /// deterministic under the simulator.
+    fn now_us(&self) -> u64 {
+        0
+    }
+
     /// Run a transaction on a region's replica and hand its batch to the
     /// transport for asynchronous replication.
     fn commit<T>(
@@ -551,6 +568,14 @@ impl OpCtx for SimCtx<'_> {
 
     fn link_up(&self, a: Region, b: Region) -> bool {
         SimCtx::link_up(self, a, b)
+    }
+
+    fn node_up(&self, region: Region) -> bool {
+        !self.nodes[region as usize].is_down()
+    }
+
+    fn now_us(&self) -> u64 {
+        self.now.as_micros()
     }
 
     fn commit<T>(

@@ -22,7 +22,7 @@ use crate::batch::UpdateBatch;
 use crate::errors::StoreError;
 use crate::key::Key;
 use crate::txn::Transaction;
-use ipa_crdt::{Object, ObjectKind, ReplicaId, Tag, VClock};
+use ipa_crdt::{BCounterOp, Object, ObjectKind, ObjectOp, ReplicaId, Tag, VClock};
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::Arc;
 
@@ -49,9 +49,10 @@ pub struct ReplicaStats {
     /// key clones per *update*; the benchmark tracks the ratio against
     /// `2 × updates_applied`.
     pub apply_table_lookups: u64,
-    /// Stability-frontier folds actually computed by [`Replica::run_gc`].
-    /// The fold is event-driven: it only runs when a clock advanced since
-    /// the last GC (or the replica set changed), so on an idle replica
+    /// Stability-frontier folds actually computed — by [`Replica::run_gc`]
+    /// or [`Replica::stability_frontier_cached`]. The fold is
+    /// event-driven: it only runs when a clock advanced since the last
+    /// fold (or the replica set changed), so on an idle replica
     /// `gc_runs` keeps counting while this counter stands still.
     pub frontier_folds: u64,
     /// Batches refused by the integrity gate in [`Replica::receive`]:
@@ -69,6 +70,24 @@ pub struct ReplicaStats {
     /// Quarantined `(origin, seq)` slots for which a clean copy has since
     /// applied (anti-entropy repair closing the gap corruption opened).
     pub quarantine_repaired: u64,
+    /// Escrow rights-transfer updates applied whose source is this
+    /// replica (rights leaving: this replica was the donor).
+    pub rights_transfers_out: u64,
+    /// Escrow rights-transfer updates applied whose destination is this
+    /// replica (rights arriving: this replica was the recipient).
+    pub rights_transfers_in: u64,
+    /// Total rights units moved out by the transfers counted in
+    /// [`ReplicaStats::rights_transfers_out`].
+    pub rights_units_out: u64,
+    /// Total rights units moved in by the transfers counted in
+    /// [`ReplicaStats::rights_transfers_in`].
+    pub rights_units_in: u64,
+    /// Bounded-counter decrements refused locally for lack of escrow
+    /// rights (the starvation signal the provisioning policies watch).
+    pub escrow_dec_denied: u64,
+    /// Stability-frontier folds served from the escrow-path cache
+    /// without recomputing (no clock advanced since the last fold).
+    pub frontier_cache_hits: u64,
 }
 
 /// Per-shard apply counters: deterministic functions of the delivered
@@ -332,6 +351,16 @@ pub struct Replica {
     frontier_dirty: bool,
     /// `(replica set, frontier)` of the last fold `run_gc` computed.
     gc_cache: Option<(Vec<ReplicaId>, VClock)>,
+    /// Monotone counter bumped whenever any `last_from` clock advances —
+    /// the event [`Replica::stability_frontier_cached`] keys its cache
+    /// on. Deliberately separate from `frontier_dirty`/`gc_cache`: the
+    /// escrow path folding the frontier must never clear GC's dirty
+    /// flag, or a later [`Replica::run_gc`] would reuse a stale cache.
+    clock_epoch: u64,
+    /// `(clock epoch, replica set, frontier)` of the last fold the
+    /// escrow/transfer path computed via
+    /// [`Replica::stability_frontier_cached`].
+    escrow_frontier: Option<(u64, Vec<ReplicaId>, VClock)>,
     pub stats: ReplicaStats,
 }
 
@@ -367,6 +396,8 @@ impl Replica {
             quarantined: std::collections::HashSet::new(),
             frontier_dirty: true,
             gc_cache: None,
+            clock_epoch: 0,
+            escrow_frontier: None,
             stats: ReplicaStats::default(),
         }
     }
@@ -459,6 +490,7 @@ impl Replica {
         self.lamport = self.lamport.max(batch.lamport);
         self.last_from.insert(self.id, batch.clock.clone());
         self.frontier_dirty = true;
+        self.clock_epoch += 1;
         self.log_append(Arc::clone(&batch));
         self.outbox.push(batch);
         self.stats.commits += 1;
@@ -512,6 +544,7 @@ impl Replica {
                 .and_modify(|c| c.merge(&batch.clock))
                 .or_insert_with(|| batch.clock.clone());
             self.frontier_dirty = true;
+            self.clock_epoch += 1;
             self.note_repair(&batch);
             self.log_append(batch);
             return 1;
@@ -588,6 +621,7 @@ impl Replica {
                 .and_modify(|c| c.merge(&batch.clock))
                 .or_insert_with(|| batch.clock.clone());
             self.frontier_dirty = true;
+            self.clock_epoch += 1;
             self.note_repair(&batch);
             self.log_append(batch);
             applied += 1;
@@ -686,6 +720,23 @@ impl Replica {
         let after = self.shard_totals();
         self.stats.apply_table_lookups += after.0 - before.0;
         self.stats.updates_applied += after.1 - before.1;
+        // Escrow rights-transfer accounting. `apply_batch` runs exactly
+        // once per applied batch (duplicates are dropped before
+        // delivery), so each transfer is counted once per replica: at
+        // the donor via its own local commit and at every other replica
+        // via replication.
+        for (_, _, op) in updates {
+            if let ObjectOp::BCounter(BCounterOp::Transfer { from, to, n }) = op {
+                if *from == self.id {
+                    self.stats.rights_transfers_out += 1;
+                    self.stats.rights_units_out += n;
+                }
+                if *to == self.id {
+                    self.stats.rights_transfers_in += 1;
+                    self.stats.rights_units_in += n;
+                }
+            }
+        }
         self.clock.merge(&batch.clock);
         self.stats.batches_applied += 1;
     }
@@ -936,6 +987,29 @@ impl Replica {
             }
         }
         VClock::from_raw(mins)
+    }
+
+    /// Event-driven frontier fold for the escrow/transfer path: returns
+    /// the same value as [`Replica::stability_frontier`] but only
+    /// recomputes the fold when a clock actually advanced since the
+    /// last call (or the replica set changed). Provisioning policies
+    /// poll this per operation to decide whether an earlier
+    /// rights-transfer is causally stable; without the cache every such
+    /// poll would re-fold all clocks even on a quiet replica. The cache
+    /// is keyed on `clock_epoch` and kept apart from `run_gc`'s
+    /// `frontier_dirty`/`gc_cache` pair so neither path can invalidate
+    /// or stale-serve the other.
+    pub fn stability_frontier_cached(&mut self, replicas: &[ReplicaId]) -> VClock {
+        if let Some((epoch, set, frontier)) = &self.escrow_frontier {
+            if *epoch == self.clock_epoch && set == replicas {
+                self.stats.frontier_cache_hits += 1;
+                return frontier.clone();
+            }
+        }
+        let frontier = self.stability_frontier(replicas);
+        self.stats.frontier_folds += 1;
+        self.escrow_frontier = Some((self.clock_epoch, replicas.to_vec(), frontier.clone()));
+        frontier
     }
 
     /// Compact every object's causal metadata under the stability
@@ -1422,6 +1496,53 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn cached_frontier_refolds_only_on_clock_advance() {
+        let mut a = Replica::new(r(0));
+        let mut b = Replica::new(r(1));
+        let replicas = [r(0), r(1)];
+        let mut tx = a.begin();
+        tx.ensure("c", ObjectKind::PNCounter).unwrap();
+        tx.counter_add("c", 1).unwrap();
+        tx.commit();
+        for batch in a.take_outbox() {
+            b.receive(batch);
+        }
+        let mut tx = b.begin();
+        tx.ensure("ack", ObjectKind::PNCounter).unwrap();
+        tx.counter_add("ack", 1).unwrap();
+        tx.commit();
+        for batch in b.take_outbox() {
+            a.receive(batch);
+        }
+        let folds0 = a.stats.frontier_folds;
+        let first = a.stability_frontier_cached(&replicas);
+        assert_eq!(first, a.stability_frontier(&replicas));
+        assert_eq!(a.stats.frontier_folds, folds0 + 1);
+        // Quiet replica: repeated polls hit the cache, no re-fold.
+        for _ in 0..5 {
+            assert_eq!(a.stability_frontier_cached(&replicas), first);
+        }
+        assert_eq!(a.stats.frontier_folds, folds0 + 1);
+        assert_eq!(a.stats.frontier_cache_hits, 5);
+        // A changed replica set re-folds.
+        let solo = a.stability_frontier_cached(&[r(0)]);
+        assert_eq!(solo, a.stability_frontier(&[r(0)]));
+        assert_eq!(a.stats.frontier_folds, folds0 + 2);
+        // A clock advance (local commit) re-folds on the next poll.
+        let mut tx = a.begin();
+        tx.counter_add("c", 1).unwrap();
+        tx.commit();
+        let after = a.stability_frontier_cached(&replicas);
+        assert_eq!(after, a.stability_frontier(&replicas));
+        assert_eq!(a.stats.frontier_folds, folds0 + 3);
+        // The escrow-path cache never touches GC's event flag: GC still
+        // sees the commit as a fresh fold of its own.
+        let gc_folds = a.stats.frontier_folds;
+        a.run_gc(&replicas);
+        assert_eq!(a.stats.frontier_folds, gc_folds + 1);
     }
 
     #[test]

@@ -257,9 +257,10 @@ impl<'a> Transaction<'a> {
         let c = obj
             .as_bcounter()
             .ok_or_else(|| wrong(&key, "bounded-counter"))?;
-        let op = c
-            .prepare_dec(origin, n)
-            .ok_or_else(|| StoreError::InsufficientRights { key: key.clone() })?;
+        let Some(op) = c.prepare_dec(origin, n) else {
+            self.replica.stats.escrow_dec_denied += 1;
+            return Err(StoreError::InsufficientRights { key });
+        };
         let op = ObjectOp::BCounter(op);
         self.push(key, op)
     }
@@ -281,6 +282,31 @@ impl<'a> Transaction<'a> {
             .ok_or_else(|| StoreError::InsufficientRights { key: key.clone() })?;
         let op = ObjectOp::BCounter(op);
         self.push(key, op)
+    }
+
+    /// Locally-visible escrow rights of `holder` on a bounded counter
+    /// (read-your-writes: sees this transaction's own decrements and
+    /// transfers).
+    pub fn bcounter_rights(
+        &mut self,
+        key: impl Into<Key>,
+        holder: ipa_crdt::ReplicaId,
+    ) -> Result<i64, StoreError> {
+        let key = key.into();
+        let (_, obj) = self.obj_ref(&key)?;
+        let c = obj
+            .as_bcounter()
+            .ok_or_else(|| wrong(&key, "bounded-counter"))?;
+        Ok(c.local_rights(holder))
+    }
+
+    /// Is `clock` at or below this replica's causal-stability frontier
+    /// over `replicas`? Provisioning policies use this to wait for an
+    /// earlier rights-transfer to stabilize before re-granting; the
+    /// underlying fold is cached and only recomputed on clock advance
+    /// ([`Replica::stability_frontier_cached`]).
+    pub fn clock_stable(&mut self, clock: &VClock, replicas: &[ipa_crdt::ReplicaId]) -> bool {
+        clock.le(&self.replica.stability_frontier_cached(replicas))
     }
 
     pub fn lww_write(&mut self, key: impl Into<Key>, v: Val) -> Result<(), StoreError> {

@@ -4,7 +4,7 @@
 //! server that holds the necessary reservation ... becomes unavailable,
 //! the operation cannot be executed."
 
-use ipa::coord::{Mode as ResMode, ReservationTable, StrongCoordinator};
+use ipa::coord::{LockMode as ResMode, ReservationTable, StrongCoordinator};
 use ipa::crdt::ObjectKind;
 use ipa::sim::{
     two_region_topology, ClientInfo, OpOutcome, SimConfig, SimCtx, Simulation, Workload,

@@ -6,7 +6,7 @@
 
 use ipa::analysis::Analyzer;
 use ipa::apps::tournament::tournament_spec;
-use ipa::coord::{coordination_plan, Mode as ResMode, ReservationPlan, ReservationTable};
+use ipa::coord::{coordination_plan, LockMode as ResMode, ReservationPlan, ReservationTable};
 use ipa::crdt::ObjectKind;
 use ipa::sim::{
     two_region_topology, ClientInfo, OpOutcome, SimConfig, SimCtx, Simulation, Workload,

@@ -1,0 +1,165 @@
+//! Rights conservation for the escrow-sharded bounded counters.
+//!
+//! The escrow design's whole safety argument is an accounting identity:
+//! rights are *moved*, never minted — by local decrements, donor
+//! borrows, and asynchronous rights-transfer messages riding ordinary
+//! update batches. Because transfers are plain CRDT operations, every
+//! fault the adversarial transport can inflict on them (drop, delay,
+//! duplicate, crash of the carrying replica) is already covered by the
+//! delivery contract: idempotent receive plus durable-log anti-entropy.
+//!
+//! Two layers of evidence:
+//!
+//! * a **property test** replaying the high-contention ticket sale
+//!   under arbitrary seeded fault plans and asserting, at quiescence on
+//!   every replica, that spent tickets plus remaining counter value
+//!   equals the initial capacity and that per-replica rights sum to the
+//!   counter value (no right minted, none silently destroyed);
+//! * a **crash-recovery regression**: a replica that spent part of its
+//!   rights and then crashes recovers its *unspent* rights from its
+//!   durable log — nothing double-spends and nothing is forfeited.
+
+use ipa::apps::threaded_soak::TransportCtx;
+use ipa::apps::ticket::sale::{raw_oversell, SaleBackend, SaleWorkload};
+use ipa::coord::{rights_key, BoundedCounter, CoordConfig, CoordError};
+use ipa::crdt::ReplicaId;
+use ipa::sim::{paper_topology, CrashPlan, FaultPlan, SimConfig, Simulation};
+use ipa::store::{Cluster, Transport};
+use proptest::prelude::*;
+
+/// Check the conservation identity for one event at one replica:
+/// `counter value + tickets sold == capacity` and
+/// `Σ per-replica rights == counter value ≥ 0`.
+fn assert_conserved(sim: &Simulation, event: &str, capacity: i64, replica: u16) {
+    let r = sim.replica(replica);
+    let counter = r
+        .object(&rights_key(event).as_str().into())
+        .and_then(|o| o.as_bcounter())
+        .unwrap_or_else(|| panic!("bcounter for {event} at replica {replica}"))
+        .clone();
+    let sold = r
+        .object(&format!("ticket/sold/{event}").as_str().into())
+        .and_then(|o| o.as_awset())
+        .map_or(0, |s| s.len()) as i64;
+    let value = counter.value();
+    assert!(value >= 0, "{event}@{replica}: bound violated ({value})");
+    assert_eq!(
+        value + sold,
+        capacity,
+        "{event}@{replica}: rights minted or destroyed (value {value}, sold {sold})"
+    );
+    let rights_sum: i64 = (0..sim.regions() as u16)
+        .map(|i| counter.local_rights(ReplicaId(i)))
+        .sum();
+    assert_eq!(
+        rights_sum, value,
+        "{event}@{replica}: per-replica rights disagree with the value"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Under *any* seeded fault plan — drops, delays, duplicates, link
+    /// cuts, plus an optional crash of the replica carrying transfers —
+    /// the quiesced cluster upholds the conservation identity for every
+    /// event, and never oversells.
+    #[test]
+    fn rights_are_conserved_under_any_fault_plan(
+        seed in 0u64..10_000,
+        intensity in 0.2f64..=0.9,
+        crash in 0u64..2,
+    ) {
+        let mut faults = FaultPlan::with_intensity(seed, intensity);
+        if crash == 1 {
+            faults.crashes.push(CrashPlan {
+                region: (seed % 3) as u16,
+                at_s: 0.7,
+                down_s: 0.4,
+            });
+        }
+        let cfg = SimConfig {
+            clients_per_region: 2,
+            warmup_s: 0.2,
+            duration_s: 1.2,
+            seed,
+            faults,
+            ..Default::default()
+        };
+        let mut sim = Simulation::new(paper_topology(), cfg);
+        let mut w = SaleWorkload::with_defaults(SaleBackend::Escrow);
+        sim.run(&mut w);
+        sim.quiesce();
+        prop_assert_eq!(raw_oversell(&sim, &w), 0, "fault plan minted a ticket");
+        for (event, capacity) in w.event_capacities() {
+            for replica in 0..sim.regions() as u16 {
+                assert_conserved(&sim, &event, capacity as i64, replica);
+            }
+        }
+    }
+}
+
+/// A replica that spent part of its rights and crashed recovers its
+/// unspent remainder from the durable log: committed decrements stay
+/// spent (no double-sell) and surviving rights stay usable (no
+/// forfeiture).
+#[test]
+fn crashed_replica_recovers_unspent_rights_from_its_durable_log() {
+    let mut cluster = Cluster::new(3);
+    let mut shard = CoordConfig::new(3).build_escrow();
+    {
+        let mut ctx = TransportCtx::new(&mut cluster, 5);
+        shard.create(&mut ctx, "gold", 90).expect("create");
+        // Region 2 spends 5 of its 30 pre-provisioned rights.
+        for _ in 0..5 {
+            shard.decrement(&mut ctx, "gold", 2, 1).expect("local dec");
+        }
+        ctx.transport().quiesce_transport();
+    }
+
+    // Crash region 2 (volatile state lost), bring it back, repair.
+    cluster.crash_node(ReplicaId(2));
+    cluster.restart_node(ReplicaId(2));
+    cluster.quiesce_transport();
+
+    let key: ipa::store::Key = rights_key("gold").as_str().into();
+    for r in 0..3u16 {
+        let counter = cluster
+            .replica(ReplicaId(r))
+            .object(&key)
+            .and_then(|o| o.as_bcounter())
+            .expect("counter survives the crash")
+            .clone();
+        assert_eq!(counter.value(), 85, "replica {r}: the 5 decs stay spent");
+        assert_eq!(
+            counter.local_rights(ReplicaId(2)),
+            25,
+            "replica {r}: the unspent remainder survives"
+        );
+    }
+
+    // The survivor keeps selling on its recovered rights alone.
+    let mut ctx = TransportCtx::new(&mut cluster, 6);
+    for _ in 0..25 {
+        shard
+            .decrement(&mut ctx, "gold", 2, 1)
+            .expect("recovered rights are spendable");
+    }
+    ctx.transport().quiesce_transport();
+
+    // Local rights exhausted, region 2 keeps selling on donor borrows
+    // until the global bound is reached — then the shard refuses
+    // outright. 90 = 5 + 25 + 60: not one ticket double-sold across
+    // the crash.
+    let mut ctx = TransportCtx::new(&mut cluster, 7);
+    for _ in 0..60 {
+        shard
+            .decrement(&mut ctx, "gold", 2, 1)
+            .expect("donors cover the exhausted survivor");
+    }
+    let denied = shard.decrement(&mut ctx, "gold", 2, 1);
+    assert!(
+        matches!(denied, Err(CoordError::WouldOversell { .. })),
+        "the 91st ticket of 90 must be refused: {denied:?}"
+    );
+}
