@@ -17,19 +17,38 @@
 //! injection. Reported latency is arrival-to-completion (queue wait +
 //! service + client RTT), summarized as p50/p99/p999 per offered rate.
 //!
+//! The generator enforces an **admission budget**: within the
+//! measurement window each region admits at most ⌊rate × duration⌋
+//! arrivals, so the reported admitted rate can never exceed the offered
+//! rate (an earlier version reported completed-per-second, which
+//! counted warmup backlog draining into the window and read *above*
+//! offered at saturation — an accounting artifact, not extra capacity).
+//!
 //! Alongside the wall-free latency model, the sweep reports the store's
 //! deterministic apply-path counters at the heaviest point: per-shard
 //! applied-update counts (the shard balance CI guards) and object-table
 //! lookups (the handle-cache bound: at most one lookup per update).
-//! Results land in `BENCH_load.json` at the repo root.
+//!
+//! `regenerate` additionally runs a **threaded wall-clock sweep**: the
+//! same Poisson/Zipf open-loop schedule fired against a real
+//! [`ipa_store::ThreadedCluster`] (one issuer thread per region, ops
+//! issued at precomputed `Instant`s, latency charged from the
+//! *scheduled* arrival so a lagging issuer cannot hide queueing —
+//! coordinated omission again). That sweep locates the in-process
+//! saturation knee in ops/s of real wall time; it is wall-clock noisy,
+//! so it rides only in the regenerated JSON, never in the deterministic
+//! `run` path the tests replay. Results land in `BENCH_load.json` at
+//! the repo root.
 
 use ipa_crdt::{ObjectKind, Val};
 use ipa_sim::{
     paper_topology, AppOp, ClientInfo, FaultPlan, OpEvent, OpOutcome, OpTrace, SimConfig, SimCtx,
     Simulation, Workload,
 };
+use ipa_store::{ThreadedCluster, ThreadedConfig};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::time::{Duration, Instant};
 
 /// Distinct hot keys the Zipfian distribution ranges over.
 const KEYS: usize = 1024;
@@ -47,9 +66,12 @@ const SATURATION_X: f64 = 5.0;
 pub struct LoadPoint {
     /// Offered arrival rate, cluster-wide (ops/s across all regions).
     pub offered_ops_s: f64,
-    /// Ops admitted inside the measurement window per second. Open
-    /// loop: this tracks the offered rate even past saturation (the
-    /// backlog shows up in the percentiles, not here).
+    /// Arrivals admitted inside the measurement window per second,
+    /// after the generator's per-region budget of ⌊rate × duration⌋
+    /// admission tokens. By construction `admitted_ops_s ≤
+    /// offered_ops_s`, deterministically. Open loop: this tracks the
+    /// offered rate even past saturation (the backlog shows up in the
+    /// percentiles, not here).
     pub admitted_ops_s: f64,
     pub completed: u64,
     pub failed: u64,
@@ -88,6 +110,41 @@ pub struct Report {
     pub knee_ops_s: f64,
     /// Apply-path counters at the heaviest point, one entry per region.
     pub per_replica: Vec<ReplicaCounters>,
+    /// Wall-clock sweep against the threaded transport. `None` from
+    /// [`run`] (which must stay deterministic for the tests);
+    /// [`regenerate`] populates it for the tracked JSON.
+    pub threaded: Option<ThreadedSweep>,
+}
+
+/// One offered rate fired against the real threaded cluster.
+#[derive(Clone, Debug)]
+pub struct ThreadedPoint {
+    /// Offered arrival rate, cluster-wide (ops/s across all regions).
+    pub offered_ops_s: f64,
+    /// Completed commits per second of wall time, measured from the
+    /// sweep's epoch to the last issuer finishing (so an issuer running
+    /// past its schedule deflates this instead of hiding).
+    pub completed_ops_s: f64,
+    pub completed: u64,
+    /// Latency percentiles, each op charged from its *scheduled*
+    /// arrival to commit completion (coordinated-omission-immune).
+    pub p50_ms: f64,
+    pub p99_ms: f64,
+}
+
+/// The wall-clock saturation sweep `regenerate` appends to the JSON:
+/// real threads, real queues, real time — the honest counterpart to the
+/// simulator's wall-free model above.
+#[derive(Clone, Debug)]
+pub struct ThreadedSweep {
+    /// Measurement window each schedule spans (seconds).
+    pub duration_s: f64,
+    pub points: Vec<ThreadedPoint>,
+    /// Completed throughput at the knee (ops/s of wall time).
+    pub saturation_ops_s: f64,
+    /// Highest offered rate whose p50 stayed under `SATURATION_X`× the
+    /// lightest point's p50 (ops/s).
+    pub knee_ops_s: f64,
 }
 
 /// Zipfian sampler over `0..n` via the precomputed CDF; rank 0 is the
@@ -143,23 +200,50 @@ impl Workload for PostWorkload {
 }
 
 /// Synthesize the open-loop arrival trace for one offered rate: a
-/// Poisson process per region over `[0, horizon_s)`, each arrival drawn
-/// from `users` virtual users and multiplexed onto that region's client
-/// slots by `user % slots` (arrivals are generated in time order, so
-/// every slot's queue stays time-sorted, which replay requires).
-fn synthesize(rate_per_region: f64, horizon_s: f64, users: u64, seed: u64) -> OpTrace {
+/// Poisson process per region over `[0, warmup_s + duration_s)`, each
+/// arrival drawn from `users` virtual users and multiplexed onto that
+/// region's client slots by `user % slots` (arrivals are generated in
+/// time order, so every slot's queue stays time-sorted, which replay
+/// requires).
+///
+/// Admission budget: inside the measurement window
+/// `[warmup_s, warmup_s + duration_s)` each region admits at most
+/// `⌊rate × duration⌋` arrivals; Poisson excess past the budget is
+/// dropped at the generator. The returned count is the number of
+/// in-window arrivals actually admitted, cluster-wide — dividing it by
+/// the window length therefore can never exceed the offered rate.
+fn synthesize(
+    rate_per_region: f64,
+    warmup_s: f64,
+    duration_s: f64,
+    users: u64,
+    seed: u64,
+) -> (OpTrace, u64) {
     let zipf = Zipf::new(KEYS, ZIPF_S);
+    let horizon_s = warmup_s + duration_s;
+    let budget_per_region = (rate_per_region * duration_s).floor() as u64;
     let mut events = Vec::new();
     let mut n = 0u64;
+    let mut admitted_in_window = 0u64;
     for region in 0..REGIONS {
         let mut rng = StdRng::seed_from_u64(seed ^ (0x10ad << 16) ^ region as u64);
         let mut t_s = 0.0f64;
+        let mut region_window = 0u64;
         loop {
             // Exponential inter-arrival at the offered rate.
             let u: f64 = rng.gen::<f64>().max(1e-12);
             t_s += -u.ln() / rate_per_region;
             if t_s >= horizon_s {
                 break;
+            }
+            let in_window = t_s >= warmup_s;
+            if in_window {
+                if region_window >= budget_per_region {
+                    // Over budget: the arrival is refused admission.
+                    continue;
+                }
+                region_window += 1;
+                admitted_in_window += 1;
             }
             let user = rng.gen_range(0..users);
             let key = zipf.sample(&mut rng);
@@ -177,16 +261,19 @@ fn synthesize(rate_per_region: f64, horizon_s: f64, users: u64, seed: u64) -> Op
     // whole stream by (client, time) — a stable global order that also
     // keeps the trace deterministic.
     events.sort_by_key(|e| (e.client, e.at_us));
-    OpTrace {
-        events,
-        sends: Vec::new(),
-    }
+    (
+        OpTrace {
+            events,
+            sends: Vec::new(),
+        },
+        admitted_in_window,
+    )
 }
 
 /// Replay one offered rate; returns the point and the quiesced sim.
 fn run_point(rate_per_region: f64, users: u64, quick: bool, seed: u64) -> (LoadPoint, Simulation) {
     let (warmup_s, duration_s) = if quick { (0.3, 1.5) } else { (1.0, 8.0) };
-    let trace = synthesize(rate_per_region, warmup_s + duration_s, users, seed);
+    let (trace, admitted) = synthesize(rate_per_region, warmup_s, duration_s, users, seed);
     let cfg = SimConfig {
         clients_per_region: SLOTS_PER_REGION,
         warmup_s,
@@ -203,7 +290,10 @@ fn run_point(rate_per_region: f64, users: u64, quick: bool, seed: u64) -> (LoadP
     let overall = sim.metrics.overall();
     let point = LoadPoint {
         offered_ops_s: rate_per_region * REGIONS as f64,
-        admitted_ops_s: sim.metrics.throughput(),
+        // Count-based: in-window admitted arrivals over the window —
+        // not completions, which can exceed offered when warmup backlog
+        // drains into the window.
+        admitted_ops_s: admitted as f64 / duration_s,
         completed: sim.metrics.completed,
         failed: sim.metrics.failed,
         p50_ms: overall.as_ref().map_or(0.0, |s| s.p50_ms),
@@ -260,6 +350,123 @@ pub fn run(quick: bool) -> Report {
         saturation_ops_s,
         knee_ops_s,
         per_replica,
+        threaded: None,
+    }
+}
+
+/// Percentile of a sorted latency sample (µs), reported in ms.
+fn percentile_ms(sorted_us: &[u64], q: f64) -> f64 {
+    if sorted_us.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_us.len() as f64 - 1.0) * q).round() as usize;
+    sorted_us[idx.min(sorted_us.len() - 1)] as f64 / 1000.0
+}
+
+/// Fire one offered rate at a live [`ThreadedCluster`]: one issuer
+/// thread per region walks a precomputed Poisson/Zipf schedule, issuing
+/// each commit at its scheduled `Instant` (or immediately, if behind —
+/// the lag then shows up in that op's latency, because latency is
+/// charged from the *scheduled* arrival, not from when the issuer got
+/// around to it).
+fn run_threaded_point(rate_per_region: f64, duration_s: f64, seed: u64) -> ThreadedPoint {
+    // Schedules first, off the clock: (offset µs, zipfian key) pairs.
+    let zipf = Zipf::new(KEYS, ZIPF_S);
+    let mut schedules: Vec<Vec<(u64, usize)>> = Vec::with_capacity(REGIONS);
+    for region in 0..REGIONS {
+        let mut rng = StdRng::seed_from_u64(seed ^ (0x7_ead << 20) ^ region as u64);
+        let mut t_s = 0.0f64;
+        let mut sched = Vec::new();
+        loop {
+            let u: f64 = rng.gen::<f64>().max(1e-12);
+            t_s += -u.ln() / rate_per_region;
+            if t_s >= duration_s {
+                break;
+            }
+            sched.push(((t_s * 1e6) as u64, zipf.sample(&mut rng)));
+        }
+        schedules.push(sched);
+    }
+
+    let cluster = ThreadedCluster::start(ThreadedConfig {
+        nodes: REGIONS as u16,
+        ae_interval: None,
+        ..Default::default()
+    });
+    let base = Instant::now();
+    let mut latencies: Vec<u64> = Vec::new();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = schedules
+            .iter()
+            .enumerate()
+            .map(|(region, sched)| {
+                let cluster = &cluster;
+                s.spawn(move || {
+                    let mut lat = Vec::with_capacity(sched.len());
+                    for (i, &(at_us, key)) in sched.iter().enumerate() {
+                        loop {
+                            let now = base.elapsed().as_micros() as u64;
+                            if now >= at_us {
+                                break;
+                            }
+                            // Sleep off the bulk of the wait, yield the
+                            // tail (sleep granularity overshoots).
+                            let ahead = at_us - now;
+                            if ahead > 500 {
+                                std::thread::sleep(Duration::from_micros(ahead - 300));
+                            } else {
+                                std::thread::yield_now();
+                            }
+                        }
+                        let name = format!("k{key}");
+                        cluster
+                            .commit_at(region as u16, |tx| {
+                                tx.ensure(name.as_str(), ObjectKind::AWSet)?;
+                                tx.aw_add(name.as_str(), Val::str(format!("r{region}-{i}")))
+                            })
+                            .expect("threaded commit");
+                        lat.push(base.elapsed().as_micros() as u64 - at_us);
+                    }
+                    lat
+                })
+            })
+            .collect();
+        for h in handles {
+            latencies.extend(h.join().expect("issuer thread"));
+        }
+    });
+    // Throughput over the real span: epoch to last issuer done. Past
+    // saturation the issuers overrun the window, so this deflates
+    // toward service capacity instead of parroting the offered rate.
+    let elapsed_s = base.elapsed().as_secs_f64().max(duration_s);
+    drop(cluster);
+    latencies.sort_unstable();
+    ThreadedPoint {
+        offered_ops_s: rate_per_region * REGIONS as f64,
+        completed_ops_s: latencies.len() as f64 / elapsed_s,
+        completed: latencies.len() as u64,
+        p50_ms: percentile_ms(&latencies, 0.50),
+        p99_ms: percentile_ms(&latencies, 0.99),
+    }
+}
+
+/// The wall-clock sweep: walk the offered rates, find the knee with the
+/// same `SATURATION_X` rule the simulated sweep uses.
+pub fn run_threaded_sweep(rates_per_region: &[f64], duration_s: f64, seed: u64) -> ThreadedSweep {
+    let points: Vec<ThreadedPoint> = rates_per_region
+        .iter()
+        .map(|&r| run_threaded_point(r, duration_s, seed))
+        .collect();
+    let base_p50 = points.first().map_or(0.0, |p| p.p50_ms);
+    let knee = points
+        .iter()
+        .filter(|p| p.p50_ms <= SATURATION_X * base_p50)
+        .max_by(|a, b| a.offered_ops_s.total_cmp(&b.offered_ops_s));
+    ThreadedSweep {
+        duration_s,
+        saturation_ops_s: knee.map_or(0.0, |p| p.completed_ops_s),
+        knee_ops_s: knee.map_or(0.0, |p| p.offered_ops_s),
+        points,
     }
 }
 
@@ -287,6 +494,26 @@ pub fn print(report: &Report) {
         println!(
             "  region {}: per-shard updates {:?}, table lookups {:?} (deterministic)",
             rc.region, rc.shard_updates, rc.shard_lookups
+        );
+    }
+    if let Some(t) = &report.threaded {
+        println!(
+            "\nThreaded wall-clock sweep ({} issuer threads, {:.1}s windows, real time):",
+            REGIONS, t.duration_s
+        );
+        println!(
+            "{:>12} {:>13} {:>10} {:>10} {:>10}",
+            "offered/s", "completed/s", "completed", "p50 [ms]", "p99 [ms]"
+        );
+        for p in &t.points {
+            println!(
+                "{:>12.0} {:>13.1} {:>10} {:>10.2} {:>10.2}",
+                p.offered_ops_s, p.completed_ops_s, p.completed, p.p50_ms, p.p99_ms
+            );
+        }
+        println!(
+            "threaded saturation: {:.0} ops/s wall-clock at the knee ({:.0} ops/s offered)",
+            t.saturation_ops_s, t.knee_ops_s
         );
     }
 }
@@ -337,7 +564,34 @@ pub fn to_json(report: &Report) -> String {
             }
         ));
     }
-    s.push_str("  ]\n}\n");
+    if let Some(t) = &report.threaded {
+        s.push_str("  ],\n");
+        s.push_str("  \"threaded_sweep\": {\n");
+        s.push_str(&format!(
+            "    \"regions\": {}, \"duration_s\": {},\n",
+            REGIONS, t.duration_s
+        ));
+        s.push_str("    \"points\": [\n");
+        for (i, p) in t.points.iter().enumerate() {
+            s.push_str(&format!(
+                "      {{\"offered_ops_s\": {:.0}, \"completed_ops_s\": {:.1}, \
+                 \"completed\": {}, \"p50_ms\": {:.2}, \"p99_ms\": {:.2}}}{}\n",
+                p.offered_ops_s,
+                p.completed_ops_s,
+                p.completed,
+                p.p50_ms,
+                p.p99_ms,
+                if i + 1 < t.points.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("    ],\n");
+        s.push_str(&format!(
+            "    \"saturation_ops_s\": {:.1},\n    \"knee_ops_s\": {:.0}\n  }}\n}}\n",
+            t.saturation_ops_s, t.knee_ops_s
+        ));
+    } else {
+        s.push_str("  ]\n}\n");
+    }
     s
 }
 
@@ -347,8 +601,18 @@ pub fn json_path() -> std::path::PathBuf {
 }
 
 /// Run the sweep, print the table, and (re)write the tracked JSON.
+/// Unlike [`run`], this also fires the wall-clock threaded sweep —
+/// regeneration is the one place wall-clock noise is acceptable.
 pub fn regenerate(quick: bool) {
-    let report = run(quick);
+    let mut report = run(quick);
+    // Per-region offered rates bracketing the in-process service
+    // capacity (the knee must sit strictly inside the swept range).
+    let (threaded_rates, threaded_duration_s): (&[f64], f64) = if quick {
+        (&[500.0, 2_000.0, 8_000.0, 32_000.0], 0.4)
+    } else {
+        (&[500.0, 2_000.0, 8_000.0, 32_000.0, 64_000.0], 1.0)
+    };
+    report.threaded = Some(run_threaded_sweep(threaded_rates, threaded_duration_s, 42));
     print(&report);
     let path = json_path();
     std::fs::write(&path, to_json(&report)).expect("write BENCH_load.json");
@@ -367,6 +631,12 @@ mod tests {
         // (440/region ≫ 357/region capacity) must fall behind.
         let light = &report.points[0];
         let heavy = report.points.last().unwrap();
+        for p in &report.points {
+            assert!(
+                p.admitted_ops_s <= p.offered_ops_s,
+                "the admission budget caps admitted at offered: {p:?}"
+            );
+        }
         assert!(
             light.admitted_ops_s >= 0.9 * light.offered_ops_s,
             "open loop admits the offered rate: {light:?}"
@@ -454,11 +724,52 @@ mod tests {
                 shard_updates: vec![200, 150, 120, 63],
                 shard_lookups: vec![180, 140, 110, 60],
             }],
+            threaded: None,
         };
         let json = to_json(&report);
         assert!(json.contains("\"figure\": \"load\""));
         assert!(json.contains("\"shard_updates\": [200, 150, 120, 63]"));
         assert!(json.contains("\"saturation_ops_s\": 355.2"));
+        assert!(!json.contains("threaded_sweep"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
+
+        // With the wall-clock sweep attached, the JSON grows the
+        // `threaded_sweep` section CI validates for presence.
+        let mut with_threaded = report.clone();
+        with_threaded.threaded = Some(ThreadedSweep {
+            duration_s: 0.4,
+            points: vec![ThreadedPoint {
+                offered_ops_s: 1500.0,
+                completed_ops_s: 1480.3,
+                completed: 592,
+                p50_ms: 0.21,
+                p99_ms: 1.94,
+            }],
+            saturation_ops_s: 1480.3,
+            knee_ops_s: 1500.0,
+        });
+        let json = to_json(&with_threaded);
+        assert!(json.contains("\"threaded_sweep\": {"));
+        assert!(json.contains("\"completed_ops_s\": 1480.3"));
+        assert!(json.contains("\"knee_ops_s\": 1500"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    /// Wall-clock smoke for the threaded sweep: tiny rates, short
+    /// window, structural assertions only (this runner is single-core
+    /// and noisy — absolute latency is the JSON's business, not CI's).
+    #[test]
+    fn threaded_sweep_smoke() {
+        let sweep = run_threaded_sweep(&[100.0, 400.0], 0.3, 7);
+        assert_eq!(sweep.points.len(), 2);
+        for p in &sweep.points {
+            assert!(p.completed > 0, "issuers committed something: {p:?}");
+            assert!(
+                p.completed_ops_s > 0.0 && p.p50_ms >= 0.0 && p.p99_ms >= p.p50_ms,
+                "sane point: {p:?}"
+            );
+        }
+        assert!(sweep.saturation_ops_s > 0.0);
+        assert!(sweep.knee_ops_s >= sweep.points[0].offered_ops_s);
     }
 }

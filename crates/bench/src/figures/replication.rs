@@ -89,19 +89,26 @@ pub struct Report {
     pub parallel_apply: ParallelApply,
 }
 
-/// Sharded parallel apply, single-shard sequential oracle vs. the
-/// multi-shard path with scoped worker threads.
+/// Sharded apply dispatch A/B on wide batches: single-shard inline
+/// oracle, the legacy spawn-per-batch scoped-thread dispatch, and the
+/// persistent shard-worker pool — all measured in the same run on the
+/// same staged batches (the repo's new-vs-legacy-emulation discipline).
 #[derive(Clone, Debug)]
 pub struct ParallelApply {
     pub batches: usize,
     pub updates_per_batch: usize,
     pub shards: usize,
-    /// Wall throughput of the single-shard sequential apply (batches/s).
+    /// Wall throughput of the single-shard inline apply (batches/s).
     pub single_shard_per_s: f64,
-    /// Wall throughput of the sharded parallel apply (batches/s). On a
-    /// single-core runner this is ≈1x the sequential figure (threads
-    /// cannot overlap); the span speedup below is the tracked metric.
-    pub parallel_per_s: f64,
+    /// Wall throughput of the legacy dispatch the pool replaced: spawn
+    /// and join one scoped thread per non-empty shard, per batch
+    /// (batches/s). This is the path `wall_speedup_x` was 0.36 against
+    /// single-shard — the spawn cost swamped the parallel win.
+    pub spawn_per_s: f64,
+    /// Wall throughput of the persistent pool dispatch (batches/s):
+    /// long-lived workers, bounded-channel handoff, park/unpark
+    /// completion — no per-batch spawn.
+    pub pool_per_s: f64,
     /// Updates applied across all shards (deterministic, from
     /// [`ipa_store::ShardStats`]).
     pub total_updates: u64,
@@ -110,13 +117,38 @@ pub struct ParallelApply {
     pub max_shard_updates: u64,
     /// Per-shard update counts, in shard order (deterministic).
     pub shard_updates: Vec<u64>,
+    /// Batches the pool run dispatched to workers (deterministic: every
+    /// staged batch is wide).
+    pub pool_batches: u64,
+    /// Per-shard jobs those dispatches fanned out (deterministic: one
+    /// per non-empty shard per batch).
+    pub pool_dispatches: u64,
+    /// Per-shard worker-queue depth high-water marks, in shard order
+    /// (deterministic — runs queued per batch, a key-hash property).
+    pub pool_queued_hwm: Vec<u64>,
 }
 
 impl ParallelApply {
-    /// Wall-clock speedup — machine-dependent, ≈1x on one core.
+    /// Wall-clock speedup of the pool over the spawn-per-batch dispatch
+    /// it replaced — the honest like-for-like A/B (same shards, same
+    /// batches, same run), robust on any core count because what it
+    /// measures is dispatch overhead, not core parallelism.
     pub fn wall_speedup(&self) -> f64 {
+        if self.spawn_per_s > 0.0 {
+            self.pool_per_s / self.spawn_per_s
+        } else {
+            0.0
+        }
+    }
+
+    /// Pool dispatch vs. the single-shard inline oracle, wall clock.
+    /// Machine-dependent: ≈1x or below on a single-core runner (workers
+    /// cannot overlap, the handoff is pure overhead), approaching the
+    /// span speedup with ≥`shards` cores. Reported for transparency,
+    /// never asserted.
+    pub fn vs_single_shard(&self) -> f64 {
         if self.single_shard_per_s > 0.0 {
-            self.parallel_per_s / self.single_shard_per_s
+            self.pool_per_s / self.single_shard_per_s
         } else {
             0.0
         }
@@ -469,56 +501,80 @@ fn measure_batch_apply(batches: usize, objects_per_batch: usize) -> (f64, f64, u
     )
 }
 
-/// Sharded parallel apply vs. the single-shard oracle on wide batches.
-/// Each batch touches `keys` distinct keys (one counter add per key), so
-/// the shard splitter gets `keys` independent runs well above the
-/// `PARALLEL_APPLY_MIN_UPDATES` threshold, spread by the key hash.
+/// Sharded apply dispatch A/B on wide batches: single-shard inline
+/// oracle vs. the legacy spawn-per-batch dispatch vs. the persistent
+/// pool, all on the same staged batches. Each batch touches `keys`
+/// distinct keys (one counter add per key), so the shard splitter gets
+/// `keys` independent runs well above the `PARALLEL_APPLY_MIN_UPDATES`
+/// threshold, spread by the key hash.
 fn measure_parallel_apply(batches: usize, keys: usize, shards: usize) -> ParallelApply {
-    let mut src = Replica::with_shards(ReplicaId(0), 1);
-    let key_names: Vec<String> = (0..keys).map(|i| format!("p:k{i}")).collect();
-    for i in 0..batches {
-        let mut tx = src.begin();
-        for (j, key) in key_names.iter().enumerate() {
-            tx.ensure(key.as_str(), ObjectKind::PNCounter).unwrap();
-            tx.counter_add(key.as_str(), (i + j) as i64).unwrap();
-        }
-        tx.commit();
-    }
-    let staged = src.take_outbox();
+    use ipa_store::ApplyDispatch;
 
-    let deliver = |shards: usize, parallel: bool| -> (Replica, u64) {
-        let mut dst = Replica::with_shards(ReplicaId(1), shards);
-        dst.set_parallel_apply(parallel);
+    let key_names: Vec<String> = (0..keys).map(|i| format!("p:k{i}")).collect();
+    let stage = |origin: u16, batches: usize| -> Vec<std::sync::Arc<ipa_store::UpdateBatch>> {
+        let mut src = Replica::with_shards(ReplicaId(origin), 1);
+        for i in 0..batches {
+            let mut tx = src.begin();
+            for (j, key) in key_names.iter().enumerate() {
+                tx.ensure(key.as_str(), ObjectKind::PNCounter).unwrap();
+                tx.counter_add(key.as_str(), (i + j) as i64).unwrap();
+            }
+            tx.commit();
+        }
+        src.take_outbox()
+    };
+    let staged = stage(0, batches);
+    // One wide batch from a second origin, delivered before the timer
+    // starts: it spawns the pool's workers (lazy), grows the object
+    // tables, and warms the allocator, so every dispatch mode times the
+    // same steady-state batch stream.
+    let warm = stage(2, 1);
+
+    let deliver = |nshards: usize, dispatch: ApplyDispatch| -> u64 {
+        let mut dst = Replica::with_shards(ReplicaId(1), nshards);
+        dst.set_apply_dispatch(dispatch);
+        for b in &warm {
+            dst.receive(std::sync::Arc::clone(b));
+        }
         let t = Instant::now();
         for b in &staged {
             dst.receive(std::sync::Arc::clone(b));
         }
         let ns = t.elapsed().as_nanos() as u64;
-        assert_eq!(dst.stats.batches_applied as usize, batches);
-        (dst, ns)
+        assert_eq!(dst.stats.batches_applied as usize, batches + warm.len());
+        ns
     };
 
-    // Warm-up pass each, then best-of-three per side.
-    deliver(1, false);
-    deliver(shards, true);
+    // Warm-up pass each, then best-of-three per mode.
+    deliver(1, ApplyDispatch::Sequential);
+    deliver(shards, ApplyDispatch::SpawnPerBatch);
+    deliver(shards, ApplyDispatch::Pool);
     let mut single_ns = u64::MAX;
-    let mut parallel_ns = u64::MAX;
-    let mut sharded = None;
+    let mut spawn_ns = u64::MAX;
+    let mut pool_ns = u64::MAX;
     for _ in 0..3 {
-        single_ns = single_ns.min(deliver(1, false).1);
-        let (dst, ns) = deliver(shards, true);
-        parallel_ns = parallel_ns.min(ns);
-        sharded = Some(dst);
+        single_ns = single_ns.min(deliver(1, ApplyDispatch::Sequential));
+        spawn_ns = spawn_ns.min(deliver(shards, ApplyDispatch::SpawnPerBatch));
+        pool_ns = pool_ns.min(deliver(shards, ApplyDispatch::Pool));
     }
-    let sharded = sharded.expect("measured");
-    let shard_updates: Vec<u64> = sharded
-        .shard_stats()
-        .iter()
-        .map(|s| s.updates_applied)
-        .collect();
+
+    // Deterministic structure counters from one untimed pool delivery of
+    // the staged stream alone (no warm batch, so the totals are exact
+    // functions of the workload): per-shard update spread, dispatch
+    // counts, and worker-queue high-water marks. CI guards these, never
+    // the wall-clock figures.
+    let mut counted = Replica::with_shards(ReplicaId(1), shards);
+    counted.set_parallel_apply(true);
+    for b in &staged {
+        counted.receive(std::sync::Arc::clone(b));
+    }
+    let shard_stats = counted.shard_stats();
+    let shard_updates: Vec<u64> = shard_stats.iter().map(|s| s.updates_applied).collect();
+    let pool_queued_hwm: Vec<u64> = shard_stats.iter().map(|s| s.pool_queued_hwm).collect();
     let total_updates: u64 = shard_updates.iter().sum();
     let max_shard_updates = shard_updates.iter().copied().max().unwrap_or(0);
     assert_eq!(total_updates as usize, batches * keys);
+    assert_eq!(counted.stats.pool_batches as usize, batches);
 
     let per_s = |ns: u64| {
         if ns == 0 {
@@ -532,10 +588,14 @@ fn measure_parallel_apply(batches: usize, keys: usize, shards: usize) -> Paralle
         updates_per_batch: keys,
         shards,
         single_shard_per_s: per_s(single_ns),
-        parallel_per_s: per_s(parallel_ns),
+        spawn_per_s: per_s(spawn_ns),
+        pool_per_s: per_s(pool_ns),
         total_updates,
         max_shard_updates,
         shard_updates,
+        pool_batches: counted.stats.pool_batches,
+        pool_dispatches: counted.stats.pool_dispatches,
+        pool_queued_hwm,
     }
 }
 
@@ -640,14 +700,21 @@ pub fn print(report: &Report) {
     );
     let p = &report.parallel_apply;
     println!(
-        "\nSharded parallel apply ({} batches × {} updates, {} shards): \
-         {:.0}/s single-shard, {:.0}/s sharded+threads ({:.2}x wall)",
-        p.batches,
-        p.updates_per_batch,
-        p.shards,
-        p.single_shard_per_s,
-        p.parallel_per_s,
+        "\nSharded apply dispatch ({} batches × {} updates, {} shards): \
+         {:.0}/s single-shard inline, {:.0}/s spawn-per-batch (legacy), \
+         {:.0}/s persistent pool",
+        p.batches, p.updates_per_batch, p.shards, p.single_shard_per_s, p.spawn_per_s, p.pool_per_s,
+    );
+    println!(
+        "  pool vs spawn-per-batch: {:.2}x wall (the dispatch overhead the pool \
+         removes); pool vs single-shard: {:.2}x wall (core-count-dependent)",
         p.wall_speedup(),
+        p.vs_single_shard(),
+    );
+    println!(
+        "  pool structure (deterministic): {} batches dispatched as {} shard jobs, \
+         worker-queue HWMs {:?}",
+        p.pool_batches, p.pool_dispatches, p.pool_queued_hwm,
     );
     println!(
         "  critical path (deterministic): busiest shard applied {} of {} updates \
@@ -725,25 +792,30 @@ pub fn to_json(report: &Report) -> String {
             / report.batch_apply_table_lookups.max(1) as f64,
     ));
     let p = &report.parallel_apply;
+    let join = |v: &[u64]| v.iter().map(u64::to_string).collect::<Vec<_>>().join(", ");
     s.push_str(&format!(
         "  \"parallel_apply\": {{\"batches\": {}, \"updates_per_batch\": {}, \
          \"shards\": {}, \"single_shard_batches_per_s\": {:.0}, \
-         \"parallel_batches_per_s\": {:.0}, \"wall_speedup_x\": {:.2}, \
+         \"spawn_batches_per_s\": {:.0}, \"pool_batches_per_s\": {:.0}, \
+         \"wall_speedup_x\": {:.2}, \"vs_single_shard_x\": {:.2}, \
+         \"pool_batches\": {}, \"pool_dispatches\": {}, \
+         \"pool_queued_hwm\": [{}], \
          \"total_updates\": {}, \"max_shard_updates\": {}, \
          \"shard_updates\": [{}], \"speedup_x\": {:.2}}}\n",
         p.batches,
         p.updates_per_batch,
         p.shards,
         p.single_shard_per_s,
-        p.parallel_per_s,
+        p.spawn_per_s,
+        p.pool_per_s,
         p.wall_speedup(),
+        p.vs_single_shard(),
+        p.pool_batches,
+        p.pool_dispatches,
+        join(&p.pool_queued_hwm),
         p.total_updates,
         p.max_shard_updates,
-        p.shard_updates
-            .iter()
-            .map(u64::to_string)
-            .collect::<Vec<_>>()
-            .join(", "),
+        join(&p.shard_updates),
         p.span_speedup(),
     ));
     s.push_str("}\n");
@@ -823,7 +895,21 @@ mod tests {
             p.span_speedup(),
             p.shard_updates
         );
-        assert!(p.single_shard_per_s > 0.0 && p.parallel_per_s > 0.0);
+        assert!(p.single_shard_per_s > 0.0 && p.spawn_per_s > 0.0 && p.pool_per_s > 0.0);
+        // Pool structure is deterministic: every staged batch is wide, so
+        // every batch dispatched, fanning out one job per shard (1024
+        // keys populate all four shards), and the worker queues saw a
+        // balanced spread of runs.
+        assert_eq!(p.pool_batches as usize, p.batches);
+        assert_eq!(p.pool_dispatches, p.pool_batches * p.shards as u64);
+        assert_eq!(p.pool_queued_hwm.len(), p.shards);
+        let hwm_total: u64 = p.pool_queued_hwm.iter().sum();
+        let hwm_max = p.pool_queued_hwm.iter().copied().max().unwrap_or(0);
+        assert!(
+            hwm_max * p.shards as u64 <= 2 * hwm_total,
+            "pool worker queues unbalanced: {:?}",
+            p.pool_queued_hwm
+        );
     }
 
     #[test]
@@ -873,10 +959,14 @@ mod tests {
                 updates_per_batch: 1024,
                 shards: 4,
                 single_shard_per_s: 1_000.0,
-                parallel_per_s: 950.0,
+                spawn_per_s: 400.0,
+                pool_per_s: 950.0,
                 total_updates: 16_384,
                 max_shard_updates: 4_200,
                 shard_updates: vec![4_200, 4_100, 4_044, 4_040],
+                pool_batches: 16,
+                pool_dispatches: 64,
+                pool_queued_hwm: vec![263, 257, 253, 251],
             },
         };
         let json = to_json(&report);
@@ -888,6 +978,11 @@ mod tests {
         assert!(json.contains("\"parallel_apply\""));
         assert!(json.contains("\"shard_updates\": [4200, 4100, 4044, 4040]"));
         assert!(json.contains("\"speedup_x\": 3.90"));
+        // pool/spawn = 950/400; pool/single = 950/1000
+        assert!(json.contains("\"wall_speedup_x\": 2.38"));
+        assert!(json.contains("\"vs_single_shard_x\": 0.95"));
+        assert!(json.contains("\"pool_dispatches\": 64"));
+        assert!(json.contains("\"pool_queued_hwm\": [263, 257, 253, 251]"));
         assert_eq!(
             json.matches('{').count(),
             json.matches('}').count(),

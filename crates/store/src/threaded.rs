@@ -3,16 +3,23 @@
 //! races — the second [`Transport`] implementation, complementing the
 //! deterministic discrete-event simulator.
 //!
-//! Each node is a [`Node`] behind a mutex, serviced by a dedicated
-//! delivery thread draining that node's channel. Commits happen on the
-//! *caller's* thread ([`ThreadedCluster::commit_at`] locks the shard,
-//! runs the transaction, then ships the outbox over the channels), so
-//! concurrent clients at different regions genuinely race their
-//! commits, deliveries interleave with transactions, and an optional
-//! background anti-entropy ticker repairs losses while the workload
-//! runs. Nothing here is deterministic; correctness is checked at
-//! quiescence (convergence, invariants, idempotence, bounded liveness)
-//! — see the [`Transport`] contract and `ARCHITECTURE.md`.
+//! Each node is a [`Node`] behind a mutex, serviced by a **two-stage
+//! delivery pipeline**: an *ingest* thread drains the node's channel and
+//! runs the integrity gate (seal check + envelope well-formedness) off
+//! the node lock, then forwards every message FIFO over a bounded
+//! channel to an *apply* thread that takes the lock and feeds causal
+//! delivery ([`Replica::receive_prevalidated`]). Seal verification of
+//! the next batch thus overlaps with shard apply of the previous one,
+//! and the bounded hop is the backpressure seam — a slow applier stalls
+//! its ingest thread, never grows an unbounded queue. Commits happen on
+//! the *caller's* thread ([`ThreadedCluster::commit_at`] locks the
+//! shard, runs the transaction, then ships the outbox over the
+//! channels), so concurrent clients at different regions genuinely race
+//! their commits, deliveries interleave with transactions, and an
+//! optional background anti-entropy ticker repairs losses while the
+//! workload runs. Nothing here is deterministic; correctness is checked
+//! at quiescence (convergence, invariants, idempotence, bounded
+//! liveness) — see the [`Transport`] contract and `ARCHITECTURE.md`.
 //!
 //! Fault signals are live: [`ThreadedCluster::crash_node`] wipes the
 //! shard's volatile state and makes it refuse traffic,
@@ -44,6 +51,28 @@ enum Msg {
     Barrier(mpsc::Sender<()>),
     Stop,
 }
+
+/// Messages the apply stage services — [`Msg`] after the ingest stage
+/// ran the integrity gate. Forwarded strictly FIFO, so barriers and
+/// pulls observe every delivery sent before them, exactly as with the
+/// single-threaded loop this pipeline replaced.
+enum ApplyMsg {
+    /// A batch plus the ingest stage's integrity verdict (computed off
+    /// the node lock; [`Replica::receive_prevalidated`] trusts it).
+    Deliver(Arc<UpdateBatch>, bool),
+    Pull {
+        since: VClock,
+        reply: mpsc::Sender<Vec<Arc<UpdateBatch>>>,
+    },
+    Barrier(mpsc::Sender<()>),
+    Stop,
+}
+
+/// Depth of the bounded ingest→apply hop. Deep enough to keep the apply
+/// thread fed across scheduling hiccups, shallow enough that a wedged
+/// applier stalls ingest (backpressure) instead of buffering a run's
+/// whole traffic.
+const APPLY_PIPELINE_DEPTH: usize = 64;
 
 /// One replica shard: the actor state plus its crash flag. The flag is
 /// atomic (not under the mutex) so fault injection and down-checks
@@ -88,6 +117,9 @@ pub struct ThreadedStats {
     pub lost_in_crash: AtomicU64,
     /// Commits refused because the origin shard was down.
     pub commits_refused: AtomicU64,
+    /// Batches whose integrity gate ran on the ingest stage (off the
+    /// node lock) before being forwarded to the apply stage.
+    pub pipeline_prevalidated: AtomicU64,
 }
 
 /// Configuration for [`ThreadedCluster::start`].
@@ -98,9 +130,10 @@ pub struct ThreadedConfig {
     /// Background anti-entropy period (`None` = repair only happens at
     /// explicit [`Transport::anti_entropy`] / quiesce calls).
     pub ae_interval: Option<Duration>,
-    /// Key-space shards per replica. Large batches (anti-entropy
-    /// catch-up bursts) apply their disjoint shards on concurrent scoped
-    /// threads; shard count never changes observable state.
+    /// Key-space shards per replica. Wide batches (anti-entropy
+    /// catch-up bursts) dispatch their disjoint shards to the replica's
+    /// persistent shard-worker pool; shard count never changes
+    /// observable state.
     pub shards: usize,
 }
 
@@ -160,8 +193,15 @@ impl ThreadedCluster {
         }
         for (i, rx) in receivers.into_iter().enumerate() {
             let shard = Arc::clone(&shards[i]);
-            let stats = Arc::clone(&stats);
-            threads.push(std::thread::spawn(move || node_loop(shard, stats, rx)));
+            let ingest_stats = Arc::clone(&stats);
+            let apply_stats = Arc::clone(&stats);
+            let (apply_tx, apply_rx) = mpsc::sync_channel(APPLY_PIPELINE_DEPTH);
+            threads.push(std::thread::spawn(move || {
+                ingest_loop(ingest_stats, rx, apply_tx)
+            }));
+            threads.push(std::thread::spawn(move || {
+                apply_loop(shard, apply_stats, apply_rx)
+            }));
         }
         let ticker_stop = Arc::new(AtomicBool::new(false));
         let ticker = cfg.ae_interval.map(|period| {
@@ -449,20 +489,58 @@ impl Transport for ThreadedCluster {
     }
 }
 
-/// The delivery-thread body: drain the channel, feeding batches into
-/// causal delivery under the shard lock. A down shard refuses
-/// deliveries (counted) and serves empty pulls, like a dead process.
-fn node_loop(shard: Arc<Shard>, stats: Arc<ThreadedStats>, rx: mpsc::Receiver<Msg>) {
+/// The ingest-stage body: drain the node's channel, run the integrity
+/// gate on deliveries *off the node lock*, and forward everything FIFO
+/// over the bounded hop. The send blocks when the applier falls
+/// `APPLY_PIPELINE_DEPTH` messages behind — that stall is the
+/// backpressure contract, propagating to senders only through channel
+/// buffering, never through loss.
+fn ingest_loop(
+    stats: Arc<ThreadedStats>,
+    rx: mpsc::Receiver<Msg>,
+    apply: mpsc::SyncSender<ApplyMsg>,
+) {
+    for msg in rx {
+        let forward = match msg {
+            Msg::Deliver(batch) => {
+                let valid = batch.integrity_ok() && batch.well_formed();
+                stats.pipeline_prevalidated.fetch_add(1, Ordering::Relaxed);
+                ApplyMsg::Deliver(batch, valid)
+            }
+            Msg::Pull { since, reply } => ApplyMsg::Pull { since, reply },
+            Msg::Barrier(reply) => ApplyMsg::Barrier(reply),
+            Msg::Stop => {
+                let _ = apply.send(ApplyMsg::Stop);
+                break;
+            }
+        };
+        if apply.send(forward).is_err() {
+            break;
+        }
+    }
+}
+
+/// The apply-stage body: feed prevalidated batches into causal delivery
+/// under the shard lock. The down-check happens *here*, at apply time —
+/// a batch still queued in the pipeline when its node crashes is
+/// refused exactly like one still in a dead process's socket buffer,
+/// and anti-entropy replays it from a peer's durable log after restart.
+/// A down shard serves empty pulls, like a dead process.
+fn apply_loop(shard: Arc<Shard>, stats: Arc<ThreadedStats>, rx: mpsc::Receiver<ApplyMsg>) {
     for msg in rx {
         match msg {
-            Msg::Deliver(batch) => {
+            ApplyMsg::Deliver(batch, valid) => {
                 if shard.down.load(Ordering::Relaxed) {
                     stats.refused_down.fetch_add(1, Ordering::Relaxed);
                 } else {
-                    shard.node.lock().replica_mut().receive(batch);
+                    shard
+                        .node
+                        .lock()
+                        .replica_mut()
+                        .receive_prevalidated(batch, valid);
                 }
             }
-            Msg::Pull { since, reply } => {
+            ApplyMsg::Pull { since, reply } => {
                 let batches = if shard.down.load(Ordering::Relaxed) {
                     Vec::new()
                 } else {
@@ -470,10 +548,10 @@ fn node_loop(shard: Arc<Shard>, stats: Arc<ThreadedStats>, rx: mpsc::Receiver<Ms
                 };
                 let _ = reply.send(batches);
             }
-            Msg::Barrier(reply) => {
+            ApplyMsg::Barrier(reply) => {
                 let _ = reply.send(());
             }
-            Msg::Stop => break,
+            ApplyMsg::Stop => break,
         }
     }
 }
@@ -620,6 +698,81 @@ mod tests {
                 .value()
         });
         assert_eq!(v, 3);
+    }
+
+    #[test]
+    fn pipeline_prevalidates_every_delivery() {
+        let cluster = no_ticker(2);
+        for k in 0..10 {
+            cluster
+                .commit_at(0, |tx| {
+                    tx.ensure("c", ObjectKind::PNCounter)?;
+                    tx.counter_add("c", k)
+                })
+                .expect("commit");
+        }
+        cluster.barrier();
+        // Every batch shipped toward node 1 crossed the ingest stage's
+        // integrity gate before reaching the apply stage.
+        assert!(
+            cluster
+                .stats()
+                .pipeline_prevalidated
+                .load(Ordering::Relaxed)
+                >= 10
+        );
+        cluster.quiesce();
+        assert!(cluster.is_converged());
+    }
+
+    #[test]
+    fn crash_with_queued_pipeline_loses_nothing_durable() {
+        let cluster = no_ticker(2);
+        let n: i64 = 150;
+        for _ in 0..n {
+            cluster
+                .commit_at(0, |tx| {
+                    tx.ensure("c", ObjectKind::PNCounter)?;
+                    tx.counter_add("c", 1)
+                })
+                .expect("commit");
+        }
+        // Crash node 1 with deliveries still racing through its ingest →
+        // apply pipeline (no barrier: whatever is queued at the crash is
+        // refused at apply time, like bytes in a dead process's socket
+        // buffer). The durable half of the story lives at node 0.
+        cluster.crash_node(1);
+        cluster.restart_node(1);
+        cluster.quiesce();
+        assert!(cluster.is_converged());
+        // Recovery replays node 0's durable log; nothing it held is
+        // lost, and node 1 reaches exactly the state a synchronous
+        // (pipeline-free) replay of that log reaches.
+        let logged = cluster.with_replica(0, |r| r.batches_since(&VClock::new()));
+        let mut sync = Replica::new(ReplicaId(9));
+        for b in logged {
+            sync.receive(b);
+        }
+        let sync_v = sync
+            .object(&"c".into())
+            .unwrap()
+            .as_pncounter()
+            .unwrap()
+            .value();
+        let (v, clock) = cluster.with_replica(1, |r| {
+            (
+                r.object(&"c".into())
+                    .unwrap()
+                    .as_pncounter()
+                    .unwrap()
+                    .value(),
+                r.clock().clone(),
+            )
+        });
+        assert_eq!(v, n, "recovered replica holds every durable commit");
+        assert_eq!(sync_v, v, "pipelined recovery matches synchronous replay");
+        assert_eq!(clock, *sync.clock());
+        assert!(cluster.with_replica(1, |r| r.applied_consistent()));
     }
 
     #[test]
